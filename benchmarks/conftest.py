@@ -1,0 +1,42 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures: it
+times the computation from the analysis outputs (footprints + survey)
+and writes the rendered, paper-shaped result to
+``benchmarks/output/<experiment>.txt`` for inspection.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+from repro.study import Study
+from repro.synth import EcosystemConfig
+
+_OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """The benchmark ecosystem (larger than the test one)."""
+    return Study.default(EcosystemConfig(
+        n_filler_packages=200, n_driver_packages=30,
+        n_script_packages=220))
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    return _OUTPUT_DIR
+
+
+@pytest.fixture()
+def save(output_dir):
+    def _save(name: str, rendered: str) -> None:
+        (output_dir / f"{name}.txt").write_text(rendered + "\n",
+                                                encoding="utf-8")
+    return _save

@@ -1,0 +1,20 @@
+"""Figure 1 — executable type mix of the archive.
+
+Paper: ELF 60%, dash 15%, python 9%, perl 8%, bash 6%, ruby 1%;
+within ELF: 52% shared libraries, 48% dynamic executables, 0.38%
+static.
+"""
+
+
+def test_fig1_binary_types(benchmark, study, save):
+    output = benchmark(study.fig1_binary_types)
+    save("fig1_binary_types", output.rendered)
+    print(output.rendered)
+
+    stats = study.result.type_stats
+    elf_share = stats.fraction(stats.elf_binaries)
+    assert 0.50 <= elf_share <= 0.70          # paper: 60%
+    lib_share = stats.elf_shared_libraries / stats.elf_binaries
+    assert 0.35 <= lib_share <= 0.60          # paper: 52%
+    scripts = stats.scripts_by_interpreter
+    assert scripts["dash"] == max(scripts.values())  # paper: dash 15%

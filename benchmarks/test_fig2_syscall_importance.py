@@ -1,0 +1,25 @@
+"""Figure 2 — API importance of the N-most important system calls.
+
+Paper: 224 of 320 syscalls indispensable (importance ~100%); 257 above
+10%; ~301 nonzero; 18 never used.
+"""
+
+from repro.metrics import importance_table
+from repro.syscalls.table import ALL_NAMES
+
+
+def test_fig2_syscall_importance(benchmark, study, save):
+    table = benchmark(importance_table, study.footprints,
+                      study.popcon, "syscall", ALL_NAMES)
+    output = study.fig2_syscall_importance()
+    save("fig2_syscall_importance", output.rendered)
+    print(output.rendered)
+
+    indispensable = sum(1 for v in table.values() if v >= 0.995)
+    over_10 = sum(1 for v in table.values() if v >= 0.10)
+    nonzero = sum(1 for v in table.values() if v > 0)
+    unused = len(table) - nonzero
+    assert 195 <= indispensable <= 245    # paper: 224
+    assert 230 <= over_10 <= 280          # paper: 257
+    assert 285 <= nonzero <= 315          # paper: ~301
+    assert 15 <= unused <= 22             # paper: 18

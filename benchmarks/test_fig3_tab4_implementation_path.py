@@ -1,0 +1,46 @@
+"""Figure 3 / Table 4 — weighted completeness vs. top-N syscalls and
+the five implementation stages.
+
+Paper: 40 syscalls -> 1.12%, 81 -> 10.68%, 145 -> 50.09%,
+202 -> 90.61%, 272 -> 100%; qemu needs 270.
+"""
+
+from repro.metrics import completeness_curve
+
+
+def test_fig3_completeness_curve(benchmark, study, save):
+    curve = benchmark.pedantic(
+        completeness_curve,
+        args=(study.footprints, study.popcon, study.repository),
+        rounds=3, iterations=1)
+    output = study.fig3_completeness_curve()
+    save("fig3_completeness_curve", output.rendered)
+    print(output.rendered)
+
+    def first(target):
+        return next((p.n_apis for p in curve
+                     if p.completeness >= target), None)
+
+    assert 25 <= first(0.011) <= 90       # paper: 40
+    assert 120 <= first(0.50) <= 230      # paper: 145
+    assert 180 <= first(0.90) <= 260      # paper: 202
+    assert 250 <= first(0.9999) <= 310    # paper: 272
+
+
+def test_tab4_stages(benchmark, study, save):
+    output = benchmark(study.tab4_stages)
+    save("tab4_stages", output.rendered)
+    print(output.rendered)
+
+    stages = output.data
+    assert 4 <= len(stages) <= 5
+    assert stages[-1].completeness >= 0.999
+    # stage boundaries strictly increase
+    ends = [s.end for s in stages]
+    assert ends == sorted(ends)
+
+
+def test_qemu_widest_footprint(benchmark, study):
+    """§3.2's extreme end: qemu's MIPS emulator needs ~270 syscalls."""
+    qemu = benchmark(study.result.footprint_of, "qemu-user")
+    assert 260 <= len(qemu.syscalls) <= 285

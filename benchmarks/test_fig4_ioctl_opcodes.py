@@ -1,0 +1,25 @@
+"""Figure 4 — ioctl opcode importance.
+
+Paper: 635 defined codes; 52 at 100% importance (47 TTY/generic);
+188 above 1%; 280 used by at least one binary.
+"""
+
+from repro.metrics import importance_table
+from repro.syscalls import ioctl
+
+
+def test_fig4_ioctl_opcodes(benchmark, study, save):
+    universe = [d.name for d in ioctl.IOCTLS]
+    table = benchmark(importance_table, study.footprints,
+                      study.popcon, "ioctl", universe)
+    output = study.fig4_ioctl()
+    save("fig4_ioctl_opcodes", output.rendered)
+    print(output.rendered)
+
+    full = sum(1 for v in table.values() if v >= 0.995)
+    over_1 = sum(1 for v in table.values() if v >= 0.01)
+    used = sum(1 for v in table.values() if v > 0)
+    assert len(table) == 635
+    assert 40 <= full <= 70        # paper: 52
+    assert 140 <= over_1 <= 240    # paper: 188
+    assert 230 <= used <= 320      # paper: 280

@@ -1,0 +1,19 @@
+"""Figure 5 — fcntl and prctl opcode importance.
+
+Paper: fcntl has 18 codes, 11 at ~100%; prctl has 44 codes, 9 at
+~100%, 18 above 20%.
+"""
+
+
+def test_fig5_fcntl_prctl(benchmark, study, save):
+    output = benchmark(study.fig5_fcntl_prctl)
+    save("fig5_fcntl_prctl", output.rendered)
+    print(output.rendered)
+
+    fcntl = output.data["fcntl"]
+    prctl = output.data["prctl"]
+    assert fcntl["defined"] == 18
+    assert 9 <= fcntl["full"] <= 13       # paper: 11
+    assert prctl["defined"] >= 44
+    assert 7 <= prctl["full"] <= 12       # paper: 9
+    assert 14 <= prctl["over_20"] <= 24   # paper: 18

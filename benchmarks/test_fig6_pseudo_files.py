@@ -1,0 +1,22 @@
+"""Figure 6 — API importance of pseudo-files under /dev and /proc.
+
+Paper: /dev/null and /proc/cpuinfo essential (3,324 and 439 binaries
+hard-code them); /dev/kvm and /proc/kallsyms single-application; long
+administrator tail.
+"""
+
+
+def test_fig6_pseudo_files(benchmark, study, save):
+    output = benchmark(study.fig6_pseudo_files)
+    save("fig6_pseudo_files", output.rendered)
+    print(output.rendered)
+
+    top = dict(output.data["top"])
+    assert top.get("/dev/null", 0) >= 0.999
+    assert top.get("/proc/cpuinfo", 0) >= 0.999
+    importance = study.importance("pseudofile")
+    assert 0 < importance.get("/dev/kvm", 0) < 0.10
+    series = output.data["series"]
+    # sharp head, long tail
+    assert series[0] >= 0.999
+    assert series[-1] < 0.10

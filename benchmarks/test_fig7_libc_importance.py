@@ -1,0 +1,36 @@
+"""Figure 7 / §3.5 — GNU libc API importance and restructuring.
+
+Paper: 1,274 exported functions; 42.8% at 100% importance, 50.6%
+below 50%, 39.7% below 1%; 222 entirely unused; stripping below-90%
+APIs keeps 889 functions at 63% of the size with 9.3% miss
+probability; the relocation table is 30,576 bytes.
+"""
+
+
+def test_fig7_libc_importance(benchmark, study, save):
+    output = benchmark(study.fig7_libc_importance)
+    save("fig7_libc_importance", output.rendered)
+    print(output.rendered)
+
+    data = output.data
+    n = data["total"]
+    assert 1200 <= n <= 1450                    # paper: 1,274
+    assert 0.36 <= data["full"] / n <= 0.50     # paper: 42.8%
+    assert 0.42 <= data["below_half"] / n <= 0.60  # paper: 50.6%
+    assert 0.30 <= data["below_1pct"] / n <= 0.48  # paper: 39.7%
+    assert 180 <= data["unused"] <= 280         # paper: 222
+
+
+def test_libc_strip_analysis(benchmark, study, save):
+    output = benchmark.pedantic(study.libc_strip_analysis,
+                                rounds=3, iterations=1)
+    save("libc_strip_analysis", output.rendered)
+    print(output.rendered)
+
+    report = output.data["report"]
+    layout = output.data["layout"]
+    assert 500 <= report.retained_symbols <= 950   # paper: 889
+    assert 0.35 <= report.retained_fraction <= 0.80  # paper: 63%
+    assert report.miss_probability <= 0.35          # paper: 9.3%
+    assert layout.table_bytes >= 25000              # paper: 30,576
+    assert layout.hot_pages < layout.unsorted_pages

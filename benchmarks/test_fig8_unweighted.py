@@ -1,0 +1,22 @@
+"""Figure 8 — unweighted API importance of system calls.
+
+Paper: only 40 syscalls are used by all packages; 130 by at least 10%
+of packages; over half of the table by fewer than 10%.
+"""
+
+from repro.metrics import unweighted_importance_table
+from repro.syscalls.table import ALL_NAMES
+
+
+def test_fig8_unweighted(benchmark, study, save):
+    table = benchmark(unweighted_importance_table, study.footprints,
+                      "syscall", ALL_NAMES)
+    output = study.fig8_unweighted()
+    save("fig8_unweighted", output.rendered)
+    print(output.rendered)
+
+    by_all = sum(1 for v in table.values() if v >= 0.95)
+    over_10 = sum(1 for v in table.values() if v >= 0.10)
+    assert 25 <= by_all <= 60        # paper: 40
+    assert 95 <= over_10 <= 165      # paper: 130
+    assert over_10 < len(table) / 2  # long tail

@@ -1,0 +1,51 @@
+"""End-to-end pipeline cost (§7: the paper's full run took ~3 days on
+30,976 packages; ours analyzes the synthetic archive in seconds).
+
+Also exercises the ablation DESIGN.md calls out: resolution through
+the relational engine vs. the in-memory resolver.
+"""
+
+from repro.analysis import AnalysisDatabase, AnalysisPipeline
+from repro.synth import EcosystemConfig, build_ecosystem
+
+
+def test_full_pipeline_small_archive(benchmark):
+    ecosystem = build_ecosystem(EcosystemConfig(
+        n_filler_packages=40, n_driver_packages=8,
+        n_script_packages=20, seed=11))
+
+    def run():
+        return AnalysisPipeline(ecosystem.repository,
+                                ecosystem.interpreters).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.binaries_analyzed > 100
+
+
+def test_sql_engine_aggregation(benchmark):
+    ecosystem = build_ecosystem(EcosystemConfig(
+        n_filler_packages=24, n_driver_packages=6,
+        n_script_packages=10, seed=11))
+    database = AnalysisDatabase()
+    AnalysisPipeline(ecosystem.repository,
+                     ecosystem.interpreters).run(database)
+    rows = database.connection.execute(
+        "SELECT id FROM binaries WHERE kind='elf-executable' "
+        "LIMIT 40").fetchall()
+
+    def aggregate():
+        return [database.executable_footprint(bid)
+                for (bid,) in rows]
+
+    footprints = benchmark.pedantic(aggregate, rounds=3, iterations=1)
+    assert any(fp.syscalls for fp in footprints)
+
+
+def test_ecosystem_generation(benchmark):
+    def build():
+        return build_ecosystem(EcosystemConfig(
+            n_filler_packages=24, n_driver_packages=6,
+            n_script_packages=10, seed=13))
+
+    ecosystem = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(ecosystem.repository) > 60

@@ -1,0 +1,23 @@
+"""Table 10 — Linux-specific vs. portable/generic API variants.
+
+Paper: portable wins everywhere (readv 62% vs preadv 0.15%, poll 71%
+vs ppoll 3.9%, recvmsg 69% vs recvmmsg 0.11%) except pipe2 (40.3%),
+the one Linux-specific call with substantial adoption.
+"""
+
+from repro.syscalls.table import ALL_NAMES
+
+
+def test_tab10_portable(benchmark, study, save):
+    output = benchmark(study.tab10_portability)
+    save("tab10_portable", output.rendered)
+    print(output.rendered)
+
+    usage = study.usage("syscall", universe=ALL_NAMES)
+    assert usage["readv"] > 10 * usage["preadv"]
+    assert usage["writev"] > 10 * usage["pwritev"]
+    assert usage["poll"] > 5 * usage["ppoll"]
+    assert usage["recvmsg"] > 10 * usage["recvmmsg"]
+    assert usage["accept"] > usage["accept4"]
+    # the pipe2 exception
+    assert usage["pipe2"] > 0.15

@@ -1,0 +1,23 @@
+"""Table 11 — simple vs. powerful variants of the same call.
+
+Paper: developers prefer the simple option — read 99.9% vs pread64
+27.2%; dup2 99.8% vs dup3 8.7%; select 61.5% vs pselect6 4.1%;
+chdir 44.6% vs fchdir 2.2%.
+"""
+
+from repro.syscalls.table import ALL_NAMES
+
+
+def test_tab11_simple_powerful(benchmark, study, save):
+    output = benchmark(study.tab11_power)
+    save("tab11_simple_powerful", output.rendered)
+    print(output.rendered)
+
+    usage = study.usage("syscall", universe=ALL_NAMES)
+    assert usage["read"] > usage["pread64"]
+    assert usage["dup2"] > usage["dup3"]
+    assert usage["select"] > usage["pselect6"]
+    assert usage["chdir"] > usage["fchdir"]
+
+    summary = study.adoption().data
+    assert summary.portable_preferred_count >= 6

@@ -1,0 +1,32 @@
+"""Table 12 / §6 — framework statistics and footprint uniqueness.
+
+Paper: 428M database rows over 48 tables (PostgreSQL); 31,433
+applications show 11,680 distinct syscall footprints, 9,133 unique
+(about one third).  Our sqlite mirror is proportional to the smaller
+synthetic archive; the uniqueness share is the portable claim.
+"""
+
+
+def test_tab12_framework_stats(benchmark, study, save):
+    output = benchmark.pedantic(study.tab12_framework_stats,
+                                rounds=1, iterations=1)
+    save("tab12_framework_stats", output.rendered)
+    print(output.rendered)
+
+    data = output.data
+    assert data["rows"]["binaries"] > 500
+    assert data["rows"]["export_effects"] > 1000
+    distinct, unique = data["distinct"], data["unique"]
+    assert 0 < unique <= distinct
+    share = unique / len(study.repository)
+    assert 0.1 <= share <= 0.8  # paper: ~1/3 unique
+
+
+def test_seccomp_generation(benchmark, study, save):
+    """§6's application: automatic seccomp policy generation."""
+    output = benchmark(study.seccomp_policy, "coreutils")
+    save("seccomp_coreutils", output.rendered)
+
+    policy = output.data
+    assert policy.allows(0)          # read
+    assert not policy.allows(246)    # kexec_load

@@ -1,0 +1,19 @@
+"""Table 1 — syscalls only used directly by particular libraries.
+
+Paper: clock_settime/iopl/ioperm/signalfd4 at 100% via libc; mbind
+36.0% (libnuma, libopenblas); add_key/keyctl 27.2%; request_key 14.4%;
+preadv/pwritev 11.7% via libc.
+"""
+
+
+def test_tab1_library_only_syscalls(benchmark, study, save):
+    output = benchmark(study.tab1_library_only_syscalls)
+    save("tab1_library_only_syscalls", output.rendered)
+    print(output.rendered)
+
+    rows = {row[0]: row for row in output.data}
+    for name in ("clock_settime", "iopl", "ioperm", "signalfd4"):
+        assert rows[name][1] == "100.0%"
+    assert 0.25 <= float(rows["mbind"][1].rstrip("%")) / 100 <= 0.60
+    assert "libnuma" in rows["mbind"][2]
+    assert 0.05 <= float(rows["preadv"][1].rstrip("%")) / 100 <= 0.25

@@ -1,0 +1,19 @@
+"""Table 2 — syscalls whose usage is dominated by one or two packages.
+
+Paper: seccomp/sched_setattr/sched_getattr -> coop-computing-tools
+(1%); kexec_load -> kexec-tools (1%); clock_adjtime -> systemd (4%);
+io_getevents -> ioping, zfs-fuse (1%); getcpu -> valgrind, rt-tests.
+"""
+
+
+def test_tab2_single_package_syscalls(benchmark, study, save):
+    output = benchmark(study.tab2_single_package_syscalls)
+    save("tab2_single_package_syscalls", output.rendered)
+    print(output.rendered)
+
+    rows = {row[0]: row for row in output.data}
+    assert "kexec-tools" in rows["kexec_load"][2]
+    assert "systemd" in rows["clock_adjtime"][2]
+    assert "coop-computing-tools" in rows["seccomp"][2]
+    for row in output.data:
+        assert float(row[1].rstrip("%")) < 10.0

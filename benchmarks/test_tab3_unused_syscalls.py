@@ -1,0 +1,19 @@
+"""Table 3 — system calls no application in the archive uses.
+
+Paper: 18 calls (10 officially retired; sysfs, rt_tgsigqueueinfo,
+get_robust_list, remap_file_pages, mq_notify, lookup_dcookie,
+restart_syscall, move_pages).
+"""
+
+
+def test_tab3_unused_syscalls(benchmark, study, save):
+    output = benchmark(study.tab3_unused_syscalls)
+    save("tab3_unused_syscalls", output.rendered)
+    print(output.rendered)
+
+    names = {row[0] for row in output.data}
+    assert 15 <= len(names) <= 22          # paper: 18
+    for expected in ("sysfs", "remap_file_pages", "mq_notify",
+                     "lookup_dcookie", "restart_syscall",
+                     "move_pages", "get_robust_list"):
+        assert expected in names

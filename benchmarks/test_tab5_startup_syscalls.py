@@ -1,0 +1,19 @@
+"""Table 5 — ubiquitous syscalls issued by libc-family startup.
+
+Paper: access/arch_prctl from ld.so; clone/execve/getuid... from
+libc; rt_sigreturn/set_robust_list/set_tid_address from libpthread;
+futex from all three.
+"""
+
+
+def test_tab5_startup_syscalls(benchmark, study, save):
+    output = benchmark(study.tab5_startup_syscalls)
+    save("tab5_startup_syscalls", output.rendered)
+    print(output.rendered)
+
+    attribution = output.data
+    assert "ld-linux-x86-64.so.2" in attribution["access"]
+    assert "ld-linux-x86-64.so.2" in attribution["arch_prctl"]
+    assert "libpthread.so.0" in attribution["set_robust_list"]
+    assert "libpthread.so.0" in attribution["set_tid_address"]
+    assert len(attribution["futex"]) >= 2

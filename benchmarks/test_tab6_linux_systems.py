@@ -1,0 +1,27 @@
+"""Table 6 — weighted completeness of Linux systems/emulation layers.
+
+Paper: UML 3.19 (284 calls) 93.1%; L4Linux 4.3 (286) 99.3%;
+FreeBSD-emu 10.2 (225) 62.3%; Graphene (143) 0.42%; Graphene+sched
+(145) 21.1%.
+"""
+
+
+def test_tab6_linux_systems(benchmark, study, save):
+    output = benchmark.pedantic(study.tab6_linux_systems,
+                                rounds=3, iterations=1)
+    save("tab6_linux_systems", output.rendered)
+    print(output.rendered)
+
+    rows = {e.system.split()[0]: e for e in output.data}
+    assert rows["User-Mode-Linux"].syscall_count == 284
+    assert rows["L4Linux"].syscall_count == 286
+    assert 0.85 <= rows["User-Mode-Linux"].weighted_completeness <= 0.99
+    assert 0.90 <= rows["L4Linux"].weighted_completeness <= 1.00
+    assert 0.30 <= rows["FreeBSD-emu"].weighted_completeness <= 0.80
+    assert rows["Graphene"].weighted_completeness <= 0.02
+    assert 0.10 <= rows["Graphene+sched"].weighted_completeness <= 0.40
+    # the ordering the paper reports
+    assert (rows["L4Linux"].weighted_completeness
+            > rows["FreeBSD-emu"].weighted_completeness
+            > rows["Graphene+sched"].weighted_completeness
+            > rows["Graphene"].weighted_completeness)

@@ -1,0 +1,21 @@
+"""Table 7 — weighted completeness of libc variants.
+
+Paper: eglibc 100%/100%; uClibc 1.1%/41.9%; musl 1.1%/43.2%;
+dietlibc 0%/0% (raw / normalized for compile-time _chk replacement).
+"""
+
+
+def test_tab7_libc_variants(benchmark, study, save):
+    output = benchmark.pedantic(study.tab7_libc_variants,
+                                rounds=3, iterations=1)
+    save("tab7_libc_variants", output.rendered)
+    print(output.rendered)
+
+    rows = {e.variant.split()[0]: e for e in output.data}
+    assert rows["eglibc"].raw_completeness >= 0.999
+    assert rows["uClibc"].raw_completeness <= 0.05   # paper: 1.1%
+    assert rows["musl"].raw_completeness <= 0.05     # paper: 1.1%
+    assert 0.30 <= rows["uClibc"].normalized_completeness <= 0.65
+    assert 0.30 <= rows["musl"].normalized_completeness <= 0.70
+    assert rows["dietlibc"].raw_completeness == 0.0
+    assert rows["dietlibc"].normalized_completeness <= 0.01

@@ -1,0 +1,22 @@
+"""Table 9 — unweighted importance of deprecated vs. preferred APIs.
+
+Paper: getdents 99.8% vs getdents64 0.08%; fork 0.07% vs clone
+99.86% / vfork 99.68%; tkill 0.51% vs tgkill 99.8%; wait4 60.6% vs
+waitid 0.24%; utime 8.6% vs utimes 17.9%.
+"""
+
+from repro.syscalls.table import ALL_NAMES
+
+
+def test_tab9_old_new(benchmark, study, save):
+    output = benchmark(study.tab9_old_new)
+    save("tab9_old_new", output.rendered)
+    print(output.rendered)
+
+    usage = study.usage("syscall", universe=ALL_NAMES)
+    assert usage["getdents"] > 0.9 and usage["getdents64"] < 0.05
+    assert usage["clone"] > 0.9 and usage["fork"] < 0.05
+    assert usage["vfork"] > 0.9
+    assert usage["tgkill"] > 0.9 and usage["tkill"] < 0.05
+    assert usage["wait4"] > 0.4 and usage["waitid"] < 0.05
+    assert usage["utimes"] > usage["utime"]

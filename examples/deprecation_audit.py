@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Audit API deprecation and secure-variant adoption (§5 as a tool).
+
+A kernel maintainer wants to retire an API, or a security team wants to
+know how far the ecosystem has migrated to safer variants.  This
+example answers both from measured footprints:
+
+* which packages still use a candidate-for-removal syscall;
+* adoption rates of secure vs. race-prone directory operations;
+* deprecated APIs that would break real users if removed today.
+
+Run with::
+
+    python examples/deprecation_audit.py [syscall ...]
+"""
+
+import sys
+
+from repro import Study
+from repro.metrics import dependents_index
+from repro.syscalls.table import ALL_NAMES
+
+
+def main() -> None:
+    study = Study.small()
+    usage = study.usage("syscall", universe=ALL_NAMES)
+    importance = study.importance("syscall", universe=ALL_NAMES)
+    index = dependents_index(study.footprints, "syscall")
+
+    candidates = sys.argv[1:] or ["nfsservctl", "uselib", "access",
+                                  "wait4", "remap_file_pages"]
+    print("Deprecation audit")
+    print("=" * 64)
+    for name in candidates:
+        users = sorted(index.get(name, []))
+        print(f"\n{name}:")
+        print(f"  weighted importance : "
+              f"{importance.get(name, 0.0):.2%}")
+        print(f"  packages using it   : {len(users)} "
+              f"({usage.get(name, 0.0):.2%} of archive)")
+        if not users:
+            print("  verdict             : safe to remove")
+        elif importance.get(name, 0.0) < 0.10:
+            heavy = sorted(
+                users,
+                key=lambda pkg: -study.popcon.install_probability(pkg))
+            print(f"  verdict             : removable after porting "
+                  f"{', '.join(heavy[:4])}")
+        else:
+            print("  verdict             : removal would break "
+                  "widely-installed software")
+
+    print("\nSecure-variant adoption (Table 8)")
+    print("-" * 64)
+    print(study.tab8_secure_variants().rendered)
+    print()
+    print(study.adoption().rendered)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Plan a new Linux compatibility layer (§3.2 as a tool).
+
+You are building an OS prototype and can afford to implement a limited
+number of system calls.  This example walks the greedy implementation
+path: at each milestone it reports which calls to add, the weighted
+completeness reached, and which popular packages become runnable —
+turning Figure 3 and Table 4 into an actionable roadmap.
+
+Run with::
+
+    python examples/prototype_planner.py [n_syscalls]
+"""
+
+import sys
+
+from repro import Study
+from repro.metrics import (
+    missing_apis_report,
+    supported_packages,
+    weighted_completeness,
+)
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    study = Study.small()
+    ranking = study.syscall_ranking()
+    curve = study.curve()
+
+    print(f"Roadmap for a prototype with a budget of {budget} syscalls")
+    print("=" * 64)
+
+    milestones = [m for m in (40, 80, 125, 145, 202, 272)
+                  if m <= budget] + [budget]
+    previous = 0
+    for milestone in sorted(set(milestones)):
+        point = curve[milestone - 1]
+        newly = ranking[previous:milestone]
+        print(f"\n--- milestone: {milestone} syscalls "
+              f"(weighted completeness {point.completeness:.2%}) ---")
+        print(f"add next: {', '.join(newly[:10])}"
+              + (" ..." if len(newly) > 10 else ""))
+        previous = milestone
+
+    supported_set = frozenset(ranking[:budget])
+    runnable = supported_packages(
+        supported_set, study.footprints, study.repository)
+    by_weight = sorted(
+        runnable,
+        key=lambda pkg: -study.popcon.install_probability(pkg))
+    completeness = weighted_completeness(
+        supported_set, study.footprints, study.popcon,
+        study.repository)
+
+    print(f"\nAt {budget} syscalls the prototype runs "
+          f"{len(runnable)} packages "
+          f"({completeness:.2%} weighted completeness).")
+    print("Most-installed packages that now work:")
+    for package in by_weight[:10]:
+        probability = study.popcon.install_probability(package)
+        print(f"  {package:28s} installed on {probability:7.2%}")
+
+    print("\nHighest-value syscalls still missing:")
+    for api, weight in missing_apis_report(
+            supported_set, study.footprints, study.popcon, limit=8):
+        print(f"  {api:24s} unblocks weight {weight:.3f}")
+
+
+if __name__ == "__main__":
+    main()

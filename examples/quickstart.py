@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: build the synthetic archive, analyze it, and reproduce
+the paper's headline numbers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Study
+from repro.syscalls.table import ALL_NAMES
+
+
+def main() -> None:
+    # Study.small() synthesizes a reduced Ubuntu-like archive (real ELF
+    # binaries!), disassembles every binary, and aggregates per-package
+    # API footprints.  Everything downstream reads recovered data.
+    study = Study.small()
+
+    print(f"packages analyzed : {len(study.repository)}")
+    print(f"binaries analyzed : {study.result.binaries_analyzed}")
+    print()
+
+    # Figure 2 — which system calls matter?
+    importance = study.importance("syscall", universe=ALL_NAMES)
+    indispensable = sum(1 for v in importance.values() if v >= 0.995)
+    unused = sum(1 for v in importance.values() if v == 0.0)
+    print(f"indispensable syscalls (importance ~100%): {indispensable}")
+    print(f"never-used syscalls                      : {unused}")
+    print()
+
+    # Figure 3 — how far do the top-N syscalls take a new OS prototype?
+    curve = study.curve()
+    for target in (0.011, 0.50, 0.90):
+        n = next((p.n_apis for p in curve if p.completeness >= target),
+                 None)
+        print(f"syscalls needed for {target:>5.1%} weighted "
+              f"completeness: {n}")
+    print()
+
+    # What should an emulation layer implement next?  Ask for any
+    # partially-complete system.
+    print(study.tab6_linux_systems().rendered)
+    print()
+
+    # Single-API questions work too:
+    for name in ("read", "access", "faccessat", "kexec_load"):
+        print(f"API importance of {name:12s}: "
+              f"{importance.get(name, 0.0):7.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Track API migration across releases (§2.4 / §6 as a tool).
+
+The paper's snapshot cannot show adoption *trends*; its authors argue
+the methodology should be re-run per release so kernel developers can
+watch deprecated APIs drain and secure variants fill.  This example
+does exactly that: it synthesizes two archive "releases" — the paper's
+2015 snapshot and a future release where a third of legacy-API users
+have migrated — measures both with the same pipeline, and diffs the
+results.
+
+Run with::
+
+    python examples/release_drift.py [shift]
+"""
+
+import sys
+
+from repro import Study
+from repro.metrics import UsageDiff
+from repro.syscalls.table import ALL_NAMES
+from repro.synth import EcosystemConfig
+
+
+def main() -> None:
+    shift = float(sys.argv[1]) if len(sys.argv) > 1 else 0.35
+    base = EcosystemConfig(n_filler_packages=120,
+                           n_driver_packages=20,
+                           n_script_packages=80)
+    future = EcosystemConfig(n_filler_packages=120,
+                             n_driver_packages=20,
+                             n_script_packages=80,
+                             adoption_shift=shift)
+
+    print(f"Synthesizing the 2015 snapshot and a release with "
+          f"{shift:.0%} migration...")
+    before = Study.default(base).usage("syscall", universe=ALL_NAMES)
+    after = Study.default(future).usage("syscall", universe=ALL_NAMES)
+    diff = UsageDiff(before, after)
+
+    print("\nAPIs gaining users:")
+    for delta in diff.risers(8):
+        print(f"  {delta.api:16s} {delta.before:7.2%} -> "
+              f"{delta.after:7.2%}  ({delta.delta:+.2%})")
+
+    print("\nAPIs losing users:")
+    for delta in diff.fallers(8):
+        print(f"  {delta.api:16s} {delta.before:7.2%} -> "
+              f"{delta.after:7.2%}  ({delta.delta:+.2%})")
+
+    print("\nRecommended migrations that actually progressed:")
+    for verdict in diff.migrated_pairs():
+        print(f"  {verdict.legacy:12s} -> {verdict.preferred:12s}  "
+              f"(legacy {verdict.legacy_delta:+.2%}, preferred "
+              f"{verdict.preferred_delta:+.2%})")
+
+
+if __name__ == "__main__":
+    main()

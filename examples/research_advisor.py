@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Pick evaluation workloads and assess API changes (§1/§6 as a tool).
+
+Scenario one: you optimized a set of system calls in your kernel
+prototype (say the event-loop path).  Which widely-installed
+applications exercise them, and what is the smallest benchmark suite
+covering every modified call?
+
+Scenario two: you maintain the kernel and want to retire an API.  Who
+breaks, how many installations are affected, and what is the verdict?
+
+Plus: how robust are these answers to survey sampling noise
+(bootstrap over the popularity-contest counts)?
+
+Run with::
+
+    python examples/research_advisor.py
+"""
+
+from repro import Study
+from repro.compat import change_impact, coverage_plan, workload_suggestions
+from repro.metrics import bootstrap_importance
+
+
+def main() -> None:
+    study = Study.small()
+
+    modified = ["epoll_wait", "epoll_ctl", "accept4", "sendfile",
+                "timerfd_create"]
+    print(f"You optimized: {', '.join(modified)}")
+    print("\nBest evaluation workloads (coverage, then popularity):")
+    for suggestion in workload_suggestions(
+            modified, study.footprints, study.popcon, limit=6):
+        print(f"  {suggestion.package:26s} "
+              f"installs={suggestion.install_probability:7.2%}  "
+              f"exercises {suggestion.coverage}/{len(modified)}: "
+              f"{', '.join(suggestion.apis_exercised)}")
+
+    plan = coverage_plan(modified, study.footprints, study.popcon)
+    print(f"\nMinimal suite covering all {len(modified)} calls "
+          f"({len(plan)} workloads):")
+    for suggestion in plan:
+        print(f"  {suggestion.package:26s} -> "
+              f"{', '.join(suggestion.apis_exercised)}")
+
+    print("\nDeprecation assessments:")
+    for api in ("nfsservctl", "kexec_load", "access", "read",
+                "remap_file_pages"):
+        impact = change_impact(api, study.footprints, study.popcon,
+                               study.repository)
+        print(f"  {api:18s} affected={impact.affected_installs:7.2%} "
+              f"users={len(impact.direct_users):3d}  "
+              f"-> {impact.verdict}")
+
+    print("\nSurvey-noise check (bootstrap, 95% CI):")
+    intervals = bootstrap_importance(
+        study.footprints, study.popcon,
+        apis=["kexec_load", "mbind", "nfsservctl"], n_boot=200)
+    for api, ci in intervals.items():
+        print(f"  {api:12s} importance {ci.point:7.3%} "
+              f"[{ci.low:7.3%}, {ci.high:7.3%}]  "
+              f"band {'stable' if ci.band_stable else 'UNSTABLE'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Generate and exercise seccomp sandboxes from measured footprints (§6).
+
+For a set of packages, compile each package's recovered system-call
+footprint into a seccomp-BPF whitelist, then *execute* the filters in
+the bundled BPF interpreter against a stream of synthetic syscall
+events — demonstrating that an application compromise is confined to
+the package's measured surface.
+
+Run with::
+
+    python examples/seccomp_sandbox.py [package ...]
+"""
+
+import sys
+
+from repro import Study
+from repro.security import SECCOMP_RET_ALLOW, generate_policy
+from repro.syscalls.table import SYSCALLS, number_of
+
+
+def main() -> None:
+    study = Study.small()
+    requested = sys.argv[1:] or ["coreutils", "qemu-user", "dash"]
+
+    for package in requested:
+        footprint = study.result.footprint_of(package)
+        if footprint.is_empty:
+            print(f"{package}: no ELF footprint (skipping)")
+            continue
+        policy = generate_policy(footprint)
+        program_len = len(policy.program)
+        print(f"\n=== {package} ===")
+        print(f"whitelisted syscalls : "
+              f"{len(policy.allowed_syscalls)}")
+        print(f"BPF program length   : {program_len} instructions")
+
+        # Simulate the kernel evaluating the filter for every defined
+        # syscall: the allowed set must be exactly the footprint.
+        allowed = 0
+        killed = 0
+        escapes = []
+        for entry in SYSCALLS:
+            verdict = policy.evaluate(entry.number)
+            if verdict == SECCOMP_RET_ALLOW:
+                allowed += 1
+                if entry.name not in policy.allowed_syscalls:
+                    escapes.append(entry.name)
+            else:
+                killed += 1
+        print(f"kernel simulation    : {allowed} allowed, "
+              f"{killed} killed, {len(escapes)} escapes")
+
+        # A compromised process trying the classic post-exploit moves:
+        for attack in ("execve", "ptrace", "init_module", "reboot"):
+            number = number_of(attack)
+            verdict = policy.evaluate(number)
+            outcome = ("ALLOWED (in footprint)"
+                       if verdict == SECCOMP_RET_ALLOW else "KILLED")
+            print(f"  attacker calls {attack:12s} -> {outcome}")
+
+
+if __name__ == "__main__":
+    main()

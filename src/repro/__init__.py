@@ -1,0 +1,54 @@
+"""repro — reproduction of "A Study of Modern Linux API Usage and
+Compatibility: What to Support When You're Supporting" (EuroSys 2016).
+
+The package builds a synthetic Ubuntu-like archive of real ELF
+binaries, statically analyzes every binary to recover per-package API
+footprints, and computes the paper's two metrics — API importance and
+weighted completeness — plus every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import Study
+    study = Study.small()
+    print(study.fig2_syscall_importance().rendered)
+    print(study.tab6_linux_systems().rendered)
+"""
+
+from .analysis import (
+    AnalysisDatabase,
+    AnalysisPipeline,
+    AnalysisResult,
+    BinaryAnalysis,
+    Footprint,
+)
+from .metrics import (
+    api_importance,
+    completeness_curve,
+    importance_table,
+    unweighted_importance_table,
+    weighted_completeness,
+)
+from .study import ExperimentOutput, Study
+from .synth import Ecosystem, EcosystemBuilder, EcosystemConfig, build_ecosystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisDatabase",
+    "AnalysisPipeline",
+    "AnalysisResult",
+    "BinaryAnalysis",
+    "Ecosystem",
+    "EcosystemBuilder",
+    "EcosystemConfig",
+    "ExperimentOutput",
+    "Footprint",
+    "Study",
+    "api_importance",
+    "build_ecosystem",
+    "completeness_curve",
+    "importance_table",
+    "unweighted_importance_table",
+    "weighted_completeness",
+    "__version__",
+]

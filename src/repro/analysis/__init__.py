@@ -1,0 +1,56 @@
+"""Static analysis: disassembly, call graphs, footprint extraction,
+cross-binary resolution, relational aggregation, and the whole-repo
+pipeline."""
+
+from .binary import BinaryAnalysis, RootEffects
+from .dynamic import (
+    DynamicTracer,
+    SyscallEvent,
+    Trace,
+    TraceError,
+    trace_executable,
+    validate_over_approximation,
+)
+from .signatures import Identification, SignatureIndex
+from .database import AnalysisDatabase
+from .disassembler import CallGraph, CallGraphBuilder, FunctionBody
+from .extract import FunctionEffects, extract_effects
+from .footprint import Footprint, PackageFootprint
+from .pipeline import AnalysisPipeline, AnalysisResult, BinaryTypeStats
+from .resolver import FootprintResolver, LibraryIndex
+from .string_extract import (
+    extract_pseudo_files,
+    is_pseudo_file_string,
+    normalize_pattern,
+    pseudo_files_of,
+)
+
+__all__ = [
+    "AnalysisDatabase",
+    "DynamicTracer",
+    "Identification",
+    "SignatureIndex",
+    "SyscallEvent",
+    "Trace",
+    "TraceError",
+    "trace_executable",
+    "validate_over_approximation",
+    "AnalysisPipeline",
+    "AnalysisResult",
+    "BinaryAnalysis",
+    "BinaryTypeStats",
+    "CallGraph",
+    "CallGraphBuilder",
+    "Footprint",
+    "FootprintResolver",
+    "FunctionBody",
+    "FunctionEffects",
+    "LibraryIndex",
+    "PackageFootprint",
+    "RootEffects",
+    "extract_effects",
+    "extract_pseudo_files",
+    "is_pseudo_file_string",
+    "normalize_pattern",
+    "pseudo_files_of",
+]

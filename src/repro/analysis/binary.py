@@ -1,0 +1,147 @@
+"""Whole-binary static analysis.
+
+Combines ELF parsing, call-graph discovery, per-function effect
+extraction, and string scanning into a single per-binary result that
+the cross-binary resolver consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..elf.reader import ElfReader
+from ..syscalls import fcntl_ops, ioctl, prctl_ops
+from ..syscalls.table import BY_NUMBER
+from .disassembler import CallGraph, CallGraphBuilder, FunctionBody
+from .extract import FunctionEffects, extract_effects
+from .string_extract import pseudo_files_of
+
+
+def _syscall_names(numbers: Set[int]) -> FrozenSet[str]:
+    names = set()
+    for number in numbers:
+        entry = BY_NUMBER.get(number)
+        if entry is not None:
+            names.add(entry.name)
+    return frozenset(names)
+
+
+def _opcode_names(codes: Set[int], table: Dict[int, object]) -> FrozenSet[str]:
+    names = set()
+    for code in codes:
+        entry = table.get(code)
+        names.add(entry.name if entry is not None else f"0x{code:x}")
+    return frozenset(names)
+
+
+@dataclass
+class RootEffects:
+    """Aggregated local effects reachable from one root (entry/export)."""
+
+    syscalls: FrozenSet[str] = frozenset()
+    ioctls: FrozenSet[str] = frozenset()
+    fcntls: FrozenSet[str] = frozenset()
+    prctls: FrozenSet[str] = frozenset()
+    called_imports: FrozenSet[str] = frozenset()
+    unresolved_sites: int = 0
+    unknown_syscall_numbers: FrozenSet[int] = frozenset()
+
+
+class BinaryAnalysis:
+    """Static analysis of a single ELF image."""
+
+    def __init__(self, elf: ElfReader, name: str = "") -> None:
+        self.elf = elf
+        self.name = name
+        self.soname = elf.soname()
+        self.needed = elf.needed_libraries()
+        self.imported = frozenset(elf.imported_function_names())
+        self.exported = frozenset(elf.exported_function_names())
+        self.pseudo_files = pseudo_files_of(elf)
+        self.is_shared_library = (
+            elf.header.is_shared_object and self.soname is not None)
+        self.graph: CallGraph = CallGraphBuilder(elf).build()
+        self._plt_map = elf.plt_map()
+        self._effects_cache: Dict[int, FunctionEffects] = {}
+        self._root_cache: Dict[int, RootEffects] = {}
+
+    @classmethod
+    def from_bytes(cls, data: bytes, name: str = "") -> "BinaryAnalysis":
+        return cls(ElfReader(data), name=name)
+
+    # --- roots --------------------------------------------------------------
+
+    def roots(self) -> Dict[str, int]:
+        """Analyzable roots: the entry point plus exported functions."""
+        return dict(self.graph.entry_points)
+
+    def entry_root(self) -> Optional[int]:
+        return self.graph.entry_points.get("_start")
+
+    def export_root(self, name: str) -> Optional[int]:
+        return self.graph.entry_points.get(name)
+
+    # --- effects --------------------------------------------------------
+
+    def _function_effects(self, addr: int) -> FunctionEffects:
+        cached = self._effects_cache.get(addr)
+        if cached is None:
+            body = self.graph.functions[addr]
+            cached = extract_effects(body, self._plt_map)
+            self._effects_cache[addr] = cached
+        return cached
+
+    def effects_from(self, root_addr: int) -> RootEffects:
+        """Local effects over everything reachable from ``root_addr``."""
+        cached = self._root_cache.get(root_addr)
+        if cached is not None:
+            return cached
+        numbers: Set[int] = set()
+        ioctl_codes: Set[int] = set()
+        fcntl_codes: Set[int] = set()
+        prctl_codes: Set[int] = set()
+        imports: Set[str] = set()
+        unresolved = 0
+        for addr in self.graph.reachable_from(root_addr):
+            effects = self._function_effects(addr)
+            numbers |= effects.syscall_numbers
+            ioctl_codes |= effects.ioctl_codes
+            fcntl_codes |= effects.fcntl_codes
+            prctl_codes |= effects.prctl_codes
+            imports |= effects.plt_calls
+            unresolved += (effects.unresolved_syscall_sites
+                           + effects.unresolved_vector_sites)
+        unknown = frozenset(n for n in numbers if n not in BY_NUMBER)
+        result = RootEffects(
+            syscalls=_syscall_names(numbers),
+            ioctls=_opcode_names(ioctl_codes, ioctl.BY_CODE),
+            fcntls=_opcode_names(fcntl_codes, fcntl_ops.BY_CODE),
+            prctls=_opcode_names(prctl_codes, prctl_ops.BY_CODE),
+            called_imports=frozenset(imports),
+            unresolved_sites=unresolved,
+            unknown_syscall_numbers=unknown,
+        )
+        self._root_cache[root_addr] = result
+        return result
+
+    def all_direct_syscalls(self) -> FrozenSet[str]:
+        """Syscalls with a raw call site anywhere in this binary.
+
+        Unlike :meth:`effects_from`, this ignores reachability: it
+        answers "does this file contain the instruction?", which is
+        what Table 1's library-only attribution needs.
+        """
+        numbers: Set[int] = set()
+        for addr in self.graph.functions:
+            effects = self._function_effects(addr)
+            numbers |= effects.raw_syscall_numbers
+        return _syscall_names(numbers)
+
+    def has_direct_syscalls(self) -> bool:
+        """Does any discovered function contain a syscall instruction?"""
+        for addr in self.graph.functions:
+            body = self.graph.functions[addr]
+            if any(insn.is_syscall_insn for insn in body.instructions):
+                return True
+        return False

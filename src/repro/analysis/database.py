@@ -1,0 +1,259 @@
+"""Relational storage and recursive aggregation (§7, Table 12).
+
+The original framework inserted all raw analysis data into PostgreSQL
+and used recursive SQL queries to aggregate footprints across the
+call graph.  This module mirrors that design on sqlite3 (stdlib):
+
+* raw per-export local effects and resolved cross-library call edges
+  are inserted as rows;
+* a recursive common-table-expression computes, per executable, the
+  transitive closure over library exports and unions their effects.
+
+The in-memory resolver (:mod:`repro.analysis.resolver`) computes the
+same result procedurally; tests assert both engines agree.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .footprint import Footprint
+
+_SCHEMA = """
+CREATE TABLE packages (
+    name TEXT PRIMARY KEY,
+    category TEXT NOT NULL DEFAULT 'misc'
+);
+CREATE TABLE package_dependencies (
+    package TEXT NOT NULL,
+    depends_on TEXT NOT NULL,
+    PRIMARY KEY (package, depends_on)
+);
+CREATE TABLE binaries (
+    id INTEGER PRIMARY KEY,
+    package TEXT NOT NULL,
+    name TEXT NOT NULL,
+    kind TEXT NOT NULL,            -- elf-executable / shared-library / ...
+    soname TEXT,
+    interpreter TEXT               -- script interpreter, if a script
+);
+CREATE TABLE binary_needed (
+    binary_id INTEGER NOT NULL,
+    soname TEXT NOT NULL
+);
+-- Local (intra-binary) effects reachable from an executable entry point.
+CREATE TABLE executable_effects (
+    binary_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,            -- syscall / ioctl / fcntl / prctl /
+                                   -- pseudofile / libcsym
+    value TEXT NOT NULL
+);
+-- Resolved call edges from an executable into library exports.
+CREATE TABLE executable_calls (
+    binary_id INTEGER NOT NULL,
+    callee_soname TEXT NOT NULL,
+    callee_export TEXT NOT NULL
+);
+-- Local effects reachable from one library export.
+CREATE TABLE export_effects (
+    soname TEXT NOT NULL,
+    export TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    value TEXT NOT NULL
+);
+-- Resolved call edges between library exports.
+CREATE TABLE export_calls (
+    soname TEXT NOT NULL,
+    export TEXT NOT NULL,
+    callee_soname TEXT NOT NULL,
+    callee_export TEXT NOT NULL
+);
+CREATE TABLE popcon (
+    package TEXT PRIMARY KEY,
+    installations INTEGER NOT NULL
+);
+CREATE INDEX idx_export_calls ON export_calls (soname, export);
+CREATE INDEX idx_export_effects ON export_effects (soname, export);
+CREATE INDEX idx_exec_calls ON executable_calls (binary_id);
+CREATE INDEX idx_exec_effects ON executable_effects (binary_id);
+"""
+
+_FOOTPRINT_KINDS = ("syscall", "ioctl", "fcntl", "prctl",
+                    "pseudofile", "libcsym")
+
+
+class AnalysisDatabase:
+    """sqlite3-backed footprint store with recursive aggregation."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self.connection.executescript(_SCHEMA)
+        self._next_binary_id = 1
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "AnalysisDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # --- inserts ------------------------------------------------------------
+
+    def add_package(self, name: str, category: str = "misc",
+                    depends: Iterable[str] = ()) -> None:
+        cur = self.connection
+        cur.execute("INSERT OR IGNORE INTO packages VALUES (?, ?)",
+                    (name, category))
+        cur.executemany(
+            "INSERT OR IGNORE INTO package_dependencies VALUES (?, ?)",
+            [(name, dep) for dep in depends])
+
+    def add_binary(self, package: str, name: str, kind: str,
+                   soname: Optional[str] = None,
+                   interpreter: Optional[str] = None,
+                   needed: Iterable[str] = ()) -> int:
+        binary_id = self._next_binary_id
+        self._next_binary_id += 1
+        self.connection.execute(
+            "INSERT INTO binaries VALUES (?, ?, ?, ?, ?, ?)",
+            (binary_id, package, name, kind, soname, interpreter))
+        self.connection.executemany(
+            "INSERT INTO binary_needed VALUES (?, ?)",
+            [(binary_id, s) for s in needed])
+        return binary_id
+
+    def add_executable_effects(self, binary_id: int,
+                               footprint: Footprint) -> None:
+        rows = _footprint_rows(footprint)
+        self.connection.executemany(
+            "INSERT INTO executable_effects VALUES (?, ?, ?)",
+            [(binary_id, kind, value) for kind, value in rows])
+
+    def add_executable_call(self, binary_id: int, soname: str,
+                            export: str) -> None:
+        self.connection.execute(
+            "INSERT INTO executable_calls VALUES (?, ?, ?)",
+            (binary_id, soname, export))
+
+    def add_export_effects(self, soname: str, export: str,
+                           footprint: Footprint) -> None:
+        rows = _footprint_rows(footprint)
+        self.connection.executemany(
+            "INSERT INTO export_effects VALUES (?, ?, ?, ?)",
+            [(soname, export, kind, value) for kind, value in rows])
+
+    def add_export_call(self, soname: str, export: str,
+                        callee_soname: str, callee_export: str) -> None:
+        self.connection.execute(
+            "INSERT INTO export_calls VALUES (?, ?, ?, ?)",
+            (soname, export, callee_soname, callee_export))
+
+    def set_popcon(self, package: str, installations: int) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO popcon VALUES (?, ?)",
+            (package, installations))
+
+    # --- recursive aggregation ----------------------------------------
+
+    def executable_footprint(self, binary_id: int) -> Footprint:
+        """Aggregate an executable's footprint with a recursive CTE.
+
+        This is the SQL twin of
+        :meth:`repro.analysis.resolver.FootprintResolver.resolve_executable`.
+        """
+        query = """
+        WITH RECURSIVE reached(soname, export) AS (
+            SELECT callee_soname, callee_export
+              FROM executable_calls WHERE binary_id = :bid
+            UNION
+            SELECT ec.callee_soname, ec.callee_export
+              FROM export_calls AS ec
+              JOIN reached AS r
+                ON ec.soname = r.soname AND ec.export = r.export
+        )
+        SELECT kind, value FROM executable_effects
+          WHERE binary_id = :bid
+        UNION
+        SELECT ee.kind, ee.value
+          FROM export_effects AS ee
+          JOIN reached AS r
+            ON ee.soname = r.soname AND ee.export = r.export
+        """
+        rows = self.connection.execute(
+            query, {"bid": binary_id}).fetchall()
+        return _rows_to_footprint(rows)
+
+    def export_footprint(self, soname: str, export: str) -> Footprint:
+        query = """
+        WITH RECURSIVE reached(soname, export) AS (
+            SELECT :soname, :export
+            UNION
+            SELECT ec.callee_soname, ec.callee_export
+              FROM export_calls AS ec
+              JOIN reached AS r
+                ON ec.soname = r.soname AND ec.export = r.export
+        )
+        SELECT ee.kind, ee.value
+          FROM export_effects AS ee
+          JOIN reached AS r
+            ON ee.soname = r.soname AND ee.export = r.export
+        """
+        rows = self.connection.execute(
+            query, {"soname": soname, "export": export}).fetchall()
+        return _rows_to_footprint(rows)
+
+    def package_footprint(self, package: str) -> Footprint:
+        """Union of the package's executables' footprints."""
+        rows = self.connection.execute(
+            "SELECT id FROM binaries WHERE package = ? AND kind IN "
+            "('elf-executable', 'elf-static')", (package,)).fetchall()
+        footprint = Footprint.EMPTY
+        for (binary_id,) in rows:
+            footprint = footprint | self.executable_footprint(binary_id)
+        return footprint
+
+    # --- statistics (Table 12) ------------------------------------------
+
+    def row_counts(self) -> Dict[str, int]:
+        tables = ("packages", "package_dependencies", "binaries",
+                  "binary_needed", "executable_effects",
+                  "executable_calls", "export_effects", "export_calls",
+                  "popcon")
+        counts = {}
+        for table in tables:
+            (count,) = self.connection.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()
+            counts[table] = count
+        return counts
+
+    def total_rows(self) -> int:
+        return sum(self.row_counts().values())
+
+
+def _footprint_rows(footprint: Footprint) -> List[Tuple[str, str]]:
+    rows: List[Tuple[str, str]] = []
+    rows += [("syscall", v) for v in footprint.syscalls]
+    rows += [("ioctl", v) for v in footprint.ioctls]
+    rows += [("fcntl", v) for v in footprint.fcntls]
+    rows += [("prctl", v) for v in footprint.prctls]
+    rows += [("pseudofile", v) for v in footprint.pseudo_files]
+    rows += [("libcsym", v) for v in footprint.libc_symbols]
+    return rows
+
+
+def _rows_to_footprint(rows: Iterable[Tuple[str, str]]) -> Footprint:
+    buckets: Dict[str, List[str]] = {kind: [] for kind in _FOOTPRINT_KINDS}
+    for kind, value in rows:
+        if kind in buckets:
+            buckets[kind].append(value)
+    return Footprint.build(
+        syscalls=buckets["syscall"],
+        ioctls=buckets["ioctl"],
+        fcntls=buckets["fcntl"],
+        prctls=buckets["prctl"],
+        pseudo_files=buckets["pseudofile"],
+        libc_symbols=buckets["libcsym"],
+    )

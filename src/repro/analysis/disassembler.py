@@ -1,0 +1,173 @@
+"""Function discovery and call-graph construction (§7).
+
+Mirrors the paper's whole-program call-graph analysis: starting from a
+binary's entry point and its exported functions, recursively discover
+function bodies, record direct calls (``call rel32``), calls through
+the PLT (resolved to imported symbol names), and — following the
+paper's over-approximation — treat any RIP-relative ``lea`` that forms
+a pointer into ``.text`` as a potential call to that address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..elf.reader import ElfReader
+from ..x86.decoder import decode
+from ..x86.instructions import Instruction, InsnKind
+
+
+@dataclass
+class FunctionBody:
+    """All instructions reachable inside one function."""
+
+    start: int
+    instructions: List[Instruction] = field(default_factory=list)
+    local_calls: Set[int] = field(default_factory=set)     # callee vaddrs
+    plt_calls: Set[str] = field(default_factory=set)       # imported names
+    pointer_targets: Set[int] = field(default_factory=set)  # lea'd code ptrs
+    has_indirect_call: bool = False
+
+    @property
+    def end(self) -> int:
+        if not self.instructions:
+            return self.start
+        return max(insn.end for insn in self.instructions)
+
+
+class CallGraph:
+    """Per-binary call graph over discovered functions."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[int, FunctionBody] = {}
+        self.entry_points: Dict[str, int] = {}  # name -> vaddr
+
+    def callees(self, addr: int,
+                follow_pointers: bool = True) -> FrozenSet[int]:
+        body = self.functions.get(addr)
+        if body is None:
+            return frozenset()
+        if follow_pointers:
+            # Pointer formation counts as a potential call (§7's
+            # over-approximation).
+            return frozenset(body.local_calls | body.pointer_targets)
+        return frozenset(body.local_calls)
+
+    def reachable_from(self, addr: int,
+                       follow_pointers: bool = True) -> FrozenSet[int]:
+        """Function addresses reachable from ``addr`` (inclusive).
+
+        ``follow_pointers=False`` disables the §7 function-pointer
+        over-approximation (used by the ablation benchmarks)."""
+        seen: Set[int] = set()
+        stack = [addr]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.functions:
+                continue
+            seen.add(current)
+            stack.extend(self.callees(current,
+                                      follow_pointers=follow_pointers))
+        return frozenset(seen)
+
+    def reachable_instructions(self, addr: int) -> List[Instruction]:
+        out: List[Instruction] = []
+        for fn_addr in sorted(self.reachable_from(addr)):
+            out.extend(self.functions[fn_addr].instructions)
+        return out
+
+    def reachable_plt_calls(self, addr: int) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for fn_addr in self.reachable_from(addr):
+            names |= self.functions[fn_addr].plt_calls
+        return frozenset(names)
+
+
+class CallGraphBuilder:
+    """Builds a :class:`CallGraph` from an :class:`ElfReader`."""
+
+    def __init__(self, elf: ElfReader) -> None:
+        self.elf = elf
+        self.text = elf.text()
+        self.text_vaddr = elf.text_vaddr()
+        self.text_end = self.text_vaddr + len(self.text)
+        self.plt_map = elf.plt_map()
+
+    def _in_text(self, vaddr: int) -> bool:
+        return self.text_vaddr <= vaddr < self.text_end
+
+    def build(self) -> CallGraph:
+        graph = CallGraph()
+        roots: List[Tuple[str, int]] = []
+        header = self.elf.header
+        if header.e_entry and self._in_text(header.e_entry):
+            roots.append(("_start", header.e_entry))
+        for symbol in self.elf.exported_symbols():
+            if symbol.is_function and self._in_text(symbol.st_value):
+                roots.append((symbol.name, symbol.st_value))
+
+        pending: List[int] = []
+        for name, addr in roots:
+            graph.entry_points[name] = addr
+            pending.append(addr)
+
+        while pending:
+            addr = pending.pop()
+            if addr in graph.functions:
+                continue
+            body = self._explore_function(addr)
+            graph.functions[addr] = body
+            for callee in body.local_calls | body.pointer_targets:
+                if callee not in graph.functions:
+                    pending.append(callee)
+        return graph
+
+    def _explore_function(self, start: int) -> FunctionBody:
+        """Intra-procedural traversal from ``start``.
+
+        Follows fall-through and branch targets; stops at returns and
+        at calls' continuations.  ``call`` targets become call-graph
+        edges rather than inline flow.
+        """
+        body = FunctionBody(start=start)
+        visited: Set[int] = set()
+        worklist = [start]
+        while worklist:
+            vaddr = worklist.pop()
+            if vaddr in visited or not self._in_text(vaddr):
+                continue
+            visited.add(vaddr)
+            insn = decode(self.text, vaddr - self.text_vaddr, vaddr)
+            body.instructions.append(insn)
+
+            if insn.kind == InsnKind.CALL_REL and insn.target is not None:
+                if insn.target in self.plt_map:
+                    body.plt_calls.add(self.plt_map[insn.target])
+                elif self._in_text(insn.target):
+                    body.local_calls.add(insn.target)
+                worklist.append(insn.end)
+            elif insn.kind == InsnKind.CALL_INDIRECT:
+                body.has_indirect_call = True
+                worklist.append(insn.end)
+            elif insn.kind == InsnKind.JMP_REL and insn.target is not None:
+                # Tail jumps into the PLT are tail calls.
+                if insn.target in self.plt_map:
+                    body.plt_calls.add(self.plt_map[insn.target])
+                elif self._in_text(insn.target):
+                    worklist.append(insn.target)
+            elif insn.kind == InsnKind.JCC_REL and insn.target is not None:
+                if self._in_text(insn.target):
+                    worklist.append(insn.target)
+                worklist.append(insn.end)
+            elif insn.is_terminator:
+                pass  # ret / hlt / indirect jmp: path ends
+            else:
+                if insn.kind == InsnKind.LEA_RIP and insn.target is not None:
+                    if self._in_text(insn.target):
+                        # Function-pointer formation: §7's
+                        # over-approximation treats it as a call.
+                        body.pointer_targets.add(insn.target)
+                worklist.append(insn.end)
+        body.instructions.sort(key=lambda i: i.address)
+        return body

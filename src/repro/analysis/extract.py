@@ -1,0 +1,174 @@
+"""Per-function effect extraction (§7).
+
+Recovers, from a discovered function body, the facts the study keys on:
+
+* direct system call sites (``syscall`` / ``int $0x80`` / ``sysenter``)
+  and the syscall number loaded into ``eax`` before each site;
+* vectored operation codes — the immediate loaded into the argument
+  register at ``ioctl`` / ``fcntl`` / ``prctl`` call sites (both libc
+  PLT calls and direct syscall instructions);
+* ``syscall(3)``-style indirect invocation: a PLT call to libc's
+  ``syscall`` with an immediate syscall number in ``edi``;
+* unresolved sites, where the number is produced by arithmetic or
+  arrives via a parameter — the paper reports 2,454 such sites (4%)
+  and treats them as underestimation (§2.4).
+
+The register model is deliberately simple, mirroring the paper's
+assumption that syscall numbers and opcodes are "fixed scalars in the
+binary": immediates propagate through ``mov`` chains, and any write we
+cannot model (or a call's clobber set) invalidates a register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..x86 import registers as R
+from ..x86.instructions import Instruction, InsnKind
+from .disassembler import FunctionBody
+
+# Registers an external call may clobber (System V AMD64 caller-saved).
+_CALLER_SAVED = (R.RAX, R.RCX, R.RDX, R.RSI, R.RDI,
+                 R.R8, R.R9, R.R10, R.R11)
+
+# Syscall numbers of the vectored calls (x86-64).
+_SYS_IOCTL = 16
+_SYS_FCNTL = 72
+_SYS_PRCTL = 157
+
+# libc wrapper name -> (vector kind, argument register holding opcode)
+_VECTOR_WRAPPERS = {
+    "ioctl": ("ioctl", R.RSI),
+    "fcntl": ("fcntl", R.RSI),
+    "fcntl64": ("fcntl", R.RSI),
+    "prctl": ("prctl", R.RDI),
+}
+
+
+@dataclass
+class FunctionEffects:
+    """Extraction result for one function body."""
+
+    address: int
+    syscall_numbers: Set[int] = field(default_factory=set)
+    # Subset of syscall_numbers observed at raw syscall instructions
+    # (as opposed to immediates at libc syscall() wrapper calls);
+    # Table 1's "only used directly by libraries" keys on this.
+    raw_syscall_numbers: Set[int] = field(default_factory=set)
+    ioctl_codes: Set[int] = field(default_factory=set)
+    fcntl_codes: Set[int] = field(default_factory=set)
+    prctl_codes: Set[int] = field(default_factory=set)
+    plt_calls: Set[str] = field(default_factory=set)
+    unresolved_syscall_sites: int = 0
+    unresolved_vector_sites: int = 0
+
+    def vector_codes(self, kind: str) -> Set[int]:
+        return {"ioctl": self.ioctl_codes,
+                "fcntl": self.fcntl_codes,
+                "prctl": self.prctl_codes}[kind]
+
+
+class _RegisterState:
+    """Forward immediate propagation over one function."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {}
+
+    def get(self, reg: int) -> Optional[int]:
+        return self._values.get(reg)
+
+    def apply(self, insn: Instruction) -> None:
+        kind = insn.kind
+        if kind == InsnKind.MOV_IMM_REG and insn.reg is not None:
+            self._values[insn.reg] = insn.imm
+        elif kind == InsnKind.XOR_REG_REG and insn.reg is not None:
+            self._values[insn.reg] = 0
+        elif kind == InsnKind.MOV_REG_REG:
+            source = self._values.get(insn.src_reg)
+            if source is None:
+                self._values.pop(insn.reg, None)
+            else:
+                self._values[insn.reg] = source
+        elif kind in (InsnKind.LEA_RIP, InsnKind.POP):
+            if insn.reg is not None:
+                self._values.pop(insn.reg, None)
+        elif kind in (InsnKind.ADD_SUB_IMM, InsnKind.ALU_REG_REG,
+                      InsnKind.MOVZX, InsnKind.SHIFT_IMM,
+                      InsnKind.INC_DEC):
+            if insn.reg is not None:
+                self._values.pop(insn.reg, None)
+        elif kind in (InsnKind.CALL_REL, InsnKind.CALL_INDIRECT):
+            for reg in _CALLER_SAVED:
+                self._values.pop(reg, None)
+
+
+def extract_effects(body: FunctionBody,
+                    plt_map: Dict[int, str]) -> FunctionEffects:
+    """Extract system-API effects from one function.
+
+    ``plt_map`` maps PLT stub virtual addresses to imported symbol
+    names (from :meth:`ElfReader.plt_map`).
+    """
+    effects = FunctionEffects(address=body.start)
+    state = _RegisterState()
+    for insn in body.instructions:  # address order
+        if insn.is_syscall_insn:
+            _record_direct_syscall(effects, state)
+        elif insn.kind == InsnKind.CALL_REL and insn.target in plt_map:
+            name = plt_map[insn.target]
+            effects.plt_calls.add(name)
+            _record_wrapper_call(effects, state, name)
+        elif (insn.kind == InsnKind.JMP_REL and insn.target in plt_map):
+            name = plt_map[insn.target]
+            effects.plt_calls.add(name)
+            _record_wrapper_call(effects, state, name)
+        state.apply(insn)
+    return effects
+
+
+def _record_direct_syscall(effects: FunctionEffects,
+                           state: _RegisterState) -> None:
+    number = state.get(R.RAX)
+    if number is None:
+        effects.unresolved_syscall_sites += 1
+        return
+    effects.syscall_numbers.add(number)
+    effects.raw_syscall_numbers.add(number)
+    if number == _SYS_IOCTL:
+        _record_vector(effects, state, "ioctl", R.RSI)
+    elif number == _SYS_FCNTL:
+        _record_vector(effects, state, "fcntl", R.RSI)
+    elif number == _SYS_PRCTL:
+        _record_vector(effects, state, "prctl", R.RDI)
+
+
+def _record_wrapper_call(effects: FunctionEffects, state: _RegisterState,
+                         name: str) -> None:
+    if name == "syscall":
+        number = state.get(R.RDI)
+        if number is None:
+            effects.unresolved_syscall_sites += 1
+        else:
+            effects.syscall_numbers.add(number)
+            # syscall(SYS_ioctl, fd, op): opcode shifts to arg2 (rdx).
+            if number == _SYS_IOCTL:
+                _record_vector(effects, state, "ioctl", R.RDX)
+            elif number == _SYS_FCNTL:
+                _record_vector(effects, state, "fcntl", R.RDX)
+            elif number == _SYS_PRCTL:
+                _record_vector(effects, state, "prctl", R.RSI)
+        return
+    wrapper = _VECTOR_WRAPPERS.get(name)
+    if wrapper is not None:
+        kind, reg = wrapper
+        _record_vector(effects, state, kind, reg)
+
+
+def _record_vector(effects: FunctionEffects, state: _RegisterState,
+                   kind: str, reg: int) -> None:
+    code = state.get(reg)
+    if code is None:
+        effects.unresolved_vector_sites += 1
+    else:
+        effects.vector_codes(kind).add(code)

@@ -1,0 +1,104 @@
+"""API footprint model (§2).
+
+A footprint records every system API a binary (or package) could
+invoke: system calls, vectored operation codes, hard-coded pseudo-file
+paths, and imported libc symbols.  Footprints form a join-semilattice
+under :meth:`Footprint.union`, which is how per-binary results
+aggregate into per-package and per-installation views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, FrozenSet, Iterable, Mapping
+
+
+def _fs(items: Iterable[str]) -> FrozenSet[str]:
+    return frozenset(items)
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The set of system APIs an artifact can reach."""
+
+    syscalls: FrozenSet[str] = frozenset()
+    ioctls: FrozenSet[str] = frozenset()        # opcode names
+    fcntls: FrozenSet[str] = frozenset()
+    prctls: FrozenSet[str] = frozenset()
+    pseudo_files: FrozenSet[str] = frozenset()  # /proc, /dev, /sys paths
+    libc_symbols: FrozenSet[str] = frozenset()  # imported libc functions
+    unresolved_sites: int = 0                    # §2.4: dataflow failures
+
+    # Shared empty sentinel, populated after the class definition.
+    EMPTY: ClassVar["Footprint"]
+
+    @classmethod
+    def build(cls, syscalls: Iterable[str] = (),
+              ioctls: Iterable[str] = (),
+              fcntls: Iterable[str] = (),
+              prctls: Iterable[str] = (),
+              pseudo_files: Iterable[str] = (),
+              libc_symbols: Iterable[str] = (),
+              unresolved_sites: int = 0) -> "Footprint":
+        return cls(_fs(syscalls), _fs(ioctls), _fs(fcntls), _fs(prctls),
+                   _fs(pseudo_files), _fs(libc_symbols), unresolved_sites)
+
+    def union(self, other: "Footprint") -> "Footprint":
+        return Footprint(
+            self.syscalls | other.syscalls,
+            self.ioctls | other.ioctls,
+            self.fcntls | other.fcntls,
+            self.prctls | other.prctls,
+            self.pseudo_files | other.pseudo_files,
+            self.libc_symbols | other.libc_symbols,
+            self.unresolved_sites + other.unresolved_sites,
+        )
+
+    def __or__(self, other: "Footprint") -> "Footprint":
+        return self.union(other)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.syscalls or self.ioctls or self.fcntls
+                    or self.prctls or self.pseudo_files
+                    or self.libc_symbols)
+
+    def api_set(self) -> FrozenSet[str]:
+        """All APIs as namespaced identifiers (for mixed-type metrics).
+
+        System calls are unprefixed (matching the paper's tables);
+        other API types carry a ``type:`` prefix.
+        """
+        return frozenset(
+            list(self.syscalls)
+            + [f"ioctl:{op}" for op in self.ioctls]
+            + [f"fcntl:{op}" for op in self.fcntls]
+            + [f"prctl:{op}" for op in self.prctls]
+            + [f"pseudofile:{path}" for path in self.pseudo_files]
+            + [f"libc:{name}" for name in self.libc_symbols]
+        )
+
+    def requires_only(self, supported_syscalls: Iterable[str]) -> bool:
+        """True when every syscall in this footprint is supported."""
+        return self.syscalls <= frozenset(supported_syscalls)
+
+    def restrict_syscalls(self) -> FrozenSet[str]:
+        return self.syscalls
+
+
+# Sentinel empty footprint (shared instance).
+Footprint.EMPTY = Footprint()
+
+
+@dataclass
+class PackageFootprint:
+    """A package's aggregated footprint plus provenance."""
+
+    package: str
+    footprint: Footprint = field(default_factory=lambda: Footprint.EMPTY)
+    per_executable: Mapping[str, Footprint] = field(default_factory=dict)
+
+    def merged_with(self, other: Footprint) -> "PackageFootprint":
+        return PackageFootprint(self.package,
+                                self.footprint | other,
+                                dict(self.per_executable))

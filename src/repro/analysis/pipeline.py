@@ -1,0 +1,295 @@
+"""Whole-repository analysis pipeline (§2.3, §7).
+
+Drives the full study over a package repository:
+
+1. statically analyze every ELF artifact (disassembly, call graph,
+   effect extraction, string scan);
+2. index shared libraries by SONAME and resolve cross-library
+   footprints from every executable's entry point;
+3. approximate interpreted scripts by their interpreter's footprint
+   (§2.3: "the system call footprint of the interpreter ...
+   over-approximates the expected footprint of the application");
+4. aggregate per-package footprints as the union over the package's
+   standalone executables;
+5. optionally mirror everything into the relational store
+   (:class:`repro.analysis.database.AnalysisDatabase`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..packages.package import BinaryArtifact, BinaryKind, Package
+from ..packages.repository import Repository
+from .binary import BinaryAnalysis
+from .database import AnalysisDatabase
+from .footprint import Footprint
+from .resolver import FootprintResolver, LibraryIndex
+
+
+@dataclass
+class BinaryTypeStats:
+    """Figure 1 input: how executables in the repository execute."""
+
+    elf_binaries: int = 0
+    elf_static: int = 0
+    elf_shared_libraries: int = 0
+    elf_dynamic_executables: int = 0
+    scripts_by_interpreter: Counter = field(default_factory=Counter)
+
+    @property
+    def total_executables(self) -> int:
+        return (self.elf_binaries
+                + sum(self.scripts_by_interpreter.values()))
+
+    def fraction(self, count: int) -> float:
+        total = self.total_executables
+        return count / total if total else 0.0
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the metrics layer consumes.
+
+    ``package_footprints`` holds the *executable-based* footprint used
+    for weighted completeness (what a package's programs actually
+    reach).  ``package_full_footprints`` additionally unions the whole
+    surface of shared libraries the package *owns* — this is what makes
+    library-bound syscalls (Table 1) as important as their owning
+    package is popular, and it drives API importance.
+    """
+
+    package_footprints: Dict[str, Footprint]
+    package_full_footprints: Dict[str, Footprint]
+    binary_footprints: Dict[Tuple[str, str], Footprint]
+    type_stats: BinaryTypeStats
+    library_index: LibraryIndex
+    unresolved_sites: int
+    binaries_with_direct_syscalls: int
+    binaries_analyzed: int
+    # Raw per-binary syscall instruction sites (Table 1 attribution):
+    # (package, artifact) -> syscall names with a literal call site.
+    direct_syscalls_by_binary: Dict[Tuple[str, str], FrozenSet[str]] = (
+        field(default_factory=dict))
+    library_binaries: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def footprint_of(self, package: str) -> Footprint:
+        return self.package_footprints.get(package, Footprint.EMPTY)
+
+    def full_footprint_of(self, package: str) -> Footprint:
+        return self.package_full_footprints.get(package, Footprint.EMPTY)
+
+    def syscall_signature_stats(self) -> Tuple[int, int]:
+        """(distinct footprints, packages with a unique footprint) — §6."""
+        signatures = Counter(
+            frozenset(fp.syscalls)
+            for fp in self.package_footprints.values())
+        distinct = len(signatures)
+        unique = sum(1 for count in signatures.values() if count == 1)
+        return distinct, unique
+
+
+class AnalysisPipeline:
+    """Orchestrates the study over one repository."""
+
+    def __init__(self, repository: Repository,
+                 interpreters: Optional[Mapping[str, str]] = None) -> None:
+        """``interpreters`` maps interpreter keys (e.g. ``"python"``)
+        to the package providing that interpreter.  When omitted, the
+        pipeline infers the mapping from executable file names."""
+        self.repository = repository
+        self._interpreters = dict(interpreters or {})
+
+    # --- main entry -----------------------------------------------------
+
+    def run(self, database: Optional[AnalysisDatabase] = None,
+            ) -> AnalysisResult:
+        index = LibraryIndex()
+        analyses: Dict[Tuple[str, str], BinaryAnalysis] = {}
+        type_stats = BinaryTypeStats()
+
+        for package in self.repository:
+            for artifact in package.artifacts:
+                self._count_artifact(type_stats, artifact)
+                if not artifact.is_elf:
+                    continue
+                analysis = BinaryAnalysis.from_bytes(
+                    artifact.data, name=f"{package.name}:{artifact.name}")
+                analyses[(package.name, artifact.name)] = analysis
+                if analysis.is_shared_library:
+                    index.add(analysis)
+
+        resolver = FootprintResolver(index)
+        binary_footprints: Dict[Tuple[str, str], Footprint] = {}
+        package_footprints: Dict[str, Footprint] = {}
+        package_full_footprints: Dict[str, Footprint] = {}
+        unresolved = 0
+        direct_syscall_binaries = 0
+
+        direct_by_binary: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        library_binaries = set()
+        for package in self.repository:
+            footprint = Footprint.EMPTY
+            library_extra = Footprint.EMPTY
+            for artifact in package.artifacts:
+                key = (package.name, artifact.name)
+                analysis = analyses.get(key)
+                if analysis is None:
+                    continue
+                direct = analysis.all_direct_syscalls()
+                if direct:
+                    direct_by_binary[key] = direct
+                    direct_syscall_binaries += 1
+                if analysis.is_shared_library:
+                    library_binaries.add(key)
+                if artifact.is_executable:
+                    resolved = resolver.resolve_executable(analysis)
+                    binary_footprints[key] = resolved
+                    footprint = footprint | resolved
+                else:
+                    # A shared library's own surface: every export's
+                    # resolved footprint plus its hard-coded strings.
+                    library_extra = library_extra | Footprint.build(
+                        pseudo_files=analysis.pseudo_files)
+                    if analysis.soname:
+                        for export in analysis.exported:
+                            library_extra = (
+                                library_extra | resolver.resolve_export(
+                                    analysis.soname, export))
+            package_footprints[package.name] = footprint
+            package_full_footprints[package.name] = (
+                footprint | library_extra)
+
+        # Interpreted scripts: approximate by the interpreter package.
+        interpreter_packages = self._interpreter_packages()
+        for package in self.repository:
+            extra = Footprint.EMPTY
+            for artifact in package.artifacts:
+                if artifact.kind != BinaryKind.SCRIPT:
+                    continue
+                provider = interpreter_packages.get(artifact.interpreter)
+                if provider is None:
+                    continue
+                extra = extra | package_footprints.get(
+                    provider, Footprint.EMPTY)
+            if not extra.is_empty:
+                package_footprints[package.name] = (
+                    package_footprints[package.name] | extra)
+                package_full_footprints[package.name] = (
+                    package_full_footprints[package.name] | extra)
+
+        unresolved = sum(fp.unresolved_sites
+                         for fp in binary_footprints.values())
+        result = AnalysisResult(
+            package_footprints=package_footprints,
+            package_full_footprints=package_full_footprints,
+            binary_footprints=binary_footprints,
+            type_stats=type_stats,
+            library_index=index,
+            unresolved_sites=unresolved,
+            binaries_with_direct_syscalls=direct_syscall_binaries,
+            binaries_analyzed=len(analyses),
+            direct_syscalls_by_binary=direct_by_binary,
+            library_binaries=frozenset(library_binaries),
+        )
+        if database is not None:
+            self._populate_database(database, analyses, resolver,
+                                    binary_footprints)
+        return result
+
+    # --- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _count_artifact(stats: BinaryTypeStats,
+                        artifact: BinaryArtifact) -> None:
+        if artifact.kind == BinaryKind.SCRIPT:
+            stats.scripts_by_interpreter[artifact.interpreter or "?"] += 1
+            return
+        stats.elf_binaries += 1
+        if artifact.kind == BinaryKind.ELF_STATIC:
+            stats.elf_static += 1
+        elif artifact.kind == BinaryKind.SHARED_LIBRARY:
+            stats.elf_shared_libraries += 1
+        else:
+            stats.elf_dynamic_executables += 1
+
+    def _interpreter_packages(self) -> Dict[str, str]:
+        if self._interpreters:
+            return self._interpreters
+        inferred: Dict[str, str] = {}
+        for package in self.repository:
+            for artifact in package.executables():
+                basename = artifact.name.rsplit("/", 1)[-1]
+                inferred.setdefault(basename, package.name)
+        return inferred
+
+    def _populate_database(
+        self,
+        database: AnalysisDatabase,
+        analyses: Dict[Tuple[str, str], BinaryAnalysis],
+        resolver: FootprintResolver,
+        binary_footprints: Dict[Tuple[str, str], Footprint],
+    ) -> None:
+        """Mirror raw effects and resolved call edges into SQL."""
+        for package in self.repository:
+            database.add_package(package.name, package.category,
+                                 package.depends)
+        for (pkg_name, artifact_name), analysis in analyses.items():
+            package = self.repository.get(pkg_name)
+            artifact = package.artifact(artifact_name)
+            binary_id = database.add_binary(
+                pkg_name, artifact_name, artifact.kind.value,
+                soname=analysis.soname,
+                needed=analysis.needed)
+            if analysis.is_shared_library:
+                self._insert_library(database, analysis, resolver)
+            elif artifact.is_executable:
+                self._insert_executable(database, binary_id, analysis,
+                                        resolver)
+
+    def _insert_executable(self, database: AnalysisDatabase,
+                           binary_id: int, analysis: BinaryAnalysis,
+                           resolver: FootprintResolver) -> None:
+        entry = analysis.entry_root()
+        local = Footprint.build(pseudo_files=analysis.pseudo_files)
+        imports: FrozenSet[str] = frozenset()
+        if entry is not None:
+            effects = analysis.effects_from(entry)
+            local = local | Footprint.build(
+                syscalls=effects.syscalls, ioctls=effects.ioctls,
+                fcntls=effects.fcntls, prctls=effects.prctls)
+            imports = effects.called_imports
+        else:
+            imports = analysis.imported
+        database.add_executable_effects(binary_id, local)
+        for symbol in imports:
+            provider = resolver.find_provider(analysis, symbol)
+            if provider is not None:
+                database.add_executable_call(binary_id, provider, symbol)
+                if provider == "libc.so.6":
+                    database.add_executable_effects(
+                        binary_id, Footprint.build(libc_symbols=[symbol]))
+
+    def _insert_library(self, database: AnalysisDatabase,
+                        analysis: BinaryAnalysis,
+                        resolver: FootprintResolver) -> None:
+        soname = analysis.soname
+        for export in sorted(analysis.exported):
+            root = analysis.export_root(export)
+            if root is None:
+                continue
+            effects = analysis.effects_from(root)
+            database.add_export_effects(soname, export, Footprint.build(
+                syscalls=effects.syscalls, ioctls=effects.ioctls,
+                fcntls=effects.fcntls, prctls=effects.prctls))
+            for symbol in effects.called_imports:
+                provider = resolver.find_provider(analysis, symbol)
+                if provider is not None:
+                    database.add_export_call(soname, export, provider,
+                                             symbol)
+                    if provider == "libc.so.6":
+                        database.add_export_effects(
+                            soname, export,
+                            Footprint.build(libc_symbols=[symbol]))

@@ -1,0 +1,165 @@
+"""Cross-binary footprint resolution (§7).
+
+A binary's API footprint includes system calls it can reach *through*
+the shared libraries it links: "for each library function that calls
+another library call, recursively trace the call graph and aggregate
+the results".  This module implements that recursion over a library
+index keyed by SONAME, with memoization and cycle-cutting.
+
+Imported symbols that resolve into libc are additionally recorded in
+the ``libc_symbols`` footprint dimension — that is the data behind the
+libc study (§3.5) and the libc-variant comparison (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .binary import BinaryAnalysis, RootEffects
+from .footprint import Footprint
+
+LIBC_SONAME = "libc.so.6"
+LD_SO_SONAME = "ld-linux-x86-64.so.2"
+LD_SO_ENTRY_EXPORT = "_dl_start"
+
+
+class LibraryIndex:
+    """SONAME → analyzed shared library."""
+
+    def __init__(self) -> None:
+        self._by_soname: Dict[str, BinaryAnalysis] = {}
+        self._export_index: Dict[str, List[str]] = {}
+
+    def add(self, analysis: BinaryAnalysis) -> None:
+        if not analysis.soname:
+            raise ValueError(f"{analysis.name}: shared library lacks SONAME")
+        self._by_soname[analysis.soname] = analysis
+        for name in analysis.exported:
+            self._export_index.setdefault(name, []).append(analysis.soname)
+
+    def get(self, soname: str) -> Optional[BinaryAnalysis]:
+        return self._by_soname.get(soname)
+
+    def __contains__(self, soname: str) -> bool:
+        return soname in self._by_soname
+
+    def sonames(self) -> List[str]:
+        return list(self._by_soname)
+
+    def providers_of(self, symbol: str) -> List[str]:
+        return self._export_index.get(symbol, [])
+
+
+class FootprintResolver:
+    """Resolves full footprints across library boundaries."""
+
+    def __init__(self, index: LibraryIndex,
+                 include_interpreter_runtime: bool = False) -> None:
+        """``include_interpreter_runtime`` folds the dynamic linker's
+        startup footprint into every PT_INTERP executable.  The paper's
+        per-package footprints attribute ld.so's own system calls to
+        the loader's package, not to every application (compare Table 5
+        with Table 8's ``access`` at 74%), so this defaults to off."""
+        self.index = index
+        self.include_interpreter_runtime = include_interpreter_runtime
+        # (soname, export) -> resolved footprint
+        self._memo: Dict[Tuple[str, str], Footprint] = {}
+        self._in_progress: Set[Tuple[str, str]] = set()
+
+    # --- public API --------------------------------------------------
+
+    def resolve_executable(self, analysis: BinaryAnalysis) -> Footprint:
+        """Full footprint of an executable from its entry point."""
+        entry = analysis.entry_root()
+        footprint = Footprint.build(
+            pseudo_files=analysis.pseudo_files)
+        # Optionally fold in the dynamic linker's startup syscalls for
+        # PT_INTERP executables (see __init__).
+        if (self.include_interpreter_runtime
+                and analysis.elf.interpreter() is not None):
+            footprint = footprint | self.resolve_export(
+                LD_SO_SONAME, LD_SO_ENTRY_EXPORT)
+        if entry is None:
+            # Static data-only or unanalyzable: imports still resolve.
+            for symbol in analysis.imported:
+                footprint = footprint | self._resolve_import(
+                    analysis, symbol)
+            return footprint
+        effects = analysis.effects_from(entry)
+        footprint = footprint | self._effects_to_footprint(effects)
+        for symbol in effects.called_imports:
+            footprint = footprint | self._resolve_import(analysis, symbol)
+        return footprint
+
+    def resolve_export(self, soname: str, symbol: str) -> Footprint:
+        """Footprint of calling ``symbol`` exported by ``soname``."""
+        key = (soname, symbol)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return Footprint.EMPTY  # cycle: contributes nothing new
+        library = self.index.get(soname)
+        if library is None:
+            return Footprint.EMPTY
+        root = library.export_root(symbol)
+        if root is None:
+            return Footprint.EMPTY
+        self._in_progress.add(key)
+        try:
+            effects = library.effects_from(root)
+            footprint = self._effects_to_footprint(effects)
+            for imported in effects.called_imports:
+                footprint = footprint | self._resolve_import(
+                    library, imported)
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = footprint
+        return footprint
+
+    # --- internals ------------------------------------------------------
+
+    @staticmethod
+    def _effects_to_footprint(effects: RootEffects) -> Footprint:
+        return Footprint.build(
+            syscalls=effects.syscalls,
+            ioctls=effects.ioctls,
+            fcntls=effects.fcntls,
+            prctls=effects.prctls,
+            unresolved_sites=effects.unresolved_sites,
+        )
+
+    def find_provider(self, analysis: BinaryAnalysis,
+                      symbol: str) -> Optional[str]:
+        """Locate the library providing ``symbol``.
+
+        Search order mirrors the dynamic linker: the binary's DT_NEEDED
+        list breadth-first through transitive dependencies.
+        """
+        seen: Set[str] = set()
+        queue = list(analysis.needed)
+        while queue:
+            soname = queue.pop(0)
+            if soname in seen:
+                continue
+            seen.add(soname)
+            library = self.index.get(soname)
+            if library is None:
+                continue
+            if symbol in library.exported:
+                return soname
+            queue.extend(library.needed)
+        # Fall back to a global search (ld.so would fail here, but for
+        # analysis purposes any provider is better than dropping data).
+        providers = self.index.providers_of(symbol)
+        return providers[0] if providers else None
+
+    def _resolve_import(self, analysis: BinaryAnalysis,
+                        symbol: str) -> Footprint:
+        provider = self.find_provider(analysis, symbol)
+        if provider is None:
+            return Footprint.EMPTY
+        footprint = self.resolve_export(provider, symbol)
+        if provider == LIBC_SONAME:
+            footprint = footprint | Footprint.build(libc_symbols=[symbol])
+        return footprint

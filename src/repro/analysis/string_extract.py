@@ -1,0 +1,52 @@
+"""Hard-coded pseudo-file path extraction (§3.4).
+
+The paper finds pseudo-file usage by scanning binaries for string
+constants naming ``/proc``, ``/dev``, and ``/sys`` paths, including
+printf-style patterns like ``"/proc/%d/cmdline"`` used with
+``sprintf``.  This module implements that scan over a parsed ELF image.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List
+
+from ..elf.reader import ElfReader
+
+_PSEUDO_PREFIXES = ("/proc", "/dev", "/sys")
+
+# A path component: ordinary characters or a printf placeholder.
+_PATH_RE = re.compile(
+    r"^/(?:proc|dev|sys)(?:/(?:[A-Za-z0-9._+:-]|%[dsulx])+)*/?$")
+
+
+def is_pseudo_file_string(text: str) -> bool:
+    """True when ``text`` names (or patterns over) a pseudo file."""
+    if not text.startswith(_PSEUDO_PREFIXES):
+        return False
+    return bool(_PATH_RE.match(text))
+
+
+def normalize_pattern(text: str) -> str:
+    """Canonicalize printf placeholders so patterns compare equal.
+
+    ``/proc/%d/stat`` and ``/proc/%u/stat`` address the same kernel
+    surface; both normalize to ``/proc/%d/stat``.  Trailing slashes
+    are dropped.
+    """
+    text = text.rstrip("/") or text
+    return re.sub(r"%[dsulx]", "%d", text)
+
+
+def extract_pseudo_files(strings: Iterable[str]) -> FrozenSet[str]:
+    """Filter a string dump down to normalized pseudo-file paths."""
+    found = set()
+    for text in strings:
+        if is_pseudo_file_string(text):
+            found.add(normalize_pattern(text))
+    return frozenset(found)
+
+
+def pseudo_files_of(elf: ElfReader) -> FrozenSet[str]:
+    """Extract pseudo-file references from an ELF image's data."""
+    return extract_pseudo_files(elf.strings())

@@ -1,0 +1,262 @@
+"""Command-line interface: ``repro-analyze``.
+
+Runs the study and prints selected tables/figures, generates seccomp
+policies, or evaluates a custom system described by a syscall list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .metrics import weighted_completeness
+from .study import Study
+from .synth import EcosystemConfig
+
+_EXPERIMENTS = {
+    "fig1": "fig1_binary_types",
+    "fig2": "fig2_syscall_importance",
+    "tab1": "tab1_library_only_syscalls",
+    "tab2": "tab2_single_package_syscalls",
+    "tab3": "tab3_unused_syscalls",
+    "fig3": "fig3_completeness_curve",
+    "tab4": "tab4_stages",
+    "fig4": "fig4_ioctl",
+    "fig5": "fig5_fcntl_prctl",
+    "fig6": "fig6_pseudo_files",
+    "fig7": "fig7_libc_importance",
+    "strip": "libc_strip_analysis",
+    "tab5": "tab5_startup_syscalls",
+    "tab6": "tab6_linux_systems",
+    "tab7": "tab7_libc_variants",
+    "fig8": "fig8_unweighted",
+    "tab8": "tab8_secure_variants",
+    "tab9": "tab9_old_new",
+    "tab10": "tab10_portability",
+    "tab11": "tab11_power",
+    "adoption": "adoption",
+    "tab12": "tab12_framework_stats",
+    "surface": "attack_surface",
+    "decomposition": "libc_decomposition",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Reproduce the EuroSys'16 Linux API usage study.")
+    parser.add_argument("--fillers", type=int, default=200,
+                        help="number of filler packages to synthesize")
+    parser.add_argument("--drivers", type=int, default=30,
+                        help="number of driver-utility packages")
+    parser.add_argument("--scripts", type=int, default=250,
+                        help="number of script packages")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="ecosystem generation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="print tables/figures from the paper")
+    report.add_argument(
+        "experiments", nargs="*", default=[],
+        help=f"which to print (default: all); "
+             f"choices: {', '.join(_EXPERIMENTS)}")
+    report.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each experiment's output to DIR/<name>.txt")
+
+    seccomp = sub.add_parser(
+        "seccomp", help="generate a seccomp policy for a package")
+    seccomp.add_argument("package", help="package name")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="weighted completeness of a syscall list")
+    evaluate.add_argument(
+        "syscalls", help="comma-separated supported syscall names, "
+                         "or @file with one name per line")
+
+    sub.add_parser("packages", help="list synthesized packages")
+
+    trace = sub.add_parser(
+        "trace", help="dynamically execute a package's binary and "
+                      "print its syscall trace (strace-like)")
+    trace.add_argument("package", help="package name")
+    trace.add_argument("--limit", type=int, default=40,
+                       help="events to print")
+
+    identify = sub.add_parser(
+        "identify", help="identify a package from an observed "
+                         "syscall list (footprint signatures, §6)")
+    identify.add_argument(
+        "syscalls", help="comma-separated observed syscall names, "
+                         "or @file with one name per line")
+
+    disasm = sub.add_parser(
+        "disasm", help="disassemble a package's first executable")
+    disasm.add_argument("package", help="package name")
+    disasm.add_argument("--limit", type=int, default=60,
+                        help="instructions to print")
+
+    drift = sub.add_parser(
+        "drift", help="simulate a later release and diff API usage")
+    drift.add_argument("--shift", type=float, default=0.35,
+                       help="fraction of legacy-API users migrated")
+    return parser
+
+
+def _study_for(args: argparse.Namespace) -> Study:
+    return Study.default(EcosystemConfig(
+        n_filler_packages=args.fillers,
+        n_driver_packages=args.drivers,
+        n_script_packages=args.scripts,
+        seed=args.seed,
+    ))
+
+
+def _read_syscall_list(spec: str) -> List[str]:
+    if spec.startswith("@"):
+        with open(spec[1:], "r", encoding="utf-8") as handle:
+            return [line.strip() for line in handle
+                    if line.strip() and not line.startswith("#")]
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    study = _study_for(args)
+
+    if args.command == "report":
+        names = args.experiments or list(_EXPERIMENTS)
+        unknown = [n for n in names if n not in _EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        save_dir = None
+        if args.save:
+            import pathlib
+            save_dir = pathlib.Path(args.save)
+            save_dir.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            output = getattr(study, _EXPERIMENTS[name])()
+            print(output.rendered)
+            print()
+            if save_dir is not None:
+                (save_dir / f"{name}.txt").write_text(
+                    output.rendered + "\n", encoding="utf-8")
+        return 0
+
+    if args.command == "seccomp":
+        if args.package not in study.repository:
+            print(f"unknown package: {args.package}", file=sys.stderr)
+            return 2
+        print(study.seccomp_policy(args.package).rendered)
+        return 0
+
+    if args.command == "evaluate":
+        supported = _read_syscall_list(args.syscalls)
+        completeness = weighted_completeness(
+            supported, study.footprints, study.popcon,
+            study.repository)
+        print(f"supported syscalls : {len(supported)}")
+        print(f"weighted completeness : {completeness:.4%}")
+        return 0
+
+    if args.command == "trace":
+        if args.package not in study.repository:
+            print(f"unknown package: {args.package}", file=sys.stderr)
+            return 2
+        trace = study.trace_package(args.package)
+        print(trace.render(limit=args.limit))
+        print(f"({len(trace.events)} events, "
+              f"{trace.instructions_executed} instructions, "
+              f"{len(trace.syscall_set())} distinct syscalls)")
+        return 0
+
+    if args.command == "identify":
+        observed = _read_syscall_list(args.syscalls)
+        index = study.signature_index()
+        result = index.identify(observed)
+        if result.exact:
+            print(f"exact match: {result.exact}")
+        elif result.exact_matches:
+            print("exact signature shared by: "
+                  + ", ".join(result.exact_matches))
+        elif result.candidates:
+            print("candidates (best first): "
+                  + ", ".join(result.candidates))
+        else:
+            print("no package covers this observation")
+        return 0
+
+    if args.command == "disasm":
+        from .analysis.binary import BinaryAnalysis
+        from .x86.decoder import linear_sweep
+        if args.package not in study.repository:
+            print(f"unknown package: {args.package}", file=sys.stderr)
+            return 2
+        package = study.repository.get(args.package)
+        elf_exes = [a for a in package.executables() if a.is_elf]
+        if not elf_exes:
+            print("package has no ELF executable", file=sys.stderr)
+            return 2
+        analysis = BinaryAnalysis.from_bytes(elf_exes[0].data)
+        print(f"; {args.package}:{elf_exes[0].name}  "
+              f"entry={analysis.entry_root():#x}  "
+              f"needed={analysis.needed}")
+        plt = analysis.elf.plt_map()
+        count = 0
+        for insn in linear_sweep(analysis.elf.text(),
+                                 analysis.elf.text_vaddr()):
+            note = ""
+            if insn.target in plt:
+                note = f"   ; -> {plt[insn.target]}@plt"
+            print(f"{insn.address:#010x}  {insn.mnemonic()}{note}")
+            count += 1
+            if count >= args.limit:
+                print("...")
+                break
+        return 0
+
+    if args.command == "drift":
+        from .metrics import UsageDiff
+        from .syscalls.table import ALL_NAMES
+        future = Study.default(EcosystemConfig(
+            n_filler_packages=args.fillers,
+            n_driver_packages=args.drivers,
+            n_script_packages=args.scripts,
+            seed=args.seed,
+            adoption_shift=args.shift,
+        ))
+        diff = UsageDiff(
+            study.usage("syscall", universe=ALL_NAMES),
+            future.usage("syscall", universe=ALL_NAMES))
+        print(f"Release diff at {args.shift:.0%} migration")
+        print("\nAPIs gaining users:")
+        for delta in diff.risers(8):
+            print(f"  {delta.api:16s} {delta.before:7.2%} -> "
+                  f"{delta.after:7.2%}  ({delta.delta:+.2%})")
+        print("\nAPIs losing users:")
+        for delta in diff.fallers(8):
+            print(f"  {delta.api:16s} {delta.before:7.2%} -> "
+                  f"{delta.after:7.2%}  ({delta.delta:+.2%})")
+        migrated = diff.migrated_pairs()
+        print(f"\nmigrations detected: "
+              f"{', '.join(v.legacy + '->' + v.preferred for v in migrated)}")
+        return 0
+
+    if args.command == "packages":
+        for package in sorted(study.repository,
+                              key=lambda p: p.name):
+            probability = study.popcon.install_probability(package.name)
+            print(f"{package.name:32s} {package.category:12s} "
+                  f"installs={probability:.4f} "
+                  f"artifacts={len(package.artifacts)}")
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Compatibility evaluation of Linux systems, emulation layers, and
+libc variants (Tables 6 and 7)."""
+
+from .advisor import (
+    ChangeImpact,
+    WorkloadSuggestion,
+    change_impact,
+    coverage_plan,
+    workload_suggestions,
+)
+from .libc_compat import (
+    LibcEvaluation,
+    evaluate_all_variants,
+    evaluate_libc_variant,
+)
+from .systems import (
+    FREEBSD_EMU,
+    L4LINUX,
+    SystemEvaluation,
+    SystemModel,
+    UML,
+    evaluate_system,
+    graphene_model,
+    graphene_plus_sched,
+)
+
+__all__ = [
+    "ChangeImpact",
+    "FREEBSD_EMU",
+    "WorkloadSuggestion",
+    "change_impact",
+    "coverage_plan",
+    "workload_suggestions",
+    "L4LINUX",
+    "LibcEvaluation",
+    "SystemEvaluation",
+    "SystemModel",
+    "UML",
+    "evaluate_all_variants",
+    "evaluate_libc_variant",
+    "evaluate_system",
+    "graphene_model",
+    "graphene_plus_sched",
+]

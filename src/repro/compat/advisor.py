@@ -1,0 +1,143 @@
+"""Research-planning advisors (§1, §6).
+
+Two practical questions the paper says its dataset answers:
+
+* *"If a given system API is optimized, what widely-used applications
+  would likely benefit?"* — so a researcher can pick evaluation
+  workloads that actually exercise the modified calls
+  (:func:`workload_suggestions`).
+* *"What is the impact of an API change on applications?"* — so a
+  kernel maintainer can see who breaks before deprecating
+  (:func:`change_impact`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from ..analysis.footprint import Footprint
+from ..metrics.importance import DIMENSIONS, dependents_index
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+
+
+@dataclass(frozen=True)
+class WorkloadSuggestion:
+    """One candidate evaluation workload."""
+
+    package: str
+    install_probability: float
+    apis_exercised: Tuple[str, ...]   # of the modified set
+
+    @property
+    def coverage(self) -> int:
+        return len(self.apis_exercised)
+
+
+def workload_suggestions(modified_apis: Iterable[str],
+                         footprints: Mapping[str, Footprint],
+                         popcon: PopularityContest,
+                         dimension: str = "syscall",
+                         limit: int = 10) -> List[WorkloadSuggestion]:
+    """Rank packages as evaluation workloads for a set of modified
+    APIs: prefer packages exercising more of the set, then more widely
+    installed ones (a benefit nobody installs is not a benefit)."""
+    select = DIMENSIONS[dimension]
+    modified = frozenset(modified_apis)
+    suggestions = []
+    for package, footprint in footprints.items():
+        exercised = tuple(sorted(select(footprint) & modified))
+        if not exercised:
+            continue
+        suggestions.append(WorkloadSuggestion(
+            package=package,
+            install_probability=popcon.install_probability(package),
+            apis_exercised=exercised,
+        ))
+    suggestions.sort(key=lambda s: (-s.coverage,
+                                    -s.install_probability, s.package))
+    return suggestions[:limit]
+
+
+@dataclass(frozen=True)
+class ChangeImpact:
+    """Consequences of removing or changing one API."""
+
+    api: str
+    direct_users: Tuple[str, ...]          # packages using the API
+    affected_installs: float               # probability >=1 user installed
+    cascade: Tuple[str, ...]               # dependents of direct users
+    verdict: str                           # human-readable summary
+
+
+def change_impact(api: str,
+                  footprints: Mapping[str, Footprint],
+                  popcon: PopularityContest,
+                  repository: Repository,
+                  dimension: str = "syscall") -> ChangeImpact:
+    """What breaks if ``api`` is removed (§6's deprecation question)."""
+    index = dependents_index(footprints, dimension)
+    users = sorted(index.get(api, []))
+    probability_none = 1.0
+    for package in users:
+        probability_none *= 1.0 - popcon.install_probability(package)
+    affected = 1.0 - probability_none
+    cascade = set()
+    for package in users:
+        cascade |= repository.reverse_dependencies(package)
+    cascade -= set(users)
+    if not users:
+        verdict = "unused: removable today"
+    elif affected < 0.10:
+        verdict = (f"niche: port {len(users)} package(s) "
+                   f"({', '.join(users[:4])}) then remove")
+    elif affected < 0.995:
+        verdict = "substantial user base: deprecate with a long horizon"
+    else:
+        verdict = "indispensable: effectively unremovable"
+    return ChangeImpact(
+        api=api,
+        direct_users=tuple(users),
+        affected_installs=affected,
+        cascade=tuple(sorted(cascade)),
+        verdict=verdict,
+    )
+
+
+def coverage_plan(modified_apis: Iterable[str],
+                  footprints: Mapping[str, Footprint],
+                  popcon: PopularityContest,
+                  dimension: str = "syscall",
+                  ) -> List[WorkloadSuggestion]:
+    """Greedy minimum workload set covering every modified API.
+
+    Answers "what is the smallest benchmark suite that exercises all
+    my changes?" — packages are added in order of marginal coverage.
+    """
+    select = DIMENSIONS[dimension]
+    remaining = set(modified_apis)
+    chosen: List[WorkloadSuggestion] = []
+    candidates = {
+        package: select(footprint) & frozenset(modified_apis)
+        for package, footprint in footprints.items()
+    }
+    candidates = {pkg: apis for pkg, apis in candidates.items()
+                  if apis}
+    while remaining and candidates:
+        best_pkg, best_apis = max(
+            candidates.items(),
+            key=lambda item: (len(item[1] & remaining),
+                              popcon.install_probability(item[0]),
+                              item[0]))
+        gain = best_apis & remaining
+        if not gain:
+            break
+        chosen.append(WorkloadSuggestion(
+            package=best_pkg,
+            install_probability=popcon.install_probability(best_pkg),
+            apis_exercised=tuple(sorted(best_apis)),
+        ))
+        remaining -= gain
+        del candidates[best_pkg]
+    return chosen

@@ -1,0 +1,89 @@
+"""Weighted completeness of libc variants (§4.2, Table 7).
+
+A package is supported by an alternative libc when every libc symbol
+its binaries import is exported by that variant.  Two measurements per
+variant, as in the paper:
+
+* **raw** — match symbols exactly.  Binaries built against glibc
+  headers import ``_chk`` fortify wrappers and stdio internals, so
+  everything but a glibc fork scores near zero.
+* **normalized** — reverse glibc's compile-time replacements first
+  (``__printf_chk`` → ``printf``), revealing the real compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.footprint import Footprint
+from ..libc.variants import LibcVariant, VARIANTS, normalize_footprint
+from ..metrics.completeness import weighted_completeness
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+
+
+@dataclass(frozen=True)
+class LibcEvaluation:
+    """One row of Table 7."""
+
+    variant: str
+    export_count: int
+    raw_completeness: float
+    normalized_completeness: float
+    sample_missing: Tuple[str, ...]
+
+
+def _normalized_footprints(footprints: Mapping[str, Footprint],
+                           ) -> Dict[str, Footprint]:
+    out = {}
+    for package, footprint in footprints.items():
+        out[package] = Footprint(
+            syscalls=footprint.syscalls,
+            ioctls=footprint.ioctls,
+            fcntls=footprint.fcntls,
+            prctls=footprint.prctls,
+            pseudo_files=footprint.pseudo_files,
+            libc_symbols=normalize_footprint(footprint.libc_symbols),
+            unresolved_sites=footprint.unresolved_sites,
+        )
+    return out
+
+
+def evaluate_libc_variant(variant: LibcVariant,
+                          footprints: Mapping[str, Footprint],
+                          popcon: PopularityContest,
+                          repository: Optional[Repository] = None,
+                          ) -> LibcEvaluation:
+    raw = weighted_completeness(
+        variant.supported, footprints, popcon, repository,
+        dimension="libc")
+    normalized = weighted_completeness(
+        normalize_footprint(variant.supported),
+        _normalized_footprints(footprints), popcon, repository,
+        dimension="libc")
+
+    # Most frequently demanded symbols the variant lacks.
+    demand: Dict[str, int] = {}
+    for footprint in footprints.values():
+        for symbol in normalize_footprint(footprint.libc_symbols):
+            if not variant.supports(symbol):
+                demand[symbol] = demand.get(symbol, 0) + 1
+    sample = tuple(name for name, _ in sorted(
+        demand.items(), key=lambda item: (-item[1], item[0]))[:3])
+    return LibcEvaluation(
+        variant=f"{variant.name} {variant.version}",
+        export_count=variant.nominal_export_count,
+        raw_completeness=raw,
+        normalized_completeness=normalized,
+        sample_missing=sample,
+    )
+
+
+def evaluate_all_variants(footprints: Mapping[str, Footprint],
+                          popcon: PopularityContest,
+                          repository: Optional[Repository] = None,
+                          ) -> List[LibcEvaluation]:
+    return [evaluate_libc_variant(variant, footprints, popcon,
+                                  repository)
+            for variant in VARIANTS.values()]

@@ -1,0 +1,37 @@
+"""From-scratch ELF64 reading and writing.
+
+The writer produces structurally realistic executables and shared
+libraries for the synthetic ecosystem; the reader parses any ELF64
+little-endian image (including real system binaries) for the static
+analysis pipeline.
+"""
+
+from . import constants
+from .reader import ElfReader
+from .structs import (
+    Dyn,
+    ElfFormatError,
+    ElfHeader,
+    ProgramHeader,
+    Rela,
+    SectionHeader,
+    StringTable,
+    Symbol,
+)
+from .writer import ElfWriter, Fixup, PLT_STUB_SIZE
+
+__all__ = [
+    "constants",
+    "Dyn",
+    "ElfFormatError",
+    "ElfHeader",
+    "ElfReader",
+    "ElfWriter",
+    "Fixup",
+    "PLT_STUB_SIZE",
+    "ProgramHeader",
+    "Rela",
+    "SectionHeader",
+    "StringTable",
+    "Symbol",
+]

@@ -1,0 +1,220 @@
+"""ELF64 format constants.
+
+Only the subset of the ELF specification that the analysis framework and
+the synthetic binary generator need is defined here, but the names and
+values follow ``<elf.h>`` exactly so the reader also works on real
+binaries (e.g. ``/bin/true`` on the host).
+"""
+
+# --- e_ident layout -------------------------------------------------------
+
+ELFMAG = b"\x7fELF"
+EI_CLASS = 4
+EI_DATA = 5
+EI_VERSION = 6
+EI_OSABI = 7
+EI_ABIVERSION = 8
+EI_NIDENT = 16
+
+ELFCLASS32 = 1
+ELFCLASS64 = 2
+
+ELFDATA2LSB = 1  # little endian
+ELFDATA2MSB = 2  # big endian
+
+EV_CURRENT = 1
+
+ELFOSABI_SYSV = 0
+ELFOSABI_LINUX = 3
+
+# --- e_type ---------------------------------------------------------------
+
+ET_NONE = 0
+ET_REL = 1
+ET_EXEC = 2
+ET_DYN = 3
+ET_CORE = 4
+
+ET_NAMES = {
+    ET_NONE: "NONE",
+    ET_REL: "REL",
+    ET_EXEC: "EXEC",
+    ET_DYN: "DYN",
+    ET_CORE: "CORE",
+}
+
+# --- e_machine ------------------------------------------------------------
+
+EM_386 = 3
+EM_X86_64 = 62
+EM_AARCH64 = 183
+
+# --- program header types -------------------------------------------------
+
+PT_NULL = 0
+PT_LOAD = 1
+PT_DYNAMIC = 2
+PT_INTERP = 3
+PT_NOTE = 4
+PT_PHDR = 6
+PT_GNU_STACK = 0x6474E551
+
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+# --- section header types -------------------------------------------------
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_HASH = 5
+SHT_DYNAMIC = 6
+SHT_NOTE = 7
+SHT_NOBITS = 8
+SHT_REL = 9
+SHT_DYNSYM = 11
+SHT_GNU_VERDEF = 0x6FFFFFFD
+SHT_GNU_VERNEED = 0x6FFFFFFE
+SHT_GNU_VERSYM = 0x6FFFFFFF
+
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+# --- symbol table ---------------------------------------------------------
+
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STB_WEAK = 2
+
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+STT_FILE = 4
+STT_GNU_IFUNC = 10
+
+STV_DEFAULT = 0
+STV_HIDDEN = 2
+
+
+def st_info(bind: int, typ: int) -> int:
+    """Pack symbol binding and type into the ``st_info`` byte."""
+    return (bind << 4) | (typ & 0xF)
+
+
+def st_bind(info: int) -> int:
+    return info >> 4
+
+
+def st_type(info: int) -> int:
+    return info & 0xF
+
+
+# --- dynamic section tags ---------------------------------------------------
+
+DT_NULL = 0
+DT_NEEDED = 1
+DT_PLTRELSZ = 2
+DT_PLTGOT = 3
+DT_HASH = 4
+DT_STRTAB = 5
+DT_SYMTAB = 6
+DT_RELA = 7
+DT_RELASZ = 8
+DT_RELAENT = 9
+DT_STRSZ = 10
+DT_SYMENT = 11
+DT_INIT = 12
+DT_FINI = 13
+DT_SONAME = 14
+DT_RPATH = 15
+DT_SYMBOLIC = 16
+DT_REL = 17
+DT_JMPREL = 23
+DT_RUNPATH = 29
+DT_VERSYM = 0x6FFFFFF0
+DT_VERDEF = 0x6FFFFFFC
+DT_VERDEFNUM = 0x6FFFFFFD
+DT_VERNEED = 0x6FFFFFFE
+DT_VERNEEDNUM = 0x6FFFFFFF
+
+DT_NAMES = {
+    DT_NULL: "NULL",
+    DT_NEEDED: "NEEDED",
+    DT_PLTRELSZ: "PLTRELSZ",
+    DT_PLTGOT: "PLTGOT",
+    DT_HASH: "HASH",
+    DT_STRTAB: "STRTAB",
+    DT_SYMTAB: "SYMTAB",
+    DT_RELA: "RELA",
+    DT_RELASZ: "RELASZ",
+    DT_RELAENT: "RELAENT",
+    DT_STRSZ: "STRSZ",
+    DT_SYMENT: "SYMENT",
+    DT_INIT: "INIT",
+    DT_FINI: "FINI",
+    DT_SONAME: "SONAME",
+    DT_RPATH: "RPATH",
+    DT_SYMBOLIC: "SYMBOLIC",
+    DT_REL: "REL",
+    DT_JMPREL: "JMPREL",
+    DT_RUNPATH: "RUNPATH",
+    DT_VERSYM: "VERSYM",
+    DT_VERDEF: "VERDEF",
+    DT_VERDEFNUM: "VERDEFNUM",
+    DT_VERNEED: "VERNEED",
+    DT_VERNEEDNUM: "VERNEEDNUM",
+}
+
+# Reserved version indices in .gnu.version.
+VER_NDX_LOCAL = 0
+VER_NDX_GLOBAL = 1
+# First definable version index (our writer defines exactly one).
+VER_NDX_BASE_DEFINED = 2
+
+VERDEF_SIZE = 20   # Elf64_Verdef
+VERDAUX_SIZE = 8   # Elf64_Verdaux
+
+# --- x86-64 relocation types ------------------------------------------------
+
+R_X86_64_NONE = 0
+R_X86_64_64 = 1
+R_X86_64_PC32 = 2
+R_X86_64_GLOB_DAT = 6
+R_X86_64_JUMP_SLOT = 7
+R_X86_64_RELATIVE = 8
+
+
+def r_info(sym: int, typ: int) -> int:
+    """Pack a relocation's symbol index and type into ``r_info``."""
+    return (sym << 32) | (typ & 0xFFFFFFFF)
+
+
+def r_sym(info: int) -> int:
+    return info >> 32
+
+
+def r_type(info: int) -> int:
+    return info & 0xFFFFFFFF
+
+
+# --- struct sizes (ELF64) ---------------------------------------------------
+
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+SYM_SIZE = 24
+RELA_SIZE = 24
+DYN_SIZE = 16
+
+# Canonical load address used by the synthetic binary generator for
+# ET_EXEC images; matches the traditional x86-64 Linux link base.
+DEFAULT_BASE_VADDR = 0x400000
+PAGE_SIZE = 0x1000

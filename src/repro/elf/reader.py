@@ -1,0 +1,331 @@
+"""ELF64 image parser.
+
+This is the analysis-side counterpart of :mod:`repro.elf.writer`.  It is
+deliberately written against the ELF specification rather than against
+our writer's layout choices, so it also parses real system binaries.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict, List, Optional
+
+from . import constants as C
+from .structs import (
+    Dyn,
+    ElfFormatError,
+    ElfHeader,
+    ProgramHeader,
+    Rela,
+    SectionHeader,
+    StringTable,
+    Symbol,
+)
+
+
+class ElfReader:
+    """Parsed view over an ELF64 image held in memory."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        try:
+            self.header = ElfHeader.unpack(data)
+            self.program_headers = self._read_program_headers()
+            self.sections = self._read_sections()
+            self._section_by_name = {s.name: s
+                                     for s in self.sections if s.name}
+            self.dynamic = self._read_dynamic()
+            self.dynamic_symbols = self._read_symbols(".dynsym",
+                                                      ".dynstr")
+            self.symbols = self._read_symbols(".symtab", ".strtab")
+            self._annotate_symbol_versions()
+        except _struct.error as error:
+            # Truncated or corrupt image: surface one exception type.
+            raise ElfFormatError(str(error)) from error
+
+    @classmethod
+    def from_path(cls, path: str) -> "ElfReader":
+        with open(path, "rb") as handle:
+            return cls(handle.read())
+
+    @staticmethod
+    def is_elf(data: bytes) -> bool:
+        return data[:4] == C.ELFMAG
+
+    # --- low-level accessors ---------------------------------------------
+
+    def _read_program_headers(self) -> List[ProgramHeader]:
+        hdr = self.header
+        return [
+            ProgramHeader.unpack(self.data, hdr.e_phoff + i * hdr.e_phentsize)
+            for i in range(hdr.e_phnum)
+        ]
+
+    def _read_sections(self) -> List[SectionHeader]:
+        hdr = self.header
+        sections = [
+            SectionHeader.unpack(self.data, hdr.e_shoff + i * hdr.e_shentsize)
+            for i in range(hdr.e_shnum)
+        ]
+        if sections and hdr.e_shstrndx < len(sections):
+            shstr = sections[hdr.e_shstrndx]
+            table = StringTable(
+                self.data[shstr.sh_offset:shstr.sh_offset + shstr.sh_size])
+            for section in sections:
+                section.name = table.get(section.sh_name)
+        return sections
+
+    def section(self, name: str) -> Optional[SectionHeader]:
+        """Look up a section header by name, or ``None``."""
+        return self._section_by_name.get(name)
+
+    def section_data(self, name: str) -> bytes:
+        """Raw bytes of a section, or ``b""`` when absent."""
+        section = self.section(name)
+        if section is None or section.sh_type == C.SHT_NOBITS:
+            return b""
+        return self.data[section.sh_offset:section.sh_offset + section.sh_size]
+
+    def vaddr_to_offset(self, vaddr: int) -> Optional[int]:
+        """Translate a virtual address through the PT_LOAD segments."""
+        for phdr in self.program_headers:
+            if phdr.p_type == C.PT_LOAD and phdr.contains_vaddr(vaddr):
+                return phdr.vaddr_to_offset(vaddr)
+        return None
+
+    def read_vaddr(self, vaddr: int, size: int) -> bytes:
+        offset = self.vaddr_to_offset(vaddr)
+        if offset is None:
+            raise ElfFormatError(f"vaddr {vaddr:#x} is not mapped")
+        return self.data[offset:offset + size]
+
+    # --- symbols ----------------------------------------------------------
+
+    def _read_symbols(self, symtab: str, strtab: str) -> List[Symbol]:
+        sym_section = self.section(symtab)
+        if sym_section is None:
+            return []
+        strings = StringTable(self.section_data(strtab))
+        blob = self.section_data(symtab)
+        symbols = []
+        for offset in range(0, len(blob) - C.SYM_SIZE + 1, C.SYM_SIZE):
+            symbol = Symbol.unpack(blob, offset)
+            symbol.name = strings.get(symbol.st_name)
+            symbols.append(symbol)
+        return symbols
+
+    def imported_symbols(self) -> List[Symbol]:
+        """Undefined dynamic symbols: functions/objects bound at load time."""
+        return [s for s in self.dynamic_symbols
+                if s.is_undefined and s.name]
+
+    def imported_function_names(self) -> List[str]:
+        return [s.name for s in self.imported_symbols() if
+                s.type in (C.STT_FUNC, C.STT_GNU_IFUNC, C.STT_NOTYPE)]
+
+    def exported_symbols(self) -> List[Symbol]:
+        """Defined global dynamic symbols (the binary's public ABI)."""
+        return [s for s in self.dynamic_symbols if s.is_exported]
+
+    def exported_function_names(self) -> List[str]:
+        return [s.name for s in self.exported_symbols() if s.is_function]
+
+    # --- dynamic section ----------------------------------------------------
+
+    def _read_dynamic(self) -> List[Dyn]:
+        blob = self.section_data(".dynamic")
+        if not blob:
+            for phdr in self.program_headers:
+                if phdr.p_type == C.PT_DYNAMIC:
+                    blob = self.data[
+                        phdr.p_offset:phdr.p_offset + phdr.p_filesz]
+                    break
+        entries = []
+        for offset in range(0, len(blob) - C.DYN_SIZE + 1, C.DYN_SIZE):
+            entry = Dyn.unpack(blob, offset)
+            entries.append(entry)
+            if entry.d_tag == C.DT_NULL:
+                break
+        return entries
+
+    def dynamic_entries(self, tag: int) -> List[int]:
+        return [d.d_val for d in self.dynamic if d.d_tag == tag]
+
+    def needed_libraries(self) -> List[str]:
+        """``DT_NEEDED`` names resolved through ``DT_STRTAB``."""
+        strtab_addrs = self.dynamic_entries(C.DT_STRTAB)
+        if not strtab_addrs:
+            return []
+        strsz = (self.dynamic_entries(C.DT_STRSZ) or [0])[0]
+        offset = self.vaddr_to_offset(strtab_addrs[0])
+        if offset is None:
+            return []
+        strings = StringTable(self.data[offset:offset + strsz])
+        return [strings.get(v) for v in self.dynamic_entries(C.DT_NEEDED)]
+
+    def soname(self) -> Optional[str]:
+        strtab_addrs = self.dynamic_entries(C.DT_STRTAB)
+        names = self.dynamic_entries(C.DT_SONAME)
+        if not strtab_addrs or not names:
+            return None
+        strsz = (self.dynamic_entries(C.DT_STRSZ) or [0])[0]
+        offset = self.vaddr_to_offset(strtab_addrs[0])
+        if offset is None:
+            return None
+        strings = StringTable(self.data[offset:offset + strsz])
+        return strings.get(names[0])
+
+    def interpreter(self) -> Optional[str]:
+        """The requested program interpreter (PT_INTERP), if any."""
+        for phdr in self.program_headers:
+            if phdr.p_type == C.PT_INTERP:
+                blob = self.data[phdr.p_offset:
+                                 phdr.p_offset + phdr.p_filesz]
+                return blob.rstrip(b"\x00").decode("utf-8",
+                                                   errors="replace")
+        return None
+
+    @property
+    def is_dynamic(self) -> bool:
+        return bool(self.dynamic)
+
+    @property
+    def is_static_executable(self) -> bool:
+        return self.header.e_type == C.ET_EXEC and not self.is_dynamic
+
+    # --- GNU symbol versioning ---------------------------------------------
+
+    def version_definitions(self) -> Dict[int, str]:
+        """Version index -> name from ``.gnu.version_d`` (Verdef)."""
+        blob = self.section_data(".gnu.version_d")
+        strings = StringTable(self.section_data(".dynstr"))
+        definitions: Dict[int, str] = {}
+        offset = 0
+        while offset + C.VERDEF_SIZE <= len(blob):
+            (vd_version, vd_flags, vd_ndx, vd_cnt, vd_hash,
+             vd_aux, vd_next) = _struct.unpack_from(
+                "<HHHHIII", blob, offset)
+            if vd_version != 1:
+                break
+            aux_offset = offset + vd_aux
+            if aux_offset + C.VERDAUX_SIZE <= len(blob):
+                vda_name, _ = _struct.unpack_from("<II", blob,
+                                                  aux_offset)
+                definitions[vd_ndx] = strings.get(vda_name)
+            if vd_next == 0:
+                break
+            offset += vd_next
+        return definitions
+
+    def version_requirements(self) -> Dict[int, str]:
+        """Version index -> name from ``.gnu.version_r`` (Verneed)."""
+        blob = self.section_data(".gnu.version_r")
+        strings = StringTable(self.section_data(".dynstr"))
+        requirements: Dict[int, str] = {}
+        offset = 0
+        while offset + 16 <= len(blob):
+            (vn_version, vn_cnt, vn_file, vn_aux,
+             vn_next) = _struct.unpack_from("<HHIII", blob, offset)
+            if vn_version != 1:
+                break
+            aux_offset = offset + vn_aux
+            for _ in range(vn_cnt):
+                if aux_offset + 16 > len(blob):
+                    break
+                (vna_hash, vna_flags, vna_other, vna_name,
+                 vna_next) = _struct.unpack_from("<IHHII", blob,
+                                                 aux_offset)
+                requirements[vna_other & 0x7FFF] = strings.get(
+                    vna_name)
+                if vna_next == 0:
+                    break
+                aux_offset += vna_next
+            if vn_next == 0:
+                break
+            offset += vn_next
+        return requirements
+
+    def _annotate_symbol_versions(self) -> None:
+        blob = self.section_data(".gnu.version")
+        if not blob:
+            return
+        names = {**self.version_definitions(),
+                 **self.version_requirements()}
+        count = min(len(blob) // 2, len(self.dynamic_symbols))
+        for position in range(count):
+            (index,) = _struct.unpack_from("<H", blob, position * 2)
+            index &= 0x7FFF  # high bit = hidden
+            if index in names:
+                self.dynamic_symbols[position].version = names[index]
+
+    # --- PLT resolution -------------------------------------------------
+
+    def plt_relocations(self) -> List[Rela]:
+        blob = self.section_data(".rela.plt")
+        return [Rela.unpack(blob, off)
+                for off in range(0, len(blob) - C.RELA_SIZE + 1, C.RELA_SIZE)]
+
+    def plt_map(self) -> Dict[int, str]:
+        """Map each PLT stub virtual address to its imported symbol name.
+
+        Stubs are recognized by their canonical ``jmp *disp32(%rip)``
+        encoding (``ff 25``); the GOT slot they dereference is matched
+        against ``R_X86_64_JUMP_SLOT`` relocation offsets.
+        """
+        plt_section = self.section(".plt")
+        if plt_section is None:
+            return {}
+        got_to_symbol: Dict[int, str] = {}
+        for rela in self.plt_relocations():
+            if rela.type != C.R_X86_64_JUMP_SLOT:
+                continue
+            if rela.sym < len(self.dynamic_symbols):
+                got_to_symbol[rela.r_offset] = (
+                    self.dynamic_symbols[rela.sym].name)
+        blob = self.section_data(".plt")
+        base = plt_section.sh_addr
+        mapping: Dict[int, str] = {}
+        pos = 0
+        while pos + 6 <= len(blob):
+            if blob[pos:pos + 2] == b"\xff\x25":
+                disp = int.from_bytes(blob[pos + 2:pos + 6], "little",
+                                      signed=True)
+                got_addr = base + pos + 6 + disp
+                name = got_to_symbol.get(got_addr)
+                if name:
+                    mapping[base + pos] = name
+            pos += 1
+        return mapping
+
+    # --- convenience ------------------------------------------------------
+
+    def text(self) -> bytes:
+        return self.section_data(".text")
+
+    def text_vaddr(self) -> int:
+        section = self.section(".text")
+        return section.sh_addr if section is not None else 0
+
+    def rodata(self) -> bytes:
+        return self.section_data(".rodata")
+
+    def strings(self, min_length: int = 4) -> List[str]:
+        """Extract printable ASCII strings from data sections.
+
+        Mirrors the classic ``strings(1)`` pass the paper's framework
+        uses to find hard-coded pseudo-file paths.
+        """
+        found: List[str] = []
+        for name in (".rodata", ".data", ".data.rel.ro"):
+            blob = self.section_data(name)
+            run = bytearray()
+            for byte in blob:
+                if 0x20 <= byte < 0x7F:
+                    run.append(byte)
+                else:
+                    if len(run) >= min_length:
+                        found.append(run.decode("ascii"))
+                    run = bytearray()
+            if len(run) >= min_length:
+                found.append(run.decode("ascii"))
+        return found

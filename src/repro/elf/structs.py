@@ -1,0 +1,282 @@
+"""Typed codecs for the on-disk ELF64 structures.
+
+Each dataclass mirrors one C struct from ``<elf.h>`` and knows how to
+``pack`` itself to bytes and ``unpack`` itself from a buffer.  All codecs
+are little-endian (``ELFDATA2LSB``), which is the only encoding used by
+x86-64 Linux.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from . import constants as C
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+_RELA = struct.Struct("<QQq")
+_DYN = struct.Struct("<qQ")
+
+
+class ElfFormatError(ValueError):
+    """Raised when a buffer does not contain a well-formed ELF64 image."""
+
+
+@dataclass
+class ElfHeader:
+    """ELF file header (``Elf64_Ehdr``)."""
+
+    e_ident: bytes = b""
+    e_type: int = C.ET_EXEC
+    e_machine: int = C.EM_X86_64
+    e_version: int = C.EV_CURRENT
+    e_entry: int = 0
+    e_phoff: int = 0
+    e_shoff: int = 0
+    e_flags: int = 0
+    e_ehsize: int = C.EHDR_SIZE
+    e_phentsize: int = C.PHDR_SIZE
+    e_phnum: int = 0
+    e_shentsize: int = C.SHDR_SIZE
+    e_shnum: int = 0
+    e_shstrndx: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.e_ident:
+            ident = bytearray(C.EI_NIDENT)
+            ident[0:4] = C.ELFMAG
+            ident[C.EI_CLASS] = C.ELFCLASS64
+            ident[C.EI_DATA] = C.ELFDATA2LSB
+            ident[C.EI_VERSION] = C.EV_CURRENT
+            ident[C.EI_OSABI] = C.ELFOSABI_SYSV
+            self.e_ident = bytes(ident)
+
+    def pack(self) -> bytes:
+        return _EHDR.pack(
+            self.e_ident, self.e_type, self.e_machine, self.e_version,
+            self.e_entry, self.e_phoff, self.e_shoff, self.e_flags,
+            self.e_ehsize, self.e_phentsize, self.e_phnum,
+            self.e_shentsize, self.e_shnum, self.e_shstrndx,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ElfHeader":
+        if len(data) < C.EHDR_SIZE:
+            raise ElfFormatError("buffer too small for ELF header")
+        fields = _EHDR.unpack_from(data)
+        hdr = cls(*fields)
+        if hdr.e_ident[0:4] != C.ELFMAG:
+            raise ElfFormatError("bad ELF magic")
+        if hdr.e_ident[C.EI_CLASS] != C.ELFCLASS64:
+            raise ElfFormatError("only ELF64 is supported")
+        if hdr.e_ident[C.EI_DATA] != C.ELFDATA2LSB:
+            raise ElfFormatError("only little-endian ELF is supported")
+        return hdr
+
+    @property
+    def is_executable(self) -> bool:
+        return self.e_type in (C.ET_EXEC, C.ET_DYN) and self.e_entry != 0
+
+    @property
+    def is_shared_object(self) -> bool:
+        return self.e_type == C.ET_DYN
+
+
+@dataclass
+class ProgramHeader:
+    """Program (segment) header (``Elf64_Phdr``)."""
+
+    p_type: int = C.PT_LOAD
+    p_flags: int = C.PF_R
+    p_offset: int = 0
+    p_vaddr: int = 0
+    p_paddr: int = 0
+    p_filesz: int = 0
+    p_memsz: int = 0
+    p_align: int = C.PAGE_SIZE
+
+    def pack(self) -> bytes:
+        return _PHDR.pack(
+            self.p_type, self.p_flags, self.p_offset, self.p_vaddr,
+            self.p_paddr, self.p_filesz, self.p_memsz, self.p_align,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "ProgramHeader":
+        return cls(*_PHDR.unpack_from(data, offset))
+
+    def contains_vaddr(self, vaddr: int) -> bool:
+        return self.p_vaddr <= vaddr < self.p_vaddr + self.p_memsz
+
+    def vaddr_to_offset(self, vaddr: int) -> int:
+        if not self.contains_vaddr(vaddr):
+            raise ValueError(f"vaddr {vaddr:#x} outside segment")
+        return self.p_offset + (vaddr - self.p_vaddr)
+
+
+@dataclass
+class SectionHeader:
+    """Section header (``Elf64_Shdr``).  ``name`` is resolved lazily."""
+
+    sh_name: int = 0
+    sh_type: int = C.SHT_NULL
+    sh_flags: int = 0
+    sh_addr: int = 0
+    sh_offset: int = 0
+    sh_size: int = 0
+    sh_link: int = 0
+    sh_info: int = 0
+    sh_addralign: int = 1
+    sh_entsize: int = 0
+    name: str = field(default="", compare=False)
+
+    def pack(self) -> bytes:
+        return _SHDR.pack(
+            self.sh_name, self.sh_type, self.sh_flags, self.sh_addr,
+            self.sh_offset, self.sh_size, self.sh_link, self.sh_info,
+            self.sh_addralign, self.sh_entsize,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "SectionHeader":
+        return cls(*_SHDR.unpack_from(data, offset))
+
+
+@dataclass
+class Symbol:
+    """Symbol table entry (``Elf64_Sym``) plus its resolved name."""
+
+    st_name: int = 0
+    st_info: int = 0
+    st_other: int = C.STV_DEFAULT
+    st_shndx: int = C.SHN_UNDEF
+    st_value: int = 0
+    st_size: int = 0
+    name: str = field(default="", compare=False)
+    # GNU symbol version ("GLIBC_2.2.5"), resolved by the reader when
+    # the image carries .gnu.version tables.
+    version: str = field(default="", compare=False)
+
+    def pack(self) -> bytes:
+        return _SYM.pack(
+            self.st_name, self.st_info, self.st_other,
+            self.st_shndx, self.st_value, self.st_size,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Symbol":
+        return cls(*_SYM.unpack_from(data, offset))
+
+    @property
+    def bind(self) -> int:
+        return C.st_bind(self.st_info)
+
+    @property
+    def type(self) -> int:
+        return C.st_type(self.st_info)
+
+    @property
+    def is_undefined(self) -> bool:
+        return self.st_shndx == C.SHN_UNDEF
+
+    @property
+    def is_function(self) -> bool:
+        return self.type in (C.STT_FUNC, C.STT_GNU_IFUNC)
+
+    @property
+    def is_exported(self) -> bool:
+        return (not self.is_undefined and self.name != ""
+                and self.bind in (C.STB_GLOBAL, C.STB_WEAK)
+                and self.st_other == C.STV_DEFAULT)
+
+
+@dataclass
+class Rela:
+    """Relocation with addend (``Elf64_Rela``)."""
+
+    r_offset: int = 0
+    r_info: int = 0
+    r_addend: int = 0
+
+    def pack(self) -> bytes:
+        return _RELA.pack(self.r_offset, self.r_info, self.r_addend)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Rela":
+        return cls(*_RELA.unpack_from(data, offset))
+
+    @property
+    def sym(self) -> int:
+        return C.r_sym(self.r_info)
+
+    @property
+    def type(self) -> int:
+        return C.r_type(self.r_info)
+
+
+@dataclass
+class Dyn:
+    """Dynamic section entry (``Elf64_Dyn``)."""
+
+    d_tag: int = C.DT_NULL
+    d_val: int = 0
+
+    def pack(self) -> bytes:
+        return _DYN.pack(self.d_tag, self.d_val)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Dyn":
+        return cls(*_DYN.unpack_from(data, offset))
+
+    @property
+    def tag_name(self) -> str:
+        return C.DT_NAMES.get(self.d_tag, f"0x{self.d_tag:x}")
+
+
+def elf_hash(name: str) -> int:
+    """The SysV ELF hash (used for Verdef.vd_hash)."""
+    value = 0
+    for char in name.encode("utf-8"):
+        value = ((value << 4) + char) & 0xFFFFFFFF
+        high = value & 0xF0000000
+        if high:
+            value ^= high >> 24
+        value &= ~high & 0xFFFFFFFF
+    return value
+
+
+class StringTable:
+    """Builder/reader for ELF string tables (``.strtab`` style blobs)."""
+
+    def __init__(self, data: bytes = b"\x00") -> None:
+        self._data = bytearray(data)
+        self._offsets: dict[str, int] = {}
+
+    def add(self, name: str) -> int:
+        """Intern ``name``, returning its offset within the table."""
+        if not name:
+            return 0
+        if name in self._offsets:
+            return self._offsets[name]
+        offset = len(self._data)
+        self._data += name.encode("utf-8") + b"\x00"
+        self._offsets[name] = offset
+        return offset
+
+    def get(self, offset: int) -> str:
+        """Read the NUL-terminated string at ``offset``."""
+        if offset >= len(self._data):
+            return ""
+        end = self._data.find(b"\x00", offset)
+        if end < 0:
+            end = len(self._data)
+        return self._data[offset:end].decode("utf-8", errors="replace")
+
+    def pack(self) -> bytes:
+        return bytes(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)

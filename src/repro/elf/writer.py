@@ -1,0 +1,480 @@
+"""ELF64 image builder.
+
+The synthetic ecosystem generator uses this module to emit executables
+and shared libraries that are structurally faithful to what a linker
+produces on x86-64 Linux: a file header, program headers, ``.dynsym`` /
+``.dynstr`` / ``.dynamic`` with ``DT_NEEDED`` entries, a ``.plt`` whose
+stubs jump through ``.got.plt`` slots bound by ``R_X86_64_JUMP_SLOT``
+relocations, ``.text``, ``.rodata``, and a full section header table.
+
+Code is supplied as raw bytes plus *fixups*: symbolic references to
+import stubs, local labels, or ``.rodata`` offsets that the writer
+patches once the layout is final.  This mirrors the relocation step of a
+real linker and lets the code generator stay layout-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from . import constants as C
+from .structs import (
+    Dyn,
+    ElfHeader,
+    ProgramHeader,
+    Rela,
+    SectionHeader,
+    StringTable,
+    Symbol,
+)
+
+PLT_STUB_SIZE = 16
+
+
+@dataclass(frozen=True)
+class Fixup:
+    """A patch site inside ``.text``.
+
+    ``text_offset`` addresses the 4-byte displacement field itself (not
+    the start of the instruction).  ``kind`` is either ``"rel32"`` (a
+    ``call``/``jmp`` displacement, relative to the end of the field) or
+    ``"rip32"`` (a RIP-relative data displacement, same arithmetic).
+    ``target`` is one of::
+
+        ("import", symbol_name)   -> the symbol's PLT stub
+        ("local", label)          -> a label inside .text
+        ("rodata", data_offset)   -> a byte offset within .rodata
+    """
+
+    text_offset: int
+    kind: str
+    target: Tuple[str, object]
+
+
+class ElfWriter:
+    """Accumulates content, then :meth:`build` emits the final image."""
+
+    def __init__(
+        self,
+        file_type: int = C.ET_EXEC,
+        soname: Optional[str] = None,
+        base_vaddr: int = C.DEFAULT_BASE_VADDR,
+        interp: Optional[str] = "/lib64/ld-linux-x86-64.so.2",
+        version: Optional[str] = None,
+    ) -> None:
+        """``version`` stamps every export with one GNU symbol version
+        (e.g. ``"GLIBC_2.2.5"``), emitting ``.gnu.version`` and
+        ``.gnu.version_d`` like a versioned system library."""
+        self.file_type = file_type
+        self.soname = soname
+        self.version = version
+        self.base_vaddr = base_vaddr if file_type == C.ET_EXEC else 0
+        self.interp = interp if file_type == C.ET_EXEC else None
+        self.needed: List[str] = []
+        self._imports: List[str] = []
+        self._import_index: Dict[str, int] = {}
+        self._exports: Dict[str, str] = {}  # symbol name -> text label
+        self._text = b""
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Fixup] = []
+        self._rodata = bytearray()
+        self._rodata_offsets: Dict[bytes, int] = {}
+        self.entry_label: Optional[str] = None
+
+    # --- content accumulation ------------------------------------------
+
+    def add_needed(self, library: str) -> None:
+        """Record a ``DT_NEEDED`` dependency (e.g. ``"libc.so.6"``)."""
+        if library not in self.needed:
+            self.needed.append(library)
+
+    def add_import(self, name: str) -> int:
+        """Declare an undefined function symbol; returns its PLT index."""
+        if name in self._import_index:
+            return self._import_index[name]
+        index = len(self._imports)
+        self._imports.append(name)
+        self._import_index[name] = index
+        return index
+
+    def add_rodata(self, data: bytes) -> int:
+        """Intern a blob in ``.rodata``; returns its offset."""
+        if data in self._rodata_offsets:
+            return self._rodata_offsets[data]
+        offset = len(self._rodata)
+        self._rodata += data
+        self._rodata_offsets[data] = offset
+        return offset
+
+    def add_string(self, text: str) -> int:
+        """Intern a NUL-terminated C string in ``.rodata``."""
+        return self.add_rodata(text.encode("utf-8") + b"\x00")
+
+    def set_text(
+        self,
+        code: bytes,
+        labels: Dict[str, int],
+        fixups: List[Fixup],
+        entry_label: Optional[str] = None,
+    ) -> None:
+        """Install the ``.text`` payload and its symbolic metadata."""
+        self._text = bytes(code)
+        self._labels = dict(labels)
+        self._fixups = list(fixups)
+        self.entry_label = entry_label
+
+    def export_function(self, name: str, label: str) -> None:
+        """Export ``label`` (a ``.text`` label) as global symbol ``name``."""
+        self._exports[name] = label
+
+    @property
+    def imports(self) -> List[str]:
+        return list(self._imports)
+
+    # --- layout and emission --------------------------------------------
+
+    def build(self) -> bytes:
+        """Lay out all sections and return the complete ELF image."""
+        dynstr = StringTable()
+        dynsym: List[Symbol] = [Symbol()]  # index 0 is the NULL symbol
+        sym_index: Dict[str, int] = {}
+        for name in self._imports:
+            dynstr.add(name)
+            sym_index[name] = len(dynsym)
+            dynsym.append(Symbol(
+                st_name=dynstr.add(name),
+                st_info=C.st_info(C.STB_GLOBAL, C.STT_FUNC),
+                st_shndx=C.SHN_UNDEF,
+                name=name,
+            ))
+        for library in self.needed:
+            dynstr.add(library)
+        if self.soname:
+            dynstr.add(self.soname)
+        export_sym_slots: Dict[str, int] = {}
+        for name in self._exports:
+            export_sym_slots[name] = len(dynsym)
+            dynsym.append(Symbol(
+                st_name=dynstr.add(name),
+                st_info=C.st_info(C.STB_GLOBAL, C.STT_FUNC),
+                st_shndx=1,  # patched below once .text gets its index
+                name=name,
+            ))
+
+        n_plt = len(self._imports)
+        interp_bytes = (
+            self.interp.encode() + b"\x00" if self.interp else b""
+        )
+        # A binary with no dependencies, imports, or SONAME is written
+        # as a genuinely static image: no .dynamic, no .dynsym, no
+        # PT_INTERP — its symbols go into .symtab instead.
+        is_static = (not self.needed and not self._imports
+                     and self.soname is None and not interp_bytes
+                     and self.file_type == C.ET_EXEC)
+
+        # Fixed-order layout.  Every section is packed sequentially with
+        # simple alignment; one RWX PT_LOAD maps the whole file, which is
+        # all the static analyzer requires.
+        if is_static:
+            phdr_count = 2  # LOAD, GNU_STACK
+        else:
+            phdr_count = 2 + (1 if interp_bytes else 0) + 1
+        cursor = C.EHDR_SIZE + phdr_count * C.PHDR_SIZE
+
+        def align(value: int, alignment: int) -> int:
+            return (value + alignment - 1) & ~(alignment - 1)
+
+        layout: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+
+        def place(name: str, size: int, alignment: int = 8) -> int:
+            nonlocal cursor
+            cursor = align(cursor, alignment)
+            layout[name] = (cursor, size)
+            cursor += size
+            return layout[name][0]
+
+        use_versions = self.version is not None and not (
+            not self.needed and not self._imports
+            and self.soname is None and not interp_bytes
+            and self.file_type == C.ET_EXEC)
+        if use_versions:
+            dynstr.add(self.version)
+        dynstr_blob = dynstr.pack()
+        if interp_bytes:
+            place(".interp", len(interp_bytes), 1)
+        if not is_static:
+            place(".dynsym", len(dynsym) * C.SYM_SIZE)
+            place(".dynstr", len(dynstr_blob), 1)
+            if use_versions:
+                place(".gnu.version", len(dynsym) * 2, 2)
+                place(".gnu.version_d",
+                      C.VERDEF_SIZE + C.VERDAUX_SIZE, 8)
+            place(".rela.plt", n_plt * C.RELA_SIZE)
+            place(".plt", n_plt * PLT_STUB_SIZE, 16)
+        place(".text", len(self._text), 16)
+        place(".rodata", len(self._rodata), 8)
+        if not is_static:
+            place(".got.plt", n_plt * 8)
+            # dynamic entries: NEEDED*, [SONAME], [VERSYM, VERDEF,
+            # VERDEFNUM], STRTAB, SYMTAB, STRSZ, SYMENT, PLTGOT,
+            # PLTRELSZ, JMPREL, RELAENT, NULL
+            dyn_count = (len(self.needed)
+                         + (1 if self.soname else 0)
+                         + (3 if use_versions else 0) + 9)
+            place(".dynamic", dyn_count * C.DYN_SIZE)
+        else:
+            # Static symbol table for exports (non-alloc but placed
+            # inline for simplicity).
+            place(".symtab", len(dynsym) * C.SYM_SIZE)
+            place(".strtab", len(dynstr_blob), 1)
+
+        base = self.base_vaddr
+
+        def vaddr(section: str) -> int:
+            return base + layout[section][0]
+
+        # --- resolve fixups ---
+        text_vaddr = vaddr(".text")
+        plt_vaddr = vaddr(".plt") if ".plt" in layout else 0
+        rodata_vaddr = vaddr(".rodata")
+        text = bytearray(self._text)
+        for fixup in self._fixups:
+            kind, payload = fixup.target
+            if kind == "import":
+                target = plt_vaddr + self._import_index[payload] * PLT_STUB_SIZE
+            elif kind == "local":
+                target = text_vaddr + self._labels[payload]
+            elif kind == "rodata":
+                target = rodata_vaddr + int(payload)
+            else:
+                raise ValueError(f"unknown fixup target kind: {kind!r}")
+            site = text_vaddr + fixup.text_offset
+            rel = target - (site + 4)
+            text[fixup.text_offset:fixup.text_offset + 4] = (
+                rel & 0xFFFFFFFF).to_bytes(4, "little")
+
+        # --- PLT stubs and GOT slots ---
+        got_vaddr = vaddr(".got.plt") if ".got.plt" in layout else 0
+        plt = bytearray()
+        for i in range(n_plt):
+            slot = got_vaddr + i * 8
+            stub_end = plt_vaddr + i * PLT_STUB_SIZE + 6
+            disp = slot - stub_end
+            stub = b"\xff\x25" + (disp & 0xFFFFFFFF).to_bytes(4, "little")
+            stub += b"\x0f\x1f\x80\x00\x00\x00\x00"  # nop padding
+            stub += b"\x90" * (PLT_STUB_SIZE - len(stub))
+            plt += stub
+        got = b"\x00" * (n_plt * 8)
+
+        relas = b"".join(
+            Rela(
+                r_offset=got_vaddr + i * 8,
+                r_info=C.r_info(sym_index[name], C.R_X86_64_JUMP_SLOT),
+            ).pack()
+            for i, name in enumerate(self._imports)
+        )
+
+        # --- patch export symbol values / entry ---
+        for name, label in self._exports.items():
+            dynsym[export_sym_slots[name]].st_value = (
+                text_vaddr + self._labels[label])
+        entry = 0
+        if self.entry_label is not None:
+            entry = text_vaddr + self._labels[self.entry_label]
+
+        # --- dynamic section ---
+        dynamic = b""
+        if not is_static:
+            dyn_entries: List[Dyn] = []
+            for library in self.needed:
+                dyn_entries.append(
+                    Dyn(C.DT_NEEDED, dynstr.add(library)))
+            if self.soname:
+                dyn_entries.append(
+                    Dyn(C.DT_SONAME, dynstr.add(self.soname)))
+            if use_versions:
+                dyn_entries.append(
+                    Dyn(C.DT_VERSYM, vaddr(".gnu.version")))
+                dyn_entries.append(
+                    Dyn(C.DT_VERDEF, vaddr(".gnu.version_d")))
+                dyn_entries.append(Dyn(C.DT_VERDEFNUM, 1))
+            dyn_entries += [
+                Dyn(C.DT_STRTAB, vaddr(".dynstr")),
+                Dyn(C.DT_SYMTAB, vaddr(".dynsym")),
+                Dyn(C.DT_STRSZ, len(dynstr_blob)),
+                Dyn(C.DT_SYMENT, C.SYM_SIZE),
+                Dyn(C.DT_PLTGOT, got_vaddr),
+                Dyn(C.DT_PLTRELSZ, n_plt * C.RELA_SIZE),
+                Dyn(C.DT_JMPREL, vaddr(".rela.plt")),
+                Dyn(C.DT_RELAENT, C.RELA_SIZE),
+                Dyn(C.DT_NULL, 0),
+            ]
+            dynamic = b"".join(entry_.pack()
+                               for entry_ in dyn_entries)
+
+        # --- section header table ---
+        shstrtab = StringTable()
+        sections: List[SectionHeader] = [SectionHeader()]  # SHT_NULL
+
+        def add_section(name: str, sh_type: int, flags: int,
+                        entsize: int = 0, link: int = 0) -> int:
+            offset, size = layout[name]
+            sections.append(SectionHeader(
+                sh_name=shstrtab.add(name), sh_type=sh_type,
+                sh_flags=flags, sh_addr=base + offset, sh_offset=offset,
+                sh_size=size, sh_link=link, sh_entsize=entsize, name=name,
+            ))
+            return len(sections) - 1
+
+        if interp_bytes:
+            add_section(".interp", C.SHT_PROGBITS, C.SHF_ALLOC)
+        if not is_static:
+            dynsym_idx = add_section(".dynsym", C.SHT_DYNSYM,
+                                     C.SHF_ALLOC, entsize=C.SYM_SIZE)
+            dynstr_idx = add_section(".dynstr", C.SHT_STRTAB,
+                                     C.SHF_ALLOC)
+            sections[dynsym_idx].sh_link = dynstr_idx
+            if use_versions:
+                add_section(".gnu.version", C.SHT_GNU_VERSYM,
+                            C.SHF_ALLOC, entsize=2, link=dynsym_idx)
+                add_section(".gnu.version_d", C.SHT_GNU_VERDEF,
+                            C.SHF_ALLOC, link=dynstr_idx)
+            add_section(".rela.plt", C.SHT_RELA, C.SHF_ALLOC,
+                        entsize=C.RELA_SIZE, link=dynsym_idx)
+            add_section(".plt", C.SHT_PROGBITS,
+                        C.SHF_ALLOC | C.SHF_EXECINSTR)
+        text_idx = add_section(".text", C.SHT_PROGBITS,
+                               C.SHF_ALLOC | C.SHF_EXECINSTR)
+        add_section(".rodata", C.SHT_PROGBITS, C.SHF_ALLOC)
+        if not is_static:
+            add_section(".got.plt", C.SHT_PROGBITS,
+                        C.SHF_ALLOC | C.SHF_WRITE)
+            add_section(".dynamic", C.SHT_DYNAMIC,
+                        C.SHF_ALLOC | C.SHF_WRITE,
+                        entsize=C.DYN_SIZE, link=dynstr_idx)
+        else:
+            symtab_idx = add_section(".symtab", C.SHT_SYMTAB,
+                                     0, entsize=C.SYM_SIZE)
+            strtab_idx = add_section(".strtab", C.SHT_STRTAB, 0)
+            sections[symtab_idx].sh_link = strtab_idx
+        for name in self._exports:
+            dynsym[export_sym_slots[name]].st_shndx = text_idx
+
+        dynsym_blob = b"".join(sym.pack() for sym in dynsym)
+
+        # shstrtab itself goes after all laid-out content
+        shstr_name_off = shstrtab.add(".shstrtab")
+        shstr_blob_len_guess = len(shstrtab.pack())
+        shstrtab_offset = align(cursor, 8)
+        sections.append(SectionHeader(
+            sh_name=shstr_name_off, sh_type=C.SHT_STRTAB,
+            sh_offset=shstrtab_offset, sh_size=shstr_blob_len_guess,
+            name=".shstrtab",
+        ))
+        shstrtab_blob = shstrtab.pack()
+        sections[-1].sh_size = len(shstrtab_blob)
+        shoff = align(shstrtab_offset + len(shstrtab_blob), 8)
+
+        # --- program headers ---
+        file_end = shoff + len(sections) * C.SHDR_SIZE
+        phdrs: List[ProgramHeader] = []
+        if interp_bytes:
+            off, size = layout[".interp"]
+            phdrs.append(ProgramHeader(
+                p_type=C.PT_INTERP, p_flags=C.PF_R, p_offset=off,
+                p_vaddr=base + off, p_paddr=base + off,
+                p_filesz=size, p_memsz=size, p_align=1,
+            ))
+        load_end_section = ".dynamic" if not is_static else ".strtab"
+        load_size = (layout[load_end_section][0]
+                     + layout[load_end_section][1])
+        phdrs.append(ProgramHeader(
+            p_type=C.PT_LOAD, p_flags=C.PF_R | C.PF_W | C.PF_X,
+            p_offset=0, p_vaddr=base, p_paddr=base,
+            p_filesz=load_size, p_memsz=load_size,
+        ))
+        if not is_static:
+            dyn_off, dyn_size = layout[".dynamic"]
+            phdrs.append(ProgramHeader(
+                p_type=C.PT_DYNAMIC, p_flags=C.PF_R | C.PF_W,
+                p_offset=dyn_off, p_vaddr=base + dyn_off,
+                p_paddr=base + dyn_off, p_filesz=dyn_size,
+                p_memsz=dyn_size, p_align=8,
+            ))
+        phdrs.append(ProgramHeader(
+            p_type=C.PT_GNU_STACK, p_flags=C.PF_R | C.PF_W,
+            p_align=0x10,
+        ))
+
+        header = ElfHeader(
+            e_type=self.file_type,
+            e_entry=entry,
+            e_phoff=C.EHDR_SIZE,
+            e_shoff=shoff,
+            e_phnum=len(phdrs),
+            e_shnum=len(sections),
+            e_shstrndx=len(sections) - 1,
+        )
+
+        # --- assemble the file ---
+        image = bytearray(file_end)
+        image[0:C.EHDR_SIZE] = header.pack()
+        pos = C.EHDR_SIZE
+        for phdr in phdrs:
+            image[pos:pos + C.PHDR_SIZE] = phdr.pack()
+            pos += C.PHDR_SIZE
+
+        def emit(name: str, blob: bytes) -> None:
+            offset, size = layout[name]
+            if len(blob) != size:
+                raise AssertionError(
+                    f"{name}: laid out {size} bytes, emitting {len(blob)}")
+            image[offset:offset + size] = blob
+
+        if interp_bytes:
+            emit(".interp", interp_bytes)
+        if not is_static:
+            emit(".dynsym", dynsym_blob)
+            emit(".dynstr", dynstr_blob)
+            if use_versions:
+                import struct as _s
+                from .structs import elf_hash
+                versym = bytearray()
+                for position, symbol in enumerate(dynsym):
+                    if position == 0:
+                        index = C.VER_NDX_LOCAL
+                    elif symbol.is_undefined:
+                        index = C.VER_NDX_GLOBAL
+                    else:
+                        index = C.VER_NDX_BASE_DEFINED
+                    versym += _s.pack("<H", index)
+                emit(".gnu.version", bytes(versym))
+                verdef = _s.pack(
+                    "<HHHHIII",
+                    1,                      # vd_version
+                    0,                      # vd_flags
+                    C.VER_NDX_BASE_DEFINED,  # vd_ndx
+                    1,                      # vd_cnt
+                    elf_hash(self.version),  # vd_hash
+                    C.VERDEF_SIZE,          # vd_aux
+                    0,                      # vd_next
+                ) + _s.pack("<II", dynstr.add(self.version), 0)
+                emit(".gnu.version_d", verdef)
+            emit(".rela.plt", relas)
+            emit(".plt", bytes(plt))
+        emit(".text", bytes(text))
+        emit(".rodata", bytes(self._rodata))
+        if not is_static:
+            emit(".got.plt", got)
+            emit(".dynamic", dynamic)
+        else:
+            emit(".symtab", dynsym_blob)
+            emit(".strtab", dynstr_blob)
+        image[shstrtab_offset:shstrtab_offset + len(shstrtab_blob)] = (
+            shstrtab_blob)
+        pos = shoff
+        for section in sections:
+            image[pos:pos + C.SHDR_SIZE] = section.pack()
+            pos += C.SHDR_SIZE
+        return bytes(image)

@@ -1,0 +1,31 @@
+"""GNU libc 2.21 surface model, variants, and runtime libraries."""
+
+from . import runtime, symbols, variants
+from .symbols import LIBC_SYMBOLS, LibcSymbol, FORTIFY_MAP
+from .variants import (
+    DIETLIBC,
+    EGLIBC,
+    MUSL,
+    UCLIBC,
+    VARIANTS,
+    LibcVariant,
+    normalize_footprint,
+    normalize_symbol,
+)
+
+__all__ = [
+    "DIETLIBC",
+    "EGLIBC",
+    "FORTIFY_MAP",
+    "LIBC_SYMBOLS",
+    "LibcSymbol",
+    "LibcVariant",
+    "MUSL",
+    "UCLIBC",
+    "VARIANTS",
+    "normalize_footprint",
+    "normalize_symbol",
+    "runtime",
+    "symbols",
+    "variants",
+]

@@ -1,0 +1,255 @@
+"""Runtime library models: ld.so, libpthread, librt, libdl (§3.5, Table 5).
+
+Every dynamically-linked executable pulls in the dynamic linker and
+usually libc; threads pull in libpthread.  Their initialization and
+finalization paths issue system calls on behalf of *every* program,
+which gives those syscalls 100% API importance regardless of
+application code.  Table 5 attributes each startup syscall to the
+library that issues it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+# Table 5 — system calls issued during initialization/finalization of
+# the libc family, attributed to the issuing libraries.
+STARTUP_SYSCALLS: Dict[str, Tuple[str, ...]] = {
+    "access": ("ld.so",),
+    "arch_prctl": ("ld.so",),
+    "clone": ("libc",),
+    "execve": ("libc",),
+    "getuid": ("libc",),
+    "gettid": ("libc",),
+    "kill": ("libc",),
+    "getrlimit": ("libc",),
+    "setresuid": ("libc",),
+    "close": ("libc", "ld.so"),
+    "exit": ("libc", "ld.so"),
+    "exit_group": ("libc", "ld.so"),
+    "getcwd": ("libc", "ld.so"),
+    "getdents": ("libc", "ld.so"),
+    "getpid": ("libc", "ld.so"),
+    "lseek": ("libc", "ld.so"),
+    "lstat": ("libc", "ld.so"),
+    "mmap": ("libc", "ld.so"),
+    "munmap": ("libc", "ld.so"),
+    "madvise": ("libc", "ld.so"),
+    "mprotect": ("libc", "ld.so"),
+    "mremap": ("libc", "ld.so"),
+    "newfstatat": ("libc", "ld.so"),
+    "read": ("libc", "ld.so"),
+    "fstat": ("libc", "ld.so"),
+    "open": ("libc", "ld.so"),
+    "write": ("libc", "ld.so"),
+    "brk": ("libc", "ld.so"),
+    "rt_sigaction": ("libc",),
+    "rt_sigprocmask": ("librt", "libc"),
+    "rt_sigreturn": ("libpthread",),
+    "set_robust_list": ("libpthread",),
+    "set_tid_address": ("libpthread",),
+    "futex": ("libc", "ld.so", "libpthread"),
+    "uname": ("ld.so",),
+    # Reachable from libc's process-spawn path (posix_spawn applies
+    # scheduler attributes); under the study's function-pointer
+    # over-approximation (§7) this makes the pair part of every
+    # program's footprint — the reason Graphene's weighted completeness
+    # collapses until both are added (Table 6).
+    "sched_setscheduler": ("libc",),
+    "sched_setparam": ("libc",),
+    # Further calls the study finds at ~99.7% unweighted importance
+    # (Tables 8-9): reachable from glibc's setxid broadcast and spawn
+    # machinery, which the call-graph over-approximation ties to every
+    # program.
+    "setresgid": ("libc",),
+    "getgid": ("libc",),
+    "vfork": ("libc",),
+}
+
+# The subset of startup syscalls issued by ld.so alone — these hit
+# every dynamically linked binary before main() runs.
+LD_SO_FOOTPRINT: FrozenSet[str] = frozenset(
+    name for name, libs in STARTUP_SYSCALLS.items() if "ld.so" in libs)
+
+LIBC_STARTUP_FOOTPRINT: FrozenSet[str] = frozenset(
+    name for name, libs in STARTUP_SYSCALLS.items() if "libc" in libs)
+
+LIBPTHREAD_FOOTPRINT: FrozenSet[str] = frozenset(
+    name for name, libs in STARTUP_SYSCALLS.items()
+    if "libpthread" in libs)
+
+
+@dataclass(frozen=True)
+class RuntimeLibrary:
+    """A low-level runtime library and its exported surface."""
+
+    soname: str
+    exports: Tuple[str, ...]
+    # syscalls issued unconditionally at load/startup/teardown
+    startup_syscalls: FrozenSet[str]
+    # per-export syscall footprints beyond startup
+    export_syscalls: Dict[str, Tuple[str, ...]]
+
+
+_PTHREAD_EXPORTS = (
+    "pthread_create", "pthread_join", "pthread_detach", "pthread_exit",
+    "pthread_self", "pthread_equal", "pthread_cancel",
+    "pthread_setcancelstate", "pthread_setcanceltype",
+    "pthread_testcancel", "pthread_kill", "pthread_sigmask",
+    "pthread_attr_init", "pthread_attr_destroy",
+    "pthread_attr_setdetachstate", "pthread_attr_getdetachstate",
+    "pthread_attr_setstacksize", "pthread_attr_getstacksize",
+    "pthread_attr_setscope", "pthread_attr_setschedparam",
+    "pthread_mutex_init", "pthread_mutex_destroy",
+    "pthread_mutex_lock", "pthread_mutex_trylock",
+    "pthread_mutex_unlock", "pthread_mutex_timedlock",
+    "pthread_mutexattr_init", "pthread_mutexattr_destroy",
+    "pthread_mutexattr_settype", "pthread_mutexattr_setpshared",
+    "pthread_cond_init", "pthread_cond_destroy", "pthread_cond_wait",
+    "pthread_cond_timedwait", "pthread_cond_signal",
+    "pthread_cond_broadcast", "pthread_condattr_init",
+    "pthread_condattr_destroy", "pthread_rwlock_init",
+    "pthread_rwlock_destroy", "pthread_rwlock_rdlock",
+    "pthread_rwlock_wrlock", "pthread_rwlock_tryrdlock",
+    "pthread_rwlock_trywrlock", "pthread_rwlock_unlock",
+    "pthread_spin_init", "pthread_spin_destroy", "pthread_spin_lock",
+    "pthread_spin_trylock", "pthread_spin_unlock",
+    "pthread_barrier_init", "pthread_barrier_destroy",
+    "pthread_barrier_wait", "pthread_key_create", "pthread_key_delete",
+    "pthread_getspecific", "pthread_setspecific", "pthread_once",
+    "pthread_atfork", "pthread_getschedparam", "pthread_setschedparam",
+    "pthread_setname_np", "pthread_getname_np", "pthread_yield",
+    "pthread_getattr_np", "pthread_setaffinity_np",
+    "pthread_getaffinity_np", "sem_init", "sem_destroy", "sem_wait",
+    "sem_trywait", "sem_timedwait", "sem_post", "sem_getvalue",
+    "sem_open", "sem_close", "sem_unlink",
+)
+
+_PTHREAD_SYSCALLS = {
+    "pthread_create": ("clone", "mmap", "mprotect", "futex"),
+    "pthread_join": ("futex",),
+    "pthread_exit": ("exit", "futex", "munmap"),
+    "pthread_cancel": ("tgkill",),
+    "pthread_kill": ("tgkill",),
+    "pthread_sigmask": ("rt_sigprocmask",),
+    "pthread_mutex_lock": ("futex",),
+    "pthread_mutex_timedlock": ("futex",),
+    "pthread_mutex_unlock": ("futex",),
+    "pthread_cond_wait": ("futex",),
+    "pthread_cond_timedwait": ("futex",),
+    "pthread_cond_signal": ("futex",),
+    "pthread_cond_broadcast": ("futex",),
+    "pthread_rwlock_rdlock": ("futex",),
+    "pthread_rwlock_wrlock": ("futex",),
+    "pthread_rwlock_unlock": ("futex",),
+    "pthread_barrier_wait": ("futex",),
+    "pthread_once": ("futex",),
+    "pthread_setname_np": ("prctl",),
+    "pthread_getname_np": ("prctl",),
+    "pthread_yield": ("sched_yield",),
+    "pthread_setaffinity_np": ("sched_setaffinity",),
+    "pthread_getaffinity_np": ("sched_getaffinity",),
+    "pthread_setschedparam": ("sched_setscheduler",),
+    "pthread_getschedparam": ("sched_getscheduler", "sched_getparam"),
+    "sem_wait": ("futex",),
+    "sem_timedwait": ("futex",),
+    "sem_post": ("futex",),
+    "sem_open": ("open", "mmap"),
+    "sem_close": ("munmap",),
+    "sem_unlink": ("unlink",),
+}
+
+_LIBRT_EXPORTS = (
+    "clock_gettime", "clock_settime", "clock_getres", "clock_nanosleep",
+    "timer_create", "timer_delete", "timer_settime", "timer_gettime",
+    "timer_getoverrun", "mq_open", "mq_close", "mq_unlink", "mq_send",
+    "mq_receive", "mq_timedsend", "mq_timedreceive", "mq_notify",
+    "mq_getattr", "mq_setattr", "shm_open", "shm_unlink",
+    "aio_read", "aio_write", "aio_error", "aio_return", "aio_suspend",
+    "aio_cancel", "aio_fsync", "lio_listio",
+)
+
+_LIBRT_SYSCALLS = {
+    "clock_gettime": ("clock_gettime",),
+    "clock_settime": ("clock_settime",),
+    "clock_getres": ("clock_getres",),
+    "clock_nanosleep": ("clock_nanosleep",),
+    "timer_create": ("timer_create",),
+    "timer_delete": ("timer_delete",),
+    "timer_settime": ("timer_settime",),
+    "timer_gettime": ("timer_gettime",),
+    "timer_getoverrun": ("timer_getoverrun",),
+    "mq_open": ("mq_open",), "mq_close": ("close",),
+    "mq_unlink": ("mq_unlink",), "mq_send": ("mq_timedsend",),
+    "mq_receive": ("mq_timedreceive",),
+    "mq_timedsend": ("mq_timedsend",),
+    "mq_timedreceive": ("mq_timedreceive",),
+    "mq_notify": ("mq_notify",),
+    "mq_getattr": ("mq_getsetattr",), "mq_setattr": ("mq_getsetattr",),
+    "shm_open": ("open",), "shm_unlink": ("unlink",),
+    "aio_read": ("pread64", "clone"), "aio_write": ("pwrite64", "clone"),
+    "aio_suspend": ("futex",), "lio_listio": ("pread64", "pwrite64"),
+}
+
+_LIBDL_EXPORTS = (
+    "dlopen", "dlclose", "dlsym", "dlerror", "dladdr", "dlinfo",
+    "dlvsym", "dlmopen",
+)
+
+_LIBDL_SYSCALLS = {
+    "dlopen": ("open", "read", "fstat", "mmap", "mprotect", "close"),
+    "dlmopen": ("open", "read", "fstat", "mmap", "mprotect", "close"),
+    "dlclose": ("munmap",),
+}
+
+LD_SO = RuntimeLibrary(
+    soname="ld-linux-x86-64.so.2",
+    exports=("_dl_open", "_dl_close", "_dl_addr", "__tls_get_addr"),
+    startup_syscalls=LD_SO_FOOTPRINT,
+    export_syscalls={
+        "_dl_open": ("open", "read", "fstat", "mmap", "mprotect",
+                     "close"),
+        "_dl_close": ("munmap",),
+        "__tls_get_addr": (),
+        "_dl_addr": (),
+    },
+)
+
+LIBPTHREAD = RuntimeLibrary(
+    soname="libpthread.so.0",
+    exports=_PTHREAD_EXPORTS,
+    startup_syscalls=LIBPTHREAD_FOOTPRINT,
+    export_syscalls=_PTHREAD_SYSCALLS,
+)
+
+LIBRT = RuntimeLibrary(
+    soname="librt.so.1",
+    exports=_LIBRT_EXPORTS,
+    startup_syscalls=frozenset({"rt_sigprocmask"}),
+    export_syscalls=_LIBRT_SYSCALLS,
+)
+
+LIBDL = RuntimeLibrary(
+    soname="libdl.so.2",
+    exports=_LIBDL_EXPORTS,
+    startup_syscalls=frozenset(),
+    export_syscalls=_LIBDL_SYSCALLS,
+)
+
+RUNTIME_LIBRARIES: List[RuntimeLibrary] = [LD_SO, LIBPTHREAD, LIBRT, LIBDL]
+
+# Table 1 — system calls whose only direct users are particular
+# libraries (applications reach them exclusively through the wrappers).
+LIBRARY_ONLY_SYSCALLS: Dict[str, Tuple[str, ...]] = {
+    "clock_settime": ("libc",),
+    "iopl": ("libc",),
+    "ioperm": ("libc",),
+    "signalfd4": ("libc",),
+    "mbind": ("libnuma", "libopenblas"),
+    "add_key": ("libkeyutils",),
+    "keyctl": ("pam_keyutil", "libkeyutils"),
+    "request_key": ("libkeyutils",),
+    "preadv": ("libc",),
+    "pwritev": ("libc",),
+}

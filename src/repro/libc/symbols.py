@@ -1,0 +1,991 @@
+"""GNU libc 2.21 exported-function catalogue (§3.5, Figure 7).
+
+The paper analyzes the 1,274 global function symbols exported by
+``libc-2.21.so``.  This module reconstructs that surface: every symbol
+carries a category, a usage *tier* (ground-truth calibration for the
+synthetic ecosystem, mirroring Figure 7's distribution), and — for
+symbols that wrap kernel functionality — the set of system calls the
+implementation issues.
+
+Tier semantics (these drive how the ecosystem generator attaches
+symbols to binaries; the analysis pipeline never reads them):
+
+* ``universal``  — linked by essentially every dynamically-linked
+  program (startup path, core stdio/string/malloc).
+* ``common``     — used by most nontrivial programs.
+* ``occasional`` — used by a meaningful minority (wide chars, locale).
+* ``rare``       — used by few packages (rpc, obstack, resolver).
+* ``unused``     — exported but effectively dead (legacy compat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+TIERS = ("universal", "common", "occasional", "rare", "unused")
+
+
+@dataclass(frozen=True)
+class LibcSymbol:
+    """One exported function of libc-2.21.so."""
+
+    name: str
+    category: str
+    tier: str
+    syscalls: Tuple[str, ...] = ()
+    internal_calls: Tuple[str, ...] = ()  # other libc symbols it calls
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(f"bad tier {self.tier!r} for {self.name}")
+
+
+def _family(category: str, tier: str, names: Sequence[str],
+            syscalls: Dict[str, Tuple[str, ...]] = {},
+            internal: Dict[str, Tuple[str, ...]] = {},
+            ) -> List[LibcSymbol]:
+    return [
+        LibcSymbol(name, category, tier,
+                   syscalls=tuple(syscalls.get(name, ())),
+                   internal_calls=tuple(internal.get(name, ())))
+        for name in names
+    ]
+
+
+_SYMBOLS: List[LibcSymbol] = []
+
+# --- startup & runtime internals (universal) ---------------------------------
+_SYMBOLS += _family("startup", "universal", [
+    "__libc_start_main", "__libc_init_first", "__cxa_atexit",
+    "__cxa_finalize", "__errno_location", "__stack_chk_fail",
+    "__assert_fail", "__assert_perror_fail", "__fxstat", "__xstat",
+    "__lxstat", "__fxstatat", "_exit", "abort", "atexit", "on_exit",
+    "exit", "__libc_current_sigrtmin", "__libc_current_sigrtmax",
+    "__sched_cpucount", "__sched_cpualloc", "__sched_cpufree",
+    "__libc_malloc", "__libc_free", "__libc_calloc", "__libc_realloc",
+    "__libc_memalign", "__register_atfork", "__getpagesize",
+    "__h_errno_location", "__res_init", "__libc_alloca_cutoff",
+    "_setjmp", "setjmp", "longjmp", "_longjmp", "__sigsetjmp",
+    "__longjmp_chk", "siglongjmp", "secure_getenv",
+], syscalls={
+    "__libc_start_main": ("exit_group", "arch_prctl", "set_tid_address",
+                          "set_robust_list", "rt_sigaction",
+                          "rt_sigprocmask", "getrlimit"),
+    "_exit": ("exit_group", "exit"),
+    "exit": ("exit_group",),
+    "abort": ("rt_sigprocmask", "gettid", "tgkill", "exit_group"),
+    "__fxstat": ("fstat",), "__xstat": ("stat",), "__lxstat": ("lstat",),
+    "__fxstatat": ("newfstatat",),
+    "__getpagesize": (),
+    "__assert_fail": ("write", "exit_group"),
+}, internal={
+    "__libc_start_main": ("exit", "__libc_init_first"),
+    "__assert_fail": ("fprintf", "abort"),
+})
+
+# --- malloc (universal) -----------------------------------------------------
+_SYMBOLS += _family("malloc", "universal", [
+    "malloc", "free", "calloc", "realloc", "posix_memalign", "memalign",
+    "valloc", "pvalloc", "aligned_alloc", "malloc_usable_size",
+    "mallopt", "malloc_trim", "malloc_stats", "mallinfo",
+    "reallocarray", "cfree",
+], syscalls={
+    "malloc": ("brk", "mmap"),
+    "free": ("munmap", "brk"),
+    "calloc": ("brk", "mmap"),
+    "realloc": ("brk", "mmap", "mremap", "munmap"),
+    "memalign": ("brk", "mmap"),
+    "posix_memalign": ("brk", "mmap"),
+    "aligned_alloc": ("brk", "mmap"),
+    "valloc": ("brk", "mmap"),
+    "pvalloc": ("brk", "mmap"),
+    "malloc_trim": ("madvise", "brk"),
+})
+
+# --- string & memory (universal) --------------------------------------------
+_SYMBOLS += _family("string", "universal", [
+    "memcpy", "memmove", "memset", "memcmp", "memchr", "memrchr",
+    "mempcpy", "memccpy", "memmem", "strcpy", "strncpy", "strcat",
+    "strncat", "strcmp", "strncmp", "strcasecmp", "strncasecmp",
+    "strchr", "strrchr", "strchrnul", "strstr", "strcasestr", "strlen",
+    "strnlen", "strdup", "strndup", "strtok", "strtok_r", "strsep",
+    "strspn", "strcspn", "strpbrk", "strerror", "strerror_r",
+    "strsignal", "stpcpy", "stpncpy", "strcoll", "strxfrm", "strfry",
+    "basename", "dirname", "index", "rindex", "bcopy", "bzero", "bcmp",
+    "ffs", "ffsl", "ffsll", "swab", "strverscmp",
+])
+
+# --- stdio (universal head) -------------------------------------------------
+_SYMBOLS += _family("stdio", "universal", [
+    "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+    "vsprintf", "vsnprintf", "asprintf", "vasprintf", "dprintf",
+    "vdprintf", "scanf", "fscanf", "sscanf", "vscanf", "vfscanf",
+    "vsscanf", "fopen", "freopen", "fdopen", "fclose", "fflush",
+    "fread", "fwrite", "fgetc", "fgets", "fputc", "fputs", "getc",
+    "getchar", "putc", "putchar", "puts", "ungetc", "fseek", "ftell",
+    "rewind", "fgetpos", "fsetpos", "fseeko", "ftello", "feof",
+    "ferror", "clearerr", "fileno", "perror", "setbuf", "setvbuf",
+    "setbuffer", "setlinebuf", "tmpfile", "tmpnam", "tempnam",
+    "getline", "getdelim", "fmemopen", "open_memstream", "fpurge",
+    "__fpending", "flockfile", "funlockfile", "ftrylockfile",
+    "getc_unlocked", "getchar_unlocked", "putc_unlocked",
+    "putchar_unlocked", "fgets_unlocked", "fputs_unlocked",
+    "fread_unlocked", "fwrite_unlocked", "feof_unlocked",
+    "ferror_unlocked", "fileno_unlocked", "clearerr_unlocked",
+    "fgetc_unlocked", "fputc_unlocked", "popen", "pclose", "ctermid",
+    "cuserid", "remove", "renameat_wrapper_unused",
+], syscalls={
+    "printf": ("write", "writev", "fstat", "mmap"),
+    "fprintf": ("write", "writev"), "vfprintf": ("write", "writev"),
+    "dprintf": ("write",),
+    "vdprintf": ("write",), "vprintf": ("write",), "puts": ("write",),
+    "putchar": ("write",), "fputs": ("write",), "fputc": ("write",),
+    "putc": ("write",), "fwrite": ("write",),
+    "scanf": ("read",), "fscanf": ("read", "readv"),
+    "vfscanf": ("read", "readv"),
+    "fopen": ("open", "fstat", "mmap"),
+    "freopen": ("close", "open", "fstat"),
+    "fdopen": ("fcntl", "fstat"),
+    "fclose": ("close", "munmap", "write"),
+    "fflush": ("write",),
+    "fread": ("read",), "fgets": ("read",), "fgetc": ("read",),
+    "getc": ("read",), "getchar": ("read",), "getline": ("read",),
+    "getdelim": ("read", "readv"), "ungetc": (),
+    "fseek": ("lseek",), "fseeko": ("lseek",), "ftell": ("lseek",),
+    "ftello": ("lseek",), "rewind": ("lseek",),
+    "tmpfile": ("open", "unlink"),
+    "popen": ("pipe2", "clone", "vfork", "execve", "close", "dup2"),
+    "pclose": ("wait4", "close"),
+    "perror": ("write",),
+    "remove": ("unlink", "rmdir"),
+}, internal={
+    "printf": ("vfprintf",), "fprintf": ("vfprintf",),
+    "sprintf": ("vsnprintf",), "snprintf": ("vsnprintf",),
+    "asprintf": ("vasprintf", "malloc"),
+    "perror": ("strerror", "fprintf"),
+    "popen": ("fdopen",),
+})
+
+# --- stdlib (universal) ------------------------------------------------
+_SYMBOLS += _family("stdlib", "universal", [
+    "atoi", "atol", "atoll", "atof", "strtol", "strtoul", "strtoll",
+    "strtoull", "strtod", "strtof", "strtold", "strtoq", "strtouq",
+    "qsort", "qsort_r", "bsearch", "lsearch", "lfind", "rand", "srand",
+    "rand_r", "random", "srandom", "initstate", "setstate", "random_r",
+    "srandom_r", "drand48", "lrand48", "mrand48", "srand48", "seed48",
+    "erand48", "nrand48", "jrand48", "lcong48", "abs", "labs", "llabs",
+    "div", "ldiv", "lldiv", "getenv", "setenv", "unsetenv", "putenv",
+    "clearenv", "mkstemp", "mkstemps", "mkostemp", "mkostemps",
+    "mkdtemp", "mktemp", "realpath", "canonicalize_file_name", "system",
+    "a64l", "l64a", "ecvt", "fcvt", "gcvt", "ecvt_r", "fcvt_r",
+    "qecvt", "qfcvt", "qgcvt", "atexit_unused_alias",
+], syscalls={
+    "mkstemp": ("open",), "mkostemp": ("open",), "mkstemps": ("open",),
+    "mkostemps": ("open",), "mkdtemp": ("mkdir",),
+    "realpath": ("lstat", "readlink", "getcwd"),
+    "canonicalize_file_name": ("lstat", "readlink"),
+    "system": ("clone", "vfork", "execve", "wait4", "rt_sigaction",
+               "rt_sigprocmask"),
+    "getenv": (), "setenv": (), "putenv": (),
+})
+
+# --- process control (universal/common) -----------------------------------
+_SYMBOLS += _family("process", "universal", [
+    "fork", "vfork", "execve", "execv", "execvp", "execvpe", "execl",
+    "execlp", "execle", "fexecve", "waitpid", "wait", "wait3", "wait4",
+    "waitid", "getpid", "getppid", "kill", "raise", "sleep", "usleep",
+    "nanosleep", "pause", "alarm", "getpgrp", "getpgid", "setpgid",
+    "setpgrp", "setsid", "getsid", "nice", "daemon", "_Fork",
+], syscalls={
+    "fork": ("clone",), "vfork": ("vfork", "clone"), "_Fork": ("clone",),
+    "execve": ("execve",), "execv": ("execve",), "execvp": ("execve",),
+    "execvpe": ("execve",), "execl": ("execve",), "execlp": ("execve",),
+    "execle": ("execve",), "fexecve": ("execveat", "execve"),
+    "waitpid": ("wait4",), "wait": ("wait4",), "wait3": ("wait4",),
+    "wait4": ("wait4",), "waitid": ("waitid",),
+    "getpid": ("getpid",), "getppid": ("getppid",), "kill": ("kill",),
+    "raise": ("gettid", "tgkill"),
+    "sleep": ("nanosleep", "rt_sigprocmask"), "usleep": ("nanosleep",),
+    "nanosleep": ("nanosleep",), "pause": ("pause",), "alarm": ("alarm",),
+    "getpgrp": ("getpgrp",), "getpgid": ("getpgid",),
+    "setpgid": ("setpgid",), "setpgrp": ("setpgid",),
+    "setsid": ("setsid",), "getsid": ("getsid",),
+    "nice": ("setpriority", "getpriority"),
+    "daemon": ("clone", "setsid", "open", "dup2", "close"),
+})
+
+# --- identity (universal) ---------------------------------------------------
+_SYMBOLS += _family("identity", "universal", [
+    "getuid", "geteuid", "getgid", "getegid", "setuid", "setgid",
+    "seteuid", "setegid", "setreuid", "setregid", "setresuid",
+    "setresgid", "getresuid", "getresgid", "getgroups", "setgroups",
+    "initgroups", "group_member", "setfsuid", "setfsgid",
+], syscalls={
+    "getuid": ("getuid",), "geteuid": ("geteuid",), "getgid": ("getgid",),
+    "getegid": ("getegid",), "setuid": ("setresuid", "setuid"),
+    "setgid": ("setresgid", "setgid"),
+    "seteuid": ("setresuid",), "setegid": ("setresgid",),
+    "setreuid": ("setreuid",), "setregid": ("setregid",),
+    "setresuid": ("setresuid",), "setresgid": ("setresgid",),
+    "getresuid": ("getresuid",), "getresgid": ("getresgid",),
+    "getgroups": ("getgroups",), "setgroups": ("setgroups",),
+    "initgroups": ("setgroups",), "setfsuid": ("setfsuid",),
+    "setfsgid": ("setfsgid",),
+})
+
+# --- file & directory I/O (universal) -------------------------------------
+_SYMBOLS += _family("io", "universal", [
+    "open", "open64", "openat", "openat64", "creat", "creat64", "close",
+    "read", "write", "pread", "pwrite", "pread64", "pwrite64", "readv",
+    "writev", "preadv", "pwritev", "lseek", "lseek64", "dup", "dup2",
+    "dup3", "pipe", "pipe2", "fcntl", "ioctl", "fsync", "fdatasync",
+    "sync", "syncfs", "truncate", "ftruncate", "truncate64",
+    "ftruncate64", "stat", "fstat", "lstat", "stat64", "fstat64",
+    "lstat64", "fstatat", "fstatat64", "access", "faccessat", "chmod",
+    "fchmod", "fchmodat", "chown", "fchown", "lchown", "fchownat",
+    "umask", "mkdir", "mkdirat", "rmdir", "rename", "renameat",
+    "renameat2", "link", "linkat", "unlink", "unlinkat", "symlink",
+    "symlinkat", "readlink", "readlinkat", "mknod", "mknodat",
+    "mkfifo", "mkfifoat", "chdir", "fchdir", "getcwd", "getwd",
+    "get_current_dir_name", "opendir", "fdopendir", "readdir",
+    "readdir_r", "readdir64", "closedir", "rewinddir", "seekdir",
+    "telldir", "dirfd", "scandir", "scandir64", "alphasort",
+    "versionsort", "nftw", "ftw", "sendfile", "sendfile64", "splice",
+    "tee", "vmsplice", "copy_file_range", "posix_fadvise",
+    "posix_fallocate", "fallocate", "readahead", "flock", "lockf",
+    "lockf64", "statfs", "fstatfs", "statvfs", "fstatvfs", "ustat",
+    "utime", "utimes", "futimes", "lutimes", "futimens", "utimensat",
+    "futimesat", "pathconf", "fpathconf", "realpath_unused_alias",
+], syscalls={
+    "open": ("open",), "open64": ("open",), "openat": ("openat",),
+    "openat64": ("openat",), "creat": ("open",), "creat64": ("open",),
+    "close": ("close",), "read": ("read",), "write": ("write",),
+    "pread": ("pread64",), "pread64": ("pread64",),
+    "pwrite": ("pwrite64",), "pwrite64": ("pwrite64",),
+    "readv": ("readv",), "writev": ("writev",),
+    "preadv": ("preadv",), "pwritev": ("pwritev",),
+    "lseek": ("lseek",), "lseek64": ("lseek",),
+    "dup": ("dup",), "dup2": ("dup2",), "dup3": ("dup3",),
+    "pipe": ("pipe",), "pipe2": ("pipe2",),
+    "fcntl": ("fcntl",), "ioctl": ("ioctl",),
+    "fsync": ("fsync",), "fdatasync": ("fdatasync",), "sync": ("sync",),
+    "syncfs": ("syncfs",),
+    "truncate": ("truncate",), "ftruncate": ("ftruncate",),
+    "truncate64": ("truncate",), "ftruncate64": ("ftruncate",),
+    "stat": ("stat",), "fstat": ("fstat",), "lstat": ("lstat",),
+    "stat64": ("stat",), "fstat64": ("fstat",), "lstat64": ("lstat",),
+    "fstatat": ("newfstatat",), "fstatat64": ("newfstatat",),
+    "access": ("access",), "faccessat": ("faccessat",),
+    "chmod": ("chmod",), "fchmod": ("fchmod",), "fchmodat": ("fchmodat",),
+    "chown": ("chown",), "fchown": ("fchown",), "lchown": ("lchown",),
+    "fchownat": ("fchownat",), "umask": ("umask",),
+    "mkdir": ("mkdir",), "mkdirat": ("mkdirat",), "rmdir": ("rmdir",),
+    "rename": ("rename",), "renameat": ("renameat",),
+    "renameat2": ("renameat2",),
+    "link": ("link",), "linkat": ("linkat",),
+    "unlink": ("unlink",), "unlinkat": ("unlinkat",),
+    "symlink": ("symlink",), "symlinkat": ("symlinkat",),
+    "readlink": ("readlink",), "readlinkat": ("readlinkat",),
+    "mknod": ("mknod",), "mknodat": ("mknodat",),
+    "mkfifo": ("mknod",), "mkfifoat": ("mknodat",),
+    "chdir": ("chdir",), "fchdir": ("fchdir",),
+    "getcwd": ("getcwd",), "getwd": ("getcwd",),
+    "get_current_dir_name": ("getcwd",),
+    "opendir": ("open", "fstat"), "fdopendir": ("fstat", "fcntl"),
+    "readdir": ("getdents",), "readdir_r": ("getdents",),
+    "readdir64": ("getdents",), "closedir": ("close",),
+    "rewinddir": ("lseek",), "seekdir": ("lseek",),
+    "telldir": (), "dirfd": (),
+    "scandir": ("open", "getdents", "close"),
+    "scandir64": ("open", "getdents", "close"),
+    "nftw": ("open", "getdents", "stat", "fchdir", "close"),
+    "ftw": ("open", "getdents", "stat", "close"),
+    "sendfile": ("sendfile",), "sendfile64": ("sendfile",),
+    "splice": ("splice",), "tee": ("tee",), "vmsplice": ("vmsplice",),
+    "copy_file_range": ("sendfile",),
+    "posix_fadvise": ("fadvise64",), "posix_fallocate": ("fallocate",),
+    "fallocate": ("fallocate",), "readahead": ("readahead",),
+    "flock": ("flock",), "lockf": ("fcntl",), "lockf64": ("fcntl",),
+    "statfs": ("statfs",), "fstatfs": ("fstatfs",),
+    "statvfs": ("statfs",), "fstatvfs": ("fstatfs",),
+    "ustat": ("ustat",),
+    "utime": ("utime",), "utimes": ("utimes",),
+    "futimes": ("utimes",), "lutimes": ("utimensat",),
+    "futimens": ("utimensat",), "utimensat": ("utimensat",),
+    "futimesat": ("futimesat",),
+    "pathconf": ("statfs",), "fpathconf": ("fstatfs",),
+})
+
+# --- memory management wrappers (universal) ----------------------------------
+_SYMBOLS += _family("memory", "universal", [
+    "mmap", "mmap64", "munmap", "mprotect", "mremap", "msync",
+    "madvise", "mincore", "mlock", "munlock", "mlockall", "munlockall",
+    "brk", "sbrk", "shm_open", "shm_unlink", "memfd_create",
+    "remap_file_pages_wrapper_unused",
+], syscalls={
+    "mmap": ("mmap",), "mmap64": ("mmap",), "munmap": ("munmap",),
+    "mprotect": ("mprotect",), "mremap": ("mremap",), "msync": ("msync",),
+    "madvise": ("madvise",), "mincore": ("mincore",),
+    "mlock": ("mlock",), "munlock": ("munlock",),
+    "mlockall": ("mlockall",), "munlockall": ("munlockall",),
+    "brk": ("brk",), "sbrk": ("brk",),
+    "shm_open": ("open",), "shm_unlink": ("unlink",),
+    "memfd_create": ("memfd_create",),
+})
+
+# --- signals (universal) ----------------------------------------------------
+_SYMBOLS += _family("signal", "universal", [
+    "signal", "sigaction", "sigprocmask", "sigpending", "sigsuspend",
+    "sigwait", "sigwaitinfo", "sigtimedwait", "sigqueue", "sigemptyset",
+    "sigfillset", "sigaddset", "sigdelset", "sigismember", "sigaltstack",
+    "siginterrupt", "killpg", "psignal", "psiginfo", "sigsetmask",
+    "sigblock", "siggetmask", "sigvec", "sigstack", "sigreturn",
+    "bsd_signal", "sysv_signal", "gsignal", "ssignal",
+], syscalls={
+    "signal": ("rt_sigaction",), "sigaction": ("rt_sigaction",),
+    "sigprocmask": ("rt_sigprocmask",), "sigpending": ("rt_sigpending",),
+    "sigsuspend": ("rt_sigsuspend",),
+    "sigwait": ("rt_sigtimedwait",), "sigwaitinfo": ("rt_sigtimedwait",),
+    "sigtimedwait": ("rt_sigtimedwait",),
+    "sigqueue": ("rt_sigqueueinfo",), "sigaltstack": ("sigaltstack",),
+    "killpg": ("kill",), "sigreturn": ("rt_sigreturn",),
+    "sigsetmask": ("rt_sigprocmask",), "sigblock": ("rt_sigprocmask",),
+    "sigvec": ("rt_sigaction",), "bsd_signal": ("rt_sigaction",),
+    "sysv_signal": ("rt_sigaction",), "gsignal": ("gettid", "tgkill"),
+    "ssignal": ("rt_sigaction",),
+})
+
+# --- time (universal/common) ------------------------------------------------
+_SYMBOLS += _family("time", "universal", [
+    "time", "gettimeofday", "settimeofday", "clock_gettime",
+    "clock_settime", "clock_getres", "clock_nanosleep", "clock",
+    "times", "localtime", "localtime_r", "gmtime", "gmtime_r",
+    "mktime", "timegm", "timelocal", "asctime", "asctime_r", "ctime",
+    "ctime_r", "strftime", "strptime", "difftime", "tzset", "ftime",
+    "adjtime", "adjtimex", "ntp_gettime", "ntp_adjtime", "stime",
+    "getitimer", "setitimer", "timer_create", "timer_delete",
+    "timer_settime", "timer_gettime", "timer_getoverrun",
+    "timerfd_create", "timerfd_settime", "timerfd_gettime", "dysize",
+], syscalls={
+    "time": ("time",), "gettimeofday": ("gettimeofday",),
+    "settimeofday": ("settimeofday",),
+    "clock_gettime": ("clock_gettime",),
+    "clock_settime": ("clock_settime",),
+    "clock_getres": ("clock_getres",),
+    "clock_nanosleep": ("clock_nanosleep",),
+    "clock": ("times", "clock_gettime"), "times": ("times",),
+    "tzset": ("open", "read", "close", "fstat", "mmap"),
+    "adjtime": ("adjtimex",), "adjtimex": ("adjtimex",),
+    "ntp_gettime": ("adjtimex",), "ntp_adjtime": ("adjtimex",),
+    "stime": ("settimeofday",),
+    "getitimer": ("getitimer",), "setitimer": ("setitimer",),
+    "timer_create": ("timer_create",), "timer_delete": ("timer_delete",),
+    "timer_settime": ("timer_settime",),
+    "timer_gettime": ("timer_gettime",),
+    "timer_getoverrun": ("timer_getoverrun",),
+    "timerfd_create": ("timerfd_create",),
+    "timerfd_settime": ("timerfd_settime",),
+    "timerfd_gettime": ("timerfd_gettime",),
+    "ftime": ("gettimeofday",),
+})
+
+# --- system info / resources (universal/common) -----------------------------
+_SYMBOLS += _family("system", "universal", [
+    "uname", "gethostname", "sethostname", "getdomainname",
+    "setdomainname", "sysinfo", "sysconf", "getrlimit", "setrlimit",
+    "getrusage", "getpriority", "setpriority", "prlimit", "prlimit64",
+    "getloadavg", "gethostid", "sethostid", "select", "pselect",
+    "poll", "ppoll", "epoll_create", "epoll_create1", "epoll_ctl",
+    "epoll_wait", "epoll_pwait", "eventfd", "eventfd_read",
+    "eventfd_write", "signalfd", "inotify_init", "inotify_init1",
+    "inotify_add_watch", "inotify_rm_watch", "fanotify_init",
+    "fanotify_mark", "syscall", "prctl", "arch_prctl_unused_alias",
+    "personality", "syslog_wrapper_unused", "klogctl", "acct",
+    "swapon", "swapoff", "reboot", "mount", "umount", "umount2",
+    "pivot_root", "chroot", "sethostent", "vhangup", "quotactl",
+    "nfsservctl", "sysctl",
+], syscalls={
+    "uname": ("uname",), "gethostname": ("uname",),
+    "sethostname": ("sethostname",), "getdomainname": ("uname",),
+    "setdomainname": ("setdomainname",), "sysinfo": ("sysinfo",),
+    "sysconf": ("sysinfo", "open", "read", "close"),
+    "getrlimit": ("getrlimit", "prlimit64"),
+    "setrlimit": ("setrlimit", "prlimit64"),
+    "getrusage": ("getrusage",),
+    "getpriority": ("getpriority",), "setpriority": ("setpriority",),
+    "prlimit": ("prlimit64",), "prlimit64": ("prlimit64",),
+    "getloadavg": ("open", "read", "close"),
+    "gethostid": ("open", "read", "close", "uname"),
+    "sethostid": ("open", "write", "close"),
+    "select": ("select",), "pselect": ("pselect6",),
+    "poll": ("poll",), "ppoll": ("ppoll",),
+    "epoll_create": ("epoll_create",),
+    "epoll_create1": ("epoll_create1",),
+    "epoll_ctl": ("epoll_ctl",), "epoll_wait": ("epoll_wait",),
+    "epoll_pwait": ("epoll_pwait",),
+    "eventfd": ("eventfd2",), "eventfd_read": ("read",),
+    "eventfd_write": ("write",), "signalfd": ("signalfd4",),
+    "inotify_init": ("inotify_init",),
+    "inotify_init1": ("inotify_init1",),
+    "inotify_add_watch": ("inotify_add_watch",),
+    "inotify_rm_watch": ("inotify_rm_watch",),
+    "fanotify_init": ("fanotify_init",),
+    "fanotify_mark": ("fanotify_mark",),
+    "syscall": (), "prctl": ("prctl",), "personality": ("personality",),
+    "klogctl": ("syslog",), "acct": ("acct",),
+    "swapon": ("swapon",), "swapoff": ("swapoff",),
+    "reboot": ("reboot",), "mount": ("mount",),
+    "umount": ("umount2",), "umount2": ("umount2",),
+    "pivot_root": ("pivot_root",), "chroot": ("chroot",),
+    "vhangup": ("vhangup",), "quotactl": ("quotactl",),
+    "nfsservctl": ("nfsservctl",), "sysctl": ("_sysctl",),
+})
+
+# --- scheduling & threads-in-libc (common) ---------------------------------
+_SYMBOLS += _family("sched", "common", [
+    "sched_yield", "sched_setscheduler", "sched_getscheduler",
+    "sched_setparam", "sched_getparam", "sched_get_priority_max",
+    "sched_get_priority_min", "sched_rr_get_interval",
+    "sched_setaffinity", "sched_getaffinity", "getcpu", "clone",
+    "unshare", "setns", "posix_spawn", "posix_spawnp",
+    "posix_spawn_file_actions_init", "posix_spawn_file_actions_destroy",
+    "posix_spawn_file_actions_addopen",
+    "posix_spawn_file_actions_addclose",
+    "posix_spawn_file_actions_adddup2", "posix_spawnattr_init",
+    "posix_spawnattr_destroy", "posix_spawnattr_setflags",
+    "posix_spawnattr_getflags", "posix_spawnattr_setsigmask",
+    "posix_spawnattr_setpgroup", "gettid",
+], syscalls={
+    "sched_yield": ("sched_yield",),
+    "sched_setscheduler": ("sched_setscheduler",),
+    "sched_getscheduler": ("sched_getscheduler",),
+    "sched_setparam": ("sched_setparam",),
+    "sched_getparam": ("sched_getparam",),
+    "sched_get_priority_max": ("sched_get_priority_max",),
+    "sched_get_priority_min": ("sched_get_priority_min",),
+    "sched_rr_get_interval": ("sched_rr_get_interval",),
+    "sched_setaffinity": ("sched_setaffinity",),
+    "sched_getaffinity": ("sched_getaffinity",),
+    "getcpu": ("getcpu",), "clone": ("clone",),
+    "unshare": ("unshare",), "setns": ("setns",),
+    "posix_spawn": ("clone", "execve", "dup2", "close"),
+    "posix_spawnp": ("clone", "execve", "dup2", "close"),
+    "gettid": ("gettid",),
+})
+
+# --- sockets & network (common) ----------------------------------------------
+_SYMBOLS += _family("network", "common", [
+    "socket", "socketpair", "bind", "listen", "accept", "accept4",
+    "connect", "shutdown", "send", "sendto", "sendmsg", "sendmmsg",
+    "recv", "recvfrom", "recvmsg", "recvmmsg", "getsockname",
+    "getpeername", "getsockopt", "setsockopt", "gethostbyname",
+    "gethostbyname2", "gethostbyaddr", "gethostbyname_r",
+    "gethostbyname2_r", "gethostbyaddr_r", "gethostent", "endhostent",
+    "getaddrinfo", "freeaddrinfo", "getnameinfo", "gai_strerror",
+    "getservbyname", "getservbyport", "getservent", "setservent",
+    "endservent", "getprotobyname", "getprotobynumber", "getprotoent",
+    "getnetbyname", "getnetbyaddr", "getnetent", "inet_addr",
+    "inet_aton", "inet_ntoa", "inet_ntop", "inet_pton", "inet_network",
+    "inet_makeaddr", "inet_lnaof", "inet_netof", "htonl", "htons",
+    "ntohl", "ntohs", "if_nametoindex", "if_indextoname",
+    "if_nameindex", "if_freenameindex", "getifaddrs", "freeifaddrs",
+    "rcmd", "rresvport", "ruserok", "rexec", "herror", "hstrerror",
+    "bindresvport", "ether_ntoa", "ether_aton", "ether_ntohost",
+    "ether_hostton", "ether_line",
+], syscalls={
+    "socket": ("socket",), "socketpair": ("socketpair",),
+    "bind": ("bind",), "listen": ("listen",),
+    "accept": ("accept",), "accept4": ("accept4",),
+    "connect": ("connect",), "shutdown": ("shutdown",),
+    "send": ("sendto",), "sendto": ("sendto",),
+    "sendmsg": ("sendmsg",), "sendmmsg": ("sendmmsg",),
+    "recv": ("recvfrom",), "recvfrom": ("recvfrom",),
+    "recvmsg": ("recvmsg",), "recvmmsg": ("recvmmsg",),
+    "getsockname": ("getsockname",), "getpeername": ("getpeername",),
+    "getsockopt": ("getsockopt",), "setsockopt": ("setsockopt",),
+    "gethostbyname": ("socket", "connect", "sendto", "recvfrom",
+                      "open", "read", "close"),
+    "getaddrinfo": ("socket", "connect", "sendto", "recvfrom",
+                    "open", "read", "close", "stat"),
+    "getnameinfo": ("socket", "connect", "sendto", "recvfrom"),
+    "getifaddrs": ("socket", "sendto", "recvmsg", "close"),
+    "if_nametoindex": ("socket", "ioctl", "close"),
+    "if_indextoname": ("socket", "ioctl", "close"),
+    "rcmd": ("socket", "connect", "bind"),
+    "rresvport": ("socket", "bind"),
+    "bindresvport": ("bind",),
+})
+
+# --- users, groups, accounting databases (common) ---------------------------
+_SYMBOLS += _family("nss", "common", [
+    "getpwnam", "getpwuid", "getpwnam_r", "getpwuid_r", "getpwent",
+    "setpwent", "endpwent", "fgetpwent", "putpwent", "getgrnam",
+    "getgrgid", "getgrnam_r", "getgrgid_r", "getgrent", "setgrent",
+    "endgrent", "fgetgrent", "putgrent", "getgrouplist", "getspnam",
+    "getspent", "setspent", "endspent", "getlogin", "getlogin_r",
+    "cuserid_unused_alias", "getutent", "getutid", "getutline",
+    "setutent", "endutent", "pututline", "utmpname", "updwtmp",
+    "login_tty", "logout", "logwtmp", "getpass", "getusershell",
+    "setusershell", "endusershell", "sgetspent", "lckpwdf", "ulckpwdf",
+], syscalls={
+    "getpwnam": ("open", "read", "close", "fstat", "mmap", "socket",
+                 "connect"),
+    "getpwuid": ("open", "read", "close", "fstat", "mmap", "socket",
+                 "connect"),
+    "getgrnam": ("open", "read", "close", "fstat", "socket", "connect"),
+    "getgrgid": ("open", "read", "close", "fstat", "socket", "connect"),
+    "getspnam": ("open", "read", "close", "fstat"),
+    "getlogin": ("open", "read", "close", "getuid"),
+    "getutent": ("open", "read", "close"),
+    "pututline": ("open", "write", "lseek", "close"),
+    "updwtmp": ("open", "write", "close"),
+    "login_tty": ("setsid", "ioctl", "dup2", "close"),
+    "getpass": ("open", "ioctl", "read", "write", "close"),
+    "lckpwdf": ("open", "fcntl", "close"),
+})
+
+# --- terminals & ptys (common) ------------------------------------------------
+_SYMBOLS += _family("tty", "common", [
+    "isatty", "ttyname", "ttyname_r", "tcgetattr", "tcsetattr",
+    "tcsendbreak", "tcdrain", "tcflush", "tcflow", "tcgetpgrp",
+    "tcsetpgrp", "tcgetsid", "cfgetispeed", "cfgetospeed",
+    "cfsetispeed", "cfsetospeed", "cfsetspeed", "cfmakeraw",
+    "openpty", "forkpty", "posix_openpt", "grantpt", "unlockpt",
+    "ptsname", "ptsname_r", "getpt",
+], syscalls={
+    "isatty": ("ioctl",), "ttyname": ("ioctl", "readlink", "fstat"),
+    "ttyname_r": ("ioctl", "readlink", "fstat"),
+    "tcgetattr": ("ioctl",), "tcsetattr": ("ioctl",),
+    "tcsendbreak": ("ioctl",), "tcdrain": ("ioctl",),
+    "tcflush": ("ioctl",), "tcflow": ("ioctl",),
+    "tcgetpgrp": ("ioctl",), "tcsetpgrp": ("ioctl",),
+    "tcgetsid": ("ioctl",),
+    "openpty": ("open", "ioctl"), "forkpty": ("open", "ioctl", "clone"),
+    "posix_openpt": ("open",), "grantpt": ("ioctl",),
+    "unlockpt": ("ioctl",), "ptsname": ("ioctl",),
+    "ptsname_r": ("ioctl",), "getpt": ("open",),
+})
+
+# --- xattr & capabilities (occasional) ----------------------------------------
+_SYMBOLS += _family("xattr", "occasional", [
+    "setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+    "fgetxattr", "listxattr", "llistxattr", "flistxattr", "removexattr",
+    "lremovexattr", "fremovexattr", "capget", "capset",
+], syscalls={name: (name,) for name in [
+    "setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+    "fgetxattr", "listxattr", "llistxattr", "flistxattr", "removexattr",
+    "lremovexattr", "fremovexattr", "capget", "capset"]})
+
+# --- System V IPC (occasional) -----------------------------------------------
+# POSIX message queues live in librt (see repro.libc.runtime), matching
+# the real layout; only the System V family is exported by libc.
+_SYMBOLS += _family("ipc", "occasional", [
+    "shmget", "shmat", "shmdt", "shmctl", "semget", "semop", "semctl",
+    "semtimedop", "msgget", "msgsnd", "msgrcv", "msgctl", "ftok",
+], syscalls={
+    "shmget": ("shmget",), "shmat": ("shmat",), "shmdt": ("shmdt",),
+    "shmctl": ("shmctl",), "semget": ("semget",), "semop": ("semop",),
+    "semctl": ("semctl",), "semtimedop": ("semtimedop",),
+    "msgget": ("msgget",), "msgsnd": ("msgsnd",), "msgrcv": ("msgrcv",),
+    "msgctl": ("msgctl",), "ftok": ("stat",),
+})
+
+# --- locale & iconv (occasional) ---------------------------------------------
+_SYMBOLS += _family("locale", "occasional", [
+    "setlocale", "localeconv", "nl_langinfo", "nl_langinfo_l",
+    "newlocale", "duplocale", "freelocale", "uselocale", "iconv_open",
+    "iconv", "iconv_close", "gettext", "dgettext", "dcgettext",
+    "ngettext", "dngettext", "dcngettext", "textdomain",
+    "bindtextdomain", "bind_textdomain_codeset", "catopen", "catgets",
+    "catclose", "strcoll_l", "strxfrm_l", "strcasecmp_l",
+    "strncasecmp_l", "strftime_l", "strtod_l", "strtol_l", "strtoul_l",
+    "isalpha_l", "isdigit_l", "toupper_l", "tolower_l",
+], syscalls={
+    "setlocale": ("open", "read", "fstat", "mmap", "close"),
+    "iconv_open": ("open", "read", "fstat", "mmap", "close"),
+    "gettext": ("open", "read", "fstat", "mmap", "close"),
+    "catopen": ("open", "fstat", "mmap", "close"),
+})
+
+# --- ctype (universal) ---------------------------------------------------
+_SYMBOLS += _family("ctype", "universal", [
+    "isalpha", "isdigit", "isalnum", "isspace", "isupper", "islower",
+    "isprint", "ispunct", "isgraph", "iscntrl", "isxdigit", "isblank",
+    "isascii", "toupper", "tolower", "toascii", "__ctype_b_loc",
+    "__ctype_tolower_loc", "__ctype_toupper_loc",
+])
+
+# --- wide characters (occasional) ------------------------------------------
+_WCHAR_BASE = [
+    "wcscpy", "wcsncpy", "wcscat", "wcsncat", "wcscmp", "wcsncmp",
+    "wcscasecmp", "wcsncasecmp", "wcschr", "wcsrchr", "wcsstr",
+    "wcslen", "wcsnlen", "wcsdup", "wcstok", "wcsspn", "wcscspn",
+    "wcspbrk", "wcscoll", "wcsxfrm", "wmemcpy", "wmemmove", "wmemset",
+    "wmemcmp", "wmemchr", "wcstol", "wcstoul", "wcstoll", "wcstoull",
+    "wcstod", "wcstof", "wcstold", "wcwidth", "wcswidth", "mbtowc",
+    "wctomb", "mbstowcs", "wcstombs", "mblen", "mbrlen", "mbrtowc",
+    "wcrtomb", "mbsrtowcs", "wcsrtombs", "mbsnrtowcs", "wcsnrtombs",
+    "mbsinit", "btowc", "wctob", "fgetwc", "fgetws", "fputwc", "fputws",
+    "getwc", "getwchar", "putwc", "putwchar", "ungetwc", "fwide",
+    "wprintf", "fwprintf", "swprintf", "vwprintf", "vfwprintf",
+    "vswprintf", "wscanf", "fwscanf", "swscanf", "vwscanf", "vfwscanf",
+    "vswscanf", "wcsftime", "iswalpha", "iswdigit", "iswalnum",
+    "iswspace", "iswupper", "iswlower", "iswprint", "iswpunct",
+    "iswgraph", "iswcntrl", "iswxdigit", "iswblank", "towupper",
+    "towlower", "towctrans", "wctrans", "wctype", "iswctype",
+    "wcpcpy", "wcpncpy", "wcschrnul", "wcsncasecmp_l", "wcscasecmp_l",
+]
+_SYMBOLS += _family("wchar", "occasional", _WCHAR_BASE, syscalls={
+    "fgetwc": ("read",), "fgetws": ("read",),
+    "fputwc": ("write",), "fputws": ("write",),
+    "wprintf": ("write",), "fwprintf": ("write",),
+    "vfwprintf": ("write",), "wscanf": ("read",), "fwscanf": ("read",),
+})
+
+# --- regex / glob / matching (common) ----------------------------------------
+_SYMBOLS += _family("match", "common", [
+    "regcomp", "regexec", "regfree", "regerror", "fnmatch", "glob",
+    "glob64", "globfree", "globfree64", "wordexp", "wordfree",
+    "re_compile_pattern", "re_search", "re_match", "re_set_syntax",
+    "re_compile_fastmap", "re_search_2", "re_match_2",
+], syscalls={
+    "glob": ("open", "getdents", "stat", "close"),
+    "glob64": ("open", "getdents", "stat", "close"),
+    "wordexp": ("clone", "execve", "pipe2", "read", "wait4"),
+})
+
+# --- dynamic loading hooks kept in libc (common) -------------------------------
+_SYMBOLS += _family("dl", "common", [
+    "dlopen", "dlclose", "dlsym", "dlerror", "dladdr", "dlinfo",
+    "dlvsym", "dl_iterate_phdr",
+], syscalls={
+    "dlopen": ("open", "read", "fstat", "mmap", "mprotect", "close"),
+    "dl_iterate_phdr": (),
+})
+
+# --- searching / hashing / trees (rare) --------------------------------------
+_SYMBOLS += _family("search", "rare", [
+    "hcreate", "hdestroy", "hsearch", "hcreate_r", "hdestroy_r",
+    "hsearch_r", "tsearch", "tfind", "tdelete", "twalk", "tdestroy",
+    "insque", "remque",
+])
+
+# --- argz / envz / obstack / argp (rare) ---------------------------------------
+_SYMBOLS += _family("gnuext", "rare", [
+    "argz_create", "argz_create_sep", "argz_count", "argz_extract",
+    "argz_stringify", "argz_add", "argz_add_sep", "argz_append",
+    "argz_delete", "argz_insert", "argz_next", "argz_replace",
+    "envz_entry", "envz_get", "envz_add", "envz_merge", "envz_remove",
+    "envz_strip", "obstack_free", "_obstack_newchunk",
+    "_obstack_begin", "_obstack_begin_1", "_obstack_allocated_p",
+    "_obstack_memory_used", "obstack_alloc_failed_handler",
+    "argp_parse", "argp_usage", "argp_error", "argp_failure",
+    "argp_state_help", "argp_help",
+], syscalls={
+    "argp_error": ("write", "exit_group"),
+    "argp_failure": ("write",),
+})
+
+# --- Sun RPC & XDR (rare → unused; deprecated surface) -----------------------
+_RPC = [
+    "clnt_create", "clnt_destroy", "clnt_pcreateerror",
+    "clnt_perrno", "clnt_perror", "clnt_spcreateerror", "clnt_sperrno",
+    "clnt_sperror", "clntraw_create", "clnttcp_create", "clntudp_create",
+    "clntudp_bufcreate", "clntunix_create", "clnt_broadcast",
+    "svc_register", "svc_unregister", "svc_run", "svc_exit",
+    "svc_getreq", "svc_getreqset", "svc_sendreply", "svcerr_auth",
+    "svcerr_decode", "svcerr_noproc", "svcerr_noprog", "svcerr_progvers",
+    "svcerr_systemerr", "svcerr_weakauth", "svcraw_create",
+    "svctcp_create", "svcudp_create", "svcudp_bufcreate",
+    "svcunix_create", "svcfd_create", "xprt_register", "xprt_unregister",
+    "pmap_getmaps", "pmap_getport", "pmap_rmtcall", "pmap_set",
+    "pmap_unset", "callrpc", "registerrpc", "authnone_create",
+    "authunix_create", "authunix_create_default", "authdes_create",
+    "authdes_pk_create", "auth_destroy", "get_myaddress",
+    "getrpcbyname", "getrpcbynumber", "getrpcent", "setrpcent",
+    "endrpcent", "getrpcport", "rpc_createerr_location",
+    "xdr_void", "xdr_int", "xdr_u_int", "xdr_long", "xdr_u_long",
+    "xdr_short", "xdr_u_short", "xdr_char", "xdr_u_char", "xdr_bool",
+    "xdr_enum", "xdr_array", "xdr_bytes", "xdr_opaque", "xdr_string",
+    "xdr_union", "xdr_vector", "xdr_reference", "xdr_pointer",
+    "xdr_wrapstring", "xdr_float", "xdr_double", "xdr_quad_t",
+    "xdr_u_quad_t", "xdr_int8_t", "xdr_uint8_t", "xdr_int16_t",
+    "xdr_uint16_t", "xdr_int32_t", "xdr_uint32_t", "xdr_int64_t",
+    "xdr_uint64_t", "xdr_netobj", "xdr_free", "xdrmem_create",
+    "xdrrec_create", "xdrrec_endofrecord", "xdrrec_eof",
+    "xdrrec_skiprecord", "xdrstdio_create", "xdr_sizeof",
+    "key_decryptsession", "key_encryptsession", "key_gendes",
+    "key_setsecret", "key_secretkey_is_set", "netname2host",
+    "netname2user", "user2netname", "host2netname", "getnetname",
+    "rtime",
+]
+_SYMBOLS += _family("rpc", "rare", _RPC[:40], syscalls={
+    "clnttcp_create": ("socket", "connect"),
+    "clntudp_create": ("socket", "connect"),
+    "svctcp_create": ("socket", "bind", "listen"),
+    "svcudp_create": ("socket", "bind"),
+    "svc_run": ("poll",),
+    "pmap_getport": ("socket", "connect", "sendto", "recvfrom"),
+})
+_SYMBOLS += _family("rpc", "unused", _RPC[40:])
+
+# --- resolver (rare) ---------------------------------------------------------
+_SYMBOLS += _family("resolver", "rare", [
+    "res_init", "res_query", "res_search", "res_querydomain",
+    "res_mkquery", "res_send", "res_nquery", "res_nsearch",
+    "res_nmkquery", "res_nsend", "res_ninit", "res_nclose",
+    "dn_comp", "dn_expand", "dn_skipname", "ns_initparse",
+    "ns_parserr", "ns_sprintrr", "ns_name_ntop", "ns_name_pton",
+    "ns_name_unpack", "ns_name_pack", "ns_name_compress",
+    "ns_name_uncompress", "ns_get16", "ns_get32", "ns_put16",
+    "ns_put32",
+], syscalls={
+    "res_query": ("socket", "connect", "sendto", "recvfrom", "poll"),
+    "res_send": ("socket", "connect", "sendto", "recvfrom", "poll"),
+    "res_init": ("open", "read", "close", "fstat"),
+})
+
+# --- AIO (rare) -------------------------------------------------------------
+_SYMBOLS += _family("aio", "rare", [
+    "aio_read", "aio_write", "aio_error", "aio_return", "aio_suspend",
+    "aio_cancel", "aio_fsync", "lio_listio", "aio_init",
+], syscalls={
+    "aio_read": ("pread64", "clone"),
+    "aio_write": ("pwrite64", "clone"),
+    "aio_suspend": ("futex",),
+    "lio_listio": ("pread64", "pwrite64", "clone"),
+})
+
+# --- profiling & debugging (rare) ------------------------------------------
+_SYMBOLS += _family("debug", "rare", [
+    "backtrace", "backtrace_symbols", "backtrace_symbols_fd", "ptrace",
+    "profil", "moncontrol", "monstartup", "mcount", "mcheck",
+    "mcheck_pedantic", "mcheck_check_all", "mprobe", "mtrace",
+    "muntrace", "gcvt_unused_alias",
+], syscalls={
+    "backtrace_symbols_fd": ("write",),
+    "ptrace": ("ptrace",),
+    "profil": ("setitimer", "rt_sigaction"),
+    "mtrace": ("open", "fstat"),
+})
+
+# --- crypt & legacy misc (rare/unused) ---------------------------------------
+_SYMBOLS += _family("legacy", "rare", [
+    "crypt", "crypt_r", "encrypt", "encrypt_r", "setkey", "setkey_r",
+    "fcrypt", "gets", "gets_unused_alias", "vlimit", "vtimes",
+    "ulimit", "ioperm", "iopl", "getcontext", "setcontext",
+    "makecontext", "swapcontext", "sstk", "revoke", "sigignore",
+    "sigset", "sighold", "sigrelse",
+], syscalls={
+    "gets": ("read",), "ulimit": ("getrlimit", "setrlimit"),
+    "ioperm": ("ioperm",), "iopl": ("iopl",),
+    "getcontext": ("rt_sigprocmask",), "setcontext": ("rt_sigprocmask",),
+    "swapcontext": ("rt_sigprocmask",),
+    "sigignore": ("rt_sigaction",), "sigset": ("rt_sigaction",),
+    "sighold": ("rt_sigprocmask",), "sigrelse": ("rt_sigprocmask",),
+})
+
+# --- keys & security (rare) ----------------------------------------------
+_SYMBOLS += _family("security", "rare", [
+    "getauxval", "issetugid_np", "explicit_bzero", "getentropy",
+    "getrandom_wrapper",
+], syscalls={
+    "getentropy": ("getrandom",),
+    "getrandom_wrapper": ("getrandom",),
+})
+
+# --- glibc stdio internals exported for header macros (common) ---------------
+# getc()/putc() compile to calls into these on glibc; other libcs do not
+# export them, which drives Table 7's uClibc/musl results.
+_SYMBOLS += _family("stdio-internal", "common", [
+    "__uflow", "__overflow", "__underflow", "_IO_getc", "_IO_putc",
+    "_IO_puts", "_IO_feof", "_IO_ferror", "_IO_ungetc", "_IO_fread",
+    "_IO_fwrite", "_IO_fopen", "_IO_fclose", "_IO_fgets", "_IO_fputs",
+    "_IO_fflush", "_IO_fseek", "_IO_ftell", "_IO_printf",
+    "_IO_vfprintf", "_IO_vfscanf", "_IO_seekoff", "_IO_seekpos",
+    "_IO_setvbuf", "__wuflow", "__woverflow", "__wunderflow",
+], syscalls={
+    "__uflow": ("read",), "__underflow": ("read",),
+    "__overflow": ("write",), "_IO_getc": ("read",),
+    "_IO_putc": ("write",), "_IO_puts": ("write",),
+    "_IO_fread": ("read",), "_IO_fwrite": ("write",),
+    "_IO_fopen": ("open", "fstat", "mmap"), "_IO_fclose": ("close",),
+    "_IO_fgets": ("read",), "_IO_fputs": ("write",),
+    "_IO_fflush": ("write",), "_IO_fseek": ("lseek",),
+    "_IO_ftell": ("lseek",), "_IO_printf": ("write",),
+    "_IO_vfprintf": ("write",), "_IO_vfscanf": ("read",),
+    "_IO_seekoff": ("lseek",), "_IO_seekpos": ("lseek",),
+    "__wuflow": ("read",), "__woverflow": ("write",),
+    "__wunderflow": ("read",),
+})
+
+# --- fortify (_chk) variants ---------------------------------------------
+# GNU libc headers transparently replace many calls with checked
+# variants at compile time (``-D_FORTIFY_SOURCE``); §4.2 normalizes
+# these when comparing libc variants.
+FORTIFY_MAP: Dict[str, str] = {
+    "__printf_chk": "printf",
+    "__fprintf_chk": "fprintf",
+    "__sprintf_chk": "sprintf",
+    "__snprintf_chk": "snprintf",
+    "__vprintf_chk": "vprintf",
+    "__vfprintf_chk": "vfprintf",
+    "__vsprintf_chk": "vsprintf",
+    "__vsnprintf_chk": "vsnprintf",
+    "__asprintf_chk": "asprintf",
+    "__dprintf_chk": "dprintf",
+    "__memcpy_chk": "memcpy",
+    "__memmove_chk": "memmove",
+    "__memset_chk": "memset",
+    "__mempcpy_chk": "mempcpy",
+    "__strcpy_chk": "strcpy",
+    "__strncpy_chk": "strncpy",
+    "__strcat_chk": "strcat",
+    "__strncat_chk": "strncat",
+    "__stpcpy_chk": "stpcpy",
+    "__stpncpy_chk": "stpncpy",
+    "__fgets_chk": "fgets",
+    "__fgets_unlocked_chk": "fgets_unlocked",
+    "__gets_chk": "gets",
+    "__read_chk": "read",
+    "__pread_chk": "pread",
+    "__pread64_chk": "pread64",
+    "__readlink_chk": "readlink",
+    "__readlinkat_chk": "readlinkat",
+    "__getcwd_chk": "getcwd",
+    "__getwd_chk": "getwd",
+    "__realpath_chk": "realpath",
+    "__recv_chk": "recv",
+    "__recvfrom_chk": "recvfrom",
+    "__poll_chk": "poll",
+    "__ppoll_chk": "ppoll",
+    "__wcscpy_chk": "wcscpy",
+    "__wcsncpy_chk": "wcsncpy",
+    "__wcscat_chk": "wcscat",
+    "__wcsncat_chk": "wcsncat",
+    "__wmemcpy_chk": "wmemcpy",
+    "__wmemmove_chk": "wmemmove",
+    "__wmemset_chk": "wmemset",
+    "__swprintf_chk": "swprintf",
+    "__fwprintf_chk": "fwprintf",
+    "__wprintf_chk": "wprintf",
+    "__vswprintf_chk": "vswprintf",
+    "__vfwprintf_chk": "vfwprintf",
+    "__vwprintf_chk": "vwprintf",
+    "__confstr_chk": "confstr",
+    "__gethostname_chk": "gethostname",
+    "__getdomainname_chk": "getdomainname",
+    "__getgroups_chk": "getgroups",
+    "__ttyname_r_chk": "ttyname_r",
+    "__getlogin_r_chk": "getlogin_r",
+    "__mbstowcs_chk": "mbstowcs",
+    "__wcstombs_chk": "wcstombs",
+    "__mbsrtowcs_chk": "mbsrtowcs",
+    "__wcsrtombs_chk": "wcsrtombs",
+    "__mbsnrtowcs_chk": "mbsnrtowcs",
+    "__wcsnrtombs_chk": "wcsnrtombs",
+    "__strtok_r_chk": "strtok_r",
+    "__syslog_chk": "syslog",
+    "__vsyslog_chk": "vsyslog",
+    "__fread_chk": "fread",
+    "__fread_unlocked_chk": "fread_unlocked",
+    "__longjmp_chk_alias": "longjmp",
+    "__fdelt_chk": "select",
+    "__explicit_bzero_chk": "explicit_bzero",
+}
+
+
+def _fortify_symbols() -> List[LibcSymbol]:
+    by_name = {s.name: s for s in _SYMBOLS}
+    out = []
+    for chk, plain in FORTIFY_MAP.items():
+        base = by_name.get(plain)
+        tier = base.tier if base else "common"
+        syscalls = base.syscalls if base else ()
+        category = base.category if base else "fortify"
+        out.append(LibcSymbol(chk, category, tier, syscalls=syscalls))
+    return out
+
+
+# --- syslog & misc daemons helpers (common) -----------------------------------
+_SYMBOLS += _family("syslog", "common", [
+    "openlog", "syslog", "vsyslog", "closelog", "setlogmask",
+    "err", "errx", "warn", "warnx", "verr", "verrx", "vwarn", "vwarnx",
+    "error", "error_at_line",
+], syscalls={
+    "openlog": ("socket", "connect"),
+    "syslog": ("socket", "connect", "sendto", "write"),
+    "vsyslog": ("socket", "connect", "sendto", "write"),
+    "closelog": ("close",),
+    "err": ("write", "exit_group"), "errx": ("write", "exit_group"),
+    "warn": ("write",), "warnx": ("write",),
+    "error": ("write",),
+})
+
+# --- confstr & get options (universal) ---------------------------------------
+_SYMBOLS += _family("misc", "universal", [
+    "getopt", "getopt_long", "getopt_long_only", "confstr",
+    "gnu_get_libc_version", "gnu_get_libc_release", "getsubopt",
+    "getpagesize", "ptsname_unused_alias", "euidaccess", "eaccess",
+    "readlinkat_unused_alias", "freopen64", "fopen64", "tmpfile64",
+], syscalls={
+    "euidaccess": ("faccessat", "access"),
+    "eaccess": ("faccessat", "access"),
+    "fopen64": ("open", "fstat", "mmap"),
+    "freopen64": ("close", "open"),
+    "tmpfile64": ("open", "unlink"),
+    "getpagesize": (),
+})
+
+_SYMBOLS += _fortify_symbols()
+
+
+def _dedupe(symbols: List[LibcSymbol]) -> List[LibcSymbol]:
+    seen: Dict[str, LibcSymbol] = {}
+    for symbol in symbols:
+        if symbol.name not in seen:
+            seen[symbol.name] = symbol
+    return list(seen.values())
+
+
+LIBC_SYMBOLS: List[LibcSymbol] = _dedupe(_SYMBOLS)
+BY_NAME: Dict[str, LibcSymbol] = {s.name: s for s in LIBC_SYMBOLS}
+ALL_NAMES: FrozenSet[str] = frozenset(BY_NAME)
+
+
+def by_tier(tier: str) -> List[LibcSymbol]:
+    return [s for s in LIBC_SYMBOLS if s.tier == tier]
+
+
+def by_category(category: str) -> List[LibcSymbol]:
+    return [s for s in LIBC_SYMBOLS if s.category == category]
+
+
+def syscall_footprint_closure() -> Dict[str, FrozenSet[str]]:
+    """Per-symbol syscall footprint, closed over ``internal_calls``.
+
+    This is the generator-side ground truth: when the synthetic
+    ``libc.so.6`` is emitted, each exported function's body contains
+    these syscalls (directly or via calls to other exports), and the
+    analysis pipeline must recover the same closure from the binary.
+    """
+    closure: Dict[str, FrozenSet[str]] = {}
+
+    def resolve(name: str, stack: Tuple[str, ...] = ()) -> FrozenSet[str]:
+        if name in closure:
+            return closure[name]
+        if name in stack:  # defensive: cycles would mean a modeling bug
+            return frozenset()
+        symbol = BY_NAME.get(name)
+        if symbol is None:
+            return frozenset()
+        result = set(symbol.syscalls)
+        for callee in symbol.internal_calls:
+            result |= resolve(callee, stack + (name,))
+        closure[name] = frozenset(result)
+        return closure[name]
+
+    for symbol in LIBC_SYMBOLS:
+        resolve(symbol.name)
+    return closure

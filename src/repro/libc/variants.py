@@ -1,0 +1,180 @@
+"""Models of libc variants for the Table 7 comparison (§4.2).
+
+Each variant is described by the subset of GNU libc 2.21's exported
+function symbols it also exports, plus a nominal total export count
+(variants also export symbols glibc does not; those never matter for
+running glibc-linked binaries, but they explain the paper's "#"
+column).
+
+The paper's key observation: binaries compiled against glibc headers
+import *glibc-specific* symbols — fortify ``_chk`` wrappers and stdio
+internals like ``__uflow`` — so raw symbol matching makes every
+alternative libc look incompatible.  Normalizing the compile-time
+replacements (``printf_chk`` → ``printf``) recovers the real picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List
+
+from .symbols import ALL_NAMES, BY_NAME, FORTIFY_MAP, LIBC_SYMBOLS
+
+
+@dataclass(frozen=True)
+class LibcVariant:
+    """A libc implementation compared against GNU libc 2.21."""
+
+    name: str
+    version: str
+    nominal_export_count: int
+    supported: FrozenSet[str]  # GNU-symbol subset this variant exports
+
+    def supports(self, symbol: str) -> bool:
+        return symbol in self.supported
+
+    def missing(self) -> List[str]:
+        """GNU symbols this variant does not export, sorted."""
+        return sorted(ALL_NAMES - self.supported)
+
+
+def normalize_symbol(name: str) -> str:
+    """Reverse glibc compile-time replacement (``__printf_chk`` → ``printf``).
+
+    Used when evaluating non-GNU libcs: a binary importing a ``_chk``
+    wrapper really just needs the plain function.
+    """
+    return FORTIFY_MAP.get(name, name)
+
+
+def normalize_footprint(symbols: FrozenSet[str]) -> FrozenSet[str]:
+    return frozenset(normalize_symbol(s) for s in symbols)
+
+
+_GLIBC_ONLY_CATEGORIES = ("stdio-internal",)
+_GLIBC_ONLY_PREFIXES = ("__", "_IO_")
+
+
+def _is_glibc_internal(name: str) -> bool:
+    symbol = BY_NAME[name]
+    if symbol.category in _GLIBC_ONLY_CATEGORIES:
+        return True
+    return name.startswith(_GLIBC_ONLY_PREFIXES)
+
+
+def _subset(exclude: Callable[[str], bool]) -> FrozenSet[str]:
+    return frozenset(s.name for s in LIBC_SYMBOLS if not exclude(s.name))
+
+
+def _build_eglibc() -> LibcVariant:
+    # eglibc is a (now re-merged) fork of glibc: export-compatible.
+    return LibcVariant("eglibc", "2.19", 2198, frozenset(ALL_NAMES))
+
+
+_UCLIBC_MISSING_CATEGORIES = {
+    "stdio-internal", "gnuext", "numa", "debug", "aio",
+}
+_UCLIBC_MISSING_NAMES = {
+    "secure_getenv", "random_r", "srandom_r", "strverscmp", "strfry",
+    "memfd_create", "fanotify_init", "fanotify_mark", "getauxval",
+    "getentropy", "getrandom_wrapper", "mcheck", "mcheck_pedantic",
+    "mtrace", "muntrace", "dl_iterate_phdr", "fexecve", "execvpe",
+    "qsort_r", "mkostemps", "mkstemps", "renameat2",
+    "copy_file_range", "preadv", "pwritev", "explicit_bzero",
+}
+
+
+def _build_uclibc() -> LibcVariant:
+    def excluded(name: str) -> bool:
+        symbol = BY_NAME[name]
+        return (name in FORTIFY_MAP
+                or symbol.category in _UCLIBC_MISSING_CATEGORIES
+                or name in _UCLIBC_MISSING_NAMES)
+    return LibcVariant("uClibc", "0.9.33", 1867, _subset(excluded))
+
+
+_MUSL_MISSING_CATEGORIES = {"stdio-internal", "rpc", "debug"}
+_MUSL_MISSING_NAMES = {
+    "secure_getenv", "random_r", "srandom_r", "initstate", "setstate",
+    "argp_parse", "argp_usage", "argp_error", "argp_failure",
+    "argp_state_help", "argp_help", "obstack_free", "_obstack_newchunk",
+    "_obstack_begin", "_obstack_begin_1", "_obstack_allocated_p",
+    "_obstack_memory_used", "obstack_alloc_failed_handler",
+    "mcheck", "mcheck_pedantic", "mcheck_check_all", "mprobe",
+    "mallopt", "malloc_trim", "malloc_stats", "mallinfo", "cfree",
+    "fcrypt", "vlimit", "vtimes", "sstk", "revoke", "rexec", "rcmd",
+    "ruserok", "rresvport", "getusershell", "setusershell",
+    "endusershell", "sgetspent",
+}
+
+
+def _build_musl() -> LibcVariant:
+    def excluded(name: str) -> bool:
+        symbol = BY_NAME[name]
+        return (name in FORTIFY_MAP
+                or symbol.category in _MUSL_MISSING_CATEGORIES
+                or name in _MUSL_MISSING_NAMES)
+    return LibcVariant("musl", "1.1.14", 1890, _subset(excluded))
+
+
+# dietlibc is aggressively minimal: it keeps a small POSIX core and
+# drops glibc extensions, including ubiquitously-imported symbols like
+# memalign and __cxa_finalize — which the paper finds makes it
+# incompatible with effectively every glibc-linked binary.
+_DIETLIBC_CATEGORIES = {
+    "string", "ctype", "io", "process", "identity", "signal",
+    "memory", "stdlib",
+}
+_DIETLIBC_EXTRA_MISSING = {
+    # in kept categories, but absent from dietlibc 0.33
+    "memalign", "stpcpy", "stpncpy", "strverscmp", "strfry",
+    "strcasestr", "memrchr", "mempcpy", "memccpy", "memmem",
+    "posix_memalign", "aligned_alloc", "valloc", "pvalloc",
+    "malloc_usable_size", "mallopt", "malloc_trim", "malloc_stats",
+    "mallinfo", "reallocarray", "cfree", "qsort_r", "random_r",
+    "srandom_r", "canonicalize_file_name", "mkostemp", "mkostemps",
+    "mkstemps", "fexecve", "execvpe", "posix_fallocate",
+    "copy_file_range", "renameat2", "preadv", "pwritev",
+    "get_current_dir_name", "versionsort", "scandir64", "nftw",
+    "euidaccess", "eaccess",
+}
+_DIETLIBC_KEPT_ELSEWHERE = {
+    # a partial stdio/misc core dietlibc does provide
+    "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+    "vsnprintf", "fopen", "fclose", "fread", "fwrite", "fgets",
+    "fputs", "fgetc", "fputc", "getc", "putc", "getchar", "putchar",
+    "puts", "fflush", "fseek", "ftell", "rewind", "feof", "ferror",
+    "fileno", "perror", "setvbuf", "remove", "getenv", "setenv",
+    "unsetenv", "putenv", "atoi", "atol", "strtol", "strtoul",
+    "strtoll", "strtoull", "strtod", "qsort", "bsearch", "rand",
+    "srand", "random", "srandom", "abs", "labs", "getopt", "time",
+    "gettimeofday", "localtime", "gmtime", "mktime", "strftime",
+    "socket", "bind", "listen", "accept", "connect", "send", "sendto",
+    "recv", "recvfrom", "select", "poll", "isatty", "tcgetattr",
+    "tcsetattr",
+}
+
+
+def _build_dietlibc() -> LibcVariant:
+    def included(name: str) -> bool:
+        if name in _DIETLIBC_EXTRA_MISSING:
+            return False
+        if _is_glibc_internal(name) or name in FORTIFY_MAP:
+            return False
+        symbol = BY_NAME[name]
+        if symbol.category in _DIETLIBC_CATEGORIES:
+            return True
+        return name in _DIETLIBC_KEPT_ELSEWHERE
+    supported = frozenset(s.name for s in LIBC_SYMBOLS
+                          if included(s.name))
+    return LibcVariant("dietlibc", "0.33", 962, supported)
+
+
+EGLIBC = _build_eglibc()
+UCLIBC = _build_uclibc()
+MUSL = _build_musl()
+DIETLIBC = _build_dietlibc()
+
+VARIANTS: Dict[str, LibcVariant] = {
+    v.name: v for v in (EGLIBC, UCLIBC, MUSL, DIETLIBC)
+}

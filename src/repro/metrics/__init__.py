@@ -1,0 +1,80 @@
+"""Metrics: API importance, unweighted importance, weighted
+completeness, and the incremental implementation path."""
+
+from .diffing import ApiDelta, MigrationVerdict, UsageDiff
+from .montecarlo import (
+    approximation_error_report,
+    empirical_api_importance,
+    empirical_weighted_completeness,
+    sample_installation,
+)
+from .sensitivity import (
+    ImportanceInterval,
+    bootstrap_importance,
+    survey_noise_report,
+    unstable_bands,
+)
+from .completeness import (
+    close_over_dependencies,
+    directly_supported,
+    missing_apis_report,
+    supported_packages,
+    weighted_completeness,
+)
+from .importance import (
+    api_importance,
+    band_counts,
+    count_at_least,
+    dependents_index,
+    importance_of_packages,
+    importance_table,
+    ranked,
+)
+from .ranking import (
+    CurvePoint,
+    Stage,
+    completeness_curve,
+    first_rank_reaching,
+    inverted_cdf,
+    stages,
+)
+from .unweighted import (
+    unweighted_api_importance,
+    unweighted_importance_table,
+    variant_comparison,
+)
+
+__all__ = [
+    "ApiDelta",
+    "CurvePoint",
+    "ImportanceInterval",
+    "MigrationVerdict",
+    "UsageDiff",
+    "approximation_error_report",
+    "bootstrap_importance",
+    "empirical_api_importance",
+    "empirical_weighted_completeness",
+    "sample_installation",
+    "survey_noise_report",
+    "unstable_bands",
+    "Stage",
+    "api_importance",
+    "band_counts",
+    "close_over_dependencies",
+    "completeness_curve",
+    "count_at_least",
+    "dependents_index",
+    "directly_supported",
+    "first_rank_reaching",
+    "importance_of_packages",
+    "importance_table",
+    "inverted_cdf",
+    "missing_apis_report",
+    "ranked",
+    "stages",
+    "supported_packages",
+    "unweighted_api_importance",
+    "unweighted_importance_table",
+    "variant_comparison",
+    "weighted_completeness",
+]

@@ -1,0 +1,135 @@
+"""Weighted completeness (Appendix A.2).
+
+For a target system described by its supported API set, the expected
+fraction of packages in a typical installation that the system can run::
+
+    WC = sum_{pkg supported} Pr{pkg} / sum_{pkg} Pr{pkg}
+
+A package is *supported* when its API footprint is a subset of the
+supported set **and** all of its (transitive) dependencies are
+supported — §2.2 step 3 marks a supported package unsupported when it
+depends on an unsupported one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from ..analysis.footprint import Footprint
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+
+
+def directly_supported(footprints: Mapping[str, Footprint],
+                       supported_apis: FrozenSet[str],
+                       dimension: str = "syscall",
+                       ) -> Set[str]:
+    """Packages whose own footprint fits in ``supported_apis``."""
+    from .importance import DIMENSIONS
+    select = DIMENSIONS[dimension]
+    return {package for package, footprint in footprints.items()
+            if select(footprint) <= supported_apis}
+
+
+def close_over_dependencies(supported: Set[str],
+                            repository: Repository,
+                            assume_supported: Optional[Set[str]] = None,
+                            ) -> Set[str]:
+    """Drop packages whose dependency closure leaves ``supported``.
+
+    ``assume_supported`` names packages outside the measurement
+    universe (e.g. footprint-less library packages) whose presence in a
+    dependency list never invalidates a dependent.
+
+    Fixed-point: removing a package can invalidate its dependents, so
+    iterate until stable (the graph may contain cycles; the loop
+    terminates because the set only shrinks).
+    """
+    result = set(supported)
+    assumed = assume_supported or set()
+    changed = True
+    while changed:
+        changed = False
+        for name in list(result):
+            package = repository.get(name)
+            for dep in package.depends:
+                if (dep in repository and dep not in result
+                        and dep not in assumed):
+                    result.discard(name)
+                    changed = True
+                    break
+    return result
+
+
+def weighted_completeness(supported_apis: Iterable[str],
+                          footprints: Mapping[str, Footprint],
+                          popcon: PopularityContest,
+                          repository: Optional[Repository] = None,
+                          dimension: str = "syscall",
+                          ignore_empty: bool = True) -> float:
+    """The paper's system-wide compatibility metric.
+
+    ``ignore_empty`` drops packages with an empty footprint in the
+    chosen dimension (pure library/data packages) from both numerator
+    and denominator: they run trivially on any system and would only
+    dilute the measurement.
+    """
+    from .importance import DIMENSIONS
+    select = DIMENSIONS[dimension]
+    universe = {pkg: fp for pkg, fp in footprints.items()
+                if not ignore_empty or select(fp)}
+    supported_set = frozenset(supported_apis)
+    supported = directly_supported(universe, supported_set, dimension)
+    if repository is not None:
+        trivially = {pkg for pkg in footprints if pkg not in universe}
+        supported = close_over_dependencies(supported, repository,
+                                            assume_supported=trivially)
+    numerator = sum(popcon.install_probability(pkg)
+                    for pkg in supported)
+    denominator = sum(popcon.install_probability(pkg)
+                      for pkg in universe)
+    return numerator / denominator if denominator else 0.0
+
+
+def supported_packages(supported_apis: Iterable[str],
+                       footprints: Mapping[str, Footprint],
+                       repository: Optional[Repository] = None,
+                       dimension: str = "syscall") -> Set[str]:
+    """The concrete supported-package set (steps 2-3 of §2.2)."""
+    from .importance import DIMENSIONS
+    select = DIMENSIONS[dimension]
+    supported = directly_supported(
+        footprints, frozenset(supported_apis), dimension)
+    if repository is not None:
+        trivially = {pkg for pkg, fp in footprints.items()
+                     if not select(fp)}
+        supported = close_over_dependencies(supported, repository,
+                                            assume_supported=trivially)
+    return supported
+
+
+def missing_apis_report(supported_apis: Iterable[str],
+                        footprints: Mapping[str, Footprint],
+                        popcon: PopularityContest,
+                        dimension: str = "syscall",
+                        limit: int = 10,
+                        ) -> List[tuple]:
+    """Most valuable APIs to add next (§4.1's "suggested APIs").
+
+    Ranks each unsupported API by the total installation probability of
+    the packages it currently blocks.
+    """
+    from .importance import DIMENSIONS
+    select = DIMENSIONS[dimension]
+    supported_set = frozenset(supported_apis)
+    blocked_weight: Dict[str, float] = {}
+    for package, footprint in footprints.items():
+        missing = select(footprint) - supported_set
+        if not missing:
+            continue
+        weight = popcon.install_probability(package)
+        for api in missing:
+            blocked_weight[api] = blocked_weight.get(api, 0.0) + weight
+    ranked = sorted(blocked_weight.items(),
+                    key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]

@@ -1,0 +1,118 @@
+"""Cross-release API usage diffing.
+
+The paper's dataset is a single snapshot; §2.4 lists the lack of
+historical data as a limitation, and §6 argues the methodology should
+be re-run per release to track API migration.  This module implements
+that comparison: given two measured usage (or importance) tables —
+e.g. from ecosystems synthesized with different
+:attr:`EcosystemConfig.adoption_shift` values — it reports which APIs
+gained users, which declined, and whether recommended migrations
+actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..syscalls.variants import ALL_VARIANT_GROUPS
+
+
+@dataclass(frozen=True)
+class ApiDelta:
+    """Change in one API's usage between two releases."""
+
+    api: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> Optional[float]:
+        if self.before == 0.0:
+            return None
+        return self.delta / self.before
+
+
+@dataclass(frozen=True)
+class MigrationVerdict:
+    """Did users move from a legacy API to its preferred variant?"""
+
+    legacy: str
+    preferred: str
+    legacy_delta: float
+    preferred_delta: float
+
+    @property
+    def migrated(self) -> bool:
+        return self.legacy_delta < 0 and self.preferred_delta > 0
+
+
+class UsageDiff:
+    """Comparison of two usage/importance tables."""
+
+    def __init__(self, before: Mapping[str, float],
+                 after: Mapping[str, float],
+                 noise_floor: float = 0.02) -> None:
+        """``noise_floor`` suppresses deltas smaller than sampling
+        noise between two independently synthesized archives."""
+        self.before = dict(before)
+        self.after = dict(after)
+        self.noise_floor = noise_floor
+
+    def delta_of(self, api: str) -> ApiDelta:
+        return ApiDelta(api, self.before.get(api, 0.0),
+                        self.after.get(api, 0.0))
+
+    def _significant(self) -> List[ApiDelta]:
+        apis = set(self.before) | set(self.after)
+        deltas = [self.delta_of(api) for api in sorted(apis)]
+        return [d for d in deltas if abs(d.delta) >= self.noise_floor]
+
+    def risers(self, limit: int = 20) -> List[ApiDelta]:
+        """APIs gaining users, biggest gain first."""
+        gains = [d for d in self._significant() if d.delta > 0]
+        gains.sort(key=lambda d: -d.delta)
+        return gains[:limit]
+
+    def fallers(self, limit: int = 20) -> List[ApiDelta]:
+        """APIs losing users, biggest loss first."""
+        losses = [d for d in self._significant() if d.delta < 0]
+        losses.sort(key=lambda d: d.delta)
+        return losses[:limit]
+
+    def migration_verdicts(self) -> List[MigrationVerdict]:
+        """For every variant pair the study tracks (Tables 8-11),
+        whether the recommended migration progressed."""
+        verdicts = []
+        for _, pairs in ALL_VARIANT_GROUPS:
+            for pair in pairs:
+                legacy = self.delta_of(pair.left)
+                preferred = self.delta_of(pair.right)
+                verdicts.append(MigrationVerdict(
+                    legacy=pair.left, preferred=pair.right,
+                    legacy_delta=legacy.delta,
+                    preferred_delta=preferred.delta))
+        return verdicts
+
+    def migrated_pairs(self) -> List[MigrationVerdict]:
+        return [v for v in self.migration_verdicts()
+                if v.migrated
+                and (abs(v.legacy_delta) >= self.noise_floor
+                     or abs(v.preferred_delta) >= self.noise_floor)]
+
+    def summary_rows(self, limit: int = 12,
+                     ) -> List[Tuple[str, str, str, str]]:
+        rows = []
+        for delta in (self.risers(limit // 2)
+                      + self.fallers(limit // 2)):
+            rows.append((
+                delta.api,
+                f"{delta.before:.2%}",
+                f"{delta.after:.2%}",
+                f"{delta.delta:+.2%}",
+            ))
+        return rows

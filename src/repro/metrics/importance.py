@@ -1,0 +1,109 @@
+"""API importance (Appendix A.1).
+
+For a given API, the probability that a random installation includes at
+least one package whose footprint requires the API::
+
+    Importance(api) = 1 - prod_{pkg in Dependents(api)} (1 - Pr{pkg in Inst})
+
+Package installations are treated as independent (the survey publishes
+no correlations), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from ..analysis.footprint import Footprint
+from ..packages.popcon import PopularityContest
+
+# Selector: which footprint dimension an importance query ranges over.
+# "all" spans the entire API surface with namespaced identifiers
+# (§3.2: "one can construct a similar path including other APIs, such
+# as vectored system calls, pseudo-files and library APIs").
+DIMENSIONS: Dict[str, Callable[[Footprint], FrozenSet[str]]] = {
+    "syscall": lambda fp: fp.syscalls,
+    "ioctl": lambda fp: fp.ioctls,
+    "fcntl": lambda fp: fp.fcntls,
+    "prctl": lambda fp: fp.prctls,
+    "pseudofile": lambda fp: fp.pseudo_files,
+    "libc": lambda fp: fp.libc_symbols,
+    "all": lambda fp: fp.api_set(),
+}
+
+
+def dependents_index(footprints: Mapping[str, Footprint],
+                     dimension: str = "syscall",
+                     ) -> Dict[str, List[str]]:
+    """api -> packages whose footprint includes it."""
+    select = DIMENSIONS[dimension]
+    index: Dict[str, List[str]] = {}
+    for package, footprint in footprints.items():
+        for api in select(footprint):
+            index.setdefault(api, []).append(package)
+    return index
+
+
+def importance_of_packages(packages: Iterable[str],
+                           popcon: PopularityContest) -> float:
+    """Probability at least one of ``packages`` is installed."""
+    probability_none = 1.0
+    for package in packages:
+        probability_none *= 1.0 - popcon.install_probability(package)
+    return 1.0 - probability_none
+
+
+def api_importance(api: str,
+                   footprints: Mapping[str, Footprint],
+                   popcon: PopularityContest,
+                   dimension: str = "syscall") -> float:
+    """Importance of a single API (slow path; see :func:`importance_table`
+    for bulk queries)."""
+    select = DIMENSIONS[dimension]
+    users = [pkg for pkg, fp in footprints.items() if api in select(fp)]
+    return importance_of_packages(users, popcon)
+
+
+def importance_table(footprints: Mapping[str, Footprint],
+                     popcon: PopularityContest,
+                     dimension: str = "syscall",
+                     universe: Iterable[str] = (),
+                     ) -> Dict[str, float]:
+    """Importance of every API in one pass.
+
+    ``universe`` optionally adds APIs that no package uses, which then
+    report importance 0.0 (needed for Figure 2's full x-axis).
+    """
+    index = dependents_index(footprints, dimension)
+    table = {api: importance_of_packages(users, popcon)
+             for api, users in index.items()}
+    for api in universe:
+        table.setdefault(api, 0.0)
+    return table
+
+
+def ranked(table: Mapping[str, float]) -> List[Tuple[str, float]]:
+    """APIs sorted by importance, descending, ties by name."""
+    return sorted(table.items(), key=lambda item: (-item[1], item[0]))
+
+
+def count_at_least(table: Mapping[str, float],
+                   threshold: float) -> int:
+    """How many APIs have importance >= threshold."""
+    return sum(1 for value in table.values() if value >= threshold)
+
+
+def band_counts(table: Mapping[str, float],
+                full_threshold: float = 0.995,
+                ) -> Dict[str, int]:
+    """Figure 2-style bands: indispensable / mid / low / unused."""
+    bands = {"indispensable": 0, "mid": 0, "low": 0, "unused": 0}
+    for value in table.values():
+        if value >= full_threshold:
+            bands["indispensable"] += 1
+        elif value >= 0.10:
+            bands["mid"] += 1
+        elif value > 0.0:
+            bands["low"] += 1
+        else:
+            bands["unused"] += 1
+    return bands

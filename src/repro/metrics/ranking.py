@@ -1,0 +1,150 @@
+"""Importance ranking and the incremental implementation path (§3.2).
+
+Implements the greedy strategy behind Figure 3 and Table 4: order APIs
+by importance, then measure weighted completeness as the top-N set
+grows.  The resulting curve tells a system builder what the next most
+valuable API is and how much of a typical installation each
+implementation stage unlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.footprint import Footprint
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+from .completeness import close_over_dependencies
+from .importance import DIMENSIONS, ranked
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One point on the Figure 3 curve."""
+
+    n_apis: int
+    api: str                 # the API added at this step
+    completeness: float
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One row of Table 4."""
+
+    number: int
+    start: int               # first rank in this stage (1-based)
+    end: int                 # last rank
+    completeness: float
+    sample_apis: Tuple[str, ...]
+
+
+def completeness_curve(footprints: Mapping[str, Footprint],
+                       popcon: PopularityContest,
+                       repository: Optional[Repository] = None,
+                       dimension: str = "syscall",
+                       importance: Optional[Mapping[str, float]] = None,
+                       ignore_empty: bool = True,
+                       ) -> List[CurvePoint]:
+    """Weighted completeness after adding each next-most-important API.
+
+    APIs are added in decreasing weighted importance; ties (the large
+    100%-importance head) are broken by unweighted importance, so the
+    calls every binary needs come first — this is what makes the
+    minimal "hello world" set appear at the head of the curve (§3.2).
+    Packages with an empty footprint are excluded (see
+    :func:`repro.metrics.completeness.weighted_completeness`).
+
+    Runs in O(APIs + packages) by tracking, per package, how many of
+    its required APIs are still missing.
+    """
+    select = DIMENSIONS[dimension]
+    trivially_supported = {pkg for pkg, fp in footprints.items()
+                           if not select(fp)}
+    if ignore_empty:
+        footprints = {pkg: fp for pkg, fp in footprints.items()
+                      if select(fp)}
+    if importance is None:
+        from .importance import importance_table
+        importance = importance_table(footprints, popcon, dimension)
+    from .unweighted import unweighted_importance_table
+    usage = unweighted_importance_table(footprints, dimension)
+    order = sorted(importance,
+                   key=lambda api: (-importance[api],
+                                    -usage.get(api, 0.0), api))
+
+    requirement_count: Dict[str, int] = {}
+    users: Dict[str, List[str]] = {}
+    for package, footprint in footprints.items():
+        needs = select(footprint)
+        requirement_count[package] = len(needs)
+        for api in needs:
+            users.setdefault(api, []).append(package)
+
+    total_weight = sum(popcon.install_probability(p) for p in footprints)
+    if total_weight == 0:
+        return []
+
+    satisfied = {p for p, count in requirement_count.items()
+                 if count == 0}
+    curve: List[CurvePoint] = []
+    for rank, api in enumerate(order, start=1):
+        for package in users.get(api, ()):
+            requirement_count[package] -= 1
+            if requirement_count[package] == 0:
+                satisfied.add(package)
+        supported = satisfied
+        if repository is not None:
+            supported = close_over_dependencies(
+                set(satisfied), repository,
+                assume_supported=trivially_supported)
+        weight = sum(popcon.install_probability(p) for p in supported)
+        curve.append(CurvePoint(rank, api, weight / total_weight))
+    return curve
+
+
+def stages(curve: Sequence[CurvePoint],
+           thresholds: Sequence[float] = (0.011, 0.10, 0.50, 0.90, 1.0),
+           samples_per_stage: int = 10) -> List[Stage]:
+    """Cut the curve into Table 4's implementation stages.
+
+    Stage *k* ends at the first point whose completeness reaches
+    ``thresholds[k]`` (the paper's 1.1% / ~10% / ~50% / ~90% / 100%).
+    """
+    result: List[Stage] = []
+    start = 1
+    for number, threshold in enumerate(thresholds, start=1):
+        end_point = None
+        for point in curve:
+            if point.n_apis >= start and point.completeness >= threshold:
+                end_point = point
+                break
+        if end_point is None:
+            end_point = curve[-1] if curve else None
+        if end_point is None:
+            break
+        sample = tuple(
+            point.api for point in curve
+            if start <= point.n_apis <= end_point.n_apis
+        )[:samples_per_stage]
+        result.append(Stage(
+            number=number, start=start, end=end_point.n_apis,
+            completeness=end_point.completeness, sample_apis=sample))
+        start = end_point.n_apis + 1
+        if start > len(curve):
+            break
+    return result
+
+
+def first_rank_reaching(curve: Sequence[CurvePoint],
+                        completeness: float) -> Optional[int]:
+    """The N at which the curve first reaches ``completeness``."""
+    for point in curve:
+        if point.completeness >= completeness:
+            return point.n_apis
+    return None
+
+
+def inverted_cdf(importance: Mapping[str, float]) -> List[float]:
+    """Figure 2's presentation: importance sorted descending."""
+    return [value for _, value in ranked(importance)]

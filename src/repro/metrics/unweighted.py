@@ -1,0 +1,56 @@
+"""Unweighted API importance (§5).
+
+The probability that a *package* uses an API, irrespective of how often
+the package is installed::
+
+    UnweightedImportance(api) = |Dependents(api)| / |Pkg_all|
+
+Used to study developer behaviour: adoption of secure variants
+(Table 8), migration off deprecated calls (Table 9), portability
+preferences (Table 10), and simple-over-powerful choices (Table 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..analysis.footprint import Footprint
+from .importance import DIMENSIONS, dependents_index
+
+
+def unweighted_importance_table(footprints: Mapping[str, Footprint],
+                                dimension: str = "syscall",
+                                universe: Iterable[str] = (),
+                                ) -> Dict[str, float]:
+    """Fraction of packages using each API."""
+    total = len(footprints)
+    if total == 0:
+        return {api: 0.0 for api in universe}
+    index = dependents_index(footprints, dimension)
+    table = {api: len(users) / total for api, users in index.items()}
+    for api in universe:
+        table.setdefault(api, 0.0)
+    return table
+
+
+def unweighted_api_importance(api: str,
+                              footprints: Mapping[str, Footprint],
+                              dimension: str = "syscall") -> float:
+    select = DIMENSIONS[dimension]
+    total = len(footprints)
+    if total == 0:
+        return 0.0
+    users = sum(1 for fp in footprints.values() if api in select(fp))
+    return users / total
+
+
+def variant_comparison(pairs: Iterable,
+                       table: Mapping[str, float],
+                       ) -> List[Tuple[str, float, str, float]]:
+    """Rows of (left, left_importance, right, right_importance) for a
+    variant group from :mod:`repro.syscalls.variants`."""
+    rows = []
+    for pair in pairs:
+        rows.append((pair.left, table.get(pair.left, 0.0),
+                     pair.right, table.get(pair.right, 0.0)))
+    return rows

@@ -1,0 +1,16 @@
+"""Package, repository, and popularity-contest models."""
+
+from .package import BinaryArtifact, BinaryKind, GroundTruthFootprint, Package
+from .popcon import PAPER_TOTAL_INSTALLATIONS, PopularityContest
+from .repository import Repository, UnknownPackageError
+
+__all__ = [
+    "BinaryArtifact",
+    "BinaryKind",
+    "GroundTruthFootprint",
+    "PAPER_TOTAL_INSTALLATIONS",
+    "Package",
+    "PopularityContest",
+    "Repository",
+    "UnknownPackageError",
+]

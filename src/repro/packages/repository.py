@@ -1,0 +1,104 @@
+"""APT-style package repository with dependency resolution.
+
+Models the part of APT's behaviour the study relies on: the package
+namespace, ``Depends:`` edges, and transitive dependency closure
+(weighted completeness marks a package unsupported when any of its
+dependencies is unsupported, §2.2 step 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from .package import Package
+
+
+class UnknownPackageError(KeyError):
+    """Raised when a dependency or lookup names a missing package."""
+
+
+class Repository:
+    """A collection of packages indexed by name."""
+
+    def __init__(self, packages: Iterable[Package] = ()) -> None:
+        self._packages: Dict[str, Package] = {}
+        for package in packages:
+            self.add(package)
+
+    def add(self, package: Package) -> None:
+        if package.name in self._packages:
+            raise ValueError(f"duplicate package {package.name!r}")
+        self._packages[package.name] = package
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def __iter__(self) -> Iterator[Package]:
+        return iter(self._packages.values())
+
+    def get(self, name: str) -> Package:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise UnknownPackageError(name) from None
+
+    def names(self) -> List[str]:
+        return list(self._packages)
+
+    # --- dependency handling ------------------------------------------------
+
+    def dependency_closure(self, name: str) -> FrozenSet[str]:
+        """All packages reachable from ``name`` via Depends, inclusive.
+
+        Cycle-safe (APT permits dependency cycles; they are common
+        between e.g. libc and libgcc).  Unknown dependencies are
+        ignored, matching APT's behaviour for virtual packages.
+        """
+        closure: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in closure or current not in self._packages:
+                continue
+            closure.add(current)
+            stack.extend(self._packages[current].depends)
+        return frozenset(closure)
+
+    def reverse_dependencies(self, name: str) -> FrozenSet[str]:
+        """Packages that directly depend on ``name``."""
+        return frozenset(
+            pkg.name for pkg in self if name in pkg.depends)
+
+    def validate_dependencies(self) -> List[str]:
+        """Return dangling dependency names (useful in tests)."""
+        dangling = []
+        for package in self:
+            for dep in package.depends:
+                if dep not in self._packages:
+                    dangling.append(f"{package.name} -> {dep}")
+        return dangling
+
+    def topological_order(self) -> List[Package]:
+        """Dependencies-first order; cycles broken arbitrarily."""
+        order: List[Package] = []
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str) -> None:
+            state = visited.get(name)
+            if state is not None:
+                return
+            visited[name] = 0
+            package = self._packages.get(name)
+            if package is not None:
+                for dep in package.depends:
+                    if visited.get(dep) != 0:
+                        visit(dep)
+                order.append(package)
+            visited[name] = 1
+
+        for name in self._packages:
+            visit(name)
+        return order

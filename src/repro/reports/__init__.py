@@ -1,0 +1,15 @@
+"""Text rendering for tables, figures, and key-point summaries."""
+
+from .text import (
+    format_percent,
+    render_key_points,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "format_percent",
+    "render_key_points",
+    "render_series",
+    "render_table",
+]

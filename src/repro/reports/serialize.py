@@ -1,0 +1,49 @@
+"""JSON serialization for experiment outputs.
+
+Experiment ``data`` payloads mix dataclasses, frozensets, tuples, and
+plain containers; this encoder flattens them into JSON-compatible
+structures so results can be exported, diffed, or post-processed
+outside Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+
+def to_jsonable(value: Any, _depth: int = 0) -> Any:
+    """Recursively convert ``value`` into JSON-compatible data."""
+    if _depth > 24:
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_jsonable(getattr(value, field.name),
+                                        _depth + 1)
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item, _depth + 1)
+                for key, item in value.items()}
+    if isinstance(value, (frozenset, set)):
+        return sorted(to_jsonable(item, _depth + 1) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item, _depth + 1) for item in value]
+    if hasattr(value, "__dict__"):
+        return {key: to_jsonable(item, _depth + 1)
+                for key, item in vars(value).items()
+                if not key.startswith("_")}
+    return repr(value)
+
+
+def experiment_to_json(output, indent: int = 2) -> str:
+    """Serialize an :class:`repro.study.ExperimentOutput`."""
+    payload = {
+        "experiment": output.experiment,
+        "data": to_jsonable(output.data),
+        "rendered": output.rendered,
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,100 @@
+"""Plain-text rendering for tables and figure series.
+
+Every benchmark prints its table or figure through these helpers, so
+the output rows mirror the paper's presentation (aligned columns,
+percentage formatting, coarse ASCII curves for the figures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table."""
+    def clean(cell: object) -> str:
+        # Control characters (newlines, separators) would break the
+        # table's line structure; render them escaped instead.
+        return "".join(
+            ch if ch.isprintable() else repr(ch)[1:-1]
+            for ch in str(cell))
+
+    materialized: List[List[str]] = [[clean(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index])
+        for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append("  ".join(
+            cell.ljust(widths[index]) if index < len(widths) else cell
+            for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(values: Sequence[float],
+                  title: Optional[str] = None,
+                  width: int = 64,
+                  height: int = 12,
+                  y_label: str = "",
+                  x_label: str = "") -> str:
+    """Coarse ASCII plot of a numeric series (for figure benches)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(empty series)")
+        return "\n".join(lines)
+    n = len(values)
+    maximum = max(values) or 1.0
+    # Downsample to `width` columns.
+    columns: List[float] = []
+    for column in range(width):
+        start = column * n // width
+        end = max(start + 1, (column + 1) * n // width)
+        window = values[start:end]
+        columns.append(sum(window) / len(window))
+    grid = [[" "] * width for _ in range(height)]
+    for column, value in enumerate(columns):
+        filled = int(round((value / maximum) * (height - 1)))
+        for row in range(filled + 1):
+            grid[height - 1 - row][column] = (
+                "#" if row == filled else ".")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    footer = f"x: 1..{n}"
+    if x_label:
+        footer += f" ({x_label})"
+    footer += f"   y: 0..{maximum:.3g}"
+    if y_label:
+        footer += f" ({y_label})"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_key_points(points: Sequence[Tuple[str, object]],
+                      title: Optional[str] = None) -> str:
+    """Render labelled scalar results ("224 syscalls at 100%"...)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label, _ in points), default=0)
+    for label, value in points:
+        lines.append(f"  {label.ljust(label_width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""libc restructuring analysis (§3.5).
+
+Quantifies the paper's proposal: strip (or demote to lazily-loaded
+sub-libraries) every libc export whose API importance falls below a
+threshold, and reorder the relocation table by importance so the hot
+entries share the leading pages.
+
+Sizes are measured from the *generated* libc binary — function body
+sizes from its symbol ranges, relocation entries at the real 24-byte
+``Elf64_Rela`` size — so the numbers respond to the actual artifact,
+not to constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.footprint import Footprint
+from ..elf.constants import PAGE_SIZE, RELA_SIZE
+from ..elf.reader import ElfReader
+from ..metrics.completeness import weighted_completeness
+from ..packages.popcon import PopularityContest
+
+
+@dataclass(frozen=True)
+class StripReport:
+    """Result of stripping low-importance APIs from libc (§3.5)."""
+
+    threshold: float
+    total_symbols: int
+    retained_symbols: int
+    total_code_bytes: int
+    retained_code_bytes: int
+    miss_probability: float  # 1 - weighted completeness of stripped libc
+
+    @property
+    def retained_fraction(self) -> float:
+        if self.total_code_bytes == 0:
+            return 0.0
+        return self.retained_code_bytes / self.total_code_bytes
+
+
+def function_sizes(libc_image: bytes) -> Dict[str, int]:
+    """Per-export code size, from consecutive symbol addresses."""
+    elf = ElfReader(libc_image)
+    functions = [(sym.st_value, sym.name)
+                 for sym in elf.exported_symbols() if sym.is_function]
+    functions.sort()
+    text = elf.section(".text")
+    text_end = (text.sh_addr + text.sh_size) if text else 0
+    sizes: Dict[str, int] = {}
+    for index, (address, name) in enumerate(functions):
+        next_address = (functions[index + 1][0]
+                        if index + 1 < len(functions) else text_end)
+        sizes[name] = max(0, next_address - address)
+    return sizes
+
+
+def strip_report(libc_image: bytes,
+                 importance: Mapping[str, float],
+                 footprints: Mapping[str, Footprint],
+                 popcon: PopularityContest,
+                 threshold: float = 0.90) -> StripReport:
+    """Strip every export with importance below ``threshold``.
+
+    ``importance`` is the measured libc-symbol importance table;
+    ``footprints``/``popcon`` feed the weighted completeness of the
+    stripped library (the probability an application finds every
+    function it needs).
+    """
+    sizes = function_sizes(libc_image)
+    retained = {name for name in sizes
+                if importance.get(name, 0.0) >= threshold}
+    total_code = sum(sizes.values())
+    retained_code = sum(size for name, size in sizes.items()
+                        if name in retained)
+    completeness = weighted_completeness(
+        retained, footprints, popcon, dimension="libc")
+    return StripReport(
+        threshold=threshold,
+        total_symbols=len(sizes),
+        retained_symbols=len(retained),
+        total_code_bytes=total_code,
+        retained_code_bytes=retained_code,
+        miss_probability=1.0 - completeness,
+    )
+
+
+@dataclass(frozen=True)
+class RelocationLayout:
+    """Relocation-table paging analysis (§3.5).
+
+    GNU libc 2.21 carries one relocation entry per exported symbol
+    (30,576 bytes for 1,274 entries).  Sorting the table by importance
+    lets the loader touch only the leading pages for most programs.
+    """
+
+    total_entries: int
+    table_bytes: int
+    hot_entries: int          # entries above the importance threshold
+    hot_pages: int            # pages covering the hot prefix, sorted
+    unsorted_pages: int       # pages touched when hot entries scatter
+
+    @property
+    def pages_saved(self) -> int:
+        return max(0, self.unsorted_pages - self.hot_pages)
+
+
+def relocation_layout(importance: Mapping[str, float],
+                      threshold: float = 0.90,
+                      entry_size: int = RELA_SIZE,
+                      page_size: int = PAGE_SIZE) -> RelocationLayout:
+    """Model the paging benefit of importance-sorted relocations.
+
+    In the unsorted table, hot entries are spread uniformly, so nearly
+    every page contains one and all pages fault in.  Sorted, the hot
+    prefix occupies ``ceil(hot * entry / page)`` pages.
+    """
+    names = list(importance)
+    total = len(names)
+    hot = sum(1 for name in names
+              if importance.get(name, 0.0) >= threshold)
+    table_bytes = total * entry_size
+    total_pages = -(-table_bytes // page_size)
+    hot_bytes = hot * entry_size
+    hot_pages = -(-hot_bytes // page_size) if hot else 0
+    entries_per_page = page_size // entry_size
+    if hot == 0:
+        unsorted_pages = 0
+    else:
+        # Probability a page holds no hot entry when hot entries are
+        # uniformly scattered: C(total-epp, hot)/C(total, hot); for the
+        # regimes here (hot >> pages) effectively every page is
+        # touched.
+        unsorted_pages = min(total_pages, hot)
+        if hot >= entries_per_page:
+            unsorted_pages = total_pages
+    return RelocationLayout(
+        total_entries=total,
+        table_bytes=table_bytes,
+        hot_entries=hot,
+        hot_pages=hot_pages,
+        unsorted_pages=unsorted_pages,
+    )

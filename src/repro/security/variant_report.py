@@ -1,0 +1,118 @@
+"""Security-variant adoption reports (§5, Tables 8-11).
+
+Builds the paper's four comparison tables from a measured unweighted
+importance table, and derives the actionable summaries: how many
+packages still use race-prone directory calls, which deprecated APIs
+retain users, and where the portable variant dominates the
+Linux-specific one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..syscalls.variants import (
+    ALL_VARIANT_GROUPS,
+    OLD_NEW_VARIANTS,
+    PORTABILITY_VARIANTS,
+    POWER_VARIANTS,
+    SECURE_VARIANTS,
+    VariantPair,
+)
+
+
+@dataclass(frozen=True)
+class VariantRow:
+    """One comparison row: the two variants and their usage."""
+
+    left: str
+    left_usage: float
+    right: str
+    right_usage: float
+    axis: str
+    note: str
+
+    @property
+    def preferred_is_adopted(self) -> bool:
+        """Did developers adopt the right-hand (recommended) variant?
+
+        For the security and deprecation axes, the right column is the
+        recommended API; adoption means it out-uses the legacy one.
+        """
+        return self.right_usage > self.left_usage
+
+
+def build_rows(pairs: List[VariantPair],
+               usage: Mapping[str, float]) -> List[VariantRow]:
+    return [
+        VariantRow(
+            left=pair.left,
+            left_usage=usage.get(pair.left, 0.0),
+            right=pair.right,
+            right_usage=usage.get(pair.right, 0.0),
+            axis=pair.axis,
+            note=pair.note,
+        )
+        for pair in pairs
+    ]
+
+
+def secure_variant_rows(usage: Mapping[str, float]) -> List[VariantRow]:
+    """Table 8: insecure vs. secure API variants."""
+    return build_rows(SECURE_VARIANTS, usage)
+
+
+def old_new_rows(usage: Mapping[str, float]) -> List[VariantRow]:
+    """Table 9: deprecated vs. preferred variants."""
+    return build_rows(OLD_NEW_VARIANTS, usage)
+
+
+def portability_rows(usage: Mapping[str, float]) -> List[VariantRow]:
+    """Table 10: Linux-specific vs. portable variants."""
+    return build_rows(PORTABILITY_VARIANTS, usage)
+
+
+def power_rows(usage: Mapping[str, float]) -> List[VariantRow]:
+    """Table 11: powerful vs. simple variants."""
+    return build_rows(POWER_VARIANTS, usage)
+
+
+@dataclass(frozen=True)
+class AdoptionSummary:
+    """§5's headline conclusions, computed."""
+
+    race_prone_directory_usage: float   # e.g. access at ~74%
+    atomic_variant_usage: float         # e.g. faccessat at ~0.6%
+    deprecated_with_users: Tuple[str, ...]
+    portable_preferred_count: int
+    linux_specific_preferred_count: int
+
+
+def adoption_summary(usage: Mapping[str, float]) -> AdoptionSummary:
+    directory_pairs = [p for p in SECURE_VARIANTS
+                       if "TOCTTOU" in p.note or "atomic" in p.note]
+    race_usage = max((usage.get(p.left, 0.0) for p in directory_pairs),
+                     default=0.0)
+    atomic_usage = max((usage.get(p.right, 0.0)
+                        for p in directory_pairs), default=0.0)
+    deprecated = tuple(
+        pair.left for pair in OLD_NEW_VARIANTS
+        if usage.get(pair.left, 0.0) > 0.10)
+    portable_wins = sum(
+        1 for pair in PORTABILITY_VARIANTS
+        if usage.get(pair.right, 0.0) > usage.get(pair.left, 0.0))
+    linux_wins = len(PORTABILITY_VARIANTS) - portable_wins
+    return AdoptionSummary(
+        race_prone_directory_usage=race_usage,
+        atomic_variant_usage=atomic_usage,
+        deprecated_with_users=deprecated,
+        portable_preferred_count=portable_wins,
+        linux_specific_preferred_count=linux_wins,
+    )
+
+
+def all_variant_tables(usage: Mapping[str, float],
+                       ) -> Dict[str, List[VariantRow]]:
+    return {name: build_rows(pairs, usage)
+            for name, pairs in ALL_VARIANT_GROUPS}

@@ -1,0 +1,30 @@
+"""Synthetic ecosystem generation: code generation, runtime libraries,
+calibration profiles, and the ecosystem builder."""
+
+from . import profiles
+from .codegen import BinaryGenerator, BinarySpec, FunctionSpec, generate_binary, stable_seed
+from .ecosystem import (
+    Ecosystem,
+    EcosystemBuilder,
+    EcosystemConfig,
+    ESSENTIAL_PACKAGES,
+    build_ecosystem,
+)
+from .runtime_gen import generate_libc, generate_ld_so, generate_runtime_images
+
+__all__ = [
+    "BinaryGenerator",
+    "BinarySpec",
+    "ESSENTIAL_PACKAGES",
+    "Ecosystem",
+    "EcosystemBuilder",
+    "EcosystemConfig",
+    "FunctionSpec",
+    "build_ecosystem",
+    "generate_binary",
+    "generate_ld_so",
+    "generate_libc",
+    "generate_runtime_images",
+    "profiles",
+    "stable_seed",
+]

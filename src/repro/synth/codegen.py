@@ -1,0 +1,302 @@
+"""Machine-code generation for synthetic binaries.
+
+Turns an abstract *binary specification* — which libc symbols to call,
+which syscalls to issue directly, which vectored opcodes to pass, which
+pseudo-file strings to embed — into genuine x86-64 code plus ELF
+metadata, via :class:`repro.x86.encoder.Assembler` and
+:class:`repro.elf.writer.ElfWriter`.
+
+The generated code uses the same idioms real compilers emit for these
+constructs, so the analysis pipeline exercises its production paths:
+
+* libc calls become PLT calls (``call`` into ``.plt``);
+* direct syscalls become ``mov $nr, %eax; syscall``;
+* vectored calls load the opcode immediate into the argument register;
+* strings are referenced with RIP-relative ``lea`` from ``.rodata``;
+* a fraction of call sites pass function pointers via ``lea`` to
+  exercise the paper's pointer over-approximation (§7).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..elf import constants as EC
+from ..elf.writer import ElfWriter
+from ..syscalls import fcntl_ops, ioctl, prctl_ops
+from ..syscalls.table import number_of
+from ..x86 import registers as R
+from ..x86.encoder import Assembler
+
+
+@dataclass
+class FunctionSpec:
+    """One function to generate inside a binary."""
+
+    name: str                                   # label / export name
+    libc_calls: Tuple[str, ...] = ()            # imported symbols to call
+    direct_syscalls: Tuple[str, ...] = ()       # syscall names, by insn
+    int80_syscalls: Tuple[str, ...] = ()        # 32-bit style call sites
+    ioctl_ops: Tuple[str, ...] = ()             # opcode names (via libc)
+    fcntl_ops: Tuple[str, ...] = ()
+    prctl_ops: Tuple[str, ...] = ()
+    syscall_via_wrapper: Tuple[str, ...] = ()   # syscall(SYS_xxx, ...)
+    strings: Tuple[str, ...] = ()               # .rodata strings to reference
+    local_calls: Tuple[str, ...] = ()           # other functions to call
+    take_pointer_of: Tuple[str, ...] = ()       # lea a local fn (indirect)
+    exported: bool = False
+    # When set, emit a syscall whose number arrives in a parameter
+    # register — an intentionally unresolvable site (§2.4).
+    unresolvable_syscall_site: bool = False
+    # When set, emit ``call *%reg`` (used by __libc_start_main to
+    # dispatch into main, and by plugin-style dispatch loops).
+    indirect_call_reg: Optional[int] = None
+    # Emit direct_syscalls immediately after the prologue (runtime
+    # startup paths execute them before dispatching onward).
+    syscalls_first: bool = False
+
+
+@dataclass
+class BinarySpec:
+    """A whole binary: functions plus link-level metadata."""
+
+    name: str
+    functions: List[FunctionSpec] = field(default_factory=list)
+    needed: Tuple[str, ...] = ("libc.so.6",)
+    soname: Optional[str] = None                # set for shared libraries
+    entry_function: Optional[str] = "main"      # None for libraries
+    extra_strings: Tuple[str, ...] = ()         # unreferenced rodata
+    interp: Optional[str] = "/lib64/ld-linux-x86-64.so.2"
+    # Stamp exports with one GNU symbol version (system libraries).
+    version: Optional[str] = None
+
+    @property
+    def is_library(self) -> bool:
+        return self.soname is not None
+
+
+_OPCODE_TABLES = {
+    "ioctl": ioctl.BY_NAME,
+    "fcntl": fcntl_ops.BY_NAME,
+    "prctl": prctl_ops.BY_NAME,
+}
+
+_VECTOR_SYSCALL_NAMES = {"ioctl": "ioctl", "fcntl": "fcntl",
+                         "prctl": "prctl"}
+
+
+def _opcode_value(kind: str, name: str) -> int:
+    table = _OPCODE_TABLES[kind]
+    entry = table.get(name)
+    if entry is not None:
+        return entry.code
+    if name.startswith("0x"):
+        return int(name, 16)
+    raise KeyError(f"unknown {kind} opcode {name!r}")
+
+
+class BinaryGenerator:
+    """Generates one ELF image from a :class:`BinarySpec`."""
+
+    def __init__(self, spec: BinarySpec) -> None:
+        self.spec = spec
+        file_type = EC.ET_DYN if spec.is_library else EC.ET_EXEC
+        self.writer = ElfWriter(
+            file_type=file_type,
+            soname=spec.soname,
+            interp=None if spec.is_library else spec.interp,
+            version=spec.version,
+        )
+        self.asm = Assembler()
+
+    def build(self) -> bytes:
+        writer = self.writer
+        for library in self.spec.needed:
+            writer.add_needed(library)
+        # Imports must be declared before code references them.
+        for function in self.spec.functions:
+            for symbol in function.libc_calls:
+                writer.add_import(symbol)
+            for kind, ops in (("ioctl", function.ioctl_ops),
+                              ("fcntl", function.fcntl_ops),
+                              ("prctl", function.prctl_ops)):
+                if ops:
+                    writer.add_import(_VECTOR_SYSCALL_NAMES[kind])
+            if function.syscall_via_wrapper:
+                writer.add_import("syscall")
+
+        for text in self.spec.extra_strings:
+            writer.add_string(text)
+
+        for function in self.spec.functions:
+            self._emit_function(function)
+
+        entry = None
+        if self.spec.entry_function is not None:
+            entry = self._emit_start(self.spec.entry_function)
+
+        writer.set_text(bytes(self.asm.code), self.asm.labels,
+                        self.asm.fixups, entry_label=entry)
+        for function in self.spec.functions:
+            if function.exported:
+                writer.export_function(function.name, function.name)
+        return writer.build()
+
+    # --- emission helpers ----------------------------------------------
+
+    # Imports that terminate the process; emitted last so a dynamic
+    # run reaches the function's whole body first.
+    _TERMINATING_IMPORTS = frozenset({"exit", "_exit", "abort",
+                                      "exit_group"})
+
+    # Filler instructions write only these registers, keeping the
+    # argument/dataflow registers (rax, rdi, rsi, rdx, r12, r13) and
+    # frame registers untouched.
+    _FILLER_REGS = (R.RBX, R.R14, R.R15)
+
+    def _emit_filler(self, name: str) -> None:
+        """A few deterministic computation instructions, as a real
+        compiler would emit between calls — exercising the decoder's
+        ALU/test/shift coverage without changing any footprint."""
+        seed = stable_seed("filler", name)
+        count = seed % 4
+        for index in range(count):
+            choice = (seed >> (4 * index + 2)) % 5
+            dst = self._FILLER_REGS[index % len(self._FILLER_REGS)]
+            src = self._FILLER_REGS[(index + 1) % len(self._FILLER_REGS)]
+            if choice == 0:
+                self.asm.alu_reg_reg("add", dst, src)
+            elif choice == 1:
+                self.asm.alu_reg_reg("and", dst, src)
+            elif choice == 2:
+                self.asm.test_reg_reg(dst, src)
+            elif choice == 3:
+                self.asm.shl_imm8(dst, 1 + (seed % 7))
+            else:
+                self.asm.inc_reg(dst)
+
+    def _emit_function(self, function: FunctionSpec) -> None:
+        asm = self.asm
+        asm.align(16)
+        asm.label(function.name)
+        asm.prologue()
+        self._emit_filler(function.name)
+        terminating_syscalls = []
+        if function.syscalls_first:
+            for syscall_name in function.direct_syscalls:
+                # exit/exit_group belong at teardown, after dispatch.
+                if syscall_name in ("exit", "exit_group"):
+                    terminating_syscalls.append(syscall_name)
+                else:
+                    self._emit_direct_syscall(syscall_name)
+        for text in function.strings:
+            offset = self.writer.add_string(text)
+            asm.lea_rip_rodata(R.RDI, offset)
+        for target in function.take_pointer_of:
+            asm.lea_rip_local(R.RDX, target)
+        terminators = [name for name in function.libc_calls
+                       if name in self._TERMINATING_IMPORTS]
+        for name in function.libc_calls:
+            if name not in self._TERMINATING_IMPORTS:
+                asm.call_import(name)
+        if function.indirect_call_reg is not None:
+            # Before local calls so __libc_start_main matches the real
+            # control flow: run main, then call exit().
+            asm.call_reg(function.indirect_call_reg)
+        for target in function.local_calls:
+            asm.call_local(target)
+        for kind, ops in (("ioctl", function.ioctl_ops),
+                          ("fcntl", function.fcntl_ops),
+                          ("prctl", function.prctl_ops)):
+            for op_name in ops:
+                self._emit_vector_call(kind, op_name)
+        if not function.syscalls_first:
+            for syscall_name in function.direct_syscalls:
+                self._emit_direct_syscall(syscall_name)
+        for syscall_name in function.int80_syscalls:
+            self._emit_int80_syscall(syscall_name)
+        for syscall_name in function.syscall_via_wrapper:
+            self._emit_wrapper_syscall(syscall_name)
+        if function.unresolvable_syscall_site:
+            # Number arrives in %edi (a parameter): mov %edi, %eax; syscall.
+            asm.mov_reg_reg64(R.RAX, R.RDI)
+            asm.syscall()
+        for name in terminators:
+            asm.call_import(name)
+        for syscall_name in terminating_syscalls:
+            self._emit_direct_syscall(syscall_name)
+        asm.epilogue()
+
+    def _emit_vector_call(self, kind: str, op_name: str) -> None:
+        """``ioctl(fd, OP, ...)`` through the libc wrapper."""
+        asm = self.asm
+        code = _opcode_value(kind, op_name)
+        if kind == "prctl":
+            asm.mov_imm32(R.RDI, code)     # prctl(option, ...)
+        else:
+            asm.xor_reg(R.RDI)             # fd 0
+            asm.mov_imm32(R.RSI, code)     # request/cmd
+        asm.call_import(_VECTOR_SYSCALL_NAMES[kind])
+
+    def _emit_direct_syscall(self, name: str) -> None:
+        number = number_of(name)
+        if number is None:
+            raise KeyError(f"unknown syscall {name!r}")
+        asm = self.asm
+        if number == 0:
+            asm.xor_reg(R.RAX)             # xor %eax,%eax == read
+        else:
+            asm.mov_imm32(R.RAX, number)
+        asm.syscall()
+
+    def _emit_int80_syscall(self, name: str) -> None:
+        # Legacy 32-bit entry: different numbering is out of scope; the
+        # study only counts the *instruction* for spotting raw sites.
+        number = number_of(name)
+        if number is None:
+            raise KeyError(f"unknown syscall {name!r}")
+        self.asm.mov_imm32(R.RAX, number)
+        self.asm.int80()
+
+    def _emit_wrapper_syscall(self, name: str) -> None:
+        """``syscall(SYS_name, 0, 0)`` through libc's variadic wrapper."""
+        number = number_of(name)
+        if number is None:
+            raise KeyError(f"unknown syscall {name!r}")
+        asm = self.asm
+        asm.mov_imm32(R.RDI, number)
+        # Arguments are runtime values (emulated guest state); pass
+        # them from callee-saved registers the analyzer cannot know.
+        asm.mov_reg_reg64(R.RSI, R.R12)
+        asm.mov_reg_reg64(R.RDX, R.R13)
+        asm.call_import("syscall")
+
+    def _emit_start(self, main_label: str) -> str:
+        """Emit ``_start``: the crt0 stub calling main then exiting."""
+        asm = self.asm
+        asm.align(16)
+        asm.label("_start")
+        # Real crt0 passes main's address to __libc_start_main in %rdi.
+        if "__libc_start_main" in self.writer.imports:
+            asm.lea_rip_local(R.RDI, main_label)
+            asm.call_import("__libc_start_main")
+            asm.hlt()
+        else:
+            asm.call_local(main_label)
+            asm.mov_imm32(R.RAX, 231)  # exit_group
+            asm.syscall()
+        return "_start"
+
+
+def generate_binary(spec: BinarySpec) -> bytes:
+    """Convenience wrapper: spec in, ELF bytes out."""
+    return BinaryGenerator(spec).build()
+
+
+def stable_seed(*parts: str) -> int:
+    """Deterministic 64-bit seed from string parts (no Python hash
+    randomization)."""
+    digest = hashlib.sha256("\x00".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little")

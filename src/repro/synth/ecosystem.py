@@ -1,0 +1,899 @@
+"""Synthetic Ubuntu-like ecosystem generation.
+
+Builds a complete package repository — runtime libraries, interpreter
+packages, essential base packages, the anchor packages the paper names
+(Tables 1 and 2, qemu, nfs-utils, …), category-templated filler
+packages, interpreted scripts — together with a popularity-contest
+survey, all deterministically from a seed.
+
+The builder writes *real ELF binaries* for every artifact.  Nothing in
+the metrics path reads the generation plan: the analysis pipeline must
+recover footprints from the bytes.  The plan is kept as ground truth
+for validation tests only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..libc import runtime as RT
+from ..libc import symbols as LS
+from ..packages.package import (
+    BinaryArtifact,
+    BinaryKind,
+    GroundTruthFootprint,
+    Package,
+)
+from ..packages.popcon import PAPER_TOTAL_INSTALLATIONS, PopularityContest
+from ..packages.repository import Repository
+from ..syscalls import fcntl_ops, ioctl, prctl_ops
+from ..syscalls import pseudofiles as PF
+from ..syscalls.table import BY_NAME as SYSCALL_BY_NAME
+from ..syscalls.table import LIVE_NAMES
+from . import profiles as P
+from .codegen import BinarySpec, FunctionSpec, generate_binary, stable_seed
+from .runtime_gen import generate_runtime_images
+
+
+@dataclass
+class EcosystemConfig:
+    """Knobs for ecosystem size and determinism."""
+
+    n_filler_packages: int = 360
+    n_driver_packages: int = 40
+    n_script_packages: int = 400
+    seed: int = 2016
+    total_installations: int = PAPER_TOTAL_INSTALLATIONS
+    # Fraction of legacy-API users migrated to preferred variants;
+    # 0.0 reproduces the paper's snapshot, higher values simulate
+    # later releases (see profiles.shifted_variant_probs).
+    adoption_shift: float = 0.0
+
+
+@dataclass
+class Ecosystem:
+    """A generated repository plus its survey and ground truth."""
+
+    repository: Repository
+    popcon: PopularityContest
+    ground_truth: Dict[str, GroundTruthFootprint]
+    interpreters: Dict[str, str]
+    config: EcosystemConfig
+
+
+# Essential base packages present on every installation.
+ESSENTIAL_PACKAGES = (
+    "coreutils", "util-linux", "findutils", "grep", "sed", "tar",
+    "gzip", "bzip2", "procps", "mount-tools", "login-tools",
+    "passwd-tools", "net-base", "init-core", "cron-core", "dpkg-core",
+    "apt-core", "diffutils", "hostname-tool", "sysvinit-utils",
+    "e2fsprogs", "kmod-core", "udev-core", "base-files-bin",
+    "debconf-bin", "libc-bin",
+)
+
+# Anchor packages with pinned installation rates and pinned APIs.
+#   name -> (install probability, direct syscalls, library syscalls,
+#            ioctl ops, pseudo files)
+_ANCHORS: Dict[str, dict] = {
+    "libnuma": dict(prob=0.360, lib_syscalls=("mbind", "set_mempolicy",
+                                              "get_mempolicy"),
+                    lib_soname="libnuma.so.1"),
+    "libopenblas": dict(prob=0.030, lib_syscalls=("mbind",),
+                        lib_soname="libopenblas.so.0",
+                        imports=("sched_getaffinity", "sched_setaffinity")),
+    "libkeyutils": dict(prob=0.272, lib_syscalls=("add_key", "keyctl"),
+                        lib_soname="libkeyutils.so.1"),
+    "pam-keyutil": dict(prob=0.080, lib_syscalls=("keyctl",),
+                        lib_soname="pam_keyinit.so"),
+    "keyutils-tools": dict(prob=0.144,
+                           lib_syscalls=("request_key",),
+                           lib_soname="libkeyutils-legacy.so.1"),
+    # Carries the vectored-I/O wrappers at the paper's 11.7% importance
+    # (Table 1 attributes the raw preadv/pwritev sites to libc alone).
+    "vectored-io-tools": dict(prob=0.117, imports=("preadv", "pwritev")),
+    "coop-computing-tools": dict(
+        prob=0.010, syscalls=("seccomp", "sched_setattr",
+                              "sched_getattr", "renameat2")),
+    "kexec-tools": dict(prob=0.010, syscalls=("kexec_load",
+                                              "kexec_file_load")),
+    "systemd": dict(prob=0.040,
+                    syscalls=("clock_adjtime", "renameat2", "unshare",
+                              "setns", "signalfd", "name_to_handle_at"),
+                    imports=("epoll_wait", "epoll_ctl", "signalfd",
+                             "timerfd_create", "timerfd_settime",
+                             "prctl", "mount", "umount2", "reboot"),
+                    prctls=("PR_SET_NAME", "PR_SET_CHILD_SUBREAPER",
+                            "PR_SET_SECUREBITS"),
+                    pseudo=("/proc/self/mountinfo", "/dev/console",
+                            "/sys/power/state", "/proc/swaps")),
+    "qemu-user": dict(prob=0.010, syscalls=("mq_timedsend",
+                                            "mq_getsetattr")),
+    "qemu-system": dict(prob=0.012,
+                        imports=("ioctl", "eventfd", "mmap64"),
+                        ioctls=("KVM_CREATE_VM", "KVM_CHECK_EXTENSION",
+                                "KVM_CREATE_VCPU", "KVM_RUN"),
+                        pseudo=("/dev/kvm",)),
+    "ioping": dict(prob=0.008, syscalls=("io_setup", "io_submit",
+                                         "io_getevents", "io_destroy")),
+    "zfs-fuse": dict(prob=0.006, syscalls=("io_getevents", "io_cancel"),
+                     pseudo=("/dev/fuse",)),
+    "valgrind": dict(prob=0.040, syscalls=("getcpu", "process_vm_readv",
+                                           "process_vm_writev")),
+    "rt-tests": dict(prob=0.015, syscalls=("getcpu", "sched_setattr")),
+    "nfs-utils": dict(prob=0.070, syscalls=("nfsservctl", "mount")),
+    "legacy-compat-tools": dict(
+        prob=0.020, syscalls=("uselib", "afs_syscall", "vserver",
+                              "security", "_sysctl")),
+    "mqueue-tools": dict(prob=0.015, syscalls=("mq_open", "mq_unlink",
+                                               "mq_timedreceive")),
+    "perf-tools": dict(prob=0.060, syscalls=("perf_event_open",
+                                             "bpf", "kcmp"),
+                       pseudo=("/proc/kallsyms", "/sys/kernel/debug")),
+    "criu-tools": dict(prob=0.005, syscalls=("kcmp", "execveat",
+                                             "open_by_handle_at",
+                                             "modify_ldt")),
+    "fatrace": dict(prob=0.004, syscalls=("fanotify_init",
+                                          "fanotify_mark")),
+    "numactl": dict(prob=0.030, syscalls=("migrate_pages",
+                                          "set_mempolicy")),
+    "secure-utils": dict(prob=0.030, syscalls=("faccessat", "fchmodat",
+                                               "fchownat", "renameat",
+                                               "readlinkat", "mkdirat",
+                                               "mknodat", "symlinkat",
+                                               "linkat", "futimesat")),
+    "event-utils": dict(prob=0.020, syscalls=("epoll_pwait", "pselect6",
+                                              "eventfd", "dup3",
+                                              "sync_file_range")),
+    "legacy-fs-tools": dict(prob=0.015, syscalls=("creat", "fork",
+                                                  "getdents64", "tkill",
+                                                  "utime"),
+                            pseudo=("/dev/hda",)),
+    "grub-install-bin": dict(prob=0.300, imports=("write", "read"),
+                             pseudo=("/dev/null", "/dev/zero", "/dev/sda")),
+    "exportfs": dict(prob=0.070, syscalls=("nfsservctl",)),
+}
+
+# Syscall -> libc wrapper name when they differ (the wrapper route is
+# preferred so raw sites stay library-only, per Table 1).
+_WRAPPER_ALIASES: Dict[str, str] = {
+    "signalfd4": "signalfd",
+    "newfstatat": "fstatat",
+    "pread64": "pread64",
+    "eventfd2": "eventfd",
+    "umount2": "umount",
+    "_sysctl": "sysctl",
+}
+
+_INTERPRETER_SPECS: Dict[str, dict] = {
+    # package -> (probability, interpreter keys it provides)
+    "dash": dict(prob=0.999, provides=("dash",)),
+    "bash": dict(prob=0.998, provides=("bash",)),
+    "python2.7": dict(prob=0.97, provides=("python",)),
+    "perl": dict(prob=0.98, provides=("perl",)),
+    "ruby2.1": dict(prob=0.18, provides=("ruby",)),
+    "busybox": dict(prob=0.25, provides=("other",)),
+}
+
+
+class EcosystemBuilder:
+    """Deterministically builds an :class:`Ecosystem`."""
+
+    def __init__(self, config: Optional[EcosystemConfig] = None) -> None:
+        self.config = config or EcosystemConfig()
+        self._rng = random.Random(self.config.seed)
+        self._libc_closure = LS.syscall_footprint_closure()
+        self._provider_of: Dict[str, str] = {}
+        for library in RT.RUNTIME_LIBRARIES:
+            for export in library.exports:
+                self._provider_of.setdefault(export, library.soname)
+        for symbol in LS.LIBC_SYMBOLS:
+            self._provider_of.setdefault(symbol.name, "libc.so.6")
+        self._band_plan = P.libc_band_plan()
+        self._variant_probs = P.shifted_variant_probs(
+            self.config.adoption_shift)
+        self._ground_truth: Dict[str, GroundTruthFootprint] = {}
+
+    # --- public API ----------------------------------------------------
+
+    def build(self) -> Ecosystem:
+        repository = Repository()
+        pinned: Dict[str, float] = {}
+        essential: List[str] = ["libc6"]
+
+        repository.add(self._runtime_package())
+
+        for name, spec in _INTERPRETER_SPECS.items():
+            repository.add(self._interpreter_package(name))
+            pinned[name] = spec["prob"]
+
+        plan = self._filler_plan()
+        essential_specs = self._essential_packages()
+        for package in essential_specs:
+            repository.add(package)
+            essential.append(package.name)
+
+        for name, spec in _ANCHORS.items():
+            repository.add(self._anchor_package(name, spec))
+            pinned[name] = spec["prob"]
+
+        for entry in plan:
+            repository.add(self._filler_package(entry))
+            pinned[entry["name"]] = entry["prob"]
+
+        for index, package in enumerate(self._driver_packages()):
+            repository.add(package)
+            # Half the driver utilities clear the 1%-importance bar
+            # (Figure 4's 188-code band); the rest stay below it.
+            if index % 2 == 0:
+                pinned[package.name] = self._rng.uniform(0.012, 0.06)
+            else:
+                pinned[package.name] = self._rng.uniform(0.0008, 0.006)
+
+        script_packages = self._script_packages(repository)
+        for package, prob in script_packages:
+            repository.add(package)
+            pinned[package.name] = prob
+
+        popcon = PopularityContest.synthesize(
+            repository.names(),
+            total_installations=self.config.total_installations,
+            essential=essential,
+            pinned=pinned,
+            seed=self.config.seed,
+        )
+        return Ecosystem(
+            repository=repository,
+            popcon=popcon,
+            ground_truth=dict(self._ground_truth),
+            interpreters=dict(P.INTERPRETER_PACKAGES),
+            config=self.config,
+        )
+
+    # --- runtime and interpreters ------------------------------------------
+
+    def _runtime_package(self) -> Package:
+        package = Package("libc6", category="runtime",
+                          description="GNU C library and loader")
+        for soname, image in generate_runtime_images().items():
+            package.add(BinaryArtifact(
+                name=f"lib/{soname}", kind=BinaryKind.SHARED_LIBRARY,
+                data=image))
+        return package
+
+    def _interpreter_package(self, name: str) -> Package:
+        rng = random.Random(stable_seed(str(self.config.seed), name))
+        package = Package(name, category="interpreter",
+                          depends=["libc6"],
+                          description=f"{name} language runtime")
+        imports = list(P.BASE_LIBC_IMPORTS)
+        imports += [
+            "dlopen", "dlsym", "dlclose", "setlocale", "mbstowcs",
+            "wcstombs", "select", "poll", "pipe", "dup", "waitpid",
+            "execve", "fork", "sigaction", "sigprocmask", "getrlimit",
+            "opendir", "readdir", "closedir", "realpath", "mkstemp",
+            "socket", "connect", "getaddrinfo", "pthread_create",
+            "pthread_mutex_lock", "pthread_mutex_unlock",
+            "pthread_cond_wait",
+        ]
+        # Interpreters expose nearly the whole POSIX surface to their
+        # scripts; draw the variant-usage symbols so script packages
+        # inherit realistic wrapper usage (Tables 8-11).
+        for symbol, probability in self._variant_probs.items():
+            boosted = min(1.0, probability * 1.3)
+            if rng.random() < boosted and self._symbol_allowed(
+                    symbol, 0.99):
+                imports.append(symbol)
+        direct = ["futex", "getrandom", "clock_gettime", "sigaltstack"]
+        # Names without a wrapper (e.g. tgkill) become raw call sites.
+        libc_imports, direct = self._split_by_provider(imports, direct)
+        artifact = self._make_executable(
+            package_name=name,
+            file_name=f"bin/{name.rstrip('0123456789.')}",
+            rng=rng,
+            libc_imports=libc_imports,
+            direct_syscalls=tuple(direct),
+            pseudo_files=("/dev/urandom", "/proc/self/maps"),
+        )
+        package.add(artifact)
+        return package
+
+    # --- essential packages ----------------------------------------------
+
+    def _essential_packages(self) -> List[Package]:
+        """The always-installed base system.
+
+        Collectively responsible for making every *indispensable* API
+        appear on every installation: leftover indispensable syscalls,
+        the ubiquitous vectored opcodes, essential pseudo-files, and
+        every top-band (t100) libc symbol are distributed round-robin
+        across these packages.
+        """
+        base_syscall_cover = self._runtime_covered_syscalls()
+        leftover_syscalls = sorted(
+            P.INDISPENSABLE_SYSCALLS - base_syscall_cover)
+        t100_symbols = sorted(
+            name for name, band in self._band_plan.items()
+            if band == "t100")
+        ubiquitous_ioctls = list(ioctl.UBIQUITOUS_NAMES)
+        ubiquitous_fcntls = list(fcntl_ops.UBIQUITOUS_NAMES)
+        ubiquitous_prctls = list(prctl_ops.UBIQUITOUS_NAMES)
+        common_prctls = [name for name in prctl_ops.COMMON_NAMES
+                         if name not in prctl_ops.UBIQUITOUS_NAMES]
+        essential_pseudo = [d.path for d in PF.PSEUDO_FILES
+                            if d.tier == "essential"]
+        common_pseudo = [d.path for d in PF.PSEUDO_FILES
+                         if d.tier == "common"]
+
+        packages = []
+        names = list(ESSENTIAL_PACKAGES)
+        count = len(names)
+        for index, name in enumerate(names):
+            rng = random.Random(stable_seed(str(self.config.seed), name))
+            syscalls = leftover_syscalls[index::count]
+            symbols = t100_symbols[index::count]
+            ops_i = ubiquitous_ioctls[index::count]
+            ops_f = ubiquitous_fcntls[index::count]
+            ops_p = ubiquitous_prctls[index::count]
+            pseudo = (essential_pseudo[index::count]
+                      + common_pseudo[index::count])
+            package = Package(name, category="essential",
+                              depends=["libc6"],
+                              description=f"essential base ({name})")
+            if index % 4 == 0:
+                stdio_internals = ["_IO_getc", "_IO_putc"]
+            elif index % 4 == 1:
+                stdio_internals = ["__uflow"]
+            else:
+                stdio_internals = []
+            # Leftover indispensable syscalls reach binaries through
+            # their libc wrappers when one exists (Table 1: no
+            # application issues clock_settime or iopl raw), falling
+            # back to raw call sites otherwise.
+            wrapped = [_WRAPPER_ALIASES.get(n, n) for n in syscalls]
+            libc_imports, direct = self._split_by_provider(
+                symbols + list(P.BASE_LIBC_IMPORTS)
+                + list(P.COMMON_LIBC_IMPORTS) + stdio_internals
+                + wrapped, [])
+            artifact = self._make_executable(
+                package_name=name,
+                file_name=f"bin/{name}",
+                rng=rng,
+                libc_imports=libc_imports,
+                direct_syscalls=tuple(direct),
+                ioctl_ops=tuple(ops_i),
+                fcntl_ops=tuple(ops_f),
+                prctl_ops=tuple(ops_p),
+                pseudo_files=tuple(pseudo),
+            )
+            package.add(artifact)
+            packages.append(package)
+        return packages
+
+    def _runtime_covered_syscalls(self) -> Set[str]:
+        """Indispensable syscalls every program reaches via the base
+        imports (crt startup plus the universally-linked symbols)."""
+        covered: Set[str] = set(RT.LIBC_STARTUP_FOOTPRINT)
+        for name in P.BASE_LIBC_IMPORTS:
+            covered |= self._libc_closure.get(name, frozenset())
+        return covered
+
+    # --- anchors ------------------------------------------------------------
+
+    def _anchor_package(self, name: str, spec: dict) -> Package:
+        rng = random.Random(stable_seed(str(self.config.seed), name))
+        package = Package(name, category="anchor", depends=["libc6"],
+                          description=f"anchor package ({name})")
+        lib_syscalls = spec.get("lib_syscalls", ())
+        lib_exports: Tuple[str, ...] = ()
+        lib_soname = None
+        if lib_syscalls:
+            lib_soname = spec.get("lib_soname", f"lib{name}.so.1")
+            lib_exports = tuple(f"{name.replace('-', '_')}_op{i}"
+                                for i in range(len(lib_syscalls) + 2))
+            package.add(self._make_library(
+                package_name=name,
+                file_name=f"lib/{lib_soname}",
+                soname=lib_soname,
+                direct_syscalls=tuple(lib_syscalls),
+                exports=lib_exports,
+            ))
+        direct = tuple(spec.get("syscalls", ()))
+        imports = list(P.BASE_LIBC_IMPORTS) + list(spec.get("imports", ()))
+        libc_imports, extra_direct = self._split_by_provider(imports, [])
+        artifact = self._make_executable(
+            package_name=name,
+            file_name=f"bin/{name}",
+            rng=rng,
+            libc_imports=libc_imports,
+            direct_syscalls=direct + tuple(extra_direct),
+            ioctl_ops=tuple(spec.get("ioctls", ())),
+            prctl_ops=tuple(spec.get("prctls", ())),
+            pseudo_files=tuple(spec.get("pseudo", ())),
+            # The anchor's tool links the anchor's own library, so the
+            # library-wrapped syscalls (Table 1) surface in an
+            # executable footprint at the package's install rate.
+            extra_imports=lib_exports,
+            extra_needed=(lib_soname,) if lib_soname else (),
+        )
+        package.add(artifact)
+        if name == "qemu-user":
+            package.add(self._qemu_emulator(rng))
+        return package
+
+    def _qemu_emulator(self, rng: random.Random) -> BinaryArtifact:
+        """qemu's MIPS user-mode emulator: the widest footprint in the
+        archive (§3.2: 270 system calls)."""
+        skip = set(P.UNUSED_SYSCALLS) | {
+            "uselib", "nfsservctl", "afs_syscall", "vserver", "security",
+            "kexec_load", "kexec_file_load", "bpf", "seccomp",
+            "perf_event_open", "fanotify_init", "fanotify_mark",
+            "open_by_handle_at", "name_to_handle_at", "kcmp",
+            "process_vm_readv", "process_vm_writev", "migrate_pages",
+            "clock_adjtime", "acct", "reboot", "swapon", "swapoff",
+            "iopl", "ioperm", "modify_ldt", "pivot_root", "vhangup",
+            "execveat", "renameat2", "sched_setattr", "sched_getattr",
+            "io_cancel", "io_destroy", "mq_notify",
+        }
+        emulated = tuple(sorted(LIVE_NAMES - skip))
+        # qemu-user dispatches emulated syscalls through libc's
+        # syscall(3) with literal SYS_* numbers, so the numbers are
+        # immediates at wrapper call sites rather than raw syscall
+        # instructions (keeps Table 1's library-only attribution
+        # faithful).
+        return self._make_executable(
+            package_name="qemu-user",
+            file_name="bin/qemu-mips",
+            rng=rng,
+            libc_imports=list(P.BASE_LIBC_IMPORTS),
+            wrapper_syscalls=emulated,
+            pseudo_files=("/proc/self/maps", "/proc/cpuinfo"),
+        )
+
+    # --- fillers ------------------------------------------------------------
+
+    def _filler_plan(self) -> List[dict]:
+        """Choose name, template, and popularity for filler packages."""
+        weights = P.template_weights()
+        plan = []
+        for index in range(self.config.n_filler_packages):
+            roll = self._rng.random()
+            cumulative = 0.0
+            template = weights[-1][0]
+            for candidate, weight in weights:
+                cumulative += weight
+                if roll < cumulative:
+                    template = candidate
+                    break
+            name = f"{template.name}-{index:04d}"
+            # Popularity: Zipf-like head with noise, capped below 0.9
+            # so the always-installed stratum stays curated, plus a
+            # genuine log-uniform low tail (popcon's obscure packages).
+            rank = index + 1
+            if index < int(self.config.n_filler_packages * 0.55):
+                prob = min(0.88, 0.9 / (rank ** 0.8) +
+                           self._rng.uniform(0.0, 0.02))
+            else:
+                prob = 10.0 ** self._rng.uniform(-3.5, -1.7)
+            prob = max(prob, 3.0 / self.config.total_installations)
+            plan.append(dict(name=name, template=template, prob=prob))
+        # Attach banded libc symbols to popularity-compatible packages.
+        self._assign_libc_bands(plan)
+        self._assign_syscall_bands(plan)
+        return plan
+
+    def _assign_libc_bands(self, plan: List[dict]) -> None:
+        strata = {
+            "t50": [e for e in plan if 0.25 <= e["prob"] <= 0.88],
+            "t10": [e for e in plan if 0.015 <= e["prob"] < 0.25],
+            "t1": [e for e in plan if e["prob"] < 0.006],
+        }
+        attach_counts = {"t50": (2, 4), "t10": (1, 3), "t1": (1, 2)}
+        # Symbols whose importance an anchor package pins exactly
+        # (Table 1's preadv/pwritev at ~11.7%) are left to the anchor.
+        pinned = {"preadv", "pwritev"}
+        for name, band in sorted(self._band_plan.items()):
+            if name in pinned:
+                continue
+            if band not in strata or not strata[band]:
+                continue
+            rng = random.Random(stable_seed("libc-band", name,
+                                            str(self.config.seed)))
+            low, high = attach_counts[band]
+            pool = strata[band]
+            for entry in rng.sample(pool, min(rng.randint(low, high),
+                                              len(pool))):
+                entry.setdefault("extra_symbols", []).append(name)
+
+    def _assign_syscall_bands(self, plan: List[dict]) -> None:
+        """Give mid/low-band syscalls additional filler users so the
+        Figure 2 middle and tail are populated (anchors already pin the
+        Table 1/2 cases)."""
+        mid_pool = [e for e in plan if 0.05 <= e["prob"] <= 0.5]
+        low_pool = [e for e in plan if e["prob"] < 0.01]
+        library_only = set(RT.LIBRARY_ONLY_SYSCALLS)
+        # Calls Table 2 pins to one or two named packages keep exactly
+        # their anchor users.
+        library_only |= {
+            "seccomp", "sched_setattr", "sched_getattr", "kexec_load",
+            "kexec_file_load", "clock_adjtime", "renameat2",
+            "mq_timedsend", "mq_getsetattr", "io_getevents", "getcpu",
+        }
+        # Common (but not universal) prctl codes go to mid-popularity
+        # packages so Figure 5's 20%-99% middle band is populated.
+        common_prctls = [name for name in prctl_ops.COMMON_NAMES
+                         if name not in prctl_ops.UBIQUITOUS_NAMES]
+        for name in common_prctls:
+            rng = random.Random(stable_seed("prctl-mid", name,
+                                            str(self.config.seed)))
+            pool = [e for e in plan if 0.2 <= e["prob"] <= 0.7]
+            if pool:
+                for entry in rng.sample(pool, min(rng.randint(2, 3),
+                                                  len(pool))):
+                    entry.setdefault("extra_prctls", []).append(name)
+        for name in sorted(P.MID_IMPORTANCE_SYSCALLS - library_only):
+            rng = random.Random(stable_seed("sys-mid", name,
+                                            str(self.config.seed)))
+            if mid_pool:
+                for entry in rng.sample(mid_pool,
+                                        min(rng.randint(1, 2),
+                                            len(mid_pool))):
+                    entry.setdefault("extra_syscalls", []).append(name)
+        for name in sorted(P.LOW_IMPORTANCE_SYSCALLS - library_only):
+            rng = random.Random(stable_seed("sys-low", name,
+                                            str(self.config.seed)))
+            if low_pool:
+                for entry in rng.sample(low_pool,
+                                        min(rng.randint(1, 2),
+                                            len(low_pool))):
+                    entry.setdefault("extra_syscalls", []).append(name)
+
+    def _filler_package(self, entry: dict) -> Package:
+        name = entry["name"]
+        template: P.CategoryTemplate = entry["template"]
+        prob = entry["prob"]
+        rng = random.Random(stable_seed(str(self.config.seed), name))
+        package = Package(name, category=template.name,
+                          depends=["libc6"],
+                          description=f"{template.name} application")
+
+        n_exes = rng.randint(*template.executables)
+        # Pool draws, filtered by popularity-band compatibility.
+        draws = rng.randint(*template.pool_draws)
+        pool = [s for s in template.libc_pool
+                if self._symbol_allowed(s, prob)]
+        chosen = rng.sample(pool, min(draws, len(pool)))
+        if template.use_common:
+            chosen += [s for s in P.COMMON_LIBC_IMPORTS
+                       if rng.random() < P.COMMON_IMPORT_PROB]
+        # Variant usage (Tables 8-11) with the paper's probabilities.
+        if template.use_variants:
+            for symbol, probability in self._variant_probs.items():
+                if rng.random() < probability and self._symbol_allowed(
+                        symbol, prob):
+                    chosen.append(symbol)
+        chosen += entry.get("extra_symbols", [])
+
+        # Direct syscalls for the minority of binaries that issue them.
+        direct: List[str] = list(entry.get("extra_syscalls", []))
+        if rng.random() < template.direct_syscall_prob:
+            candidates = [s for s in template.syscall_pool
+                          if self._syscall_allowed(s, prob)]
+            if candidates:
+                direct += rng.sample(
+                    candidates, min(rng.randint(1, 3), len(candidates)))
+
+        ioctls = tuple(
+            op for op in template.ioctl_pool
+            if rng.random() < (0.5 if op in ioctl.UBIQUITOUS_NAMES
+                               else 0.25 if prob < 0.5 else 0.0))
+        prctls = tuple(
+            [op for op in template.prctl_pool if rng.random() < 0.4]
+            + entry.get("extra_prctls", []))
+        pseudo = tuple(path for path in template.pseudo_pool
+                       if rng.random() < template.pseudo_prob)
+
+        libc_imports, extra_direct = self._split_by_provider(
+            list(P.BASE_LIBC_IMPORTS) + chosen, direct)
+        per_exe = self._partition(libc_imports, n_exes, rng)
+        for index in range(n_exes):
+            imports = sorted(set(per_exe[index])
+                             | set(P.BASE_LIBC_IMPORTS))
+            artifact = self._make_executable(
+                package_name=name,
+                file_name=f"bin/{name}-{index}" if n_exes > 1
+                          else f"bin/{name}",
+                rng=rng,
+                libc_imports=imports,
+                direct_syscalls=tuple(extra_direct) if index == 0 else (),
+                ioctl_ops=ioctls if index == 0 else (),
+                prctl_ops=prctls if index == 0 else (),
+                pseudo_files=pseudo if index == 0 else (),
+            )
+            package.add(artifact)
+        # Shared libraries make up about half of all ELF binaries in
+        # the archive (Figure 1): most packages ship support libraries.
+        n_libs = rng.choices((0, 1, 2, 3, 4, 5),
+                             weights=(12, 20, 25, 20, 13, 10))[0]
+        for lib_index in range(n_libs):
+            soname = f"lib{name}-{lib_index}.so.0"
+            package.add(self._make_library(
+                package_name=name,
+                file_name=f"lib/{soname}",
+                soname=soname,
+                direct_syscalls=(),
+                exports=tuple(
+                    f"{name.replace('-', '_')}_l{lib_index}_api{i}"
+                    for i in range(rng.randint(2, 6))),
+                libc_imports=tuple(rng.sample(
+                    list(P.BASE_LIBC_IMPORTS), 5)),
+            ))
+        # A sliver of the archive is statically linked (0.38%).
+        if rng.random() < 0.012:
+            package.add(self._make_static_executable(name, rng))
+        return package
+
+    def _make_static_executable(self, package_name: str,
+                                rng: random.Random) -> BinaryArtifact:
+        """A statically linked tool: raw syscalls, no dynamic section."""
+        syscalls = ("read", "write", "open", "close", "fstat", "mmap",
+                    "munmap", "brk", "exit_group", "rt_sigaction",
+                    "rt_sigprocmask", "arch_prctl", "set_tid_address")
+        main = FunctionSpec(name="main", direct_syscalls=syscalls)
+        spec = BinarySpec(
+            name=f"bin/{package_name}-static",
+            functions=[main],
+            needed=(),
+            entry_function="main",
+            interp=None,
+        )
+        data = generate_binary(spec)
+        self._record_ground_truth(package_name, (), syscalls, (), (),
+                                  (), ())
+        return BinaryArtifact(name=f"bin/{package_name}-static",
+                              kind=BinaryKind.ELF_STATIC, data=data)
+
+    def _symbol_allowed(self, symbol: str, prob: float) -> bool:
+        band = self._band_plan.get(symbol)
+        if band in (None, "t100"):
+            return True
+        if band == "t50":
+            return prob <= 0.9
+        if band == "t10":
+            return prob <= 0.3
+        if band == "t1":
+            return prob <= 0.008
+        return False  # t0: never used
+
+    def _syscall_allowed(self, name: str, prob: float) -> bool:
+        band = P.band_of_syscall(name)
+        if band == "indispensable":
+            return True
+        if band == "mid":
+            return prob <= 0.6
+        if band == "low":
+            return prob <= 0.05
+        return False
+
+    # --- driver-utility packages (ioctl tail, Figure 4) --------------------
+
+    def _driver_packages(self) -> List[Package]:
+        used = ioctl.used_names(280)
+        head = set(ioctl.UBIQUITOUS_NAMES)
+        tail = [op for op in used if op not in head]
+        packages = []
+        count = max(1, self.config.n_driver_packages)
+        for index in range(count):
+            name = f"driver-util-{index:03d}"
+            rng = random.Random(stable_seed(str(self.config.seed), name))
+            ops = tail[index::count]
+            if not ops:
+                continue
+            package = Package(name, category="driver-util",
+                              depends=["libc6"],
+                              description="device-specific utility")
+            artifact = self._make_executable(
+                package_name=name,
+                file_name=f"bin/{name}",
+                rng=rng,
+                libc_imports=list(P.BASE_LIBC_IMPORTS),
+                ioctl_ops=tuple(ops),
+                pseudo_files=tuple(rng.sample(
+                    [d.path for d in PF.PSEUDO_FILES
+                     if d.tier in ("specific", "admin")], 2)),
+            )
+            package.add(artifact)
+            packages.append(package)
+        return packages
+
+    # --- scripts (Figure 1) ---------------------------------------------
+
+    def _script_packages(self, repository: Repository,
+                         ) -> List[Tuple[Package, float]]:
+        """Packages of interpreted programs, matching Figure 1's mix."""
+        mix = [(key, fraction) for key, fraction in
+               P.INTERPRETER_MIX.items() if key != "elf"]
+        packages: List[Tuple[Package, float]] = []
+        total = self.config.n_script_packages
+        for index in range(total):
+            roll = self._rng.random() * sum(f for _, f in mix)
+            cumulative = 0.0
+            interp = mix[-1][0]
+            for key, fraction in mix:
+                cumulative += fraction
+                if roll < cumulative:
+                    interp = key
+                    break
+            name = f"script-pkg-{index:04d}"
+            rng = random.Random(stable_seed(str(self.config.seed), name))
+            provider = P.INTERPRETER_PACKAGES[interp]
+            package = Package(name, category="scripts",
+                              depends=["libc6", provider],
+                              description=f"{interp} scripts")
+            for script_index in range(rng.randint(1, 4)):
+                shebang = {
+                    "dash": "#!/bin/sh\n",
+                    "bash": "#!/bin/bash\n",
+                    "python": "#!/usr/bin/python\n",
+                    "perl": "#!/usr/bin/perl\n",
+                    "ruby": "#!/usr/bin/ruby\n",
+                    "other": "#!/bin/busybox sh\n",
+                }[interp]
+                body = shebang + f"# generated script {script_index}\n"
+                package.add(BinaryArtifact(
+                    name=f"bin/{name}-{script_index}",
+                    kind=BinaryKind.SCRIPT,
+                    data=body.encode(),
+                    interpreter=interp,
+                ))
+            prob = min(0.85, 0.8 / ((index + 1) ** 0.75)
+                       + rng.uniform(0, 0.01))
+            packages.append((package, prob))
+        return packages
+
+    # --- artifact helpers ----------------------------------------------
+
+    def _split_by_provider(self, symbols: Sequence[str],
+                           direct: Sequence[str],
+                           ) -> Tuple[List[str], List[str]]:
+        """Split requested names into importable symbols and raw
+        syscalls (for names no runtime library exports)."""
+        imports: List[str] = []
+        extra_direct: List[str] = list(direct)
+        for name in symbols:
+            if name in self._provider_of:
+                if name not in imports:
+                    imports.append(name)
+            elif name in SYSCALL_BY_NAME:
+                if name not in extra_direct:
+                    extra_direct.append(name)
+        return imports, extra_direct
+
+    @staticmethod
+    def _partition(items: Sequence[str], parts: int,
+                   rng: random.Random) -> List[List[str]]:
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        return [shuffled[i::parts] for i in range(parts)]
+
+    def _needed_for(self, imports: Iterable[str]) -> Tuple[str, ...]:
+        needed = ["libc.so.6"]
+        for symbol in imports:
+            provider = self._provider_of.get(symbol)
+            if provider and provider not in needed:
+                needed.append(provider)
+        return tuple(needed)
+
+    def _make_executable(self, package_name: str, file_name: str,
+                         rng: random.Random,
+                         libc_imports: Sequence[str] = (),
+                         direct_syscalls: Sequence[str] = (),
+                         ioctl_ops: Sequence[str] = (),
+                         fcntl_ops: Sequence[str] = (),
+                         prctl_ops: Sequence[str] = (),
+                         pseudo_files: Sequence[str] = (),
+                         extra_imports: Sequence[str] = (),
+                         extra_needed: Sequence[str] = (),
+                         wrapper_syscalls: Sequence[str] = (),
+                         ) -> BinaryArtifact:
+        imports = [s for s in dict.fromkeys(libc_imports)]
+        if "__libc_start_main" not in imports:
+            imports.insert(0, "__libc_start_main")
+        main = FunctionSpec(
+            name="main",
+            libc_calls=tuple(s for s in imports
+                             if s != "__libc_start_main")
+                       + tuple(extra_imports),
+            direct_syscalls=tuple(dict.fromkeys(direct_syscalls)),
+            syscall_via_wrapper=tuple(dict.fromkeys(wrapper_syscalls)),
+            ioctl_ops=tuple(ioctl_ops),
+            fcntl_ops=tuple(fcntl_ops),
+            prctl_ops=tuple(prctl_ops),
+            strings=tuple(pseudo_files),
+        )
+        needed = list(self._needed_for(imports))
+        for soname in extra_needed:
+            if soname not in needed:
+                needed.append(soname)
+        spec = BinarySpec(
+            name=file_name,
+            functions=[main],
+            needed=tuple(needed),
+            entry_function="main",
+        )
+        # crt0 imports __libc_start_main explicitly.
+        spec.functions.insert(0, FunctionSpec(
+            name="__crt_init", libc_calls=("__libc_start_main",)))
+        data = generate_binary(spec)
+        self._record_ground_truth(
+            package_name, imports,
+            tuple(direct_syscalls) + tuple(wrapper_syscalls),
+            ioctl_ops, fcntl_ops, prctl_ops, pseudo_files)
+        return BinaryArtifact(name=file_name,
+                              kind=BinaryKind.ELF_EXECUTABLE, data=data)
+
+    def _make_library(self, package_name: str, file_name: str,
+                      soname: str,
+                      direct_syscalls: Sequence[str],
+                      exports: Sequence[str],
+                      libc_imports: Sequence[str] = (),
+                      ) -> BinaryArtifact:
+        functions = []
+        syscall_list = list(direct_syscalls)
+        for index, export in enumerate(exports):
+            syscalls = tuple(syscall_list[index::len(exports)])
+            functions.append(FunctionSpec(
+                name=export,
+                libc_calls=tuple(libc_imports) if index == 0 else (),
+                direct_syscalls=syscalls,
+                exported=True,
+            ))
+        spec = BinarySpec(
+            name=file_name,
+            functions=functions,
+            needed=("libc.so.6",),
+            soname=soname,
+            entry_function=None,
+        )
+        data = generate_binary(spec)
+        self._record_ground_truth(
+            package_name, libc_imports, direct_syscalls, (), (), (), ())
+        return BinaryArtifact(name=file_name,
+                              kind=BinaryKind.SHARED_LIBRARY, data=data)
+
+    def _record_ground_truth(self, package_name: str,
+                             imports: Sequence[str],
+                             direct_syscalls: Sequence[str],
+                             ioctl_ops: Sequence[str],
+                             fcntl_ops_: Sequence[str],
+                             prctl_ops_: Sequence[str],
+                             pseudo_files: Sequence[str]) -> None:
+        syscalls: Set[str] = set(direct_syscalls)
+        libc_symbols: Set[str] = set()
+        for symbol in imports:
+            provider = self._provider_of.get(symbol)
+            if provider == "libc.so.6":
+                libc_symbols.add(symbol)
+                syscalls |= self._libc_closure.get(symbol, frozenset())
+            else:
+                for library in RT.RUNTIME_LIBRARIES:
+                    if library.soname == provider:
+                        syscalls |= set(
+                            library.export_syscalls.get(symbol, ()))
+        truth = GroundTruthFootprint(
+            syscalls=tuple(sorted(syscalls)),
+            ioctls=tuple(sorted(ioctl_ops)),
+            fcntls=tuple(sorted(fcntl_ops_)),
+            prctls=tuple(sorted(prctl_ops_)),
+            pseudo_files=tuple(sorted(pseudo_files)),
+            libc_symbols=tuple(sorted(libc_symbols)),
+        )
+        existing = self._ground_truth.get(package_name)
+        self._ground_truth[package_name] = (
+            truth if existing is None else existing.merged(truth))
+
+
+def build_ecosystem(config: Optional[EcosystemConfig] = None) -> Ecosystem:
+    """Build the default synthetic ecosystem."""
+    return EcosystemBuilder(config).build()

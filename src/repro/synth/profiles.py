@@ -1,0 +1,577 @@
+"""Calibration profiles for the synthetic ecosystem.
+
+The paper measures *how* the Ubuntu archive uses each API; this module
+encodes those published measurements as generation targets, so the
+synthetic archive reproduces the distributions without fabricating the
+analysis itself: binaries are generated from these plans, and the
+pipeline must recover the numbers by actually disassembling them.
+
+Three kinds of plans live here:
+
+* **band plans** — which importance band each API should land in
+  (Figure 2's 224-indispensable head, the 33-strong middle, the
+  44-strong low tail, the 18 unused calls of Table 3; Figure 7's libc
+  bands);
+* **anchor packages** — packages the paper names (Table 1, Table 2,
+  qemu, kexec-tools, libnuma, …) with pinned installation rates;
+* **category templates** — realistic application archetypes whose
+  symbol/variant usage probabilities come straight from the paper's
+  unweighted tables (Tables 8–11).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..libc import symbols as LS
+from ..syscalls import table as ST
+
+# ---------------------------------------------------------------------------
+# Syscall importance bands (Figure 2 / Tables 1-3)
+# ---------------------------------------------------------------------------
+
+# Table 3 — the 18 system calls no binary in the archive uses.
+UNUSED_SYSCALLS: FrozenSet[str] = frozenset({
+    # retired / no entry point on x86-64
+    "set_thread_area", "get_thread_area", "tuxcall", "create_module",
+    "get_kernel_syms", "query_module", "getpmsg", "putpmsg",
+    "epoll_ctl_old", "epoll_wait_old",
+    # live but unused by applications
+    "sysfs", "rt_tgsigqueueinfo", "get_robust_list",
+    "remap_file_pages", "mq_notify", "lookup_dcookie",
+    "restart_syscall", "move_pages",
+})
+
+UNUSED_SYSCALL_REASONS: Dict[str, str] = {
+    "set_thread_area": "Officially retired.",
+    "get_thread_area": "Officially retired.",
+    "tuxcall": "Officially retired.",
+    "create_module": "Officially retired.",
+    "get_kernel_syms": "Officially retired.",
+    "query_module": "Officially retired.",
+    "getpmsg": "Officially retired.",
+    "putpmsg": "Officially retired.",
+    "epoll_ctl_old": "Officially retired.",
+    "epoll_wait_old": "Officially retired.",
+    "sysfs": "Replaced by /proc/filesystems.",
+    "rt_tgsigqueueinfo": "Unused by applications.",
+    "get_robust_list": "Unused by applications.",
+    "remap_file_pages": "Repeated mmap calls preferred.",
+    "mq_notify": "Unused: asynchronous message delivery.",
+    "lookup_dcookie": "Unused: for profiling.",
+    "restart_syscall": "Transparent to applications.",
+    "move_pages": "Unused: for NUMA usage.",
+}
+
+# Low band (0% < importance < 10%), 44 calls: special-purpose calls
+# plus the five officially-retired calls old utilities still attempt.
+LOW_IMPORTANCE_SYSCALLS: FrozenSet[str] = frozenset({
+    # retired but still attempted for backward compatibility (§3.1)
+    "uselib", "nfsservctl", "afs_syscall", "vserver", "security",
+    "_sysctl",
+    # kexec / boot
+    "kexec_load", "kexec_file_load",
+    # POSIX mqueues (System V preferred, §3.1)
+    "mq_open", "mq_unlink", "mq_timedsend", "mq_timedreceive",
+    "mq_getsetattr",
+    # linux-aio
+    "io_setup", "io_destroy", "io_getevents", "io_submit", "io_cancel",
+    # scheduling / introspection extensions
+    "seccomp", "sched_setattr", "sched_getattr", "getcpu", "kcmp",
+    "process_vm_readv", "process_vm_writev", "bpf", "execveat",
+    # NUMA
+    "migrate_pages", "set_mempolicy", "get_mempolicy",
+    # atomic directory-race variants, slow adoption (§5, Table 8)
+    "faccessat", "fchmodat", "fchownat", "renameat", "renameat2",
+    "readlinkat", "mkdirat", "mknodat", "symlinkat", "linkat",
+    "futimesat", "name_to_handle_at", "open_by_handle_at",
+    # misc
+    "clock_adjtime", "epoll_pwait", "pselect6", "modify_ldt",
+    # superseded originals: libc wrappers call the newer variant, so
+    # the old syscall number is nearly dead (Table 9)
+    "fork", "creat", "eventfd", "signalfd", "getdents64", "tkill",
+    "sync_file_range",
+})
+
+# Middle band (10% <= importance < 100%), 33 calls.
+MID_IMPORTANCE_SYSCALLS: FrozenSet[str] = frozenset({
+    # Table 1 library-bound calls
+    "mbind", "add_key", "request_key", "keyctl", "preadv", "pwritev",
+    # module / system administration on a minority of installs
+    "init_module", "finit_module", "delete_module", "acct",
+    "swapon", "swapoff", "reboot", "sethostname", "setdomainname",
+    "settimeofday", "adjtimex", "pivot_root", "ptrace", "syslog",
+    "vhangup", "quotactl", "ustat", "perf_event_open", "readahead",
+    "unshare", "setns", "fanotify_init", "fanotify_mark", "ioprio_set",
+    "ioprio_get", "tee", "waitid",
+})
+
+INDISPENSABLE_SYSCALLS: FrozenSet[str] = frozenset(
+    s.name for s in ST.SYSCALLS
+) - UNUSED_SYSCALLS - LOW_IMPORTANCE_SYSCALLS - MID_IMPORTANCE_SYSCALLS
+
+
+def band_of_syscall(name: str) -> str:
+    if name in UNUSED_SYSCALLS:
+        return "unused"
+    if name in LOW_IMPORTANCE_SYSCALLS:
+        return "low"
+    if name in MID_IMPORTANCE_SYSCALLS:
+        return "mid"
+    return "indispensable"
+
+
+# ---------------------------------------------------------------------------
+# libc importance bands (Figure 7, §3.5, §6)
+# ---------------------------------------------------------------------------
+
+# Fractions measured by the paper over 1,274 exported functions.
+LIBC_BAND_FRACTIONS: Dict[str, float] = {
+    "t100": 0.428,   # importance ~100%
+    "t50": 0.066,    # [50%, 100%)
+    "t10": 0.109,    # [1%, 50%)
+    "t1": 0.223,     # (0%, 1%)
+    "t0": 0.174,     # unused (222 of 1,274, §6)
+}
+
+_TIER_RANK = {"universal": 0, "common": 1, "occasional": 2,
+              "rare": 3, "unused": 4}
+
+
+def _stable_fraction(name: str) -> float:
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
+
+_BAND_ORDER = ("t100", "t50", "t10", "t1", "t0")
+_BAND_RANK = {band: rank for rank, band in enumerate(_BAND_ORDER)}
+
+
+def _symbol_band_cap(symbol: "LS.LibcSymbol",
+                     closure: Dict[str, FrozenSet[str]]) -> str:
+    """Highest band a symbol may occupy without dragging a mid/low-band
+    *syscall* above its own band.
+
+    A symbol attached to always-installed packages pulls its entire
+    syscall closure to ~100% importance; a symbol whose closure touches
+    a mid-band syscall therefore tops out at t50, and one touching a
+    low-band syscall at t1.
+    """
+    cap = "t100"
+    for syscall_name in closure.get(symbol.name, ()):
+        band = band_of_syscall(syscall_name)
+        if band == "low":
+            return "t1"
+        if band == "mid":
+            cap = "t50"
+    return cap
+
+
+def libc_band_plan() -> Dict[str, str]:
+    """Assign every libc symbol to an importance band.
+
+    Symbols are ranked by their catalogue tier (a realism prior: stdio
+    before Sun RPC), ties broken by a stable hash, and the ranking is
+    cut at the paper's band fractions — subject to per-symbol caps
+    derived from the syscall bands their closures touch.
+    """
+    closure = LS.syscall_footprint_closure()
+    ordered = sorted(
+        LS.LIBC_SYMBOLS,
+        key=lambda s: (_TIER_RANK[s.tier], _stable_fraction(s.name)))
+    total = len(ordered)
+    quotas = {band: int(round(LIBC_BAND_FRACTIONS[band] * total))
+              for band in _BAND_ORDER}
+    caps = {s.name: _symbol_band_cap(s, closure) for s in ordered}
+
+    plan: Dict[str, str] = {}
+    remaining = list(ordered)
+    for band in _BAND_ORDER:
+        quota = quotas[band]
+        assigned = 0
+        kept = []
+        for symbol in remaining:
+            eligible = _BAND_RANK[caps[symbol.name]] <= _BAND_RANK[band]
+            if assigned < quota and eligible:
+                plan[symbol.name] = band
+                assigned += 1
+            else:
+                kept.append(symbol)
+        remaining = kept
+    for symbol in remaining:  # rounding remainder: lowest used band
+        plan[symbol.name] = "t1"
+    return plan
+
+
+# Symbols every dynamically linked binary imports (crt + base runtime).
+# Their syscall closure is the ~40-call floor below which not even
+# "hello world" runs (§3.2, Figure 8).
+BASE_LIBC_IMPORTS: Tuple[str, ...] = (
+    "__libc_start_main", "__cxa_atexit", "__cxa_finalize",
+    "__errno_location", "__stack_chk_fail", "exit", "abort",
+    "malloc", "free", "calloc", "realloc", "memalign",
+    "memcpy", "memset", "memcmp", "strlen", "strcmp", "strncmp",
+    "strcpy", "strchr", "strdup",
+    "printf", "fprintf", "vfprintf", "snprintf", "puts",
+    "__printf_chk", "__memcpy_chk", "__stack_chk_fail",
+    "fopen", "fclose", "fread", "fwrite", "fflush",
+    "getenv", "open", "close", "read", "write", "lseek", "fstat",
+    "dup2", "mmap", "munmap",
+)
+
+# Symbols most — but not all — programs link; attached to essential
+# packages and to fillers with high probability.  Their closures fill
+# Figure 8's "used by at least 10% of packages" middle.
+COMMON_LIBC_IMPORTS: Tuple[str, ...] = (
+    "putchar", "fputs", "fgets", "atoi", "strtol", "qsort", "stat",
+    "getcwd", "ioctl", "isatty", "fcntl", "getpid", "kill",
+    "sigaction", "getuid", "unlink", "readdir", "opendir", "closedir",
+    "mprotect", "sprintf", "sscanf", "strrchr", "strstr", "strtok",
+    "strncpy", "strcat", "strerror", "time", "localtime", "umask",
+    "getopt", "setvbuf", "perror", "gettimeofday",
+)
+COMMON_IMPORT_PROB = 0.85
+
+# ---------------------------------------------------------------------------
+# Variant usage probabilities (Tables 8-11, unweighted importance)
+# ---------------------------------------------------------------------------
+
+# Probability that a generic (filler) package imports the wrapper.
+# Values are the paper's measured unweighted API importance.
+VARIANT_IMPORT_PROBS: Dict[str, float] = {
+    # Table 8 — ID management
+    "setuid": 0.1567, "setreuid": 0.0188, "setresuid": 0.9968,
+    "setgid": 0.1207, "setregid": 0.0124, "setresgid": 0.9968,
+    "geteuid": 0.5515, "getresuid": 0.3619,
+    "getegid": 0.4887, "getresgid": 0.3614,
+    # Table 8 — directory race variants
+    "access": 0.7424, "faccessat": 0.0063,
+    "mkdir": 0.5207, "mkdirat": 0.0034,
+    "rename": 0.4318, "renameat": 0.0030,
+    "readlink": 0.4638, "readlinkat": 0.0050,
+    "chown": 0.2459, "fchownat": 0.0023,
+    "chmod": 0.3980, "fchmodat": 0.0013,
+    # Table 9 — old vs. new
+    "getdents64": 0.0008, "utime": 0.0857, "utimes": 0.1790,
+    "fork": 0.0007, "vfork": 0.9968, "tkill": 0.0051, "tgkill": 0.9980,
+    "wait4": 0.6056, "waitid": 0.0024,
+    # Table 10 — Linux-specific vs. portable
+    "preadv": 0.0015, "readv": 0.6223, "pwritev": 0.0016,
+    "writev": 0.9980, "accept4": 0.0093, "accept": 0.2935,
+    "ppoll": 0.0390, "poll": 0.7107, "recvmmsg": 0.0011,
+    "recvmsg": 0.6882, "sendmmsg": 0.0517, "sendmsg": 0.4249,
+    "pipe2": 0.4033, "pipe": 0.5033,
+    # Table 11 — simple vs. powerful
+    "pread64": 0.2723, "dup3": 0.0872, "dup": 0.6664,
+    "recvfrom": 0.5380, "sendto": 0.7171, "select": 0.6153,
+    "pselect": 0.0413, "chdir": 0.4461, "fchdir": 0.0220,
+    # Common wrappers beyond the variant tables; rates chosen to
+    # reproduce Figure 8's middle (about 130 syscalls used by >= 10%
+    # of packages).
+    "socket": 0.45, "connect": 0.42, "bind": 0.30, "listen": 0.25,
+    "setsockopt": 0.35, "getsockopt": 0.28, "getsockname": 0.25,
+    "getpeername": 0.18, "shutdown": 0.22, "socketpair": 0.15,
+    "poll": 0.71, "epoll_create": 0.14, "epoll_create1": 0.16,
+    "epoll_ctl": 0.18, "epoll_wait": 0.18, "eventfd": 0.12,
+    "inotify_init": 0.11, "inotify_add_watch": 0.11,
+    "nanosleep": 0.48, "clock_gettime": 0.55, "gettimeofday": 0.62,
+    "setitimer": 0.20, "getitimer": 0.12, "timerfd_create": 0.11,
+    "uname": 0.45, "sysinfo": 0.15, "sysconf": 0.55,
+    "getrusage": 0.18, "getrlimit": 0.35, "setrlimit": 0.25,
+    "getpriority": 0.13, "setpriority": 0.14, "sched_yield": 0.22,
+    "sched_getaffinity": 0.13, "sched_setaffinity": 0.11,
+    "waitpid": 0.52, "execve": 0.55, "execvp": 0.30, "system": 0.35,
+    "alarm": 0.22, "pause": 0.12, "setsid": 0.20, "setpgid": 0.18,
+    "getpgrp": 0.14, "umask": 0.38, "chroot": 0.11, "sync": 0.12,
+    "ftruncate": 0.30, "truncate": 0.15, "fsync": 0.32,
+    "fdatasync": 0.14, "flock": 0.24, "statfs": 0.20, "fstatfs": 0.14,
+    "symlink": 0.25, "link": 0.20, "mknod": 0.10, "sendfile": 0.13,
+    "madvise": 0.22, "mremap": 0.16, "msync": 0.12, "mlock": 0.10,
+    "shmget": 0.14, "shmat": 0.14, "shmctl": 0.13, "semget": 0.12,
+    "semop": 0.12, "msgget": 0.10,
+    "sigaltstack": 0.15, "sigprocmask": 0.45, "sigpending": 0.10,
+    "sigsuspend": 0.12, "getgroups": 0.16, "setgroups": 0.12,
+    "capget": 0.11, "capset": 0.10, "personality": 0.10,
+    "getsid": 0.10, "setfsuid": 0.08, "setfsgid": 0.08,
+    "getxattr": 0.12, "setxattr": 0.10, "listxattr": 0.10,
+    "fallocate": 0.11, "posix_fadvise": 0.12,
+    "ptsname": 0.08, "tcgetattr": 0.25, "tcsetattr": 0.24,
+    "getpwnam": 0.30, "getpwuid": 0.32, "getgrnam": 0.22,
+    "getgrgid": 0.22, "getlogin": 0.12, "initgroups": 0.10,
+    # glibc-internal stdio exports: getc()/putc() compile into
+    # these; their absence from other libcs drives Table 7.
+    "_IO_getc": 0.25, "_IO_putc": 0.20, "__uflow": 0.15,
+    "__overflow": 0.15, "_IO_vfprintf": 0.10,
+}
+
+# ---------------------------------------------------------------------------
+# Category templates for filler packages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CategoryTemplate:
+    """An application archetype used to generate filler packages."""
+
+    name: str
+    weight: float                      # share of filler packages
+    libc_pool: Tuple[str, ...]         # candidate extra imports
+    pool_draws: Tuple[int, int]        # min/max symbols drawn
+    syscall_pool: Tuple[str, ...] = ()  # candidate direct syscalls
+    direct_syscall_prob: float = 0.11  # §7: ~11% of binaries
+    ioctl_pool: Tuple[str, ...] = ()
+    fcntl_pool: Tuple[str, ...] = ()
+    prctl_pool: Tuple[str, ...] = ()
+    pseudo_pool: Tuple[str, ...] = ()
+    pseudo_prob: float = 0.15
+    script_fraction: float = 0.0      # extra script artifacts
+    executables: Tuple[int, int] = (1, 3)
+    use_variants: bool = True         # draw Tables 8-11 variant symbols
+    use_common: bool = True           # attach COMMON_LIBC_IMPORTS
+
+
+_STDIO_POOL = (
+    "scanf", "sscanf", "sprintf", "vsnprintf", "getline", "getdelim",
+    "setvbuf", "perror", "tmpfile", "popen", "pclose", "remove",
+    "ferror", "feof", "rewind", "fseek", "ftell", "ungetc",
+    "__fprintf_chk", "__sprintf_chk", "__snprintf_chk",
+    "__strcpy_chk", "__strcat_chk", "__strncpy_chk",
+)
+
+_PROCESS_POOL = (
+    "waitpid", "wait", "wait4", "execve", "execvp", "execl", "system",
+    "raise", "sleep", "usleep", "nanosleep", "alarm", "setsid",
+    "setpgid", "getppid", "getpgrp", "daemon", "vfork", "clone",
+    "posix_spawn", "getrlimit", "setrlimit", "getrusage", "nice",
+    "sched_yield", "gettid", "tgkill", "prctl",
+)
+
+_FILE_POOL = (
+    "openat", "readdir", "opendir", "closedir", "scandir", "mkdir",
+    "rmdir", "rename", "unlink", "symlink", "readlink", "chmod",
+    "chown", "chdir", "utime", "utimes", "statfs", "truncate",
+    "ftruncate", "fsync", "fdatasync", "flock", "lockf", "realpath",
+    "mkstemp", "mkdtemp", "dup", "pipe", "pipe2", "sendfile",
+    "pread64", "pwrite64", "readv", "writev", "getxattr", "setxattr",
+    "listxattr", "fallocate", "posix_fadvise",
+)  # note: preadv/pwritev stay out — Table 1 pins them to libc users
+
+
+_NETWORK_POOL = (
+    "socket", "connect", "bind", "listen", "accept", "accept4",
+    "send", "sendto", "recv", "recvfrom", "sendmsg", "recvmsg",
+    "getsockopt", "setsockopt", "getsockname", "getpeername",
+    "shutdown", "select", "poll", "ppoll", "epoll_create",
+    "epoll_create1", "epoll_ctl", "epoll_wait", "getaddrinfo",
+    "getnameinfo", "gethostbyname", "inet_ntop", "inet_pton",
+    "htons", "ntohs", "socketpair", "sendmmsg", "recvmmsg",
+)
+
+_TERMINAL_POOL = (
+    "tcgetattr", "tcsetattr", "tcflush", "tcdrain", "cfmakeraw",
+    "cfsetispeed", "cfsetospeed", "ttyname", "openpty", "posix_openpt",
+    "grantpt", "unlockpt", "ptsname", "getpass",
+)
+
+_DESKTOP_POOL = (
+    "setlocale", "nl_langinfo", "gettext", "dgettext", "bindtextdomain",
+    "iconv_open", "iconv", "iconv_close", "mbstowcs", "wcstombs",
+    "wcslen", "wcscmp", "wcscpy", "mbrtowc", "wcrtomb", "towupper",
+    "iswalpha", "iswspace", "wcwidth", "regcomp", "regexec", "regfree",
+    "fnmatch", "glob", "globfree",
+)
+
+_IDENTITY_POOL = (
+    "getpwnam", "getpwuid", "getgrnam", "getgrgid", "getgroups",
+    "initgroups", "setuid", "setgid", "seteuid", "setresuid",
+    "setresgid", "getresuid", "getresgid", "geteuid", "getegid",
+    "getlogin", "crypt", "getspnam", "setreuid", "setregid",
+)
+
+_TIME_POOL = (
+    "time", "gettimeofday", "clock_gettime", "localtime", "gmtime",
+    "mktime", "strftime", "strptime", "setitimer", "getitimer",
+    "timerfd_create", "timerfd_settime", "difftime", "tzset",
+)
+
+_SYSADMIN_SYSCALL_POOL = (
+    "mount", "umount2", "chroot", "sync", "sethostname", "swapon",
+    "swapoff", "reboot", "init_module", "delete_module", "finit_module",
+    "acct", "settimeofday", "adjtimex", "pivot_root", "syslog",
+    "quotactl", "vhangup", "ustat", "ioprio_set", "ioprio_get",
+    "ptrace", "perf_event_open", "readahead", "unshare", "setns",
+    "fanotify_init", "fanotify_mark", "tee", "waitid", "setdomainname",
+)
+
+CATEGORY_TEMPLATES: Tuple[CategoryTemplate, ...] = (
+    CategoryTemplate(
+        # Trivial programs whose footprint is exactly the base runtime
+        # closure — the packages stage I of Table 4 unlocks.
+        name="trivial", weight=0.08,
+        libc_pool=(), pool_draws=(0, 0),
+        direct_syscall_prob=0.0, pseudo_prob=0.0,
+        executables=(1, 1), use_variants=False, use_common=False,
+    ),
+    CategoryTemplate(
+        name="cli-tool", weight=0.30,
+        libc_pool=_STDIO_POOL + _FILE_POOL + _TIME_POOL,
+        pool_draws=(4, 14),
+        pseudo_pool=("/dev/null", "/dev/tty", "/proc/self/exe"),
+        pseudo_prob=0.25,
+    ),
+    CategoryTemplate(
+        name="daemon", weight=0.15,
+        libc_pool=(_NETWORK_POOL + _PROCESS_POOL + _IDENTITY_POOL
+                   + ("openlog", "syslog", "closelog", "epoll_wait")),
+        pool_draws=(8, 22),
+        syscall_pool=("epoll_wait", "epoll_ctl", "accept4", "signalfd4",
+                      "eventfd2", "timerfd_create"),
+        prctl_pool=("PR_SET_NAME", "PR_SET_PDEATHSIG",
+                    "PR_SET_NO_NEW_PRIVS"),
+        pseudo_pool=("/dev/null", "/proc/self/stat", "/proc/meminfo",
+                     "/proc/net/tcp", "/dev/urandom"),
+        pseudo_prob=0.4,
+    ),
+    CategoryTemplate(
+        name="desktop-app", weight=0.20,
+        libc_pool=(_DESKTOP_POOL + _STDIO_POOL + _TIME_POOL
+                   + _NETWORK_POOL[:12]),
+        pool_draws=(10, 26),
+        pseudo_pool=("/dev/null", "/proc/cpuinfo", "/proc/meminfo",
+                     "/dev/urandom", "/sys/devices/system/cpu"),
+        pseudo_prob=0.3,
+        executables=(1, 2),
+    ),
+    CategoryTemplate(
+        name="devtool", weight=0.12,
+        libc_pool=(_STDIO_POOL + _FILE_POOL + _PROCESS_POOL
+                   + ("dlopen", "dlsym", "dlclose", "backtrace",
+                      "mmap64", "ptrace")),
+        pool_draws=(6, 18),
+        syscall_pool=("ptrace", "process_vm_readv", "perf_event_open"),
+        direct_syscall_prob=0.2,
+        pseudo_pool=("/proc/%d/cmdline", "/proc/%d/stat",
+                     "/proc/self/maps", "/proc/%d/status"),
+        pseudo_prob=0.35,
+    ),
+    CategoryTemplate(
+        name="terminal-app", weight=0.08,
+        libc_pool=_TERMINAL_POOL + _STDIO_POOL + _PROCESS_POOL[:10],
+        pool_draws=(5, 14),
+        ioctl_pool=("TIOCGWINSZ", "TCGETS", "TCSETS", "TIOCSWINSZ",
+                    "TIOCGPGRP", "TIOCSPGRP", "FIONREAD"),
+        pseudo_pool=("/dev/tty", "/dev/ptmx", "/dev/pts",
+                     "/dev/console"),
+        pseudo_prob=0.5,
+    ),
+    CategoryTemplate(
+        name="sysadmin", weight=0.08,
+        libc_pool=_FILE_POOL + _IDENTITY_POOL + _PROCESS_POOL,
+        pool_draws=(5, 16),
+        syscall_pool=_SYSADMIN_SYSCALL_POOL,
+        direct_syscall_prob=0.45,
+        ioctl_pool=("BLKGETSIZE", "BLKSSZGET", "BLKGETSIZE64",
+                    "BLKROGET", "SIOCGIFFLAGS", "SIOCGIFADDR",
+                    "SIOCETHTOOL", "FIONBIO"),
+        pseudo_pool=("/proc/mounts", "/proc/partitions", "/proc/swaps",
+                     "/sys/block", "/proc/sys/kernel/hostname",
+                     "/dev/sda", "/dev/hda"),
+        pseudo_prob=0.55,
+    ),
+    CategoryTemplate(
+        name="science", weight=0.07,
+        libc_pool=(_STDIO_POOL + _TIME_POOL
+                   + ("sched_setaffinity", "sched_getaffinity",
+                      "getcpu", "pthread_create", "pthread_join",
+                      "mmap64", "madvise", "mlock")),
+        pool_draws=(4, 12),
+        pseudo_pool=("/proc/cpuinfo", "/proc/meminfo",
+                     "/sys/devices/system/cpu"),
+        pseudo_prob=0.3,
+    ),
+)
+
+
+def template_weights() -> List[Tuple[CategoryTemplate, float]]:
+    total = sum(t.weight for t in CATEGORY_TEMPLATES)
+    return [(t, t.weight / total) for t in CATEGORY_TEMPLATES]
+
+
+# ---------------------------------------------------------------------------
+# Interpreter mix (Figure 1)
+# ---------------------------------------------------------------------------
+
+# Fractions of all executables in the archive, from Figure 1.
+INTERPRETER_MIX: Dict[str, float] = {
+    "elf": 0.60,
+    "dash": 0.15,
+    "python": 0.09,
+    "perl": 0.08,
+    "bash": 0.06,
+    "ruby": 0.01,
+    "other": 0.01,
+}
+
+# Within ELF binaries (Figure 1 right): shared libraries vs. dynamic
+# executables vs. static.
+ELF_MIX: Dict[str, float] = {
+    "shared-library": 0.52,
+    "dynamic-executable": 0.48,
+    "static": 0.0038,
+}
+
+INTERPRETER_PACKAGES: Dict[str, str] = {
+    "dash": "dash",
+    "bash": "bash",
+    "python": "python2.7",
+    "perl": "perl",
+    "ruby": "ruby2.1",
+    "other": "busybox",
+}
+
+
+# ---------------------------------------------------------------------------
+# Adoption drift (release simulation)
+# ---------------------------------------------------------------------------
+
+# Pairs whose adoption can drift between simulated releases: the
+# insecure/deprecated API loses users to its preferred variant.
+DRIFT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("access", "faccessat"),
+    ("mkdir", "mkdirat"),
+    ("rename", "renameat"),
+    ("readlink", "readlinkat"),
+    ("chown", "fchownat"),
+    ("chmod", "fchmodat"),
+    ("setuid", "setresuid"),
+    ("utime", "utimes"),
+    ("wait4", "waitid"),
+    ("select", "pselect"),
+    ("dup", "dup3"),
+    ("accept", "accept4"),
+    ("pipe", "pipe2"),
+)
+
+
+def shifted_variant_probs(shift: float) -> Dict[str, float]:
+    """Variant-usage probabilities after ``shift`` of the legacy API's
+    users migrate to the preferred variant.
+
+    ``shift`` = 0 reproduces the paper's 2015 measurements; positive
+    values simulate future releases (the outreach §6 argues the dataset
+    enables); the paper's own observation is that this migration is
+    otherwise glacial.
+    """
+    if not 0.0 <= shift <= 1.0:
+        raise ValueError("shift must be within [0, 1]")
+    table = dict(VARIANT_IMPORT_PROBS)
+    for old, new in DRIFT_PAIRS:
+        if old not in table:
+            continue
+        old_p = table[old]
+        moved = old_p * shift
+        table[old] = old_p - moved
+        table[new] = min(1.0, table.get(new, 0.0) + moved)
+    return table

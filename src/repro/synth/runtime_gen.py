@@ -1,0 +1,210 @@
+"""Generation of the runtime libraries (synthetic glibc family).
+
+Emits ELF shared objects for ``libc.so.6``, ``ld-linux-x86-64.so.2``,
+``libpthread.so.0``, ``librt.so.1``, and ``libdl.so.2`` whose exported
+functions contain real machine code issuing exactly the system calls
+the catalogue (:mod:`repro.libc.symbols`, :mod:`repro.libc.runtime`)
+attributes to them.  The analysis pipeline recovers per-export
+footprints from these binaries by disassembly — the same way the paper
+analyzed the real glibc.
+
+Calibration notes:
+
+* ``__libc_start_main`` carries the libc startup footprint (Table 5),
+  so every program that links libc inherits it.
+* The ``syscall`` export moves its *parameter* into ``%eax`` — an
+  intentionally unresolvable site; callers passing an immediate are
+  resolved at the call site instead (§2.4's dataflow limitation).
+* Terminal functions carry their real ioctl opcodes (``TCGETS`` etc.),
+  reproducing the paper's finding that a head of ~50 ioctl codes is
+  reachable from essentially every program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..libc import runtime as RT
+from ..libc import symbols as LS
+from .codegen import BinarySpec, FunctionSpec, generate_binary
+
+# ioctl opcodes issued inside libc wrappers (carried as immediates).
+LIBC_IOCTL_OPS: Dict[str, Tuple[str, ...]] = {
+    "isatty": ("TCGETS",),
+    "tcgetattr": ("TCGETS",),
+    "tcsetattr": ("TCSETS", "TCSETSW", "TCSETSF"),
+    "tcsendbreak": ("TCSBRK",),
+    "tcdrain": ("TCSBRK",),
+    "tcflush": ("TCFLSH",),
+    "tcflow": ("TCXONC",),
+    "tcgetpgrp": ("TIOCGPGRP",),
+    "tcsetpgrp": ("TIOCSPGRP",),
+    "tcgetsid": ("TIOCGSID",),
+    "ttyname": ("TIOCGWINSZ",),
+    "ttyname_r": ("TIOCGWINSZ",),
+    "openpty": ("TIOCGPTN", "TIOCSPTLCK"),
+    "grantpt": ("TIOCGPTN",),
+    "unlockpt": ("TIOCSPTLCK",),
+    "ptsname": ("TIOCGPTN",),
+    "ptsname_r": ("TIOCGPTN",),
+    "getpass": ("TCGETS", "TCSETSF"),
+    "login_tty": ("TIOCSCTTY",),
+    "if_nametoindex": ("SIOCGIFINDEX",),
+    "if_indextoname": ("SIOCGIFNAME",),
+}
+
+# fcntl opcodes issued inside libc wrappers.
+LIBC_FCNTL_OPS: Dict[str, Tuple[str, ...]] = {
+    "fdopen": ("F_GETFL", "F_SETFD"),
+    "fopen": ("F_SETFD",),
+    "popen": ("F_SETFD",),
+    "opendir": ("F_SETFD",),
+    "fdopendir": ("F_GETFL", "F_SETFD"),
+    "lockf": ("F_GETLK", "F_SETLK", "F_SETLKW"),
+    "lockf64": ("F_GETLK", "F_SETLK", "F_SETLKW"),
+    "daemon": ("F_GETFD",),
+    "dup": ("F_DUPFD",),
+}
+
+# prctl opcodes issued inside libc/libpthread wrappers.
+LIBC_PRCTL_OPS: Dict[str, Tuple[str, ...]] = {
+    "pthread_setname_np": ("PR_SET_NAME",),
+    "pthread_getname_np": ("PR_GET_NAME",),
+}
+
+# Pseudo-files referenced from inside libc (e.g. nss, terminals).
+LIBC_PSEUDO_FILES: Dict[str, Tuple[str, ...]] = {
+    "ptsname": ("/dev/pts",),
+    "posix_openpt": ("/dev/ptmx",),
+    "getpt": ("/dev/ptmx",),
+    "ctermid": ("/dev/tty",),
+    "getloadavg": ("/proc/loadavg",),
+    "sysconf": ("/proc/meminfo", "/proc/stat"),
+    "getpass": ("/dev/tty",),
+}
+
+
+def _libc_function(symbol: LS.LibcSymbol) -> FunctionSpec:
+    if symbol.name == "syscall":
+        return FunctionSpec(
+            name=symbol.name,
+            exported=True,
+            unresolvable_syscall_site=True,
+        )
+    return FunctionSpec(
+        name=symbol.name,
+        direct_syscalls=tuple(symbol.syscalls),
+        local_calls=tuple(
+            callee for callee in symbol.internal_calls
+            if callee in LS.BY_NAME),
+        ioctl_ops=LIBC_IOCTL_OPS.get(symbol.name, ()),
+        fcntl_ops=LIBC_FCNTL_OPS.get(symbol.name, ()),
+        prctl_ops=LIBC_PRCTL_OPS.get(symbol.name, ()),
+        strings=LIBC_PSEUDO_FILES.get(symbol.name, ()),
+        exported=True,
+    )
+
+
+def generate_libc() -> bytes:
+    """Emit the synthetic ``libc-2.21.so``."""
+    functions: List[FunctionSpec] = []
+    for symbol in LS.LIBC_SYMBOLS:
+        spec = _libc_function(symbol)
+        if symbol.name == "__libc_start_main":
+            # Startup path (Table 5): issued for every program.  The
+            # function then dispatches into main through the pointer
+            # crt0 passed in %rdi — which is also what makes the
+            # dynamic tracer execute application code.
+            spec = FunctionSpec(
+                name=spec.name,
+                direct_syscalls=tuple(
+                    sorted(set(spec.direct_syscalls)
+                           | RT.LIBC_STARTUP_FOOTPRINT)),
+                local_calls=spec.local_calls,
+                indirect_call_reg=7,  # dispatch into main via %rdi
+                syscalls_first=True,
+                exported=True,
+            )
+        functions.append(spec)
+    spec = BinarySpec(
+        name="libc-2.21.so",
+        functions=functions,
+        needed=("ld-linux-x86-64.so.2",),
+        soname="libc.so.6",
+        entry_function=None,
+        version="GLIBC_2.21",
+    )
+    return generate_binary(spec)
+
+
+def generate_ld_so() -> bytes:
+    """Emit the synthetic dynamic linker."""
+    functions = [
+        FunctionSpec(
+            name="_dl_start",
+            direct_syscalls=tuple(sorted(RT.LD_SO_FOOTPRINT)),
+            strings=("/proc/self/exe",),
+            exported=True,
+        ),
+    ]
+    for export, syscalls in RT.LD_SO.export_syscalls.items():
+        functions.append(FunctionSpec(
+            name=export,
+            direct_syscalls=tuple(syscalls),
+            exported=True,
+        ))
+    spec = BinarySpec(
+        name="ld-2.21.so",
+        functions=functions,
+        needed=(),
+        soname=RT.LD_SO.soname,
+        entry_function=None,
+    )
+    return generate_binary(spec)
+
+
+def _runtime_library(library: RT.RuntimeLibrary,
+                     startup_export: str) -> bytes:
+    functions: List[FunctionSpec] = []
+    for export in library.exports:
+        syscalls = tuple(library.export_syscalls.get(export, ()))
+        if export == startup_export:
+            syscalls = tuple(sorted(set(syscalls)
+                                    | library.startup_syscalls))
+        functions.append(FunctionSpec(
+            name=export,
+            direct_syscalls=syscalls,
+            prctl_ops=LIBC_PRCTL_OPS.get(export, ()),
+            exported=True,
+        ))
+    spec = BinarySpec(
+        name=library.soname,
+        functions=functions,
+        needed=("libc.so.6",),
+        soname=library.soname,
+        entry_function=None,
+    )
+    return generate_binary(spec)
+
+
+def generate_libpthread() -> bytes:
+    return _runtime_library(RT.LIBPTHREAD, "pthread_create")
+
+
+def generate_librt() -> bytes:
+    return _runtime_library(RT.LIBRT, "clock_gettime")
+
+
+def generate_libdl() -> bytes:
+    return _runtime_library(RT.LIBDL, "dlopen")
+
+
+def generate_runtime_images() -> Dict[str, bytes]:
+    """All runtime shared objects, keyed by SONAME."""
+    return {
+        "ld-linux-x86-64.so.2": generate_ld_so(),
+        "libc.so.6": generate_libc(),
+        "libpthread.so.0": generate_libpthread(),
+        "librt.so.1": generate_librt(),
+        "libdl.so.2": generate_libdl(),
+    }

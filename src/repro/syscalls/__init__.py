@@ -1,0 +1,46 @@
+"""Linux 3.19 x86-64 API surface catalogues.
+
+Covers the system call table, the vectored operation tables (ioctl,
+fcntl, prctl), pseudo-file paths, and the API variant groups studied in
+the paper's Section 5.
+"""
+
+from . import fcntl_ops, ioctl, prctl_ops, pseudofiles, variants
+from .table import (
+    ALL_NAMES,
+    BY_NAME,
+    BY_NUMBER,
+    LIVE_NAMES,
+    RETIRED_NAMES,
+    SYSCALL_COUNT,
+    SYSCALLS,
+    VECTORED_SYSCALLS,
+    Lifecycle,
+    SyscallDef,
+    categories,
+    lookup,
+    name_of,
+    number_of,
+)
+
+__all__ = [
+    "ALL_NAMES",
+    "BY_NAME",
+    "BY_NUMBER",
+    "LIVE_NAMES",
+    "RETIRED_NAMES",
+    "SYSCALL_COUNT",
+    "SYSCALLS",
+    "VECTORED_SYSCALLS",
+    "Lifecycle",
+    "SyscallDef",
+    "categories",
+    "fcntl_ops",
+    "ioctl",
+    "lookup",
+    "name_of",
+    "number_of",
+    "prctl_ops",
+    "pseudofiles",
+    "variants",
+]

@@ -1,0 +1,52 @@
+"""fcntl operation codes (§3.3, Figure 5 left).
+
+Linux 3.19 defines 18 fcntl operations reachable on x86-64 (the paper's
+count).  Unlike ioctl, the table is closed — modules cannot extend it —
+and usage concentrates: eleven operations sit at ~100% API importance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class FcntlDef:
+    code: int
+    name: str
+
+
+FCNTLS: List[FcntlDef] = [
+    FcntlDef(0, "F_DUPFD"),
+    FcntlDef(1, "F_GETFD"),
+    FcntlDef(2, "F_SETFD"),
+    FcntlDef(3, "F_GETFL"),
+    FcntlDef(4, "F_SETFL"),
+    FcntlDef(5, "F_GETLK"),
+    FcntlDef(6, "F_SETLK"),
+    FcntlDef(7, "F_SETLKW"),
+    FcntlDef(8, "F_SETOWN"),
+    FcntlDef(9, "F_GETOWN"),
+    FcntlDef(10, "F_SETSIG"),
+    FcntlDef(11, "F_GETSIG"),
+    FcntlDef(1024, "F_SETLEASE"),
+    FcntlDef(1025, "F_GETLEASE"),
+    FcntlDef(1026, "F_NOTIFY"),
+    FcntlDef(1030, "F_DUPFD_CLOEXEC"),
+    FcntlDef(1031, "F_SETPIPE_SZ"),
+    FcntlDef(1032, "F_GETPIPE_SZ"),
+]
+
+BY_CODE: Dict[int, FcntlDef] = {d.code: d for d in FCNTLS}
+BY_NAME: Dict[str, FcntlDef] = {d.name: d for d in FCNTLS}
+
+TOTAL_DEFINED = len(FCNTLS)
+
+# The eleven operations at ~100% importance (§3.3): dup/flag/lock
+# management that libc and every dynamically linked program touches.
+UBIQUITOUS_NAMES = (
+    "F_DUPFD", "F_GETFD", "F_SETFD", "F_GETFL", "F_SETFL",
+    "F_GETLK", "F_SETLK", "F_SETLKW", "F_SETOWN", "F_GETOWN",
+    "F_DUPFD_CLOEXEC",
+)

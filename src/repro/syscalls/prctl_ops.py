@@ -1,0 +1,86 @@
+"""prctl operation codes (§3.3, Figure 5 right).
+
+Linux 3.19 defines 44 prctl operations (the paper's count).  Only nine
+sit near 100% API importance; eighteen exceed 20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PrctlDef:
+    code: int
+    name: str
+
+
+PRCTLS: List[PrctlDef] = [
+    PrctlDef(1, "PR_SET_PDEATHSIG"),
+    PrctlDef(2, "PR_GET_PDEATHSIG"),
+    PrctlDef(3, "PR_GET_DUMPABLE"),
+    PrctlDef(4, "PR_SET_DUMPABLE"),
+    PrctlDef(5, "PR_GET_UNALIGN"),
+    PrctlDef(6, "PR_SET_UNALIGN"),
+    PrctlDef(7, "PR_GET_KEEPCAPS"),
+    PrctlDef(8, "PR_SET_KEEPCAPS"),
+    PrctlDef(9, "PR_GET_FPEMU"),
+    PrctlDef(10, "PR_SET_FPEMU"),
+    PrctlDef(11, "PR_GET_FPEXC"),
+    PrctlDef(12, "PR_SET_FPEXC"),
+    PrctlDef(13, "PR_GET_TIMING"),
+    PrctlDef(14, "PR_SET_TIMING"),
+    PrctlDef(15, "PR_SET_NAME"),
+    PrctlDef(16, "PR_GET_NAME"),
+    PrctlDef(19, "PR_GET_ENDIAN"),
+    PrctlDef(20, "PR_SET_ENDIAN"),
+    PrctlDef(21, "PR_GET_SECCOMP"),
+    PrctlDef(22, "PR_SET_SECCOMP"),
+    PrctlDef(23, "PR_CAPBSET_READ"),
+    PrctlDef(24, "PR_CAPBSET_DROP"),
+    PrctlDef(25, "PR_GET_TSC"),
+    PrctlDef(26, "PR_SET_TSC"),
+    PrctlDef(27, "PR_GET_SECUREBITS"),
+    PrctlDef(28, "PR_SET_SECUREBITS"),
+    PrctlDef(29, "PR_SET_TIMERSLACK"),
+    PrctlDef(30, "PR_GET_TIMERSLACK"),
+    PrctlDef(31, "PR_TASK_PERF_EVENTS_DISABLE"),
+    PrctlDef(32, "PR_TASK_PERF_EVENTS_ENABLE"),
+    PrctlDef(33, "PR_MCE_KILL"),
+    PrctlDef(34, "PR_MCE_KILL_GET"),
+    PrctlDef(35, "PR_SET_MM"),
+    PrctlDef(36, "PR_SET_CHILD_SUBREAPER"),
+    PrctlDef(37, "PR_GET_CHILD_SUBREAPER"),
+    PrctlDef(38, "PR_SET_NO_NEW_PRIVS"),
+    PrctlDef(39, "PR_GET_NO_NEW_PRIVS"),
+    PrctlDef(40, "PR_GET_TID_ADDRESS"),
+    PrctlDef(41, "PR_SET_THP_DISABLE"),
+    PrctlDef(42, "PR_GET_THP_DISABLE"),
+    PrctlDef(43, "PR_MPX_ENABLE_MANAGEMENT"),
+    PrctlDef(44, "PR_MPX_DISABLE_MANAGEMENT"),
+    PrctlDef(0x59616D61, "PR_SET_PTRACER"),
+    PrctlDef(0x53564D41, "PR_SVE_LEGACY_PLACEHOLDER"),
+]
+
+BY_CODE: Dict[int, PrctlDef] = {d.code: d for d in PRCTLS}
+BY_NAME: Dict[str, PrctlDef] = {d.name: d for d in PRCTLS}
+
+TOTAL_DEFINED = len(PRCTLS)
+
+# Nine operations near 100% importance (§3.3): process naming,
+# dumpability, and security-bit queries issued by libc, init systems,
+# and every daemon.
+UBIQUITOUS_NAMES = (
+    "PR_SET_NAME", "PR_GET_NAME", "PR_SET_PDEATHSIG", "PR_GET_DUMPABLE",
+    "PR_SET_DUMPABLE", "PR_SET_KEEPCAPS", "PR_GET_KEEPCAPS",
+    "PR_SET_SECCOMP", "PR_GET_SECCOMP",
+)
+
+# A further nine exceed the 20% threshold the paper reports
+# (18 total above 20%).
+COMMON_NAMES = UBIQUITOUS_NAMES + (
+    "PR_SET_NO_NEW_PRIVS", "PR_GET_NO_NEW_PRIVS", "PR_CAPBSET_READ",
+    "PR_CAPBSET_DROP", "PR_SET_CHILD_SUBREAPER", "PR_GET_CHILD_SUBREAPER",
+    "PR_SET_TIMERSLACK", "PR_SET_PTRACER", "PR_GET_SECUREBITS",
+)

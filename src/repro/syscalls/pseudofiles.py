@@ -1,0 +1,123 @@
+"""Pseudo-file and pseudo-device APIs (§3.4, Figure 6).
+
+Linux exports a second API surface through ``/proc``, ``/dev``, and
+``/sys``.  This catalogue lists the paths the study observes hard-coded
+in binaries, grouped by filesystem and annotated with the paper's
+qualitative findings (essential head, application-specific middle,
+administrator-only tail).
+
+Paths containing ``%`` are printf-style patterns: the study explicitly
+captures ``sprintf("/proc/%d/cmdline", pid)``-style construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PseudoFileDef:
+    path: str          # may contain printf-style placeholders
+    filesystem: str    # "proc", "dev", or "sys"
+    tier: str          # "essential", "common", "specific", "admin"
+
+
+PSEUDO_FILES: List[PseudoFileDef] = [
+    # --- essential: used by thousands of binaries ---
+    PseudoFileDef("/dev/null", "dev", "essential"),
+    PseudoFileDef("/dev/zero", "dev", "essential"),
+    PseudoFileDef("/dev/tty", "dev", "essential"),
+    PseudoFileDef("/dev/urandom", "dev", "essential"),
+    PseudoFileDef("/proc/cpuinfo", "proc", "essential"),
+    PseudoFileDef("/proc/self/exe", "proc", "essential"),
+    PseudoFileDef("/proc/meminfo", "proc", "essential"),
+    PseudoFileDef("/proc/self/stat", "proc", "essential"),
+    PseudoFileDef("/proc/self/maps", "proc", "essential"),
+    PseudoFileDef("/proc/filesystems", "proc", "essential"),
+    # --- common: widely but not universally used ---
+    PseudoFileDef("/dev/console", "dev", "common"),
+    PseudoFileDef("/dev/ptmx", "dev", "common"),
+    PseudoFileDef("/dev/pts", "dev", "common"),
+    PseudoFileDef("/dev/random", "dev", "common"),
+    PseudoFileDef("/dev/stdin", "dev", "common"),
+    PseudoFileDef("/dev/stdout", "dev", "common"),
+    PseudoFileDef("/dev/stderr", "dev", "common"),
+    PseudoFileDef("/dev/full", "dev", "common"),
+    PseudoFileDef("/proc/mounts", "proc", "common"),
+    PseudoFileDef("/proc/stat", "proc", "common"),
+    PseudoFileDef("/proc/uptime", "proc", "common"),
+    PseudoFileDef("/proc/loadavg", "proc", "common"),
+    PseudoFileDef("/proc/version", "proc", "common"),
+    PseudoFileDef("/proc/%d/cmdline", "proc", "common"),
+    PseudoFileDef("/proc/%d/stat", "proc", "common"),
+    PseudoFileDef("/proc/%d/status", "proc", "common"),
+    PseudoFileDef("/proc/%d/fd", "proc", "common"),
+    PseudoFileDef("/proc/self/fd", "proc", "common"),
+    PseudoFileDef("/proc/net/dev", "proc", "common"),
+    PseudoFileDef("/proc/net/tcp", "proc", "common"),
+    PseudoFileDef("/sys/devices/system/cpu", "sys", "common"),
+    # --- application-specific: one or two dedicated users ---
+    PseudoFileDef("/dev/kvm", "dev", "specific"),
+    PseudoFileDef("/dev/fuse", "dev", "specific"),
+    PseudoFileDef("/dev/net/tun", "dev", "specific"),
+    PseudoFileDef("/dev/loop-control", "dev", "specific"),
+    PseudoFileDef("/dev/snd/controlC0", "dev", "specific"),
+    PseudoFileDef("/dev/input/event0", "dev", "specific"),
+    PseudoFileDef("/dev/fb0", "dev", "specific"),
+    PseudoFileDef("/dev/sr0", "dev", "specific"),
+    PseudoFileDef("/dev/hda", "dev", "specific"),
+    PseudoFileDef("/dev/sda", "dev", "specific"),
+    PseudoFileDef("/dev/mem", "dev", "specific"),
+    PseudoFileDef("/dev/rtc", "dev", "specific"),
+    PseudoFileDef("/dev/watchdog", "dev", "specific"),
+    PseudoFileDef("/proc/kallsyms", "proc", "specific"),
+    PseudoFileDef("/proc/modules", "proc", "specific"),
+    PseudoFileDef("/proc/kcore", "proc", "specific"),
+    PseudoFileDef("/proc/sysrq-trigger", "proc", "specific"),
+    PseudoFileDef("/proc/%d/oom_score_adj", "proc", "specific"),
+    PseudoFileDef("/proc/%d/environ", "proc", "specific"),
+    PseudoFileDef("/proc/self/mountinfo", "proc", "specific"),
+    PseudoFileDef("/sys/module", "sys", "specific"),
+    PseudoFileDef("/sys/class/net", "sys", "specific"),
+    PseudoFileDef("/sys/block", "sys", "specific"),
+    PseudoFileDef("/sys/bus/pci/devices", "sys", "specific"),
+    PseudoFileDef("/sys/power/state", "sys", "specific"),
+    # --- admin-only tail: touched from shells/scripts, rarely binaries ---
+    PseudoFileDef("/proc/sys/kernel/hostname", "proc", "admin"),
+    PseudoFileDef("/proc/sys/kernel/osrelease", "proc", "admin"),
+    PseudoFileDef("/proc/sys/vm/drop_caches", "proc", "admin"),
+    PseudoFileDef("/proc/sys/net/ipv4/ip_forward", "proc", "admin"),
+    PseudoFileDef("/proc/swaps", "proc", "admin"),
+    PseudoFileDef("/proc/partitions", "proc", "admin"),
+    PseudoFileDef("/proc/interrupts", "proc", "admin"),
+    PseudoFileDef("/proc/diskstats", "proc", "admin"),
+    PseudoFileDef("/proc/buddyinfo", "proc", "admin"),
+    PseudoFileDef("/proc/slabinfo", "proc", "admin"),
+    PseudoFileDef("/proc/vmstat", "proc", "admin"),
+    PseudoFileDef("/proc/zoneinfo", "proc", "admin"),
+    PseudoFileDef("/sys/kernel/mm/transparent_hugepage/enabled",
+                  "sys", "admin"),
+    PseudoFileDef("/sys/kernel/debug", "sys", "admin"),
+    PseudoFileDef("/dev/port", "dev", "admin"),
+    PseudoFileDef("/dev/cpu/0/msr", "dev", "admin"),
+]
+
+BY_PATH: Dict[str, PseudoFileDef] = {d.path: d for d in PSEUDO_FILES}
+
+ESSENTIAL_PATHS = tuple(
+    d.path for d in PSEUDO_FILES if d.tier == "essential")
+
+
+def by_tier(tier: str) -> List[PseudoFileDef]:
+    return [d for d in PSEUDO_FILES if d.tier == tier]
+
+
+def by_filesystem(filesystem: str) -> List[PseudoFileDef]:
+    return [d for d in PSEUDO_FILES if d.filesystem == filesystem]
+
+
+def is_pseudo_path(text: str) -> bool:
+    """True when a string looks like a /proc, /dev, or /sys reference."""
+    return text.startswith(("/proc/", "/dev/", "/sys/")) or text in (
+        "/proc", "/dev", "/sys")

@@ -1,0 +1,428 @@
+"""The x86-64 Linux 3.19 system call table.
+
+This mirrors ``arch/x86/syscalls/syscall_64.tbl`` at kernel 3.19 — the
+kernel version Ubuntu 15.04 shipped and the version the paper studies.
+Each entry carries a category (used for staging and reporting) and a
+lifecycle status:
+
+* ``LIVE`` — implemented and callable.
+* ``RETIRED`` — number reserved, entry point removed or never wired on
+  x86-64 (``sys_ni_syscall``); §3.1 calls these "officially retired".
+* ``KERNEL_INTERNAL`` — defined and implemented, but never issued
+  directly by applications (``restart_syscall``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Lifecycle(Enum):
+    LIVE = "live"
+    RETIRED = "retired"
+    KERNEL_INTERNAL = "kernel-internal"
+
+
+@dataclass(frozen=True)
+class SyscallDef:
+    """One row of the syscall table."""
+
+    number: int
+    name: str
+    category: str
+    lifecycle: Lifecycle = Lifecycle.LIVE
+
+    @property
+    def is_live(self) -> bool:
+        return self.lifecycle == Lifecycle.LIVE
+
+
+_RETIRED = {
+    "uselib", "create_module", "get_kernel_syms", "query_module",
+    "nfsservctl", "getpmsg", "putpmsg", "afs_syscall", "tuxcall",
+    "security", "vserver", "set_thread_area", "get_thread_area",
+    "epoll_ctl_old", "epoll_wait_old", "_sysctl",
+}
+
+# (number, name, category) in syscall_64.tbl order.
+_TABLE = [
+    (0, "read", "file"),
+    (1, "write", "file"),
+    (2, "open", "file"),
+    (3, "close", "file"),
+    (4, "stat", "file"),
+    (5, "fstat", "file"),
+    (6, "lstat", "file"),
+    (7, "poll", "poll"),
+    (8, "lseek", "file"),
+    (9, "mmap", "memory"),
+    (10, "mprotect", "memory"),
+    (11, "munmap", "memory"),
+    (12, "brk", "memory"),
+    (13, "rt_sigaction", "signal"),
+    (14, "rt_sigprocmask", "signal"),
+    (15, "rt_sigreturn", "signal"),
+    (16, "ioctl", "vectored"),
+    (17, "pread64", "file"),
+    (18, "pwrite64", "file"),
+    (19, "readv", "file"),
+    (20, "writev", "file"),
+    (21, "access", "file"),
+    (22, "pipe", "ipc"),
+    (23, "select", "poll"),
+    (24, "sched_yield", "sched"),
+    (25, "mremap", "memory"),
+    (26, "msync", "memory"),
+    (27, "mincore", "memory"),
+    (28, "madvise", "memory"),
+    (29, "shmget", "ipc"),
+    (30, "shmat", "ipc"),
+    (31, "shmctl", "ipc"),
+    (32, "dup", "file"),
+    (33, "dup2", "file"),
+    (34, "pause", "signal"),
+    (35, "nanosleep", "time"),
+    (36, "getitimer", "time"),
+    (37, "alarm", "time"),
+    (38, "setitimer", "time"),
+    (39, "getpid", "process"),
+    (40, "sendfile", "file"),
+    (41, "socket", "network"),
+    (42, "connect", "network"),
+    (43, "accept", "network"),
+    (44, "sendto", "network"),
+    (45, "recvfrom", "network"),
+    (46, "sendmsg", "network"),
+    (47, "recvmsg", "network"),
+    (48, "shutdown", "network"),
+    (49, "bind", "network"),
+    (50, "listen", "network"),
+    (51, "getsockname", "network"),
+    (52, "getpeername", "network"),
+    (53, "socketpair", "network"),
+    (54, "setsockopt", "network"),
+    (55, "getsockopt", "network"),
+    (56, "clone", "process"),
+    (57, "fork", "process"),
+    (58, "vfork", "process"),
+    (59, "execve", "process"),
+    (60, "exit", "process"),
+    (61, "wait4", "process"),
+    (62, "kill", "signal"),
+    (63, "uname", "system"),
+    (64, "semget", "ipc"),
+    (65, "semop", "ipc"),
+    (66, "semctl", "ipc"),
+    (67, "shmdt", "ipc"),
+    (68, "msgget", "ipc"),
+    (69, "msgsnd", "ipc"),
+    (70, "msgrcv", "ipc"),
+    (71, "msgctl", "ipc"),
+    (72, "fcntl", "vectored"),
+    (73, "flock", "file"),
+    (74, "fsync", "file"),
+    (75, "fdatasync", "file"),
+    (76, "truncate", "file"),
+    (77, "ftruncate", "file"),
+    (78, "getdents", "file"),
+    (79, "getcwd", "file"),
+    (80, "chdir", "file"),
+    (81, "fchdir", "file"),
+    (82, "rename", "file"),
+    (83, "mkdir", "file"),
+    (84, "rmdir", "file"),
+    (85, "creat", "file"),
+    (86, "link", "file"),
+    (87, "unlink", "file"),
+    (88, "symlink", "file"),
+    (89, "readlink", "file"),
+    (90, "chmod", "file"),
+    (91, "fchmod", "file"),
+    (92, "chown", "file"),
+    (93, "fchown", "file"),
+    (94, "lchown", "file"),
+    (95, "umask", "process"),
+    (96, "gettimeofday", "time"),
+    (97, "getrlimit", "process"),
+    (98, "getrusage", "process"),
+    (99, "sysinfo", "system"),
+    (100, "times", "time"),
+    (101, "ptrace", "debug"),
+    (102, "getuid", "identity"),
+    (103, "syslog", "system"),
+    (104, "getgid", "identity"),
+    (105, "setuid", "identity"),
+    (106, "setgid", "identity"),
+    (107, "geteuid", "identity"),
+    (108, "getegid", "identity"),
+    (109, "setpgid", "process"),
+    (110, "getppid", "process"),
+    (111, "getpgrp", "process"),
+    (112, "setsid", "process"),
+    (113, "setreuid", "identity"),
+    (114, "setregid", "identity"),
+    (115, "getgroups", "identity"),
+    (116, "setgroups", "identity"),
+    (117, "setresuid", "identity"),
+    (118, "getresuid", "identity"),
+    (119, "setresgid", "identity"),
+    (120, "getresgid", "identity"),
+    (121, "getpgid", "process"),
+    (122, "setfsuid", "identity"),
+    (123, "setfsgid", "identity"),
+    (124, "getsid", "process"),
+    (125, "capget", "security"),
+    (126, "capset", "security"),
+    (127, "rt_sigpending", "signal"),
+    (128, "rt_sigtimedwait", "signal"),
+    (129, "rt_sigqueueinfo", "signal"),
+    (130, "rt_sigsuspend", "signal"),
+    (131, "sigaltstack", "signal"),
+    (132, "utime", "file"),
+    (133, "mknod", "file"),
+    (134, "uselib", "module"),
+    (135, "personality", "process"),
+    (136, "ustat", "file"),
+    (137, "statfs", "file"),
+    (138, "fstatfs", "file"),
+    (139, "sysfs", "system"),
+    (140, "getpriority", "sched"),
+    (141, "setpriority", "sched"),
+    (142, "sched_setparam", "sched"),
+    (143, "sched_getparam", "sched"),
+    (144, "sched_setscheduler", "sched"),
+    (145, "sched_getscheduler", "sched"),
+    (146, "sched_get_priority_max", "sched"),
+    (147, "sched_get_priority_min", "sched"),
+    (148, "sched_rr_get_interval", "sched"),
+    (149, "mlock", "memory"),
+    (150, "munlock", "memory"),
+    (151, "mlockall", "memory"),
+    (152, "munlockall", "memory"),
+    (153, "vhangup", "system"),
+    (154, "modify_ldt", "arch"),
+    (155, "pivot_root", "system"),
+    (156, "_sysctl", "system"),
+    (157, "prctl", "vectored"),
+    (158, "arch_prctl", "arch"),
+    (159, "adjtimex", "time"),
+    (160, "setrlimit", "process"),
+    (161, "chroot", "file"),
+    (162, "sync", "file"),
+    (163, "acct", "system"),
+    (164, "settimeofday", "time"),
+    (165, "mount", "system"),
+    (166, "umount2", "system"),
+    (167, "swapon", "system"),
+    (168, "swapoff", "system"),
+    (169, "reboot", "system"),
+    (170, "sethostname", "system"),
+    (171, "setdomainname", "system"),
+    (172, "iopl", "arch"),
+    (173, "ioperm", "arch"),
+    (174, "create_module", "module"),
+    (175, "init_module", "module"),
+    (176, "delete_module", "module"),
+    (177, "get_kernel_syms", "module"),
+    (178, "query_module", "module"),
+    (179, "quotactl", "file"),
+    (180, "nfsservctl", "system"),
+    (181, "getpmsg", "stream"),
+    (182, "putpmsg", "stream"),
+    (183, "afs_syscall", "stream"),
+    (184, "tuxcall", "stream"),
+    (185, "security", "stream"),
+    (186, "gettid", "process"),
+    (187, "readahead", "file"),
+    (188, "setxattr", "xattr"),
+    (189, "lsetxattr", "xattr"),
+    (190, "fsetxattr", "xattr"),
+    (191, "getxattr", "xattr"),
+    (192, "lgetxattr", "xattr"),
+    (193, "fgetxattr", "xattr"),
+    (194, "listxattr", "xattr"),
+    (195, "llistxattr", "xattr"),
+    (196, "flistxattr", "xattr"),
+    (197, "removexattr", "xattr"),
+    (198, "lremovexattr", "xattr"),
+    (199, "fremovexattr", "xattr"),
+    (200, "tkill", "signal"),
+    (201, "time", "time"),
+    (202, "futex", "sync"),
+    (203, "sched_setaffinity", "sched"),
+    (204, "sched_getaffinity", "sched"),
+    (205, "set_thread_area", "arch"),
+    (206, "io_setup", "aio"),
+    (207, "io_destroy", "aio"),
+    (208, "io_getevents", "aio"),
+    (209, "io_submit", "aio"),
+    (210, "io_cancel", "aio"),
+    (211, "get_thread_area", "arch"),
+    (212, "lookup_dcookie", "debug"),
+    (213, "epoll_create", "poll"),
+    (214, "epoll_ctl_old", "poll"),
+    (215, "epoll_wait_old", "poll"),
+    (216, "remap_file_pages", "memory"),
+    (217, "getdents64", "file"),
+    (218, "set_tid_address", "process"),
+    (219, "restart_syscall", "signal"),
+    (220, "semtimedop", "ipc"),
+    (221, "fadvise64", "file"),
+    (222, "timer_create", "time"),
+    (223, "timer_settime", "time"),
+    (224, "timer_gettime", "time"),
+    (225, "timer_getoverrun", "time"),
+    (226, "timer_delete", "time"),
+    (227, "clock_settime", "time"),
+    (228, "clock_gettime", "time"),
+    (229, "clock_getres", "time"),
+    (230, "clock_nanosleep", "time"),
+    (231, "exit_group", "process"),
+    (232, "epoll_wait", "poll"),
+    (233, "epoll_ctl", "poll"),
+    (234, "tgkill", "signal"),
+    (235, "utimes", "file"),
+    (236, "vserver", "stream"),
+    (237, "mbind", "numa"),
+    (238, "set_mempolicy", "numa"),
+    (239, "get_mempolicy", "numa"),
+    (240, "mq_open", "mqueue"),
+    (241, "mq_unlink", "mqueue"),
+    (242, "mq_timedsend", "mqueue"),
+    (243, "mq_timedreceive", "mqueue"),
+    (244, "mq_notify", "mqueue"),
+    (245, "mq_getsetattr", "mqueue"),
+    (246, "kexec_load", "system"),
+    (247, "waitid", "process"),
+    (248, "add_key", "key"),
+    (249, "request_key", "key"),
+    (250, "keyctl", "key"),
+    (251, "ioprio_set", "sched"),
+    (252, "ioprio_get", "sched"),
+    (253, "inotify_init", "notify"),
+    (254, "inotify_add_watch", "notify"),
+    (255, "inotify_rm_watch", "notify"),
+    (256, "migrate_pages", "numa"),
+    (257, "openat", "file-at"),
+    (258, "mkdirat", "file-at"),
+    (259, "mknodat", "file-at"),
+    (260, "fchownat", "file-at"),
+    (261, "futimesat", "file-at"),
+    (262, "newfstatat", "file-at"),
+    (263, "unlinkat", "file-at"),
+    (264, "renameat", "file-at"),
+    (265, "linkat", "file-at"),
+    (266, "symlinkat", "file-at"),
+    (267, "readlinkat", "file-at"),
+    (268, "fchmodat", "file-at"),
+    (269, "faccessat", "file-at"),
+    (270, "pselect6", "poll"),
+    (271, "ppoll", "poll"),
+    (272, "unshare", "namespace"),
+    (273, "set_robust_list", "sync"),
+    (274, "get_robust_list", "sync"),
+    (275, "splice", "file"),
+    (276, "tee", "file"),
+    (277, "sync_file_range", "file"),
+    (278, "vmsplice", "file"),
+    (279, "move_pages", "numa"),
+    (280, "utimensat", "file-at"),
+    (281, "epoll_pwait", "poll"),
+    (282, "signalfd", "signal"),
+    (283, "timerfd_create", "time"),
+    (284, "eventfd", "ipc"),
+    (285, "fallocate", "file"),
+    (286, "timerfd_settime", "time"),
+    (287, "timerfd_gettime", "time"),
+    (288, "accept4", "network"),
+    (289, "signalfd4", "signal"),
+    (290, "eventfd2", "ipc"),
+    (291, "epoll_create1", "poll"),
+    (292, "dup3", "file"),
+    (293, "pipe2", "ipc"),
+    (294, "inotify_init1", "notify"),
+    (295, "preadv", "file"),
+    (296, "pwritev", "file"),
+    (297, "rt_tgsigqueueinfo", "signal"),
+    (298, "perf_event_open", "debug"),
+    (299, "recvmmsg", "network"),
+    (300, "fanotify_init", "notify"),
+    (301, "fanotify_mark", "notify"),
+    (302, "prlimit64", "process"),
+    (303, "name_to_handle_at", "file-at"),
+    (304, "open_by_handle_at", "file-at"),
+    (305, "clock_adjtime", "time"),
+    (306, "syncfs", "file"),
+    (307, "sendmmsg", "network"),
+    (308, "setns", "namespace"),
+    (309, "getcpu", "sched"),
+    (310, "process_vm_readv", "debug"),
+    (311, "process_vm_writev", "debug"),
+    (312, "kcmp", "debug"),
+    (313, "finit_module", "module"),
+    (314, "sched_setattr", "sched"),
+    (315, "sched_getattr", "sched"),
+    (316, "renameat2", "file-at"),
+    (317, "seccomp", "security"),
+    (318, "getrandom", "security"),
+    (319, "memfd_create", "memory"),
+    (320, "kexec_file_load", "system"),
+    (321, "bpf", "security"),
+    (322, "execveat", "process"),
+]
+
+
+def _build() -> List[SyscallDef]:
+    table = []
+    for number, name, category in _TABLE:
+        if name in _RETIRED:
+            lifecycle = Lifecycle.RETIRED
+        elif name == "restart_syscall":
+            lifecycle = Lifecycle.KERNEL_INTERNAL
+        else:
+            lifecycle = Lifecycle.LIVE
+        table.append(SyscallDef(number, name, category, lifecycle))
+    return table
+
+
+SYSCALLS: List[SyscallDef] = _build()
+SYSCALL_COUNT = len(SYSCALLS)
+
+BY_NAME: Dict[str, SyscallDef] = {s.name: s for s in SYSCALLS}
+BY_NUMBER: Dict[int, SyscallDef] = {s.number: s for s in SYSCALLS}
+
+ALL_NAMES = frozenset(BY_NAME)
+LIVE_NAMES = frozenset(s.name for s in SYSCALLS if s.is_live)
+RETIRED_NAMES = frozenset(
+    s.name for s in SYSCALLS if s.lifecycle == Lifecycle.RETIRED)
+
+# The vectored system calls of §3.3: their first (or second) argument
+# selects a secondary operation from a large table.
+VECTORED_SYSCALLS = ("ioctl", "fcntl", "prctl")
+
+
+def lookup(name_or_number) -> Optional[SyscallDef]:
+    """Find a syscall by name or by number; ``None`` if undefined."""
+    if isinstance(name_or_number, int):
+        return BY_NUMBER.get(name_or_number)
+    return BY_NAME.get(name_or_number)
+
+
+def name_of(number: int) -> Optional[str]:
+    entry = BY_NUMBER.get(number)
+    return entry.name if entry else None
+
+
+def number_of(name: str) -> Optional[int]:
+    entry = BY_NAME.get(name)
+    return entry.number if entry else None
+
+
+def categories() -> Dict[str, List[SyscallDef]]:
+    """Group the table by category."""
+    grouped: Dict[str, List[SyscallDef]] = {}
+    for entry in SYSCALLS:
+        grouped.setdefault(entry.category, []).append(entry)
+    return grouped

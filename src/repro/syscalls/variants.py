@@ -1,0 +1,99 @@
+"""API variant groups studied in §5 (Tables 8–11).
+
+Each group relates system calls that offer overlapping functionality,
+so that unweighted API importance can be compared within the group:
+secure vs. insecure, old vs. new, Linux-specific vs. portable, and
+simple vs. powerful variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class VariantPair:
+    """Two related APIs and the axis along which they differ."""
+
+    left: str          # e.g. the insecure / old / Linux-specific API
+    right: str         # e.g. the secure / new / portable API
+    axis: str          # "security", "deprecation", "portability", "power"
+    note: str = ""
+
+
+# Table 8 — insecure vs. secure variants.
+SECURE_VARIANTS: List[VariantPair] = [
+    VariantPair("setuid", "setresuid", "security",
+                "unclear vs. well-defined ID management semantics"),
+    VariantPair("setreuid", "setresuid", "security",
+                "unclear vs. well-defined ID management semantics"),
+    VariantPair("setgid", "setresgid", "security",
+                "unclear vs. well-defined ID management semantics"),
+    VariantPair("setregid", "setresgid", "security",
+                "unclear vs. well-defined ID management semantics"),
+    VariantPair("getuid", "getresuid", "security", "ID queries"),
+    VariantPair("geteuid", "getresuid", "security", "ID queries"),
+    VariantPair("getgid", "getresgid", "security", "ID queries"),
+    VariantPair("getegid", "getresgid", "security", "ID queries"),
+    VariantPair("access", "faccessat", "security",
+                "non-atomic vs. atomic directory operation (TOCTTOU)"),
+    VariantPair("mkdir", "mkdirat", "security", "TOCTTOU"),
+    VariantPair("rename", "renameat", "security", "TOCTTOU"),
+    VariantPair("readlink", "readlinkat", "security", "TOCTTOU"),
+    VariantPair("chown", "fchownat", "security", "TOCTTOU"),
+    VariantPair("chmod", "fchmodat", "security", "TOCTTOU"),
+]
+
+# Table 9 — old (deprecated) vs. new (preferred) variants.
+OLD_NEW_VARIANTS: List[VariantPair] = [
+    VariantPair("getdents", "getdents64", "deprecation", ""),
+    VariantPair("utime", "utimes", "deprecation", ""),
+    VariantPair("fork", "clone", "deprecation",
+                "libc implements fork() via clone"),
+    VariantPair("vfork", "clone", "deprecation", ""),
+    VariantPair("tkill", "tgkill", "deprecation", ""),
+    VariantPair("wait4", "waitid", "deprecation",
+                "wait4 considered obsolete; waitid preferred"),
+]
+
+# Table 10 — Linux-specific vs. portable/generic variants.
+PORTABILITY_VARIANTS: List[VariantPair] = [
+    VariantPair("preadv", "readv", "portability", ""),
+    VariantPair("pwritev", "writev", "portability", ""),
+    VariantPair("accept4", "accept", "portability", ""),
+    VariantPair("ppoll", "poll", "portability", ""),
+    VariantPair("recvmmsg", "recvmsg", "portability", ""),
+    VariantPair("sendmmsg", "sendmsg", "portability", ""),
+    VariantPair("pipe2", "pipe", "portability",
+                "pipe2 is the one Linux-specific call with high usage"),
+]
+
+# Table 11 — more-powerful vs. simpler variants.
+POWER_VARIANTS: List[VariantPair] = [
+    VariantPair("pread64", "read", "power", ""),
+    VariantPair("dup3", "dup2", "power", ""),
+    VariantPair("dup3", "dup", "power", ""),
+    VariantPair("recvmsg", "recvfrom", "power", ""),
+    VariantPair("sendmsg", "sendto", "power", ""),
+    VariantPair("pselect6", "select", "power", ""),
+    VariantPair("fchdir", "chdir", "power", ""),
+]
+
+ALL_VARIANT_GROUPS: List[Tuple[str, List[VariantPair]]] = [
+    ("secure", SECURE_VARIANTS),
+    ("old-new", OLD_NEW_VARIANTS),
+    ("portability", PORTABILITY_VARIANTS),
+    ("power", POWER_VARIANTS),
+]
+
+
+def all_variant_names() -> List[str]:
+    """Every syscall name that appears in some variant group."""
+    names = []
+    for _, group in ALL_VARIANT_GROUPS:
+        for pair in group:
+            for name in (pair.left, pair.right):
+                if name not in names:
+                    names.append(name)
+    return names

@@ -1,0 +1,20 @@
+"""x86-64 subset assembler and disassembler.
+
+The encoder emits real machine code for the synthetic binaries; the
+decoder recovers syscall sites, immediates, and control flow for the
+static analysis pipeline.
+"""
+
+from . import registers
+from .encoder import Assembler
+from .decoder import decode, linear_sweep
+from .instructions import Instruction, InsnKind
+
+__all__ = [
+    "Assembler",
+    "Instruction",
+    "InsnKind",
+    "decode",
+    "linear_sweep",
+    "registers",
+]

@@ -1,0 +1,326 @@
+"""x86-64 instruction decoder (analysis subset).
+
+Implements enough of the x86-64 encoding scheme to recover, from raw
+``.text`` bytes, everything the API-footprint analysis needs: system
+call instructions, immediate loads into registers, relative and
+indirect control transfers, and RIP-relative address formation.
+Anything outside the subset decodes to :data:`InsnKind.OTHER` with a
+conservative one-byte length, which keeps a linear sweep moving; the
+recursive-descent disassembler (see :mod:`repro.analysis.disassembler`)
+only follows well-formed paths, so stray ``OTHER`` bytes in padding are
+harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .instructions import Instruction, InsnKind
+
+_PREFIXES = frozenset([0x66, 0x67, 0xF0, 0xF2, 0xF3,
+                       0x2E, 0x36, 0x3E, 0x26, 0x64, 0x65])
+
+
+def _read_modrm(code: bytes, pos: int, rex_r: int, rex_b: int,
+                ) -> Optional[Tuple[int, int, int, int, Optional[int]]]:
+    """Decode a ModRM byte (plus SIB/displacement).
+
+    Returns ``(mod, reg, rm, consumed, rip_disp)`` where ``consumed``
+    counts the ModRM byte and any SIB/displacement bytes, and
+    ``rip_disp`` is the 32-bit displacement when the operand is
+    RIP-relative.  Returns ``None`` when the buffer is exhausted.
+    """
+    if pos >= len(code):
+        return None
+    modrm = code[pos]
+    mod = modrm >> 6
+    reg = ((modrm >> 3) & 7) | (rex_r << 3)
+    rm_low = modrm & 7
+    rm = rm_low | (rex_b << 3)
+    consumed = 1
+    rip_disp: Optional[int] = None
+    if mod != 3:
+        if rm_low == 4:  # SIB byte follows
+            consumed += 1
+        if mod == 0 and rm_low == 5:  # RIP-relative disp32
+            if pos + consumed + 4 > len(code):
+                return None
+            rip_disp = int.from_bytes(
+                code[pos + consumed:pos + consumed + 4], "little",
+                signed=True)
+            consumed += 4
+        elif mod == 1:
+            consumed += 1
+        elif mod == 2:
+            consumed += 4
+    return mod, reg, rm, consumed, rip_disp
+
+
+def decode(code: bytes, pos: int, vaddr: int) -> Instruction:
+    """Decode one instruction starting at ``code[pos]``.
+
+    ``vaddr`` is the virtual address of ``code[pos]``; branch targets
+    are returned as absolute virtual addresses.
+    """
+    start = pos
+    rex = 0
+    # Legacy prefixes then at most one REX prefix.
+    while pos < len(code) and code[pos] in _PREFIXES:
+        pos += 1
+    if pos < len(code) and 0x40 <= code[pos] <= 0x4F:
+        rex = code[pos]
+        pos += 1
+    if pos >= len(code):
+        return Instruction(vaddr, 1, InsnKind.OTHER, raw=code[start:start + 1])
+
+    rex_w = (rex >> 3) & 1
+    rex_r = (rex >> 2) & 1
+    rex_b = rex & 1
+    opcode = code[pos]
+    pos += 1
+
+    def done(kind: InsnKind, **kw) -> Instruction:
+        length = pos - start
+        return Instruction(vaddr, length, kind,
+                           raw=bytes(code[start:start + length]), **kw)
+
+    def fail() -> Instruction:
+        return Instruction(vaddr, 1, InsnKind.OTHER,
+                           raw=bytes(code[start:start + 1]))
+
+    # --- two-byte opcodes (0F xx) ---
+    if opcode == 0x0F:
+        if pos >= len(code):
+            return fail()
+        second = code[pos]
+        pos += 1
+        if second == 0x05:
+            return done(InsnKind.SYSCALL)
+        if second == 0x34:
+            return done(InsnKind.SYSENTER)
+        if 0x80 <= second <= 0x8F:  # jcc rel32
+            if pos + 4 > len(code):
+                return fail()
+            disp = int.from_bytes(code[pos:pos + 4], "little", signed=True)
+            pos += 4
+            return done(InsnKind.JCC_REL,
+                        target=vaddr + (pos - start) + disp)
+        if second in (0xB6, 0xB7, 0xBE, 0xBF):  # movzx / movsx
+            decoded = _read_modrm(code, pos, rex_r, rex_b)
+            if decoded is None:
+                return fail()
+            mod, reg_field, rm, consumed, _ = decoded
+            pos += consumed
+            if mod == 3:
+                return done(InsnKind.MOVZX, reg=reg_field, src_reg=rm)
+            return done(InsnKind.OTHER)
+        if second == 0x1F:  # multi-byte NOP
+            decoded = _read_modrm(code, pos, rex_r, rex_b)
+            if decoded is None:
+                return fail()
+            pos += decoded[3]
+            return done(InsnKind.NOP)
+        return fail()
+
+    # --- one-byte opcodes ---
+    if 0x50 <= opcode <= 0x57:
+        return done(InsnKind.PUSH, reg=(opcode - 0x50) | (rex_b << 3))
+    if 0x58 <= opcode <= 0x5F:
+        return done(InsnKind.POP, reg=(opcode - 0x58) | (rex_b << 3))
+    if 0xB8 <= opcode <= 0xBF:
+        reg = (opcode - 0xB8) | (rex_b << 3)
+        width = 8 if rex_w else 4
+        if pos + width > len(code):
+            return fail()
+        imm = int.from_bytes(code[pos:pos + width], "little")
+        pos += width
+        return done(InsnKind.MOV_IMM_REG, reg=reg, imm=imm)
+    if opcode == 0xC7:  # mov imm32 -> r/m
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        if reg_field & 7:  # only /0 is mov
+            return fail()
+        pos += consumed
+        if pos + 4 > len(code):
+            return fail()
+        imm = int.from_bytes(code[pos:pos + 4], "little")
+        pos += 4
+        if mod == 3:
+            return done(InsnKind.MOV_IMM_REG, reg=rm, imm=imm)
+        return done(InsnKind.OTHER)
+    if opcode == 0x31:  # xor r/m, r
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        if mod == 3 and reg_field == rm:
+            return done(InsnKind.XOR_REG_REG, reg=rm)
+        if mod == 3:
+            return done(InsnKind.ALU_REG_REG, reg=rm,
+                        src_reg=reg_field)
+        return done(InsnKind.OTHER)
+    if opcode in (0x01, 0x29, 0x21, 0x09):  # add/sub/and/or r/m, r
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        if mod == 3:
+            return done(InsnKind.ALU_REG_REG, reg=rm,
+                        src_reg=reg_field)
+        return done(InsnKind.OTHER)
+    if opcode == 0x85:  # test r/m, r
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        if mod == 3:
+            return done(InsnKind.TEST_REG_REG, reg=rm,
+                        src_reg=reg_field)
+        return done(InsnKind.OTHER)
+    if opcode == 0xC1:  # shift group: shl/shr/sar r/m, imm8
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        if pos + 1 > len(code):
+            return fail()
+        imm = code[pos]
+        pos += 1
+        if mod == 3 and (reg_field & 7) in (4, 5, 7):
+            return done(InsnKind.SHIFT_IMM, reg=rm, imm=imm)
+        return done(InsnKind.OTHER)
+    if opcode in (0x89, 0x8B):  # mov between registers/memory
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        if mod == 3:
+            if opcode == 0x89:
+                return done(InsnKind.MOV_REG_REG, reg=rm, src_reg=reg_field)
+            return done(InsnKind.MOV_REG_REG, reg=reg_field, src_reg=rm)
+        return done(InsnKind.OTHER)
+    if opcode == 0x8D:  # lea
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, rip_disp = decoded
+        pos += consumed
+        if rip_disp is not None:
+            return done(InsnKind.LEA_RIP, reg=reg_field,
+                        target=vaddr + (pos - start) + rip_disp)
+        return done(InsnKind.OTHER)
+    if opcode == 0xE8:  # call rel32
+        if pos + 4 > len(code):
+            return fail()
+        disp = int.from_bytes(code[pos:pos + 4], "little", signed=True)
+        pos += 4
+        return done(InsnKind.CALL_REL, target=vaddr + (pos - start) + disp)
+    if opcode == 0xE9:  # jmp rel32
+        if pos + 4 > len(code):
+            return fail()
+        disp = int.from_bytes(code[pos:pos + 4], "little", signed=True)
+        pos += 4
+        return done(InsnKind.JMP_REL, target=vaddr + (pos - start) + disp)
+    if opcode == 0xEB:  # jmp rel8
+        if pos + 1 > len(code):
+            return fail()
+        disp = int.from_bytes(code[pos:pos + 1], "little", signed=True)
+        pos += 1
+        return done(InsnKind.JMP_REL, target=vaddr + (pos - start) + disp)
+    if 0x70 <= opcode <= 0x7F:  # jcc rel8
+        if pos + 1 > len(code):
+            return fail()
+        disp = int.from_bytes(code[pos:pos + 1], "little", signed=True)
+        pos += 1
+        return done(InsnKind.JCC_REL, target=vaddr + (pos - start) + disp)
+    if opcode == 0xFE:  # inc/dec r/m8
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        if mod == 3 and (reg_field & 7) in (0, 1):
+            return done(InsnKind.INC_DEC, reg=rm)
+        return done(InsnKind.OTHER)
+    if opcode == 0xFF:  # group 5: inc/dec/call/jmp/push on r/m
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, rip_disp = decoded
+        pos += consumed
+        op = reg_field & 7
+        if op in (0, 1) and mod == 3:  # inc/dec r/m64
+            return done(InsnKind.INC_DEC, reg=rm)
+        if op == 2:  # call
+            return done(InsnKind.CALL_INDIRECT)
+        if op == 4:  # jmp
+            if rip_disp is not None:
+                return done(InsnKind.JMP_RIP_MEM,
+                            target=vaddr + (pos - start) + rip_disp)
+            return done(InsnKind.JMP_INDIRECT)
+        if op == 6:
+            return done(InsnKind.PUSH)
+        return done(InsnKind.OTHER)
+    if opcode == 0xCD:  # int imm8
+        if pos + 1 > len(code):
+            return fail()
+        vector = code[pos]
+        pos += 1
+        if vector == 0x80:
+            return done(InsnKind.INT80)
+        return done(InsnKind.OTHER)
+    if opcode == 0xC3:
+        return done(InsnKind.RET)
+    if opcode == 0xC2:
+        pos += 2
+        return done(InsnKind.RET)
+    if opcode == 0xC9:
+        return done(InsnKind.LEAVE)
+    if opcode == 0x90:
+        return done(InsnKind.NOP)
+    if opcode == 0xF4:
+        return done(InsnKind.HLT)
+    if opcode == 0x3D:  # cmp eax, imm32
+        if pos + 4 > len(code):
+            return fail()
+        imm = int.from_bytes(code[pos:pos + 4], "little")
+        pos += 4
+        return done(InsnKind.CMP_IMM, imm=imm)
+    if opcode in (0x81, 0x83):  # group 1 immediates
+        decoded = _read_modrm(code, pos, rex_r, rex_b)
+        if decoded is None:
+            return fail()
+        mod, reg_field, rm, consumed, _ = decoded
+        pos += consumed
+        width = 1 if opcode == 0x83 else 4
+        if pos + width > len(code):
+            return fail()
+        imm = int.from_bytes(code[pos:pos + width], "little")
+        pos += width
+        op = reg_field & 7
+        if mod == 3 and op == 7:
+            return done(InsnKind.CMP_IMM, reg=rm, imm=imm)
+        return done(InsnKind.ADD_SUB_IMM, reg=rm if mod == 3 else None,
+                    imm=imm)
+    return fail()
+
+
+def linear_sweep(code: bytes, base_vaddr: int) -> Iterator[Instruction]:
+    """Decode ``code`` sequentially from its start.
+
+    This matches the paper's ``objdump``-style disassembly pass and is
+    accurate for generated (non-obfuscated) binaries, which is also the
+    stated assumption of the original study (§2.3).
+    """
+    pos = 0
+    while pos < len(code):
+        insn = decode(code, pos, base_vaddr + pos)
+        yield insn
+        pos += insn.length

@@ -1,0 +1,224 @@
+"""A small x86-64 assembler.
+
+The synthetic binary generator uses this to emit genuine machine code:
+function prologues, immediate loads, ``syscall`` / ``int $0x80``
+instructions, PLT calls, RIP-relative string references, and control
+flow.  Emitted code round-trips through :mod:`repro.x86.decoder`.
+
+References to PLT stubs, local labels, and ``.rodata`` offsets are
+recorded as :class:`repro.elf.writer.Fixup` entries and patched by the
+ELF writer once the image layout is final.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..elf.writer import Fixup
+
+
+def _rex(w: int = 0, r: int = 0, x: int = 0, b: int = 0) -> int:
+    return 0x40 | (w << 3) | (r << 2) | (x << 1) | b
+
+
+def _modrm(mod: int, reg: int, rm: int) -> int:
+    return (mod << 6) | ((reg & 7) << 3) | (rm & 7)
+
+
+class Assembler:
+    """Append-only code buffer with labels and symbolic fixups."""
+
+    def __init__(self) -> None:
+        self.code = bytearray()
+        self.labels: Dict[str, int] = {}
+        self.fixups: List[Fixup] = []
+        self._pending_jumps: List[tuple] = []  # (patch_offset, label)
+
+    # --- label management ---------------------------------------------------
+
+    @property
+    def offset(self) -> int:
+        return len(self.code)
+
+    def label(self, name: str) -> int:
+        """Bind ``name`` to the current offset."""
+        if name in self.labels:
+            raise ValueError(f"label {name!r} already defined")
+        self.labels[name] = self.offset
+        return self.offset
+
+    def _emit(self, *parts: bytes) -> None:
+        for part in parts:
+            self.code += part
+
+    def _imm32(self, value: int) -> bytes:
+        return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    # --- data movement ----------------------------------------------------
+
+    def mov_imm32(self, reg: int, imm: int) -> None:
+        """``mov $imm32, %r32`` — the canonical syscall-number load."""
+        if reg >= 8:
+            self._emit(bytes([_rex(b=1)]))
+        self._emit(bytes([0xB8 + (reg & 7)]), self._imm32(imm))
+
+    def mov_imm64(self, reg: int, imm: int) -> None:
+        """``movabs $imm64, %r64``."""
+        self._emit(bytes([_rex(w=1, b=reg >> 3), 0xB8 + (reg & 7)]))
+        self._emit((imm & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    def xor_reg(self, reg: int) -> None:
+        """``xor %r32, %r32`` — idiomatic zeroing (immediate 0)."""
+        if reg >= 8:
+            self._emit(bytes([_rex(r=1, b=1)]))
+        self._emit(bytes([0x31, _modrm(3, reg, reg)]))
+
+    def mov_reg_reg64(self, dst: int, src: int) -> None:
+        """``mov %src, %dst`` (64-bit)."""
+        self._emit(bytes([
+            _rex(w=1, r=src >> 3, b=dst >> 3),
+            0x89,
+            _modrm(3, src, dst),
+        ]))
+
+    def lea_rip_rodata(self, reg: int, rodata_offset: int) -> None:
+        """``lea disp(%rip), %r64`` referencing a ``.rodata`` blob."""
+        self._lea_rip(reg, ("rodata", rodata_offset))
+
+    def lea_rip_local(self, reg: int, label: str) -> None:
+        """``lea disp(%rip), %r64`` forming a local function pointer."""
+        self._lea_rip(reg, ("local", label))
+
+    def _lea_rip(self, reg: int, target: tuple) -> None:
+        self._emit(bytes([_rex(w=1, r=reg >> 3), 0x8D,
+                          _modrm(0, reg, 5)]))
+        self.fixups.append(Fixup(self.offset, "rip32", target))
+        self._emit(b"\x00\x00\x00\x00")
+
+    # --- system call instructions -----------------------------------------
+
+    def syscall(self) -> None:
+        self._emit(b"\x0f\x05")
+
+    def int80(self) -> None:
+        self._emit(b"\xcd\x80")
+
+    def sysenter(self) -> None:
+        self._emit(b"\x0f\x34")
+
+    # --- control flow -----------------------------------------------
+
+    def call_import(self, name: str) -> None:
+        """``call`` through the PLT stub of imported symbol ``name``."""
+        self._emit(b"\xe8")
+        self.fixups.append(Fixup(self.offset, "rel32", ("import", name)))
+        self._emit(b"\x00\x00\x00\x00")
+
+    def call_local(self, label: str) -> None:
+        """``call`` a function defined in this binary."""
+        self._emit(b"\xe8")
+        self.fixups.append(Fixup(self.offset, "rel32", ("local", label)))
+        self._emit(b"\x00\x00\x00\x00")
+
+    def call_reg(self, reg: int) -> None:
+        """``call *%r64`` — indirect call through a register."""
+        if reg >= 8:
+            self._emit(bytes([_rex(b=1)]))
+        self._emit(bytes([0xFF, _modrm(3, 2, reg)]))
+
+    def jmp_local(self, label: str) -> None:
+        self._emit(b"\xe9")
+        self.fixups.append(Fixup(self.offset, "rel32", ("local", label)))
+        self._emit(b"\x00\x00\x00\x00")
+
+    def jz_local(self, label: str) -> None:
+        self._emit(b"\x0f\x84")
+        self.fixups.append(Fixup(self.offset, "rel32", ("local", label)))
+        self._emit(b"\x00\x00\x00\x00")
+
+    def jnz_local(self, label: str) -> None:
+        self._emit(b"\x0f\x85")
+        self.fixups.append(Fixup(self.offset, "rel32", ("local", label)))
+        self._emit(b"\x00\x00\x00\x00")
+
+    # --- stack frame / misc ---------------------------------------------
+
+    def push_rbp(self) -> None:
+        self._emit(b"\x55")
+
+    def pop_rbp(self) -> None:
+        self._emit(b"\x5d")
+
+    def mov_rbp_rsp(self) -> None:
+        self.mov_reg_reg64(5, 4)  # mov %rsp, %rbp
+
+    def sub_rsp_imm8(self, amount: int) -> None:
+        self._emit(bytes([0x48, 0x83, 0xEC, amount & 0x7F]))
+
+    def add_rsp_imm8(self, amount: int) -> None:
+        self._emit(bytes([0x48, 0x83, 0xC4, amount & 0x7F]))
+
+    def cmp_eax_imm32(self, imm: int) -> None:
+        self._emit(b"\x3d", self._imm32(imm))
+
+    # --- computation filler (realism; no analysis-visible effects) ---
+
+    _ALU_OPCODES = {"add": 0x01, "or": 0x09, "and": 0x21,
+                    "sub": 0x29, "xor": 0x31}
+
+    def alu_reg_reg(self, op: str, dst: int, src: int) -> None:
+        """``add/or/and/sub/xor %src32, %dst32``."""
+        opcode = self._ALU_OPCODES[op]
+        if dst >= 8 or src >= 8:
+            self._emit(bytes([_rex(r=src >> 3, b=dst >> 3)]))
+        self._emit(bytes([opcode, _modrm(3, src, dst)]))
+
+    def test_reg_reg(self, dst: int, src: int) -> None:
+        """``test %src32, %dst32``."""
+        if dst >= 8 or src >= 8:
+            self._emit(bytes([_rex(r=src >> 3, b=dst >> 3)]))
+        self._emit(bytes([0x85, _modrm(3, src, dst)]))
+
+    def movzx_reg8(self, dst: int, src: int) -> None:
+        """``movzx %src8, %dst32``."""
+        if dst >= 8 or src >= 8:
+            self._emit(bytes([_rex(r=dst >> 3, b=src >> 3)]))
+        self._emit(bytes([0x0F, 0xB6, _modrm(3, dst, src)]))
+
+    def shl_imm8(self, reg: int, amount: int) -> None:
+        """``shl $amount, %r32``."""
+        if reg >= 8:
+            self._emit(bytes([_rex(b=1)]))
+        self._emit(bytes([0xC1, _modrm(3, 4, reg), amount & 0x1F]))
+
+    def inc_reg(self, reg: int) -> None:
+        """``inc %r32``."""
+        if reg >= 8:
+            self._emit(bytes([_rex(b=1)]))
+        self._emit(bytes([0xFF, _modrm(3, 0, reg)]))
+
+    def ret(self) -> None:
+        self._emit(b"\xc3")
+
+    def leave(self) -> None:
+        self._emit(b"\xc9")
+
+    def nop(self, count: int = 1) -> None:
+        self._emit(b"\x90" * count)
+
+    def hlt(self) -> None:
+        self._emit(b"\xf4")
+
+    # --- canned sequences ---------------------------------------------
+
+    def prologue(self) -> None:
+        self.push_rbp()
+        self.mov_rbp_rsp()
+
+    def epilogue(self) -> None:
+        self.pop_rbp()
+        self.ret()
+
+    def align(self, boundary: int = 16) -> None:
+        while self.offset % boundary:
+            self.nop()

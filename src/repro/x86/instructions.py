@@ -1,0 +1,135 @@
+"""Decoded instruction model.
+
+The analysis framework does not need a general disassembler; it needs
+the handful of facts the paper's ``objdump``-based pipeline keys on
+(§7): syscall instructions, immediate loads into argument registers,
+control transfers (for the call graph), and RIP-relative address
+formation (function pointers and string references).  The instruction
+model therefore carries semantic *kinds* rather than full operand
+trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+from .registers import name32, name64
+
+
+class InsnKind(Enum):
+    """Semantic classification of a decoded instruction."""
+
+    MOV_IMM_REG = auto()     # mov $imm, %reg        (imm, reg)
+    XOR_REG_REG = auto()     # xor %r, %r  == zero   (reg) when both equal
+    MOV_REG_REG = auto()     # mov %src, %dst        (reg=dst, src_reg)
+    LEA_RIP = auto()         # lea disp(%rip), %reg  (reg, target)
+    SYSCALL = auto()         # syscall
+    SYSENTER = auto()        # sysenter
+    INT80 = auto()           # int $0x80
+    CALL_REL = auto()        # call rel32            (target)
+    CALL_INDIRECT = auto()   # call *%reg / call *mem
+    JMP_REL = auto()         # jmp rel8/rel32        (target)
+    JMP_INDIRECT = auto()    # jmp *%reg
+    JMP_RIP_MEM = auto()     # jmp *disp(%rip)       (target = mem slot)
+    JCC_REL = auto()         # conditional jump      (target)
+    PUSH = auto()
+    POP = auto()
+    RET = auto()
+    LEAVE = auto()
+    NOP = auto()
+    CMP_IMM = auto()
+    ADD_SUB_IMM = auto()
+    ALU_REG_REG = auto()     # add/sub/and/or/xor %r, %r (distinct regs)
+    TEST_REG_REG = auto()    # test %r, %r
+    MOVZX = auto()           # movzx/movsx widening loads
+    SHIFT_IMM = auto()       # shl/shr/sar $imm, %r
+    INC_DEC = auto()         # inc/dec %r
+    HLT = auto()
+    OTHER = auto()           # decoded but irrelevant, or undecodable byte
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction at virtual address ``address``."""
+
+    address: int
+    length: int
+    kind: InsnKind
+    reg: Optional[int] = None      # destination register where relevant
+    src_reg: Optional[int] = None  # source register for reg-reg moves
+    imm: Optional[int] = None      # immediate operand
+    target: Optional[int] = None   # resolved branch/memory target vaddr
+    raw: bytes = b""
+
+    @property
+    def end(self) -> int:
+        return self.address + self.length
+
+    @property
+    def is_terminator(self) -> bool:
+        """True when fall-through execution stops here."""
+        return self.kind in (
+            InsnKind.RET, InsnKind.JMP_REL, InsnKind.JMP_INDIRECT,
+            InsnKind.JMP_RIP_MEM, InsnKind.HLT,
+        )
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind in (InsnKind.CALL_REL, InsnKind.CALL_INDIRECT)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind in (
+            InsnKind.JMP_REL, InsnKind.JCC_REL, InsnKind.CALL_REL,
+        )
+
+    @property
+    def is_syscall_insn(self) -> bool:
+        return self.kind in (
+            InsnKind.SYSCALL, InsnKind.INT80, InsnKind.SYSENTER,
+        )
+
+    def mnemonic(self) -> str:
+        """Human-readable rendering, used in diagnostics and tests."""
+        kind = self.kind
+        if kind == InsnKind.MOV_IMM_REG:
+            return f"mov ${self.imm:#x}, %{name32(self.reg)}"
+        if kind == InsnKind.XOR_REG_REG:
+            return f"xor %{name32(self.reg)}, %{name32(self.reg)}"
+        if kind == InsnKind.MOV_REG_REG:
+            return f"mov %{name64(self.src_reg)}, %{name64(self.reg)}"
+        if kind == InsnKind.LEA_RIP:
+            return f"lea {self.target:#x}(%rip), %{name64(self.reg)}"
+        if kind == InsnKind.SYSCALL:
+            return "syscall"
+        if kind == InsnKind.SYSENTER:
+            return "sysenter"
+        if kind == InsnKind.INT80:
+            return "int $0x80"
+        if kind == InsnKind.CALL_REL:
+            return f"call {self.target:#x}"
+        if kind == InsnKind.CALL_INDIRECT:
+            return "call *(indirect)"
+        if kind == InsnKind.JMP_REL:
+            return f"jmp {self.target:#x}"
+        if kind == InsnKind.JMP_RIP_MEM:
+            return f"jmp *{self.target:#x}"
+        if kind == InsnKind.JMP_INDIRECT:
+            return "jmp *(indirect)"
+        if kind == InsnKind.JCC_REL:
+            return f"jcc {self.target:#x}"
+        if kind == InsnKind.PUSH:
+            return f"push %{name64(self.reg)}" if self.reg is not None else "push"
+        if kind == InsnKind.POP:
+            return f"pop %{name64(self.reg)}" if self.reg is not None else "pop"
+        if kind == InsnKind.RET:
+            return "ret"
+        if kind == InsnKind.LEAVE:
+            return "leave"
+        if kind == InsnKind.NOP:
+            return "nop"
+        if kind == InsnKind.HLT:
+            return "hlt"
+        return f".byte {self.raw.hex()}"

@@ -1,0 +1,41 @@
+"""x86-64 register numbering (System V AMD64 ABI ordering)."""
+
+RAX = 0
+RCX = 1
+RDX = 2
+RBX = 3
+RSP = 4
+RBP = 5
+RSI = 6
+RDI = 7
+R8 = 8
+R9 = 9
+R10 = 10
+R11 = 11
+R12 = 12
+R13 = 13
+R14 = 14
+R15 = 15
+
+REGISTER_NAMES_64 = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+
+REGISTER_NAMES_32 = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+]
+
+# Integer argument registers in System V AMD64 call order.  The kernel
+# syscall convention differs only in the fourth slot (r10 vs rcx).
+CALL_ARG_REGISTERS = [RDI, RSI, RDX, RCX, R8, R9]
+SYSCALL_ARG_REGISTERS = [RDI, RSI, RDX, R10, R8, R9]
+
+
+def name64(reg: int) -> str:
+    return REGISTER_NAMES_64[reg]
+
+
+def name32(reg: int) -> str:
+    return REGISTER_NAMES_32[reg]

@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+The expensive artifacts — the synthetic ecosystem and its analysis —
+are deterministic, so they are built once per session and shared.
+"""
+
+import pytest
+
+from repro.study import Study
+from repro.synth import EcosystemConfig
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """The reduced study used across integration tests."""
+    return Study.small()
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> EcosystemConfig:
+    """A very small configuration for tests building fresh ecosystems."""
+    return EcosystemConfig(n_filler_packages=24, n_driver_packages=6,
+                           n_script_packages=10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ecosystem(study):
+    return study.ecosystem
+
+
+@pytest.fixture(scope="session")
+def result(study):
+    return study.result

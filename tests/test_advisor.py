@@ -1,0 +1,135 @@
+"""Workload-advisor tests (§6)."""
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.compat.advisor import (
+    change_impact,
+    coverage_plan,
+    workload_suggestions,
+)
+from repro.packages import Package, PopularityContest, Repository
+
+
+def _fp(*syscalls):
+    return Footprint.build(syscalls=syscalls)
+
+
+def _inputs():
+    footprints = {
+        "web-server": _fp("epoll_wait", "accept4", "sendfile",
+                          "read", "write"),
+        "database": _fp("pread64", "pwrite64", "fsync", "read"),
+        "tool": _fp("read", "write"),
+        "niche": _fp("sendfile",),
+    }
+    popcon = PopularityContest(1000, {
+        "web-server": 700, "database": 300, "tool": 950, "niche": 5})
+    repo = Repository([
+        Package("web-server", depends=["tool"]),
+        Package("database"),
+        Package("tool"),
+        Package("niche"),
+        Package("framework", depends=["web-server"]),
+    ])
+    return footprints, popcon, repo
+
+
+class TestWorkloadSuggestions:
+    def test_coverage_ranks_first(self):
+        footprints, popcon, _ = _inputs()
+        suggestions = workload_suggestions(
+            ["epoll_wait", "sendfile", "fsync"], footprints, popcon)
+        assert suggestions[0].package == "web-server"
+        assert suggestions[0].coverage == 2
+
+    def test_popularity_breaks_ties(self):
+        footprints, popcon, _ = _inputs()
+        suggestions = workload_suggestions(
+            ["sendfile"], footprints, popcon)
+        assert suggestions[0].package == "web-server"  # 0.7 > 0.005
+        assert suggestions[1].package == "niche"
+
+    def test_non_users_excluded(self):
+        footprints, popcon, _ = _inputs()
+        suggestions = workload_suggestions(
+            ["epoll_wait"], footprints, popcon)
+        assert {s.package for s in suggestions} == {"web-server"}
+
+    def test_limit(self):
+        footprints, popcon, _ = _inputs()
+        suggestions = workload_suggestions(
+            ["read"], footprints, popcon, limit=2)
+        assert len(suggestions) == 2
+
+
+class TestChangeImpact:
+    def test_unused_api(self):
+        footprints, popcon, repo = _inputs()
+        impact = change_impact("kexec_load", footprints, popcon, repo)
+        assert impact.direct_users == ()
+        assert impact.affected_installs == 0.0
+        assert "removable" in impact.verdict
+
+    def test_niche_api(self):
+        footprints, popcon, repo = _inputs()
+        impact = change_impact("fsync", footprints, popcon, repo)
+        assert impact.direct_users == ("database",)
+        assert impact.affected_installs == pytest.approx(0.3)
+
+    def test_indispensable_api(self):
+        footprints, popcon, repo = _inputs()
+        impact = change_impact("read", footprints, popcon, repo)
+        # 1 - (1-0.7)(1-0.3)(1-0.95)
+        assert impact.affected_installs == pytest.approx(0.9895)
+
+    def test_cascade_includes_reverse_dependencies(self):
+        footprints, popcon, repo = _inputs()
+        impact = change_impact("epoll_wait", footprints, popcon, repo)
+        assert "framework" in impact.cascade
+        assert "web-server" not in impact.cascade  # direct, not cascade
+
+
+class TestCoveragePlan:
+    def test_greedy_covers_everything(self):
+        footprints, popcon, _ = _inputs()
+        plan = coverage_plan(
+            ["epoll_wait", "fsync", "sendfile", "pread64"],
+            footprints, popcon)
+        covered = set()
+        for suggestion in plan:
+            covered |= set(suggestion.apis_exercised)
+        assert {"epoll_wait", "fsync", "sendfile",
+                "pread64"} <= covered
+
+    def test_plan_is_small(self):
+        footprints, popcon, _ = _inputs()
+        plan = coverage_plan(
+            ["epoll_wait", "fsync", "sendfile", "pread64"],
+            footprints, popcon)
+        assert len(plan) == 2  # web-server + database suffice
+
+    def test_uncoverable_api_leaves_plan_partial(self):
+        footprints, popcon, _ = _inputs()
+        plan = coverage_plan(["kexec_load"], footprints, popcon)
+        assert plan == []
+
+
+class TestOnMeasuredArchive:
+    def test_qemu_suggested_for_rare_syscalls(self, study):
+        suggestions = workload_suggestions(
+            ["mq_timedsend", "mq_getsetattr"], study.footprints,
+            study.popcon)
+        assert suggestions[0].package == "qemu-user"
+
+    def test_change_impact_kexec(self, study):
+        impact = change_impact("kexec_load", study.footprints,
+                               study.popcon, study.repository)
+        assert "kexec-tools" in impact.direct_users
+        assert impact.affected_installs < 0.10
+        assert "niche" in impact.verdict
+
+    def test_change_impact_read_unremovable(self, study):
+        impact = change_impact("read", study.footprints, study.popcon,
+                               study.repository)
+        assert "unremovable" in impact.verdict

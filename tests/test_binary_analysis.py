@@ -1,0 +1,99 @@
+"""Unit tests for BinaryAnalysis internals (caching, opcode naming,
+root discovery edge cases)."""
+
+from repro.analysis.binary import BinaryAnalysis, _opcode_names, _syscall_names
+from repro.syscalls import ioctl
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+def _analysis(functions, soname=None, entry="main", needed=("libc.so.6",)):
+    spec = BinarySpec(name="t", functions=functions, soname=soname,
+                      needed=needed, entry_function=entry)
+    return BinaryAnalysis.from_bytes(generate_binary(spec))
+
+
+class TestNameMapping:
+    def test_syscall_numbers_to_names(self):
+        assert _syscall_names({0, 1}) == frozenset({"read", "write"})
+
+    def test_unknown_numbers_dropped(self):
+        assert _syscall_names({99999}) == frozenset()
+        assert _syscall_names({0, 99999}) == frozenset({"read"})
+
+    def test_opcode_known_and_unknown(self):
+        names = _opcode_names({0x5401, 0xDEAD}, ioctl.BY_CODE)
+        assert "TCGETS" in names
+        assert "0xdead" in names
+
+
+class TestCaching:
+    def test_effects_cached_by_identity(self):
+        analysis = _analysis([FunctionSpec(
+            name="main", direct_syscalls=("read",))])
+        entry = analysis.entry_root()
+        first = analysis.effects_from(entry)
+        second = analysis.effects_from(entry)
+        assert first is second
+
+    def test_roots_view_is_copy(self):
+        analysis = _analysis([FunctionSpec(name="main")])
+        roots = analysis.roots()
+        roots["bogus"] = 1
+        assert "bogus" not in analysis.roots()
+
+
+class TestRootDiscovery:
+    def test_library_without_entry(self):
+        analysis = _analysis(
+            [FunctionSpec(name="api", exported=True)],
+            soname="libx.so", entry=None, needed=())
+        assert analysis.entry_root() is None
+        assert analysis.export_root("api") is not None
+        assert analysis.export_root("ghost") is None
+
+    def test_is_shared_library_requires_soname(self):
+        library = _analysis(
+            [FunctionSpec(name="api", exported=True)],
+            soname="libx.so", entry=None, needed=())
+        executable = _analysis([FunctionSpec(name="main")])
+        assert library.is_shared_library
+        assert not executable.is_shared_library
+
+    def test_imported_and_exported_views(self):
+        analysis = _analysis([FunctionSpec(
+            name="main", libc_calls=("printf", "malloc"))])
+        assert {"printf", "malloc"} <= analysis.imported
+        assert analysis.exported == frozenset()
+
+    def test_pseudo_files_scanned_at_construction(self):
+        analysis = _analysis([FunctionSpec(
+            name="main", strings=("/dev/null",))])
+        assert "/dev/null" in analysis.pseudo_files
+
+
+class TestStudyCaches:
+    def test_importance_universe_backfill(self, study):
+        # First call without the universe, then with: zeros appear.
+        study.importance("fcntl")
+        table = study.importance("fcntl", universe=["F_NOTIFY"])
+        assert "F_NOTIFY" in table
+
+    def test_default_cache_reuses_instance(self):
+        from repro.study import Study
+        from repro.synth import EcosystemConfig
+        config = EcosystemConfig(n_filler_packages=24,
+                                 n_driver_packages=6,
+                                 n_script_packages=10, seed=7)
+        assert Study.default(config) is Study.default(config)
+
+    def test_different_shift_different_instance(self):
+        from repro.study import Study
+        from repro.synth import EcosystemConfig
+        base = EcosystemConfig(n_filler_packages=24,
+                               n_driver_packages=6,
+                               n_script_packages=10, seed=7)
+        shifted = EcosystemConfig(n_filler_packages=24,
+                                  n_driver_packages=6,
+                                  n_script_packages=10, seed=7,
+                                  adoption_shift=0.4)
+        assert Study.default(base) is not Study.default(shifted)

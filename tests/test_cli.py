@@ -1,0 +1,122 @@
+"""CLI tests (run against a very small ecosystem for speed)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+_SMALL = ["--fillers", "24", "--drivers", "6", "--scripts", "10",
+          "--seed", "7"]
+
+
+class TestParser:
+    def test_report_defaults(self):
+        args = build_parser().parse_args(_SMALL + ["report"])
+        assert args.command == "report"
+        assert args.experiments == []
+
+    def test_seccomp_requires_package(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(_SMALL + ["seccomp"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(_SMALL)
+
+
+class TestCommands:
+    def test_report_single_experiment(self, capsys):
+        code = main(_SMALL + ["report", "fig2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_report_unknown_experiment(self, capsys):
+        code = main(_SMALL + ["report", "fig99"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_report_multiple(self, capsys):
+        code = main(_SMALL + ["report", "tab3", "tab6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 6" in out
+
+    def test_seccomp_known_package(self, capsys):
+        code = main(_SMALL + ["seccomp", "coreutils"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seccomp policy" in out
+        assert "ret" in out
+
+    def test_seccomp_unknown_package(self, capsys):
+        code = main(_SMALL + ["seccomp", "no-such-package"])
+        assert code == 2
+
+    def test_evaluate_inline_list(self, capsys):
+        code = main(_SMALL + ["evaluate", "read,write,open"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weighted completeness" in out
+
+    def test_evaluate_from_file(self, capsys, tmp_path):
+        listing = tmp_path / "syscalls.txt"
+        listing.write_text("read\nwrite\n# comment\nopen\n")
+        code = main(_SMALL + ["evaluate", f"@{listing}"])
+        assert code == 0
+        assert "supported syscalls : 3" in capsys.readouterr().out
+
+    def test_packages_listing(self, capsys):
+        code = main(_SMALL + ["packages"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "libc6" in out
+        assert "coreutils" in out
+
+
+class TestNewCommands:
+    def test_trace_package(self, capsys):
+        code = main(_SMALL + ["trace", "coreutils", "--limit", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arch_prctl" in out
+        assert "events" in out
+
+    def test_trace_unknown_package(self, capsys):
+        assert main(_SMALL + ["trace", "ghost"]) == 2
+
+    def test_identify_exact_signature(self, capsys):
+        code = main(_SMALL + ["identify",
+                              "mq_timedsend,mq_getsetattr,read"])
+        assert code == 0
+        assert "qemu-user" in capsys.readouterr().out
+
+    def test_identify_unknown_observation(self, capsys):
+        code = main(_SMALL + ["identify", "not_a_syscall"])
+        assert code == 0
+        assert "no package" in capsys.readouterr().out
+
+    def test_disasm(self, capsys):
+        code = main(_SMALL + ["disasm", "kexec-tools",
+                              "--limit", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "@plt" in out
+        assert "push %rbp" in out
+
+    def test_disasm_unknown_package(self, capsys):
+        assert main(_SMALL + ["disasm", "ghost"]) == 2
+
+    def test_report_save_directory(self, capsys, tmp_path):
+        code = main(_SMALL + ["report", "tab3", "--save",
+                              str(tmp_path / "out")])
+        assert code == 0
+        saved = (tmp_path / "out" / "tab3.txt").read_text()
+        assert "Table 3" in saved
+
+    def test_drift(self, capsys):
+        code = main(_SMALL + ["drift", "--shift", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "APIs losing users" in out
+        assert "migrations detected" in out

@@ -1,0 +1,164 @@
+"""Binary generator tests: specs round-trip through ELF and analysis."""
+
+import pytest
+
+from repro.analysis.binary import BinaryAnalysis
+from repro.elf import ElfReader
+from repro.synth.codegen import (
+    BinarySpec,
+    FunctionSpec,
+    generate_binary,
+    stable_seed,
+)
+
+
+def _analysis(spec):
+    return BinaryAnalysis.from_bytes(generate_binary(spec))
+
+
+class TestExecutableGeneration:
+    def test_minimal_binary_parses(self):
+        spec = BinarySpec(name="t",
+                          functions=[FunctionSpec(name="main")],
+                          entry_function="main")
+        reader = ElfReader(generate_binary(spec))
+        assert reader.header.e_entry != 0
+
+    def test_direct_syscalls_recovered(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(
+                name="main",
+                direct_syscalls=("read", "write", "openat"))],
+            entry_function="main")
+        analysis = _analysis(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert {"read", "write", "openat"} <= effects.syscalls
+
+    def test_wrapper_syscalls_recovered_not_raw(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(
+                name="main", syscall_via_wrapper=("getrandom",))],
+            entry_function="main")
+        analysis = _analysis(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert "getrandom" in effects.syscalls
+        assert "getrandom" not in analysis.all_direct_syscalls()
+
+    def test_ioctl_ops_recovered(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    ioctl_ops=("TCGETS", "FIONREAD"))],
+            entry_function="main")
+        analysis = _analysis(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert effects.ioctls == frozenset({"TCGETS", "FIONREAD"})
+
+    def test_fcntl_and_prctl_ops_recovered(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    fcntl_ops=("F_SETFD",),
+                                    prctl_ops=("PR_SET_NAME",))],
+            entry_function="main")
+        analysis = _analysis(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert effects.fcntls == frozenset({"F_SETFD"})
+        assert effects.prctls == frozenset({"PR_SET_NAME"})
+
+    def test_strings_embedded(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    strings=("/proc/%d/cmdline",))],
+            entry_function="main")
+        analysis = _analysis(spec)
+        assert "/proc/%d/cmdline" in analysis.pseudo_files
+
+    def test_unknown_syscall_rejected(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    direct_syscalls=("nonsense",))],
+            entry_function="main")
+        with pytest.raises(KeyError):
+            generate_binary(spec)
+
+    def test_unknown_opcode_rejected(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    ioctl_ops=("NOT_AN_OP",))],
+            entry_function="main")
+        with pytest.raises(KeyError):
+            generate_binary(spec)
+
+    def test_hex_opcode_accepted(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    ioctl_ops=("0xdeadbeef",))],
+            entry_function="main")
+        analysis = _analysis(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert "0xdeadbeef" in effects.ioctls
+
+    def test_unresolvable_site_counted(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    unresolvable_syscall_site=True)],
+            entry_function="main")
+        analysis = _analysis(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert effects.unresolved_sites >= 1
+
+    def test_needed_and_interp(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    libc_calls=("printf",))],
+            needed=("libc.so.6", "libm.so.6"),
+            entry_function="main")
+        reader = ElfReader(generate_binary(spec))
+        assert reader.needed_libraries() == ["libc.so.6", "libm.so.6"]
+        assert reader.interpreter() is not None
+
+
+class TestLibraryGeneration:
+    def test_exports_and_soname(self):
+        spec = BinarySpec(
+            name="libx",
+            functions=[
+                FunctionSpec(name="x_read", exported=True,
+                             direct_syscalls=("read",)),
+                FunctionSpec(name="x_write", exported=True,
+                             direct_syscalls=("write",)),
+            ],
+            soname="libx.so.9",
+            entry_function=None)
+        reader = ElfReader(generate_binary(spec))
+        assert reader.soname() == "libx.so.9"
+        assert set(reader.exported_function_names()) == {
+            "x_read", "x_write"}
+        assert reader.header.e_entry == 0
+
+    def test_deterministic_output(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    libc_calls=("printf",),
+                                    direct_syscalls=("read",))],
+            entry_function="main")
+        assert generate_binary(spec) == generate_binary(spec)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", "b") == stable_seed("a", "b")
+
+    def test_part_sensitivity(self):
+        assert stable_seed("a", "b") != stable_seed("ab")
+        assert stable_seed("a") != stable_seed("b")

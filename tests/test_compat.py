@@ -1,0 +1,140 @@
+"""Compat layer tests: system models and libc-variant evaluation."""
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.compat import (
+    FREEBSD_EMU,
+    L4LINUX,
+    UML,
+    evaluate_libc_variant,
+    evaluate_system,
+    graphene_model,
+    graphene_plus_sched,
+)
+from repro.compat.systems import SystemModel, _exclude
+from repro.libc.variants import EGLIBC, UCLIBC
+from repro.packages import PopularityContest
+from repro.syscalls.table import ALL_NAMES
+
+
+class TestSystemModels:
+    def test_counts_match_paper(self):
+        assert UML.count == 284
+        assert L4LINUX.count == 286
+        assert FREEBSD_EMU.count == 224
+
+    def test_supported_subsets_of_table(self):
+        for system in (UML, L4LINUX, FREEBSD_EMU):
+            assert system.supported <= ALL_NAMES
+
+    def test_uml_missing_paper_suggestions(self):
+        for name in ("name_to_handle_at", "iopl", "ioperm",
+                     "perf_event_open"):
+            assert name not in UML.supported
+
+    def test_l4linux_missing_paper_suggestions(self):
+        for name in ("quotactl", "migrate_pages", "kexec_load"):
+            assert name not in L4LINUX.supported
+
+    def test_freebsd_missing_paper_families(self):
+        for name in ("inotify_init", "splice", "umount2",
+                     "timerfd_create"):
+            assert name not in FREEBSD_EMU.supported
+
+    def test_core_calls_supported_everywhere(self):
+        for system in (UML, L4LINUX, FREEBSD_EMU):
+            for name in ("read", "write", "open", "mmap", "execve"):
+                assert name in system.supported
+
+    def test_exclude_validates_names(self):
+        with pytest.raises(ValueError):
+            _exclude({"not_a_syscall"})
+
+    def test_missing_is_complement(self):
+        assert UML.missing() == ALL_NAMES - UML.supported
+
+
+class TestGrapheneConstruction:
+    def test_size_and_missing_pair(self):
+        ranking = sorted(ALL_NAMES)
+        graphene = graphene_model(ranking)
+        assert graphene.count == 143
+        assert "sched_setscheduler" not in graphene.supported
+        assert "sched_setparam" not in graphene.supported
+
+    def test_plus_sched_adds_exactly_two(self):
+        ranking = sorted(ALL_NAMES)
+        graphene = graphene_model(ranking)
+        plus = graphene_plus_sched(graphene)
+        assert plus.count == 145
+        assert "sched_setscheduler" in plus.supported
+
+    def test_table6_suggested_also_missing(self):
+        ranking = sorted(ALL_NAMES)
+        graphene = graphene_model(ranking)
+        for name in ("statfs", "utimes", "getxattr", "fallocate",
+                     "eventfd2"):
+            assert name not in graphene.supported
+
+
+class TestEvaluation:
+    def _inputs(self):
+        footprints = {
+            "basic": Footprint.build(syscalls=["read", "write"]),
+            "quota": Footprint.build(syscalls=["read", "quotactl"]),
+        }
+        popcon = PopularityContest(100, {"basic": 100, "quota": 20})
+        return footprints, popcon
+
+    def test_evaluate_system_reports_completeness(self):
+        footprints, popcon = self._inputs()
+        system = SystemModel("demo", "1", frozenset({"read", "write"}))
+        evaluation = evaluate_system(system, footprints, popcon)
+        assert evaluation.weighted_completeness == pytest.approx(
+            100 / 120)
+        assert evaluation.suggested_apis == ("quotactl",)
+
+    def test_evaluate_full_system(self):
+        footprints, popcon = self._inputs()
+        system = SystemModel("full", "1", frozenset(ALL_NAMES))
+        evaluation = evaluate_system(system, footprints, popcon)
+        assert evaluation.weighted_completeness == pytest.approx(1.0)
+        assert evaluation.suggested_apis == ()
+
+
+class TestLibcVariantEvaluation:
+    def _inputs(self):
+        footprints = {
+            "plain": Footprint.build(syscalls=["read"],
+                                     libc_symbols=["printf", "malloc"]),
+            "fortified": Footprint.build(
+                syscalls=["read"],
+                libc_symbols=["__printf_chk", "malloc"]),
+        }
+        popcon = PopularityContest(100, {"plain": 50, "fortified": 50})
+        return footprints, popcon
+
+    def test_eglibc_supports_everything(self):
+        footprints, popcon = self._inputs()
+        evaluation = evaluate_libc_variant(EGLIBC, footprints, popcon)
+        assert evaluation.raw_completeness == pytest.approx(1.0)
+        assert evaluation.normalized_completeness == pytest.approx(1.0)
+
+    def test_uclibc_raw_fails_fortified_binaries(self):
+        footprints, popcon = self._inputs()
+        evaluation = evaluate_libc_variant(UCLIBC, footprints, popcon)
+        assert evaluation.raw_completeness == pytest.approx(0.5)
+        assert evaluation.normalized_completeness == pytest.approx(1.0)
+
+    def test_sample_missing_reports_normalized_demand(self):
+        # fortify symbols normalize away; genuinely missing symbols
+        # (secure_getenv is absent from uClibc) are reported.
+        footprints = {
+            "app": Footprint.build(
+                libc_symbols=["__printf_chk", "secure_getenv"]),
+        }
+        popcon = PopularityContest(10, {"app": 10})
+        evaluation = evaluate_libc_variant(UCLIBC, footprints, popcon)
+        assert "secure_getenv" in evaluation.sample_missing
+        assert "__printf_chk" not in evaluation.sample_missing

@@ -1,0 +1,126 @@
+"""Relational store tests: inserts and recursive CTE aggregation."""
+
+import pytest
+
+from repro.analysis.database import AnalysisDatabase
+from repro.analysis.footprint import Footprint
+from repro.analysis.pipeline import AnalysisPipeline
+from repro.synth import EcosystemConfig, build_ecosystem
+
+
+class TestInsertAndQuery:
+    def setup_method(self):
+        self.db = AnalysisDatabase()
+
+    def teardown_method(self):
+        self.db.close()
+
+    def test_package_rows(self):
+        self.db.add_package("demo", "tools", depends=["libc6"])
+        counts = self.db.row_counts()
+        assert counts["packages"] == 1
+        assert counts["package_dependencies"] == 1
+
+    def test_binary_ids_increment(self):
+        first = self.db.add_binary("p", "bin/a", "elf-executable")
+        second = self.db.add_binary("p", "bin/b", "elf-executable")
+        assert second == first + 1
+
+    def test_executable_effects_round_trip(self):
+        binary = self.db.add_binary("p", "bin/a", "elf-executable")
+        self.db.add_executable_effects(binary, Footprint.build(
+            syscalls=["read", "write"], ioctls=["TCGETS"],
+            pseudo_files=["/dev/null"], libc_symbols=["printf"]))
+        footprint = self.db.executable_footprint(binary)
+        assert footprint.syscalls == frozenset({"read", "write"})
+        assert footprint.ioctls == frozenset({"TCGETS"})
+        assert footprint.pseudo_files == frozenset({"/dev/null"})
+        assert footprint.libc_symbols == frozenset({"printf"})
+
+    def test_recursive_closure_one_level(self):
+        binary = self.db.add_binary("p", "bin/a", "elf-executable")
+        self.db.add_export_effects("libc.so.6", "printf",
+                                   Footprint.build(syscalls=["write"]))
+        self.db.add_executable_call(binary, "libc.so.6", "printf")
+        footprint = self.db.executable_footprint(binary)
+        assert "write" in footprint.syscalls
+
+    def test_recursive_closure_deep(self):
+        binary = self.db.add_binary("p", "bin/a", "elf-executable")
+        self.db.add_export_effects("liba.so", "fa",
+                                   Footprint.build(syscalls=["read"]))
+        self.db.add_export_effects("libb.so", "fb",
+                                   Footprint.build(syscalls=["write"]))
+        self.db.add_export_call("liba.so", "fa", "libb.so", "fb")
+        self.db.add_executable_call(binary, "liba.so", "fa")
+        footprint = self.db.executable_footprint(binary)
+        assert footprint.syscalls == frozenset({"read", "write"})
+
+    def test_recursive_closure_cycle_terminates(self):
+        self.db.add_export_effects("liba.so", "fa",
+                                   Footprint.build(syscalls=["read"]))
+        self.db.add_export_effects("libb.so", "fb",
+                                   Footprint.build(syscalls=["write"]))
+        self.db.add_export_call("liba.so", "fa", "libb.so", "fb")
+        self.db.add_export_call("libb.so", "fb", "liba.so", "fa")
+        footprint = self.db.export_footprint("liba.so", "fa")
+        assert footprint.syscalls == frozenset({"read", "write"})
+
+    def test_package_footprint_unions_executables(self):
+        a = self.db.add_binary("p", "bin/a", "elf-executable")
+        b = self.db.add_binary("p", "bin/b", "elf-executable")
+        self.db.add_binary("other", "bin/c", "elf-executable")
+        self.db.add_executable_effects(a, Footprint.build(
+            syscalls=["read"]))
+        self.db.add_executable_effects(b, Footprint.build(
+            syscalls=["write"]))
+        footprint = self.db.package_footprint("p")
+        assert footprint.syscalls == frozenset({"read", "write"})
+
+    def test_popcon_storage(self):
+        self.db.set_popcon("p", 12345)
+        (value,) = self.db.connection.execute(
+            "SELECT installations FROM popcon WHERE package='p'"
+        ).fetchone()
+        assert value == 12345
+
+    def test_context_manager(self):
+        with AnalysisDatabase() as db:
+            db.add_package("x")
+            assert db.row_counts()["packages"] == 1
+
+
+class TestSqlMatchesInMemoryResolver:
+    """The paper's recursive-SQL engine and the procedural resolver
+    must agree on every executable's syscall footprint."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, tiny_config):
+        ecosystem = build_ecosystem(tiny_config)
+        database = AnalysisDatabase()
+        pipeline = AnalysisPipeline(ecosystem.repository,
+                                    ecosystem.interpreters)
+        result = pipeline.run(database)
+        return ecosystem, database, result
+
+    def test_syscall_footprints_agree(self, setup):
+        ecosystem, database, result = setup
+        rows = database.connection.execute(
+            "SELECT id, package, name FROM binaries "
+            "WHERE kind IN ('elf-executable', 'elf-static')").fetchall()
+        assert rows
+        checked = 0
+        for binary_id, package, name in rows:
+            expected = result.binary_footprints.get((package, name))
+            if expected is None:
+                continue
+            actual = database.executable_footprint(binary_id)
+            assert actual.syscalls == expected.syscalls, (package, name)
+            assert actual.ioctls == expected.ioctls, (package, name)
+            assert actual.libc_symbols == expected.libc_symbols
+            checked += 1
+        assert checked >= 10
+
+    def test_row_counts_substantial(self, setup):
+        _, database, result = setup
+        assert database.total_rows() > 1000

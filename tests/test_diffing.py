@@ -1,0 +1,133 @@
+"""Usage-diff and adoption-drift tests."""
+
+import pytest
+
+from repro.metrics.diffing import ApiDelta, UsageDiff
+from repro.synth.profiles import (
+    DRIFT_PAIRS,
+    VARIANT_IMPORT_PROBS,
+    shifted_variant_probs,
+)
+
+
+class TestShiftedProbs:
+    def test_zero_shift_is_identity(self):
+        assert shifted_variant_probs(0.0) == VARIANT_IMPORT_PROBS
+
+    def test_full_shift_drains_legacy(self):
+        table = shifted_variant_probs(1.0)
+        assert table["access"] == 0.0
+        assert table["faccessat"] > VARIANT_IMPORT_PROBS["faccessat"]
+
+    def test_probability_mass_conserved(self):
+        before = VARIANT_IMPORT_PROBS
+        after = shifted_variant_probs(0.5)
+        for old, new in DRIFT_PAIRS:
+            if old not in before:
+                continue
+            total_before = before[old] + before.get(new, 0.0)
+            total_after = after[old] + after.get(new, 0.0)
+            if after.get(new, 0.0) >= 1.0:
+                # the preferred variant saturated; mass clamps at 1
+                assert total_after <= total_before + 1e-9
+            else:
+                assert total_after == pytest.approx(
+                    total_before, abs=1e-9), (old, new)
+
+    def test_probabilities_stay_valid(self):
+        for shift in (0.1, 0.5, 0.9, 1.0):
+            for value in shifted_variant_probs(shift).values():
+                assert 0.0 <= value <= 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            shifted_variant_probs(1.5)
+        with pytest.raises(ValueError):
+            shifted_variant_probs(-0.1)
+
+
+class TestApiDelta:
+    def test_delta_and_relative(self):
+        delta = ApiDelta("access", 0.5, 0.25)
+        assert delta.delta == pytest.approx(-0.25)
+        assert delta.relative == pytest.approx(-0.5)
+
+    def test_relative_none_when_new(self):
+        assert ApiDelta("new_api", 0.0, 0.2).relative is None
+
+
+class TestUsageDiff:
+    def _diff(self):
+        before = {"access": 0.70, "faccessat": 0.01, "read": 0.99,
+                  "gone": 0.10}
+        after = {"access": 0.40, "faccessat": 0.25, "read": 0.99,
+                 "brand_new": 0.15}
+        return UsageDiff(before, after, noise_floor=0.05)
+
+    def test_risers(self):
+        risers = {d.api for d in self._diff().risers()}
+        assert risers == {"faccessat", "brand_new"}
+
+    def test_fallers(self):
+        fallers = {d.api for d in self._diff().fallers()}
+        assert fallers == {"access", "gone"}
+
+    def test_noise_floor_suppresses_stable(self):
+        apis = {d.api for d in (self._diff().risers()
+                                + self._diff().fallers())}
+        assert "read" not in apis
+
+    def test_migration_verdicts(self):
+        migrated = {(v.legacy, v.preferred)
+                    for v in self._diff().migrated_pairs()}
+        assert ("access", "faccessat") in migrated
+
+    def test_summary_rows_formatting(self):
+        rows = self._diff().summary_rows()
+        assert any(row[0] == "access" for row in rows)
+        for row in rows:
+            assert row[3].startswith(("+", "-"))
+
+
+class TestEndToEndDrift:
+    """Two synthesized releases, measured and diffed (slow-ish)."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        from repro.analysis import AnalysisPipeline
+        from repro.metrics import unweighted_importance_table
+        from repro.syscalls.table import ALL_NAMES
+        from repro.synth import EcosystemConfig, build_ecosystem
+
+        def measure(shift):
+            ecosystem = build_ecosystem(EcosystemConfig(
+                n_filler_packages=60, n_driver_packages=10,
+                n_script_packages=20, seed=9,
+                adoption_shift=shift))
+            result = AnalysisPipeline(ecosystem.repository,
+                                      ecosystem.interpreters).run()
+            return unweighted_importance_table(
+                result.package_footprints, "syscall",
+                universe=ALL_NAMES)
+
+        return measure(0.0), measure(0.5)
+
+    def test_access_declines(self, tables):
+        before, after = tables
+        assert after["access"] < before["access"] - 0.10
+
+    def test_faccessat_rises(self, tables):
+        before, after = tables
+        assert after["faccessat"] >= before["faccessat"]
+
+    def test_untouched_apis_stable(self, tables):
+        before, after = tables
+        # read is in every binary's base; drift must not move it
+        assert after["read"] == pytest.approx(before["read"],
+                                              abs=0.02)
+
+    def test_diff_reports_the_migration(self, tables):
+        before, after = tables
+        diff = UsageDiff(before, after, noise_floor=0.03)
+        migrated = {v.legacy for v in diff.migrated_pairs()}
+        assert "access" in migrated

@@ -1,0 +1,155 @@
+"""Call-graph builder tests over generated binaries."""
+
+from repro.analysis.binary import BinaryAnalysis
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+def _analyze(spec: BinarySpec) -> BinaryAnalysis:
+    return BinaryAnalysis.from_bytes(generate_binary(spec),
+                                     name=spec.name)
+
+
+class TestFunctionDiscovery:
+    def test_entry_and_exports_are_roots(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="main", libc_calls=("printf",)),
+                FunctionSpec(name="api", exported=True),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        roots = analysis.roots()
+        assert "_start" in roots
+        assert "api" in roots
+
+    def test_local_call_creates_edge(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="helper",
+                             direct_syscalls=("getpid",)),
+                FunctionSpec(name="main", local_calls=("helper",)),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        entry = analysis.entry_root()
+        effects = analysis.effects_from(entry)
+        assert "getpid" in effects.syscalls
+
+    def test_transitive_local_calls(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="c", direct_syscalls=("getuid",)),
+                FunctionSpec(name="b", local_calls=("c",)),
+                FunctionSpec(name="a", local_calls=("b",)),
+                FunctionSpec(name="main", local_calls=("a",)),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert "getuid" in effects.syscalls
+
+    def test_unreachable_function_not_in_root_effects(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="dead", direct_syscalls=("reboot",),
+                             exported=False),
+                FunctionSpec(name="main",
+                             direct_syscalls=("getpid",)),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert "reboot" not in effects.syscalls
+        assert "getpid" in effects.syscalls
+
+    def test_pointer_formation_counts_as_call(self):
+        """The §7 over-approximation: lea of a function address."""
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="callback",
+                             direct_syscalls=("kill",)),
+                FunctionSpec(name="main",
+                             take_pointer_of=("callback",)),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert "kill" in effects.syscalls
+
+    def test_export_root_effects_independent(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="api_a", exported=True,
+                             direct_syscalls=("read",)),
+                FunctionSpec(name="api_b", exported=True,
+                             direct_syscalls=("write",)),
+            ],
+            soname="libt.so.1",
+            entry_function=None,
+        )
+        analysis = _analyze(spec)
+        effects_a = analysis.effects_from(analysis.export_root("api_a"))
+        effects_b = analysis.effects_from(analysis.export_root("api_b"))
+        assert effects_a.syscalls == frozenset({"read"})
+        assert effects_b.syscalls == frozenset({"write"})
+
+    def test_plt_calls_collected_per_root(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main",
+                                    libc_calls=("printf", "malloc"))],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert {"printf", "malloc"} <= set(effects.called_imports)
+
+    def test_all_direct_syscalls_ignores_reachability(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="dead", exported=True,
+                             direct_syscalls=("reboot",)),
+                FunctionSpec(name="main",
+                             direct_syscalls=("getpid",)),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        assert {"reboot", "getpid"} <= analysis.all_direct_syscalls()
+
+    def test_reachable_from_includes_self(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[FunctionSpec(name="main")],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        entry = analysis.entry_root()
+        assert entry in analysis.graph.reachable_from(entry)
+
+    def test_recursive_functions_terminate(self):
+        spec = BinarySpec(
+            name="t",
+            functions=[
+                FunctionSpec(name="even", local_calls=("odd",)),
+                FunctionSpec(name="odd", local_calls=("even",),
+                             direct_syscalls=("gettid",)),
+                FunctionSpec(name="main", local_calls=("even",)),
+            ],
+            entry_function="main",
+        )
+        analysis = _analyze(spec)
+        effects = analysis.effects_from(analysis.entry_root())
+        assert "gettid" in effects.syscalls

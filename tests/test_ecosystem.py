@@ -1,0 +1,134 @@
+"""Ecosystem builder tests."""
+
+import pytest
+
+from repro.packages.package import BinaryKind
+from repro.synth import (
+    ESSENTIAL_PACKAGES,
+    EcosystemConfig,
+    build_ecosystem,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_ecosystem(EcosystemConfig(
+        n_filler_packages=24, n_driver_packages=6,
+        n_script_packages=10, seed=7))
+
+
+class TestStructure:
+    def test_runtime_package_present(self, tiny):
+        libc6 = tiny.repository.get("libc6")
+        sonames = {a.name.rsplit("/", 1)[-1] for a in libc6.artifacts}
+        assert "libc.so.6" in sonames
+        assert "ld-linux-x86-64.so.2" in sonames
+
+    def test_essential_packages_present(self, tiny):
+        for name in ESSENTIAL_PACKAGES:
+            assert name in tiny.repository, name
+
+    def test_anchor_packages_present(self, tiny):
+        for name in ("libnuma", "kexec-tools", "qemu-user", "systemd",
+                     "nfs-utils", "coop-computing-tools"):
+            assert name in tiny.repository
+
+    def test_filler_count(self, tiny):
+        fillers = [p for p in tiny.repository
+                   if p.category in ("cli-tool", "daemon",
+                                     "desktop-app", "devtool",
+                                     "terminal-app", "sysadmin",
+                                     "science", "trivial")]
+        assert len(fillers) == 24
+
+    def test_every_package_has_valid_dependencies(self, tiny):
+        assert tiny.repository.validate_dependencies() == []
+
+    def test_script_packages_depend_on_interpreter(self, tiny):
+        scripts = [p for p in tiny.repository
+                   if p.category == "scripts"]
+        assert scripts
+        for package in scripts:
+            interpreters = {a.interpreter for a in package.artifacts
+                            if a.kind == BinaryKind.SCRIPT}
+            for interp in interpreters:
+                provider = tiny.interpreters[interp]
+                assert provider in package.depends
+
+    def test_all_elf_artifacts_have_bytes(self, tiny):
+        for package in tiny.repository:
+            for artifact in package.elf_artifacts():
+                assert artifact.data[:4] == b"\x7fELF", (
+                    package.name, artifact.name)
+
+    def test_scripts_have_shebangs(self, tiny):
+        for package in tiny.repository:
+            for artifact in package.artifacts:
+                if artifact.kind == BinaryKind.SCRIPT:
+                    assert artifact.data.startswith(b"#!")
+
+
+class TestPopcon:
+    def test_essential_always_installed(self, tiny):
+        for name in ("libc6", "coreutils"):
+            assert tiny.popcon.install_probability(name) == 1.0
+
+    def test_anchor_probabilities_pinned(self, tiny):
+        assert tiny.popcon.install_probability(
+            "libnuma") == pytest.approx(0.36, abs=0.001)
+        assert tiny.popcon.install_probability(
+            "kexec-tools") == pytest.approx(0.01, abs=0.001)
+
+    def test_every_package_surveyed(self, tiny):
+        for package in tiny.repository:
+            assert tiny.popcon.installations(package.name) >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        config = EcosystemConfig(n_filler_packages=6,
+                                 n_driver_packages=2,
+                                 n_script_packages=4, seed=42)
+        first = build_ecosystem(config)
+        second = build_ecosystem(config)
+        assert first.repository.names() == second.repository.names()
+        for package in first.repository:
+            other = second.repository.get(package.name)
+            for a, b in zip(package.artifacts, other.artifacts):
+                assert a.name == b.name
+                assert a.data == b.data
+
+    def test_different_seed_differs(self):
+        base = EcosystemConfig(n_filler_packages=6,
+                               n_driver_packages=2,
+                               n_script_packages=4, seed=1)
+        other = EcosystemConfig(n_filler_packages=6,
+                                n_driver_packages=2,
+                                n_script_packages=4, seed=2)
+        first = build_ecosystem(base)
+        second = build_ecosystem(other)
+        differs = False
+        for package in first.repository:
+            if package.name not in second.repository:
+                differs = True
+                break
+            twin = second.repository.get(package.name)
+            if any(a.data != b.data for a, b in
+                   zip(package.artifacts, twin.artifacts)):
+                differs = True
+                break
+        assert differs
+
+
+class TestGroundTruth:
+    def test_ground_truth_for_all_generated(self, tiny):
+        assert "qemu-user" in tiny.ground_truth
+        assert "coreutils" in tiny.ground_truth
+
+    def test_qemu_truth_is_wide(self, tiny):
+        truth = tiny.ground_truth["qemu-user"]
+        assert len(truth.syscalls) >= 260
+
+    def test_anchor_truth_contains_pinned_syscalls(self, tiny):
+        truth = tiny.ground_truth["kexec-tools"]
+        assert "kexec_load" in truth.syscalls

@@ -1,0 +1,111 @@
+"""Edge-case sweep across small behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.analysis.database import AnalysisDatabase
+from repro.analysis.footprint import Footprint
+from repro.metrics.ranking import completeness_curve, stages
+from repro.packages import PopularityContest
+from repro.reports.text import render_series
+from repro.synth import profiles as P
+
+
+class TestStagesEdgeCases:
+    def test_empty_curve(self):
+        assert stages([]) == []
+
+    def test_unreachable_threshold_uses_last_point(self):
+        curve = completeness_curve(
+            {"p": Footprint.build(syscalls=["read"])},
+            PopularityContest(10, {"p": 5}))
+        result = stages(curve, thresholds=(0.5, 0.99, 2.0))
+        assert result[-1].end == curve[-1].n_apis
+
+    def test_single_api_curve(self):
+        curve = completeness_curve(
+            {"p": Footprint.build(syscalls=["read"])},
+            PopularityContest(10, {"p": 5}))
+        assert len(curve) == 1
+        assert curve[0].api == "read"
+        assert curve[0].completeness == pytest.approx(1.0)
+
+    def test_empty_footprints_curve(self):
+        assert completeness_curve({}, PopularityContest(10)) == []
+
+
+class TestRenderSeriesEdgeCases:
+    def test_all_zero_series(self):
+        text = render_series([0.0, 0.0, 0.0], width=8, height=3)
+        assert "y: 0.." in text
+
+    def test_single_value(self):
+        assert render_series([0.5], width=4, height=2)
+
+    def test_width_larger_than_series(self):
+        text = render_series([1.0, 0.0], width=16, height=3)
+        assert text.count("\n") >= 3
+
+
+class TestProfileHelpers:
+    def test_band_of_syscall_total_partition(self):
+        from repro.syscalls.table import ALL_NAMES
+        bands = {"indispensable": 0, "mid": 0, "low": 0, "unused": 0}
+        for name in ALL_NAMES:
+            bands[P.band_of_syscall(name)] += 1
+        assert sum(bands.values()) == len(ALL_NAMES)
+        assert bands["unused"] == 18
+
+    def test_template_weights_normalized(self):
+        weights = P.template_weights()
+        assert sum(w for _, w in weights) == pytest.approx(1.0)
+
+    def test_libc_band_plan_covers_catalogue(self):
+        from repro.libc import symbols as LS
+        plan = P.libc_band_plan()
+        assert set(plan) == {s.name for s in LS.LIBC_SYMBOLS}
+        assert set(plan.values()) <= {"t100", "t50", "t10", "t1",
+                                      "t0"}
+
+    def test_band_caps_respected(self):
+        """No symbol whose closure touches a low-band syscall may sit
+        in the top band."""
+        from repro.libc import symbols as LS
+        plan = P.libc_band_plan()
+        closure = LS.syscall_footprint_closure()
+        for name, band in plan.items():
+            if band != "t100":
+                continue
+            for syscall_name in closure.get(name, ()):
+                assert P.band_of_syscall(syscall_name) == (
+                    "indispensable"), (name, syscall_name)
+
+
+class TestDatabaseEdgeCases:
+    def test_unknown_package_footprint_empty(self):
+        with AnalysisDatabase() as db:
+            assert db.package_footprint("ghost").is_empty
+
+    def test_unknown_export_footprint_empty(self):
+        with AnalysisDatabase() as db:
+            footprint = db.export_footprint("libghost.so", "fn")
+            assert footprint.is_empty
+
+    def test_duplicate_package_insert_ignored(self):
+        with AnalysisDatabase() as db:
+            db.add_package("p")
+            db.add_package("p")
+            assert db.row_counts()["packages"] == 1
+
+
+class TestVariantProbsSanity:
+    def test_all_probabilities_in_range(self):
+        for name, value in P.VARIANT_IMPORT_PROBS.items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_interpreter_mix_sums_to_one(self):
+        assert sum(P.INTERPRETER_MIX.values()) == pytest.approx(
+            1.0, abs=0.01)
+
+    def test_base_and_common_disjoint(self):
+        assert not set(P.BASE_LIBC_IMPORTS) & set(
+            P.COMMON_LIBC_IMPORTS)

@@ -1,0 +1,228 @@
+"""Unit tests for ELF struct codecs and the string table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.elf import constants as C
+from repro.elf.structs import (
+    Dyn,
+    ElfFormatError,
+    ElfHeader,
+    ProgramHeader,
+    Rela,
+    SectionHeader,
+    StringTable,
+    Symbol,
+)
+
+
+class TestElfHeader:
+    def test_default_ident_magic(self):
+        header = ElfHeader()
+        assert header.e_ident[:4] == C.ELFMAG
+
+    def test_default_ident_class_and_encoding(self):
+        header = ElfHeader()
+        assert header.e_ident[C.EI_CLASS] == C.ELFCLASS64
+        assert header.e_ident[C.EI_DATA] == C.ELFDATA2LSB
+
+    def test_pack_length(self):
+        assert len(ElfHeader().pack()) == C.EHDR_SIZE
+
+    def test_round_trip(self):
+        header = ElfHeader(e_type=C.ET_DYN, e_entry=0x401000,
+                           e_phnum=3, e_shnum=7, e_shstrndx=6)
+        parsed = ElfHeader.unpack(header.pack())
+        assert parsed == header
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ElfFormatError):
+            ElfHeader.unpack(b"\x7fELF")
+
+    def test_rejects_bad_magic(self):
+        data = bytearray(ElfHeader().pack())
+        data[0] = 0x00
+        with pytest.raises(ElfFormatError):
+            ElfHeader.unpack(bytes(data))
+
+    def test_rejects_elf32(self):
+        data = bytearray(ElfHeader().pack())
+        data[C.EI_CLASS] = C.ELFCLASS32
+        with pytest.raises(ElfFormatError):
+            ElfHeader.unpack(bytes(data))
+
+    def test_rejects_big_endian(self):
+        data = bytearray(ElfHeader().pack())
+        data[C.EI_DATA] = C.ELFDATA2MSB
+        with pytest.raises(ElfFormatError):
+            ElfHeader.unpack(bytes(data))
+
+    def test_is_shared_object(self):
+        assert ElfHeader(e_type=C.ET_DYN).is_shared_object
+        assert not ElfHeader(e_type=C.ET_EXEC).is_shared_object
+
+
+class TestProgramHeader:
+    def test_pack_length(self):
+        assert len(ProgramHeader().pack()) == C.PHDR_SIZE
+
+    def test_round_trip(self):
+        phdr = ProgramHeader(p_type=C.PT_LOAD, p_flags=C.PF_R | C.PF_X,
+                             p_offset=0x1000, p_vaddr=0x401000,
+                             p_paddr=0x401000, p_filesz=0x200,
+                             p_memsz=0x300)
+        assert ProgramHeader.unpack(phdr.pack()) == phdr
+
+    def test_contains_vaddr_boundaries(self):
+        phdr = ProgramHeader(p_vaddr=0x1000, p_memsz=0x100)
+        assert phdr.contains_vaddr(0x1000)
+        assert phdr.contains_vaddr(0x10FF)
+        assert not phdr.contains_vaddr(0x1100)
+        assert not phdr.contains_vaddr(0xFFF)
+
+    def test_vaddr_to_offset(self):
+        phdr = ProgramHeader(p_offset=0x40, p_vaddr=0x1000,
+                             p_memsz=0x100, p_filesz=0x100)
+        assert phdr.vaddr_to_offset(0x1010) == 0x50
+
+    def test_vaddr_to_offset_outside_raises(self):
+        phdr = ProgramHeader(p_offset=0x40, p_vaddr=0x1000,
+                             p_memsz=0x100)
+        with pytest.raises(ValueError):
+            phdr.vaddr_to_offset(0x2000)
+
+
+class TestSectionHeader:
+    def test_pack_length(self):
+        assert len(SectionHeader().pack()) == C.SHDR_SIZE
+
+    def test_round_trip_ignores_name_field(self):
+        section = SectionHeader(sh_name=5, sh_type=C.SHT_PROGBITS,
+                                sh_flags=C.SHF_ALLOC, sh_addr=0x1000,
+                                sh_offset=0x200, sh_size=0x80,
+                                name="ignored")
+        parsed = SectionHeader.unpack(section.pack())
+        assert parsed.sh_name == 5
+        assert parsed.sh_size == 0x80
+        assert parsed == section  # name excluded from comparison
+
+
+class TestSymbol:
+    def test_pack_length(self):
+        assert len(Symbol().pack()) == C.SYM_SIZE
+
+    def test_round_trip(self):
+        symbol = Symbol(st_name=3, st_info=C.st_info(C.STB_GLOBAL,
+                                                     C.STT_FUNC),
+                        st_shndx=2, st_value=0x400123, st_size=42)
+        assert Symbol.unpack(symbol.pack()) == symbol
+
+    def test_bind_and_type_accessors(self):
+        symbol = Symbol(st_info=C.st_info(C.STB_WEAK, C.STT_OBJECT))
+        assert symbol.bind == C.STB_WEAK
+        assert symbol.type == C.STT_OBJECT
+
+    def test_is_undefined(self):
+        assert Symbol(st_shndx=C.SHN_UNDEF).is_undefined
+        assert not Symbol(st_shndx=1).is_undefined
+
+    def test_is_exported_requires_definition_and_name(self):
+        exported = Symbol(st_info=C.st_info(C.STB_GLOBAL, C.STT_FUNC),
+                          st_shndx=1, name="f")
+        assert exported.is_exported
+        undefined = Symbol(st_info=C.st_info(C.STB_GLOBAL, C.STT_FUNC),
+                           st_shndx=C.SHN_UNDEF, name="f")
+        assert not undefined.is_exported
+        local = Symbol(st_info=C.st_info(C.STB_LOCAL, C.STT_FUNC),
+                       st_shndx=1, name="f")
+        assert not local.is_exported
+
+    def test_hidden_symbol_not_exported(self):
+        hidden = Symbol(st_info=C.st_info(C.STB_GLOBAL, C.STT_FUNC),
+                        st_shndx=1, st_other=C.STV_HIDDEN, name="f")
+        assert not hidden.is_exported
+
+
+class TestRela:
+    def test_pack_length(self):
+        assert len(Rela().pack()) == C.RELA_SIZE
+
+    def test_round_trip(self):
+        rela = Rela(r_offset=0x601018,
+                    r_info=C.r_info(5, C.R_X86_64_JUMP_SLOT),
+                    r_addend=-8)
+        assert Rela.unpack(rela.pack()) == rela
+
+    def test_sym_and_type_extraction(self):
+        rela = Rela(r_info=C.r_info(7, C.R_X86_64_GLOB_DAT))
+        assert rela.sym == 7
+        assert rela.type == C.R_X86_64_GLOB_DAT
+
+
+class TestDyn:
+    def test_pack_length(self):
+        assert len(Dyn().pack()) == C.DYN_SIZE
+
+    def test_round_trip(self):
+        dyn = Dyn(C.DT_NEEDED, 17)
+        assert Dyn.unpack(dyn.pack()) == dyn
+
+    def test_tag_name_known_and_unknown(self):
+        assert Dyn(C.DT_SONAME).tag_name == "SONAME"
+        assert Dyn(0x12345678).tag_name.startswith("0x")
+
+
+class TestStringTable:
+    def test_empty_table_has_nul(self):
+        assert StringTable().pack() == b"\x00"
+
+    def test_add_returns_offsets(self):
+        table = StringTable()
+        first = table.add("abc")
+        second = table.add("de")
+        assert first == 1
+        assert second == 1 + len("abc") + 1
+
+    def test_add_interns_duplicates(self):
+        table = StringTable()
+        assert table.add("same") == table.add("same")
+
+    def test_add_empty_string_is_zero(self):
+        assert StringTable().add("") == 0
+
+    def test_get_reads_back(self):
+        table = StringTable()
+        offset = table.add("hello")
+        assert table.get(offset) == "hello"
+
+    def test_get_mid_string_suffix(self):
+        table = StringTable()
+        offset = table.add("libc.so.6")
+        assert table.get(offset + 5) == "so.6"
+
+    def test_get_out_of_range(self):
+        assert StringTable().get(100) == ""
+
+    @given(st.lists(st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1, max_size=12), min_size=1, max_size=20))
+    def test_round_trip_many(self, names):
+        table = StringTable()
+        offsets = {name: table.add(name) for name in names}
+        packed = StringTable(table.pack())
+        for name, offset in offsets.items():
+            assert packed.get(offset) == name
+
+
+class TestInfoPacking:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_st_info_round_trip(self, bind, typ):
+        info = C.st_info(bind, typ)
+        assert C.st_bind(info) == bind
+        assert C.st_type(info) == typ
+
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(0, 2 ** 31 - 1))
+    def test_r_info_round_trip(self, sym, typ):
+        info = C.r_info(sym, typ)
+        assert C.r_sym(info) == sym
+        assert C.r_type(info) == typ

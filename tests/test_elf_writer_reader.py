@@ -1,0 +1,400 @@
+"""Writer/reader round-trip tests for whole ELF images."""
+
+import os
+
+import pytest
+
+from repro.elf import ElfReader, ElfWriter
+from repro.elf import constants as C
+from repro.x86.encoder import Assembler
+
+
+def _basic_executable(imports=("printf", "ioctl"),
+                      needed=("libc.so.6",),
+                      strings=("/proc/cpuinfo",)):
+    asm = Assembler()
+    asm.label("main")
+    asm.prologue()
+    for name in imports:
+        asm.call_import(name)
+    asm.epilogue()
+    writer = ElfWriter(file_type=C.ET_EXEC)
+    for library in needed:
+        writer.add_needed(library)
+    for name in imports:
+        writer.add_import(name)
+    for text in strings:
+        writer.add_string(text)
+    writer.set_text(bytes(asm.code), asm.labels, asm.fixups,
+                    entry_label="main")
+    writer.export_function("main", "main")
+    return writer.build()
+
+
+def _basic_library(soname="libdemo.so.1", exports=("demo_fn",)):
+    asm = Assembler()
+    for name in exports:
+        asm.align(16)
+        asm.label(name)
+        asm.prologue()
+        asm.mov_imm32(0, 39)  # getpid
+        asm.syscall()
+        asm.epilogue()
+    writer = ElfWriter(file_type=C.ET_DYN, soname=soname)
+    writer.add_needed("libc.so.6")
+    writer.set_text(bytes(asm.code), asm.labels, asm.fixups)
+    for name in exports:
+        writer.export_function(name, name)
+    return writer.build()
+
+
+class TestExecutableImage:
+    def setup_method(self):
+        self.image = _basic_executable()
+        self.reader = ElfReader(self.image)
+
+    def test_header_type(self):
+        assert self.reader.header.e_type == C.ET_EXEC
+
+    def test_entry_point_set(self):
+        assert self.reader.header.e_entry != 0
+
+    def test_entry_points_into_text(self):
+        text = self.reader.section(".text")
+        entry = self.reader.header.e_entry
+        assert text.sh_addr <= entry < text.sh_addr + text.sh_size
+
+    def test_needed_libraries(self):
+        assert self.reader.needed_libraries() == ["libc.so.6"]
+
+    def test_imported_functions(self):
+        assert set(self.reader.imported_function_names()) == {
+            "printf", "ioctl"}
+
+    def test_exported_functions(self):
+        assert self.reader.exported_function_names() == ["main"]
+
+    def test_interpreter_recorded(self):
+        assert self.reader.interpreter() == (
+            "/lib64/ld-linux-x86-64.so.2")
+
+    def test_strings_contain_added(self):
+        assert "/proc/cpuinfo" in self.reader.strings()
+
+    def test_plt_map_covers_all_imports(self):
+        assert set(self.reader.plt_map().values()) == {
+            "printf", "ioctl"}
+
+    def test_plt_addresses_inside_plt_section(self):
+        plt = self.reader.section(".plt")
+        for address in self.reader.plt_map():
+            assert plt.sh_addr <= address < plt.sh_addr + plt.sh_size
+
+    def test_is_elf_magic_check(self):
+        assert ElfReader.is_elf(self.image)
+        assert not ElfReader.is_elf(b"#!/bin/sh\n")
+
+    def test_vaddr_round_trip(self):
+        text = self.reader.section(".text")
+        offset = self.reader.vaddr_to_offset(text.sh_addr)
+        assert offset == text.sh_offset
+
+    def test_read_vaddr_matches_section_data(self):
+        text = self.reader.section(".text")
+        data = self.reader.read_vaddr(text.sh_addr, text.sh_size)
+        assert data == self.reader.text()
+
+    def test_unmapped_vaddr_is_none(self):
+        assert self.reader.vaddr_to_offset(0xDEAD0000) is None
+
+    def test_expected_sections_exist(self):
+        for name in (".dynsym", ".dynstr", ".rela.plt", ".plt",
+                     ".text", ".rodata", ".got.plt", ".dynamic",
+                     ".interp"):
+            assert self.reader.section(name) is not None, name
+
+    def test_dynamic_flag(self):
+        assert self.reader.is_dynamic
+        assert not self.reader.is_static_executable
+
+
+class TestLibraryImage:
+    def setup_method(self):
+        self.reader = ElfReader(_basic_library())
+
+    def test_type_is_dyn(self):
+        assert self.reader.header.e_type == C.ET_DYN
+
+    def test_soname(self):
+        assert self.reader.soname() == "libdemo.so.1"
+
+    def test_no_interpreter(self):
+        assert self.reader.interpreter() is None
+
+    def test_base_vaddr_zero(self):
+        text = self.reader.section(".text")
+        assert text.sh_addr < 0x400000
+
+    def test_exports_present(self):
+        assert self.reader.exported_function_names() == ["demo_fn"]
+
+    def test_export_value_points_into_text(self):
+        text = self.reader.section(".text")
+        (symbol,) = self.reader.exported_symbols()
+        assert text.sh_addr <= symbol.st_value < (
+            text.sh_addr + text.sh_size)
+
+
+class TestWriterEdgeCases:
+    def test_no_imports_builds(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.mov_imm32(0, 60)
+        asm.syscall()
+        writer = ElfWriter(file_type=C.ET_EXEC, interp=None)
+        writer.set_text(bytes(asm.code), asm.labels, asm.fixups,
+                        entry_label="main")
+        reader = ElfReader(writer.build())
+        assert reader.imported_function_names() == []
+        assert reader.interpreter() is None
+
+    def test_duplicate_import_single_plt_slot(self):
+        writer = ElfWriter()
+        first = writer.add_import("dup")
+        second = writer.add_import("dup")
+        assert first == second
+
+    def test_duplicate_needed_deduplicated(self):
+        writer = ElfWriter()
+        writer.add_needed("libc.so.6")
+        writer.add_needed("libc.so.6")
+        writer.set_text(b"\xc3", {"main": 0}, [], entry_label="main")
+        reader = ElfReader(writer.build())
+        assert reader.needed_libraries() == ["libc.so.6"]
+
+    def test_rodata_interning(self):
+        writer = ElfWriter()
+        assert writer.add_string("x") == writer.add_string("x")
+
+    def test_many_imports(self):
+        imports = [f"func_{i}" for i in range(300)]
+        asm = Assembler()
+        asm.label("main")
+        for name in imports:
+            asm.call_import(name)
+        asm.ret()
+        writer = ElfWriter()
+        for name in imports:
+            writer.add_import(name)
+        writer.set_text(bytes(asm.code), asm.labels, asm.fixups,
+                        entry_label="main")
+        reader = ElfReader(writer.build())
+        assert set(reader.plt_map().values()) == set(imports)
+
+    def test_strings_min_length_filter(self):
+        writer = ElfWriter()
+        writer.add_string("abc")      # below default threshold of 4
+        writer.add_string("abcdef")
+        writer.set_text(b"\xc3", {"main": 0}, [], entry_label="main")
+        reader = ElfReader(writer.build())
+        found = reader.strings()
+        assert "abcdef" in found
+
+
+@pytest.mark.skipif(not os.path.exists("/bin/true"),
+                    reason="no /bin/true on this host")
+class TestRealBinary:
+    """The reader is written to the spec, so it parses host binaries."""
+
+    def setup_method(self):
+        self.reader = ElfReader.from_path("/bin/true")
+
+    def test_parses_and_finds_sections(self):
+        assert self.reader.section(".text") is not None
+
+    def test_needs_libc(self):
+        assert any(name.startswith("libc.so")
+                   for name in self.reader.needed_libraries())
+
+    def test_has_dynamic_symbols(self):
+        assert len(self.reader.dynamic_symbols) > 1
+
+
+class TestStaticImage:
+    """A binary with no dynamic dependencies is written truly static:
+    no .dynamic, no PT_INTERP, symbols in .symtab."""
+
+    def _build(self):
+        from repro.x86.encoder import Assembler
+        asm = Assembler()
+        asm.label("main")
+        asm.mov_imm32(0, 231)
+        asm.syscall()
+        writer = ElfWriter(file_type=C.ET_EXEC, interp=None)
+        writer.set_text(bytes(asm.code), asm.labels, asm.fixups,
+                        entry_label="main")
+        writer.export_function("main", "main")
+        return ElfReader(writer.build())
+
+    def test_no_dynamic_metadata(self):
+        reader = self._build()
+        assert not reader.is_dynamic
+        assert reader.is_static_executable
+        assert reader.section(".dynamic") is None
+        assert reader.section(".dynsym") is None
+        assert reader.interpreter() is None
+
+    def test_symtab_carries_exports(self):
+        reader = self._build()
+        assert reader.section(".symtab") is not None
+        names = [s.name for s in reader.symbols if s.name]
+        assert "main" in names
+
+    def test_entry_and_code_intact(self):
+        from repro.x86.decoder import linear_sweep
+        from repro.x86.instructions import InsnKind
+        reader = self._build()
+        kinds = [i.kind for i in linear_sweep(reader.text(),
+                                              reader.text_vaddr())]
+        assert InsnKind.SYSCALL in kinds
+
+    def test_needed_forces_dynamic_layout(self):
+        writer = ElfWriter(file_type=C.ET_EXEC, interp=None)
+        writer.add_needed("libc.so.6")
+        writer.set_text(b"\xc3", {"main": 0}, [], entry_label="main")
+        reader = ElfReader(writer.build())
+        assert reader.is_dynamic
+
+
+@pytest.mark.skipif(not os.path.exists("/bin/true"),
+                    reason="no /bin/true on this host")
+class TestRealBinaryDisassembly:
+    """The decoder must sweep real compiler output without stalling."""
+
+    def test_linear_sweep_terminates_and_finds_structure(self):
+        from repro.x86.decoder import linear_sweep
+        from repro.x86.instructions import InsnKind
+        reader = ElfReader.from_path("/bin/true")
+        text = reader.text()
+        kinds = []
+        total_len = 0
+        for insn in linear_sweep(text, reader.text_vaddr()):
+            kinds.append(insn.kind)
+            total_len += insn.length
+        assert total_len >= len(text)
+        # Real code contains calls, rets, and register moves we decode.
+        assert InsnKind.CALL_REL in kinds
+        assert InsnKind.RET in kinds
+        decoded = sum(1 for k in kinds if k != InsnKind.OTHER)
+        assert decoded / len(kinds) > 0.3
+
+
+class TestCorruptInput:
+    """Truncated or corrupted images must raise ElfFormatError — never
+    crash with a raw struct error or hang."""
+
+    def test_truncation_at_every_boundary(self):
+        from repro.elf.structs import ElfFormatError
+        image = _basic_executable()
+        for cut in list(range(0, 200, 7)) + [len(image) // 2]:
+            truncated = image[:cut]
+            try:
+                reader = ElfReader(truncated)
+                # If parsing succeeded, basic accessors must not blow up.
+                reader.needed_libraries()
+                reader.strings()
+            except ElfFormatError:
+                pass
+
+    def test_corrupted_section_offsets(self):
+        from repro.elf.structs import ElfFormatError
+        image = bytearray(_basic_executable())
+        # e_shoff -> garbage
+        image[0x28:0x30] = (2 ** 48).to_bytes(8, "little")
+        try:
+            ElfReader(bytes(image))
+        except ElfFormatError:
+            pass
+
+    def test_bit_flip_fuzz(self):
+        import random
+        from repro.elf.structs import ElfFormatError
+        image = _basic_executable()
+        rng = random.Random(5)
+        for _ in range(60):
+            mutated = bytearray(image)
+            for _ in range(4):
+                position = rng.randrange(len(mutated))
+                mutated[position] ^= 1 << rng.randrange(8)
+            try:
+                reader = ElfReader(bytes(mutated))
+                reader.imported_function_names()
+                reader.plt_map()
+                reader.strings()
+            except ElfFormatError:
+                pass
+
+
+class TestSymbolVersioning:
+    """GNU symbol versioning round-trip (.gnu.version/.gnu.version_d)."""
+
+    def _versioned_library(self):
+        asm = Assembler()
+        asm.label("api")
+        asm.ret()
+        writer = ElfWriter(file_type=C.ET_DYN, soname="libv.so.1",
+                           version="GLIBC_2.21")
+        writer.add_needed("libc.so.6")
+        writer.add_import("printf")
+        writer.set_text(bytes(asm.code), asm.labels, asm.fixups)
+        writer.export_function("api", "api")
+        return ElfReader(writer.build())
+
+    def test_sections_emitted(self):
+        reader = self._versioned_library()
+        assert reader.section(".gnu.version") is not None
+        assert reader.section(".gnu.version_d") is not None
+
+    def test_verdef_parsed(self):
+        reader = self._versioned_library()
+        assert reader.version_definitions() == {2: "GLIBC_2.21"}
+
+    def test_exports_stamped_imports_global(self):
+        reader = self._versioned_library()
+        by_name = {s.name: s for s in reader.dynamic_symbols if s.name}
+        assert by_name["api"].version == "GLIBC_2.21"
+        assert by_name["printf"].version == ""
+
+    def test_unversioned_library_has_no_tables(self):
+        reader = ElfReader(_basic_library())
+        assert reader.section(".gnu.version") is None
+        assert reader.version_definitions() == {}
+
+    def test_synthetic_libc_is_versioned(self):
+        from repro.synth.runtime_gen import generate_libc
+        reader = ElfReader(generate_libc())
+        assert reader.version_definitions() == {2: "GLIBC_2.21"}
+        printf = next(s for s in reader.dynamic_symbols
+                      if s.name == "printf")
+        assert printf.version == "GLIBC_2.21"
+
+    def test_elf_hash_known_values(self):
+        from repro.elf.structs import elf_hash
+        # classic test vectors for the SysV hash
+        assert elf_hash("") == 0
+        assert elf_hash("printf") == elf_hash("printf")
+        assert elf_hash("GLIBC_2.21") != elf_hash("GLIBC_2.2.5")
+
+
+@pytest.mark.skipif(not os.path.exists("/bin/true"),
+                    reason="no /bin/true on this host")
+class TestRealBinaryVersions:
+    def test_verneed_parsed_on_host_binary(self):
+        reader = ElfReader.from_path("/bin/true")
+        requirements = reader.version_requirements()
+        if requirements:  # hosts without versioned libc are fine
+            assert any(name.startswith("GLIBC_")
+                       for name in requirements.values())
+            versioned = [s for s in reader.imported_symbols()
+                         if s.version]
+            assert versioned

@@ -1,0 +1,67 @@
+"""The examples are part of the public API surface: each must run to
+completion against the session study (they share the Study.default
+cache, so this stays fast)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(_EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, study, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "indispensable syscalls" in out
+        assert "Table 6" in out
+
+    def test_prototype_planner(self, study, capsys):
+        _run("prototype_planner.py", ["120"])
+        out = capsys.readouterr().out
+        assert "milestone" in out
+        assert "still missing" in out
+
+    def test_seccomp_sandbox(self, study, capsys):
+        _run("seccomp_sandbox.py", ["dash"])
+        out = capsys.readouterr().out
+        assert "whitelisted syscalls" in out
+        assert "KILLED" in out
+
+    def test_deprecation_audit(self, study, capsys):
+        _run("deprecation_audit.py", ["nfsservctl", "read"])
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "Table 8" in out
+
+    def test_dynamic_vs_static(self, study, capsys):
+        _run("dynamic_vs_static.py", ["dash", "kexec-tools"])
+        out = capsys.readouterr().out
+        assert "superset" in out
+        assert "OK" in out
+        assert "VIOLATED" not in out
+
+    def test_research_advisor(self, study, capsys):
+        _run("research_advisor.py")
+        out = capsys.readouterr().out
+        assert "Best evaluation workloads" in out
+        assert "Deprecation assessments" in out
+
+    @pytest.mark.slow
+    def test_release_drift(self, capsys):
+        # Builds two archives; the heaviest example.
+        _run("release_drift.py", ["0.5"])
+        out = capsys.readouterr().out
+        assert "APIs losing users" in out
+        assert "access" in out

@@ -1,0 +1,198 @@
+"""Effect-extraction tests: register dataflow over function bodies."""
+
+from repro.analysis.disassembler import FunctionBody
+from repro.analysis.extract import extract_effects
+from repro.x86 import registers as R
+from repro.x86.decoder import linear_sweep
+from repro.x86.encoder import Assembler
+
+
+def _effects(build, plt=None):
+    """Assemble a function, sweep it, and extract effects."""
+    asm = Assembler()
+    asm.label("f")
+    build(asm)
+    asm.ret()
+    code = bytes(asm.code)
+    plt_map = dict(plt or {})
+    # resolve import fixups to fake PLT addresses outside .text
+    resolved = bytearray(code)
+    plt_base = 0x100000
+    assigned = {}
+    for fixup in asm.fixups:
+        kind, payload = fixup.target
+        if kind != "import":
+            continue
+        address = assigned.setdefault(
+            payload, plt_base + 16 * len(assigned))
+        plt_map[address] = payload
+        site = 0x400000 + fixup.text_offset
+        rel = address - (site + 4)
+        resolved[fixup.text_offset:fixup.text_offset + 4] = (
+            rel & 0xFFFFFFFF).to_bytes(4, "little")
+    body = FunctionBody(start=0x400000)
+    body.instructions = list(linear_sweep(bytes(resolved), 0x400000))
+    return extract_effects(body, plt_map)
+
+
+class TestDirectSyscalls:
+    def test_mov_imm_then_syscall(self):
+        effects = _effects(lambda a: (a.mov_imm32(R.RAX, 1),
+                                      a.syscall()))
+        assert effects.syscall_numbers == {1}
+        assert effects.raw_syscall_numbers == {1}
+        assert effects.unresolved_syscall_sites == 0
+
+    def test_xor_zero_then_syscall_is_read(self):
+        effects = _effects(lambda a: (a.xor_reg(R.RAX), a.syscall()))
+        assert effects.syscall_numbers == {0}
+
+    def test_int80_counts(self):
+        effects = _effects(lambda a: (a.mov_imm32(R.RAX, 3),
+                                      a.int80()))
+        assert effects.syscall_numbers == {3}
+
+    def test_multiple_sites(self):
+        def build(a):
+            a.mov_imm32(R.RAX, 0)
+            a.syscall()
+            a.mov_imm32(R.RAX, 1)
+            a.syscall()
+        effects = _effects(build)
+        assert effects.syscall_numbers == {0, 1}
+
+    def test_number_via_mov_chain(self):
+        def build(a):
+            a.mov_imm32(R.RBX, 60)
+            a.mov_reg_reg64(R.RAX, R.RBX)
+            a.syscall()
+        effects = _effects(build)
+        assert effects.syscall_numbers == {60}
+
+    def test_unresolved_when_number_from_parameter(self):
+        def build(a):
+            a.mov_reg_reg64(R.RAX, R.RDI)  # number arrives in %rdi
+            a.syscall()
+        effects = _effects(build)
+        assert effects.syscall_numbers == set()
+        assert effects.unresolved_syscall_sites == 1
+
+    def test_call_clobbers_rax(self):
+        def build(a):
+            a.mov_imm32(R.RAX, 1)
+            a.call_import("helper")
+            a.syscall()  # rax no longer known
+        effects = _effects(build)
+        assert effects.unresolved_syscall_sites == 1
+
+    def test_callee_saved_value_survives_call(self):
+        def build(a):
+            a.mov_imm32(R.RBX, 2)
+            a.call_import("helper")
+            a.mov_reg_reg64(R.RAX, R.RBX)  # rbx is callee-saved
+            a.syscall()
+        effects = _effects(build)
+        assert effects.syscall_numbers == {2}
+
+
+class TestVectoredOpcodes:
+    def test_ioctl_via_libc_wrapper(self):
+        def build(a):
+            a.xor_reg(R.RDI)
+            a.mov_imm32(R.RSI, 0x5401)  # TCGETS
+            a.call_import("ioctl")
+        effects = _effects(build)
+        assert effects.ioctl_codes == {0x5401}
+        assert "ioctl" in effects.plt_calls
+
+    def test_fcntl_via_libc_wrapper(self):
+        def build(a):
+            a.xor_reg(R.RDI)
+            a.mov_imm32(R.RSI, 2)  # F_SETFD
+            a.call_import("fcntl")
+        effects = _effects(build)
+        assert effects.fcntl_codes == {2}
+
+    def test_prctl_opcode_in_rdi(self):
+        def build(a):
+            a.mov_imm32(R.RDI, 15)  # PR_SET_NAME
+            a.call_import("prctl")
+        effects = _effects(build)
+        assert effects.prctl_codes == {15}
+
+    def test_direct_ioctl_syscall_opcode_in_rsi(self):
+        def build(a):
+            a.xor_reg(R.RDI)
+            a.mov_imm32(R.RSI, 0x5413)  # TIOCGWINSZ
+            a.mov_imm32(R.RAX, 16)
+            a.syscall()
+        effects = _effects(build)
+        assert effects.syscall_numbers == {16}
+        assert effects.ioctl_codes == {0x5413}
+
+    def test_direct_prctl_syscall_opcode_in_rdi(self):
+        def build(a):
+            a.mov_imm32(R.RDI, 4)  # PR_SET_DUMPABLE
+            a.mov_imm32(R.RAX, 157)
+            a.syscall()
+        effects = _effects(build)
+        assert effects.prctl_codes == {4}
+
+    def test_unknown_opcode_counts_unresolved(self):
+        def build(a):
+            a.call_import("ioctl")  # rsi never set
+        effects = _effects(build)
+        assert effects.unresolved_vector_sites == 1
+
+
+class TestSyscallWrapper:
+    def test_syscall3_with_immediate(self):
+        def build(a):
+            a.mov_imm32(R.RDI, 318)  # SYS_getrandom
+            a.call_import("syscall")
+        effects = _effects(build)
+        assert effects.syscall_numbers == {318}
+        assert effects.raw_syscall_numbers == set()
+
+    def test_syscall3_ioctl_opcode_in_rdx(self):
+        def build(a):
+            a.mov_imm32(R.RDI, 16)   # SYS_ioctl
+            a.xor_reg(R.RSI)
+            a.mov_imm32(R.RDX, 0x541B)  # FIONREAD
+            a.call_import("syscall")
+        effects = _effects(build)
+        assert effects.syscall_numbers == {16}
+        assert effects.ioctl_codes == {0x541B}
+
+    def test_syscall3_unresolved_number(self):
+        def build(a):
+            a.mov_reg_reg64(R.RDI, R.RSI)
+            a.call_import("syscall")
+        effects = _effects(build)
+        assert effects.unresolved_syscall_sites == 1
+
+
+class TestPltCallRecording:
+    def test_plt_calls_recorded(self):
+        effects = _effects(lambda a: (a.call_import("printf"),
+                                      a.call_import("malloc")))
+        assert effects.plt_calls == {"printf", "malloc"}
+
+    def test_local_calls_not_in_plt(self):
+        asm = Assembler()
+        asm.label("f")
+        asm.call_local("g")
+        asm.ret()
+        asm.label("g")
+        asm.ret()
+        # resolve the local fixup manually
+        code = bytearray(asm.code)
+        target = 0x400000 + asm.labels["g"]
+        (fixup,) = asm.fixups
+        rel = target - (0x400000 + fixup.text_offset + 4)
+        code[fixup.text_offset:fixup.text_offset + 4] = (
+            rel & 0xFFFFFFFF).to_bytes(4, "little")
+        body = FunctionBody(start=0x400000)
+        body.instructions = list(linear_sweep(bytes(code), 0x400000))
+        effects = extract_effects(body, {})
+        assert effects.plt_calls == set()

@@ -1,0 +1,96 @@
+"""Footprint semilattice tests (unit + property)."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.footprint import Footprint
+
+_names = st.sets(st.sampled_from(
+    ["read", "write", "open", "close", "mmap", "ioctl", "futex"]),
+    max_size=5)
+
+
+def _footprints():
+    return st.builds(
+        lambda a, b, c: Footprint.build(syscalls=a, ioctls=b,
+                                        libc_symbols=c),
+        _names, _names, _names)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert Footprint.EMPTY.is_empty
+        assert Footprint.build(syscalls=["read"]).is_empty is False
+
+    def test_build_freezes(self):
+        fp = Footprint.build(syscalls=["read", "read"])
+        assert fp.syscalls == frozenset({"read"})
+
+    def test_union_merges_all_dimensions(self):
+        a = Footprint.build(syscalls=["read"], ioctls=["TCGETS"],
+                            pseudo_files=["/dev/null"],
+                            unresolved_sites=1)
+        b = Footprint.build(syscalls=["write"], fcntls=["F_GETFD"],
+                            libc_symbols=["printf"],
+                            unresolved_sites=2)
+        u = a | b
+        assert u.syscalls == frozenset({"read", "write"})
+        assert u.ioctls == frozenset({"TCGETS"})
+        assert u.fcntls == frozenset({"F_GETFD"})
+        assert u.pseudo_files == frozenset({"/dev/null"})
+        assert u.libc_symbols == frozenset({"printf"})
+        assert u.unresolved_sites == 3
+
+    def test_api_set_namespacing(self):
+        fp = Footprint.build(syscalls=["read"], ioctls=["TCGETS"],
+                             libc_symbols=["printf"])
+        apis = fp.api_set()
+        assert "read" in apis
+        assert "ioctl:TCGETS" in apis
+        assert "libc:printf" in apis
+
+    def test_requires_only(self):
+        fp = Footprint.build(syscalls=["read", "write"])
+        assert fp.requires_only(["read", "write", "open"])
+        assert not fp.requires_only(["read"])
+
+    def test_hashable_and_equal(self):
+        a = Footprint.build(syscalls=["read"])
+        b = Footprint.build(syscalls=["read"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSemilatticeProperties:
+    @given(_footprints())
+    def test_union_idempotent(self, fp):
+        merged = fp | fp
+        assert merged.syscalls == fp.syscalls
+        assert merged.ioctls == fp.ioctls
+        assert merged.libc_symbols == fp.libc_symbols
+
+    @given(_footprints(), _footprints())
+    def test_union_commutative(self, a, b):
+        ab = a | b
+        ba = b | a
+        assert ab.syscalls == ba.syscalls
+        assert ab.ioctls == ba.ioctls
+        assert ab.libc_symbols == ba.libc_symbols
+
+    @given(_footprints(), _footprints(), _footprints())
+    def test_union_associative(self, a, b, c):
+        left = (a | b) | c
+        right = a | (b | c)
+        assert left.syscalls == right.syscalls
+        assert left.ioctls == right.ioctls
+
+    @given(_footprints())
+    def test_empty_is_identity(self, fp):
+        merged = fp | Footprint.EMPTY
+        assert merged.syscalls == fp.syscalls
+        assert merged.unresolved_sites == fp.unresolved_sites
+
+    @given(_footprints(), _footprints())
+    def test_union_upper_bound(self, a, b):
+        merged = a | b
+        assert a.syscalls <= merged.syscalls
+        assert b.syscalls <= merged.syscalls

@@ -1,0 +1,114 @@
+"""The central validation: the analysis pipeline recovers, from ELF
+bytes alone, exactly what the generator planted.
+
+Ground truth is recorded by the ecosystem builder per package
+(syscall closure through libc, opcodes, pseudo-files, imports); the
+pipeline never sees it.  Equality here means disassembly, call-graph
+construction, register dataflow, PLT resolution, and cross-library
+closure all work end to end.
+"""
+
+import pytest
+
+from repro.libc import runtime as RT
+from repro.synth.runtime_gen import (
+    LIBC_FCNTL_OPS,
+    LIBC_IOCTL_OPS,
+    LIBC_PRCTL_OPS,
+    LIBC_PSEUDO_FILES,
+)
+
+
+def _expected_syscalls(truth, footprint):
+    """Ground-truth syscalls plus runtime-mechanics the generator
+    implies: libc startup (every exe calls __libc_start_main) and the
+    vectored syscalls of any opcode-carrying wrapper."""
+    expected = set(truth.syscalls)
+    expected |= set(RT.LIBC_STARTUP_FOOTPRINT)
+    if truth.ioctls:
+        expected.add("ioctl")
+    if truth.fcntls:
+        expected.add("fcntl")
+    if truth.prctls:
+        expected.add("prctl")
+    for symbol in truth.libc_symbols:
+        if symbol in LIBC_IOCTL_OPS:
+            expected.add("ioctl")
+        if symbol in LIBC_FCNTL_OPS:
+            expected.add("fcntl")
+        if symbol in LIBC_PRCTL_OPS:
+            expected.add("prctl")
+    return expected
+
+
+class TestRecovery:
+    @pytest.fixture(scope="class")
+    def data(self, study):
+        return study.ecosystem, study.result
+
+    def test_syscall_recovery_for_elf_packages(self, data):
+        ecosystem, result = data
+        mismatches = []
+        checked = 0
+        for name, truth in ecosystem.ground_truth.items():
+            package = ecosystem.repository.get(name)
+            if not any(a.kind.value == "elf-executable"
+                       for a in package.artifacts):
+                continue
+            if any(a.kind.value == "script"
+                   for a in package.artifacts):
+                continue  # script contribution is interpreter-based
+            recovered = result.footprint_of(name).syscalls
+            expected = _expected_syscalls(truth,
+                                          result.footprint_of(name))
+            missing = expected - recovered
+            if missing:
+                mismatches.append((name, sorted(missing)[:5]))
+            checked += 1
+        assert checked > 50
+        assert not mismatches, mismatches[:5]
+
+    def test_opcode_recovery(self, data):
+        ecosystem, result = data
+        for name, truth in ecosystem.ground_truth.items():
+            recovered = result.footprint_of(name)
+            assert set(truth.ioctls) <= recovered.ioctls, name
+            assert set(truth.fcntls) <= recovered.fcntls, name
+            assert set(truth.prctls) <= recovered.prctls, name
+
+    def test_pseudo_file_recovery(self, data):
+        ecosystem, result = data
+        for name, truth in ecosystem.ground_truth.items():
+            if not truth.pseudo_files:
+                continue
+            recovered = result.package_full_footprints[name]
+            for path in truth.pseudo_files:
+                # generator paths with placeholders normalize to %d
+                normalized = path.replace("%s", "%d").replace(
+                    "%u", "%d")
+                assert normalized in recovered.pseudo_files, (
+                    name, path)
+
+    def test_libc_import_recovery(self, data):
+        ecosystem, result = data
+        checked = 0
+        for name, truth in ecosystem.ground_truth.items():
+            if not truth.libc_symbols:
+                continue
+            package = ecosystem.repository.get(name)
+            if any(a.kind.value == "script"
+                   for a in package.artifacts):
+                continue
+            recovered = result.footprint_of(name).libc_symbols
+            if recovered:  # pure-library packages record imports too
+                planted = set(truth.libc_symbols)
+                assert planted <= recovered | {"__libc_start_main"}, (
+                    name, sorted(planted - recovered)[:5])
+                checked += 1
+        assert checked > 50
+
+    def test_qemu_footprint_size_matches_paper(self, data):
+        """§3.2: qemu's MIPS emulator requires 270 system calls."""
+        _, result = data
+        qemu = result.footprint_of("qemu-user")
+        assert 260 <= len(qemu.syscalls) <= 285

@@ -1,0 +1,124 @@
+"""libc co-usage decomposition tests (§3.5 extension)."""
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.security.libc_cluster import (
+    _communities_label_propagation,
+    co_usage_edges,
+    decompose_libc,
+    evaluate_decomposition,
+)
+
+
+def _fp(*symbols):
+    return Footprint.build(libc_symbols=symbols)
+
+
+def _two_cliques():
+    """Two obvious co-usage groups plus an unused symbol."""
+    footprints = {}
+    for index in range(6):
+        footprints[f"stdio-{index}"] = _fp("printf", "fopen", "fread")
+        footprints[f"net-{index}"] = _fp("socket", "connect", "send")
+    sizes = {name: 10 for name in
+             ("printf", "fopen", "fread", "socket", "connect",
+              "send", "dead_symbol")}
+    return footprints, sizes
+
+
+class TestCoUsageEdges:
+    def test_pairs_within_footprints(self):
+        footprints, _ = _two_cliques()
+        edges = co_usage_edges(footprints, min_weight=2)
+        assert any({"printf", "fopen"} == set(edge)
+                   for edge in edges)
+
+    def test_no_cross_group_edges(self):
+        footprints, _ = _two_cliques()
+        edges = co_usage_edges(footprints, min_weight=2)
+        for a, b in edges:
+            same_stdio = {a, b} <= {"printf", "fopen", "fread"}
+            same_net = {a, b} <= {"socket", "connect", "send"}
+            assert same_stdio or same_net, (a, b)
+
+    def test_min_weight_filters(self):
+        footprints = {"one": _fp("a_sym", "b_sym")}
+        assert co_usage_edges(footprints, min_weight=2) == {}
+        assert co_usage_edges(footprints, min_weight=1)
+
+
+class TestDecomposition:
+    def test_separates_cliques(self):
+        footprints, sizes = _two_cliques()
+        subs = decompose_libc(footprints, sizes,
+                              max_sub_libraries=6, min_weight=2)
+        by_symbol = {}
+        for lib in subs:
+            for symbol in lib.symbols:
+                by_symbol[symbol] = lib.index
+        assert by_symbol["printf"] == by_symbol["fopen"]
+        assert by_symbol["socket"] == by_symbol["connect"]
+        assert by_symbol["printf"] != by_symbol["socket"]
+
+    def test_unused_symbols_quarantined(self):
+        footprints, sizes = _two_cliques()
+        subs = decompose_libc(footprints, sizes,
+                              max_sub_libraries=6, min_weight=2)
+        (unused_lib,) = [lib for lib in subs
+                         if "dead_symbol" in lib.symbols]
+        assert unused_lib.symbols == frozenset({"dead_symbol"})
+
+    def test_partition_is_exact(self):
+        footprints, sizes = _two_cliques()
+        subs = decompose_libc(footprints, sizes,
+                              max_sub_libraries=6, min_weight=2)
+        seen = []
+        for lib in subs:
+            seen.extend(lib.symbols)
+        assert sorted(seen) == sorted(set(seen))  # disjoint
+        assert set(seen) == set(sizes)            # complete
+
+    def test_sizes_accumulate(self):
+        footprints, sizes = _two_cliques()
+        subs = decompose_libc(footprints, sizes,
+                              max_sub_libraries=6, min_weight=2)
+        assert sum(lib.code_bytes for lib in subs) == sum(
+            sizes.values())
+
+
+class TestEvaluation:
+    def test_split_beats_monolith(self):
+        footprints, sizes = _two_cliques()
+        subs = decompose_libc(footprints, sizes,
+                              max_sub_libraries=6, min_weight=2)
+        report = evaluate_decomposition(subs, footprints)
+        assert report.loaded_fraction < 1.0
+        assert report.mean_libraries_loaded >= 1.0
+
+    def test_empty_archive(self):
+        report = evaluate_decomposition([], {})
+        assert report.mean_loaded_bytes == 0
+
+
+class TestLabelPropagationFallback:
+    def test_finds_the_cliques(self):
+        footprints, sizes = _two_cliques()
+        edges = co_usage_edges(footprints, min_weight=2)
+        nodes = sorted({n for edge in edges for n in edge})
+        communities = _communities_label_propagation(nodes, edges)
+        as_sets = [set(c) for c in communities]
+        assert {"printf", "fopen", "fread"} in as_sets
+        assert {"socket", "connect", "send"} in as_sets
+
+
+class TestOnMeasuredArchive:
+    def test_decomposition_saves_memory(self, study):
+        from repro.security.libc_strip import function_sizes
+        from repro.synth.runtime_gen import generate_libc
+        sizes = function_sizes(generate_libc())
+        subs = decompose_libc(study.footprints, sizes)
+        report = evaluate_decomposition(subs, study.footprints)
+        # §3.5's claim: decomposing lowers per-process memory cost.
+        assert report.loaded_fraction < 0.85
+        assert 2 <= len(subs) <= 14

@@ -1,0 +1,236 @@
+"""Tests for the libc catalogue, variants, and runtime models."""
+
+import pytest
+
+from repro.libc import runtime as RT
+from repro.libc import symbols as LS
+from repro.libc.variants import (
+    DIETLIBC,
+    EGLIBC,
+    MUSL,
+    UCLIBC,
+    VARIANTS,
+    normalize_footprint,
+    normalize_symbol,
+)
+from repro.syscalls.table import ALL_NAMES
+
+
+class TestSymbolCatalogue:
+    def test_size_near_paper_count(self):
+        # paper: 1,274 exported global function symbols
+        assert 1200 <= len(LS.LIBC_SYMBOLS) <= 1450
+
+    def test_names_unique(self):
+        assert len({s.name for s in LS.LIBC_SYMBOLS}) == len(
+            LS.LIBC_SYMBOLS)
+
+    def test_tiers_valid(self):
+        assert all(s.tier in LS.TIERS for s in LS.LIBC_SYMBOLS)
+
+    @pytest.mark.parametrize("name", [
+        "printf", "malloc", "memcpy", "open", "ioctl", "fork",
+        "__libc_start_main", "__cxa_finalize", "memalign", "stpcpy",
+        "secure_getenv", "__uflow", "_IO_getc", "syscall",
+    ])
+    def test_well_known_symbols_present(self, name):
+        assert name in LS.BY_NAME
+
+    def test_syscall_mappings_use_real_syscalls(self):
+        for symbol in LS.LIBC_SYMBOLS:
+            for name in symbol.syscalls:
+                assert name in ALL_NAMES, (symbol.name, name)
+
+    def test_internal_calls_resolve(self):
+        known = set(LS.BY_NAME)
+        for symbol in LS.LIBC_SYMBOLS:
+            for callee in symbol.internal_calls:
+                assert callee in known, (symbol.name, callee)
+
+    def test_fork_maps_to_clone(self):
+        assert LS.BY_NAME["fork"].syscalls == ("clone",)
+
+    def test_fortify_map_targets_exist(self):
+        for chk, plain in LS.FORTIFY_MAP.items():
+            assert chk in LS.BY_NAME
+            # a few map to symbols modelled only implicitly
+            if plain in LS.BY_NAME:
+                assert LS.BY_NAME[plain].name == plain
+
+    def test_by_tier_and_category_selectors(self):
+        assert LS.by_tier("universal")
+        assert all(s.tier == "rare" for s in LS.by_tier("rare"))
+        assert all(s.category == "stdio"
+                   for s in LS.by_category("stdio"))
+
+
+class TestClosure:
+    def test_closure_includes_direct_syscalls(self):
+        closure = LS.syscall_footprint_closure()
+        assert "clone" in closure["fork"]
+
+    def test_closure_follows_internal_calls(self):
+        closure = LS.syscall_footprint_closure()
+        # printf -> vfprintf -> write
+        assert "write" in closure["printf"]
+
+    def test_closure_is_superset_of_direct(self):
+        closure = LS.syscall_footprint_closure()
+        for symbol in LS.LIBC_SYMBOLS:
+            assert set(symbol.syscalls) <= closure[symbol.name]
+
+    def test_closure_complete_for_all_symbols(self):
+        closure = LS.syscall_footprint_closure()
+        assert set(closure) == {s.name for s in LS.LIBC_SYMBOLS}
+
+    def test_popen_closure_contains_spawn_path(self):
+        closure = LS.syscall_footprint_closure()
+        assert {"pipe2", "clone", "execve"} <= closure["popen"]
+
+
+class TestVariants:
+    def test_four_variants(self):
+        assert set(VARIANTS) == {"eglibc", "uClibc", "musl", "dietlibc"}
+
+    def test_eglibc_fully_compatible(self):
+        assert EGLIBC.missing() == []
+
+    def test_uclibc_missing_fortify(self):
+        assert not UCLIBC.supports("__printf_chk")
+        assert UCLIBC.supports("printf")
+
+    def test_uclibc_missing_stdio_internals(self):
+        assert not UCLIBC.supports("__uflow")
+        assert not UCLIBC.supports("_IO_getc")
+
+    def test_musl_missing_named_symbols(self):
+        assert not MUSL.supports("secure_getenv")
+        assert not MUSL.supports("random_r")
+        assert MUSL.supports("getenv")
+
+    def test_musl_missing_sun_rpc(self):
+        assert not MUSL.supports("clnt_create")
+        assert not MUSL.supports("xdr_int")
+
+    def test_dietlibc_missing_ubiquitous_symbols(self):
+        # the paper's examples of why dietlibc scores 0%
+        assert not DIETLIBC.supports("memalign")
+        assert not DIETLIBC.supports("stpcpy")
+        assert not DIETLIBC.supports("__cxa_finalize")
+
+    def test_dietlibc_keeps_posix_core(self):
+        for name in ("printf", "read", "write", "strlen", "socket"):
+            assert DIETLIBC.supports(name), name
+
+    def test_variant_sizes_ordered(self):
+        assert (len(DIETLIBC.supported) < len(MUSL.supported)
+                <= len(UCLIBC.supported) + 200)
+        assert len(EGLIBC.supported) > len(UCLIBC.supported)
+
+    def test_nominal_counts_match_paper(self):
+        assert EGLIBC.nominal_export_count == 2198
+        assert UCLIBC.nominal_export_count == 1867
+        assert MUSL.nominal_export_count == 1890
+        assert DIETLIBC.nominal_export_count == 962
+
+
+class TestNormalization:
+    def test_chk_normalizes(self):
+        assert normalize_symbol("__printf_chk") == "printf"
+        assert normalize_symbol("__memcpy_chk") == "memcpy"
+
+    def test_plain_symbol_unchanged(self):
+        assert normalize_symbol("printf") == "printf"
+
+    def test_footprint_normalization(self):
+        normalized = normalize_footprint(
+            frozenset({"__printf_chk", "malloc"}))
+        assert normalized == frozenset({"printf", "malloc"})
+
+    def test_normalization_idempotent(self):
+        once = normalize_footprint(frozenset(LS.FORTIFY_MAP))
+        assert normalize_footprint(once) == once
+
+
+class TestRuntimeModels:
+    def test_startup_attribution_nonempty(self):
+        assert len(RT.STARTUP_SYSCALLS) >= 35
+
+    def test_table5_rows_present(self):
+        # spot rows from the paper's Table 5
+        assert RT.STARTUP_SYSCALLS["access"] == ("ld.so",)
+        assert RT.STARTUP_SYSCALLS["arch_prctl"] == ("ld.so",)
+        assert "libpthread" in RT.STARTUP_SYSCALLS["set_robust_list"]
+        assert "libc" in RT.STARTUP_SYSCALLS["futex"]
+        assert "ld.so" in RT.STARTUP_SYSCALLS["mmap"]
+
+    def test_footprint_views_consistent(self):
+        assert RT.LD_SO_FOOTPRINT <= set(RT.STARTUP_SYSCALLS)
+        assert RT.LIBC_STARTUP_FOOTPRINT <= set(RT.STARTUP_SYSCALLS)
+
+    def test_startup_syscalls_exist_in_table(self):
+        for name in RT.STARTUP_SYSCALLS:
+            assert name in ALL_NAMES, name
+
+    def test_runtime_library_exports_have_footprints(self):
+        for library in RT.RUNTIME_LIBRARIES:
+            for export, syscalls in library.export_syscalls.items():
+                assert export in library.exports
+                for name in syscalls:
+                    assert name in ALL_NAMES, (export, name)
+
+    def test_pthread_create_uses_clone(self):
+        assert "clone" in RT.LIBPTHREAD.export_syscalls[
+            "pthread_create"]
+
+    def test_librt_owns_posix_mqueues(self):
+        assert "mq_open" in RT.LIBRT.exports
+        assert "mq_open" not in {s.name for s in LS.LIBC_SYMBOLS}
+
+    def test_library_only_syscalls_reference_table1(self):
+        assert RT.LIBRARY_ONLY_SYSCALLS["mbind"] == (
+            "libnuma", "libopenblas")
+        assert "libc" in RT.LIBRARY_ONLY_SYSCALLS["clock_settime"]
+
+
+class TestCatalogueFamilies:
+    """Coverage of the curated symbol families."""
+
+    def test_family_budgets(self):
+        from collections import Counter
+        counts = Counter(s.category for s in LS.LIBC_SYMBOLS)
+        # The big real-world families are all present at plausible size.
+        assert counts["stdio"] >= 80
+        assert counts["io"] >= 100
+        assert counts["wchar"] >= 80
+        assert counts["rpc"] >= 80
+        assert counts["network"] >= 60
+        assert counts["string"] >= 40
+
+    def test_fortify_family_size(self):
+        assert 60 <= len(LS.FORTIFY_MAP) <= 90
+
+    def test_stdio_internals_marked_common(self):
+        for name in ("__uflow", "__overflow", "_IO_getc", "_IO_putc"):
+            assert LS.BY_NAME[name].category == "stdio-internal"
+
+    def test_sun_rpc_marked_rare_or_unused(self):
+        for symbol in LS.by_category("rpc"):
+            assert symbol.tier in ("rare", "unused")
+
+    def test_universal_families(self):
+        for name in ("printf", "malloc", "memcpy", "open", "read"):
+            assert LS.BY_NAME[name].tier == "universal"
+
+    def test_every_symbol_has_category(self):
+        assert all(s.category for s in LS.LIBC_SYMBOLS)
+
+    def test_vectored_wrappers_map_to_their_syscall(self):
+        assert LS.BY_NAME["ioctl"].syscalls == ("ioctl",)
+        assert LS.BY_NAME["fcntl"].syscalls == ("fcntl",)
+        assert LS.BY_NAME["prctl"].syscalls == ("prctl",)
+
+    def test_at_variants_map_to_at_syscalls(self):
+        assert LS.BY_NAME["faccessat"].syscalls == ("faccessat",)
+        assert LS.BY_NAME["openat"].syscalls == ("openat",)
+        assert LS.BY_NAME["mkdirat"].syscalls == ("mkdirat",)

@@ -1,0 +1,296 @@
+"""Metric tests: the Appendix A formulas on hand-built inputs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.footprint import Footprint
+from repro.metrics import (
+    api_importance,
+    band_counts,
+    close_over_dependencies,
+    completeness_curve,
+    count_at_least,
+    dependents_index,
+    first_rank_reaching,
+    importance_of_packages,
+    importance_table,
+    inverted_cdf,
+    missing_apis_report,
+    ranked,
+    stages,
+    supported_packages,
+    unweighted_api_importance,
+    unweighted_importance_table,
+    weighted_completeness,
+)
+from repro.packages import Package, PopularityContest, Repository
+
+
+def _fp(*syscalls):
+    return Footprint.build(syscalls=syscalls)
+
+
+def _setup():
+    footprints = {
+        "everywhere": _fp("read", "write"),
+        "common": _fp("read", "socket"),
+        "niche": _fp("read", "kexec_load"),
+    }
+    popcon = PopularityContest(1000, {
+        "everywhere": 1000, "common": 500, "niche": 10})
+    return footprints, popcon
+
+
+class TestApiImportance:
+    def test_formula_single_user(self):
+        footprints, popcon = _setup()
+        assert api_importance("kexec_load", footprints,
+                              popcon) == pytest.approx(0.01)
+
+    def test_formula_multiple_users_independence(self):
+        footprints, popcon = _setup()
+        # read used by all three: 1 - (1-1)(1-0.5)(1-0.01) = 1
+        assert api_importance("read", footprints, popcon) == 1.0
+        # socket used only by 'common'
+        assert api_importance("socket", footprints,
+                              popcon) == pytest.approx(0.5)
+
+    def test_unused_api_is_zero(self):
+        footprints, popcon = _setup()
+        assert api_importance("mbind", footprints, popcon) == 0.0
+
+    def test_importance_of_packages_matches_appendix(self):
+        popcon = PopularityContest(100, {"a": 50, "b": 50})
+        # 1 - (1-0.5)(1-0.5)
+        assert importance_of_packages(["a", "b"],
+                                      popcon) == pytest.approx(0.75)
+
+    def test_table_matches_single_queries(self):
+        footprints, popcon = _setup()
+        table = importance_table(footprints, popcon)
+        for api in ("read", "write", "socket", "kexec_load"):
+            assert table[api] == pytest.approx(
+                api_importance(api, footprints, popcon))
+
+    def test_universe_adds_zero_entries(self):
+        footprints, popcon = _setup()
+        table = importance_table(footprints, popcon,
+                                 universe=["mbind"])
+        assert table["mbind"] == 0.0
+
+    def test_dependents_index(self):
+        footprints, _ = _setup()
+        index = dependents_index(footprints)
+        assert set(index["read"]) == {"everywhere", "common", "niche"}
+        assert index["socket"] == ["common"]
+
+    def test_ranked_descending(self):
+        values = {"a": 0.2, "b": 0.9, "c": 0.9}
+        assert ranked(values) == [("b", 0.9), ("c", 0.9), ("a", 0.2)]
+
+    def test_count_at_least(self):
+        values = {"a": 0.2, "b": 0.9, "c": 1.0}
+        assert count_at_least(values, 0.9) == 2
+
+    def test_band_counts(self):
+        values = {"a": 1.0, "b": 0.5, "c": 0.05, "d": 0.0}
+        bands = band_counts(values)
+        assert bands == {"indispensable": 1, "mid": 1, "low": 1,
+                         "unused": 1}
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=20))
+    def test_importance_bounded(self, probabilities):
+        popcon = PopularityContest(10 ** 6, {
+            f"p{i}": int(p * 10 ** 6)
+            for i, p in enumerate(probabilities)})
+        value = importance_of_packages(
+            [f"p{i}" for i in range(len(probabilities))], popcon)
+        assert 0.0 <= value <= 1.0
+        assert value >= max(
+            popcon.install_probability(f"p{i}")
+            for i in range(len(probabilities))) - 1e-9
+
+
+class TestUnweighted:
+    def test_fraction_of_packages(self):
+        footprints, _ = _setup()
+        table = unweighted_importance_table(footprints)
+        assert table["read"] == 1.0
+        assert table["socket"] == pytest.approx(1 / 3)
+
+    def test_single_api_matches_table(self):
+        footprints, _ = _setup()
+        assert unweighted_api_importance(
+            "socket", footprints) == pytest.approx(1 / 3)
+
+    def test_empty_footprints(self):
+        assert unweighted_importance_table({}, universe=["x"]) == {
+            "x": 0.0}
+
+
+class TestWeightedCompleteness:
+    def test_full_support(self):
+        footprints, popcon = _setup()
+        value = weighted_completeness(
+            ["read", "write", "socket", "kexec_load"], footprints,
+            popcon)
+        assert value == pytest.approx(1.0)
+
+    def test_no_support(self):
+        footprints, popcon = _setup()
+        assert weighted_completeness([], footprints, popcon) == 0.0
+
+    def test_partial_support_weighting(self):
+        footprints, popcon = _setup()
+        value = weighted_completeness(["read", "write"], footprints,
+                                      popcon)
+        # only 'everywhere' works: 1000 / (1000 + 500 + 10)
+        assert value == pytest.approx(1000 / 1510)
+
+    def test_dependency_closure_drops_dependents(self):
+        footprints = {
+            "app": _fp("read"),
+            "lib": _fp("mbind"),
+        }
+        popcon = PopularityContest(100, {"app": 100, "lib": 50})
+        repo = Repository([
+            Package("app", depends=["lib"]),
+            Package("lib"),
+        ])
+        value = weighted_completeness(["read"], footprints, popcon,
+                                      repo)
+        assert value == 0.0  # lib unsupported -> app unsupported
+
+    def test_ignore_empty_excludes_library_packages(self):
+        footprints = {
+            "app": _fp("read"),
+            "data-only": Footprint.EMPTY,
+        }
+        popcon = PopularityContest(100, {"app": 50, "data-only": 100})
+        value = weighted_completeness(["read"], footprints, popcon)
+        assert value == pytest.approx(1.0)
+        diluted = weighted_completeness(["read"], footprints, popcon,
+                                        ignore_empty=False)
+        assert diluted == pytest.approx(1.0)  # empty is also supported
+
+    def test_empty_dep_does_not_invalidate(self):
+        footprints = {
+            "app": _fp("read"),
+            "libdata": Footprint.EMPTY,
+        }
+        popcon = PopularityContest(100, {"app": 100, "libdata": 100})
+        repo = Repository([
+            Package("app", depends=["libdata"]),
+            Package("libdata"),
+        ])
+        assert weighted_completeness(
+            ["read"], footprints, popcon, repo) == pytest.approx(1.0)
+
+    def test_supported_packages_concrete(self):
+        footprints, popcon = _setup()
+        supported = supported_packages(["read", "write"], footprints)
+        assert supported == {"everywhere"}
+
+    def test_missing_apis_report_ranks_by_weight(self):
+        footprints, popcon = _setup()
+        report = missing_apis_report(["read", "write"], footprints,
+                                     popcon)
+        apis = [api for api, _ in report]
+        assert apis[0] == "socket"  # blocks 0.5 weight vs 0.01
+
+
+class TestCloseOverDependencies:
+    def test_cascading_removal(self):
+        repo = Repository([
+            Package("a", depends=["b"]),
+            Package("b", depends=["c"]),
+            Package("c"),
+        ])
+        result = close_over_dependencies({"a", "b"}, repo)
+        assert result == set()  # c unsupported cascades up
+
+    def test_assume_supported(self):
+        repo = Repository([
+            Package("a", depends=["c"]),
+            Package("c"),
+        ])
+        result = close_over_dependencies({"a"}, repo,
+                                         assume_supported={"c"})
+        assert result == {"a"}
+
+    def test_cycle_safe(self):
+        repo = Repository([
+            Package("a", depends=["b"]),
+            Package("b", depends=["a"]),
+        ])
+        assert close_over_dependencies({"a", "b"}, repo) == {"a", "b"}
+
+
+class TestCurveAndStages:
+    def _inputs(self):
+        footprints = {
+            "tiny": _fp("read"),
+            "mid": _fp("read", "write"),
+            "big": _fp("read", "write", "socket"),
+        }
+        popcon = PopularityContest(100, {"tiny": 100, "mid": 60,
+                                         "big": 30})
+        return footprints, popcon
+
+    def test_curve_monotone_nondecreasing(self):
+        footprints, popcon = self._inputs()
+        curve = completeness_curve(footprints, popcon)
+        values = [point.completeness for point in curve]
+        assert values == sorted(values)
+
+    def test_curve_ends_at_one(self):
+        footprints, popcon = self._inputs()
+        curve = completeness_curve(footprints, popcon)
+        assert curve[-1].completeness == pytest.approx(1.0)
+
+    def test_curve_orders_by_usage_within_ties(self):
+        footprints, popcon = self._inputs()
+        curve = completeness_curve(footprints, popcon)
+        apis = [point.api for point in curve]
+        assert apis[0] == "read"  # used by all three packages
+
+    def test_curve_step_values(self):
+        footprints, popcon = self._inputs()
+        curve = completeness_curve(footprints, popcon)
+        # after 'read': tiny supported (100/190)
+        assert curve[0].completeness == pytest.approx(100 / 190)
+        # after 'write': + mid
+        assert curve[1].completeness == pytest.approx(160 / 190)
+
+    def test_first_rank_reaching(self):
+        footprints, popcon = self._inputs()
+        curve = completeness_curve(footprints, popcon)
+        assert first_rank_reaching(curve, 0.5) == 1
+        assert first_rank_reaching(curve, 0.999) == 3
+        assert first_rank_reaching(curve, 2.0) is None
+
+    def test_stages_cover_curve(self):
+        footprints, popcon = self._inputs()
+        curve = completeness_curve(footprints, popcon)
+        result = stages(curve, thresholds=(0.5, 0.8, 1.0))
+        assert result[0].end <= result[-1].end
+        assert result[-1].completeness == pytest.approx(1.0)
+
+    def test_inverted_cdf_sorted(self):
+        values = inverted_cdf({"a": 0.1, "b": 1.0, "c": 0.5})
+        assert values == [1.0, 0.5, 0.1]
+
+    @given(st.dictionaries(
+        st.sampled_from(["read", "write", "open", "close", "mmap"]),
+        st.floats(0.01, 1.0), min_size=1, max_size=5))
+    def test_curve_monotone_property(self, weights):
+        footprints = {
+            f"pkg-{api}": _fp(api, "read") for api in weights
+        }
+        popcon = PopularityContest(1000, {
+            f"pkg-{api}": max(1, int(w * 1000))
+            for api, w in weights.items()})
+        curve = completeness_curve(footprints, popcon)
+        values = [point.completeness for point in curve]
+        assert all(a <= b + 1e-12
+                   for a, b in zip(values, values[1:]))

@@ -1,0 +1,209 @@
+"""Tests for package, repository, and popcon models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packages import (
+    BinaryArtifact,
+    BinaryKind,
+    GroundTruthFootprint,
+    Package,
+    PopularityContest,
+    Repository,
+    UnknownPackageError,
+)
+
+
+def _pkg(name, depends=(), artifacts=()):
+    return Package(name, depends=list(depends),
+                   artifacts=list(artifacts))
+
+
+class TestBinaryArtifact:
+    def test_elf_kinds(self):
+        assert BinaryArtifact("a", BinaryKind.ELF_EXECUTABLE).is_elf
+        assert BinaryArtifact("a", BinaryKind.SHARED_LIBRARY).is_elf
+        assert BinaryArtifact("a", BinaryKind.ELF_STATIC).is_elf
+        assert not BinaryArtifact("a", BinaryKind.SCRIPT).is_elf
+
+    def test_executability(self):
+        assert BinaryArtifact("a", BinaryKind.ELF_EXECUTABLE).is_executable
+        assert BinaryArtifact("a", BinaryKind.SCRIPT).is_executable
+        assert not BinaryArtifact(
+            "a", BinaryKind.SHARED_LIBRARY).is_executable
+
+
+class TestPackage:
+    def test_selectors(self):
+        package = _pkg("demo", artifacts=[
+            BinaryArtifact("bin/x", BinaryKind.ELF_EXECUTABLE),
+            BinaryArtifact("lib/y.so", BinaryKind.SHARED_LIBRARY),
+            BinaryArtifact("bin/z", BinaryKind.SCRIPT,
+                           interpreter="python"),
+        ])
+        assert len(package.executables()) == 2
+        assert len(package.libraries()) == 1
+        assert len(package.elf_artifacts()) == 2
+
+    def test_artifact_lookup(self):
+        artifact = BinaryArtifact("bin/x", BinaryKind.ELF_EXECUTABLE)
+        package = _pkg("demo", artifacts=[artifact])
+        assert package.artifact("bin/x") is artifact
+        assert package.artifact("missing") is None
+
+
+class TestGroundTruth:
+    def test_merged_unions_sorted(self):
+        a = GroundTruthFootprint(syscalls=("read", "open"))
+        b = GroundTruthFootprint(syscalls=("write",),
+                                 ioctls=("TCGETS",))
+        merged = a.merged(b)
+        assert merged.syscalls == ("open", "read", "write")
+        assert merged.ioctls == ("TCGETS",)
+
+
+class TestRepository:
+    def test_add_and_lookup(self):
+        repo = Repository([_pkg("a")])
+        assert "a" in repo
+        assert repo.get("a").name == "a"
+
+    def test_duplicate_rejected(self):
+        repo = Repository([_pkg("a")])
+        with pytest.raises(ValueError):
+            repo.add(_pkg("a"))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(UnknownPackageError):
+            Repository().get("ghost")
+
+    def test_len_and_iter(self):
+        repo = Repository([_pkg("a"), _pkg("b")])
+        assert len(repo) == 2
+        assert {p.name for p in repo} == {"a", "b"}
+
+    def test_dependency_closure_transitive(self):
+        repo = Repository([
+            _pkg("app", depends=["libfoo"]),
+            _pkg("libfoo", depends=["libc"]),
+            _pkg("libc"),
+        ])
+        assert repo.dependency_closure("app") == {
+            "app", "libfoo", "libc"}
+
+    def test_dependency_closure_handles_cycles(self):
+        repo = Repository([
+            _pkg("a", depends=["b"]),
+            _pkg("b", depends=["a"]),
+        ])
+        assert repo.dependency_closure("a") == {"a", "b"}
+
+    def test_dependency_closure_ignores_unknown(self):
+        repo = Repository([_pkg("a", depends=["virtual-thing"])])
+        assert repo.dependency_closure("a") == {"a"}
+
+    def test_reverse_dependencies(self):
+        repo = Repository([
+            _pkg("app", depends=["lib"]),
+            _pkg("tool", depends=["lib"]),
+            _pkg("lib"),
+        ])
+        assert repo.reverse_dependencies("lib") == {"app", "tool"}
+
+    def test_validate_reports_dangling(self):
+        repo = Repository([_pkg("a", depends=["missing"])])
+        assert repo.validate_dependencies() == ["a -> missing"]
+
+    def test_topological_order_dependencies_first(self):
+        repo = Repository([
+            _pkg("app", depends=["lib"]),
+            _pkg("lib", depends=["libc"]),
+            _pkg("libc"),
+        ])
+        order = [p.name for p in repo.topological_order()]
+        assert order.index("libc") < order.index("lib") < order.index(
+            "app")
+
+    def test_topological_order_total(self):
+        repo = Repository([_pkg(f"p{i}") for i in range(5)])
+        assert len(repo.topological_order()) == 5
+
+
+class TestPopcon:
+    def test_probability(self):
+        popcon = PopularityContest(100, {"a": 25})
+        assert popcon.install_probability("a") == 0.25
+        assert popcon.install_probability("unknown") == 0.0
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            PopularityContest(10, {"a": 11})
+        with pytest.raises(ValueError):
+            PopularityContest(10, {"a": -1})
+        with pytest.raises(ValueError):
+            PopularityContest(0)
+
+    def test_set_installations(self):
+        popcon = PopularityContest(10)
+        popcon.set_installations("x", 5)
+        assert popcon.installations("x") == 5
+        with pytest.raises(ValueError):
+            popcon.set_installations("x", 11)
+
+    def test_most_installed_ordering(self):
+        popcon = PopularityContest(100, {"a": 5, "b": 80, "c": 80})
+        top = popcon.most_installed(2)
+        assert top == [("b", 80), ("c", 80)]
+
+    def test_contains_and_len(self):
+        popcon = PopularityContest(10, {"a": 1})
+        assert "a" in popcon
+        assert len(popcon) == 1
+
+
+class TestPopconSynthesis:
+    def test_essential_at_total(self):
+        popcon = PopularityContest.synthesize(
+            ["core", "x", "y"], total_installations=1000,
+            essential=["core"])
+        assert popcon.installations("core") == 1000
+
+    def test_pinned_probability(self):
+        popcon = PopularityContest.synthesize(
+            ["a", "b"], total_installations=10000,
+            pinned={"a": 0.36})
+        assert popcon.install_probability("a") == pytest.approx(
+            0.36, abs=0.001)
+
+    def test_deterministic(self):
+        names = [f"pkg{i}" for i in range(50)]
+        first = PopularityContest.synthesize(names, 10000, seed=3)
+        second = PopularityContest.synthesize(names, 10000, seed=3)
+        assert all(first.installations(n) == second.installations(n)
+                   for n in names)
+
+    def test_seed_changes_assignment(self):
+        names = [f"pkg{i}" for i in range(50)]
+        first = PopularityContest.synthesize(names, 10000, seed=1)
+        second = PopularityContest.synthesize(names, 10000, seed=2)
+        assert any(first.installations(n) != second.installations(n)
+                   for n in names)
+
+    @given(st.integers(1, 400))
+    def test_counts_always_valid(self, n):
+        names = [f"p{i}" for i in range(n)]
+        popcon = PopularityContest.synthesize(
+            names, total_installations=100000)
+        for name in names:
+            count = popcon.installations(name)
+            assert 1 <= count <= 100000
+
+    def test_heavy_tail_shape(self):
+        names = [f"p{i}" for i in range(300)]
+        popcon = PopularityContest.synthesize(names, 10 ** 6)
+        probabilities = sorted(
+            (popcon.install_probability(n) for n in names),
+            reverse=True)
+        # Zipf-like: head near the cap, median far below the head.
+        assert probabilities[0] > 0.5
+        assert probabilities[150] < probabilities[0] / 10

@@ -1,0 +1,117 @@
+"""Pipeline integration tests over a tiny fresh ecosystem."""
+
+import pytest
+
+from repro.analysis import AnalysisPipeline
+from repro.analysis.footprint import Footprint
+from repro.packages import (
+    BinaryArtifact,
+    BinaryKind,
+    Package,
+    Repository,
+)
+from repro.synth import build_ecosystem
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tiny_config):
+    ecosystem = build_ecosystem(tiny_config)
+    result = AnalysisPipeline(ecosystem.repository,
+                              ecosystem.interpreters).run()
+    return ecosystem, result
+
+
+class TestPipelineOutputs:
+    def test_every_package_has_footprint_entry(self, tiny_result):
+        ecosystem, result = tiny_result
+        for package in ecosystem.repository:
+            assert package.name in result.package_footprints
+
+    def test_full_footprints_superset(self, tiny_result):
+        _, result = tiny_result
+        for name, footprint in result.package_footprints.items():
+            full = result.package_full_footprints[name]
+            assert footprint.syscalls <= full.syscalls
+
+    def test_libc6_exec_footprint_empty_full_rich(self, tiny_result):
+        _, result = tiny_result
+        assert result.footprint_of("libc6").is_empty
+        assert len(result.full_footprint_of("libc6").syscalls) > 150
+
+    def test_script_packages_inherit_interpreter(self, tiny_result):
+        ecosystem, result = tiny_result
+        script_pkgs = [p for p in ecosystem.repository
+                       if p.category == "scripts"]
+        assert script_pkgs
+        for package in script_pkgs[:5]:
+            interps = {a.interpreter for a in package.artifacts
+                       if a.kind == BinaryKind.SCRIPT}
+            footprint = result.footprint_of(package.name)
+            for interp in interps:
+                provider = ecosystem.interpreters[interp]
+                provider_fp = result.footprint_of(provider)
+                assert provider_fp.syscalls <= footprint.syscalls
+
+    def test_type_stats_totals(self, tiny_result):
+        ecosystem, result = tiny_result
+        stats = result.type_stats
+        elf = sum(len(p.elf_artifacts()) for p in ecosystem.repository)
+        assert stats.elf_binaries == elf
+        assert (stats.elf_shared_libraries
+                + stats.elf_dynamic_executables
+                + stats.elf_static) == elf
+
+    def test_unresolved_sites_nonzero(self, tiny_result):
+        # the syscall(2) wrapper and qemu guarantee some
+        _, result = tiny_result
+        assert result.unresolved_sites > 0
+
+    def test_signature_stats_shape(self, tiny_result):
+        _, result = tiny_result
+        distinct, unique = result.syscall_signature_stats()
+        assert 0 < unique <= distinct <= len(
+            result.package_footprints)
+
+    def test_direct_syscall_binaries_counted(self, tiny_result):
+        _, result = tiny_result
+        assert 0 < result.binaries_with_direct_syscalls < (
+            result.binaries_analyzed)
+
+
+class TestHandBuiltRepository:
+    def _exe(self, functions, needed=("libc.so.6",)):
+        spec = BinarySpec(name="x", functions=functions,
+                          needed=needed, entry_function="main")
+        return BinaryArtifact("bin/x", BinaryKind.ELF_EXECUTABLE,
+                              data=generate_binary(spec))
+
+    def test_minimal_repo_without_libc(self):
+        package = Package("standalone", artifacts=[self._exe(
+            [FunctionSpec(name="main",
+                          direct_syscalls=("read", "exit_group"))],
+            needed=())])
+        result = AnalysisPipeline(Repository([package])).run()
+        footprint = result.footprint_of("standalone")
+        assert footprint.syscalls == frozenset({"read", "exit_group"})
+
+    def test_script_without_interpreter_provider(self):
+        package = Package("scripts-only", artifacts=[
+            BinaryArtifact("bin/s", BinaryKind.SCRIPT,
+                           data=b"#!/usr/bin/ghost\n",
+                           interpreter="ghost")])
+        result = AnalysisPipeline(Repository([package])).run()
+        assert result.footprint_of("scripts-only").is_empty
+
+    def test_interpreter_inference_from_basename(self):
+        interp_pkg = Package("mylang", artifacts=[self._exe(
+            [FunctionSpec(name="main",
+                          direct_syscalls=("futex",))], needed=())])
+        interp_pkg.artifacts[0].name = "bin/mylang"
+        script_pkg = Package("uses-mylang", artifacts=[
+            BinaryArtifact("bin/tool", BinaryKind.SCRIPT,
+                           data=b"#!/usr/bin/mylang\n",
+                           interpreter="mylang")])
+        result = AnalysisPipeline(
+            Repository([interp_pkg, script_pkg])).run()
+        assert "futex" in result.footprint_of("uses-mylang").syscalls

@@ -1,0 +1,93 @@
+"""Text rendering tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.reports import (
+    format_percent,
+    render_key_points,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.5) == "50.0%"
+        assert format_percent(1.0) == "100.0%"
+        assert format_percent(0.123, digits=2) == "12.30%"
+
+    def test_zero(self):
+        assert format_percent(0.0) == "0.0%"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("name", "value"),
+                            [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # all rows same padded width for first column
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_title(self):
+        text = render_table(("h",), [("x",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+    def test_wide_cells_expand_columns(self):
+        text = render_table(("h",), [("a-very-long-cell",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell")
+
+    @given(st.lists(st.tuples(st.text(max_size=8),
+                              st.integers(0, 999)),
+                    min_size=1, max_size=10))
+    def test_row_count_preserved(self, rows):
+        text = render_table(("x", "y"), rows)
+        assert len(text.splitlines()) == 2 + len(rows)
+
+
+class TestRenderSeries:
+    def test_empty(self):
+        assert "(empty series)" in render_series([])
+
+    def test_shape_and_footer(self):
+        text = render_series([1.0, 0.5, 0.0], width=10, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 2  # grid + axis + footer
+        assert lines[-2].startswith("+")
+        assert "x: 1..3" in lines[-1]
+
+    def test_title_first(self):
+        text = render_series([1.0], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_monotone_series_monotone_columns(self):
+        text = render_series([1.0] * 10 + [0.0] * 10,
+                             width=10, height=4)
+        top_row = text.splitlines()[0]
+        # head columns filled at the top, tail columns empty
+        assert top_row[1] == "#"
+        assert top_row[10] == " "
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=200))
+    def test_never_crashes(self, values):
+        assert render_series(values, width=20, height=5)
+
+
+class TestRenderKeyPoints:
+    def test_alignment(self):
+        text = render_key_points([("a", 1), ("longer label", 2)])
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        text = render_key_points([("k", "v")], title="Points")
+        assert text.splitlines()[0] == "Points"
+
+    def test_empty(self):
+        assert render_key_points([]) == ""

@@ -1,0 +1,157 @@
+"""Cross-binary footprint resolution tests."""
+
+from repro.analysis.binary import BinaryAnalysis
+from repro.analysis.resolver import FootprintResolver, LibraryIndex
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+def _lib(soname, functions, needed=("libc.so.6",)):
+    spec = BinarySpec(name=soname, functions=functions, needed=needed,
+                      soname=soname, entry_function=None)
+    return BinaryAnalysis.from_bytes(generate_binary(spec), name=soname)
+
+
+def _exe(functions, needed):
+    spec = BinarySpec(name="exe", functions=functions, needed=needed,
+                      entry_function="main")
+    return BinaryAnalysis.from_bytes(generate_binary(spec), name="exe")
+
+
+def _mini_libc():
+    return _lib("libc.so.6", [
+        FunctionSpec(name="__libc_start_main",
+                     direct_syscalls=("arch_prctl", "exit_group"),
+                     exported=True),
+        FunctionSpec(name="printf", direct_syscalls=("write",),
+                     exported=True),
+        FunctionSpec(name="fopen", direct_syscalls=("open", "fstat"),
+                     exported=True),
+        FunctionSpec(name="popen",
+                     direct_syscalls=("pipe",),
+                     local_calls=("fopen",), exported=True),
+    ], needed=())
+
+
+class TestResolution:
+    def setup_method(self):
+        self.index = LibraryIndex()
+        self.index.add(_mini_libc())
+        self.resolver = FootprintResolver(self.index)
+
+    def test_export_direct_effects(self):
+        footprint = self.resolver.resolve_export("libc.so.6", "printf")
+        assert footprint.syscalls == frozenset({"write"})
+
+    def test_export_internal_call_closure(self):
+        footprint = self.resolver.resolve_export("libc.so.6", "popen")
+        assert {"pipe", "open", "fstat"} <= footprint.syscalls
+
+    def test_unknown_export_empty(self):
+        assert self.resolver.resolve_export(
+            "libc.so.6", "missing").is_empty
+
+    def test_unknown_library_empty(self):
+        assert self.resolver.resolve_export(
+            "libghost.so", "anything").is_empty
+
+    def test_executable_resolution(self):
+        exe = _exe([FunctionSpec(name="main",
+                                 libc_calls=("printf", "popen"))],
+                   needed=("libc.so.6",))
+        footprint = self.resolver.resolve_executable(exe)
+        assert {"write", "pipe", "open"} <= footprint.syscalls
+
+    def test_libc_symbols_recorded(self):
+        exe = _exe([FunctionSpec(name="main",
+                                 libc_calls=("printf",))],
+                   needed=("libc.so.6",))
+        footprint = self.resolver.resolve_executable(exe)
+        assert "printf" in footprint.libc_symbols
+
+    def test_memoization_returns_same_result(self):
+        first = self.resolver.resolve_export("libc.so.6", "popen")
+        second = self.resolver.resolve_export("libc.so.6", "popen")
+        assert first == second
+
+
+class TestCrossLibrary:
+    def test_transitive_dependency_resolution(self):
+        index = LibraryIndex()
+        index.add(_mini_libc())
+        index.add(_lib("libmid.so.1", [
+            FunctionSpec(name="mid_api", libc_calls=("fopen",),
+                         direct_syscalls=("getpid",), exported=True),
+        ]))
+        resolver = FootprintResolver(index)
+        exe = _exe(
+            [FunctionSpec(name="main", libc_calls=("mid_api",))],
+            needed=("libmid.so.1",))
+        footprint = resolver.resolve_executable(exe)
+        assert {"getpid", "open", "fstat"} <= footprint.syscalls
+        # mid_api is not a libc symbol
+        assert "mid_api" not in footprint.libc_symbols
+        assert "fopen" in footprint.libc_symbols
+
+    def test_provider_search_via_needed_closure(self):
+        """exe needs libmid; libmid needs libc; exe calls printf."""
+        index = LibraryIndex()
+        index.add(_mini_libc())
+        index.add(_lib("libmid.so.1", [
+            FunctionSpec(name="mid_api", exported=True)]))
+        resolver = FootprintResolver(index)
+        exe = _exe([FunctionSpec(name="main", libc_calls=("printf",))],
+                   needed=("libmid.so.1",))
+        footprint = resolver.resolve_executable(exe)
+        assert "write" in footprint.syscalls
+
+    def test_mutual_recursion_between_libraries(self):
+        index = LibraryIndex()
+        index.add(_lib("liba.so", [
+            FunctionSpec(name="a_fn", libc_calls=("b_fn",),
+                         direct_syscalls=("read",), exported=True),
+        ], needed=("libb.so",)))
+        index.add(_lib("libb.so", [
+            FunctionSpec(name="b_fn", libc_calls=("a_fn",),
+                         direct_syscalls=("write",), exported=True),
+        ], needed=("liba.so",)))
+        resolver = FootprintResolver(index)
+        footprint = resolver.resolve_export("liba.so", "a_fn")
+        assert "read" in footprint.syscalls
+        assert "write" in footprint.syscalls
+
+    def test_pseudo_files_attached_to_executable(self):
+        index = LibraryIndex()
+        index.add(_mini_libc())
+        resolver = FootprintResolver(index)
+        spec = BinarySpec(
+            name="exe",
+            functions=[FunctionSpec(name="main",
+                                    strings=("/dev/null",))],
+            needed=("libc.so.6",), entry_function="main")
+        exe = BinaryAnalysis.from_bytes(generate_binary(spec))
+        footprint = resolver.resolve_executable(exe)
+        assert "/dev/null" in footprint.pseudo_files
+
+
+class TestLibraryIndex:
+    def test_soname_required(self):
+        index = LibraryIndex()
+        exe = _exe([FunctionSpec(name="main")], needed=())
+        try:
+            index.add(exe)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_providers_of(self):
+        index = LibraryIndex()
+        index.add(_mini_libc())
+        assert index.providers_of("printf") == ["libc.so.6"]
+        assert index.providers_of("ghost") == []
+
+    def test_contains_and_sonames(self):
+        index = LibraryIndex()
+        index.add(_mini_libc())
+        assert "libc.so.6" in index
+        assert index.sonames() == ["libc.so.6"]

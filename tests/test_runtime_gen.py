@@ -1,0 +1,129 @@
+"""Synthetic runtime libraries: analysis must recover the catalogue."""
+
+import pytest
+
+from repro.analysis.binary import BinaryAnalysis
+from repro.analysis.resolver import FootprintResolver, LibraryIndex
+from repro.libc import runtime as RT
+from repro.libc import symbols as LS
+from repro.synth.runtime_gen import generate_runtime_images
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    images = generate_runtime_images()
+    index = LibraryIndex()
+    analyses = {}
+    for soname, image in images.items():
+        analysis = BinaryAnalysis.from_bytes(image, name=soname)
+        analyses[soname] = analysis
+        index.add(analysis)
+    return images, analyses, FootprintResolver(index)
+
+
+class TestImages(object):
+    def test_all_five_images(self, runtime):
+        images, _, _ = runtime
+        assert set(images) == {
+            "libc.so.6", "ld-linux-x86-64.so.2", "libpthread.so.0",
+            "librt.so.1", "libdl.so.2"}
+
+    def test_libc_exports_catalogue(self, runtime):
+        _, analyses, _ = runtime
+        exported = analyses["libc.so.6"].exported
+        for symbol in LS.LIBC_SYMBOLS:
+            assert symbol.name in exported, symbol.name
+
+    def test_pthread_exports(self, runtime):
+        _, analyses, _ = runtime
+        exported = analyses["libpthread.so.0"].exported
+        assert "pthread_create" in exported
+        assert "pthread_mutex_lock" in exported
+
+    def test_ld_so_has_no_dependencies(self, runtime):
+        _, analyses, _ = runtime
+        assert analyses["ld-linux-x86-64.so.2"].needed == []
+
+
+class TestFootprintRecovery:
+    """Disassembly of the generated libc recovers the ground-truth
+    closure for every export — the central validation of the
+    generator/analyzer pair."""
+
+    def test_every_export_closure_matches(self, runtime):
+        from repro.synth.runtime_gen import (
+            LIBC_FCNTL_OPS,
+            LIBC_IOCTL_OPS,
+            LIBC_PRCTL_OPS,
+        )
+        _, _, resolver = runtime
+        closure = LS.syscall_footprint_closure()
+        mismatches = []
+        for symbol in LS.LIBC_SYMBOLS:
+            if symbol.name == "syscall":
+                continue  # intentionally unresolvable
+            recovered = resolver.resolve_export("libc.so.6",
+                                                symbol.name)
+            expected = set(closure[symbol.name])
+            if symbol.name == "__libc_start_main":
+                expected |= set(RT.LIBC_STARTUP_FOOTPRINT)
+            # Wrappers carrying vectored opcodes call the vectored
+            # syscall itself (and internal callees inherit them).
+            for callee in {symbol.name} | set(symbol.internal_calls):
+                if callee in LIBC_IOCTL_OPS:
+                    expected.add("ioctl")
+                if callee in LIBC_FCNTL_OPS:
+                    expected.add("fcntl")
+                if callee in LIBC_PRCTL_OPS:
+                    expected.add("prctl")
+            if recovered.syscalls != frozenset(expected):
+                mismatches.append(
+                    (symbol.name, recovered.syscalls, expected))
+        assert not mismatches, mismatches[:5]
+
+    def test_syscall_wrapper_is_unresolved(self, runtime):
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("libc.so.6", "syscall")
+        assert footprint.syscalls == frozenset()
+        assert footprint.unresolved_sites >= 1
+
+    def test_isatty_carries_tcgets(self, runtime):
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("libc.so.6", "isatty")
+        assert "TCGETS" in footprint.ioctls
+
+    def test_lockf_carries_lock_fcntls(self, runtime):
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("libc.so.6", "lockf")
+        assert {"F_GETLK", "F_SETLK", "F_SETLKW"} <= footprint.fcntls
+
+    def test_pthread_setname_carries_prctl(self, runtime):
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("libpthread.so.0",
+                                            "pthread_setname_np")
+        assert "PR_SET_NAME" in footprint.prctls
+        assert "prctl" in footprint.syscalls
+
+    def test_ld_so_startup_footprint(self, runtime):
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("ld-linux-x86-64.so.2",
+                                            "_dl_start")
+        assert frozenset(RT.LD_SO_FOOTPRINT) <= footprint.syscalls
+
+    def test_librt_mq_footprints(self, runtime):
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("librt.so.1", "mq_open")
+        assert "mq_open" in footprint.syscalls
+
+    def test_startup_includes_sched_pair(self, runtime):
+        """Table 6's Graphene lever: the spawn-path scheduling calls
+        are part of every program's startup closure."""
+        _, _, resolver = runtime
+        footprint = resolver.resolve_export("libc.so.6",
+                                            "__libc_start_main")
+        assert "sched_setscheduler" in footprint.syscalls
+        assert "sched_setparam" in footprint.syscalls
+
+    def test_libc_pseudo_files(self, runtime):
+        _, analyses, _ = runtime
+        assert "/dev/ptmx" in analyses["libc.so.6"].pseudo_files

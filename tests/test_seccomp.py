@@ -1,0 +1,218 @@
+"""seccomp-BPF generation and interpreter tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.footprint import Footprint
+from repro.security.seccomp import (
+    AUDIT_ARCH_X86_64,
+    BpfInsn,
+    BpfInterpreter,
+    BpfProgramError,
+    JEQ_K,
+    LD_W_ABS,
+    RET_K,
+    SECCOMP_DATA_ARCH_OFFSET,
+    SECCOMP_DATA_NR_OFFSET,
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL,
+    SeccompData,
+    generate_policy,
+)
+from repro.syscalls.table import SYSCALLS, number_of
+
+
+class TestInterpreter:
+    def test_ret_immediate(self):
+        program = [BpfInsn(RET_K, 0, 0, 42)]
+        assert BpfInterpreter(program).run(SeccompData(nr=0)) == 42
+
+    def test_load_and_compare_taken(self):
+        program = [
+            BpfInsn(LD_W_ABS, 0, 0, SECCOMP_DATA_NR_OFFSET),
+            BpfInsn(JEQ_K, 0, 1, 5),
+            BpfInsn(RET_K, 0, 0, 1),   # matched
+            BpfInsn(RET_K, 0, 0, 2),   # not matched
+        ]
+        assert BpfInterpreter(program).run(SeccompData(nr=5)) == 1
+        assert BpfInterpreter(program).run(SeccompData(nr=6)) == 2
+
+    def test_arch_load(self):
+        program = [
+            BpfInsn(LD_W_ABS, 0, 0, SECCOMP_DATA_ARCH_OFFSET),
+            BpfInsn(JEQ_K, 0, 1, AUDIT_ARCH_X86_64),
+            BpfInsn(RET_K, 0, 0, 1),
+            BpfInsn(RET_K, 0, 0, 0),
+        ]
+        interp = BpfInterpreter(program)
+        assert interp.run(SeccompData(nr=0)) == 1
+        assert interp.run(SeccompData(nr=0, arch=0x1234)) == 0
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(BpfProgramError):
+            BpfInterpreter([])
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(BpfProgramError):
+            BpfInterpreter([BpfInsn(LD_W_ABS, 0, 0, 0)])
+
+    def test_out_of_range_jump_rejected(self):
+        program = [
+            BpfInsn(JEQ_K, 10, 0, 1),
+            BpfInsn(RET_K, 0, 0, 0),
+        ]
+        with pytest.raises(BpfProgramError):
+            BpfInterpreter(program)
+
+    def test_unsupported_opcode_raises_at_run(self):
+        program = [BpfInsn(0x07, 0, 0, 0), BpfInsn(RET_K, 0, 0, 0)]
+        with pytest.raises(BpfProgramError):
+            BpfInterpreter(program).run(SeccompData(nr=0))
+
+
+class TestPolicyGeneration:
+    def test_allowed_set_exact(self):
+        policy = generate_policy(Footprint.build(
+            syscalls=["read", "write", "openat"]))
+        allowed = {entry.name for entry in SYSCALLS
+                   if policy.allows(entry.number)}
+        assert allowed == {"read", "write", "openat"}
+
+    def test_empty_footprint_denies_everything(self):
+        policy = generate_policy(Footprint.EMPTY)
+        for number in (0, 1, 59, 231):
+            assert not policy.allows(number)
+
+    def test_arch_mismatch_killed(self):
+        policy = generate_policy(Footprint.build(syscalls=["read"]))
+        assert policy.evaluate(0, arch=0x40000003) == SECCOMP_RET_KILL
+
+    def test_default_action_configurable(self):
+        policy = generate_policy(Footprint.build(syscalls=["read"]),
+                                 default_action=SECCOMP_RET_ERRNO)
+        assert policy.evaluate(1) == SECCOMP_RET_ERRNO
+        assert policy.evaluate(0) == SECCOMP_RET_ALLOW
+
+    def test_extra_syscalls_added(self):
+        policy = generate_policy(Footprint.build(syscalls=["read"]),
+                                 extra_syscalls=["write"])
+        assert policy.allows(1)
+
+    def test_unknown_names_ignored(self):
+        policy = generate_policy(Footprint.build(
+            syscalls=["read", "ioctl:TCGETS-not-a-syscall"]))
+        assert policy.allows(0)
+
+    def test_render_contains_program(self):
+        policy = generate_policy(Footprint.build(syscalls=["read"]))
+        text = policy.render()
+        assert "ld [0]" in text
+        assert "ret" in text
+
+    def test_program_length_linear(self):
+        small = generate_policy(Footprint.build(syscalls=["read"]))
+        large = generate_policy(Footprint.build(
+            syscalls=[s.name for s in SYSCALLS[:100]]))
+        assert len(large.program) > len(small.program)
+
+    @given(st.sets(st.sampled_from(
+        [s.name for s in SYSCALLS if s.is_live]), min_size=1,
+        max_size=40))
+    def test_policy_sound_and_complete(self, names):
+        """For any footprint: allow exactly the footprint, kill the
+        rest — the security property §6 relies on."""
+        policy = generate_policy(Footprint.build(syscalls=names))
+        expected_numbers = {number_of(name) for name in names}
+        for entry in SYSCALLS:
+            allowed = policy.allows(entry.number)
+            assert allowed == (entry.number in expected_numbers)
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_arbitrary_numbers_never_crash(self, number):
+        policy = generate_policy(Footprint.build(syscalls=["read"]))
+        verdict = policy.evaluate(number)
+        assert verdict in (SECCOMP_RET_ALLOW, SECCOMP_RET_KILL)
+
+
+class TestTreePolicy:
+    """Balanced-BST compilation (libseccomp-style)."""
+
+    def _numbers(self, policy):
+        return {entry.number for entry in SYSCALLS
+                if policy.allows(entry.number)}
+
+    def test_equivalent_to_linear_small(self):
+        from repro.security.seccomp import generate_tree_policy
+        fp = Footprint.build(syscalls=["read", "write", "futex"])
+        linear = generate_policy(fp)
+        tree = generate_tree_policy(fp)
+        assert self._numbers(linear) == self._numbers(tree)
+
+    def test_equivalent_full_table(self):
+        from repro.security.seccomp import generate_tree_policy
+        fp = Footprint.build(syscalls=[s.name for s in SYSCALLS])
+        linear = generate_policy(fp)
+        tree = generate_tree_policy(fp)
+        assert self._numbers(linear) == self._numbers(tree)
+
+    def test_empty_footprint_denies(self):
+        from repro.security.seccomp import generate_tree_policy
+        tree = generate_tree_policy(Footprint.EMPTY)
+        assert not tree.allows(0)
+
+    def test_arch_check_enforced(self):
+        from repro.security.seccomp import generate_tree_policy
+        tree = generate_tree_policy(Footprint.build(syscalls=["read"]))
+        assert tree.evaluate(0, arch=0x1234) == SECCOMP_RET_KILL
+
+    def test_logarithmic_evaluation(self):
+        from repro.security.seccomp import generate_tree_policy
+        fp = Footprint.build(
+            syscalls=[s.name for s in SYSCALLS if s.is_live][:270])
+        linear = generate_policy(fp)
+        tree = generate_tree_policy(fp)
+        nr = 322  # worst case for the linear ladder
+        _, linear_steps = BpfInterpreter(linear.program).run_with_stats(
+            SeccompData(nr=nr))
+        _, tree_steps = BpfInterpreter(tree.program).run_with_stats(
+            SeccompData(nr=nr))
+        assert tree_steps * 5 < linear_steps
+
+    @given(st.sets(st.sampled_from(
+        [s.name for s in SYSCALLS]), min_size=1, max_size=60))
+    def test_random_subsets_equivalent(self, names):
+        from repro.security.seccomp import generate_tree_policy
+        fp = Footprint.build(syscalls=names)
+        linear = generate_policy(fp)
+        tree = generate_tree_policy(fp)
+        for entry in SYSCALLS:
+            assert linear.allows(entry.number) == tree.allows(
+                entry.number)
+
+
+class TestAttackSurfaceReport:
+    def test_empty_archive(self):
+        from repro.security.seccomp import attack_surface_report
+        report = attack_surface_report({})
+        assert report["packages"] == 0
+
+    def test_statistics_computed(self):
+        from repro.security.seccomp import attack_surface_report
+        footprints = {
+            "small": Footprint.build(syscalls=["read", "write"]),
+            "large": Footprint.build(
+                syscalls=[s.name for s in SYSCALLS[:100]]),
+            "empty": Footprint.EMPTY,
+        }
+        report = attack_surface_report(footprints)
+        assert report["packages"] == 2
+        assert report["max_whitelist"] == 100
+        assert report["median_whitelist"] in (2, 100)
+        assert 0 < report["mean_reachable_fraction"] < 1
+
+    def test_on_measured_archive(self, study):
+        from repro.security.seccomp import attack_surface_report
+        report = attack_surface_report(study.footprints)
+        assert report["packages"] > 200
+        assert report["mean_reachable_fraction"] < 0.5

@@ -1,0 +1,151 @@
+"""libc strip analysis and variant-adoption report tests."""
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.packages import PopularityContest
+from repro.security.libc_strip import (
+    function_sizes,
+    relocation_layout,
+    strip_report,
+)
+from repro.security.variant_report import (
+    adoption_summary,
+    all_variant_tables,
+    build_rows,
+    old_new_rows,
+    portability_rows,
+    power_rows,
+    secure_variant_rows,
+)
+from repro.synth.runtime_gen import generate_libc
+
+
+@pytest.fixture(scope="module")
+def libc_image():
+    return generate_libc()
+
+
+class TestFunctionSizes:
+    def test_sizes_positive_and_cover_exports(self, libc_image):
+        sizes = function_sizes(libc_image)
+        assert len(sizes) > 1200
+        assert all(size >= 0 for size in sizes.values())
+        assert sizes.get("printf", 0) > 0
+
+    def test_total_size_below_text(self, libc_image):
+        from repro.elf import ElfReader
+        sizes = function_sizes(libc_image)
+        text = ElfReader(libc_image).section(".text")
+        assert sum(sizes.values()) <= text.sh_size
+
+
+class TestStripReport:
+    def test_threshold_one_keeps_only_universal(self, libc_image):
+        importance = {"printf": 1.0, "clnt_create": 0.0}
+        footprints = {"p": Footprint.build(libc_symbols=["printf"])}
+        popcon = PopularityContest(10, {"p": 10})
+        report = strip_report(libc_image, importance, footprints,
+                              popcon, threshold=0.9)
+        assert report.retained_symbols == 1
+        assert report.miss_probability == pytest.approx(0.0)
+
+    def test_miss_probability_reflects_demand(self, libc_image):
+        importance = {"printf": 1.0}
+        footprints = {
+            "supported": Footprint.build(libc_symbols=["printf"]),
+            "needs-more": Footprint.build(
+                libc_symbols=["printf", "clnt_create"]),
+        }
+        popcon = PopularityContest(100, {"supported": 90,
+                                         "needs-more": 10})
+        report = strip_report(libc_image, importance, footprints,
+                              popcon, threshold=0.9)
+        assert report.miss_probability == pytest.approx(0.1)
+
+    def test_retained_fraction_bounds(self, libc_image):
+        importance = {name: 1.0 for name in function_sizes(libc_image)}
+        footprints = {"p": Footprint.EMPTY}
+        popcon = PopularityContest(10, {"p": 10})
+        report = strip_report(libc_image, importance, footprints,
+                              popcon)
+        assert report.retained_fraction == pytest.approx(1.0)
+
+
+class TestRelocationLayout:
+    def test_sorted_prefix_smaller_than_scatter(self):
+        importance = {f"s{i}": (1.0 if i < 100 else 0.0)
+                      for i in range(1000)}
+        layout = relocation_layout(importance)
+        assert layout.hot_entries == 100
+        assert layout.hot_pages < layout.unsorted_pages
+        assert layout.pages_saved > 0
+
+    def test_no_hot_entries(self):
+        layout = relocation_layout({"a": 0.0, "b": 0.1})
+        assert layout.hot_pages == 0
+        assert layout.unsorted_pages == 0
+
+    def test_table_bytes(self):
+        layout = relocation_layout({f"s{i}": 1.0 for i in range(100)})
+        assert layout.table_bytes == 100 * 24
+
+
+class TestVariantRows:
+    _usage = {
+        "access": 0.74, "faccessat": 0.006,
+        "setuid": 0.15, "setresuid": 0.99,
+        "wait4": 0.6, "waitid": 0.002,
+        "preadv": 0.001, "readv": 0.62,
+        "pipe2": 0.40, "pipe": 0.50,
+        "getdents": 0.99, "getdents64": 0.001,
+        "fork": 0.001, "vfork": 0.99, "clone": 0.99,
+        "tkill": 0.005, "tgkill": 0.99,
+        "utime": 0.08, "utimes": 0.17,
+        "pread64": 0.27, "read": 0.99,
+        "dup3": 0.08, "dup2": 0.99, "dup": 0.66,
+        "select": 0.61, "pselect6": 0.04,
+        "chdir": 0.44, "fchdir": 0.02,
+        "recvmsg": 0.68, "recvfrom": 0.53,
+        "sendmsg": 0.42, "sendto": 0.71,
+    }
+
+    def test_secure_rows_shape(self):
+        rows = secure_variant_rows(self._usage)
+        access_row = next(r for r in rows if r.left == "access")
+        assert access_row.right == "faccessat"
+        assert access_row.left_usage > access_row.right_usage
+
+    def test_old_new_rows(self):
+        rows = old_new_rows(self._usage)
+        wait_row = next(r for r in rows if r.left == "wait4")
+        assert not wait_row.preferred_is_adopted
+
+    def test_portability_rows_portable_wins(self):
+        rows = portability_rows(self._usage)
+        readv_row = next(r for r in rows if r.left == "preadv")
+        assert readv_row.preferred_is_adopted
+
+    def test_power_rows(self):
+        rows = power_rows(self._usage)
+        read_row = next(r for r in rows if r.left == "pread64")
+        assert read_row.right_usage > read_row.left_usage
+
+    def test_all_tables_keys(self):
+        tables = all_variant_tables(self._usage)
+        assert set(tables) == {"secure", "old-new", "portability",
+                               "power"}
+
+    def test_missing_usage_defaults_zero(self):
+        from repro.syscalls.variants import SECURE_VARIANTS
+        rows = build_rows(SECURE_VARIANTS, {})
+        assert all(row.left_usage == 0.0 for row in rows)
+        assert all(row.right_usage == 0.0 for row in rows)
+
+    def test_adoption_summary(self):
+        summary = adoption_summary(self._usage)
+        assert summary.race_prone_directory_usage >= 0.7
+        assert summary.atomic_variant_usage < 0.01
+        assert "wait4" in summary.deprecated_with_users
+        assert (summary.portable_preferred_count
+                + summary.linux_specific_preferred_count) == 7

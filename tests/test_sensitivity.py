@@ -1,0 +1,96 @@
+"""Bootstrap sensitivity tests."""
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.metrics.sensitivity import (
+    ImportanceInterval,
+    bootstrap_importance,
+    survey_noise_report,
+    unstable_bands,
+)
+from repro.packages import PopularityContest
+
+
+def _fp(*syscalls):
+    return Footprint.build(syscalls=syscalls)
+
+
+class TestIntervals:
+    def _inputs(self, total=10_000):
+        footprints = {
+            "popular": _fp("read"),
+            "borderline": _fp("borderline_api"),
+        }
+        popcon = PopularityContest(total, {
+            "popular": total, "borderline": total // 10})
+        return footprints, popcon
+
+    def test_point_estimate_matches_formula(self):
+        footprints, popcon = self._inputs()
+        intervals = bootstrap_importance(footprints, popcon,
+                                         n_boot=50, seed=1)
+        assert intervals["read"].point == pytest.approx(1.0)
+        assert intervals["borderline_api"].point == pytest.approx(0.1)
+
+    def test_interval_contains_point(self):
+        footprints, popcon = self._inputs()
+        for ci in bootstrap_importance(footprints, popcon,
+                                       n_boot=100, seed=2).values():
+            assert ci.low - 1e-9 <= ci.point <= ci.high + 1e-9
+
+    def test_certain_package_has_tight_interval(self):
+        footprints, popcon = self._inputs()
+        ci = bootstrap_importance(footprints, popcon, n_boot=100,
+                                  seed=3)["read"]
+        assert ci.width < 1e-9
+
+    def test_small_survey_wider_than_large(self):
+        footprints_small, popcon_small = self._inputs(total=200)
+        footprints_large, popcon_large = self._inputs(total=2_000_000)
+        small = bootstrap_importance(footprints_small, popcon_small,
+                                     n_boot=150, seed=4)
+        large = bootstrap_importance(footprints_large, popcon_large,
+                                     n_boot=150, seed=4)
+        assert (small["borderline_api"].width
+                > large["borderline_api"].width)
+
+    def test_deterministic_given_seed(self):
+        footprints, popcon = self._inputs()
+        first = bootstrap_importance(footprints, popcon, n_boot=50,
+                                     seed=7)
+        second = bootstrap_importance(footprints, popcon, n_boot=50,
+                                      seed=7)
+        assert first["borderline_api"] == second["borderline_api"]
+
+
+class TestBands:
+    def test_band_classification(self):
+        ci = ImportanceInterval("x", point=0.5, low=0.4, high=0.6)
+        assert ci.band() == "mid"
+        assert ci.band_stable
+
+    def test_band_instability_detected(self):
+        ci = ImportanceInterval("x", point=0.09, low=0.05, high=0.15)
+        assert not ci.band_stable
+
+    def test_unstable_bands_sorted_by_width(self):
+        intervals = {
+            "a": ImportanceInterval("a", 0.09, 0.01, 0.2),
+            "b": ImportanceInterval("b", 0.09, 0.08, 0.12),
+            "c": ImportanceInterval("c", 0.5, 0.4, 0.6),
+        }
+        unstable = unstable_bands(intervals)
+        assert [ci.api for ci in unstable] == ["a", "b"]
+
+
+class TestOnMeasuredArchive:
+    def test_survey_noise_is_small_at_popcon_scale(self, study):
+        """With 2.9M survey installations the paper's bands are robust
+        to sampling noise: very few band-unstable APIs."""
+        measured, unstable, widest = survey_noise_report(
+            dict(list(study.footprints.items())[:150]),
+            study.popcon, n_boot=60, seed=5)
+        assert measured > 100
+        assert widest < 0.05
+        assert unstable <= measured * 0.05

@@ -1,0 +1,51 @@
+"""JSON export tests."""
+
+import json
+from dataclasses import dataclass
+
+from repro.reports.serialize import experiment_to_json, to_jsonable
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    names: frozenset
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_bytes_hex(self):
+        assert to_jsonable(b"\x7fELF") == "7f454c46"
+
+    def test_dataclass_fields(self):
+        result = to_jsonable(_Point(1, frozenset({"b", "a"})))
+        assert result == {"x": 1, "names": ["a", "b"]}
+
+    def test_nested_containers(self):
+        value = {"k": [(1, 2), frozenset({"z"})]}
+        assert to_jsonable(value) == {"k": [[1, 2], ["z"]]}
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({3: "x"}) == {"3": "x"}
+
+    def test_depth_guard(self):
+        nested = []
+        cursor = nested
+        for _ in range(40):
+            inner = []
+            cursor.append(inner)
+            cursor = inner
+        result = to_jsonable(nested)
+        assert json.dumps(result)  # still serializable
+
+
+class TestExperimentExport:
+    def test_every_experiment_serializes(self, study):
+        for output in study.all_experiments():
+            text = experiment_to_json(output)
+            payload = json.loads(text)
+            assert payload["experiment"] == output.experiment
+            assert payload["rendered"] == output.rendered

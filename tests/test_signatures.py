@@ -1,0 +1,101 @@
+"""Footprint-signature index tests (§6)."""
+
+from repro.analysis.footprint import Footprint
+from repro.analysis.signatures import SignatureIndex
+
+
+def _fp(*syscalls):
+    return Footprint.build(syscalls=syscalls)
+
+
+def _index():
+    return SignatureIndex({
+        "alpha": _fp("read", "write"),
+        "beta": _fp("read", "write"),          # shares alpha's set
+        "gamma": _fp("read", "write", "socket"),
+        "delta": _fp("read", "write", "socket", "bind", "listen"),
+        "empty": Footprint.EMPTY,              # excluded
+    })
+
+
+class TestStatistics:
+    def test_len_excludes_empty(self):
+        assert len(_index()) == 4
+
+    def test_distinct_count(self):
+        assert _index().distinct_count() == 3
+
+    def test_unique_count(self):
+        assert _index().unique_count() == 2  # gamma, delta
+
+    def test_signature_of(self):
+        index = _index()
+        assert index.signature_of("gamma") == frozenset(
+            {"read", "write", "socket"})
+        assert index.signature_of("missing") == frozenset()
+
+    def test_ambiguity_report(self):
+        report = _index().ambiguity_report()
+        assert len(report) == 1
+        signature, packages = report[0]
+        assert packages == ["alpha", "beta"]
+
+
+class TestIdentification:
+    def test_exact_unique(self):
+        result = _index().identify({"read", "write", "socket"})
+        assert result.exact == "gamma"
+        assert result.identified
+
+    def test_exact_ambiguous(self):
+        result = _index().identify({"read", "write"})
+        assert result.exact is None
+        assert result.exact_matches == ("alpha", "beta")
+
+    def test_partial_observation_candidates(self):
+        # A trace that only saw read+socket: gamma covers with 1
+        # extra call, delta with 3 — gamma ranks first.
+        result = _index().identify({"read", "socket"})
+        assert result.exact is None
+        assert result.candidates[0] == "gamma"
+        assert "delta" in result.candidates
+        assert "alpha" not in result.candidates  # does not cover
+
+    def test_unknown_syscall_no_candidates(self):
+        result = _index().identify({"read", "kexec_load"})
+        assert result.candidates == ()
+
+    def test_empty_observation(self):
+        result = _index().identify(set())
+        assert result.exact is None
+        assert result.candidates == ()
+
+
+class TestOnMeasuredArchive:
+    def test_stats_match_result_view(self, study):
+        index = study.signature_index()
+        distinct, unique = study.result.syscall_signature_stats()
+        # result counts empty-footprint packages as one signature class
+        assert abs(index.distinct_count() - distinct) <= 1
+        assert abs(index.unique_count() - unique) <= 1
+
+    def test_unique_packages_identifiable(self, study):
+        index = study.signature_index()
+        identified = 0
+        for package in list(study.footprints)[:80]:
+            signature = index.signature_of(package)
+            if not signature:
+                continue
+            result = index.identify(signature)
+            if result.exact == package:
+                identified += 1
+        assert identified >= 20
+
+    def test_dynamic_trace_identifies_runner(self, study):
+        """§6's application end-to-end: observe a run, identify the
+        program from its syscalls."""
+        index = study.signature_index()
+        trace = study.trace_package("qemu-user")
+        result = index.identify(trace.syscall_set())
+        assert result.candidates
+        assert result.candidates[0] == "qemu-user"

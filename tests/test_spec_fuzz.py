@@ -1,0 +1,155 @@
+"""Property-based end-to-end fuzz: arbitrary binary specifications
+round-trip through generation, disassembly, and resolution.
+
+For any randomly drawn program shape — call chains, direct syscalls,
+vectored opcodes, embedded pseudo-paths, libc imports — the analysis
+pipeline must recover exactly the planted footprint.  This is the
+strongest statement of generator/analyzer agreement in the suite.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.binary import BinaryAnalysis
+from repro.analysis.dynamic import trace_executable
+from repro.analysis.resolver import FootprintResolver, LibraryIndex
+from repro.syscalls import fcntl_ops, ioctl, prctl_ops
+from repro.syscalls.table import LIVE_NAMES
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+_SYSCALL_NAMES = sorted(LIVE_NAMES)
+_IOCTL_NAMES = [d.name for d in ioctl.IOCTLS[:80]]
+_FCNTL_NAMES = [d.name for d in fcntl_ops.FCNTLS]
+_PRCTL_NAMES = [d.name for d in prctl_ops.PRCTLS]
+_PSEUDO_PATHS = ["/dev/null", "/proc/cpuinfo", "/proc/%d/stat",
+                 "/sys/block", "/dev/urandom"]
+
+# A miniature libc with known per-export syscalls (including the
+# vectored wrappers, which generated call sites jump through).
+_MINI_LIBC_EXPORTS = {
+    "printf": ("write",),
+    "fopen": ("open", "fstat"),
+    "nanosleep": ("nanosleep",),
+    "socket": ("socket",),
+    "ioctl": ("ioctl",),
+    "fcntl": ("fcntl",),
+    "prctl": ("prctl",),
+}
+
+
+def _mini_libc_index() -> LibraryIndex:
+    functions = [
+        FunctionSpec(name=name, direct_syscalls=syscalls,
+                     exported=True)
+        for name, syscalls in _MINI_LIBC_EXPORTS.items()
+    ]
+    spec = BinarySpec(name="libc.so.6", functions=functions,
+                      needed=(), soname="libc.so.6",
+                      entry_function=None)
+    index = LibraryIndex()
+    index.add(BinaryAnalysis.from_bytes(generate_binary(spec)))
+    return index
+
+
+_INDEX = _mini_libc_index()
+
+_function_strategy = st.fixed_dictionaries({
+    "syscalls": st.lists(st.sampled_from(_SYSCALL_NAMES), max_size=5,
+                         unique=True),
+    "ioctls": st.lists(st.sampled_from(_IOCTL_NAMES), max_size=3,
+                       unique=True),
+    "fcntls": st.lists(st.sampled_from(_FCNTL_NAMES), max_size=2,
+                       unique=True),
+    "prctls": st.lists(st.sampled_from(_PRCTL_NAMES), max_size=2,
+                       unique=True),
+    "imports": st.lists(
+        st.sampled_from(["printf", "fopen", "nanosleep", "socket"]),
+        max_size=3, unique=True),
+    "strings": st.lists(st.sampled_from(_PSEUDO_PATHS), max_size=2,
+                        unique=True),
+})
+
+
+def _build_spec(function_plans, pointer_chain):
+    """Functions form a call chain fn0 -> fn1 -> ...; optionally the
+    last edge is a function pointer instead of a direct call."""
+    functions = []
+    count = len(function_plans)
+    for position, plan in enumerate(function_plans):
+        is_last = position == count - 1
+        next_name = None if is_last else f"fn{position + 1}"
+        use_pointer = pointer_chain and not is_last and position == 0
+        functions.append(FunctionSpec(
+            name=f"fn{position}",
+            direct_syscalls=tuple(plan["syscalls"]),
+            ioctl_ops=tuple(plan["ioctls"]),
+            fcntl_ops=tuple(plan["fcntls"]),
+            prctl_ops=tuple(plan["prctls"]),
+            libc_calls=tuple(plan["imports"]),
+            strings=tuple(plan["strings"]),
+            local_calls=(() if (next_name is None or use_pointer)
+                         else (next_name,)),
+            take_pointer_of=((next_name,) if use_pointer
+                             and next_name else ()),
+        ))
+    return BinarySpec(name="fuzzed", functions=functions,
+                      needed=("libc.so.6",), entry_function="fn0")
+
+
+def _expected(function_plans):
+    syscalls, ioctls, fcntls, prctls, pseudo, libc = (
+        set(), set(), set(), set(), set(), set())
+    for plan in function_plans:
+        syscalls |= set(plan["syscalls"])
+        ioctls |= set(plan["ioctls"])
+        fcntls |= set(plan["fcntls"])
+        prctls |= set(plan["prctls"])
+        pseudo |= {p.replace("%s", "%d").replace("%u", "%d")
+                   for p in plan["strings"]}
+        for name in plan["imports"]:
+            libc.add(name)
+            syscalls |= set(_MINI_LIBC_EXPORTS[name])
+        if plan["ioctls"]:
+            syscalls.add("ioctl")
+            libc.add("ioctl")
+        if plan["fcntls"]:
+            syscalls.add("fcntl")
+            libc.add("fcntl")
+        if plan["prctls"]:
+            syscalls.add("prctl")
+            libc.add("prctl")
+    return syscalls, ioctls, fcntls, prctls, pseudo, libc
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_function_strategy, min_size=1, max_size=4),
+       st.booleans())
+def test_random_spec_round_trips(function_plans, pointer_chain):
+    spec = _build_spec(function_plans, pointer_chain)
+    analysis = BinaryAnalysis.from_bytes(generate_binary(spec))
+    resolver = FootprintResolver(_INDEX)
+    footprint = resolver.resolve_executable(analysis)
+    (syscalls, ioctls, fcntls, prctls,
+     pseudo, libc) = _expected(function_plans)
+    assert syscalls <= footprint.syscalls
+    assert footprint.ioctls == frozenset(ioctls)
+    assert footprint.fcntls == frozenset(fcntls)
+    assert footprint.prctls == frozenset(prctls)
+    assert frozenset(pseudo) <= footprint.pseudo_files
+    assert frozenset(libc) <= footprint.libc_symbols
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_function_strategy, min_size=1, max_size=3))
+def test_random_spec_dynamic_subset_of_static(function_plans):
+    """For any generated program, a dynamic run observes a subset of
+    the static footprint (the §2.3 invariant, fuzzed)."""
+    spec = _build_spec(function_plans, pointer_chain=False)
+    analysis = BinaryAnalysis.from_bytes(generate_binary(spec))
+    resolver = FootprintResolver(_INDEX)
+    static = resolver.resolve_executable(analysis)
+    trace = trace_executable(analysis, _INDEX)
+    observed = {name for name in trace.syscall_names()
+                if name not in ("exit", "exit_group")}
+    assert observed <= static.syscalls | {"ioctl", "fcntl", "prctl"}

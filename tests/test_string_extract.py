@@ -1,0 +1,83 @@
+"""Pseudo-file string extraction tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.string_extract import (
+    extract_pseudo_files,
+    is_pseudo_file_string,
+    normalize_pattern,
+)
+
+
+class TestRecognition:
+    def test_plain_paths(self):
+        assert is_pseudo_file_string("/dev/null")
+        assert is_pseudo_file_string("/proc/cpuinfo")
+        assert is_pseudo_file_string("/sys/devices/system/cpu")
+
+    def test_printf_patterns(self):
+        assert is_pseudo_file_string("/proc/%d/cmdline")
+        assert is_pseudo_file_string("/proc/%s/status")
+
+    def test_rejects_non_pseudo(self):
+        assert not is_pseudo_file_string("/etc/passwd")
+        assert not is_pseudo_file_string("/usr/bin/env")
+        assert not is_pseudo_file_string("proc/cpuinfo")
+        assert not is_pseudo_file_string("")
+
+    def test_rejects_free_text_mentioning_proc(self):
+        assert not is_pseudo_file_string("/proc read failed!")
+        assert not is_pseudo_file_string("/dev ice busy")
+
+    def test_rejects_free_text_with_percent(self):
+        # percent placeholders are fine, prose with percents is not
+        assert not is_pseudo_file_string("/proc/100% used")
+        assert not is_pseudo_file_string("/dev/%q")
+
+    def test_accepts_roots(self):
+        assert is_pseudo_file_string("/proc")
+        assert is_pseudo_file_string("/dev")
+
+    def test_version_like_components(self):
+        assert is_pseudo_file_string("/dev/input/event0")
+        assert is_pseudo_file_string("/sys/class/net")
+
+
+class TestNormalization:
+    def test_placeholder_unification(self):
+        assert normalize_pattern("/proc/%u/stat") == "/proc/%d/stat"
+        assert normalize_pattern("/proc/%s/stat") == "/proc/%d/stat"
+
+    def test_trailing_slash_dropped(self):
+        assert normalize_pattern("/dev/pts/") == "/dev/pts"
+
+    def test_plain_path_unchanged(self):
+        assert normalize_pattern("/dev/null") == "/dev/null"
+
+    @given(st.sampled_from(["%d", "%s", "%u", "%x"]))
+    def test_all_placeholders_normalize_same(self, placeholder):
+        assert (normalize_pattern(f"/proc/{placeholder}/fd")
+                == "/proc/%d/fd")
+
+
+class TestExtraction:
+    def test_filters_and_normalizes(self):
+        strings = ["hello world", "/dev/null", "/proc/%u/maps",
+                   "/etc/hosts", "/sys/block/"]
+        found = extract_pseudo_files(strings)
+        assert found == frozenset({"/dev/null", "/proc/%d/maps",
+                                   "/sys/block"})
+
+    def test_empty_input(self):
+        assert extract_pseudo_files([]) == frozenset()
+
+    def test_deduplicates_equivalent_patterns(self):
+        found = extract_pseudo_files(["/proc/%d/stat",
+                                      "/proc/%u/stat"])
+        assert found == frozenset({"/proc/%d/stat"})
+
+    @given(st.lists(st.text(max_size=30), max_size=30))
+    def test_never_crashes(self, strings):
+        result = extract_pseudo_files(strings)
+        for path in result:
+            assert path.startswith(("/proc", "/dev", "/sys"))

@@ -1,0 +1,424 @@
+"""Calibration tests: every experiment reproduces the paper's shape.
+
+These assert the *bands* the paper reports — who wins, by roughly what
+factor, where crossovers fall — on the session-scoped reduced study.
+Exact values differ (our substrate is a synthetic archive), and
+EXPERIMENTS.md records paper-vs-measured side by side.
+"""
+
+import pytest
+
+from repro.libc import symbols as LS
+from repro.syscalls.table import ALL_NAMES
+
+
+class TestFig1BinaryTypes:
+    def test_elf_share_near_60_percent(self, study):
+        data = study.fig1_binary_types().data
+        elf_row = data["rows"][0]
+        share = float(elf_row[2].rstrip("%"))
+        assert 50 <= share <= 70  # paper: 60%
+
+    def test_shell_is_top_interpreter(self, study):
+        data = study.fig1_binary_types().data
+        script_rows = [r for r in data["rows"][1:]]
+        assert script_rows[0][0] == "script (dash)"  # paper: 15%
+
+    def test_library_executable_split(self, study):
+        stats = study.result.type_stats
+        lib_share = (stats.elf_shared_libraries
+                     / max(1, stats.elf_binaries))
+        assert 0.35 <= lib_share <= 0.60  # paper: 52%
+
+    def test_static_binaries_rare(self, study):
+        stats = study.result.type_stats
+        static_share = stats.elf_static / max(1, stats.elf_binaries)
+        assert static_share < 0.02  # paper: 0.38%
+
+
+class TestFig2SyscallImportance:
+    def test_indispensable_head_near_224(self, study):
+        bands = study.fig2_syscall_importance().data["bands"]
+        assert 195 <= bands["indispensable"] <= 245  # paper: 224
+
+    def test_over_10_percent_near_257(self, study):
+        at_least_10 = study.fig2_syscall_importance().data[
+            "at_least_10"]
+        assert 230 <= at_least_10 <= 280  # paper: 257
+
+    def test_nonzero_near_301(self, study):
+        nonzero = study.fig2_syscall_importance().data["nonzero"]
+        assert 285 <= nonzero <= 315  # paper: ~301
+
+    def test_unused_near_18(self, study):
+        bands = study.fig2_syscall_importance().data["bands"]
+        assert 15 <= bands["unused"] <= 22  # paper: 18
+
+    def test_series_is_inverted_cdf(self, study):
+        series = study.fig2_syscall_importance().data["series"]
+        assert series == sorted(series, reverse=True)
+        assert series[0] >= 0.999
+        assert series[-1] == 0.0
+
+
+class TestTab1LibraryOnly:
+    def test_paper_rows_present(self, study):
+        rows = {row[0]: row for row in
+                study.tab1_library_only_syscalls().data}
+        for name in ("clock_settime", "iopl", "ioperm", "signalfd4"):
+            assert name in rows, name
+            assert rows[name][1] == "100.0%"
+
+    def test_mbind_attributed_to_numa_libraries(self, study):
+        rows = {row[0]: row for row in
+                study.tab1_library_only_syscalls().data}
+        assert "libnuma" in rows["mbind"][2]
+        importance = float(rows["mbind"][1].rstrip("%")) / 100
+        assert 0.25 <= importance <= 0.60  # paper: 36.0%
+
+    def test_keyutils_band(self, study):
+        rows = {row[0]: row for row in
+                study.tab1_library_only_syscalls().data}
+        importance = float(rows["keyctl"][1].rstrip("%")) / 100
+        assert 0.15 <= importance <= 0.55  # paper: 27.2%
+
+    def test_preadv_band(self, study):
+        rows = {row[0]: row for row in
+                study.tab1_library_only_syscalls().data}
+        importance = float(rows["preadv"][1].rstrip("%")) / 100
+        assert 0.05 <= importance <= 0.25  # paper: 11.7%
+
+
+class TestTab2SinglePackage:
+    def test_paper_examples_present(self, study):
+        rows = {row[0]: row for row in
+                study.tab2_single_package_syscalls().data}
+        assert "kexec_load" in rows
+        assert "kexec-tools" in rows["kexec_load"][2]
+        assert "clock_adjtime" in rows
+        assert "systemd" in rows["clock_adjtime"][2]
+
+    def test_all_rows_low_importance(self, study):
+        for row in study.tab2_single_package_syscalls().data:
+            assert float(row[1].rstrip("%")) < 10.0
+
+
+class TestTab3Unused:
+    def test_count_matches_paper(self, study):
+        rows = study.tab3_unused_syscalls().data
+        assert 15 <= len(rows) <= 22  # paper: 18
+
+    def test_paper_members(self, study):
+        names = {row[0] for row in study.tab3_unused_syscalls().data}
+        for expected in ("set_thread_area", "tuxcall", "sysfs",
+                         "remap_file_pages", "mq_notify",
+                         "lookup_dcookie", "restart_syscall",
+                         "move_pages", "get_robust_list",
+                         "rt_tgsigqueueinfo"):
+            assert expected in names, expected
+
+    def test_used_syscalls_not_listed(self, study):
+        names = {row[0] for row in study.tab3_unused_syscalls().data}
+        for used in ("read", "write", "mbind", "kexec_load"):
+            assert used not in names
+
+
+class TestFig3Tab4Curve:
+    def test_landmarks_shape(self, study):
+        curve = study.curve()
+
+        def first(target):
+            return next((p.n_apis for p in curve
+                         if p.completeness >= target), None)
+
+        n_start = first(0.011)
+        n_half = first(0.50)
+        n_ninety = first(0.90)
+        n_full = first(0.9999)
+        # paper: 40 / 145 / 202 / 272
+        assert 25 <= n_start <= 90
+        assert 120 <= n_half <= 230
+        assert 180 <= n_ninety <= 260
+        assert 250 <= n_full <= 310
+        assert n_start < n_half < n_ninety < n_full
+
+    def test_curve_monotone(self, study):
+        values = [p.completeness for p in study.curve()]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_stages_reach_full_completeness(self, study):
+        stage_list = study.tab4_stages().data
+        assert stage_list[-1].completeness >= 0.999
+        assert 4 <= len(stage_list) <= 5
+
+
+class TestFig4Ioctl:
+    def test_full_importance_head_near_52(self, study):
+        data = study.fig4_ioctl().data
+        assert 40 <= data["full"] <= 70  # paper: 52
+
+    def test_over_1pct_near_188(self, study):
+        data = study.fig4_ioctl().data
+        assert 140 <= data["over_1pct"] <= 240  # paper: 188
+
+    def test_used_near_280(self, study):
+        data = study.fig4_ioctl().data
+        assert 230 <= data["used"] <= 320  # paper: 280
+
+    def test_long_unused_tail(self, study):
+        data = study.fig4_ioctl().data
+        assert len(data["series"]) == 635
+        assert data["used"] < 635 * 0.55
+
+
+class TestFig5FcntlPrctl:
+    def test_fcntl_head(self, study):
+        data = study.fig5_fcntl_prctl().data["fcntl"]
+        assert data["defined"] == 18
+        assert 9 <= data["full"] <= 13  # paper: 11
+
+    def test_prctl_head(self, study):
+        data = study.fig5_fcntl_prctl().data["prctl"]
+        assert data["defined"] == 44
+        assert 7 <= data["full"] <= 12   # paper: 9
+        assert 14 <= data["over_20"] <= 24  # paper: 18
+
+
+class TestFig6PseudoFiles:
+    def test_essential_files_at_head(self, study):
+        top = dict(study.fig6_pseudo_files().data["top"])
+        assert top.get("/dev/null", 0) >= 0.999
+        assert top.get("/proc/cpuinfo", 0) >= 0.999
+
+    def test_dev_kvm_low_importance(self, study):
+        importance = study.importance("pseudofile")
+        assert 0 < importance.get("/dev/kvm", 0) < 0.10
+
+
+class TestFig7Libc:
+    def test_band_fractions(self, study):
+        data = study.fig7_libc_importance().data
+        n = data["total"]
+        assert 0.36 <= data["full"] / n <= 0.50      # paper: 42.8%
+        assert 0.42 <= data["below_half"] / n <= 0.60  # paper: 50.6%
+        assert 0.30 <= data["below_1pct"] / n <= 0.48  # paper: 39.7%
+
+    def test_unused_count_near_222(self, study):
+        data = study.fig7_libc_importance().data
+        assert 180 <= data["unused"] <= 280  # paper: 222
+
+    def test_total_near_1274(self, study):
+        data = study.fig7_libc_importance().data
+        assert 1200 <= data["total"] <= 1450
+
+
+class TestLibcStrip:
+    def test_strip_bands(self, study):
+        report = study.libc_strip_analysis().data["report"]
+        # paper: 889 retained, 63% size, 9.3% miss probability
+        assert 500 <= report.retained_symbols <= 950
+        assert 0.35 <= report.retained_fraction <= 0.80
+        assert report.miss_probability <= 0.35
+
+    def test_relocation_sorting_saves_pages(self, study):
+        layout = study.libc_strip_analysis().data["layout"]
+        assert layout.table_bytes >= 25000  # paper: 30,576 bytes
+        assert layout.hot_pages < layout.unsorted_pages
+
+
+class TestTab5Startup:
+    def test_ld_so_rows(self, study):
+        attribution = study.tab5_startup_syscalls().data
+        assert "ld-linux-x86-64.so.2" in attribution["access"]
+        assert "ld-linux-x86-64.so.2" in attribution["arch_prctl"]
+
+    def test_pthread_rows(self, study):
+        attribution = study.tab5_startup_syscalls().data
+        assert "libpthread.so.0" in attribution["set_robust_list"]
+        assert "libpthread.so.0" in attribution["set_tid_address"]
+
+    def test_futex_multi_library(self, study):
+        attribution = study.tab5_startup_syscalls().data
+        assert len(attribution["futex"]) >= 2
+
+
+class TestTab6Systems:
+    @pytest.fixture()
+    def rows(self, study):
+        return {e.system.split()[0]: e
+                for e in study.tab6_linux_systems().data}
+
+    def test_ordering_matches_paper(self, rows):
+        assert (rows["L4Linux"].weighted_completeness
+                > rows["FreeBSD-emu"].weighted_completeness
+                > rows["Graphene"].weighted_completeness)
+        assert rows["User-Mode-Linux"].weighted_completeness > 0.85
+
+    def test_uml_band(self, rows):
+        assert 0.85 <= rows["User-Mode-Linux"].weighted_completeness <= 0.99
+
+    def test_l4linux_band(self, rows):
+        assert 0.90 <= rows["L4Linux"].weighted_completeness <= 1.0
+
+    def test_freebsd_band(self, rows):
+        assert 0.30 <= rows["FreeBSD-emu"].weighted_completeness <= 0.80
+
+    def test_graphene_collapse_and_recovery(self, rows):
+        assert rows["Graphene"].weighted_completeness <= 0.02
+        assert 0.10 <= rows["Graphene+sched"].weighted_completeness <= 0.40
+
+    def test_uml_suggestions_match_paper(self, rows):
+        suggested = set(rows["User-Mode-Linux"].suggested_apis)
+        assert {"iopl", "ioperm"} & suggested
+
+    def test_graphene_suggestions_are_sched_pair(self, rows):
+        suggested = rows["Graphene"].suggested_apis[:2]
+        assert set(suggested) == {"sched_setparam",
+                                  "sched_setscheduler"}
+
+
+class TestTab7LibcVariants:
+    @pytest.fixture()
+    def rows(self, study):
+        return {e.variant.split()[0]: e
+                for e in study.tab7_libc_variants().data}
+
+    def test_eglibc_fully_compatible(self, rows):
+        assert rows["eglibc"].raw_completeness >= 0.999
+
+    def test_uclibc_musl_raw_near_zero(self, rows):
+        assert rows["uClibc"].raw_completeness <= 0.05  # paper: 1.1%
+        assert rows["musl"].raw_completeness <= 0.05
+
+    def test_normalization_recovers(self, rows):
+        assert 0.30 <= rows["uClibc"].normalized_completeness <= 0.65
+        assert 0.30 <= rows["musl"].normalized_completeness <= 0.70
+        assert (rows["musl"].normalized_completeness
+                >= rows["uClibc"].normalized_completeness - 0.05)
+
+    def test_dietlibc_zero(self, rows):
+        assert rows["dietlibc"].raw_completeness == 0.0
+        assert rows["dietlibc"].normalized_completeness <= 0.01
+
+
+class TestFig8Unweighted:
+    def test_by_all_near_40(self, study):
+        data = study.fig8_unweighted().data
+        assert 25 <= data["by_all"] <= 60  # paper: 40
+
+    def test_over_10_near_130(self, study):
+        data = study.fig8_unweighted().data
+        assert 95 <= data["over_10"] <= 165  # paper: 130
+
+    def test_majority_below_10(self, study):
+        data = study.fig8_unweighted().data
+        assert data["over_10"] < len(ALL_NAMES) / 2
+
+
+class TestVariantTables:
+    def _usage(self, study):
+        return study.usage("syscall", universe=ALL_NAMES)
+
+    def test_tab8_id_management(self, study):
+        usage = self._usage(study)
+        assert usage["setresuid"] > 0.9        # paper: 99.68%
+        assert usage["setresgid"] > 0.9        # paper: 99.68%
+        assert usage["setuid"] < 0.3           # paper: 15.67%
+        assert usage["setreuid"] < 0.1         # paper: 1.88%
+        assert usage["getuid"] > 0.9           # paper: 99.81%
+
+    def test_tab8_directory_races(self, study):
+        usage = self._usage(study)
+        assert usage["access"] > 10 * usage["faccessat"]
+        assert usage["mkdir"] > 10 * usage["mkdirat"]
+        assert usage["rename"] > 10 * usage["renameat"]
+        assert usage["chmod"] > 10 * usage["fchmodat"]
+        assert 0.4 <= usage["access"] <= 0.9   # paper: 74.24%
+
+    def test_tab9_old_new(self, study):
+        usage = self._usage(study)
+        assert usage["getdents"] > 0.9         # paper: 99.80%
+        assert usage["getdents64"] < 0.05
+        assert usage["clone"] > 0.9
+        assert usage["fork"] < 0.05            # paper: 0.07%
+        assert usage["vfork"] > 0.9            # paper: 99.68%
+        assert usage["tgkill"] > 0.9
+        assert usage["tkill"] < 0.05
+        assert usage["wait4"] > 0.4            # paper: 60.56%
+        assert usage["waitid"] < 0.05
+
+    def test_tab10_portability(self, study):
+        usage = self._usage(study)
+        assert usage["readv"] > 10 * usage["preadv"]
+        assert usage["writev"] > 10 * usage["pwritev"]
+        assert usage["poll"] > 5 * usage["ppoll"]
+        assert usage["recvmsg"] > 10 * usage["recvmmsg"]
+        # pipe2 is the exception: high for a Linux-specific call
+        assert usage["pipe2"] > 0.15           # paper: 40.33%
+        assert usage["pipe"] > usage["pipe2"] - 0.1
+
+    def test_tab11_simple_over_powerful(self, study):
+        usage = self._usage(study)
+        assert usage["read"] > usage["pread64"]
+        assert usage["dup2"] > usage["dup3"]
+        assert usage["select"] > usage["pselect6"]
+        assert usage["chdir"] > usage["fchdir"]
+        assert usage["sendto"] > 0.3
+
+    def test_adoption_summary_direction(self, study):
+        summary = study.adoption().data
+        assert summary.race_prone_directory_usage > 0.3
+        assert summary.atomic_variant_usage < 0.05
+        assert summary.portable_preferred_count >= 6
+
+
+class TestTab12Framework:
+    def test_statistics_present(self, study):
+        data = study.tab12_framework_stats().data
+        assert data["rows"]["binaries"] > 300
+        assert data["distinct"] > 50
+        assert 0 < data["unique"] <= data["distinct"]
+
+    def test_unique_footprint_share_near_third(self, study):
+        """§6: one third of applications have a unique footprint."""
+        data = study.tab12_framework_stats().data
+        share = data["unique"] / len(study.repository)
+        assert 0.1 <= share <= 0.8
+
+
+class TestSeccompFromStudy:
+    def test_policy_for_measured_package(self, study):
+        policy = study.seccomp_policy("coreutils").data
+        assert len(policy.allowed_syscalls) >= 40
+        assert policy.allows(0)  # read
+
+    def test_all_experiments_render(self, study):
+        for output in study.all_experiments():
+            assert output.rendered
+            assert output.experiment
+
+
+class TestTab4StageComposition:
+    """Table 4's sample syscalls land in the early stages."""
+
+    def test_paper_stage1_sample_in_our_head(self, study):
+        paper_stage1 = {"mmap", "vfork", "exit", "read", "gettid",
+                        "fcntl", "getcwd", "sched_yield", "kill",
+                        "dup2"}
+        stages = study.tab4_stages().data
+        early = {p.api for p in study.curve()[:stages[1].end]}
+        assert len(paper_stage1 & early) >= 8
+
+    def test_paper_stage2_sample_in_first_two_stages(self, study):
+        paper_stage2 = {"mremap", "ioctl", "access", "socket", "poll",
+                        "recvmsg", "dup", "unlink", "wait4", "select",
+                        "chdir", "pipe"}
+        stages = study.tab4_stages().data
+        early = {p.api for p in study.curve()[:stages[1].end]}
+        assert len(paper_stage2 & early) >= 9
+
+    def test_late_stage_contains_low_band_calls(self, study):
+        stages = study.tab4_stages().data
+        tail = {p.api for p in study.curve()[stages[-2].end:]}
+        # the niche calls arrive last, as in the paper's stage V
+        assert {"kexec_load", "seccomp"} & tail

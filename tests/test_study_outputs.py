@@ -1,0 +1,125 @@
+"""Rendered-output smoke tests: every experiment produces the rows a
+reader of the paper would look for."""
+
+import pytest
+
+
+class TestRenderedExperiments:
+    def test_fig1_headline(self, study):
+        text = study.fig1_binary_types().rendered
+        assert "Figure 1" in text
+        assert "ELF binary" in text
+        assert "shared libraries" in text
+
+    def test_fig2_key_points(self, study):
+        text = study.fig2_syscall_importance().rendered
+        assert "indispensable" in text
+        assert "never used" in text
+        assert "|" in text  # the ASCII curve
+
+    def test_tab1_columns(self, study):
+        text = study.tab1_library_only_syscalls().rendered
+        assert "syscall" in text and "libraries" in text
+        assert "mbind" in text
+
+    def test_tab2_examples(self, study):
+        text = study.tab2_single_package_syscalls().rendered
+        assert "kexec_load" in text
+
+    def test_tab3_reasons(self, study):
+        text = study.tab3_unused_syscalls().rendered
+        assert "Officially retired." in text
+        assert "restart_syscall" in text
+
+    def test_fig3_landmarks(self, study):
+        text = study.fig3_completeness_curve().rendered
+        assert "weighted completeness" in text
+        assert "N =" in text
+
+    def test_tab4_stage_names(self, study):
+        text = study.tab4_stages().rendered
+        assert "stage" in text
+        assert "+"  in text
+
+    def test_fig4_counts(self, study):
+        text = study.fig4_ioctl().rendered
+        assert "defined ioctl codes" in text
+        assert "635" in text
+
+    def test_fig5_both_vectors(self, study):
+        text = study.fig5_fcntl_prctl().rendered
+        assert "fcntl" in text and "prctl" in text
+
+    def test_fig6_paths(self, study):
+        text = study.fig6_pseudo_files().rendered
+        assert "/dev/null" in text
+
+    def test_fig7_percentages(self, study):
+        text = study.fig7_libc_importance().rendered
+        assert "exported function symbols" in text
+        assert "%" in text
+
+    def test_strip_report(self, study):
+        text = study.libc_strip_analysis().rendered
+        assert "retained APIs" in text
+        assert "relocation table" in text
+
+    def test_tab5_libraries(self, study):
+        text = study.tab5_startup_syscalls().rendered
+        assert "ld-linux-x86-64.so.2" in text
+        assert "libpthread.so.0" in text
+
+    def test_tab6_systems(self, study):
+        text = study.tab6_linux_systems().rendered
+        for name in ("User-Mode-Linux", "L4Linux", "FreeBSD-emu",
+                     "Graphene"):
+            assert name in text
+
+    def test_tab7_variants(self, study):
+        text = study.tab7_libc_variants().rendered
+        for name in ("eglibc", "uClibc", "musl", "dietlibc"):
+            assert name in text
+        assert "normalized" in text
+
+    def test_fig8_counts(self, study):
+        text = study.fig8_unweighted().rendered
+        assert "all packages" in text
+
+    def test_tab8_to_tab11_pairs(self, study):
+        assert "setresuid" in study.tab8_secure_variants().rendered
+        assert "waitid" in study.tab9_old_new().rendered
+        assert "pipe2" in study.tab10_portability().rendered
+        assert "pselect6" in study.tab11_power().rendered
+
+    def test_adoption_summary(self, study):
+        text = study.adoption().rendered
+        assert "race-prone" in text
+
+    def test_tab12_stats(self, study):
+        text = study.tab12_framework_stats().rendered
+        assert "packages analyzed" in text
+        assert "database rows" in text
+
+    def test_seccomp_rendering(self, study):
+        text = study.seccomp_policy("dash").rendered
+        assert "seccomp policy" in text
+        assert "jeq" in text
+
+    def test_outputs_str_is_rendered(self, study):
+        output = study.fig1_binary_types()
+        assert str(output) == output.rendered
+
+    def test_all_experiments_unique_names(self, study):
+        names = [output.experiment
+                 for output in study.all_experiments()]
+        assert len(names) == len(set(names))
+
+    def test_attack_surface_output(self, study):
+        output = study.attack_surface()
+        assert "attack-surface" in output.rendered
+        assert output.data["packages"] > 100
+
+    def test_libc_decomposition_output(self, study):
+        output = study.libc_decomposition()
+        assert "decomposition" in output.rendered
+        assert output.data["report"].loaded_fraction < 1.0

@@ -1,0 +1,182 @@
+"""Tests for the syscall table and vectored opcode catalogues."""
+
+import pytest
+
+from repro.syscalls import (
+    ALL_NAMES,
+    BY_NAME,
+    BY_NUMBER,
+    LIVE_NAMES,
+    RETIRED_NAMES,
+    SYSCALL_COUNT,
+    SYSCALLS,
+    Lifecycle,
+    categories,
+    fcntl_ops,
+    ioctl,
+    lookup,
+    name_of,
+    number_of,
+    prctl_ops,
+    pseudofiles,
+)
+
+
+class TestSyscallTable:
+    def test_count_matches_kernel_3_19(self):
+        # 0..322 (execveat landed in 3.19)
+        assert SYSCALL_COUNT == 323
+
+    def test_numbers_are_dense_from_zero(self):
+        numbers = sorted(s.number for s in SYSCALLS)
+        assert numbers == list(range(SYSCALL_COUNT))
+
+    def test_names_unique(self):
+        assert len({s.name for s in SYSCALLS}) == SYSCALL_COUNT
+
+    @pytest.mark.parametrize("number,name", [
+        (0, "read"), (1, "write"), (2, "open"), (9, "mmap"),
+        (16, "ioctl"), (21, "access"), (57, "fork"), (59, "execve"),
+        (72, "fcntl"), (157, "prctl"), (202, "futex"),
+        (231, "exit_group"), (269, "faccessat"), (317, "seccomp"),
+        (322, "execveat"),
+    ])
+    def test_well_known_numbers(self, number, name):
+        assert name_of(number) == name
+        assert number_of(name) == number
+
+    def test_lookup_by_name_and_number(self):
+        assert lookup("read") is lookup(0)
+        assert lookup("nope") is None
+        assert lookup(999) is None
+
+    def test_retired_set(self):
+        for name in ("uselib", "nfsservctl", "afs_syscall", "vserver",
+                     "security", "tuxcall", "create_module",
+                     "set_thread_area", "_sysctl"):
+            assert name in RETIRED_NAMES
+
+    def test_live_and_retired_partition(self):
+        internal = {s.name for s in SYSCALLS
+                    if s.lifecycle == Lifecycle.KERNEL_INTERNAL}
+        assert LIVE_NAMES | RETIRED_NAMES | internal == ALL_NAMES
+        assert not LIVE_NAMES & RETIRED_NAMES
+
+    def test_restart_syscall_kernel_internal(self):
+        assert (BY_NAME["restart_syscall"].lifecycle
+                == Lifecycle.KERNEL_INTERNAL)
+
+    def test_categories_cover_everything(self):
+        grouped = categories()
+        total = sum(len(group) for group in grouped.values())
+        assert total == SYSCALL_COUNT
+
+    def test_file_category_contains_core_io(self):
+        names = {s.name for s in categories()["file"]}
+        assert {"read", "write", "open", "close"} <= names
+
+    def test_at_family_grouped(self):
+        names = {s.name for s in categories()["file-at"]}
+        assert "openat" in names and "faccessat" in names
+
+
+class TestIoctlTable:
+    def test_total_defined_matches_paper(self):
+        assert len(ioctl.IOCTLS) == ioctl.TOTAL_DEFINED == 635
+
+    def test_codes_unique(self):
+        assert len({d.code for d in ioctl.IOCTLS}) == 635
+
+    def test_names_unique(self):
+        assert len({d.name for d in ioctl.IOCTLS}) == 635
+
+    @pytest.mark.parametrize("name,code", [
+        ("TCGETS", 0x5401), ("TCSETS", 0x5402), ("TIOCGWINSZ", 0x5413),
+        ("FIONREAD", 0x541B), ("FIONBIO", 0x5421),
+        ("KVM_RUN", 0xAE80),
+    ])
+    def test_real_codes(self, name, code):
+        assert ioctl.BY_NAME[name].code == code
+
+    def test_ubiquitous_head_is_52(self):
+        assert len(ioctl.UBIQUITOUS_NAMES) == 52
+
+    def test_ubiquitous_mostly_tty(self):
+        tty = [n for n in ioctl.UBIQUITOUS_NAMES
+               if ioctl.BY_NAME[n].group in ("tty", "generic")]
+        assert len(tty) == 47
+
+    def test_used_names_default_280(self):
+        used = ioctl.used_names()
+        assert len(used) == 280
+        assert set(ioctl.UBIQUITOUS_NAMES) <= set(used)
+
+    def test_used_names_prefers_real_subsystems(self):
+        used = ioctl.used_names(100)
+        drivers = [n for n in used if n.startswith("DRV_")]
+        assert not drivers[:50]  # synthetic tail comes last
+
+
+class TestFcntlTable:
+    def test_18_operations(self):
+        assert fcntl_ops.TOTAL_DEFINED == 18
+
+    def test_eleven_ubiquitous(self):
+        assert len(fcntl_ops.UBIQUITOUS_NAMES) == 11
+
+    @pytest.mark.parametrize("name,code", [
+        ("F_DUPFD", 0), ("F_GETFD", 1), ("F_SETFD", 2), ("F_GETFL", 3),
+        ("F_SETLEASE", 1024), ("F_DUPFD_CLOEXEC", 1030),
+    ])
+    def test_real_codes(self, name, code):
+        assert fcntl_ops.BY_NAME[name].code == code
+
+    def test_ubiquitous_subset_of_defined(self):
+        assert set(fcntl_ops.UBIQUITOUS_NAMES) <= set(fcntl_ops.BY_NAME)
+
+
+class TestPrctlTable:
+    def test_44_operations(self):
+        assert prctl_ops.TOTAL_DEFINED == 44
+
+    def test_nine_ubiquitous(self):
+        assert len(prctl_ops.UBIQUITOUS_NAMES) == 9
+
+    def test_eighteen_common(self):
+        assert len(prctl_ops.COMMON_NAMES) == 18
+
+    @pytest.mark.parametrize("name,code", [
+        ("PR_SET_PDEATHSIG", 1), ("PR_SET_NAME", 15),
+        ("PR_SET_SECCOMP", 22), ("PR_SET_NO_NEW_PRIVS", 38),
+    ])
+    def test_real_codes(self, name, code):
+        assert prctl_ops.BY_NAME[name].code == code
+
+    def test_codes_unique(self):
+        assert len({d.code for d in prctl_ops.PRCTLS}) == 44
+
+
+class TestPseudoFiles:
+    def test_essential_paths_include_dev_null(self):
+        assert "/dev/null" in pseudofiles.ESSENTIAL_PATHS
+        assert "/proc/cpuinfo" in pseudofiles.ESSENTIAL_PATHS
+
+    def test_tiers_partition(self):
+        total = sum(len(pseudofiles.by_tier(t))
+                    for t in ("essential", "common", "specific",
+                              "admin"))
+        assert total == len(pseudofiles.PSEUDO_FILES)
+
+    def test_filesystem_split(self):
+        for entry in pseudofiles.PSEUDO_FILES:
+            assert entry.path.startswith(f"/{entry.filesystem}")
+
+    def test_is_pseudo_path(self):
+        assert pseudofiles.is_pseudo_path("/proc/cpuinfo")
+        assert pseudofiles.is_pseudo_path("/dev/null")
+        assert pseudofiles.is_pseudo_path("/sys/module")
+        assert not pseudofiles.is_pseudo_path("/etc/passwd")
+        assert not pseudofiles.is_pseudo_path("relative/proc")
+
+    def test_dev_kvm_is_application_specific(self):
+        assert pseudofiles.BY_PATH["/dev/kvm"].tier == "specific"

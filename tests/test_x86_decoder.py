@@ -1,0 +1,284 @@
+"""Decoder unit and property tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.x86 import registers as R
+from repro.x86.decoder import decode, linear_sweep
+from repro.x86.encoder import Assembler
+from repro.x86.instructions import InsnKind
+
+
+def _decode_one(code: bytes, vaddr: int = 0x1000):
+    return decode(code, 0, vaddr)
+
+
+class TestBasicDecoding:
+    def test_syscall(self):
+        insn = _decode_one(b"\x0f\x05")
+        assert insn.kind == InsnKind.SYSCALL
+        assert insn.length == 2
+
+    def test_sysenter(self):
+        assert _decode_one(b"\x0f\x34").kind == InsnKind.SYSENTER
+
+    def test_int80(self):
+        assert _decode_one(b"\xcd\x80").kind == InsnKind.INT80
+
+    def test_int_other_vector_is_other(self):
+        assert _decode_one(b"\xcd\x03").kind == InsnKind.OTHER
+
+    def test_mov_imm32(self):
+        insn = _decode_one(b"\xb8\x10\x00\x00\x00")
+        assert insn.kind == InsnKind.MOV_IMM_REG
+        assert insn.reg == R.RAX
+        assert insn.imm == 16
+
+    def test_mov_imm32_extended_register(self):
+        insn = _decode_one(b"\x41\xb8\x02\x00\x00\x00")
+        assert insn.reg == R.R8
+        assert insn.imm == 2
+
+    def test_movabs(self):
+        insn = _decode_one(b"\x48\xb8" + (123).to_bytes(8, "little"))
+        assert insn.kind == InsnKind.MOV_IMM_REG
+        assert insn.imm == 123
+        assert insn.length == 10
+
+    def test_xor_zero_idiom(self):
+        insn = _decode_one(b"\x31\xc0")
+        assert insn.kind == InsnKind.XOR_REG_REG
+        assert insn.reg == R.RAX
+
+    def test_xor_different_regs_is_alu(self):
+        # xor %ecx, %eax — not a zeroing idiom, plain computation
+        insn = _decode_one(b"\x31\xc8")
+        assert insn.kind == InsnKind.ALU_REG_REG
+
+    def test_mov_reg_reg(self):
+        insn = _decode_one(b"\x48\x89\xe5")  # mov %rsp, %rbp
+        assert insn.kind == InsnKind.MOV_REG_REG
+        assert insn.reg == R.RBP
+        assert insn.src_reg == R.RSP
+
+    def test_mov_reg_reg_load_form(self):
+        insn = _decode_one(b"\x48\x8b\xc3")  # mov %rbx, %rax (8B form)
+        assert insn.kind == InsnKind.MOV_REG_REG
+        assert insn.reg == R.RAX
+        assert insn.src_reg == R.RBX
+
+    def test_push_pop(self):
+        assert _decode_one(b"\x55").kind == InsnKind.PUSH
+        assert _decode_one(b"\x5d").kind == InsnKind.POP
+        assert _decode_one(b"\x55").reg == R.RBP
+
+    def test_ret_forms(self):
+        assert _decode_one(b"\xc3").kind == InsnKind.RET
+        insn = _decode_one(b"\xc2\x08\x00")
+        assert insn.kind == InsnKind.RET
+        assert insn.length == 3
+
+    def test_leave_nop_hlt(self):
+        assert _decode_one(b"\xc9").kind == InsnKind.LEAVE
+        assert _decode_one(b"\x90").kind == InsnKind.NOP
+        assert _decode_one(b"\xf4").kind == InsnKind.HLT
+
+    def test_multibyte_nop(self):
+        insn = _decode_one(b"\x0f\x1f\x80\x00\x00\x00\x00")
+        assert insn.kind == InsnKind.NOP
+        assert insn.length == 7
+
+    def test_unknown_byte_is_other_length_one(self):
+        insn = _decode_one(b"\x06")
+        assert insn.kind == InsnKind.OTHER
+        assert insn.length == 1
+
+
+class TestBranchTargets:
+    def test_call_rel32_forward(self):
+        insn = _decode_one(b"\xe8\x10\x00\x00\x00", vaddr=0x400000)
+        assert insn.kind == InsnKind.CALL_REL
+        assert insn.target == 0x400000 + 5 + 0x10
+
+    def test_call_rel32_backward(self):
+        insn = _decode_one(b"\xe8\xfb\xff\xff\xff", vaddr=0x400010)
+        assert insn.target == 0x400010  # -5 displacement
+
+    def test_jmp_rel32(self):
+        insn = _decode_one(b"\xe9\x00\x01\x00\x00", vaddr=0x1000)
+        assert insn.kind == InsnKind.JMP_REL
+        assert insn.target == 0x1000 + 5 + 0x100
+
+    def test_jmp_rel8(self):
+        insn = _decode_one(b"\xeb\x05", vaddr=0x1000)
+        assert insn.kind == InsnKind.JMP_REL
+        assert insn.target == 0x1007
+
+    def test_jcc_rel8(self):
+        insn = _decode_one(b"\x74\x02", vaddr=0)
+        assert insn.kind == InsnKind.JCC_REL
+        assert insn.target == 4
+
+    def test_jcc_rel32(self):
+        insn = _decode_one(b"\x0f\x84\x00\x00\x00\x00", vaddr=0x10)
+        assert insn.kind == InsnKind.JCC_REL
+        assert insn.target == 0x16
+
+    def test_lea_rip(self):
+        insn = _decode_one(b"\x48\x8d\x3d\x08\x00\x00\x00",
+                           vaddr=0x2000)
+        assert insn.kind == InsnKind.LEA_RIP
+        assert insn.reg == R.RDI
+        assert insn.target == 0x2000 + 7 + 8
+
+    def test_jmp_rip_mem(self):
+        insn = _decode_one(b"\xff\x25\x10\x00\x00\x00", vaddr=0x3000)
+        assert insn.kind == InsnKind.JMP_RIP_MEM
+        assert insn.target == 0x3000 + 6 + 0x10
+
+    def test_call_indirect_register(self):
+        insn = _decode_one(b"\xff\xd0")  # call *%rax
+        assert insn.kind == InsnKind.CALL_INDIRECT
+
+    def test_jmp_indirect_register(self):
+        insn = _decode_one(b"\xff\xe0")  # jmp *%rax
+        assert insn.kind == InsnKind.JMP_INDIRECT
+
+
+class TestInstructionProperties:
+    def test_terminator_classification(self):
+        assert _decode_one(b"\xc3").is_terminator
+        assert _decode_one(b"\xe9\x00\x00\x00\x00").is_terminator
+        assert not _decode_one(b"\xe8\x00\x00\x00\x00").is_terminator
+        assert not _decode_one(b"\x90").is_terminator
+
+    def test_syscall_classification(self):
+        assert _decode_one(b"\x0f\x05").is_syscall_insn
+        assert _decode_one(b"\xcd\x80").is_syscall_insn
+        assert not _decode_one(b"\xc3").is_syscall_insn
+
+    def test_mnemonics_render(self):
+        assert _decode_one(b"\x0f\x05").mnemonic() == "syscall"
+        assert "mov $0x10" in _decode_one(
+            b"\xb8\x10\x00\x00\x00").mnemonic()
+        assert _decode_one(b"\xc3").mnemonic() == "ret"
+
+
+class TestRoundTrip:
+    """Everything the Assembler emits decodes back to the same meaning."""
+
+    def test_full_function_round_trip(self):
+        asm = Assembler()
+        asm.label("f")
+        asm.prologue()
+        asm.mov_imm32(R.RAX, 16)
+        asm.xor_reg(R.RDI)
+        asm.mov_imm32(R.RSI, 0x5401)
+        asm.syscall()
+        asm.cmp_eax_imm32(0)
+        asm.epilogue()
+        kinds = [insn.kind
+                 for insn in linear_sweep(bytes(asm.code), 0x400000)]
+        assert kinds == [
+            InsnKind.PUSH, InsnKind.MOV_REG_REG, InsnKind.MOV_IMM_REG,
+            InsnKind.XOR_REG_REG, InsnKind.MOV_IMM_REG, InsnKind.SYSCALL,
+            InsnKind.CMP_IMM, InsnKind.POP, InsnKind.RET,
+        ]
+
+    @given(st.integers(0, 15), st.integers(0, 2 ** 32 - 1))
+    def test_mov_imm_round_trip(self, reg, imm):
+        asm = Assembler()
+        asm.mov_imm32(reg, imm)
+        insn = decode(bytes(asm.code), 0, 0)
+        assert insn.kind == InsnKind.MOV_IMM_REG
+        assert insn.reg == reg
+        assert insn.imm == imm
+        assert insn.length == len(asm.code)
+
+    @given(st.integers(0, 15))
+    def test_xor_round_trip(self, reg):
+        asm = Assembler()
+        asm.xor_reg(reg)
+        insn = decode(bytes(asm.code), 0, 0)
+        assert insn.kind == InsnKind.XOR_REG_REG
+        assert insn.reg == reg
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_mov_reg_reg_round_trip(self, dst, src):
+        asm = Assembler()
+        asm.mov_reg_reg64(dst, src)
+        insn = decode(bytes(asm.code), 0, 0)
+        assert insn.kind == InsnKind.MOV_REG_REG
+        assert insn.reg == dst
+        assert insn.src_reg == src
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_decoder_never_crashes_or_stalls(self, blob):
+        """Arbitrary bytes decode to *something* and the sweep
+        terminates — the guarantee linear_sweep relies on."""
+        total = 0
+        for insn in linear_sweep(blob, 0x1000):
+            assert insn.length >= 1
+            total += insn.length
+        assert total >= len(blob)
+
+    @given(st.binary(min_size=1, max_size=32),
+           st.integers(0, 2 ** 40))
+    def test_decode_offsets_consistent(self, blob, vaddr):
+        insn = decode(blob, 0, vaddr)
+        assert insn.address == vaddr
+        assert insn.end == vaddr + insn.length
+
+
+class TestExtendedCoverage:
+    """Computation instructions real compilers emit between calls."""
+
+    def test_alu_forms(self):
+        for raw in (b"\x01\xd8", b"\x29\xd8", b"\x21\xd8",
+                    b"\x09\xd8"):
+            insn = _decode_one(raw)
+            assert insn.kind == InsnKind.ALU_REG_REG, raw.hex()
+            assert insn.reg == R.RAX
+            assert insn.src_reg == R.RBX
+
+    def test_alu_rex_extended(self):
+        insn = _decode_one(b"\x45\x01\xf7")  # add %r14d, %r15d
+        assert insn.kind == InsnKind.ALU_REG_REG
+        assert insn.reg == R.R15
+        assert insn.src_reg == R.R14
+
+    def test_test_reg_reg(self):
+        insn = _decode_one(b"\x85\xc0")
+        assert insn.kind == InsnKind.TEST_REG_REG
+        assert insn.reg == R.RAX
+
+    def test_movzx_and_movsx(self):
+        for raw in (b"\x0f\xb6\xc3", b"\x0f\xb7\xc3",
+                    b"\x0f\xbe\xc3", b"\x0f\xbf\xc3"):
+            insn = _decode_one(raw)
+            assert insn.kind == InsnKind.MOVZX, raw.hex()
+            assert insn.reg == R.RAX
+            assert insn.src_reg == R.RBX
+
+    def test_shifts(self):
+        shl = _decode_one(b"\xc1\xe0\x04")
+        assert shl.kind == InsnKind.SHIFT_IMM
+        assert shl.imm == 4
+        sar = _decode_one(b"\xc1\xf8\x02")
+        assert sar.kind == InsnKind.SHIFT_IMM
+
+    def test_inc_dec(self):
+        assert _decode_one(b"\xff\xc0").kind == InsnKind.INC_DEC
+        assert _decode_one(b"\xff\xc8").kind == InsnKind.INC_DEC
+        assert _decode_one(b"\xfe\xc0").kind == InsnKind.INC_DEC
+
+    def test_encoder_round_trips(self):
+        asm = Assembler()
+        asm.alu_reg_reg("add", R.RBX, R.R14)
+        asm.test_reg_reg(R.RBX, R.R15)
+        asm.movzx_reg8(R.RBX, R.R14)
+        asm.shl_imm8(R.RBX, 3)
+        asm.inc_reg(R.R14)
+        kinds = [i.kind for i in linear_sweep(bytes(asm.code), 0)]
+        assert kinds == [InsnKind.ALU_REG_REG, InsnKind.TEST_REG_REG,
+                         InsnKind.MOVZX, InsnKind.SHIFT_IMM,
+                         InsnKind.INC_DEC]

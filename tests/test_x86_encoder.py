@@ -1,0 +1,148 @@
+"""Encoder unit tests: exact byte sequences for each instruction form."""
+
+import pytest
+
+from repro.x86 import registers as R
+from repro.x86.encoder import Assembler
+
+
+def _code(build):
+    asm = Assembler()
+    build(asm)
+    return bytes(asm.code)
+
+
+class TestDataMovement:
+    def test_mov_imm32_eax(self):
+        assert _code(lambda a: a.mov_imm32(R.RAX, 1)) == (
+            b"\xb8\x01\x00\x00\x00")
+
+    def test_mov_imm32_edi(self):
+        assert _code(lambda a: a.mov_imm32(R.RDI, 0x5401)) == (
+            b"\xbf\x01\x54\x00\x00")
+
+    def test_mov_imm32_r8d_has_rex(self):
+        assert _code(lambda a: a.mov_imm32(R.R8, 2)) == (
+            b"\x41\xb8\x02\x00\x00\x00")
+
+    def test_mov_imm64(self):
+        assert _code(lambda a: a.mov_imm64(R.RAX, 0x1122334455667788)) == (
+            b"\x48\xb8\x88\x77\x66\x55\x44\x33\x22\x11")
+
+    def test_xor_eax(self):
+        assert _code(lambda a: a.xor_reg(R.RAX)) == b"\x31\xc0"
+
+    def test_xor_r9d(self):
+        assert _code(lambda a: a.xor_reg(R.R9)) == b"\x45\x31\xc9"
+
+    def test_mov_reg_reg64(self):
+        # mov %rsp, %rbp
+        assert _code(lambda a: a.mov_reg_reg64(R.RBP, R.RSP)) == (
+            b"\x48\x89\xe5")
+
+    def test_mov_reg_reg64_extended(self):
+        # mov %r9, %r8
+        assert _code(lambda a: a.mov_reg_reg64(R.R8, R.R9)) == (
+            b"\x4d\x89\xc8")
+
+
+class TestSyscallInstructions:
+    def test_syscall(self):
+        assert _code(lambda a: a.syscall()) == b"\x0f\x05"
+
+    def test_int80(self):
+        assert _code(lambda a: a.int80()) == b"\xcd\x80"
+
+    def test_sysenter(self):
+        assert _code(lambda a: a.sysenter()) == b"\x0f\x34"
+
+
+class TestControlFlow:
+    def test_call_import_opcode_and_fixup(self):
+        asm = Assembler()
+        asm.call_import("printf")
+        assert bytes(asm.code) == b"\xe8\x00\x00\x00\x00"
+        (fixup,) = asm.fixups
+        assert fixup.text_offset == 1
+        assert fixup.kind == "rel32"
+        assert fixup.target == ("import", "printf")
+
+    def test_call_local_fixup(self):
+        asm = Assembler()
+        asm.call_local("helper")
+        (fixup,) = asm.fixups
+        assert fixup.target == ("local", "helper")
+
+    def test_jmp_local(self):
+        asm = Assembler()
+        asm.jmp_local("loop")
+        assert asm.code[0] == 0xE9
+
+    def test_jz_jnz(self):
+        asm = Assembler()
+        asm.jz_local("a")
+        asm.jnz_local("b")
+        assert bytes(asm.code[:2]) == b"\x0f\x84"
+        assert bytes(asm.code[6:8]) == b"\x0f\x85"
+
+    def test_call_reg(self):
+        assert _code(lambda a: a.call_reg(R.RAX)) == b"\xff\xd0"
+        assert _code(lambda a: a.call_reg(R.R10)) == b"\x41\xff\xd2"
+
+    def test_ret_leave_nop_hlt(self):
+        assert _code(lambda a: a.ret()) == b"\xc3"
+        assert _code(lambda a: a.leave()) == b"\xc9"
+        assert _code(lambda a: a.nop()) == b"\x90"
+        assert _code(lambda a: a.hlt()) == b"\xf4"
+
+
+class TestStackAndMisc:
+    def test_prologue(self):
+        assert _code(lambda a: a.prologue()) == b"\x55\x48\x89\xe5"
+
+    def test_epilogue(self):
+        assert _code(lambda a: a.epilogue()) == b"\x5d\xc3"
+
+    def test_sub_add_rsp(self):
+        assert _code(lambda a: a.sub_rsp_imm8(0x20)) == (
+            b"\x48\x83\xec\x20")
+        assert _code(lambda a: a.add_rsp_imm8(0x20)) == (
+            b"\x48\x83\xc4\x20")
+
+    def test_cmp_eax(self):
+        assert _code(lambda a: a.cmp_eax_imm32(5)) == (
+            b"\x3d\x05\x00\x00\x00")
+
+    def test_lea_rip_rodata_fixup(self):
+        asm = Assembler()
+        asm.lea_rip_rodata(R.RDI, 16)
+        assert bytes(asm.code[:3]) == b"\x48\x8d\x3d"
+        (fixup,) = asm.fixups
+        assert fixup.kind == "rip32"
+        assert fixup.target == ("rodata", 16)
+
+    def test_align_pads_with_nops(self):
+        asm = Assembler()
+        asm.ret()
+        asm.align(16)
+        assert asm.offset == 16
+        assert bytes(asm.code[1:]) == b"\x90" * 15
+
+    def test_align_noop_when_aligned(self):
+        asm = Assembler()
+        asm.align(16)
+        assert asm.offset == 0
+
+
+class TestLabels:
+    def test_label_records_offset(self):
+        asm = Assembler()
+        asm.nop(3)
+        assert asm.label("here") == 3
+        assert asm.labels["here"] == 3
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("once")
+        with pytest.raises(ValueError):
+            asm.label("once")
