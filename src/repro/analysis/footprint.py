@@ -43,6 +43,37 @@ class Footprint:
         return cls(_fs(syscalls), _fs(ioctls), _fs(fcntls), _fs(prctls),
                    _fs(pseudo_files), _fs(libc_symbols), unresolved_sites)
 
+    @classmethod
+    def union_all(cls, footprints: Iterable["Footprint"]) -> "Footprint":
+        """Union of many footprints without intermediate instances.
+
+        The pipeline's hot loops fold dozens of footprints per package
+        (one per export for libraries); pairwise ``|`` builds O(n)
+        throwaway frozensets per dimension, this builds one.
+        """
+        syscalls: set = set()
+        ioctls: set = set()
+        fcntls: set = set()
+        prctls: set = set()
+        pseudo_files: set = set()
+        libc_symbols: set = set()
+        unresolved = 0
+        for footprint in footprints:
+            syscalls |= footprint.syscalls
+            ioctls |= footprint.ioctls
+            fcntls |= footprint.fcntls
+            prctls |= footprint.prctls
+            pseudo_files |= footprint.pseudo_files
+            libc_symbols |= footprint.libc_symbols
+            unresolved += footprint.unresolved_sites
+        if not (syscalls or ioctls or fcntls or prctls or pseudo_files
+                or libc_symbols or unresolved):
+            return cls.EMPTY
+        return cls(frozenset(syscalls), frozenset(ioctls),
+                   frozenset(fcntls), frozenset(prctls),
+                   frozenset(pseudo_files), frozenset(libc_symbols),
+                   unresolved)
+
     def union(self, other: "Footprint") -> "Footprint":
         return Footprint(
             self.syscalls | other.syscalls,

@@ -3,7 +3,10 @@
 Drives the full study over a package repository:
 
 1. statically analyze every ELF artifact (disassembly, call graph,
-   effect extraction, string scan);
+   effect extraction, string scan) — routed through
+   :class:`repro.engine.AnalysisEngine`, which fans the per-binary
+   work out over a serial/thread/process backend and serves unchanged
+   artifacts from a content-addressed cache;
 2. index shared libraries by SONAME and resolve cross-library
    footprints from every executable's entry point;
 3. approximate interpreted scripts by their interpreter's footprint
@@ -13,13 +16,26 @@ Drives the full study over a package repository:
    standalone executables;
 5. optionally mirror everything into the relational store
    (:class:`repro.analysis.database.AnalysisDatabase`).
+
+Per-binary analysis produces portable :class:`BinaryRecord` values;
+resolution, aggregation, and the database mirror consume records, so
+results are identical whether a record was computed in-process, in a
+worker process, or read back from a warm cache.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..packages.package import BinaryArtifact, BinaryKind, Package
 from ..packages.repository import Repository
@@ -27,6 +43,11 @@ from .binary import BinaryAnalysis
 from .database import AnalysisDatabase
 from .footprint import Footprint
 from .resolver import FootprintResolver, LibraryIndex
+
+if TYPE_CHECKING:  # imported lazily at runtime (engine imports us)
+    from ..engine.core import AnalysisEngine
+    from ..engine.record import BinaryRecord
+    from ..engine.stats import EngineStats
 
 
 @dataclass
@@ -74,6 +95,8 @@ class AnalysisResult:
     direct_syscalls_by_binary: Dict[Tuple[str, str], FrozenSet[str]] = (
         field(default_factory=dict))
     library_binaries: FrozenSet[Tuple[str, str]] = frozenset()
+    # Instrumentation of the run that produced this result.
+    engine_stats: Optional["EngineStats"] = None
 
     def footprint_of(self, package: str) -> Footprint:
         return self.package_footprints.get(package, Footprint.EMPTY)
@@ -95,90 +118,126 @@ class AnalysisPipeline:
     """Orchestrates the study over one repository."""
 
     def __init__(self, repository: Repository,
-                 interpreters: Optional[Mapping[str, str]] = None) -> None:
+                 interpreters: Optional[Mapping[str, str]] = None,
+                 engine: Optional["AnalysisEngine"] = None) -> None:
         """``interpreters`` maps interpreter keys (e.g. ``"python"``)
         to the package providing that interpreter.  When omitted, the
-        pipeline infers the mapping from executable file names."""
+        pipeline infers the mapping from executable file names.
+
+        ``engine`` supplies the execution substrate (worker backend +
+        record cache); when omitted, a fresh serial engine with an
+        in-memory cache is used."""
         self.repository = repository
         self._interpreters = dict(interpreters or {})
+        self.engine = engine
 
     # --- main entry -----------------------------------------------------
 
     def run(self, database: Optional[AnalysisDatabase] = None,
             ) -> AnalysisResult:
-        index = LibraryIndex()
-        analyses: Dict[Tuple[str, str], BinaryAnalysis] = {}
+        from ..engine.core import AnalysisEngine, LazyLibraryIndex
+
+        engine = self.engine or AnalysisEngine()
+        stats = engine.new_stats()
+
+        # Stage 1: scan the repository — type statistics plus the
+        # batch of per-binary analysis tasks.
         type_stats = BinaryTypeStats()
+        tasks = []
+        artifact_bytes: Dict[Tuple[str, str], Tuple[str, bytes]] = {}
+        with stats.stage("scan"):
+            for package in self.repository:
+                for artifact in package.artifacts:
+                    self._count_artifact(type_stats, artifact)
+                    if not artifact.is_elf:
+                        continue
+                    key = (package.name, artifact.name)
+                    name = f"{package.name}:{artifact.name}"
+                    tasks.append((key, name, artifact.data))
+                    artifact_bytes[key] = (name, artifact.data)
 
-        for package in self.repository:
-            for artifact in package.artifacts:
-                self._count_artifact(type_stats, artifact)
-                if not artifact.is_elf:
+        # Stage 2: per-binary analysis through the engine (cache +
+        # executor).  ``analyses`` holds full BinaryAnalysis objects
+        # for whatever ran in-process; everything else is re-built
+        # lazily if a consumer (tracer, Table 5) asks for it.
+        records, analyses = engine.analyze(tasks, stats)
+
+        with stats.stage("index"):
+            record_index = LibraryIndex()
+            lazy_index = LazyLibraryIndex()
+            for key, record in records.items():
+                if not record.is_shared_library:
                     continue
-                analysis = BinaryAnalysis.from_bytes(
-                    artifact.data, name=f"{package.name}:{artifact.name}")
-                analyses[(package.name, artifact.name)] = analysis
-                if analysis.is_shared_library:
-                    index.add(analysis)
+                record_index.add(record)
+                name, data = artifact_bytes[key]
+                lazy_index.add_lazy(
+                    record,
+                    lambda data=data, name=name: (
+                        BinaryAnalysis.from_bytes(data, name=name)))
+                analysis = analyses.get(key)
+                if analysis is not None:
+                    lazy_index.attach(record.soname, analysis)
 
-        resolver = FootprintResolver(index)
+        resolver = FootprintResolver(record_index)
         binary_footprints: Dict[Tuple[str, str], Footprint] = {}
         package_footprints: Dict[str, Footprint] = {}
         package_full_footprints: Dict[str, Footprint] = {}
-        unresolved = 0
         direct_syscall_binaries = 0
 
         direct_by_binary: Dict[Tuple[str, str], FrozenSet[str]] = {}
         library_binaries = set()
-        for package in self.repository:
-            footprint = Footprint.EMPTY
-            library_extra = Footprint.EMPTY
-            for artifact in package.artifacts:
-                key = (package.name, artifact.name)
-                analysis = analyses.get(key)
-                if analysis is None:
-                    continue
-                direct = analysis.all_direct_syscalls()
-                if direct:
-                    direct_by_binary[key] = direct
-                    direct_syscall_binaries += 1
-                if analysis.is_shared_library:
-                    library_binaries.add(key)
-                if artifact.is_executable:
-                    resolved = resolver.resolve_executable(analysis)
-                    binary_footprints[key] = resolved
-                    footprint = footprint | resolved
-                else:
-                    # A shared library's own surface: every export's
-                    # resolved footprint plus its hard-coded strings.
-                    library_extra = library_extra | Footprint.build(
-                        pseudo_files=analysis.pseudo_files)
-                    if analysis.soname:
-                        for export in analysis.exported:
-                            library_extra = (
-                                library_extra | resolver.resolve_export(
-                                    analysis.soname, export))
-            package_footprints[package.name] = footprint
-            package_full_footprints[package.name] = (
-                footprint | library_extra)
-
-        # Interpreted scripts: approximate by the interpreter package.
-        interpreter_packages = self._interpreter_packages()
-        for package in self.repository:
-            extra = Footprint.EMPTY
-            for artifact in package.artifacts:
-                if artifact.kind != BinaryKind.SCRIPT:
-                    continue
-                provider = interpreter_packages.get(artifact.interpreter)
-                if provider is None:
-                    continue
-                extra = extra | package_footprints.get(
-                    provider, Footprint.EMPTY)
-            if not extra.is_empty:
-                package_footprints[package.name] = (
-                    package_footprints[package.name] | extra)
+        with stats.stage("resolve"):
+            for package in self.repository:
+                executable_footprints: List[Footprint] = []
+                library_parts: List[Footprint] = []
+                for artifact in package.artifacts:
+                    key = (package.name, artifact.name)
+                    record = records.get(key)
+                    if record is None:
+                        continue
+                    direct = record.all_direct_syscalls()
+                    if direct:
+                        direct_by_binary[key] = direct
+                        direct_syscall_binaries += 1
+                    if record.is_shared_library:
+                        library_binaries.add(key)
+                    if artifact.is_executable:
+                        resolved = resolver.resolve_executable(record)
+                        binary_footprints[key] = resolved
+                        executable_footprints.append(resolved)
+                    else:
+                        # A shared library's own surface: every
+                        # export's resolved footprint plus its
+                        # hard-coded strings.
+                        library_parts.append(Footprint.build(
+                            pseudo_files=record.pseudo_files))
+                        if record.soname:
+                            library_parts.extend(
+                                resolver.resolve_export(
+                                    record.soname, export)
+                                for export in sorted(record.exported))
+                footprint = Footprint.union_all(executable_footprints)
+                package_footprints[package.name] = footprint
                 package_full_footprints[package.name] = (
-                    package_full_footprints[package.name] | extra)
+                    Footprint.union_all(
+                        [footprint] + library_parts))
+
+            # Interpreted scripts: approximate by the interpreter
+            # package.
+            interpreter_packages = self._interpreter_packages()
+            for package in self.repository:
+                extra = Footprint.union_all(
+                    package_footprints.get(provider, Footprint.EMPTY)
+                    for provider in (
+                        interpreter_packages.get(artifact.interpreter)
+                        for artifact in package.artifacts
+                        if artifact.kind == BinaryKind.SCRIPT)
+                    if provider is not None)
+                if not extra.is_empty:
+                    package_footprints[package.name] = (
+                        package_footprints[package.name] | extra)
+                    package_full_footprints[package.name] = (
+                        package_full_footprints[package.name] | extra)
 
         unresolved = sum(fp.unresolved_sites
                          for fp in binary_footprints.values())
@@ -187,16 +246,17 @@ class AnalysisPipeline:
             package_full_footprints=package_full_footprints,
             binary_footprints=binary_footprints,
             type_stats=type_stats,
-            library_index=index,
+            library_index=lazy_index,
             unresolved_sites=unresolved,
             binaries_with_direct_syscalls=direct_syscall_binaries,
-            binaries_analyzed=len(analyses),
+            binaries_analyzed=len(records),
             direct_syscalls_by_binary=direct_by_binary,
             library_binaries=frozenset(library_binaries),
+            engine_stats=stats,
         )
         if database is not None:
-            self._populate_database(database, analyses, resolver,
-                                    binary_footprints)
+            with stats.stage("database"):
+                self._populate_database(database, records, resolver)
         return result
 
     # --- helpers -----------------------------------------------------------
@@ -228,44 +288,43 @@ class AnalysisPipeline:
     def _populate_database(
         self,
         database: AnalysisDatabase,
-        analyses: Dict[Tuple[str, str], BinaryAnalysis],
+        records: Dict[Tuple[str, str], "BinaryRecord"],
         resolver: FootprintResolver,
-        binary_footprints: Dict[Tuple[str, str], Footprint],
     ) -> None:
         """Mirror raw effects and resolved call edges into SQL."""
         for package in self.repository:
             database.add_package(package.name, package.category,
                                  package.depends)
-        for (pkg_name, artifact_name), analysis in analyses.items():
+        for (pkg_name, artifact_name), record in records.items():
             package = self.repository.get(pkg_name)
             artifact = package.artifact(artifact_name)
             binary_id = database.add_binary(
                 pkg_name, artifact_name, artifact.kind.value,
-                soname=analysis.soname,
-                needed=analysis.needed)
-            if analysis.is_shared_library:
-                self._insert_library(database, analysis, resolver)
+                soname=record.soname,
+                needed=list(record.needed))
+            if record.is_shared_library:
+                self._insert_library(database, record, resolver)
             elif artifact.is_executable:
-                self._insert_executable(database, binary_id, analysis,
+                self._insert_executable(database, binary_id, record,
                                         resolver)
 
     def _insert_executable(self, database: AnalysisDatabase,
-                           binary_id: int, analysis: BinaryAnalysis,
+                           binary_id: int, record: "BinaryRecord",
                            resolver: FootprintResolver) -> None:
-        entry = analysis.entry_root()
-        local = Footprint.build(pseudo_files=analysis.pseudo_files)
+        entry = record.entry_root()
+        local = Footprint.build(pseudo_files=record.pseudo_files)
         imports: FrozenSet[str] = frozenset()
         if entry is not None:
-            effects = analysis.effects_from(entry)
+            effects = record.effects_from(entry)
             local = local | Footprint.build(
                 syscalls=effects.syscalls, ioctls=effects.ioctls,
                 fcntls=effects.fcntls, prctls=effects.prctls)
             imports = effects.called_imports
         else:
-            imports = analysis.imported
+            imports = record.imported
         database.add_executable_effects(binary_id, local)
         for symbol in imports:
-            provider = resolver.find_provider(analysis, symbol)
+            provider = resolver.find_provider(record, symbol)
             if provider is not None:
                 database.add_executable_call(binary_id, provider, symbol)
                 if provider == "libc.so.6":
@@ -273,19 +332,18 @@ class AnalysisPipeline:
                         binary_id, Footprint.build(libc_symbols=[symbol]))
 
     def _insert_library(self, database: AnalysisDatabase,
-                        analysis: BinaryAnalysis,
+                        record: "BinaryRecord",
                         resolver: FootprintResolver) -> None:
-        soname = analysis.soname
-        for export in sorted(analysis.exported):
-            root = analysis.export_root(export)
-            if root is None:
+        soname = record.soname
+        for export in sorted(record.exported):
+            effects = record.export_effects.get(export)
+            if effects is None:
                 continue
-            effects = analysis.effects_from(root)
             database.add_export_effects(soname, export, Footprint.build(
                 syscalls=effects.syscalls, ioctls=effects.ioctls,
                 fcntls=effects.fcntls, prctls=effects.prctls))
             for symbol in effects.called_imports:
-                provider = resolver.find_provider(analysis, symbol)
+                provider = resolver.find_provider(record, symbol)
                 if provider is not None:
                     database.add_export_call(soname, export, provider,
                                              symbol)

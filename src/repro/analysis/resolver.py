@@ -23,6 +23,19 @@ LD_SO_SONAME = "ld-linux-x86-64.so.2"
 LD_SO_ENTRY_EXPORT = "_dl_start"
 
 
+def _interpreter_of(analysis) -> Optional[str]:
+    """PT_INTERP path of an analysis-like object.
+
+    Works for both :class:`BinaryAnalysis` (which exposes the parsed
+    ELF) and :class:`repro.engine.record.BinaryRecord` (which carries
+    the interpreter as a plain attribute).
+    """
+    elf = getattr(analysis, "elf", None)
+    if elf is not None:
+        return elf.interpreter()
+    return getattr(analysis, "interpreter", None)
+
+
 class LibraryIndex:
     """SONAME → analyzed shared library."""
 
@@ -76,7 +89,7 @@ class FootprintResolver:
         # Optionally fold in the dynamic linker's startup syscalls for
         # PT_INTERP executables (see __init__).
         if (self.include_interpreter_runtime
-                and analysis.elf.interpreter() is not None):
+                and _interpreter_of(analysis) is not None):
             footprint = footprint | self.resolve_export(
                 LD_SO_SONAME, LD_SO_ENTRY_EXPORT)
         if entry is None:

@@ -39,7 +39,15 @@ _EXPERIMENTS = {
     "tab12": "tab12_framework_stats",
     "surface": "attack_surface",
     "decomposition": "libc_decomposition",
+    "engine": "engine_report",
 }
+
+
+def _job_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of script packages")
     parser.add_argument("--seed", type=int, default=2016,
                         help="ecosystem generation seed")
+    parser.add_argument("--jobs", type=_job_count, default=1,
+                        metavar="N",
+                        help="analysis workers (N>1 fans per-binary "
+                             "analysis out over N processes)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="persistent content-addressed analysis "
+                             "cache; warm re-runs skip unchanged "
+                             "binaries")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser(
@@ -102,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
         "drift", help="simulate a later release and diff API usage")
     drift.add_argument("--shift", type=float, default=0.35,
                        help="fraction of legacy-API users migrated")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the analysis record cache "
+                      "(requires --cache-dir)")
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="stats: entries/size; clear: delete all "
+                            "cached records")
     return parser
 
 
@@ -111,7 +134,7 @@ def _study_for(args: argparse.Namespace) -> Study:
         n_driver_packages=args.drivers,
         n_script_packages=args.scripts,
         seed=args.seed,
-    ))
+    ), jobs=args.jobs, cache_dir=args.cache_dir)
 
 
 def _read_syscall_list(spec: str) -> List[str]:
@@ -124,6 +147,24 @@ def _read_syscall_list(spec: str) -> List[str]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "cache":
+        # Pure cache maintenance: no ecosystem build, no analysis.
+        from .engine import ANALYSIS_VERSION, AnalysisCache
+        if not args.cache_dir:
+            print("the cache command requires --cache-dir",
+                  file=sys.stderr)
+            return 2
+        cache = AnalysisCache(args.cache_dir)
+        if args.action == "stats":
+            print(f"cache directory  : {args.cache_dir}")
+            print(f"analysis version : {ANALYSIS_VERSION}")
+            print(f"cached records   : {cache.entry_count()}")
+            print(f"size             : {cache.size_bytes()} bytes")
+        else:
+            print(f"removed {cache.clear()} cached records")
+        return 0
+
     study = _study_for(args)
 
     if args.command == "report":
@@ -222,13 +263,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "drift":
         from .metrics import UsageDiff
         from .syscalls.table import ALL_NAMES
+        # Sharing --cache-dir between the two releases makes this the
+        # paper's §2.4 incremental workflow: only binaries whose bytes
+        # changed between releases are re-analyzed.
         future = Study.default(EcosystemConfig(
             n_filler_packages=args.fillers,
             n_driver_packages=args.drivers,
             n_script_packages=args.scripts,
             seed=args.seed,
             adoption_shift=args.shift,
-        ))
+        ), jobs=args.jobs, cache_dir=args.cache_dir)
         diff = UsageDiff(
             study.usage("syscall", universe=ALL_NAMES),
             future.usage("syscall", universe=ALL_NAMES))

@@ -1,0 +1,77 @@
+"""Execution substrate for the study: parallel, content-addressed,
+incremental per-binary analysis.
+
+Layers:
+
+* :mod:`repro.engine.record` — portable per-binary analysis records;
+* :mod:`repro.engine.codec` — stable, versioned JSON round-trip;
+* :mod:`repro.engine.cache` — content-addressed record cache (disk or
+  in-memory);
+* :mod:`repro.engine.executor` — serial / thread / process fan-out
+  with deterministic merging;
+* :mod:`repro.engine.core` — the engine tying cache + executor
+  together, plus the lazy library index;
+* :mod:`repro.engine.incremental` — snapshot diffing and the
+  incremental re-analysis driver;
+* :mod:`repro.engine.stats` — per-stage wall time, cache counters,
+  throughput instrumentation.
+"""
+
+from .cache import AnalysisCache, CacheStats, MemoryCache
+from .codec import (
+    ANALYSIS_VERSION,
+    CODEC_VERSION,
+    CodecError,
+    footprint_from_dict,
+    footprint_from_json,
+    footprint_to_dict,
+    footprint_to_json,
+    record_from_dict,
+    record_from_json,
+    record_to_dict,
+    record_to_json,
+)
+from .core import AnalysisEngine, EngineConfig, LazyLibraryIndex
+from .executor import BACKENDS, Executor
+from .incremental import (
+    IncrementalDriver,
+    IncrementalRun,
+    RepositoryDiff,
+    diff_manifests,
+    diff_repositories,
+    repository_manifest,
+)
+from .record import BinaryRecord, analyze_bytes, content_key
+from .stats import EngineStats
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "AnalysisCache",
+    "AnalysisEngine",
+    "BACKENDS",
+    "BinaryRecord",
+    "CODEC_VERSION",
+    "CacheStats",
+    "CodecError",
+    "EngineConfig",
+    "EngineStats",
+    "Executor",
+    "IncrementalDriver",
+    "IncrementalRun",
+    "LazyLibraryIndex",
+    "MemoryCache",
+    "RepositoryDiff",
+    "analyze_bytes",
+    "content_key",
+    "diff_manifests",
+    "diff_repositories",
+    "footprint_from_dict",
+    "footprint_from_json",
+    "footprint_to_dict",
+    "footprint_to_json",
+    "record_from_dict",
+    "record_from_json",
+    "record_to_dict",
+    "record_to_json",
+    "repository_manifest",
+]

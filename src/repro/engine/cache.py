@@ -1,0 +1,164 @@
+"""Content-addressed cache of per-binary analysis records.
+
+The cache key is the SHA-256 of the ELF bytes; the analysis version
+(:data:`repro.engine.codec.ANALYSIS_VERSION`) is part of the on-disk
+address, so records produced by an incompatible analysis are never
+read back.  Layout::
+
+    <cache_dir>/v<ANALYSIS_VERSION>/<sha[:2]>/<sha>.json
+
+Two implementations share the interface: :class:`AnalysisCache`
+persists to disk (warm runs survive the process), and
+:class:`MemoryCache` keeps records in-process (used as the default so
+repeated pipeline runs inside one study — e.g. Table 12's database
+mirror — skip re-analysis).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .codec import ANALYSIS_VERSION, CodecError, record_from_json, \
+    record_to_json
+from .record import BinaryRecord
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0          # unreadable / version-mismatched entries
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MemoryCache:
+    """In-process record cache (no persistence)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, BinaryRecord] = {}
+        self.stats = CacheStats()
+
+    def get(self, sha256: str) -> Optional[BinaryRecord]:
+        record = self._records.get(sha256)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, sha256: str, record: BinaryRecord) -> None:
+        self._records[sha256] = record
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        count = len(self._records)
+        self._records.clear()
+        return count
+
+    def entry_count(self) -> int:
+        return len(self._records)
+
+    def size_bytes(self) -> int:
+        return 0
+
+
+class AnalysisCache:
+    """Disk-backed content-addressed record cache."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.root = pathlib.Path(cache_dir)
+        self.version_dir = self.root / f"v{ANALYSIS_VERSION}"
+        self.stats = CacheStats()
+
+    # --- addressing ----------------------------------------------------
+
+    def _path(self, sha256: str) -> pathlib.Path:
+        return self.version_dir / sha256[:2] / f"{sha256}.json"
+
+    # --- record interface ----------------------------------------------
+
+    def get(self, sha256: str) -> Optional[BinaryRecord]:
+        path = self._path(sha256)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = record_from_json(text)
+        except CodecError:
+            # Corrupt or stale entry: treat as a miss and drop it so
+            # the slot is rewritten with a fresh record.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, sha256: str, record: BinaryRecord) -> None:
+        path = self._path(sha256)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a crashed writer must never leave a torn
+        # entry that later reads as corrupt.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(record_to_json(record))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # --- maintenance ----------------------------------------------------
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("v*/??/*.json")):
+            yield path
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete every cached record (all versions); return count."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,179 @@
+"""Stable, versioned JSON codec for engine artifacts.
+
+The cache persists :class:`repro.engine.record.BinaryRecord` instances
+to disk; study results export :class:`repro.analysis.footprint.Footprint`
+values.  Both need a *stable* encoding — sets are emitted sorted, keys
+are sorted, and every payload carries a version tag so a cache written
+by an older (incompatible) analysis is never trusted.
+
+``ANALYSIS_VERSION`` must be bumped whenever the per-binary analysis
+semantics change (new footprint dimensions, different effect
+extraction, ...): it is part of the cache address, so a bump silently
+invalidates every previously cached record.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..analysis.binary import RootEffects
+from ..analysis.footprint import Footprint
+from .record import BinaryRecord
+
+#: Version of the per-binary analysis semantics (cache key component).
+ANALYSIS_VERSION = "1"
+
+#: Version of the JSON encoding itself.
+CODEC_VERSION = "1"
+
+
+class CodecError(ValueError):
+    """Raised when a payload is malformed or version-incompatible."""
+
+
+def _sorted(items) -> list:
+    return sorted(items)
+
+
+def _check_version(payload: Dict[str, Any], kind: str) -> None:
+    if not isinstance(payload, dict):
+        raise CodecError(f"{kind}: expected an object")
+    version = payload.get("codec_version")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"{kind}: codec version {version!r} != {CODEC_VERSION!r}")
+
+
+# --- Footprint ---------------------------------------------------------
+
+
+def footprint_to_dict(footprint: Footprint) -> Dict[str, Any]:
+    return {
+        "codec_version": CODEC_VERSION,
+        "syscalls": _sorted(footprint.syscalls),
+        "ioctls": _sorted(footprint.ioctls),
+        "fcntls": _sorted(footprint.fcntls),
+        "prctls": _sorted(footprint.prctls),
+        "pseudo_files": _sorted(footprint.pseudo_files),
+        "libc_symbols": _sorted(footprint.libc_symbols),
+        "unresolved_sites": footprint.unresolved_sites,
+    }
+
+
+def footprint_from_dict(payload: Dict[str, Any]) -> Footprint:
+    _check_version(payload, "footprint")
+    return Footprint.build(
+        syscalls=payload.get("syscalls", ()),
+        ioctls=payload.get("ioctls", ()),
+        fcntls=payload.get("fcntls", ()),
+        prctls=payload.get("prctls", ()),
+        pseudo_files=payload.get("pseudo_files", ()),
+        libc_symbols=payload.get("libc_symbols", ()),
+        unresolved_sites=int(payload.get("unresolved_sites", 0)),
+    )
+
+
+def footprint_to_json(footprint: Footprint, indent: int = None) -> str:
+    return json.dumps(footprint_to_dict(footprint), indent=indent,
+                      sort_keys=True)
+
+
+def footprint_from_json(text: str) -> Footprint:
+    return footprint_from_dict(json.loads(text))
+
+
+# --- RootEffects -------------------------------------------------------
+
+
+def _effects_to_dict(effects: RootEffects) -> Dict[str, Any]:
+    return {
+        "syscalls": _sorted(effects.syscalls),
+        "ioctls": _sorted(effects.ioctls),
+        "fcntls": _sorted(effects.fcntls),
+        "prctls": _sorted(effects.prctls),
+        "called_imports": _sorted(effects.called_imports),
+        "unresolved_sites": effects.unresolved_sites,
+        "unknown_syscall_numbers": _sorted(
+            effects.unknown_syscall_numbers),
+    }
+
+
+def _effects_from_dict(payload: Dict[str, Any]) -> RootEffects:
+    return RootEffects(
+        syscalls=frozenset(payload.get("syscalls", ())),
+        ioctls=frozenset(payload.get("ioctls", ())),
+        fcntls=frozenset(payload.get("fcntls", ())),
+        prctls=frozenset(payload.get("prctls", ())),
+        called_imports=frozenset(payload.get("called_imports", ())),
+        unresolved_sites=int(payload.get("unresolved_sites", 0)),
+        unknown_syscall_numbers=frozenset(
+            int(n) for n in payload.get("unknown_syscall_numbers", ())),
+    )
+
+
+# --- BinaryRecord ------------------------------------------------------
+
+
+def record_to_dict(record: BinaryRecord) -> Dict[str, Any]:
+    return {
+        "codec_version": CODEC_VERSION,
+        "analysis_version": ANALYSIS_VERSION,
+        "name": record.name,
+        "sha256": record.sha256,
+        "soname": record.soname,
+        "needed": list(record.needed),
+        "imported": _sorted(record.imported),
+        "exported": _sorted(record.exported),
+        "pseudo_files": _sorted(record.pseudo_files),
+        "is_shared_library": record.is_shared_library,
+        "interpreter": record.interpreter,
+        "direct_syscalls": _sorted(record.direct_syscalls),
+        "entry_effects": (_effects_to_dict(record.entry_effects)
+                          if record.entry_effects is not None else None),
+        "export_effects": {
+            name: _effects_to_dict(effects)
+            for name, effects in sorted(record.export_effects.items())
+        },
+    }
+
+
+def record_from_dict(payload: Dict[str, Any]) -> BinaryRecord:
+    _check_version(payload, "record")
+    if payload.get("analysis_version") != ANALYSIS_VERSION:
+        raise CodecError(
+            f"record: analysis version "
+            f"{payload.get('analysis_version')!r} != {ANALYSIS_VERSION!r}")
+    entry = payload.get("entry_effects")
+    return BinaryRecord(
+        name=payload.get("name", ""),
+        sha256=payload.get("sha256", ""),
+        soname=payload.get("soname"),
+        needed=tuple(payload.get("needed", ())),
+        imported=frozenset(payload.get("imported", ())),
+        exported=frozenset(payload.get("exported", ())),
+        pseudo_files=frozenset(payload.get("pseudo_files", ())),
+        is_shared_library=bool(payload.get("is_shared_library", False)),
+        interpreter=payload.get("interpreter"),
+        direct_syscalls=frozenset(payload.get("direct_syscalls", ())),
+        entry_effects=(_effects_from_dict(entry)
+                       if entry is not None else None),
+        export_effects={
+            name: _effects_from_dict(effects)
+            for name, effects in payload.get(
+                "export_effects", {}).items()
+        },
+    )
+
+
+def record_to_json(record: BinaryRecord) -> str:
+    return json.dumps(record_to_dict(record), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def record_from_json(text: str) -> BinaryRecord:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"record: invalid JSON ({exc})") from None
+    return record_from_dict(payload)

@@ -1,0 +1,195 @@
+"""The analysis engine: content-addressed caching + parallel fan-out.
+
+:class:`AnalysisEngine` owns a cache and an executor and turns a batch
+of ``(key, name, bytes)`` tasks into :class:`BinaryRecord` results:
+
+1. hash every artifact (SHA-256 content address);
+2. look each hash up in the cache — hits skip analysis entirely;
+3. fan the misses out over the configured executor backend;
+4. store fresh records back and merge everything in task order.
+
+The merge is deterministic: records come back keyed and are assembled
+in the submission order, so serial, threaded, and multi-process runs
+produce identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.binary import BinaryAnalysis
+from ..analysis.resolver import LibraryIndex
+from .cache import AnalysisCache, MemoryCache
+from .executor import Executor
+from .record import BinaryRecord, analyze_bytes, content_key
+from .stats import EngineStats
+
+#: One unit of engine work: ((package, artifact), display name, bytes).
+TaskKey = Tuple[str, str]
+Task = Tuple[TaskKey, str, bytes]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the engine executes and caches per-binary analysis."""
+
+    jobs: int = 1
+    backend: str = "serial"
+    cache_dir: Optional[str] = None
+
+    @classmethod
+    def for_jobs(cls, jobs: Optional[int],
+                 cache_dir: Optional[str] = None) -> "EngineConfig":
+        """CLI-style shorthand: >1 job selects the process backend."""
+        jobs = jobs or 1
+        backend = "process" if jobs > 1 else "serial"
+        return cls(jobs=jobs, backend=backend, cache_dir=cache_dir)
+
+
+def _analyze_task(task) -> Tuple[TaskKey, str, BinaryRecord]:
+    """Process-pool worker: analyze one ELF image from its bytes."""
+    key, name, data, sha = task
+    record = analyze_bytes(data, name=name, sha256=sha)
+    return key, f"pid:{os.getpid()}", record
+
+
+class AnalysisEngine:
+    """Executes per-binary analysis through a cache and a worker pool."""
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 cache=None) -> None:
+        self.config = config or EngineConfig()
+        self.executor = Executor(self.config.backend, self.config.jobs)
+        if cache is not None:
+            self.cache = cache
+        elif self.config.cache_dir:
+            self.cache = AnalysisCache(self.config.cache_dir)
+        else:
+            self.cache = MemoryCache()
+
+    def new_stats(self) -> EngineStats:
+        return EngineStats(backend=self.config.backend,
+                           jobs=self.config.jobs)
+
+    # --- the batch entry point -----------------------------------------
+
+    def analyze(self, tasks: Sequence[Task],
+                stats: Optional[EngineStats] = None,
+                ) -> Tuple[Dict[TaskKey, BinaryRecord],
+                           Dict[TaskKey, BinaryAnalysis]]:
+        """Analyze a batch of ELF artifacts.
+
+        Returns ``(records, analyses)``: records for every task, plus
+        the full :class:`BinaryAnalysis` objects for tasks that ran
+        in-process (serial/thread backends) — callers use those to seed
+        lazy indexes so nothing is analyzed twice on the cold path.
+        """
+        if stats is None:
+            stats = self.new_stats()
+        stats.binaries_total += len(tasks)
+
+        with stats.stage("hash"):
+            hashed = [(key, name, data, content_key(data))
+                      for key, name, data in tasks]
+
+        hits: Dict[TaskKey, BinaryRecord] = {}
+        misses: List[Tuple[TaskKey, str, bytes, str]] = []
+        with stats.stage("cache-lookup"):
+            for key, name, data, sha in hashed:
+                record = self.cache.get(sha)
+                if record is not None:
+                    hits[key] = record
+                else:
+                    misses.append((key, name, data, sha))
+        stats.cache_hits += len(hits)
+        stats.cache_misses += len(misses)
+
+        analyses: Dict[TaskKey, BinaryAnalysis] = {}
+        fresh: List[Tuple[TaskKey, str, BinaryRecord]] = []
+        with stats.stage("analyze"):
+            if misses:
+                fresh = self.executor.map(
+                    self._in_process_worker(analyses)
+                    if self.config.backend != "process"
+                    else _analyze_task,
+                    misses)
+        stats.binaries_analyzed += len(fresh)
+        for _, worker_id, _ in fresh:
+            stats.worker_tasks[worker_id] += 1
+
+        sha_by_key = {key: sha for key, _, _, sha in misses}
+        with stats.stage("cache-store"):
+            fresh_by_key = {}
+            for key, _, record in fresh:
+                self.cache.put(sha_by_key[key], record)
+                stats.cache_stores += 1
+                fresh_by_key[key] = record
+
+        # Deterministic merge: assemble in original submission order.
+        records: Dict[TaskKey, BinaryRecord] = {}
+        for key, _, _, _ in hashed:
+            records[key] = (hits[key] if key in hits
+                            else fresh_by_key[key])
+        return records, analyses
+
+    @staticmethod
+    def _in_process_worker(
+            sink: Dict[TaskKey, BinaryAnalysis],
+    ) -> Callable:
+        """Serial/thread worker that also retains the full analysis."""
+        def work(task):
+            key, name, data, sha = task
+            analysis = BinaryAnalysis.from_bytes(data, name=name)
+            sink[key] = analysis
+            worker = f"tid:{threading.get_ident()}"
+            return key, worker, BinaryRecord.from_analysis(
+                analysis, sha256=sha)
+        return work
+
+
+class LazyLibraryIndex(LibraryIndex):
+    """A :class:`LibraryIndex` whose analyses materialize on demand.
+
+    Warm-cache and multi-process runs hand the pipeline *records*, not
+    :class:`BinaryAnalysis` objects; consumers that genuinely need the
+    full analysis (the dynamic tracer, Table 5's runtime attribution)
+    trigger a one-off re-analysis of just the libraries they touch.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._loaders: Dict[str, Callable[[], BinaryAnalysis]] = {}
+        self._order: List[str] = []
+
+    def add_lazy(self, record: BinaryRecord,
+                 loader: Callable[[], BinaryAnalysis]) -> None:
+        if not record.soname:
+            raise ValueError(
+                f"{record.name}: shared library lacks SONAME")
+        self._loaders[record.soname] = loader
+        self._order.append(record.soname)
+        for name in record.exported:
+            self._export_index.setdefault(name, []).append(
+                record.soname)
+
+    def attach(self, soname: str, analysis: BinaryAnalysis) -> None:
+        """Seed an already-built analysis (cold in-process runs)."""
+        self._by_soname[soname] = analysis
+
+    def get(self, soname: str) -> Optional[BinaryAnalysis]:
+        analysis = self._by_soname.get(soname)
+        if analysis is None:
+            loader = self._loaders.get(soname)
+            if loader is not None:
+                analysis = loader()
+                self._by_soname[soname] = analysis
+        return analysis
+
+    def __contains__(self, soname: str) -> bool:
+        return soname in self._loaders or soname in self._by_soname
+
+    def sonames(self) -> List[str]:
+        return list(self._order)

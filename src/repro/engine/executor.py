@@ -1,0 +1,63 @@
+"""Pluggable task executor: serial, threaded, or multi-process.
+
+All backends expose the same order-preserving ``map`` contract, so the
+engine produces identical results regardless of backend or worker
+count — parallelism changes wall time, never output.
+
+Backend notes:
+
+* ``serial`` — plain loop; the baseline and the default.
+* ``thread`` — ``ThreadPoolExecutor``; bounded by the GIL for this
+  pure-Python workload but useful where analysis waits on I/O.
+* ``process`` — ``ProcessPoolExecutor`` with a ``fork`` context where
+  available (``spawn`` otherwise); the function and items must be
+  picklable.  Tasks are chunked to amortize IPC.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _process_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class Executor:
+    """Order-preserving map over a fixed worker pool."""
+
+    def __init__(self, backend: str = "serial", jobs: int = 1) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.backend = backend
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in input order."""
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or self.jobs == 1 and (
+                self.backend == "thread"):
+            return [fn(item) for item in items]
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(fn, items))
+        # process backend
+        chunksize = max(1, len(items) // (self.jobs * 4))
+        with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_process_context()) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))

@@ -1,0 +1,114 @@
+"""Incremental re-analysis across repository snapshots.
+
+The §2.4 release-diff workflow analyzes a second ecosystem that is
+mostly identical to the first; re-running continuously as support sets
+evolve (Loupe-style) has the same shape.  This module diffs two
+repositories by artifact *content hash* and drives the pipeline so
+only the changed set is re-analyzed — unchanged artifacts are served
+from the driver's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..packages.repository import Repository
+from .cache import MemoryCache
+from .core import AnalysisEngine, EngineConfig, TaskKey
+from .record import content_key
+from .stats import EngineStats
+
+
+def repository_manifest(repository: Repository,
+                        ) -> Dict[TaskKey, str]:
+    """(package, artifact) -> content hash for every ELF artifact."""
+    manifest: Dict[TaskKey, str] = {}
+    for package in repository:
+        for artifact in package.artifacts:
+            if artifact.is_elf:
+                manifest[(package.name, artifact.name)] = (
+                    content_key(artifact.data))
+    return manifest
+
+
+@dataclass(frozen=True)
+class RepositoryDiff:
+    """Artifact-level difference between two repository snapshots."""
+
+    added: FrozenSet[TaskKey]
+    removed: FrozenSet[TaskKey]
+    changed: FrozenSet[TaskKey]
+    unchanged: FrozenSet[TaskKey]
+
+    @property
+    def reanalysis_set(self) -> FrozenSet[TaskKey]:
+        """Artifacts a warm engine must actually re-analyze."""
+        return self.added | self.changed
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = (len(self.added) + len(self.changed)
+                 + len(self.unchanged))
+        return len(self.unchanged) / total if total else 0.0
+
+
+def diff_repositories(old: Repository,
+                      new: Repository) -> RepositoryDiff:
+    """Diff two snapshots by per-artifact content hash."""
+    return diff_manifests(repository_manifest(old),
+                          repository_manifest(new))
+
+
+def diff_manifests(old: Mapping[TaskKey, str],
+                   new: Mapping[TaskKey, str]) -> RepositoryDiff:
+    added = frozenset(key for key in new if key not in old)
+    removed = frozenset(key for key in old if key not in new)
+    shared = set(new) & set(old)
+    changed = frozenset(key for key in shared
+                        if new[key] != old[key])
+    return RepositoryDiff(
+        added=added, removed=removed, changed=changed,
+        unchanged=frozenset(shared) - changed)
+
+
+@dataclass
+class IncrementalRun:
+    """One driver invocation: result + what changed + how it ran."""
+
+    result: object                    # repro.analysis.AnalysisResult
+    diff: Optional[RepositoryDiff]    # None on the first run
+    stats: EngineStats
+
+
+class IncrementalDriver:
+    """Re-analyzes repository snapshots, reusing unchanged artifacts.
+
+    The driver keeps one engine (and its cache) alive across runs;
+    content addressing does the rest — an artifact whose bytes did not
+    change between snapshots is a cache hit regardless of package or
+    file renames.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 cache=None) -> None:
+        self.engine = AnalysisEngine(config, cache=cache or
+                                     MemoryCache())
+        self._previous: Optional[Dict[TaskKey, str]] = None
+
+    def run(self, repository: Repository,
+            interpreters: Optional[Mapping[str, str]] = None,
+            ) -> IncrementalRun:
+        # Imported here: analysis.pipeline imports the engine package,
+        # so a module-level import would be circular.
+        from ..analysis.pipeline import AnalysisPipeline
+
+        manifest = repository_manifest(repository)
+        diff = (diff_manifests(self._previous, manifest)
+                if self._previous is not None else None)
+        pipeline = AnalysisPipeline(repository, interpreters,
+                                    engine=self.engine)
+        result = pipeline.run()
+        self._previous = manifest
+        return IncrementalRun(result=result, diff=diff,
+                              stats=result.engine_stats)

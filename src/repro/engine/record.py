@@ -1,0 +1,109 @@
+"""Per-binary analysis records.
+
+A :class:`BinaryRecord` is the *portable* result of analyzing one ELF
+image: everything the cross-binary resolution, metrics, and database
+stages consume, without the call graph, the decoded instructions, or
+the raw bytes.  Records are plain frozen data, so they can be
+
+* returned from worker processes (picklable),
+* persisted to the content-addressed cache (JSON via
+  :mod:`repro.engine.codec`), and
+* substituted for a :class:`repro.analysis.binary.BinaryAnalysis`
+  inside :class:`repro.analysis.resolver.FootprintResolver` — the
+  record implements the same ``entry_root`` / ``export_root`` /
+  ``effects_from`` protocol with opaque root tokens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..analysis.binary import BinaryAnalysis, RootEffects
+
+#: Opaque root token standing in for the entry point of a record.
+ENTRY_ROOT = "__entry__"
+
+
+def content_key(data: bytes) -> str:
+    """Content address of an ELF image (hex SHA-256 of its bytes)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class BinaryRecord:
+    """Everything downstream stages need from one analyzed binary."""
+
+    name: str
+    sha256: str
+    soname: Optional[str]
+    needed: Tuple[str, ...]
+    imported: FrozenSet[str]
+    exported: FrozenSet[str]
+    pseudo_files: FrozenSet[str]
+    is_shared_library: bool
+    interpreter: Optional[str]
+    direct_syscalls: FrozenSet[str]
+    entry_effects: Optional[RootEffects] = None
+    export_effects: Dict[str, RootEffects] = field(default_factory=dict)
+
+    # --- FootprintResolver protocol (mirrors BinaryAnalysis) -----------
+
+    def entry_root(self) -> Optional[str]:
+        return ENTRY_ROOT if self.entry_effects is not None else None
+
+    def export_root(self, name: str) -> Optional[str]:
+        return name if name in self.export_effects else None
+
+    def effects_from(self, root: str) -> RootEffects:
+        if root == ENTRY_ROOT and self.entry_effects is not None:
+            return self.entry_effects
+        return self.export_effects[root]
+
+    def all_direct_syscalls(self) -> FrozenSet[str]:
+        return self.direct_syscalls
+
+    # --- construction ---------------------------------------------------
+
+    @classmethod
+    def from_analysis(cls, analysis: BinaryAnalysis,
+                      sha256: str = "") -> "BinaryRecord":
+        """Flatten a full analysis into a portable record.
+
+        Effects are computed eagerly for the entry point and every
+        analyzable export — the same roots the pipeline's resolution
+        stage would walk lazily — so a cached record can fully replace
+        re-disassembly on warm runs.
+        """
+        entry = analysis.entry_root()
+        entry_effects = (analysis.effects_from(entry)
+                         if entry is not None else None)
+        export_effects: Dict[str, RootEffects] = {}
+        for export in sorted(analysis.exported):
+            root = analysis.export_root(export)
+            if root is None:
+                continue
+            export_effects[export] = analysis.effects_from(root)
+        return cls(
+            name=analysis.name,
+            sha256=sha256,
+            soname=analysis.soname,
+            needed=tuple(analysis.needed),
+            imported=frozenset(analysis.imported),
+            exported=frozenset(analysis.exported),
+            pseudo_files=frozenset(analysis.pseudo_files),
+            is_shared_library=analysis.is_shared_library,
+            interpreter=analysis.elf.interpreter(),
+            direct_syscalls=analysis.all_direct_syscalls(),
+            entry_effects=entry_effects,
+            export_effects=export_effects,
+        )
+
+
+def analyze_bytes(data: bytes, name: str = "",
+                  sha256: str = "") -> BinaryRecord:
+    """Analyze one ELF image from bytes into a record (worker entry)."""
+    analysis = BinaryAnalysis.from_bytes(data, name=name)
+    return BinaryRecord.from_analysis(
+        analysis, sha256=sha256 or content_key(data))

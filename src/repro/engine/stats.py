@@ -1,0 +1,102 @@
+"""Engine instrumentation: stage timings, cache counters, throughput.
+
+One :class:`EngineStats` is attached to each pipeline run (see
+:attr:`repro.analysis.pipeline.AnalysisResult.engine_stats`); its
+:meth:`EngineStats.render` produces a paper-style key-point block via
+:mod:`repro.reports.text`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..reports.text import format_percent, render_key_points
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation for one engine-driven pipeline run."""
+
+    backend: str = "serial"
+    jobs: int = 1
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    binaries_total: int = 0          # ELF artifacts submitted
+    binaries_analyzed: int = 0       # actually (re-)analyzed (misses)
+    worker_tasks: Counter = field(default_factory=Counter)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Accumulate wall time under ``stage_seconds[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + elapsed)
+
+    # --- derived -------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def analyze_seconds(self) -> float:
+        return self.stage_seconds.get("analyze", 0.0)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def binaries_per_second(self) -> float:
+        if self.analyze_seconds <= 0.0:
+            return 0.0
+        return self.binaries_analyzed / self.analyze_seconds
+
+    @property
+    def workers_used(self) -> int:
+        return len(self.worker_tasks)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Evenness of the task spread: 1.0 = perfectly balanced."""
+        if not self.worker_tasks or self.jobs <= 0:
+            return 0.0
+        busiest = max(self.worker_tasks.values())
+        if busiest == 0:
+            return 0.0
+        total = sum(self.worker_tasks.values())
+        return total / (busiest * self.jobs)
+
+    # --- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        points = [
+            ("backend", f"{self.backend} x{self.jobs}"),
+        ]
+        for name, seconds in self.stage_seconds.items():
+            points.append((f"stage {name}", f"{seconds * 1000:.1f} ms"))
+        points += [
+            ("binaries submitted", self.binaries_total),
+            ("binaries analyzed", self.binaries_analyzed),
+            ("cache", f"{self.cache_hits} hits / "
+                      f"{self.cache_misses} misses "
+                      f"({format_percent(self.hit_rate)} hit rate)"),
+            ("cache stores", self.cache_stores),
+            ("throughput",
+             f"{self.binaries_per_second:.1f} binaries/s"),
+            ("workers used", f"{self.workers_used} of {self.jobs} "
+                             f"(utilization "
+                             f"{format_percent(self.worker_utilization)})"),
+        ]
+        return render_key_points(points, title="engine run statistics")

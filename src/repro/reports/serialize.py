@@ -47,3 +47,20 @@ def experiment_to_json(output, indent: int = 2) -> str:
         "rendered": output.rendered,
     }
     return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def footprint_to_json(footprint, indent: int = None) -> str:
+    """Stable, versioned round-trip encoding of a Footprint.
+
+    Unlike :func:`to_jsonable` (one-way, best-effort), this is the
+    engine codec: sorted sets, a version tag, and an exact inverse in
+    :func:`footprint_from_json`.
+    """
+    from ..engine.codec import footprint_to_json as encode
+    return encode(footprint, indent=indent)
+
+
+def footprint_from_json(text: str):
+    """Inverse of :func:`footprint_to_json`."""
+    from ..engine.codec import footprint_from_json as decode
+    return decode(text)

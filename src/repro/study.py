@@ -77,25 +77,40 @@ _STUDY_CACHE: Dict[Tuple, "Study"] = {}
 class Study:
     """One full run of the reproduction."""
 
-    def __init__(self, config: Optional[EcosystemConfig] = None) -> None:
+    def __init__(self, config: Optional[EcosystemConfig] = None,
+                 jobs: int = 1, backend: Optional[str] = None,
+                 cache_dir: Optional[str] = None) -> None:
+        """``jobs``/``backend``/``cache_dir`` configure the analysis
+        engine: worker count, executor backend (defaults to ``process``
+        when ``jobs > 1``), and an optional persistent record cache so
+        warm re-runs skip unchanged binaries."""
+        from .engine import AnalysisEngine, EngineConfig
         self.config = config or EcosystemConfig()
+        if backend is None:
+            backend = "process" if jobs > 1 else "serial"
+        self.engine = AnalysisEngine(EngineConfig(
+            jobs=jobs, backend=backend, cache_dir=cache_dir))
         self.ecosystem: Ecosystem = build_ecosystem(self.config)
         self.result: AnalysisResult = AnalysisPipeline(
             self.ecosystem.repository,
-            self.ecosystem.interpreters).run()
+            self.ecosystem.interpreters,
+            engine=self.engine).run()
         self._tables: Dict[Tuple[str, str], Dict[str, float]] = {}
         self._curve: Optional[List[CurvePoint]] = None
 
     # --- construction helpers --------------------------------------------
 
     @classmethod
-    def default(cls, config: Optional[EcosystemConfig] = None) -> "Study":
+    def default(cls, config: Optional[EcosystemConfig] = None,
+                jobs: int = 1, backend: Optional[str] = None,
+                cache_dir: Optional[str] = None) -> "Study":
         """Memoized instance (ecosystem + analysis are deterministic)."""
         import dataclasses
         cfg = config or EcosystemConfig()
-        key = dataclasses.astuple(cfg)
+        key = (dataclasses.astuple(cfg), jobs, backend, cache_dir)
         if key not in _STUDY_CACHE:
-            _STUDY_CACHE[key] = cls(cfg)
+            _STUDY_CACHE[key] = cls(cfg, jobs=jobs, backend=backend,
+                                    cache_dir=cache_dir)
         return _STUDY_CACHE[key]
 
     @classmethod
@@ -594,8 +609,11 @@ class Study:
 
     def tab12_framework_stats(self) -> ExperimentOutput:
         database = AnalysisDatabase()
+        # Reusing the study's engine makes this second pipeline pass a
+        # pure cache replay: no binary is disassembled twice.
         AnalysisPipeline(self.repository,
-                         self.ecosystem.interpreters).run(database)
+                         self.ecosystem.interpreters,
+                         engine=self.engine).run(database)
         for package in self.repository:
             database.set_popcon(
                 package.name, self.popcon.installations(package.name))
@@ -620,6 +638,11 @@ class Study:
         return ExperimentOutput(
             "tab12", {"rows": counts, "distinct": distinct,
                       "unique": unique}, rendered)
+
+    def engine_report(self) -> ExperimentOutput:
+        """Instrumentation of the analysis run (stage times, cache)."""
+        stats = self.result.engine_stats
+        return ExperimentOutput("engine", stats, stats.render())
 
     def signature_index(self):
         """Footprint-signature index over the measured archive (§6)."""

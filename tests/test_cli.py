@@ -120,3 +120,52 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "APIs losing users" in out
         assert "migrations detected" in out
+
+
+class TestEngineFlags:
+    def test_jobs_and_cache_dir_defaults(self):
+        args = build_parser().parse_args(_SMALL + ["report"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_report_with_jobs(self, capsys):
+        code = main(_SMALL + ["--jobs", "2", "report", "fig1"])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_engine_report(self, capsys):
+        code = main(_SMALL + ["report", "engine"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine run statistics" in out
+        assert "binaries/s" in out
+
+    def test_cache_dir_populates_cache(self, capsys, tmp_path):
+        from repro.engine import AnalysisCache
+        cache_dir = str(tmp_path / "cache")
+        assert main(_SMALL + ["--cache-dir", cache_dir,
+                              "report", "engine"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert AnalysisCache(cache_dir).entry_count() > 0
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(_SMALL + ["--cache-dir", cache_dir,
+                              "report", "fig1"]) == 0
+        capsys.readouterr()
+
+        assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cached records" in out
+        assert cache_dir in out
+
+        assert main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+
+        assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+        assert "cached records   : 0" in capsys.readouterr().out
+
+    def test_cache_requires_cache_dir(self, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err

@@ -1,0 +1,325 @@
+"""Engine tests: backend determinism, caching, codec, incremental."""
+
+import functools
+
+import pytest
+
+from repro.analysis import AnalysisPipeline
+from repro.analysis.binary import BinaryAnalysis
+from repro.analysis.footprint import Footprint
+from repro.engine import (
+    AnalysisCache,
+    AnalysisEngine,
+    BinaryRecord,
+    CodecError,
+    EngineConfig,
+    Executor,
+    IncrementalDriver,
+    MemoryCache,
+    analyze_bytes,
+    content_key,
+    diff_repositories,
+    footprint_from_json,
+    footprint_to_json,
+    record_from_json,
+    record_to_json,
+)
+from repro.packages import (
+    BinaryArtifact,
+    BinaryKind,
+    Package,
+    Repository,
+)
+from repro.synth import build_ecosystem
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+@pytest.fixture(scope="module")
+def ecosystem(tiny_config):
+    return build_ecosystem(tiny_config)
+
+
+def _run(ecosystem, engine=None):
+    return AnalysisPipeline(ecosystem.repository,
+                            ecosystem.interpreters,
+                            engine=engine).run()
+
+
+def _comparable(result):
+    """Everything the metrics layer consumes, for equality checks."""
+    return (
+        result.package_footprints,
+        result.package_full_footprints,
+        result.binary_footprints,
+        result.direct_syscalls_by_binary,
+        result.library_binaries,
+        result.unresolved_sites,
+        result.binaries_with_direct_syscalls,
+        result.binaries_analyzed,
+        result.type_stats.elf_binaries,
+        dict(result.type_stats.scripts_by_interpreter),
+        result.syscall_signature_stats(),
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _sample_exe() -> bytes:
+    spec = BinarySpec(
+        name="sample",
+        functions=[FunctionSpec(
+            name="main", direct_syscalls=("read", "exit_group"))],
+        needed=(), entry_function="main")
+    return generate_binary(spec)
+
+
+class TestBackendDeterminism:
+    """Serial, threaded, and process backends must be byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial_result(self, tiny_config):
+        return _run(build_ecosystem(tiny_config))
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("serial", 1),
+        ("thread", 2),
+        ("process", 2),
+        ("process", 4),
+    ])
+    def test_identical_results(self, tiny_config, serial_result,
+                               backend, jobs):
+        ecosystem = build_ecosystem(tiny_config)
+        engine = AnalysisEngine(EngineConfig(jobs=jobs,
+                                             backend=backend))
+        result = _run(ecosystem, engine)
+        assert _comparable(result) == _comparable(serial_result)
+
+    def test_stats_attached(self, serial_result):
+        stats = serial_result.engine_stats
+        assert stats is not None
+        assert stats.binaries_analyzed == serial_result.binaries_analyzed
+        assert stats.binaries_per_second > 0
+        assert "analyze" in stats.stage_seconds
+        rendered = stats.render()
+        assert "engine run statistics" in rendered
+        assert "binaries/s" in rendered
+
+
+class TestWarmCache:
+    def test_disk_cache_warm_run_equals_cold(self, tiny_config,
+                                             tmp_path):
+        ecosystem = build_ecosystem(tiny_config)
+        config = EngineConfig(cache_dir=str(tmp_path / "cache"))
+        cold = _run(ecosystem, AnalysisEngine(config))
+        assert cold.engine_stats.cache_misses == cold.binaries_analyzed
+        warm = _run(ecosystem, AnalysisEngine(config))
+        stats = warm.engine_stats
+        assert stats.cache_misses == 0
+        assert stats.cache_hits == warm.binaries_analyzed
+        assert stats.hit_rate >= 0.95
+        assert _comparable(warm) == _comparable(cold)
+
+    def test_shared_engine_second_run_all_hits(self, tiny_config):
+        ecosystem = build_ecosystem(tiny_config)
+        engine = AnalysisEngine()
+        _run(ecosystem, engine)
+        warm = _run(ecosystem, engine)
+        assert warm.engine_stats.cache_misses == 0
+
+    def test_lazy_library_index_materializes(self, tiny_config,
+                                             tmp_path):
+        ecosystem = build_ecosystem(tiny_config)
+        config = EngineConfig(cache_dir=str(tmp_path / "cache"))
+        _run(ecosystem, AnalysisEngine(config))
+        warm = _run(ecosystem, AnalysisEngine(config))
+        # Warm runs hold no BinaryAnalysis objects; consumers that need
+        # one (Table 5, the dynamic tracer) trigger a lazy re-analysis.
+        index = warm.library_index
+        assert "libc.so.6" in index
+        analysis = index.get("libc.so.6")
+        assert isinstance(analysis, BinaryAnalysis)
+        assert analysis.all_direct_syscalls()
+
+
+class TestCache:
+    def _record(self):
+        return analyze_bytes(_sample_exe(), name="sample")
+
+    def test_disk_round_trip(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        record = self._record()
+        sha = content_key(_sample_exe())
+        assert cache.get(sha) is None
+        cache.put(sha, record)
+        assert cache.get(sha) == record
+        assert cache.entry_count() == 1
+        assert cache.size_bytes() > 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        sha = content_key(_sample_exe())
+        cache.put(sha, self._record())
+        path = cache._path(sha)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(sha) is None
+        assert cache.stats.invalid == 1
+
+    def test_clear(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        cache.put(content_key(_sample_exe()), self._record())
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+
+    def test_memory_cache_counters(self):
+        cache = MemoryCache()
+        record = self._record()
+        assert cache.get("x") is None
+        cache.put("x", record)
+        assert cache.get("x") == record
+        assert (cache.stats.hits, cache.stats.misses,
+                cache.stats.stores) == (1, 1, 1)
+
+
+class TestCodec:
+    def test_record_round_trip(self):
+        record = analyze_bytes(_sample_exe(), name="sample")
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_record_round_trip_library(self, ecosystem):
+        libc = None
+        for package in ecosystem.repository:
+            for artifact in package.artifacts:
+                if artifact.kind == BinaryKind.SHARED_LIBRARY:
+                    libc = analyze_bytes(artifact.data,
+                                         name=artifact.name)
+                    break
+            if libc is not None:
+                break
+        assert libc is not None and libc.export_effects
+        assert record_from_json(record_to_json(libc)) == libc
+
+    def test_record_json_is_stable(self):
+        record = analyze_bytes(_sample_exe(), name="sample")
+        assert record_to_json(record) == record_to_json(
+            record_from_json(record_to_json(record)))
+
+    def test_footprint_round_trip(self):
+        footprint = Footprint.build(
+            syscalls=["read", "write"], ioctls=["TCGETS"],
+            pseudo_files=["/dev/null"], libc_symbols=["printf"],
+            unresolved_sites=3)
+        assert footprint_from_json(
+            footprint_to_json(footprint)) == footprint
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(CodecError):
+            footprint_from_json('{"codec_version": "999"}')
+        with pytest.raises(CodecError):
+            record_from_json("not json at all")
+
+
+class TestExecutor:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            Executor(backend="gpu")
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("serial", 1), ("thread", 3), ("process", 2)])
+    def test_map_preserves_order(self, backend, jobs):
+        executor = Executor(backend=backend, jobs=jobs)
+        items = list(range(20))
+        assert executor.map(_square, items) == [i * i for i in items]
+
+    def test_empty_batch(self):
+        assert Executor("process", 2).map(_square, []) == []
+
+
+def _square(x):
+    return x * x
+
+
+class TestIncremental:
+    def _exe(self, syscalls):
+        spec = BinarySpec(
+            name="x",
+            functions=[FunctionSpec(name="main",
+                                    direct_syscalls=tuple(syscalls))],
+            needed=(), entry_function="main")
+        return generate_binary(spec)
+
+    def _repo(self, table):
+        """table: {package: {artifact: syscalls-tuple}}"""
+        packages = []
+        for pkg_name, artifacts in table.items():
+            package = Package(pkg_name)
+            for art_name, syscalls in artifacts.items():
+                package.add(BinaryArtifact(
+                    art_name, BinaryKind.ELF_EXECUTABLE,
+                    data=self._exe(syscalls)))
+            packages.append(package)
+        return Repository(packages)
+
+    def test_diff_repositories(self):
+        old = self._repo({"a": {"bin/a": ("read",)},
+                          "b": {"bin/b": ("write",)}})
+        new = self._repo({"a": {"bin/a": ("read",)},
+                          "b": {"bin/b": ("mmap",)},
+                          "c": {"bin/c": ("futex",)}})
+        diff = diff_repositories(old, new)
+        assert diff.unchanged == frozenset({("a", "bin/a")})
+        assert diff.changed == frozenset({("b", "bin/b")})
+        assert diff.added == frozenset({("c", "bin/c")})
+        assert diff.removed == frozenset()
+        assert diff.reanalysis_set == frozenset(
+            {("b", "bin/b"), ("c", "bin/c")})
+
+    def test_driver_reanalyzes_only_changes(self):
+        driver = IncrementalDriver()
+        first = driver.run(self._repo(
+            {"a": {"bin/a": ("read",)}, "b": {"bin/b": ("write",)}}))
+        assert first.diff is None
+        assert first.stats.cache_misses == 2
+
+        second = driver.run(self._repo(
+            {"a": {"bin/a": ("read",)}, "b": {"bin/b": ("mmap",)}}))
+        assert second.diff.changed == frozenset({("b", "bin/b")})
+        assert second.stats.cache_misses == len(
+            second.diff.reanalysis_set) == 1
+        assert second.stats.cache_hits == 1
+        assert second.result.footprint_of("b").syscalls >= {"mmap"}
+        assert second.result.footprint_of("a").syscalls >= {"read"}
+
+    def test_content_addressing_survives_renames(self):
+        driver = IncrementalDriver()
+        driver.run(self._repo({"a": {"bin/a": ("read",)}}))
+        # Same bytes under a new package/artifact name: still a hit.
+        moved = driver.run(self._repo({"z": {"bin/z": ("read",)}}))
+        assert moved.stats.cache_misses == 0
+        assert moved.diff.added == frozenset({("z", "bin/z")})
+
+
+class TestUnionAll:
+    def test_matches_pairwise_fold(self):
+        parts = [
+            Footprint.build(syscalls=["read"], unresolved_sites=1),
+            Footprint.build(ioctls=["TCGETS"], libc_symbols=["printf"]),
+            Footprint.build(syscalls=["write"], fcntls=["F_GETFD"],
+                            prctls=["PR_SET_NAME"],
+                            pseudo_files=["/dev/null"],
+                            unresolved_sites=2),
+        ]
+        folded = Footprint.EMPTY
+        for part in parts:
+            folded = folded | part
+        assert Footprint.union_all(parts) == folded
+
+    def test_empty_iterable_is_empty_sentinel(self):
+        assert Footprint.union_all([]) is Footprint.EMPTY
+        assert Footprint.union_all(
+            [Footprint.EMPTY, Footprint.EMPTY]) is Footprint.EMPTY
+
+    def test_unresolved_sites_sum(self):
+        parts = [Footprint.build(unresolved_sites=2),
+                 Footprint.build(unresolved_sites=3)]
+        assert Footprint.union_all(parts).unresolved_sites == 5

@@ -94,3 +94,27 @@ class TestSemilatticeProperties:
         merged = a | b
         assert a.syscalls <= merged.syscalls
         assert b.syscalls <= merged.syscalls
+
+
+class TestUnionAll:
+    @given(st.lists(_footprints(), max_size=6))
+    def test_equals_pairwise_fold(self, parts):
+        folded = Footprint.EMPTY
+        for part in parts:
+            folded = folded | part
+        assert Footprint.union_all(parts) == folded
+
+    def test_empty_iterable(self):
+        assert Footprint.union_all([]) is Footprint.EMPTY
+        assert Footprint.union_all(iter([])) is Footprint.EMPTY
+
+    def test_accepts_generators(self):
+        fps = [Footprint.build(syscalls=[name])
+               for name in ("read", "write")]
+        merged = Footprint.union_all(fp for fp in fps)
+        assert merged.syscalls == frozenset({"read", "write"})
+
+    def test_sums_unresolved_sites(self):
+        parts = [Footprint.build(unresolved_sites=1),
+                 Footprint.build(unresolved_sites=4)]
+        assert Footprint.union_all(parts).unresolved_sites == 5

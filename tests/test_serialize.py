@@ -49,3 +49,15 @@ class TestExperimentExport:
             payload = json.loads(text)
             assert payload["experiment"] == output.experiment
             assert payload["rendered"] == output.rendered
+
+
+class TestFootprintCodecReexport:
+    def test_round_trip(self):
+        from repro.analysis.footprint import Footprint
+        from repro.reports.serialize import (footprint_from_json,
+                                             footprint_to_json)
+        footprint = Footprint.build(
+            syscalls=["read"], ioctls=["TCGETS"], unresolved_sites=1)
+        text = footprint_to_json(footprint)
+        assert json.loads(text)["codec_version"]
+        assert footprint_from_json(text) == footprint
