@@ -1,0 +1,80 @@
+"""Robustness: analysis throughput over an adversarial corpus.
+
+Seeds the benchmark ecosystem with every :mod:`repro.synth.corruptor`
+mutation class and measures what fault capture costs: a cold serial
+run, a cold multi-process run, and a warm run where the negative cache
+answers for every known-bad binary.  The quarantine must be identical
+in all three regimes — fault tolerance changes wall time, never
+results.
+"""
+
+from repro.analysis import AnalysisPipeline
+from repro.engine import AnalysisEngine, EngineConfig
+from repro.reports.text import render_table
+from repro.synth import (
+    MUTATIONS,
+    EcosystemConfig,
+    build_ecosystem,
+    inject_corrupt_package,
+)
+
+_JOBS = 4
+
+
+def _corrupt_ecosystem():
+    ecosystem = build_ecosystem(EcosystemConfig(
+        n_filler_packages=60, n_driver_packages=10,
+        n_script_packages=30, seed=11))
+    inject_corrupt_package(ecosystem.repository, seed=0)
+    return ecosystem
+
+
+def _run(ecosystem, engine):
+    return AnalysisPipeline(ecosystem.repository,
+                            ecosystem.interpreters,
+                            engine=engine).run()
+
+
+def test_corrupt_corpus_throughput(benchmark, save, tmp_path):
+    ecosystem = _corrupt_ecosystem()
+    cache_dir = str(tmp_path / "cache")
+
+    serial = _run(ecosystem, AnalysisEngine(EngineConfig()))
+    parallel = _run(ecosystem, AnalysisEngine(
+        EngineConfig(jobs=_JOBS, backend="process")))
+    cold = _run(ecosystem, AnalysisEngine(
+        EngineConfig(cache_dir=cache_dir)))
+
+    def warm_run():
+        return _run(ecosystem, AnalysisEngine(
+            EngineConfig(cache_dir=cache_dir)))
+
+    warm = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+
+    # Identical quarantine and footprints in every regime.
+    for other in (parallel, cold, warm):
+        assert other.quarantined == serial.quarantined
+        assert other.package_footprints == serial.package_footprints
+    assert len(serial.quarantined) == len(MUTATIONS)
+
+    # The warm run answers every known-bad binary from the negative
+    # cache and re-analyzes nothing.
+    stats = warm.engine_stats
+    assert stats.binaries_analyzed == 0
+    assert stats.negative_cache_hits == len(MUTATIONS)
+
+    def _row(label, result):
+        st = result.engine_stats
+        return (label, f"{st.total_seconds:.2f}",
+                st.binaries_failed, st.negative_cache_hits)
+
+    save("robustness", render_table(
+        ["regime", "seconds", "quarantined", "negative hits"],
+        [
+            _row("serial x1 (cold)", serial),
+            _row(f"process x{_JOBS} (cold)", parallel),
+            _row("serial x1 (warm cache)", warm),
+        ],
+        title=f"Corrupt corpus ({len(MUTATIONS)} fault-injected "
+              f"binaries, {serial.engine_stats.binaries_total} "
+              f"submitted)"))

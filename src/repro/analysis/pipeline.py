@@ -46,6 +46,7 @@ from .resolver import FootprintResolver, LibraryIndex
 
 if TYPE_CHECKING:  # imported lazily at runtime (engine imports us)
     from ..engine.core import AnalysisEngine
+    from ..engine.errors import FailureRecord
     from ..engine.record import BinaryRecord
     from ..engine.stats import EngineStats
 
@@ -97,6 +98,13 @@ class AnalysisResult:
     library_binaries: FrozenSet[Tuple[str, str]] = frozenset()
     # Instrumentation of the run that produced this result.
     engine_stats: Optional["EngineStats"] = None
+    # Quarantine: per-binary failures captured instead of propagated.
+    failures: List["FailureRecord"] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> FrozenSet[Tuple[str, str]]:
+        """(package, artifact) keys excluded from the footprints."""
+        return frozenset((f.package, f.artifact) for f in self.failures)
 
     def footprint_of(self, package: str) -> Footprint:
         return self.package_footprints.get(package, Footprint.EMPTY)
@@ -136,8 +144,10 @@ class AnalysisPipeline:
     def run(self, database: Optional[AnalysisDatabase] = None,
             ) -> AnalysisResult:
         from ..engine.core import AnalysisEngine, LazyLibraryIndex
+        from ..engine.errors import FailureRecord, classify_exception
 
         engine = self.engine or AnalysisEngine()
+        strict = engine.config.strict
         stats = engine.new_stats()
 
         # Stage 1: scan the repository — type statistics plus the
@@ -201,21 +211,34 @@ class AnalysisPipeline:
                         direct_syscall_binaries += 1
                     if record.is_shared_library:
                         library_binaries.add(key)
-                    if artifact.is_executable:
-                        resolved = resolver.resolve_executable(record)
-                        binary_footprints[key] = resolved
-                        executable_footprints.append(resolved)
-                    else:
-                        # A shared library's own surface: every
-                        # export's resolved footprint plus its
-                        # hard-coded strings.
-                        library_parts.append(Footprint.build(
-                            pseudo_files=record.pseudo_files))
-                        if record.soname:
-                            library_parts.extend(
-                                resolver.resolve_export(
-                                    record.soname, export)
-                                for export in sorted(record.exported))
+                    try:
+                        if artifact.is_executable:
+                            resolved = resolver.resolve_executable(
+                                record)
+                            binary_footprints[key] = resolved
+                            executable_footprints.append(resolved)
+                        else:
+                            # A shared library's own surface: every
+                            # export's resolved footprint plus its
+                            # hard-coded strings.
+                            library_parts.append(Footprint.build(
+                                pseudo_files=record.pseudo_files))
+                            if record.soname:
+                                library_parts.extend(
+                                    resolver.resolve_export(
+                                        record.soname, export)
+                                    for export in sorted(
+                                        record.exported))
+                    except Exception as error:
+                        # Resolution trouble quarantines just this
+                        # binary, same as an analysis-stage fault.
+                        if strict:
+                            raise
+                        binary_footprints.pop(key, None)
+                        stats.binaries_failed += 1
+                        stats.failures.append(FailureRecord.for_task(
+                            key, record.sha256,
+                            classify_exception(error, stage="resolve")))
                 footprint = Footprint.union_all(executable_footprints)
                 package_footprints[package.name] = footprint
                 package_full_footprints[package.name] = (
@@ -253,6 +276,7 @@ class AnalysisPipeline:
             direct_syscalls_by_binary=direct_by_binary,
             library_binaries=frozenset(library_binaries),
             engine_stats=stats,
+            failures=list(stats.failures),
         )
         if database is not None:
             with stats.stage("database"):

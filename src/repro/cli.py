@@ -40,6 +40,7 @@ _EXPERIMENTS = {
     "surface": "attack_surface",
     "decomposition": "libc_decomposition",
     "engine": "engine_report",
+    "failures": "failure_report",
 }
 
 
@@ -70,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persistent content-addressed analysis "
                              "cache; warm re-runs skip unchanged "
                              "binaries")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast: the first per-binary analysis "
+                             "failure aborts the run instead of being "
+                             "quarantined")
+    parser.add_argument("--max-failures", type=int, default=None,
+                        metavar="N",
+                        help="abort once more than N binaries are "
+                             "quarantined (default: unlimited)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser(
@@ -134,7 +143,8 @@ def _study_for(args: argparse.Namespace) -> Study:
         n_driver_packages=args.drivers,
         n_script_packages=args.scripts,
         seed=args.seed,
-    ), jobs=args.jobs, cache_dir=args.cache_dir)
+    ), jobs=args.jobs, cache_dir=args.cache_dir,
+       strict=args.strict, max_failures=args.max_failures)
 
 
 def _read_syscall_list(spec: str) -> List[str]:
@@ -272,7 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_script_packages=args.scripts,
             seed=args.seed,
             adoption_shift=args.shift,
-        ), jobs=args.jobs, cache_dir=args.cache_dir)
+        ), jobs=args.jobs, cache_dir=args.cache_dir,
+           strict=args.strict, max_failures=args.max_failures)
         diff = UsageDiff(
             study.usage("syscall", universe=ALL_NAMES),
             future.usage("syscall", universe=ALL_NAMES))

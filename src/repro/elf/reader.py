@@ -39,8 +39,10 @@ class ElfReader:
                                                       ".dynstr")
             self.symbols = self._read_symbols(".symtab", ".strtab")
             self._annotate_symbol_versions()
-        except _struct.error as error:
-            # Truncated or corrupt image: surface one exception type.
+        except (_struct.error, IndexError, OverflowError,
+                UnicodeDecodeError) as error:
+            # Truncated or corrupt image — lying offsets, sizes, or
+            # string tables included: surface one exception type.
             raise ElfFormatError(str(error)) from error
 
     @classmethod

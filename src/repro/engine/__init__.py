@@ -3,6 +3,8 @@ incremental per-binary analysis.
 
 Layers:
 
+* :mod:`repro.engine.errors` — the per-binary failure taxonomy,
+  fault/failure records, and decode validation;
 * :mod:`repro.engine.record` — portable per-binary analysis records;
 * :mod:`repro.engine.codec` — stable, versioned JSON round-trip;
 * :mod:`repro.engine.cache` — content-addressed record cache (disk or
@@ -32,7 +34,21 @@ from .codec import (
     record_to_json,
 )
 from .core import AnalysisEngine, EngineConfig, LazyLibraryIndex
-from .executor import BACKENDS, Executor
+from .errors import (
+    ERROR_CLASSES,
+    AnalysisError,
+    AnalysisFault,
+    DecodeAnalysisError,
+    FailureRecord,
+    FormatAnalysisError,
+    InternalAnalysisError,
+    ResolutionAnalysisError,
+    TimeoutAnalysisError,
+    TooManyFailuresError,
+    classify_exception,
+    validate_analysis,
+)
+from .executor import BACKENDS, Executor, FaultPolicy, TaskOutcome
 from .incremental import (
     IncrementalDriver,
     IncrementalRun,
@@ -48,20 +64,33 @@ __all__ = [
     "ANALYSIS_VERSION",
     "AnalysisCache",
     "AnalysisEngine",
+    "AnalysisError",
+    "AnalysisFault",
     "BACKENDS",
     "BinaryRecord",
     "CODEC_VERSION",
     "CacheStats",
     "CodecError",
+    "DecodeAnalysisError",
+    "ERROR_CLASSES",
     "EngineConfig",
     "EngineStats",
     "Executor",
+    "FailureRecord",
+    "FaultPolicy",
+    "FormatAnalysisError",
+    "InternalAnalysisError",
+    "ResolutionAnalysisError",
+    "TaskOutcome",
+    "TimeoutAnalysisError",
+    "TooManyFailuresError",
     "IncrementalDriver",
     "IncrementalRun",
     "LazyLibraryIndex",
     "MemoryCache",
     "RepositoryDiff",
     "analyze_bytes",
+    "classify_exception",
     "content_key",
     "diff_manifests",
     "diff_repositories",
@@ -74,4 +103,5 @@ __all__ = [
     "record_to_dict",
     "record_to_json",
     "repository_manifest",
+    "validate_analysis",
 ]

@@ -12,6 +12,15 @@ persists to disk (warm runs survive the process), and
 :class:`MemoryCache` keeps records in-process (used as the default so
 repeated pipeline runs inside one study — e.g. Table 12's database
 mirror — skip re-analysis).
+
+Besides successful :class:`BinaryRecord` entries, the cache holds
+*negative* entries: an :class:`repro.engine.errors.AnalysisFault`
+stored under the content hash of bytes whose analysis failed.  A warm
+run over known-bad bytes skips re-analysis the same way it skips
+re-analysis of known-good bytes — ``get`` simply returns the fault and
+the engine re-quarantines.  Bumping ``ANALYSIS_VERSION`` invalidates
+negative entries along with everything else, so a fixed analyzer gets
+a fresh chance at previously failing inputs.
 """
 
 from __future__ import annotations
@@ -20,11 +29,15 @@ import os
 import pathlib
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
-from .codec import ANALYSIS_VERSION, CodecError, record_from_json, \
-    record_to_json
+from .codec import ANALYSIS_VERSION, CodecError, entry_from_json, \
+    entry_to_json
+from .errors import AnalysisFault
 from .record import BinaryRecord
+
+#: What a cache lookup can return: a record, a negative entry, or None.
+CacheEntry = Union[BinaryRecord, AnalysisFault]
 
 
 @dataclass
@@ -35,6 +48,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0          # unreadable / version-mismatched entries
+    negative_hits: int = 0    # lookups answered by a quarantined fault
+    negative_stores: int = 0  # faults written (negative caching)
 
     @property
     def lookups(self) -> int:
@@ -49,20 +64,28 @@ class MemoryCache:
     """In-process record cache (no persistence)."""
 
     def __init__(self) -> None:
-        self._records: Dict[str, BinaryRecord] = {}
+        self._records: Dict[str, CacheEntry] = {}
         self.stats = CacheStats()
 
-    def get(self, sha256: str) -> Optional[BinaryRecord]:
-        record = self._records.get(sha256)
-        if record is None:
+    def get(self, sha256: str) -> Optional[CacheEntry]:
+        entry = self._records.get(sha256)
+        if entry is None:
             self.stats.misses += 1
             return None
-        self.stats.hits += 1
-        return record
+        if isinstance(entry, AnalysisFault):
+            self.stats.negative_hits += 1
+        else:
+            self.stats.hits += 1
+        return entry
 
     def put(self, sha256: str, record: BinaryRecord) -> None:
         self._records[sha256] = record
         self.stats.stores += 1
+
+    def put_fault(self, sha256: str, fault: AnalysisFault) -> None:
+        """Negative-cache: these bytes are known to fail analysis."""
+        self._records[sha256] = fault
+        self.stats.negative_stores += 1
 
     def clear(self) -> int:
         count = len(self._records)
@@ -91,7 +114,7 @@ class AnalysisCache:
 
     # --- record interface ----------------------------------------------
 
-    def get(self, sha256: str) -> Optional[BinaryRecord]:
+    def get(self, sha256: str) -> Optional[CacheEntry]:
         path = self._path(sha256)
         try:
             text = path.read_text(encoding="utf-8")
@@ -99,7 +122,7 @@ class AnalysisCache:
             self.stats.misses += 1
             return None
         try:
-            record = record_from_json(text)
+            entry = entry_from_json(text)
         except CodecError:
             # Corrupt or stale entry: treat as a miss and drop it so
             # the slot is rewritten with a fresh record.
@@ -110,10 +133,22 @@ class AnalysisCache:
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
-        return record
+        if isinstance(entry, AnalysisFault):
+            self.stats.negative_hits += 1
+        else:
+            self.stats.hits += 1
+        return entry
 
     def put(self, sha256: str, record: BinaryRecord) -> None:
+        self._write(sha256, record)
+        self.stats.stores += 1
+
+    def put_fault(self, sha256: str, fault: AnalysisFault) -> None:
+        """Negative-cache: these bytes are known to fail analysis."""
+        self._write(sha256, fault)
+        self.stats.negative_stores += 1
+
+    def _write(self, sha256: str, entry: CacheEntry) -> None:
         path = self._path(sha256)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: a crashed writer must never leave a torn
@@ -122,7 +157,7 @@ class AnalysisCache:
             dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(record_to_json(record))
+                handle.write(entry_to_json(entry))
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -130,7 +165,6 @@ class AnalysisCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
 
     # --- maintenance ----------------------------------------------------
 

@@ -15,10 +15,11 @@ invalidates every previously cached record.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 from ..analysis.binary import RootEffects
 from ..analysis.footprint import Footprint
+from .errors import ERROR_CLASSES, AnalysisFault
 from .record import BinaryRecord
 
 #: Version of the per-binary analysis semantics (cache key component).
@@ -176,4 +177,66 @@ def record_from_json(text: str) -> BinaryRecord:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise CodecError(f"record: invalid JSON ({exc})") from None
+    return record_from_dict(payload)
+
+
+# --- AnalysisFault (negative cache entries) ----------------------------
+
+
+def fault_to_dict(fault: AnalysisFault) -> Dict[str, Any]:
+    return {
+        "codec_version": CODEC_VERSION,
+        "analysis_version": ANALYSIS_VERSION,
+        "fault": {
+            "error_class": fault.error_class,
+            "exc_type": fault.exc_type,
+            "message": fault.message,
+            "stage": fault.stage,
+        },
+    }
+
+
+def fault_from_dict(payload: Dict[str, Any]) -> AnalysisFault:
+    _check_version(payload, "fault")
+    if payload.get("analysis_version") != ANALYSIS_VERSION:
+        raise CodecError(
+            f"fault: analysis version "
+            f"{payload.get('analysis_version')!r} != {ANALYSIS_VERSION!r}")
+    body = payload.get("fault")
+    if not isinstance(body, dict):
+        raise CodecError("fault: missing fault body")
+    error_class = body.get("error_class", "internal")
+    if error_class not in ERROR_CLASSES:
+        raise CodecError(f"fault: unknown error class {error_class!r}")
+    return AnalysisFault(
+        error_class=error_class,
+        exc_type=str(body.get("exc_type", "")),
+        message=str(body.get("message", "")),
+        stage=str(body.get("stage", "analyze")),
+    )
+
+
+def fault_to_json(fault: AnalysisFault) -> str:
+    return json.dumps(fault_to_dict(fault), sort_keys=True,
+                      separators=(",", ":"))
+
+
+# --- cache entries: record or negative (fault) entry -------------------
+
+
+def entry_to_json(entry: Union[BinaryRecord, AnalysisFault]) -> str:
+    """Encode one cache entry — a record or a quarantined fault."""
+    if isinstance(entry, AnalysisFault):
+        return fault_to_json(entry)
+    return record_to_json(entry)
+
+
+def entry_from_json(text: str) -> Union[BinaryRecord, AnalysisFault]:
+    """Decode one cache entry; faults mark negative-cached bytes."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"entry: invalid JSON ({exc})") from None
+    if isinstance(payload, dict) and "fault" in payload:
+        return fault_from_dict(payload)
     return record_from_dict(payload)

@@ -11,6 +11,16 @@ of ``(key, name, bytes)`` tasks into :class:`BinaryRecord` results:
 The merge is deterministic: records come back keyed and are assembled
 in the submission order, so serial, threaded, and multi-process runs
 produce identical results.
+
+Fault tolerance: per-task failures are captured *inside* the workers
+(see :class:`repro.engine.executor.FaultPolicy`), classified by the
+taxonomy of :mod:`repro.engine.errors`, quarantined out of the result
+records, accumulated on :class:`EngineStats` as
+:class:`repro.engine.errors.FailureRecord` values, and negative-cached
+under the content address so warm runs skip known-bad bytes.  The
+quarantine set is identical across backends.  ``strict=True`` disables
+capture — the first failure propagates, restoring fail-fast — and
+``max_failures`` bounds how much quarantine a run tolerates.
 """
 
 from __future__ import annotations
@@ -23,7 +33,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..analysis.binary import BinaryAnalysis
 from ..analysis.resolver import LibraryIndex
 from .cache import AnalysisCache, MemoryCache
-from .executor import Executor
+from .errors import (AnalysisFault, FailureRecord, TooManyFailuresError,
+                     validate_analysis)
+from .executor import Executor, FaultPolicy
 from .record import BinaryRecord, analyze_bytes, content_key
 from .stats import EngineStats
 
@@ -39,14 +51,26 @@ class EngineConfig:
     jobs: int = 1
     backend: str = "serial"
     cache_dir: Optional[str] = None
+    strict: bool = False             # fail fast on the first failure
+    max_failures: Optional[int] = None  # quarantine budget per batch
+    retry_transient: bool = True     # retry tasks once on OSError
 
     @classmethod
     def for_jobs(cls, jobs: Optional[int],
-                 cache_dir: Optional[str] = None) -> "EngineConfig":
+                 cache_dir: Optional[str] = None,
+                 strict: bool = False,
+                 max_failures: Optional[int] = None) -> "EngineConfig":
         """CLI-style shorthand: >1 job selects the process backend."""
         jobs = jobs or 1
         backend = "process" if jobs > 1 else "serial"
-        return cls(jobs=jobs, backend=backend, cache_dir=cache_dir)
+        return cls(jobs=jobs, backend=backend, cache_dir=cache_dir,
+                   strict=strict, max_failures=max_failures)
+
+    def fault_policy(self) -> FaultPolicy:
+        if self.strict:
+            return FaultPolicy.strict()
+        return FaultPolicy(capture=True,
+                           retry_transient=self.retry_transient)
 
 
 def _analyze_task(task) -> Tuple[TaskKey, str, BinaryRecord]:
@@ -82,57 +106,96 @@ class AnalysisEngine:
                            Dict[TaskKey, BinaryAnalysis]]:
         """Analyze a batch of ELF artifacts.
 
-        Returns ``(records, analyses)``: records for every task, plus
-        the full :class:`BinaryAnalysis` objects for tasks that ran
-        in-process (serial/thread backends) — callers use those to seed
-        lazy indexes so nothing is analyzed twice on the cold path.
+        Returns ``(records, analyses)``: records for every *analyzable*
+        task, plus the full :class:`BinaryAnalysis` objects for tasks
+        that ran in-process (serial/thread backends) — callers use those
+        to seed lazy indexes so nothing is analyzed twice on the cold
+        path.  Tasks whose analysis failed are quarantined: absent from
+        ``records``, present as :class:`FailureRecord` entries on
+        ``stats.failures``, and negative-cached by content hash.
+
+        With ``strict=True`` the first failure propagates instead; with
+        ``max_failures=N`` the run aborts with
+        :class:`TooManyFailuresError` once the quarantine exceeds N.
         """
         if stats is None:
             stats = self.new_stats()
         stats.binaries_total += len(tasks)
+        strict = self.config.strict
+        policy = self.config.fault_policy()
 
         with stats.stage("hash"):
             hashed = [(key, name, data, content_key(data))
                       for key, name, data in tasks]
 
         hits: Dict[TaskKey, BinaryRecord] = {}
+        faults: Dict[TaskKey, AnalysisFault] = {}
         misses: List[Tuple[TaskKey, str, bytes, str]] = []
         with stats.stage("cache-lookup"):
             for key, name, data, sha in hashed:
-                record = self.cache.get(sha)
-                if record is not None:
-                    hits[key] = record
+                entry = self.cache.get(sha)
+                if isinstance(entry, AnalysisFault):
+                    # Negative hit: these bytes are known bad.  Strict
+                    # runs re-raise; tolerant runs re-quarantine.
+                    if strict:
+                        raise entry.to_error()
+                    faults[key] = entry
+                    stats.negative_cache_hits += 1
+                elif entry is not None:
+                    hits[key] = entry
                 else:
                     misses.append((key, name, data, sha))
         stats.cache_hits += len(hits)
         stats.cache_misses += len(misses)
 
         analyses: Dict[TaskKey, BinaryAnalysis] = {}
-        fresh: List[Tuple[TaskKey, str, BinaryRecord]] = []
+        outcomes = []
         with stats.stage("analyze"):
             if misses:
-                fresh = self.executor.map(
+                outcomes = self.executor.map(
                     self._in_process_worker(analyses)
                     if self.config.backend != "process"
                     else _analyze_task,
-                    misses)
-        stats.binaries_analyzed += len(fresh)
-        for _, worker_id, _ in fresh:
-            stats.worker_tasks[worker_id] += 1
+                    misses, policy=policy)
 
         sha_by_key = {key: sha for key, _, _, sha in misses}
+        fresh_by_key: Dict[TaskKey, BinaryRecord] = {}
         with stats.stage("cache-store"):
-            fresh_by_key = {}
-            for key, _, record in fresh:
-                self.cache.put(sha_by_key[key], record)
-                stats.cache_stores += 1
-                fresh_by_key[key] = record
+            for (key, _, _, _), outcome in zip(misses, outcomes):
+                if outcome.retried:
+                    stats.retries += 1
+                if outcome.ok:
+                    task_key, worker_id, record = outcome.value
+                    stats.binaries_analyzed += 1
+                    stats.worker_tasks[worker_id] += 1
+                    self.cache.put(sha_by_key[task_key], record)
+                    stats.cache_stores += 1
+                    fresh_by_key[task_key] = record
+                else:
+                    faults[key] = outcome.fault
+                    self.cache.put_fault(sha_by_key[key],
+                                         outcome.fault)
+                    stats.negative_cache_stores += 1
+                    analyses.pop(key, None)
 
-        # Deterministic merge: assemble in original submission order.
+        # Deterministic merge: assemble in original submission order;
+        # quarantined tasks are excluded from the records and recorded
+        # as failures in the same order.
         records: Dict[TaskKey, BinaryRecord] = {}
-        for key, _, _, _ in hashed:
-            records[key] = (hits[key] if key in hits
-                            else fresh_by_key[key])
+        for key, _, _, sha in hashed:
+            if key in faults:
+                stats.binaries_failed += 1
+                stats.failures.append(
+                    FailureRecord.for_task(key, sha, faults[key]))
+            elif key in hits:
+                records[key] = hits[key]
+            else:
+                records[key] = fresh_by_key[key]
+        budget = self.config.max_failures
+        if budget is not None and stats.binaries_failed > budget:
+            raise TooManyFailuresError(
+                f"{stats.binaries_failed} binaries failed analysis, "
+                f"exceeding --max-failures={budget}")
         return records, analyses
 
     @staticmethod
@@ -143,6 +206,7 @@ class AnalysisEngine:
         def work(task):
             key, name, data, sha = task
             analysis = BinaryAnalysis.from_bytes(data, name=name)
+            validate_analysis(analysis)
             sink[key] = analysis
             worker = f"tid:{threading.get_ident()}"
             return key, worker, BinaryRecord.from_analysis(

@@ -1,0 +1,214 @@
+"""Error taxonomy and failure records for per-binary analysis.
+
+The paper's pipeline ran over 66,275 real-world binaries, a corpus
+that inevitably contains truncated, malformed, and adversarially weird
+images.  Robust bulk analysis therefore treats a per-binary failure as
+*data*, not as a reason to abort the run: each failure is classified
+into a small taxonomy, captured as a structured :class:`FailureRecord`,
+quarantined out of the footprints, and negative-cached so warm runs
+skip known-bad bytes.
+
+Taxonomy (``error_class``):
+
+* ``format``     — the image is not a well-formed ELF64 file
+  (:class:`repro.elf.structs.ElfFormatError`);
+* ``decode``     — the image parses but its code is not analyzable
+  (entry point outside ``.text``, unrecognized-instruction density);
+* ``resolution`` — cross-binary resolution failed (missing package,
+  broken library index);
+* ``timeout``    — analysis exceeded a time budget;
+* ``internal``   — everything else (our bug, OS trouble, ...).
+
+Two shapes carry failures around:
+
+* :class:`AnalysisFault` — the *content-level* description (class,
+  original exception type, message, stage).  It is what crosses
+  process boundaries and what the negative cache stores, keyed by the
+  SHA-256 of the bytes: the same bytes fail the same way regardless of
+  which package ships them.
+* :class:`FailureRecord` — one fault attributed to one task
+  (package, artifact, sha256).  This is what :class:`EngineStats`
+  accumulates and what ``repro-analyze report failures`` prints.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from ..elf.structs import ElfFormatError
+from ..x86.instructions import InsnKind
+
+if TYPE_CHECKING:
+    from ..analysis.binary import BinaryAnalysis
+
+#: Valid ``error_class`` values, in severity-agnostic display order.
+ERROR_CLASSES = ("format", "decode", "resolution", "timeout",
+                 "internal")
+
+
+class AnalysisError(Exception):
+    """Base of the per-binary analysis error taxonomy."""
+
+    #: The taxonomy bucket this exception type belongs to.
+    error_class = "internal"
+
+    def __init__(self, message: str, stage: str = "analyze") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class FormatAnalysisError(AnalysisError):
+    """The bytes are not a well-formed ELF64 image."""
+
+    error_class = "format"
+
+
+class DecodeAnalysisError(AnalysisError):
+    """The image parses but its code cannot be meaningfully decoded."""
+
+    error_class = "decode"
+
+
+class ResolutionAnalysisError(AnalysisError):
+    """Cross-binary resolution failed for this binary."""
+
+    error_class = "resolution"
+
+
+class TimeoutAnalysisError(AnalysisError):
+    """Per-binary analysis exceeded its time budget."""
+
+    error_class = "timeout"
+
+
+class InternalAnalysisError(AnalysisError):
+    """Unexpected failure inside the analysis itself."""
+
+    error_class = "internal"
+
+
+class TooManyFailuresError(AnalysisError):
+    """The run crossed the configured ``max_failures`` budget."""
+
+    error_class = "internal"
+
+
+_CLASS_TO_ERROR = {
+    "format": FormatAnalysisError,
+    "decode": DecodeAnalysisError,
+    "resolution": ResolutionAnalysisError,
+    "timeout": TimeoutAnalysisError,
+    "internal": InternalAnalysisError,
+}
+
+
+@dataclass(frozen=True)
+class AnalysisFault:
+    """Content-level failure description (picklable, JSON-codable)."""
+
+    error_class: str          # one of ERROR_CLASSES
+    exc_type: str             # original exception type name
+    message: str
+    stage: str                # "parse" | "analyze" | "resolve" | ...
+    retried: bool = False     # a transient retry was attempted first
+
+    def to_error(self) -> AnalysisError:
+        """Rebuild a raisable taxonomy exception (strict mode)."""
+        error_type = _CLASS_TO_ERROR.get(self.error_class,
+                                         InternalAnalysisError)
+        return error_type(f"{self.exc_type}: {self.message}",
+                          stage=self.stage)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One per-task failure: an :class:`AnalysisFault` with an address."""
+
+    package: str
+    artifact: str
+    sha256: str
+    error_class: str
+    exc_type: str
+    message: str
+    stage: str
+
+    @classmethod
+    def for_task(cls, key: Tuple[str, str], sha256: str,
+                 fault: AnalysisFault) -> "FailureRecord":
+        package, artifact = key
+        return cls(package=package, artifact=artifact, sha256=sha256,
+                   error_class=fault.error_class,
+                   exc_type=fault.exc_type, message=fault.message,
+                   stage=fault.stage)
+
+    @property
+    def fault(self) -> AnalysisFault:
+        return AnalysisFault(error_class=self.error_class,
+                             exc_type=self.exc_type,
+                             message=self.message, stage=self.stage)
+
+
+def classify_exception(error: BaseException, stage: str = "analyze",
+                       retried: bool = False) -> AnalysisFault:
+    """Map an arbitrary exception onto the taxonomy."""
+    if isinstance(error, AnalysisError):
+        error_class = error.error_class
+        stage = error.stage
+    elif isinstance(error, ElfFormatError):
+        error_class, stage = "format", "parse"
+    elif isinstance(error, (_struct.error, UnicodeDecodeError)):
+        error_class = "decode"
+    elif isinstance(error, TimeoutError):
+        error_class = "timeout"
+    elif stage == "resolve":
+        error_class = "resolution"
+    else:
+        error_class = "internal"
+    return AnalysisFault(
+        error_class=error_class,
+        exc_type=type(error).__name__,
+        message=str(error) or type(error).__name__,
+        stage=stage, retried=retried)
+
+
+# --- decode-stage validation -------------------------------------------
+
+#: An image whose root-reachable code is at least this fraction
+#: unrecognized instructions (with at least _MIN_UNKNOWN of them) is
+#: treated as garbage.  Legitimate code in the studied subset decodes
+#: with essentially zero unknowns; random bytes decode mostly to
+#: :data:`InsnKind.OTHER`.
+_UNKNOWN_FRACTION = 0.2
+_MIN_UNKNOWN = 2
+
+
+def validate_analysis(analysis: "BinaryAnalysis") -> None:
+    """Reject images that parse but are not meaningfully analyzable.
+
+    Raises :class:`DecodeAnalysisError` when
+
+    * the header claims an entry point but no ``_start`` root could be
+      anchored inside ``.text`` (lying ``e_entry``), or
+    * the instruction stream reachable from the discovered roots is
+      dominated by unrecognized encodings (garbage code bytes).
+    """
+    header = analysis.elf.header
+    if header.is_executable and analysis.entry_root() is None:
+        raise DecodeAnalysisError(
+            f"entry point {header.e_entry:#x} is outside .text",
+            stage="decode")
+    total = 0
+    unknown = 0
+    for root in analysis.graph.entry_points.values():
+        for insn in analysis.graph.reachable_instructions(root):
+            total += 1
+            if insn.kind == InsnKind.OTHER:
+                unknown += 1
+    if (unknown >= _MIN_UNKNOWN and total > 0
+            and unknown / total >= _UNKNOWN_FRACTION):
+        raise DecodeAnalysisError(
+            f"unrecognized instruction density {unknown}/{total} "
+            f"from {len(analysis.graph.entry_points)} roots",
+            stage="decode")

@@ -12,13 +12,36 @@ Backend notes:
 * ``process`` — ``ProcessPoolExecutor`` with a ``fork`` context where
   available (``spawn`` otherwise); the function and items must be
   picklable.  Tasks are chunked to amortize IPC.
+
+A single-job map always runs serially: spinning up a pool to do the
+work one item at a time only adds IPC and startup cost.
+
+Fault policy
+------------
+
+Bulk analysis over uncurated inputs must not die on the first broken
+item.  :meth:`Executor.map` therefore accepts an optional
+:class:`FaultPolicy`; when given, every task runs under a guard that
+
+* retries once on a transient :class:`OSError` (opt-out), then
+* captures any exception as a classified
+  :class:`repro.engine.errors.AnalysisFault` instead of propagating,
+
+and the map returns :class:`TaskOutcome` values.  The guard runs
+*inside* the worker, so capture behaves identically across the
+serial, thread, and process backends.  With ``capture=False`` the
+original exception propagates — that is strict, fail-fast mode.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from .errors import AnalysisFault, classify_exception
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -30,6 +53,57 @@ def _process_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How per-task failures are handled during a map."""
+
+    capture: bool = True           # False = strict: re-raise
+    retry_transient: bool = True   # retry once on OSError
+
+    @classmethod
+    def strict(cls) -> "FaultPolicy":
+        return cls(capture=False, retry_transient=False)
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one guarded task: a value or a captured fault."""
+
+    value: Any = None
+    fault: Optional[AnalysisFault] = None
+    retried: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.fault is None
+
+
+def _call_guarded(fn: Callable[[T], R], policy: FaultPolicy,
+                  item: T) -> TaskOutcome:
+    """Run one task under the fault policy (worker-side, picklable)."""
+    retried = False
+    while True:
+        try:
+            return TaskOutcome(value=fn(item), retried=retried)
+        except OSError as error:
+            # Transient I/O trouble (EINTR, fd pressure, ...): one
+            # deterministic retry before giving up on the task.
+            if policy.retry_transient and not retried:
+                retried = True
+                continue
+            if not policy.capture:
+                raise
+            return TaskOutcome(
+                fault=classify_exception(error, retried=retried),
+                retried=retried)
+        except Exception as error:
+            if not policy.capture:
+                raise
+            return TaskOutcome(
+                fault=classify_exception(error, retried=retried),
+                retried=retried)
 
 
 class Executor:
@@ -44,13 +118,21 @@ class Executor:
         self.backend = backend
         self.jobs = jobs
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Apply ``fn`` to every item; results in input order."""
+    def map(self, fn: Callable[[T], R], items: Sequence[T],
+            policy: Optional[FaultPolicy] = None) -> List[R]:
+        """Apply ``fn`` to every item; results in input order.
+
+        With a :class:`FaultPolicy`, each element of the result is a
+        :class:`TaskOutcome` instead of a bare return value.
+        """
+        if policy is not None:
+            fn = functools.partial(_call_guarded, fn, policy)
         items = list(items)
         if not items:
             return []
-        if self.backend == "serial" or self.jobs == 1 and (
-                self.backend == "thread"):
+        # Any single-job map runs serially, whatever the backend: a
+        # one-worker pool computes the same thing with extra overhead.
+        if self.backend == "serial" or self.jobs == 1:
             return [fn(item) for item in items]
         if self.backend == "thread":
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..analysis.binary import BinaryAnalysis, RootEffects
+from .errors import validate_analysis
 
 #: Opaque root token standing in for the entry point of a record.
 ENTRY_ROOT = "__entry__"
@@ -103,7 +104,14 @@ class BinaryRecord:
 
 def analyze_bytes(data: bytes, name: str = "",
                   sha256: str = "") -> BinaryRecord:
-    """Analyze one ELF image from bytes into a record (worker entry)."""
+    """Analyze one ELF image from bytes into a record (worker entry).
+
+    Raises the taxonomy errors of :mod:`repro.engine.errors`:
+    :class:`repro.elf.structs.ElfFormatError` for malformed images and
+    :class:`repro.engine.errors.DecodeAnalysisError` for images that
+    parse but carry unanalyzable code.
+    """
     analysis = BinaryAnalysis.from_bytes(data, name=name)
+    validate_analysis(analysis)
     return BinaryRecord.from_analysis(
         analysis, sha256=sha256 or content_key(data))

@@ -12,9 +12,10 @@ import time
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from ..reports.text import format_percent, render_key_points
+from .errors import FailureRecord
 
 
 @dataclass
@@ -29,7 +30,12 @@ class EngineStats:
     cache_stores: int = 0
     binaries_total: int = 0          # ELF artifacts submitted
     binaries_analyzed: int = 0       # actually (re-)analyzed (misses)
+    binaries_failed: int = 0         # quarantined (fault captured)
+    negative_cache_hits: int = 0     # known-bad bytes skipped warm
+    negative_cache_stores: int = 0   # fresh faults negative-cached
+    retries: int = 0                 # transient-OSError retries
     worker_tasks: Counter = field(default_factory=Counter)
+    failures: List[FailureRecord] = field(default_factory=list)
 
     @contextmanager
     def stage(self, name: str):
@@ -64,6 +70,13 @@ class EngineStats:
         return self.binaries_analyzed / self.analyze_seconds
 
     @property
+    def failures_by_class(self) -> Dict[str, int]:
+        """Quarantine census: ``error_class`` -> count."""
+        census: Counter = Counter(
+            record.error_class for record in self.failures)
+        return dict(sorted(census.items()))
+
+    @property
     def workers_used(self) -> int:
         return len(self.worker_tasks)
 
@@ -95,6 +108,15 @@ class EngineStats:
             ("cache stores", self.cache_stores),
             ("throughput",
              f"{self.binaries_per_second:.1f} binaries/s"),
+            ("quarantined",
+             f"{self.binaries_failed} binaries"
+             + (" (" + ", ".join(
+                    f"{cls}: {count}" for cls, count
+                    in self.failures_by_class.items()) + ")"
+                if self.failures_by_class else "")
+             + (f", {self.negative_cache_hits} skipped via "
+                f"negative cache"
+                if self.negative_cache_hits else "")),
             ("workers used", f"{self.workers_used} of {self.jobs} "
                              f"(utilization "
                              f"{format_percent(self.worker_utilization)})"),

@@ -51,6 +51,11 @@ def close_over_dependencies(supported: Set[str],
     while changed:
         changed = False
         for name in list(result):
+            if name not in repository:
+                # A footprint package absent from the repository has no
+                # dependency metadata to check; absence alone never
+                # invalidates it (same treatment as assume_supported).
+                continue
             package = repository.get(name)
             for dep in package.depends:
                 if (dep in repository and dep not in result

@@ -15,8 +15,147 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from ..analysis.footprint import Footprint
 from ..packages.popcon import PopularityContest
 from ..packages.repository import Repository
-from .completeness import close_over_dependencies
 from .importance import DIMENSIONS, ranked
+
+
+class _SupportTracker:
+    """Incremental dependency closure over the condensation DAG.
+
+    :func:`repro.metrics.completeness.close_over_dependencies` computes
+    the *greatest* fixed point of "supported and all dependencies
+    supported" — a dependency cycle whose members are all satisfied
+    stays supported.  A naive additive worklist computes the *least*
+    fixed point, which wrongly drops such cycles.  Condensing the
+    dependency graph into strongly connected components first makes the
+    two coincide: on a DAG, a component is supported exactly when every
+    member is directly satisfied, no member depends on a package that
+    can never be supported, and every successor component is supported.
+
+    Packages then flip to supported monotonically as APIs are added, so
+    one run over the ranked API list costs O(edges) total instead of
+    re-running the fixed point at every rank (the old quadratic path).
+    """
+
+    def __init__(self, universe, repository: Repository,
+                 assumed) -> None:
+        nodes = list(universe)
+        node_set = set(nodes)
+        adjacency: Dict[str, List[str]] = {name: [] for name in nodes}
+        poisoned_nodes = set()
+        for name in nodes:
+            if name not in repository:
+                # No dependency metadata: never invalidated (mirrors
+                # close_over_dependencies skipping unknown packages).
+                continue
+            for dep in repository.get(name).depends:
+                if dep == name:
+                    continue
+                if dep in node_set:
+                    adjacency[name].append(dep)
+                elif dep in repository and dep not in assumed:
+                    # Depends on a measured-universe outsider that is
+                    # neither assumed supported nor absent: the closure
+                    # can never keep this package.
+                    poisoned_nodes.add(name)
+
+        component_of = self._condense(nodes, adjacency)
+        n_components = max(component_of.values()) + 1 if nodes else 0
+        self._component_of = component_of
+        self._members: List[List[str]] = [[] for _ in range(n_components)]
+        for name in nodes:
+            self._members[component_of[name]].append(name)
+        self._unsatisfied = [len(members) for members in self._members]
+        self._poisoned = [False] * n_components
+        for name in poisoned_nodes:
+            self._poisoned[component_of[name]] = True
+        dependents: List[set] = [set() for _ in range(n_components)]
+        unmet = [set() for _ in range(n_components)]
+        for name in nodes:
+            comp = component_of[name]
+            for dep in adjacency[name]:
+                dep_comp = component_of[dep]
+                if dep_comp != comp:
+                    unmet[comp].add(dep_comp)
+                    dependents[dep_comp].add(comp)
+        self._unmet_deps = [len(deps) for deps in unmet]
+        self._dependents = [sorted(deps) for deps in dependents]
+        self._supported = [False] * n_components
+
+    @staticmethod
+    def _condense(nodes, adjacency) -> Dict[str, int]:
+        """Iterative Tarjan SCC; returns node -> component id."""
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack = set()
+        stack: List[str] = []
+        component_of: Dict[str, int] = {}
+        counter = [0]
+        components = [0]
+
+        for root in nodes:
+            if root in index_of:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, edges = work[-1]
+                advanced = False
+                for dep in edges:
+                    if dep not in index_of:
+                        index_of[dep] = lowlink[dep] = counter[0]
+                        counter[0] += 1
+                        stack.append(dep)
+                        on_stack.add(dep)
+                        work.append((dep, iter(adjacency[dep])))
+                        advanced = True
+                        break
+                    if dep in on_stack:
+                        lowlink[node] = min(lowlink[node],
+                                            index_of[dep])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent],
+                                          lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component_of[member] = components[0]
+                        if member == node:
+                            break
+                    components[0] += 1
+        return component_of
+
+    def mark_satisfied(self, package: str) -> List[str]:
+        """One package's own footprint is now covered.
+
+        Returns every package that *became supported* as a result —
+        the package's component if it just completed, plus any
+        dependent components cascading to supported.
+        """
+        comp = self._component_of[package]
+        self._unsatisfied[comp] -= 1
+        newly: List[str] = []
+        worklist = [comp]
+        while worklist:
+            candidate = worklist.pop()
+            if (self._supported[candidate]
+                    or self._unsatisfied[candidate] > 0
+                    or self._unmet_deps[candidate] > 0
+                    or self._poisoned[candidate]):
+                continue
+            self._supported[candidate] = True
+            newly.extend(self._members[candidate])
+            for dependent in self._dependents[candidate]:
+                self._unmet_deps[dependent] -= 1
+                worklist.append(dependent)
+        return newly
 
 
 @dataclass(frozen=True)
@@ -55,8 +194,11 @@ def completeness_curve(footprints: Mapping[str, Footprint],
     Packages with an empty footprint are excluded (see
     :func:`repro.metrics.completeness.weighted_completeness`).
 
-    Runs in O(APIs + packages) by tracking, per package, how many of
-    its required APIs are still missing.
+    Runs incrementally: per package, how many required APIs are still
+    missing; per dependency-graph component (via :class:`_SupportTracker`),
+    how many members and dependencies are still unsupported — so the
+    whole curve costs O(APIs + packages + dependency edges) instead of
+    re-running the dependency fixed point at every rank.
     """
     select = DIMENSIONS[dimension]
     trivially_supported = {pkg for pkg, fp in footprints.items()
@@ -85,21 +227,28 @@ def completeness_curve(footprints: Mapping[str, Footprint],
     if total_weight == 0:
         return []
 
-    satisfied = {p for p, count in requirement_count.items()
-                 if count == 0}
+    tracker = (None if repository is None else _SupportTracker(
+        footprints, repository, trivially_supported))
+
+    supported_weight = 0.0
+
+    def note_satisfied(package: str) -> float:
+        if tracker is None:
+            return popcon.install_probability(package)
+        return sum(popcon.install_probability(p)
+                   for p in tracker.mark_satisfied(package))
+
+    for package, count in requirement_count.items():
+        if count == 0:
+            supported_weight += note_satisfied(package)
     curve: List[CurvePoint] = []
     for rank, api in enumerate(order, start=1):
         for package in users.get(api, ()):
             requirement_count[package] -= 1
             if requirement_count[package] == 0:
-                satisfied.add(package)
-        supported = satisfied
-        if repository is not None:
-            supported = close_over_dependencies(
-                set(satisfied), repository,
-                assume_supported=trivially_supported)
-        weight = sum(popcon.install_probability(p) for p in supported)
-        curve.append(CurvePoint(rank, api, weight / total_weight))
+                supported_weight += note_satisfied(package)
+        curve.append(CurvePoint(
+            rank, api, supported_weight / total_weight))
     return curve
 
 

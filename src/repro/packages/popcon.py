@@ -119,7 +119,10 @@ class PopularityContest:
                 counts[name] = total_installations
         for name, probability in pinned.items():
             if name in names:
-                counts[name] = max(1, min(
+                # Pins are exact: unlike the synthesized tail, an
+                # explicit 0.0 must yield zero installations, so no
+                # one-installation floor here.
+                counts[name] = max(0, min(
                     total_installations,
                     int(probability * total_installations)))
         return cls(total_installations, counts)

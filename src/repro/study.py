@@ -79,17 +79,22 @@ class Study:
 
     def __init__(self, config: Optional[EcosystemConfig] = None,
                  jobs: int = 1, backend: Optional[str] = None,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 strict: bool = False,
+                 max_failures: Optional[int] = None) -> None:
         """``jobs``/``backend``/``cache_dir`` configure the analysis
         engine: worker count, executor backend (defaults to ``process``
         when ``jobs > 1``), and an optional persistent record cache so
-        warm re-runs skip unchanged binaries."""
+        warm re-runs skip unchanged binaries.  ``strict`` restores
+        fail-fast per-binary analysis (the first failure propagates);
+        ``max_failures`` bounds the quarantine before the run aborts."""
         from .engine import AnalysisEngine, EngineConfig
         self.config = config or EcosystemConfig()
         if backend is None:
             backend = "process" if jobs > 1 else "serial"
         self.engine = AnalysisEngine(EngineConfig(
-            jobs=jobs, backend=backend, cache_dir=cache_dir))
+            jobs=jobs, backend=backend, cache_dir=cache_dir,
+            strict=strict, max_failures=max_failures))
         self.ecosystem: Ecosystem = build_ecosystem(self.config)
         self.result: AnalysisResult = AnalysisPipeline(
             self.ecosystem.repository,
@@ -103,14 +108,18 @@ class Study:
     @classmethod
     def default(cls, config: Optional[EcosystemConfig] = None,
                 jobs: int = 1, backend: Optional[str] = None,
-                cache_dir: Optional[str] = None) -> "Study":
+                cache_dir: Optional[str] = None,
+                strict: bool = False,
+                max_failures: Optional[int] = None) -> "Study":
         """Memoized instance (ecosystem + analysis are deterministic)."""
         import dataclasses
         cfg = config or EcosystemConfig()
-        key = (dataclasses.astuple(cfg), jobs, backend, cache_dir)
+        key = (dataclasses.astuple(cfg), jobs, backend, cache_dir,
+               strict, max_failures)
         if key not in _STUDY_CACHE:
             _STUDY_CACHE[key] = cls(cfg, jobs=jobs, backend=backend,
-                                    cache_dir=cache_dir)
+                                    cache_dir=cache_dir, strict=strict,
+                                    max_failures=max_failures)
         return _STUDY_CACHE[key]
 
     @classmethod
@@ -644,6 +653,32 @@ class Study:
         stats = self.result.engine_stats
         return ExperimentOutput("engine", stats, stats.render())
 
+    def failure_report(self) -> ExperimentOutput:
+        """The quarantine: every binary whose analysis failed.
+
+        One row per quarantined binary — package, artifact, error
+        class, stage, and the captured message — so a bulk run over an
+        uncurated corpus documents exactly what it could not analyze.
+        """
+        from .reports.text import render_table
+        failures = self.result.failures
+        rows = [
+            (f.package, f.artifact, f.error_class, f.stage,
+             f.message if len(f.message) <= 48
+             else f.message[:45] + "...")
+            for f in failures
+        ]
+        title = (f"quarantined binaries ({len(failures)} of "
+                 f"{self.result.engine_stats.binaries_total} submitted)")
+        if not rows:
+            rendered = (title + "\n  (none — every submitted binary "
+                        "analyzed cleanly)")
+        else:
+            rendered = render_table(
+                ("package", "artifact", "class", "stage", "message"),
+                rows, title=title)
+        return ExperimentOutput("failures", failures, rendered)
+
     def signature_index(self):
         """Footprint-signature index over the measured archive (§6)."""
         from .analysis.signatures import SignatureIndex
@@ -749,4 +784,5 @@ class Study:
             self.tab12_framework_stats(),
             self.attack_surface(),
             self.libc_decomposition(),
+            self.failure_report(),
         ]

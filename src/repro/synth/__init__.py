@@ -3,6 +3,15 @@ calibration profiles, and the ecosystem builder."""
 
 from . import profiles
 from .codegen import BinaryGenerator, BinarySpec, FunctionSpec, generate_binary, stable_seed
+from .corruptor import (
+    CORRUPT_PACKAGE,
+    DECODE_MUTATIONS,
+    MUTATIONS,
+    all_corruptions,
+    corrupt,
+    corrupt_artifacts,
+    inject_corrupt_package,
+)
 from .ecosystem import (
     Ecosystem,
     EcosystemBuilder,
@@ -15,14 +24,21 @@ from .runtime_gen import generate_libc, generate_ld_so, generate_runtime_images
 __all__ = [
     "BinaryGenerator",
     "BinarySpec",
+    "CORRUPT_PACKAGE",
+    "DECODE_MUTATIONS",
     "ESSENTIAL_PACKAGES",
     "Ecosystem",
     "EcosystemBuilder",
     "EcosystemConfig",
     "FunctionSpec",
+    "MUTATIONS",
+    "all_corruptions",
     "build_ecosystem",
+    "corrupt",
+    "corrupt_artifacts",
     "generate_binary",
     "generate_ld_so",
+    "inject_corrupt_package",
     "generate_libc",
     "generate_runtime_images",
     "profiles",

@@ -1,0 +1,189 @@
+"""Deterministic ELF fault injection for robustness testing.
+
+The paper's corpus of 66k real binaries inevitably contains truncated
+downloads, images damaged in transit, and adversarially weird files.
+This module reproduces those failure shapes on demand: each *mutation*
+takes the bytes of a valid synthesized ELF and damages them in one
+specific, reproducible way.  The corrupt corpus drives the engine's
+quarantine tests and the robustness benchmark — every mutation class
+must yield a quarantine entry, never an abort.
+
+Mutation classes (name → what the damaged image looks like):
+
+* ``truncate_header``     — cut mid-ELF-header (interrupted download);
+* ``truncate_tail``       — cut at ~55% (section bodies missing);
+* ``wrong_class``         — ``EI_CLASS`` claims ELFCLASS32;
+* ``shoff_beyond_eof``    — ``e_shoff`` points past end-of-file;
+* ``phoff_beyond_eof``    — ``e_phoff`` points past end-of-file;
+* ``shentsize_lie``       — absurd ``e_shentsize`` (header stride lie);
+* ``entry_outside_text``  — ``e_entry`` points at unmapped memory;
+* ``garbage_code``        — ``.text`` bytes replaced with seeded noise.
+
+The first six are *format* faults (the reader rejects the image); the
+last two parse fine and are only caught by decode-stage validation
+(:func:`repro.engine.errors.validate_analysis`).
+
+Everything here is deterministic: the same input bytes, mutation name,
+and seed produce the same corrupt image.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..elf.reader import ElfReader
+from ..packages.package import BinaryArtifact, BinaryKind, Package
+from ..packages.repository import Repository
+
+# ELF64 header field offsets (see repro.elf.structs.ElfHeader.pack).
+_EI_CLASS = 4
+_E_ENTRY = 24     # <Q
+_E_PHOFF = 32     # <Q
+_E_SHOFF = 40     # <Q
+_E_SHENTSIZE = 58  # <H
+
+#: Name of the package that :func:`inject_corrupt_package` adds.
+CORRUPT_PACKAGE = "corrupt-corpus"
+
+
+def _patch(data: bytes, offset: int, fmt: str, value: int) -> bytes:
+    blob = bytearray(data)
+    struct.pack_into(fmt, blob, offset, value)
+    return bytes(blob)
+
+
+def truncate_header(data: bytes, seed: int = 0) -> bytes:
+    """Cut inside the ELF header itself (valid magic, nothing else)."""
+    return data[:18]
+
+
+def truncate_tail(data: bytes, seed: int = 0) -> bytes:
+    """Cut the image at ~55% — headers intact, bodies missing."""
+    return data[:max(64, int(len(data) * 0.55))]
+
+
+def wrong_class(data: bytes, seed: int = 0) -> bytes:
+    """Lie in ``EI_CLASS``: claim a 32-bit image."""
+    blob = bytearray(data)
+    blob[_EI_CLASS] = 1  # ELFCLASS32
+    return bytes(blob)
+
+
+def shoff_beyond_eof(data: bytes, seed: int = 0) -> bytes:
+    """Point ``e_shoff`` past end-of-file."""
+    return _patch(data, _E_SHOFF, "<Q", len(data) + 4096)
+
+
+def phoff_beyond_eof(data: bytes, seed: int = 0) -> bytes:
+    """Point ``e_phoff`` past end-of-file."""
+    return _patch(data, _E_PHOFF, "<Q", len(data) + 4096)
+
+
+def shentsize_lie(data: bytes, seed: int = 0) -> bytes:
+    """Claim an absurd section-header stride."""
+    return _patch(data, _E_SHENTSIZE, "<H", 0xFFF0)
+
+
+def entry_outside_text(data: bytes, seed: int = 0) -> bytes:
+    """Point ``e_entry`` at unmapped memory (parses; fails decode)."""
+    return _patch(data, _E_ENTRY, "<Q", 0xDEAD0000)
+
+
+def garbage_code(data: bytes, seed: int = 0) -> bytes:
+    """Replace ``.text`` with seeded noise (parses; fails decode)."""
+    reader = ElfReader(data)
+    section = reader.section(".text")
+    if section is None:
+        raise ValueError("seed image has no .text section")
+    rng = random.Random(seed)
+    noise = bytes(rng.randrange(256) for _ in range(section.sh_size))
+    blob = bytearray(data)
+    blob[section.sh_offset:section.sh_offset + section.sh_size] = noise
+    return bytes(blob)
+
+
+#: All mutation classes, in stable display order.
+MUTATIONS: Dict[str, Callable[[bytes, int], bytes]] = {
+    "truncate_header": truncate_header,
+    "truncate_tail": truncate_tail,
+    "wrong_class": wrong_class,
+    "shoff_beyond_eof": shoff_beyond_eof,
+    "phoff_beyond_eof": phoff_beyond_eof,
+    "shentsize_lie": shentsize_lie,
+    "entry_outside_text": entry_outside_text,
+    "garbage_code": garbage_code,
+}
+
+#: Mutations that the decode stage (not the ELF reader) must catch.
+DECODE_MUTATIONS = ("entry_outside_text", "garbage_code")
+
+
+def corrupt(data: bytes, mutation: str, seed: int = 0) -> bytes:
+    """Apply one named mutation to a valid ELF image."""
+    try:
+        fn = MUTATIONS[mutation]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {mutation!r}; choose from "
+            f"{tuple(MUTATIONS)}") from None
+    return fn(data, seed)
+
+
+def all_corruptions(data: bytes, seed: int = 0,
+                    mutations: Optional[Iterable[str]] = None,
+                    ) -> Dict[str, bytes]:
+    """Every mutation of one image: mutation name → corrupt bytes."""
+    names = tuple(mutations) if mutations is not None else tuple(
+        MUTATIONS)
+    return {name: corrupt(data, name, seed) for name in names}
+
+
+def corrupt_artifacts(data: bytes, seed: int = 0,
+                      mutations: Optional[Iterable[str]] = None,
+                      ) -> List[BinaryArtifact]:
+    """One executable artifact per mutation class.
+
+    The artifacts keep their ELF kind — the scan stage classifies by
+    kind, not by magic, exactly like a package manifest would — so each
+    one is submitted to the engine and must be quarantined there.
+    """
+    return [
+        BinaryArtifact(name=f"bin/corrupt-{name}",
+                       kind=BinaryKind.ELF_EXECUTABLE,
+                       data=blob)
+        for name, blob in all_corruptions(data, seed, mutations).items()
+    ]
+
+
+def inject_corrupt_package(repository: Repository,
+                           source: Optional[bytes] = None,
+                           seed: int = 0,
+                           mutations: Optional[Iterable[str]] = None,
+                           ) -> Tuple[str, List[str]]:
+    """Seed a repository with a package of corrupted binaries.
+
+    ``source`` supplies the pristine image to damage; when omitted, the
+    first ELF executable found in the repository is used.  Returns the
+    package name and the list of corrupt artifact names (one per
+    mutation class — 8 by default, comfortably past the ≥5 the
+    acceptance criteria require).
+    """
+    if source is None:
+        for package in repository:
+            for artifact in package.executables():
+                if artifact.is_elf:
+                    source = artifact.data
+                    break
+            if source is not None:
+                break
+    if source is None:
+        raise ValueError("repository has no ELF executable to corrupt")
+    artifacts = corrupt_artifacts(source, seed, mutations)
+    repository.add(Package(
+        name=CORRUPT_PACKAGE,
+        category="adversarial",
+        artifacts=artifacts,
+        description="fault-injected binaries (robustness corpus)"))
+    return CORRUPT_PACKAGE, [a.name for a in artifacts]

@@ -1,0 +1,156 @@
+"""Corrupt-corpus regression suite: fault injection end to end.
+
+A repository seeded with every :mod:`repro.synth.corruptor` mutation
+class must complete analysis on every executor backend with identical
+footprints and identical quarantine sets — never an abort — and a
+warm-cache rerun must skip the known-bad bytes entirely.
+"""
+
+import functools
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AnalysisPipeline
+from repro.elf.reader import ElfReader
+from repro.elf.structs import ElfFormatError
+from repro.engine import AnalysisEngine, EngineConfig, MemoryCache
+from repro.study import Study
+from repro.synth import (
+    CORRUPT_PACKAGE,
+    DECODE_MUTATIONS,
+    MUTATIONS,
+    build_ecosystem,
+    corrupt,
+    inject_corrupt_package,
+)
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+@functools.lru_cache(maxsize=None)
+def _seed_image() -> bytes:
+    spec = BinarySpec(
+        name="seed",
+        functions=[FunctionSpec(
+            name="main", direct_syscalls=("read", "exit_group"))],
+        needed=(), entry_function="main")
+    return generate_binary(spec)
+
+
+def _corrupted_ecosystem(tiny_config):
+    ecosystem = build_ecosystem(tiny_config)
+    inject_corrupt_package(ecosystem.repository, seed=0)
+    return ecosystem
+
+
+def _run(ecosystem, engine=None):
+    return AnalysisPipeline(ecosystem.repository,
+                            ecosystem.interpreters,
+                            engine=engine).run()
+
+
+class TestCorruptCorpus:
+    @pytest.fixture(scope="class")
+    def serial_result(self, tiny_config):
+        return _run(_corrupted_ecosystem(tiny_config))
+
+    def test_every_mutation_class_quarantined(self, serial_result):
+        quarantined = {artifact for package, artifact
+                       in serial_result.quarantined
+                       if package == CORRUPT_PACKAGE}
+        assert quarantined == {f"bin/corrupt-{name}"
+                               for name in MUTATIONS}
+        by_artifact = {f.artifact: f for f in serial_result.failures}
+        for name in MUTATIONS:
+            failure = by_artifact[f"bin/corrupt-{name}"]
+            expected = ("decode" if name in DECODE_MUTATIONS
+                        else "format")
+            assert failure.error_class == expected, name
+
+    def test_corrupt_package_footprint_empty(self, serial_result):
+        # Quarantined binaries contribute nothing to footprints.
+        footprint = serial_result.package_footprints[CORRUPT_PACKAGE]
+        assert footprint.is_empty
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("thread", 2),
+        ("process", 2),
+    ])
+    def test_backends_agree_on_quarantine_and_footprints(
+            self, tiny_config, serial_result, backend, jobs):
+        engine = AnalysisEngine(EngineConfig(jobs=jobs,
+                                             backend=backend))
+        result = _run(_corrupted_ecosystem(tiny_config), engine)
+        assert result.quarantined == serial_result.quarantined
+        assert ([(f.package, f.artifact, f.error_class, f.stage)
+                 for f in result.failures]
+                == [(f.package, f.artifact, f.error_class, f.stage)
+                    for f in serial_result.failures])
+        assert (result.package_footprints
+                == serial_result.package_footprints)
+        assert (result.binary_footprints
+                == serial_result.binary_footprints)
+
+    def test_warm_cache_skips_known_bad_bytes(self, tiny_config):
+        cache = MemoryCache()
+        engine = AnalysisEngine(cache=cache)
+        cold = _run(_corrupted_ecosystem(tiny_config), engine)
+        assert cold.engine_stats.negative_cache_stores == len(MUTATIONS)
+
+        warm = _run(_corrupted_ecosystem(tiny_config), engine)
+        stats = warm.engine_stats
+        assert stats.binaries_analyzed == 0
+        assert stats.negative_cache_hits == len(MUTATIONS)
+        assert warm.quarantined == cold.quarantined
+        assert warm.package_footprints == cold.package_footprints
+
+    def test_strict_aborts_on_corrupt_corpus(self, tiny_config):
+        engine = AnalysisEngine(EngineConfig(strict=True))
+        with pytest.raises(ElfFormatError):
+            _run(_corrupted_ecosystem(tiny_config), engine)
+
+
+class TestFailureReport:
+    def test_lists_each_quarantined_binary(self, tiny_config):
+        result = _run(_corrupted_ecosystem(tiny_config))
+        fake_study = types.SimpleNamespace(result=result)
+        output = Study.failure_report(fake_study)
+        assert len(output.data) == len(MUTATIONS)
+        for failure in result.failures:
+            assert failure.artifact in output.rendered
+            assert failure.error_class in output.rendered
+
+    def test_clean_run_renders_empty_quarantine(self, result):
+        fake_study = types.SimpleNamespace(result=result)
+        output = Study.failure_report(fake_study)
+        assert output.data == []
+        assert "none" in output.rendered
+
+
+class TestCorruptorDeterminism:
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_same_seed_same_bytes(self, mutation):
+        image = _seed_image()
+        assert (corrupt(image, mutation, seed=3)
+                == corrupt(image, mutation, seed=3))
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            corrupt(_seed_image(), "no-such-mutation")
+
+
+class TestTruncationProperty:
+    @given(cut=st.integers(min_value=0))
+    @settings(max_examples=120, deadline=None)
+    def test_reader_raises_only_elf_format_error(self, cut):
+        """Any truncation either parses or raises ElfFormatError —
+        never struct.error, IndexError, or friends (the contract the
+        engine's format bucket depends on)."""
+        image = _seed_image()
+        cut = cut % len(image)
+        try:
+            ElfReader(image[:cut])
+        except ElfFormatError:
+            pass

@@ -1,0 +1,270 @@
+"""Fault tolerance: taxonomy, capture policy, quarantine, negative cache."""
+
+import functools
+
+import pytest
+
+from repro.elf.structs import ElfFormatError
+from repro.engine import (
+    AnalysisCache,
+    AnalysisEngine,
+    AnalysisFault,
+    DecodeAnalysisError,
+    EngineConfig,
+    Executor,
+    FailureRecord,
+    FaultPolicy,
+    FormatAnalysisError,
+    InternalAnalysisError,
+    MemoryCache,
+    TimeoutAnalysisError,
+    TooManyFailuresError,
+    analyze_bytes,
+    classify_exception,
+    content_key,
+)
+from repro.engine.codec import entry_from_json, entry_to_json
+from repro.synth.codegen import BinarySpec, FunctionSpec, generate_binary
+
+
+@functools.lru_cache(maxsize=None)
+def _sample_exe() -> bytes:
+    spec = BinarySpec(
+        name="sample",
+        functions=[FunctionSpec(
+            name="main", direct_syscalls=("read", "exit_group"))],
+        needed=(), entry_function="main")
+    return generate_binary(spec)
+
+
+#: 18 bytes with a valid magic: the ISSUE's verified engine-killer.
+_TRUNCATED = _sample_exe()[:18]
+
+
+class TestTaxonomy:
+    def test_classify_elf_format_error(self):
+        fault = classify_exception(ElfFormatError("too small"))
+        assert fault.error_class == "format"
+        assert fault.stage == "parse"
+        assert fault.exc_type == "ElfFormatError"
+
+    def test_classify_taxonomy_error_keeps_class_and_stage(self):
+        fault = classify_exception(
+            DecodeAnalysisError("bad code", stage="decode"))
+        assert fault.error_class == "decode"
+        assert fault.stage == "decode"
+
+    def test_classify_timeout(self):
+        assert classify_exception(
+            TimeoutError("slow")).error_class == "timeout"
+
+    def test_classify_resolve_stage(self):
+        fault = classify_exception(KeyError("libz"), stage="resolve")
+        assert fault.error_class == "resolution"
+
+    def test_classify_unknown_is_internal(self):
+        assert classify_exception(
+            RuntimeError("?")).error_class == "internal"
+
+    def test_error_subclass_classes(self):
+        assert FormatAnalysisError("x").error_class == "format"
+        assert TimeoutAnalysisError("x").error_class == "timeout"
+        assert InternalAnalysisError("x").error_class == "internal"
+
+    def test_fault_to_error_round_trip(self):
+        fault = classify_exception(ElfFormatError("bad"))
+        error = fault.to_error()
+        assert isinstance(error, FormatAnalysisError)
+        assert "bad" in str(error)
+
+    def test_failure_record_attribution(self):
+        fault = classify_exception(ElfFormatError("bad"))
+        record = FailureRecord.for_task(("pkg", "bin/x"), "ab" * 32,
+                                        fault)
+        assert record.package == "pkg"
+        assert record.artifact == "bin/x"
+        assert record.error_class == "format"
+        assert record.fault.error_class == "format"
+
+    def test_fault_codec_round_trip(self):
+        fault = AnalysisFault(error_class="decode", exc_type="X",
+                              message="m", stage="decode")
+        assert entry_from_json(entry_to_json(fault)) == fault
+
+
+class TestFaultPolicy:
+    def test_capture_returns_outcomes(self):
+        def boom(item):
+            if item == 2:
+                raise ValueError("two")
+            return item * 10
+
+        outcomes = Executor().map(boom, [1, 2, 3],
+                                  policy=FaultPolicy())
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == 10
+        assert outcomes[1].fault.error_class == "internal"
+
+    def test_strict_propagates_original_exception(self):
+        def boom(item):
+            raise ValueError("original")
+
+        with pytest.raises(ValueError, match="original"):
+            Executor().map(boom, [1], policy=FaultPolicy.strict())
+
+    def test_transient_oserror_retried_once(self):
+        calls = []
+
+        def flaky(item):
+            calls.append(item)
+            if len(calls) == 1:
+                raise OSError("transient")
+            return item
+
+        outcomes = Executor().map(flaky, [5], policy=FaultPolicy())
+        assert outcomes[0].ok
+        assert outcomes[0].retried
+        assert len(calls) == 2
+
+    def test_persistent_oserror_captured_after_retry(self):
+        def broken(item):
+            raise OSError("still broken")
+
+        outcomes = Executor().map(broken, [1], policy=FaultPolicy())
+        assert not outcomes[0].ok
+        assert outcomes[0].retried
+        assert outcomes[0].fault.retried
+
+    def test_retry_opt_out(self):
+        calls = []
+
+        def broken(item):
+            calls.append(item)
+            raise OSError("nope")
+
+        Executor().map(broken, [1],
+                       policy=FaultPolicy(retry_transient=False))
+        assert len(calls) == 1
+
+
+class TestSingleJobShortcut:
+    """backend='process', jobs=1 must not spin up a pool (satellite)."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_jobs_one_runs_in_process(self, backend):
+        # A closure is unpicklable, so this would die in a real
+        # ProcessPoolExecutor — passing proves the serial path ran.
+        seen = []
+
+        def fn(item):
+            seen.append(item)
+            return item + 1
+
+        assert Executor(backend, 1).map(fn, [1, 2]) == [2, 3]
+        assert seen == [1, 2]
+
+
+class TestCacheNegativeEntries:
+    def _fault(self):
+        return AnalysisFault(error_class="format",
+                             exc_type="ElfFormatError",
+                             message="bad", stage="parse")
+
+    def test_memory_cache(self):
+        cache = MemoryCache()
+        cache.put_fault("ab" * 32, self._fault())
+        assert cache.get("ab" * 32) == self._fault()
+        assert cache.stats.negative_stores == 1
+        assert cache.stats.negative_hits == 1
+        assert cache.stats.hits == 0
+
+    def test_disk_cache(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        cache.put_fault("cd" * 32, self._fault())
+        reloaded = AnalysisCache(str(tmp_path))
+        assert reloaded.get("cd" * 32) == self._fault()
+        assert reloaded.stats.negative_hits == 1
+
+
+def _tasks(blobs):
+    return [((f"pkg{i}", f"bin/b{i}"), f"pkg{i}:bin/b{i}", blob)
+            for i, blob in enumerate(blobs)]
+
+
+class TestEngineQuarantine:
+    def test_corrupt_binary_quarantined_not_fatal(self):
+        engine = AnalysisEngine()
+        stats = engine.new_stats()
+        records, _ = engine.analyze(
+            _tasks([_sample_exe(), _TRUNCATED]), stats)
+        assert ("pkg0", "bin/b0") in records
+        assert ("pkg1", "bin/b1") not in records
+        assert stats.binaries_failed == 1
+        assert [f.error_class for f in stats.failures] == ["format"]
+        assert stats.failures_by_class == {"format": 1}
+
+    def test_negative_cache_skips_known_bad_bytes(self):
+        cache = MemoryCache()
+        engine = AnalysisEngine(cache=cache)
+        cold = engine.new_stats()
+        engine.analyze(_tasks([_TRUNCATED]), cold)
+        assert cold.negative_cache_stores == 1
+
+        warm = engine.new_stats()
+        records, _ = engine.analyze(_tasks([_TRUNCATED]), warm)
+        assert records == {}
+        assert warm.negative_cache_hits == 1
+        assert warm.binaries_analyzed == 0
+        assert warm.binaries_failed == 1
+        assert [f.error_class for f in warm.failures] == ["format"]
+
+    def test_strict_restores_fail_fast(self):
+        engine = AnalysisEngine(EngineConfig(strict=True))
+        with pytest.raises(ElfFormatError):
+            engine.analyze(_tasks([_sample_exe(), _TRUNCATED]))
+
+    def test_strict_raises_on_negative_cache_hit(self):
+        cache = MemoryCache()
+        cache.put_fault(content_key(_TRUNCATED), classify_exception(
+            ElfFormatError("known bad")))
+        engine = AnalysisEngine(EngineConfig(strict=True), cache=cache)
+        with pytest.raises(FormatAnalysisError):
+            engine.analyze(_tasks([_TRUNCATED]))
+
+    def test_max_failures_budget(self):
+        engine = AnalysisEngine(EngineConfig(max_failures=0))
+        with pytest.raises(TooManyFailuresError):
+            engine.analyze(_tasks([_TRUNCATED]))
+        # A budget of one tolerates exactly one quarantined binary.
+        engine = AnalysisEngine(EngineConfig(max_failures=1))
+        records, _ = engine.analyze(
+            _tasks([_sample_exe(), _TRUNCATED]))
+        assert len(records) == 1
+
+    def test_stats_render_mentions_quarantine(self):
+        engine = AnalysisEngine()
+        stats = engine.new_stats()
+        engine.analyze(_tasks([_TRUNCATED]), stats)
+        rendered = stats.render()
+        assert "quarantined" in rendered
+        assert "format: 1" in rendered
+
+
+class TestAnalyzeBytesValidation:
+    def test_good_binary_passes(self):
+        record = analyze_bytes(_sample_exe())
+        assert record.all_direct_syscalls()
+
+    def test_truncated_raises_format(self):
+        with pytest.raises(ElfFormatError):
+            analyze_bytes(_TRUNCATED)
+
+    def test_lying_entry_raises_decode(self):
+        from repro.synth.corruptor import entry_outside_text
+        with pytest.raises(DecodeAnalysisError):
+            analyze_bytes(entry_outside_text(_sample_exe()))
+
+    def test_garbage_code_raises_decode(self):
+        from repro.synth.corruptor import garbage_code
+        with pytest.raises(DecodeAnalysisError):
+            analyze_bytes(garbage_code(_sample_exe()))

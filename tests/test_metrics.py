@@ -294,3 +294,123 @@ class TestCurveAndStages:
         values = [point.completeness for point in curve]
         assert all(a <= b + 1e-12
                    for a, b in zip(values, values[1:]))
+
+
+class TestCloseOverUnknownPackages:
+    def test_footprint_package_missing_from_repository(self):
+        # Regression: this used to crash with UnknownPackageError; a
+        # package without dependency metadata is never invalidated.
+        repo = Repository([Package("known", depends=[])])
+        result = close_over_dependencies({"known", "ghost"}, repo)
+        assert result == {"known", "ghost"}
+
+    def test_unknown_package_kept_while_dependents_cascade(self):
+        repo = Repository([
+            Package("a", depends=["b"]),
+            Package("b"),
+        ])
+        result = close_over_dependencies({"a", "ghost"}, repo)
+        assert result == {"ghost"}  # a loses b, ghost is untouched
+
+
+def _reference_curve(footprints, popcon, repository,
+                     dimension="syscall"):
+    """The pre-optimization curve: full dependency fixed point at
+    every rank.  Kept as the oracle for the incremental version."""
+    from repro.metrics.importance import DIMENSIONS
+    select = DIMENSIONS[dimension]
+    trivially = {p for p, f in footprints.items() if not select(f)}
+    footprints = {p: f for p, f in footprints.items() if select(f)}
+    importance = importance_table(footprints, popcon, dimension)
+    usage = unweighted_importance_table(footprints, dimension)
+    order = sorted(importance, key=lambda a: (-importance[a],
+                                              -usage.get(a, 0.0), a))
+    requirement_count = {}
+    users = {}
+    for package, footprint in footprints.items():
+        needs = select(footprint)
+        requirement_count[package] = len(needs)
+        for api in needs:
+            users.setdefault(api, []).append(package)
+    total = sum(popcon.install_probability(p) for p in footprints)
+    satisfied = {p for p, c in requirement_count.items() if c == 0}
+    points = []
+    for rank, api in enumerate(order, start=1):
+        for package in users.get(api, ()):
+            requirement_count[package] -= 1
+            if requirement_count[package] == 0:
+                satisfied.add(package)
+        supported = close_over_dependencies(
+            set(satisfied), repository, assume_supported=trivially)
+        weight = sum(popcon.install_probability(p) for p in supported)
+        points.append((rank, api, weight / total))
+    return points
+
+
+class TestIncrementalCurveMatchesReference:
+    """The worklist curve must equal the per-rank fixed point exactly."""
+
+    def _assert_identical(self, footprints, popcon, repository):
+        expected = _reference_curve(footprints, popcon, repository)
+        actual = [(p.n_apis, p.api, p.completeness)
+                  for p in completeness_curve(footprints, popcon,
+                                              repository)]
+        assert len(actual) == len(expected)
+        for (rank, api, value), (erank, eapi, evalue) in zip(
+                actual, expected):
+            assert (rank, api) == (erank, eapi)
+            assert value == pytest.approx(evalue, abs=1e-12)
+
+    def test_simple_chain(self):
+        repo = Repository([
+            Package("a", depends=["b"]),
+            Package("b"),
+            Package("c"),
+        ])
+        footprints = {
+            "a": _fp("read"),
+            "b": _fp("write"),
+            "c": _fp("read", "socket"),
+        }
+        popcon = PopularityContest(100, {"a": 50, "b": 30, "c": 20})
+        self._assert_identical(footprints, popcon, repo)
+
+    def test_dependency_cycle(self):
+        # The subtle case: a satisfied cycle must stay supported (the
+        # closure computes a greatest fixed point; a naive additive
+        # worklist would drop it).
+        repo = Repository([
+            Package("a", depends=["b"]),
+            Package("b", depends=["a"]),
+            Package("e", depends=["a"]),
+        ])
+        footprints = {
+            "a": _fp("read"),
+            "b": _fp("write"),
+            "e": _fp("read", "write", "socket"),
+        }
+        popcon = PopularityContest(100, {"a": 40, "b": 40, "e": 20})
+        self._assert_identical(footprints, popcon, repo)
+
+    def test_poisoned_and_unknown_dependencies(self):
+        repo = Repository([
+            Package("a", depends=["outsider"]),  # repo pkg, no footprint
+            Package("outsider"),
+            Package("b", depends=["missing"]),   # dep not in repo
+            Package("trivial"),
+            Package("c", depends=["trivial"]),   # dep assumed supported
+        ])
+        footprints = {
+            "a": _fp("read"),
+            "b": _fp("write"),
+            "c": _fp("read", "write"),
+            "ghost": _fp("read"),                # pkg not in repo
+            "trivial": Footprint.EMPTY,          # empty: assumed
+        }
+        popcon = PopularityContest(100, {"a": 30, "b": 30, "c": 20,
+                                         "ghost": 10, "trivial": 10})
+        self._assert_identical(footprints, popcon, repo)
+
+    def test_study_sized_ecosystem(self, study):
+        self._assert_identical(study.footprints, study.popcon,
+                               study.repository)

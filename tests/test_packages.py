@@ -175,6 +175,15 @@ class TestPopconSynthesis:
         assert popcon.install_probability("a") == pytest.approx(
             0.36, abs=0.001)
 
+    def test_pinned_zero_yields_zero_installations(self):
+        # Regression: the synthesized-tail floor of one installation
+        # used to override an explicit 0.0 pin.
+        popcon = PopularityContest.synthesize(
+            ["a", "b"], total_installations=10000,
+            pinned={"a": 0.0})
+        assert popcon.installations("a") == 0
+        assert popcon.install_probability("a") == 0.0
+
     def test_deterministic(self):
         names = [f"pkg{i}" for i in range(50)]
         first = PopularityContest.synthesize(names, 10000, seed=3)
