@@ -144,7 +144,8 @@ class AnalysisPipeline:
     def run(self, database: Optional[AnalysisDatabase] = None,
             ) -> AnalysisResult:
         from ..engine.core import AnalysisEngine, LazyLibraryIndex
-        from ..engine.errors import FailureRecord, classify_exception
+        from ..engine.errors import (FailureRecord, TooManyFailuresError,
+                                     classify_exception)
 
         engine = self.engine or AnalysisEngine()
         strict = engine.config.strict
@@ -220,15 +221,18 @@ class AnalysisPipeline:
                         else:
                             # A shared library's own surface: every
                             # export's resolved footprint plus its
-                            # hard-coded strings.
-                            library_parts.append(Footprint.build(
-                                pseudo_files=record.pseudo_files))
+                            # hard-coded strings.  Accumulated locally
+                            # so a mid-loop failure leaves no partial
+                            # parts behind.
+                            parts = [Footprint.build(
+                                pseudo_files=record.pseudo_files)]
                             if record.soname:
-                                library_parts.extend(
+                                parts.extend(
                                     resolver.resolve_export(
                                         record.soname, export)
                                     for export in sorted(
                                         record.exported))
+                            library_parts.extend(parts)
                     except Exception as error:
                         # Resolution trouble quarantines just this
                         # binary, same as an analysis-stage fault.
@@ -239,6 +243,13 @@ class AnalysisPipeline:
                         stats.failures.append(FailureRecord.for_task(
                             key, record.sha256,
                             classify_exception(error, stage="resolve")))
+                        budget = engine.config.max_failures
+                        if (budget is not None
+                                and stats.binaries_failed > budget):
+                            raise TooManyFailuresError(
+                                f"{stats.binaries_failed} binaries "
+                                f"failed analysis, exceeding "
+                                f"--max-failures={budget}")
                 footprint = Footprint.union_all(executable_footprints)
                 package_footprints[package.name] = footprint
                 package_full_footprints[package.name] = (

@@ -50,9 +50,16 @@ class _SupportTracker:
             for dep in repository.get(name).depends:
                 if dep == name:
                     continue
+                if dep not in repository or dep in assumed:
+                    # close_over_dependencies only invalidates on deps
+                    # that are present in the repository and not
+                    # assumed supported — even a dep with its own
+                    # footprint never gates its dependents when the
+                    # repository lacks it.
+                    continue
                 if dep in node_set:
                     adjacency[name].append(dep)
-                elif dep in repository and dep not in assumed:
+                else:
                     # Depends on a measured-universe outsider that is
                     # neither assumed supported nor absent: the closure
                     # can never keep this package.

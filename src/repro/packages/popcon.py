@@ -119,10 +119,14 @@ class PopularityContest:
                 counts[name] = total_installations
         for name, probability in pinned.items():
             if name in names:
-                # Pins are exact: unlike the synthesized tail, an
-                # explicit 0.0 must yield zero installations, so no
-                # one-installation floor here.
-                counts[name] = max(0, min(
-                    total_installations,
-                    int(probability * total_installations)))
+                # Pins are exact at zero: an explicit 0.0 yields zero
+                # installations.  Strictly positive pins keep the
+                # one-installation floor so a tiny probability does not
+                # truncate to absent.
+                if probability == 0.0:
+                    counts[name] = 0
+                else:
+                    counts[name] = max(1, min(
+                        total_installations,
+                        int(probability * total_installations)))
         return cls(total_installations, counts)

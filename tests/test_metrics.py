@@ -392,6 +392,20 @@ class TestIncrementalCurveMatchesReference:
         popcon = PopularityContest(100, {"a": 40, "b": 40, "e": 20})
         self._assert_identical(footprints, popcon, repo)
 
+    def test_footprint_dep_missing_from_repository(self):
+        # Regression: a dependency that carries its own footprint but
+        # is absent from the repository must never gate its dependent —
+        # the reference closure only invalidates on in-repository deps,
+        # but the tracker used to add a hard edge for any dep in the
+        # footprint universe (reference 0.8 vs tracker 0.0 at rank 1).
+        repo = Repository([Package("a", depends=["ghost"])])
+        footprints = {
+            "a": _fp("read"),
+            "ghost": _fp("write"),     # footprint-bearing, not in repo
+        }
+        popcon = PopularityContest(100, {"a": 80, "ghost": 20})
+        self._assert_identical(footprints, popcon, repo)
+
     def test_poisoned_and_unknown_dependencies(self):
         repo = Repository([
             Package("a", depends=["outsider"]),  # repo pkg, no footprint

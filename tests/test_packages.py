@@ -184,6 +184,14 @@ class TestPopconSynthesis:
         assert popcon.installations("a") == 0
         assert popcon.install_probability("a") == 0.0
 
+    def test_tiny_positive_pin_keeps_one_installation(self):
+        # A strictly positive pin below 1/total must not truncate to
+        # absent: only an explicit 0.0 pin means zero installations.
+        popcon = PopularityContest.synthesize(
+            ["a", "b"], total_installations=10000,
+            pinned={"a": 1e-5})
+        assert popcon.installations("a") == 1
+
     def test_deterministic(self):
         names = [f"pkg{i}" for i in range(50)]
         first = PopularityContest.synthesize(names, 10000, seed=3)

@@ -4,6 +4,12 @@ import pytest
 
 from repro.analysis import AnalysisPipeline
 from repro.analysis.footprint import Footprint
+from repro.analysis.resolver import FootprintResolver
+from repro.engine import (
+    AnalysisEngine,
+    EngineConfig,
+    TooManyFailuresError,
+)
 from repro.packages import (
     BinaryArtifact,
     BinaryKind,
@@ -115,3 +121,57 @@ class TestHandBuiltRepository:
         result = AnalysisPipeline(
             Repository([interp_pkg, script_pkg])).run()
         assert "futex" in result.footprint_of("uses-mylang").syscalls
+
+
+class TestResolutionQuarantine:
+    """Faults raised during footprint resolution (not analysis)."""
+
+    def _library_repo(self):
+        spec = BinarySpec(
+            name="libx.so.1",
+            functions=[
+                FunctionSpec(name="aa_ok", direct_syscalls=("read",),
+                             exported=True),
+                FunctionSpec(name="zz_bad", direct_syscalls=("write",),
+                             exported=True),
+            ],
+            needed=(), soname="libx.so.1", entry_function=None)
+        artifact = BinaryArtifact("lib/libx.so.1",
+                                  BinaryKind.SHARED_LIBRARY,
+                                  data=generate_binary(spec))
+        return Repository([Package("libx", artifacts=[artifact])])
+
+    def _break_export(self, monkeypatch, export):
+        original = FootprintResolver.resolve_export
+
+        def poisoned(resolver, soname, symbol):
+            if symbol == export:
+                raise KeyError(symbol)
+            return original(resolver, soname, symbol)
+
+        monkeypatch.setattr(FootprintResolver, "resolve_export",
+                            poisoned)
+
+    def test_partial_library_parts_not_leaked(self, monkeypatch):
+        # Exports sort "aa_ok" < "zz_bad": aa_ok resolves before the
+        # failure, but the quarantined library must contribute nothing
+        # at all to the package's full footprint.
+        self._break_export(monkeypatch, "zz_bad")
+        result = AnalysisPipeline(self._library_repo()).run()
+        assert result.quarantined == {("libx", "lib/libx.so.1")}
+        failure = result.failures[0]
+        assert failure.error_class == "resolution"
+        assert failure.stage == "resolve"
+        assert result.package_full_footprints["libx"].is_empty
+
+    def test_max_failures_bounds_resolution_failures(self,
+                                                     monkeypatch):
+        self._break_export(monkeypatch, "zz_bad")
+        engine = AnalysisEngine(EngineConfig(max_failures=0))
+        with pytest.raises(TooManyFailuresError):
+            AnalysisPipeline(self._library_repo(), engine=engine).run()
+        # A budget of one tolerates exactly one quarantined binary.
+        engine = AnalysisEngine(EngineConfig(max_failures=1))
+        result = AnalysisPipeline(self._library_repo(),
+                                  engine=engine).run()
+        assert len(result.failures) == 1
