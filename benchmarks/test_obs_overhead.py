@@ -1,0 +1,84 @@
+"""Tracer overhead on the warm path.
+
+Observability is only free if it stays out of the hot loop's way: the
+span tracer instruments every per-binary analysis (one ``binary`` span
+plus decode/validate/record children), so this benchmark pins its cost.
+We alternate fully-traced and tracing-disabled serial runs over the
+same in-memory ecosystem and compare minima — the alternation cancels
+thermal/load drift, the minimum discards scheduler noise — and assert
+the traced run is within 5% of the untraced one.  Metrics counters are
+always on in both configurations; only span recording toggles.
+"""
+
+import time
+
+from repro.analysis import AnalysisPipeline
+from repro.engine import AnalysisEngine, EngineConfig
+from repro.reports.text import render_table
+from repro.synth import EcosystemConfig, build_ecosystem
+
+_ROUNDS = 5
+_MAX_OVERHEAD = 0.05
+
+
+def _ecosystem():
+    return build_ecosystem(EcosystemConfig(
+        n_filler_packages=60, n_driver_packages=10,
+        n_script_packages=30, seed=11))
+
+
+def _run(ecosystem, tracing):
+    engine = AnalysisEngine(EngineConfig(tracing=tracing))
+    return AnalysisPipeline(ecosystem.repository,
+                            ecosystem.interpreters,
+                            engine=engine).run()
+
+
+def _timed(ecosystem, tracing):
+    start = time.perf_counter()
+    result = _run(ecosystem, tracing)
+    return time.perf_counter() - start, result
+
+
+def test_tracing_overhead(benchmark, save):
+    ecosystem = _ecosystem()
+
+    # Warm both paths once (imports, allocator, page cache).
+    _, traced = _timed(ecosystem, tracing=True)
+    _, untraced = _timed(ecosystem, tracing=False)
+
+    # The toggle changes only span recording, never the analysis or
+    # the metrics.
+    traced_stats = traced.engine_stats
+    untraced_stats = untraced.engine_stats
+    assert len(traced_stats.tracer.finished()) > 0
+    assert untraced_stats.tracer.finished() == []
+    assert (traced_stats.registry.counter_values()
+            == untraced_stats.registry.counter_values())
+    assert traced.package_footprints == untraced.package_footprints
+
+    times = {True: [], False: []}
+    for _ in range(_ROUNDS):
+        for tracing in (True, False):
+            seconds, _result = _timed(ecosystem, tracing)
+            times[tracing].append(seconds)
+    traced_s = min(times[True])
+    untraced_s = min(times[False])
+    overhead = traced_s / untraced_s - 1.0
+
+    spans = len(traced_stats.tracer.finished())
+    save("obs_overhead", render_table(
+        ("configuration", "best of 5", "spans", "overhead"),
+        [("tracing enabled", f"{traced_s * 1000:.1f} ms", spans,
+          f"{overhead * 100:+.2f}%"),
+         ("tracing disabled", f"{untraced_s * 1000:.1f} ms", 0, "—")],
+        title="tracer overhead — warm serial analysis"))
+
+    assert overhead < _MAX_OVERHEAD, (
+        f"tracing costs {overhead:.1%} on the warm path "
+        f"(budget {_MAX_OVERHEAD:.0%}): "
+        f"traced {traced_s:.3f}s vs untraced {untraced_s:.3f}s")
+
+    # Report the traced configuration's steady-state timing.
+    benchmark.pedantic(lambda: _run(ecosystem, True),
+                       rounds=1, iterations=1)

@@ -197,7 +197,7 @@ class AnalysisPipeline:
 
         direct_by_binary: Dict[Tuple[str, str], FrozenSet[str]] = {}
         library_binaries = set()
-        with stats.stage("resolve"):
+        with stats.stage("resolve") as resolve_span:
             for package in self.repository:
                 executable_footprints: List[Footprint] = []
                 library_parts: List[Footprint] = []
@@ -240,9 +240,14 @@ class AnalysisPipeline:
                             raise
                         binary_footprints.pop(key, None)
                         stats.binaries_failed += 1
-                        stats.failures.append(FailureRecord.for_task(
+                        failure = FailureRecord.for_task(
                             key, record.sha256,
-                            classify_exception(error, stage="resolve")))
+                            classify_exception(error, stage="resolve"))
+                        stats.failures.append(failure)
+                        stats.tracer.record_span(
+                            "quarantine", error=True,
+                            parent_id=resolve_span.span_id,
+                            attrs=failure.to_span_attrs())
                         budget = engine.config.max_failures
                         if (budget is not None
                                 and stats.binaries_failed > budget):

@@ -41,6 +41,7 @@ _EXPERIMENTS = {
     "decomposition": "libc_decomposition",
     "engine": "engine_report",
     "failures": "failure_report",
+    "trace": "trace_report",
 }
 
 
@@ -79,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="abort once more than N binaries are "
                              "quarantined (default: unlimited)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the analysis run's span trace as "
+                             "JSON lines (one span per line)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the analysis run's metrics as "
+                             "Prometheus-style text")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser(
@@ -147,6 +154,25 @@ def _study_for(args: argparse.Namespace) -> Study:
        strict=args.strict, max_failures=args.max_failures)
 
 
+def _export_observability(study: Study,
+                          args: argparse.Namespace) -> None:
+    """Honor ``--trace-out`` / ``--metrics-out`` for the study run."""
+    if not (args.trace_out or args.metrics_out):
+        return
+    from .obs import write_metrics, write_trace
+    stats = study.result.engine_stats
+    if args.trace_out:
+        count = write_trace(
+            args.trace_out, stats.tracer.finished(),
+            meta={"backend": stats.backend, "jobs": stats.jobs})
+        print(f"trace written to {args.trace_out} ({count} spans)",
+              file=sys.stderr)
+    if args.metrics_out:
+        write_metrics(args.metrics_out, stats.registry)
+        print(f"metrics written to {args.metrics_out}",
+              file=sys.stderr)
+
+
 def _read_syscall_list(spec: str) -> List[str]:
     if spec.startswith("@"):
         with open(spec[1:], "r", encoding="utf-8") as handle:
@@ -176,6 +202,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     study = _study_for(args)
+    # The analysis ran inside the Study constructor, so the trace and
+    # metrics are complete here whatever the subcommand does next.
+    _export_observability(study, args)
 
     if args.command == "report":
         names = args.experiments or list(_EXPERIMENTS)

@@ -16,7 +16,8 @@ Layers:
 * :mod:`repro.engine.incremental` — snapshot diffing and the
   incremental re-analysis driver;
 * :mod:`repro.engine.stats` — per-stage wall time, cache counters,
-  throughput instrumentation.
+  throughput instrumentation; a thin view over the run's
+  :mod:`repro.obs` span tracer and metrics registry.
 """
 
 from .cache import AnalysisCache, CacheStats, MemoryCache

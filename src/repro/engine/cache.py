@@ -28,8 +28,11 @@ from __future__ import annotations
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
+
+from ..obs import MetricsRegistry
 
 from .codec import ANALYSIS_VERSION, CodecError, entry_from_json, \
     entry_to_json
@@ -66,6 +69,8 @@ class MemoryCache:
     def __init__(self) -> None:
         self._records: Dict[str, CacheEntry] = {}
         self.stats = CacheStats()
+        # Engine hook; lookups are dict reads, nothing worth timing.
+        self.metrics: Optional[MetricsRegistry] = None
 
     def get(self, sha256: str) -> Optional[CacheEntry]:
         entry = self._records.get(sha256)
@@ -106,15 +111,30 @@ class AnalysisCache:
         self.root = pathlib.Path(cache_dir)
         self.version_dir = self.root / f"v{ANALYSIS_VERSION}"
         self.stats = CacheStats()
+        # Set by the engine per run; disk read/write latency lands in
+        # the run's ``engine.cache.{get,put}_seconds`` histograms.
+        self.metrics: Optional[MetricsRegistry] = None
 
     # --- addressing ----------------------------------------------------
 
     def _path(self, sha256: str) -> pathlib.Path:
         return self.version_dir / sha256[:2] / f"{sha256}.json"
 
+    def _observe(self, metric: str, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(metric).observe(seconds)
+
     # --- record interface ----------------------------------------------
 
     def get(self, sha256: str) -> Optional[CacheEntry]:
+        start = time.perf_counter()
+        try:
+            return self._get(sha256)
+        finally:
+            self._observe("engine.cache.get_seconds",
+                          time.perf_counter() - start)
+
+    def _get(self, sha256: str) -> Optional[CacheEntry]:
         path = self._path(sha256)
         try:
             text = path.read_text(encoding="utf-8")
@@ -149,6 +169,14 @@ class AnalysisCache:
         self.stats.negative_stores += 1
 
     def _write(self, sha256: str, entry: CacheEntry) -> None:
+        start = time.perf_counter()
+        try:
+            self._write_entry(sha256, entry)
+        finally:
+            self._observe("engine.cache.put_seconds",
+                          time.perf_counter() - start)
+
+    def _write_entry(self, sha256: str, entry: CacheEntry) -> None:
         path = self._path(sha256)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: a crashed writer must never leave a torn

@@ -25,6 +25,7 @@ capture — the first failure propagates, restoring fail-fast — and
 
 from __future__ import annotations
 
+import functools
 import os
 import threading
 from dataclasses import dataclass
@@ -32,12 +33,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.binary import BinaryAnalysis
 from ..analysis.resolver import LibraryIndex
+from ..obs import Span, SpanTracer
 from .cache import AnalysisCache, MemoryCache
 from .errors import (AnalysisFault, FailureRecord, TooManyFailuresError,
                      validate_analysis)
 from .executor import Executor, FaultPolicy
-from .record import BinaryRecord, analyze_bytes, content_key
-from .stats import EngineStats
+from .record import BinaryRecord, content_key
+from .stats import (ANALYZE_LATENCY_METRIC, QUARANTINE_LATENCY_METRIC,
+                    EngineStats)
 
 #: One unit of engine work: ((package, artifact), display name, bytes).
 TaskKey = Tuple[str, str]
@@ -54,6 +57,7 @@ class EngineConfig:
     strict: bool = False             # fail fast on the first failure
     max_failures: Optional[int] = None  # quarantine budget per batch
     retry_transient: bool = True     # retry tasks once on OSError
+    tracing: bool = True             # record spans (metrics always on)
 
     @classmethod
     def for_jobs(cls, jobs: Optional[int],
@@ -73,11 +77,42 @@ class EngineConfig:
                            retry_transient=self.retry_transient)
 
 
-def _analyze_task(task) -> Tuple[TaskKey, str, BinaryRecord]:
+def _worker_analysis(name: str, data: bytes, sha: str, traced: bool,
+                     ) -> Tuple[BinaryAnalysis, BinaryRecord,
+                                Tuple[Span, ...]]:
+    """Shared worker body: analyze one ELF image, optionally traced.
+
+    Every backend runs exactly this sequence under exactly these span
+    names, which is what makes the cross-backend span-multiset
+    conformance hold.  The spans come from a task-local tracer and are
+    shipped back over the ``TaskOutcome`` channel; on failure the
+    exception propagates to the executor's fault guard (the task's
+    spans die with it — the engine synthesizes a ``quarantine`` span
+    instead, identically on every backend).
+    """
+    if not traced:
+        analysis = BinaryAnalysis.from_bytes(data, name=name)
+        validate_analysis(analysis)
+        return analysis, BinaryRecord.from_analysis(
+            analysis, sha256=sha), ()
+    tracer = SpanTracer()
+    with tracer.span("binary", binary=name, sha256=sha[:12]):
+        with tracer.span("decode"):
+            analysis = BinaryAnalysis.from_bytes(data, name=name)
+        with tracer.span("validate"):
+            validate_analysis(analysis)
+        with tracer.span("record"):
+            record = BinaryRecord.from_analysis(analysis, sha256=sha)
+    return analysis, record, tuple(tracer.finished())
+
+
+def _analyze_task(traced: bool, task,
+                  ) -> Tuple[TaskKey, str, BinaryRecord,
+                             Tuple[Span, ...]]:
     """Process-pool worker: analyze one ELF image from its bytes."""
     key, name, data, sha = task
-    record = analyze_bytes(data, name=name, sha256=sha)
-    return key, f"pid:{os.getpid()}", record
+    _, record, spans = _worker_analysis(name, data, sha, traced)
+    return key, f"pid:{os.getpid()}", record, spans
 
 
 class AnalysisEngine:
@@ -95,8 +130,9 @@ class AnalysisEngine:
             self.cache = MemoryCache()
 
     def new_stats(self) -> EngineStats:
-        return EngineStats(backend=self.config.backend,
-                           jobs=self.config.jobs)
+        return EngineStats(
+            backend=self.config.backend, jobs=self.config.jobs,
+            tracer=SpanTracer(enabled=self.config.tracing))
 
     # --- the batch entry point -----------------------------------------
 
@@ -120,8 +156,10 @@ class AnalysisEngine:
         """
         if stats is None:
             stats = self.new_stats()
+        self.cache.metrics = stats.registry
         stats.binaries_total += len(tasks)
         strict = self.config.strict
+        traced = self.config.tracing
         policy = self.config.fault_policy()
 
         with stats.stage("hash"):
@@ -150,43 +188,60 @@ class AnalysisEngine:
 
         analyses: Dict[TaskKey, BinaryAnalysis] = {}
         outcomes = []
-        with stats.stage("analyze"):
+        with stats.stage("analyze") as analyze_span:
             if misses:
                 outcomes = self.executor.map(
-                    self._in_process_worker(analyses)
+                    self._in_process_worker(analyses, traced)
                     if self.config.backend != "process"
-                    else _analyze_task,
+                    else functools.partial(_analyze_task, traced),
                     misses, policy=policy)
 
         sha_by_key = {key: sha for key, _, _, sha in misses}
         fresh_by_key: Dict[TaskKey, BinaryRecord] = {}
+        fault_seconds: Dict[TaskKey, float] = {}
         with stats.stage("cache-store"):
             for (key, _, _, _), outcome in zip(misses, outcomes):
                 if outcome.retried:
                     stats.retries += 1
                 if outcome.ok:
-                    task_key, worker_id, record = outcome.value
+                    task_key, worker_id, record, spans = outcome.value
                     stats.binaries_analyzed += 1
                     stats.worker_tasks[worker_id] += 1
+                    stats.registry.histogram(
+                        ANALYZE_LATENCY_METRIC).observe(outcome.seconds)
+                    if spans:
+                        stats.tracer.adopt(
+                            spans, parent_id=analyze_span.span_id)
                     self.cache.put(sha_by_key[task_key], record)
                     stats.cache_stores += 1
                     fresh_by_key[task_key] = record
                 else:
                     faults[key] = outcome.fault
+                    fault_seconds[key] = outcome.seconds
+                    stats.registry.histogram(
+                        QUARANTINE_LATENCY_METRIC).observe(
+                            outcome.seconds)
                     self.cache.put_fault(sha_by_key[key],
                                          outcome.fault)
                     stats.negative_cache_stores += 1
                     analyses.pop(key, None)
 
         # Deterministic merge: assemble in original submission order;
-        # quarantined tasks are excluded from the records and recorded
-        # as failures in the same order.
+        # quarantined tasks are excluded from the records, recorded as
+        # failures in the same order, and get one ``quarantine`` span
+        # each (fresh faults carry the worker-measured task time;
+        # negative-cache hits were skipped, so theirs is zero).
         records: Dict[TaskKey, BinaryRecord] = {}
         for key, _, _, sha in hashed:
             if key in faults:
                 stats.binaries_failed += 1
-                stats.failures.append(
-                    FailureRecord.for_task(key, sha, faults[key]))
+                failure = FailureRecord.for_task(key, sha, faults[key])
+                stats.failures.append(failure)
+                stats.tracer.record_span(
+                    "quarantine",
+                    seconds=fault_seconds.get(key, 0.0),
+                    error=True, parent_id=analyze_span.span_id,
+                    attrs=failure.to_span_attrs())
             elif key in hits:
                 records[key] = hits[key]
             else:
@@ -201,16 +256,16 @@ class AnalysisEngine:
     @staticmethod
     def _in_process_worker(
             sink: Dict[TaskKey, BinaryAnalysis],
+            traced: bool = True,
     ) -> Callable:
         """Serial/thread worker that also retains the full analysis."""
         def work(task):
             key, name, data, sha = task
-            analysis = BinaryAnalysis.from_bytes(data, name=name)
-            validate_analysis(analysis)
+            analysis, record, spans = _worker_analysis(
+                name, data, sha, traced)
             sink[key] = analysis
             worker = f"tid:{threading.get_ident()}"
-            return key, worker, BinaryRecord.from_analysis(
-                analysis, sha256=sha)
+            return key, worker, record, spans
         return work
 
 

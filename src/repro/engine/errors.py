@@ -149,6 +149,12 @@ class FailureRecord:
                              exc_type=self.exc_type,
                              message=self.message, stage=self.stage)
 
+    def to_span_attrs(self) -> dict:
+        """Attribute dict for this failure's ``quarantine`` span."""
+        return {"package": self.package, "artifact": self.artifact,
+                "error_class": self.error_class,
+                "exc_type": self.exc_type, "stage": self.stage}
+
 
 def classify_exception(error: BaseException, stage: str = "analyze",
                        retried: bool = False) -> AnalysisFault:

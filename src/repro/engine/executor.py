@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, TypeVar
@@ -69,11 +70,18 @@ class FaultPolicy:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Result of one guarded task: a value or a captured fault."""
+    """Result of one guarded task: a value or a captured fault.
+
+    ``seconds`` is the task's worker-side wall time (including a
+    transient retry, if one happened) — the engine feeds it into the
+    per-binary latency histograms and quarantine spans, so timing is
+    measured identically on every backend.
+    """
 
     value: Any = None
     fault: Optional[AnalysisFault] = None
     retried: bool = False
+    seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -84,9 +92,12 @@ def _call_guarded(fn: Callable[[T], R], policy: FaultPolicy,
                   item: T) -> TaskOutcome:
     """Run one task under the fault policy (worker-side, picklable)."""
     retried = False
+    start = time.perf_counter()
     while True:
         try:
-            return TaskOutcome(value=fn(item), retried=retried)
+            value = fn(item)
+            return TaskOutcome(value=value, retried=retried,
+                               seconds=time.perf_counter() - start)
         except OSError as error:
             # Transient I/O trouble (EINTR, fd pressure, ...): one
             # deterministic retry before giving up on the task.
@@ -97,13 +108,15 @@ def _call_guarded(fn: Callable[[T], R], policy: FaultPolicy,
                 raise
             return TaskOutcome(
                 fault=classify_exception(error, retried=retried),
-                retried=retried)
+                retried=retried,
+                seconds=time.perf_counter() - start)
         except Exception as error:
             if not policy.capture:
                 raise
             return TaskOutcome(
                 fault=classify_exception(error, retried=retried),
-                retried=retried)
+                retried=retried,
+                seconds=time.perf_counter() - start)
 
 
 class Executor:

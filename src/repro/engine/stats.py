@@ -1,9 +1,21 @@
-"""Engine instrumentation: stage timings, cache counters, throughput.
+"""Engine instrumentation: a thin view over :mod:`repro.obs`.
 
 One :class:`EngineStats` is attached to each pipeline run (see
-:attr:`repro.analysis.pipeline.AnalysisResult.engine_stats`); its
-:meth:`EngineStats.render` produces a paper-style key-point block via
-:mod:`repro.reports.text`.
+:attr:`repro.analysis.pipeline.AnalysisResult.engine_stats`).  It owns
+the run's :class:`repro.obs.SpanTracer` and
+:class:`repro.obs.MetricsRegistry`; the familiar counter attributes
+(``cache_hits``, ``binaries_analyzed``, ...) are properties backed by
+registry counters, and ``stage_seconds`` is a view over the
+``engine.stage.*.seconds`` gauges — so everything the stats report
+also flows out through ``--trace-out`` / ``--metrics-out`` without a
+second bookkeeping path.
+
+Thread safety: :meth:`EngineStats.stage` accumulates elapsed time via
+an atomic :meth:`repro.obs.Gauge.add` (the old dict read-modify-write
+lost updates under the thread backend).  The counter *properties*
+remain driver-thread-only: ``stats.cache_hits += n`` is a read/write
+pair with no cross-call atomicity — workers never touch them; they
+report through the executor's outcome channel instead.
 """
 
 from __future__ import annotations
@@ -12,10 +24,33 @@ import time
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List, Optional
 
+from ..obs import MetricsRegistry, Span, SpanTracer
 from ..reports.text import format_percent, render_key_points
 from .errors import FailureRecord
+
+#: Histogram of per-task wall time for successfully analyzed binaries.
+ANALYZE_LATENCY_METRIC = "engine.analyze.task_seconds"
+#: Histogram of per-task wall time for quarantined binaries.
+QUARANTINE_LATENCY_METRIC = "engine.quarantine.task_seconds"
+
+_STAGE_PREFIX = "engine.stage."
+_STAGE_SUFFIX = ".seconds"
+
+#: Attribute name -> backing counter metric.  These are the values the
+#: cross-backend conformance suite asserts are identical.
+COUNTER_METRICS = {
+    "binaries_total": "engine.binaries.submitted",
+    "binaries_analyzed": "engine.binaries.analyzed",
+    "binaries_failed": "engine.binaries.quarantined",
+    "cache_hits": "engine.cache.hits",
+    "cache_misses": "engine.cache.misses",
+    "cache_stores": "engine.cache.stores",
+    "negative_cache_hits": "engine.cache.negative_hits",
+    "negative_cache_stores": "engine.cache.negative_stores",
+    "retries": "engine.retries",
+}
 
 
 @dataclass
@@ -24,29 +59,42 @@ class EngineStats:
 
     backend: str = "serial"
     jobs: int = 1
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_stores: int = 0
-    binaries_total: int = 0          # ELF artifacts submitted
-    binaries_analyzed: int = 0       # actually (re-)analyzed (misses)
-    binaries_failed: int = 0         # quarantined (fault captured)
-    negative_cache_hits: int = 0     # known-bad bytes skipped warm
-    negative_cache_stores: int = 0   # fresh faults negative-cached
-    retries: int = 0                 # transient-OSError retries
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: SpanTracer = field(default_factory=SpanTracer)
     worker_tasks: Counter = field(default_factory=Counter)
     failures: List[FailureRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Materialize the whole counter set up front: exports and the
+        # conformance fingerprint must not depend on which attributes
+        # happened to be read or written during the run.
+        for metric in COUNTER_METRICS.values():
+            self.registry.counter(metric)
+
     @contextmanager
-    def stage(self, name: str):
-        """Accumulate wall time under ``stage_seconds[name]``."""
+    def stage(self, name: str) -> Iterator[Span]:
+        """Time a pipeline stage: one ``stage:<name>`` span plus an
+        atomic accumulate into the ``engine.stage.<name>.seconds``
+        gauge.  Yields the span so callers can parent worker spans
+        under it."""
         start = time.perf_counter()
         try:
-            yield
+            with self.tracer.span(f"stage:{name}") as span:
+                yield span
         finally:
-            elapsed = time.perf_counter() - start
-            self.stage_seconds[name] = (
-                self.stage_seconds.get(name, 0.0) + elapsed)
+            self.registry.gauge(
+                f"{_STAGE_PREFIX}{name}{_STAGE_SUFFIX}").add(
+                    time.perf_counter() - start)
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage wall time, in execution (gauge-creation) order."""
+        return {
+            name[len(_STAGE_PREFIX):-len(_STAGE_SUFFIX)]: value
+            for name, value in self.registry.gauge_values().items()
+            if name.startswith(_STAGE_PREFIX)
+            and name.endswith(_STAGE_SUFFIX)
+        }
 
     # --- derived -------------------------------------------------------
 
@@ -91,6 +139,14 @@ class EngineStats:
         total = sum(self.worker_tasks.values())
         return total / (busiest * self.jobs)
 
+    def analyze_latency(self) -> Optional[Dict[str, float]]:
+        """p50/p90/p99 snapshot of per-binary analyze wall time."""
+        snapshot = self.registry.histogram_values().get(
+            ANALYZE_LATENCY_METRIC)
+        if not snapshot or not snapshot["count"]:
+            return None
+        return snapshot
+
     # --- rendering -----------------------------------------------------
 
     def render(self) -> str:
@@ -121,4 +177,29 @@ class EngineStats:
                              f"(utilization "
                              f"{format_percent(self.worker_utilization)})"),
         ]
+        latency = self.analyze_latency()
+        if latency is not None:
+            points.append(
+                ("per-binary latency",
+                 f"p50 {latency['p50'] * 1000:.2f} ms / "
+                 f"p90 {latency['p90'] * 1000:.2f} ms / "
+                 f"p99 {latency['p99'] * 1000:.2f} ms"))
+        spans = len(self.tracer.finished())
+        if spans:
+            points.append(("spans recorded", spans))
         return render_key_points(points, title="engine run statistics")
+
+
+def _counter_property(metric: str) -> property:
+    def _get(self: EngineStats) -> int:
+        return int(self.registry.counter(metric).value)
+
+    def _set(self: EngineStats, value: int) -> None:
+        self.registry.counter(metric).set(value)
+
+    return property(_get, _set, doc=f"View over counter {metric!r}.")
+
+
+for _attribute, _metric in COUNTER_METRICS.items():
+    setattr(EngineStats, _attribute, _counter_property(_metric))
+del _attribute, _metric

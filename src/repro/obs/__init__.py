@@ -1,0 +1,64 @@
+"""Observability for the analysis engine: spans, metrics, exporters.
+
+Layers:
+
+* :mod:`repro.obs.span` — nested span tracing; thread-safe, process-
+  mergeable, always balanced (a raising span still closes, flagged
+  ``error=True``);
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  p50/p90/p99 latency quantiles; counters are backend-deterministic;
+* :mod:`repro.obs.export` — versioned JSON-lines trace files and
+  Prometheus-style text, with round-trip readers;
+* :mod:`repro.obs.report` — the ``report trace`` stage-breakdown and
+  slowest-binaries tables.
+
+:class:`repro.engine.stats.EngineStats` is a thin view over one
+:class:`SpanTracer` + :class:`MetricsRegistry` pair; the CLI's
+``--trace-out`` / ``--metrics-out`` flags export them.
+"""
+
+from .export import (
+    METRICS_SCHEMA_VERSION,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    parse_metrics,
+    read_trace,
+    read_trace_file,
+    render_metrics,
+    span_to_dict,
+    trace_to_lines,
+    validate_span_dict,
+    write_metrics,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    render_trace_report,
+    slowest_binaries,
+    stage_breakdown,
+)
+from .span import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "parse_metrics",
+    "read_trace",
+    "read_trace_file",
+    "render_metrics",
+    "render_trace_report",
+    "slowest_binaries",
+    "span_to_dict",
+    "stage_breakdown",
+    "trace_to_lines",
+    "validate_span_dict",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,218 @@
+"""Exporters: JSON-lines trace files and Prometheus-style text.
+
+Both formats carry an explicit schema version so any future change to
+the shape is a deliberate, visible bump — the golden-file tests
+compare exporter output byte for byte against checked-in references.
+
+Trace format (one JSON object per line)::
+
+    {"schema": "repro.trace", "version": 1, "kind": "header", ...}
+    {"kind": "span", "name": ..., "span_id": ..., "parent_id": ...,
+     "start": ..., "end": ..., "seconds": ..., "error": ...,
+     "attrs": {...}}
+
+Metrics format (Prometheus text exposition, summaries for
+histograms)::
+
+    # repro-metrics-schema: 1
+    # TYPE repro_engine_cache_hits counter
+    repro_engine_cache_hits 42
+    repro_engine_analyze_task_seconds{quantile="0.5"} 0.002
+    ...
+
+Reading back: :func:`read_trace` and :func:`parse_metrics` invert the
+writers, which is what makes round-trip golden tests possible.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+from .span import Span
+
+#: Bump when the trace line shape changes.
+TRACE_SCHEMA = "repro.trace"
+TRACE_SCHEMA_VERSION = 1
+
+#: Bump when the metrics text shape changes.
+METRICS_SCHEMA_VERSION = 1
+
+
+# --- trace: spans -> JSON lines ----------------------------------------
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    return {
+        "kind": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "seconds": span.seconds,
+        "error": span.error,
+        "attrs": dict(span.attrs),
+    }
+
+
+def validate_span_dict(data: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``data`` is a schema-valid span line."""
+    if data.get("kind") != "span":
+        raise ValueError(f"not a span line: kind={data.get('kind')!r}")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"span name must be a non-empty string: {name!r}")
+    span_id = data.get("span_id")
+    if not isinstance(span_id, int) or span_id < 1:
+        raise ValueError(f"span_id must be a positive int: {span_id!r}")
+    parent_id = data.get("parent_id")
+    if parent_id is not None and not isinstance(parent_id, int):
+        raise ValueError(f"parent_id must be an int or null: {parent_id!r}")
+    for field in ("start", "end", "seconds"):
+        value = data.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{field} must be a number: {value!r}")
+    if data["end"] < data["start"]:  # type: ignore[operator]
+        raise ValueError("span ends before it starts")
+    if not isinstance(data.get("error"), bool):
+        raise ValueError(f"error must be a bool: {data.get('error')!r}")
+    attrs = data.get("attrs")
+    if not isinstance(attrs, dict) or any(
+            not isinstance(key, str) for key in attrs):
+        raise ValueError(f"attrs must be a string-keyed object: {attrs!r}")
+
+
+def trace_to_lines(spans: Sequence[Span],
+                   meta: Optional[Dict[str, object]] = None) -> List[str]:
+    """Render a span batch as JSON lines (header first).
+
+    Spans are ordered by ``(start, span_id)`` so output is stable for
+    a fixed trace regardless of close/adoption order.
+    """
+    ordered = sorted(spans, key=lambda span: (span.start, span.span_id))
+    header: Dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "version": TRACE_SCHEMA_VERSION,
+        "kind": "header",
+        "spans": len(ordered),
+    }
+    header.update(meta or {})
+    lines = [json.dumps(header, sort_keys=False)]
+    lines.extend(json.dumps(span_to_dict(span), sort_keys=False)
+                 for span in ordered)
+    return lines
+
+
+def write_trace(path, spans: Sequence[Span],
+                meta: Optional[Dict[str, object]] = None) -> int:
+    """Write the JSON-lines trace file; returns the span count."""
+    text = "\n".join(trace_to_lines(spans, meta=meta)) + "\n"
+    pathlib.Path(path).write_text(text, encoding="utf-8")
+    return len(spans)
+
+
+def read_trace(lines: Iterable[str],
+               ) -> Tuple[Dict[str, object], List[Span]]:
+    """Invert :func:`trace_to_lines`; validates every span line."""
+    header: Optional[Dict[str, object]] = None
+    spans: List[Span] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if data.get("kind") == "header":
+            if data.get("schema") != TRACE_SCHEMA:
+                raise ValueError(
+                    f"not a {TRACE_SCHEMA} file: {data.get('schema')!r}")
+            if data.get("version") != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema version "
+                    f"{data.get('version')!r}")
+            header = data
+            continue
+        validate_span_dict(data)
+        spans.append(Span(name=data["name"], span_id=data["span_id"],
+                          parent_id=data["parent_id"],
+                          start=data["start"], end=data["end"],
+                          error=data["error"],
+                          attrs=dict(data["attrs"])))
+    if header is None:
+        raise ValueError("trace file has no header line")
+    return header, spans
+
+
+def read_trace_file(path) -> Tuple[Dict[str, object], List[Span]]:
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    return read_trace(text.splitlines())
+
+
+# --- metrics: registry -> Prometheus text ------------------------------
+
+def _mangle(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every instrument in the registry."""
+    lines = [f"# repro-metrics-schema: {METRICS_SCHEMA_VERSION}"]
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():
+        mangled = _mangle(name)
+        lines.append(f"# TYPE {mangled} counter")
+        lines.append(f"{mangled} {_number(value)}")
+    for name, value in snapshot["gauges"].items():
+        mangled = _mangle(name)
+        lines.append(f"# TYPE {mangled} gauge")
+        lines.append(f"{mangled} {_number(value)}")
+    for name, stats in snapshot["histograms"].items():
+        mangled = _mangle(name)
+        lines.append(f"# TYPE {mangled} summary")
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
+                              ("0.99", "p99")):
+            lines.append(f'{mangled}{{quantile="{quantile}"}} '
+                         f"{_number(stats[key])}")
+        lines.append(f"{mangled}_sum {_number(stats['sum'])}")
+        lines.append(f"{mangled}_count {_number(stats['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(path, registry: MetricsRegistry) -> None:
+    pathlib.Path(path).write_text(render_metrics(registry),
+                                  encoding="utf-8")
+
+
+def parse_metrics(text: str) -> Dict[str, float]:
+    """Invert :func:`render_metrics` into ``{sample_name: value}``.
+
+    Sample names keep their label suffix verbatim, e.g.
+    ``repro_engine_analyze_task_seconds{quantile="0.5"}``.  The schema
+    line is checked; ``# TYPE`` comments are skipped.
+    """
+    samples: Dict[str, float] = {}
+    saw_schema = False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# repro-metrics-schema:"):
+                version = int(line.split(":", 1)[1].strip())
+                if version != METRICS_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"unsupported metrics schema version {version}")
+                saw_schema = True
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    if not saw_schema:
+        raise ValueError("metrics text has no schema line")
+    return samples

@@ -1,0 +1,92 @@
+"""Human-readable rendering of a recorded trace.
+
+``repro-analyze report trace`` prints this: a per-stage wall-time
+breakdown (from the engine's ``stage:*`` spans) and the top-N slowest
+binaries (from the worker-side ``binary`` spans and the synthesized
+``quarantine`` spans), so a bulk sweep's hot spots are visible without
+leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..reports.text import format_percent, render_table
+from .span import Span
+
+#: Span names that represent one binary's analysis (ok / failed).
+BINARY_SPAN = "binary"
+QUARANTINE_SPAN = "quarantine"
+STAGE_PREFIX = "stage:"
+
+
+def stage_breakdown(spans: Sequence[Span],
+                    ) -> List[Tuple[str, int, float]]:
+    """``(stage, calls, total_seconds)`` rows in first-seen order."""
+    totals: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for span in spans:
+        if not span.name.startswith(STAGE_PREFIX):
+            continue
+        stage = span.name[len(STAGE_PREFIX):]
+        if stage not in totals:
+            totals[stage] = [0, 0.0]
+            order.append(stage)
+        totals[stage][0] += 1
+        totals[stage][1] += span.seconds
+    return [(stage, int(totals[stage][0]), totals[stage][1])
+            for stage in order]
+
+
+def slowest_binaries(spans: Sequence[Span], top: int = 10,
+                     ) -> List[Span]:
+    """The ``top`` longest per-binary spans, slowest first."""
+    binary_spans = [span for span in spans
+                    if span.name in (BINARY_SPAN, QUARANTINE_SPAN)]
+    binary_spans.sort(key=lambda span: (-span.seconds, span.span_id))
+    return binary_spans[:top]
+
+
+def _binary_label(span: Span) -> str:
+    if span.name == QUARANTINE_SPAN:
+        package = span.attrs.get("package", "?")
+        artifact = span.attrs.get("artifact", "?")
+        return f"{package}:{artifact}"
+    return str(span.attrs.get("binary", "?"))
+
+
+def _binary_status(span: Span) -> str:
+    if not span.error:
+        return "ok"
+    error_class = span.attrs.get("error_class")
+    return f"error:{error_class}" if error_class else "error"
+
+
+def render_trace_report(spans: Sequence[Span], top: int = 10) -> str:
+    """The ``report trace`` block: stage table + slowest-binaries table."""
+    if not spans:
+        return ("trace report\n"
+                "  (no spans recorded — run analysis with tracing "
+                "enabled)")
+    blocks: List[str] = []
+    stages = stage_breakdown(spans)
+    if stages:
+        total = sum(seconds for _, _, seconds in stages) or 1.0
+        rows = [(stage, calls, f"{seconds * 1000:.1f} ms",
+                 format_percent(seconds / total))
+                for stage, calls, seconds in stages]
+        blocks.append(render_table(
+            ("stage", "spans", "wall time", "share"), rows,
+            title="trace report — stage breakdown"))
+    slow = slowest_binaries(spans, top=top)
+    if slow:
+        rows = [(rank + 1, _binary_label(span),
+                 f"{span.seconds * 1000:.2f} ms", _binary_status(span))
+                for rank, span in enumerate(slow)]
+        blocks.append(render_table(
+            ("#", "binary", "wall time", "status"), rows,
+            title=f"trace report — slowest binaries (top {len(slow)} "
+                  f"of {sum(1 for s in spans if s.name in (BINARY_SPAN, QUARANTINE_SPAN))})"))
+    if len(blocks) < 2:
+        blocks.append(f"  ({len(spans)} spans recorded)")
+    return "\n\n".join(blocks)

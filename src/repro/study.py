@@ -653,6 +653,15 @@ class Study:
         stats = self.result.engine_stats
         return ExperimentOutput("engine", stats, stats.render())
 
+    def trace_report(self, top: int = 10) -> ExperimentOutput:
+        """Span-level view of the run: stage breakdown, slowest
+        binaries (including quarantined ones), from the engine's
+        tracer."""
+        from .obs import render_trace_report
+        spans = self.result.engine_stats.tracer.finished()
+        return ExperimentOutput(
+            "trace", spans, render_trace_report(spans, top=top))
+
     def failure_report(self) -> ExperimentOutput:
         """The quarantine: every binary whose analysis failed.
 

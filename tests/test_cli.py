@@ -169,3 +169,50 @@ class TestEngineFlags:
     def test_cache_requires_cache_dir(self, capsys):
         assert main(["cache", "stats"]) == 2
         assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_report_trace(self, capsys):
+        code = main(_SMALL + ["report", "trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace report — stage breakdown" in out
+        assert "trace report — slowest binaries" in out
+        assert "analyze" in out
+
+    def test_trace_out_writes_schema_valid_spans(self, capsys,
+                                                 tmp_path):
+        from repro.obs import read_trace_file, span_to_dict, \
+            validate_span_dict
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(_SMALL + ["--trace-out", str(trace_path),
+                              "report", "engine"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace written to" in err
+        header, spans = read_trace_file(trace_path)
+        assert header["spans"] == len(spans) > 0
+        assert header["backend"] == "serial"
+        for span in spans:
+            validate_span_dict(span_to_dict(span))
+        # Every analyzed binary shows up as a span.
+        names = {span.name for span in spans}
+        assert {"stage:analyze", "binary", "decode"} <= names
+
+    def test_metrics_out_round_trips(self, capsys, tmp_path):
+        from repro.obs import parse_metrics
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(_SMALL + ["--metrics-out", str(metrics_path),
+                              "report", "engine"])
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().err
+        samples = parse_metrics(metrics_path.read_text())
+        assert samples["repro_engine_binaries_analyzed"] > 0
+        assert samples["repro_engine_binaries_quarantined"] == 0
+        assert ('repro_engine_analyze_task_seconds{quantile="0.5"}'
+                in samples)
+
+    def test_exports_default_off(self):
+        args = build_parser().parse_args(_SMALL + ["report"])
+        assert args.trace_out is None
+        assert args.metrics_out is None

@@ -1,0 +1,148 @@
+"""Cross-backend observability conformance suite.
+
+The contract: running the *same corpus* on the serial, thread, and
+process backends must produce identical metric counter values and the
+same multiset of span names — only timings may differ.  This is what
+makes the serial backend a trustworthy oracle for the parallel ones,
+and it is deliberately strict: any backend that skips a stage, loses a
+cache event, or drops a worker span fails loudly here.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import AnalysisPipeline
+from repro.engine import AnalysisEngine, EngineConfig
+from repro.engine.stats import COUNTER_METRICS
+from repro.obs import span_to_dict, validate_span_dict
+from repro.synth import MUTATIONS, build_ecosystem, inject_corrupt_package
+
+BACKENDS = [("serial", 1), ("thread", 3), ("process", 3)]
+
+
+def _run(tiny_config, backend, jobs, corrupt=False):
+    ecosystem = build_ecosystem(tiny_config)
+    if corrupt:
+        inject_corrupt_package(ecosystem.repository, seed=0)
+    engine = AnalysisEngine(EngineConfig(jobs=jobs, backend=backend))
+    result = AnalysisPipeline(ecosystem.repository,
+                              ecosystem.interpreters,
+                              engine=engine).run()
+    return result.engine_stats
+
+
+def _fingerprint(stats):
+    """Everything that must be backend-invariant."""
+    histogram_counts = {
+        name: snapshot["count"]
+        for name, snapshot in stats.registry.histogram_values().items()
+    }
+    return {
+        "counters": stats.registry.counter_values(),
+        "span_names": stats.tracer.name_multiset(),
+        "histogram_counts": histogram_counts,
+    }
+
+
+@pytest.fixture(scope="module")
+def clean_runs(tiny_config):
+    return {backend: _run(tiny_config, backend, jobs)
+            for backend, jobs in BACKENDS}
+
+
+@pytest.fixture(scope="module")
+def corrupt_runs(tiny_config):
+    return {backend: _run(tiny_config, backend, jobs, corrupt=True)
+            for backend, jobs in BACKENDS}
+
+
+class TestCleanCorpusConformance:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_serial_fingerprint(self, clean_runs, backend):
+        assert (_fingerprint(clean_runs[backend])
+                == _fingerprint(clean_runs["serial"]))
+
+    def test_all_counter_metrics_present(self, clean_runs):
+        for stats in clean_runs.values():
+            assert (set(stats.registry.counter_values())
+                    == set(COUNTER_METRICS.values()))
+
+    def test_clean_run_has_no_quarantine_spans(self, clean_runs):
+        for stats in clean_runs.values():
+            names = stats.tracer.name_multiset()
+            assert names["quarantine"] == 0
+            assert names["binary"] == stats.binaries_analyzed > 0
+            # Every binary span carries its full child set.
+            for child in ("decode", "validate", "record"):
+                assert names[child] == names["binary"]
+
+    def test_every_span_is_schema_valid(self, clean_runs):
+        for stats in clean_runs.values():
+            spans = stats.tracer.finished()
+            assert spans
+            for span in spans:
+                validate_span_dict(span_to_dict(span))
+
+    def test_worker_spans_parented_under_analyze_stage(
+            self, clean_runs):
+        for stats in clean_runs.values():
+            spans = stats.tracer.finished()
+            stage_ids = {s.span_id for s in spans
+                         if s.name == "stage:analyze"}
+            assert len(stage_ids) == 1
+            binary_spans = [s for s in spans if s.name == "binary"]
+            assert binary_spans
+            for span in binary_spans:
+                assert span.parent_id in stage_ids
+
+
+class TestCorruptCorpusConformance:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_serial_fingerprint(self, corrupt_runs, backend):
+        assert (_fingerprint(corrupt_runs[backend])
+                == _fingerprint(corrupt_runs["serial"]))
+
+    def test_quarantine_spans_cover_every_mutation(self, corrupt_runs):
+        for stats in corrupt_runs.values():
+            spans = [s for s in stats.tracer.finished()
+                     if s.name == "quarantine"]
+            assert len(spans) == len(MUTATIONS)
+            assert all(s.error for s in spans)
+            artifacts = {s.attrs["artifact"] for s in spans}
+            assert artifacts == {f"bin/corrupt-{name}"
+                                 for name in MUTATIONS}
+            for span in spans:
+                validate_span_dict(span_to_dict(span))
+
+    def test_quarantine_attrs_identical_across_backends(
+            self, corrupt_runs):
+        def census(stats):
+            return Counter(
+                tuple(sorted(s.attrs.items()))
+                for s in stats.tracer.finished()
+                if s.name == "quarantine")
+
+        serial = census(corrupt_runs["serial"])
+        assert serial
+        for backend in ("thread", "process"):
+            assert census(corrupt_runs[backend]) == serial
+
+    def test_quarantine_latency_counted(self, corrupt_runs):
+        for stats in corrupt_runs.values():
+            histograms = stats.registry.histogram_values()
+            snapshot = histograms["engine.quarantine.task_seconds"]
+            assert snapshot["count"] == len(MUTATIONS)
+
+
+class TestTracingDisabled:
+    def test_counters_unaffected_by_tracing_flag(self, tiny_config):
+        traced = _run(tiny_config, "serial", 1)
+        ecosystem = build_ecosystem(tiny_config)
+        engine = AnalysisEngine(EngineConfig(tracing=False))
+        untraced = AnalysisPipeline(
+            ecosystem.repository, ecosystem.interpreters,
+            engine=engine).run().engine_stats
+        assert untraced.tracer.finished() == []
+        assert (untraced.registry.counter_values()
+                == traced.registry.counter_values())

@@ -1,0 +1,178 @@
+"""Golden-file schema tests for the exporters.
+
+The JSON-lines trace and the Prometheus text are public formats: a CI
+job uploads the trace artifact and external tooling may scrape the
+metrics.  These tests pin the exact bytes produced for a fixed,
+fake-clock trace and a fixed registry against checked-in golden
+files, and prove both formats round-trip through their readers.  Any
+intentional shape change must update the goldens *and* bump the
+schema version.
+
+Regenerate after a deliberate change with::
+
+    PYTHONPATH=src python tests/test_obs_golden.py --regenerate
+"""
+
+import pathlib
+from collections import Counter
+
+import pytest
+
+from repro.obs import (
+    METRICS_SCHEMA_VERSION,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    MetricsRegistry,
+    SpanTracer,
+    parse_metrics,
+    read_trace,
+    render_metrics,
+    trace_to_lines,
+    validate_span_dict,
+    span_to_dict,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+TRACE_GOLDEN = GOLDEN_DIR / "trace.golden.jsonl"
+METRICS_GOLDEN = GOLDEN_DIR / "metrics.golden.prom"
+
+
+class _TickClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.125
+        return self.now
+
+
+def build_trace():
+    """A miniature engine-shaped trace on a deterministic clock."""
+    tracer = SpanTracer(clock=_TickClock())
+    with tracer.span("stage:scan"):
+        pass
+    with tracer.span("stage:analyze") as analyze:
+        worker = SpanTracer(clock=_TickClock())
+        with worker.span("binary", binary="bin/app", sha256="26a5a2c7"):
+            with worker.span("decode"):
+                pass
+            with worker.span("validate"):
+                pass
+            with worker.span("record"):
+                pass
+        tracer.adopt(worker.finished(), parent_id=analyze.span_id)
+        tracer.record_span(
+            "quarantine", seconds=0.25, error=True,
+            parent_id=analyze.span_id,
+            attrs={"package": "corrupt", "artifact": "bin/bad",
+                   "error_class": "format", "exc_type": "ElfFormatError",
+                   "stage": "decode"})
+    return tracer.finished()
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("engine.binaries.submitted").set(4)
+    registry.counter("engine.binaries.analyzed").set(3)
+    registry.counter("engine.binaries.quarantined").set(1)
+    registry.counter("engine.cache.hits").set(2)
+    registry.gauge("engine.stage.scan.seconds").add(0.125)
+    registry.gauge("engine.stage.analyze.seconds").add(1.5)
+    histogram = registry.histogram("engine.analyze.task_seconds")
+    for value in (0.001, 0.002, 0.004, 0.032):
+        histogram.observe(value)
+    return registry
+
+
+def _trace_text():
+    return "\n".join(
+        trace_to_lines(build_trace(),
+                       meta={"backend": "serial", "jobs": 1})) + "\n"
+
+
+def _metrics_text():
+    return render_metrics(build_registry())
+
+
+class TestTraceGolden:
+    def test_matches_golden_bytes(self):
+        assert _trace_text() == TRACE_GOLDEN.read_text(encoding="utf-8")
+
+    def test_round_trip(self):
+        header, spans = read_trace(_trace_text().splitlines())
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["version"] == TRACE_SCHEMA_VERSION
+        assert header["spans"] == len(spans) == len(build_trace())
+        assert (Counter(s.name for s in spans)
+                == Counter(s.name for s in build_trace()))
+        # Reading back the golden file itself agrees too.
+        golden_header, golden_spans = read_trace(
+            TRACE_GOLDEN.read_text(encoding="utf-8").splitlines())
+        assert golden_header == header
+        assert golden_spans == spans
+
+    def test_every_golden_line_is_schema_valid(self):
+        for span in build_trace():
+            validate_span_dict(span_to_dict(span))
+
+    def test_reader_rejects_wrong_schema(self):
+        bad = _trace_text().replace(TRACE_SCHEMA, "other.trace", 1)
+        with pytest.raises(ValueError, match="not a repro.trace"):
+            read_trace(bad.splitlines())
+
+    def test_reader_rejects_future_version(self):
+        bad = _trace_text().replace(
+            f'"version": {TRACE_SCHEMA_VERSION}', '"version": 999', 1)
+        with pytest.raises(ValueError, match="version"):
+            read_trace(bad.splitlines())
+
+    def test_reader_rejects_corrupt_span_line(self):
+        lines = _trace_text().splitlines()
+        lines[1] = lines[1].replace('"error": false', '"error": "no"')
+        with pytest.raises(ValueError, match="error must be a bool"):
+            read_trace(lines)
+
+
+class TestMetricsGolden:
+    def test_matches_golden_bytes(self):
+        assert (_metrics_text()
+                == METRICS_GOLDEN.read_text(encoding="utf-8"))
+
+    def test_round_trip(self):
+        samples = parse_metrics(_metrics_text())
+        assert samples["repro_engine_binaries_submitted"] == 4
+        assert samples["repro_engine_binaries_analyzed"] == 3
+        assert samples["repro_engine_stage_analyze_seconds"] == 1.5
+        assert (samples['repro_engine_analyze_task_seconds'
+                        '{quantile="0.5"}'] == 0.002)
+        assert samples["repro_engine_analyze_task_seconds_count"] == 4
+        assert samples["repro_engine_analyze_task_seconds_sum"] == (
+            pytest.approx(0.039))
+        # The golden file parses to the same samples.
+        assert parse_metrics(
+            METRICS_GOLDEN.read_text(encoding="utf-8")) == samples
+
+    def test_schema_line_is_first(self):
+        first = _metrics_text().splitlines()[0]
+        assert first == f"# repro-metrics-schema: {METRICS_SCHEMA_VERSION}"
+
+    def test_parser_rejects_missing_schema(self):
+        body = "\n".join(_metrics_text().splitlines()[1:])
+        with pytest.raises(ValueError, match="no schema line"):
+            parse_metrics(body)
+
+    def test_parser_rejects_future_version(self):
+        bad = _metrics_text().replace(
+            f"schema: {METRICS_SCHEMA_VERSION}", "schema: 999", 1)
+        with pytest.raises(ValueError, match="version"):
+            parse_metrics(bad)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        TRACE_GOLDEN.write_text(_trace_text(), encoding="utf-8")
+        METRICS_GOLDEN.write_text(_metrics_text(), encoding="utf-8")
+        print(f"regenerated {TRACE_GOLDEN} and {METRICS_GOLDEN}")
