@@ -1,0 +1,91 @@
+"""Dataset substrate speed: legacy set-based vs interned bitset path.
+
+Times the full completeness curve (Figure 3's computation — the most
+dependency-heavy metric) three ways on the medium benchmark corpus:
+
+* **legacy** — the pre-refactor implementation preserved verbatim in
+  :mod:`repro.dataset.reference`: string-keyed sets, importance and
+  usage tables rebuilt, support tracker re-condensed, per call;
+* **cold** — interning the corpus into a fresh
+  :class:`repro.dataset.Dataset` plus the first curve over it;
+* **warm** — the curve over an already-built dataset, the regime every
+  Study experiment after the first actually runs in (tables, universe
+  ids, and the condensed dependency DAG come from the dataset's
+  caches).
+
+Writes ``benchmarks/output/BENCH_dataset.json`` with the timings and
+asserts the warm bitset path beats legacy by at least 3x while
+producing a bit-for-bit identical curve.
+"""
+
+import json
+import time
+
+from repro.dataset import Dataset, reference
+from repro.metrics import completeness_curve
+from repro.reports.text import render_key_points
+
+_REQUIRED_SPEEDUP = 3.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_dataset_speed(study, output_dir, save):
+    footprints = dict(study.result.package_footprints)
+    popcon = study.popcon
+    repository = study.repository
+
+    legacy_seconds, legacy_curve = _timed(
+        lambda: reference.completeness_curve(footprints, popcon,
+                                             repository))
+
+    intern_seconds, dataset = _timed(
+        lambda: Dataset(footprints, popcon, repository))
+    first_seconds, first_curve = _timed(
+        lambda: completeness_curve(dataset))
+    warm_seconds = min(
+        _timed(lambda: completeness_curve(dataset))[0]
+        for _ in range(3))
+
+    assert first_curve == legacy_curve, \
+        "bitset curve diverged from the legacy curve"
+
+    cold_seconds = intern_seconds + first_seconds
+    speedup_warm = legacy_seconds / warm_seconds
+    speedup_cold = legacy_seconds / cold_seconds
+    payload = {
+        "corpus": {
+            "packages": len(footprints),
+            "curve_points": len(legacy_curve),
+        },
+        "legacy_seconds": legacy_seconds,
+        "intern_seconds": intern_seconds,
+        "first_curve_seconds": first_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_curve_seconds": warm_seconds,
+        "speedup_cold": speedup_cold,
+        "speedup_warm": speedup_warm,
+        "required_speedup": _REQUIRED_SPEEDUP,
+        "curves_identical": True,
+    }
+    (output_dir / "BENCH_dataset.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    save("dataset_speed", render_key_points([
+        ("packages", len(footprints)),
+        ("curve points", len(legacy_curve)),
+        ("legacy curve", f"{legacy_seconds * 1000:.1f} ms"),
+        ("intern corpus", f"{intern_seconds * 1000:.1f} ms"),
+        ("bitset curve (cold)", f"{cold_seconds * 1000:.1f} ms"),
+        ("bitset curve (warm)", f"{warm_seconds * 1000:.1f} ms"),
+        ("speedup (warm)", f"{speedup_warm:.1f}x"),
+    ], title="dataset substrate — completeness curve wall time"))
+
+    assert speedup_warm >= _REQUIRED_SPEEDUP, (
+        f"warm bitset curve only {speedup_warm:.2f}x faster than "
+        f"legacy (need >= {_REQUIRED_SPEEDUP}x); "
+        f"legacy={legacy_seconds:.4f}s warm={warm_seconds:.4f}s")

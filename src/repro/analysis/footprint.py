@@ -9,6 +9,7 @@ aggregate into per-package and per-installation views.
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
 from typing import ClassVar, FrozenSet, Iterable, Mapping
 
@@ -110,7 +111,14 @@ class Footprint:
         )
 
     def requires_only(self, supported_syscalls: Iterable[str]) -> bool:
-        """True when every syscall in this footprint is supported."""
+        """True when every syscall in this footprint is supported.
+
+        Set-like arguments are tested directly; only non-set iterables
+        pay for materialization (callers probe thousands of footprints
+        against the same supported set).
+        """
+        if isinstance(supported_syscalls, AbstractSet):
+            return self.syscalls <= supported_syscalls
         return self.syscalls <= frozenset(supported_syscalls)
 
     def restrict_syscalls(self) -> FrozenSet[str]:
@@ -130,6 +138,10 @@ class PackageFootprint:
     per_executable: Mapping[str, Footprint] = field(default_factory=dict)
 
     def merged_with(self, other: Footprint) -> "PackageFootprint":
+        # No-copy fast path: an empty provenance map has nothing the
+        # new instance could alias-mutate, so share the instance.
+        per_executable = (self.per_executable if not self.per_executable
+                          else dict(self.per_executable))
         return PackageFootprint(self.package,
                                 self.footprint | other,
-                                dict(self.per_executable))
+                                per_executable)

@@ -42,6 +42,7 @@ _EXPERIMENTS = {
     "engine": "engine_report",
     "failures": "failure_report",
     "trace": "trace_report",
+    "dataset": "dataset_report",
 }
 
 
@@ -141,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("stats", "clear"),
                        help="stats: entries/size; clear: delete all "
                             "cached records")
+
+    dataset = sub.add_parser(
+        "dataset", help="inspect or export the interned footprint "
+                        "dataset behind every metric")
+    dataset.add_argument("action", choices=("stats", "export"),
+                         help="stats: per-dimension universe sizes; "
+                              "export: write the snapshot as JSON")
+    dataset.add_argument("--out", metavar="PATH", default=None,
+                         help="export destination "
+                              "(default: dataset.json)")
     return parser
 
 
@@ -225,6 +236,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             if save_dir is not None:
                 (save_dir / f"{name}.txt").write_text(
                     output.rendered + "\n", encoding="utf-8")
+        return 0
+
+    if args.command == "dataset":
+        if args.action == "stats":
+            print(study.dataset_report().rendered)
+        else:
+            path = args.out or "dataset.json"
+            written = study.export_dataset(path)
+            print(f"dataset snapshot written to {path} "
+                  f"({written} bytes)")
         return 0
 
     if args.command == "seccomp":

@@ -12,6 +12,7 @@ from .libc_compat import (
     LibcEvaluation,
     evaluate_all_variants,
     evaluate_libc_variant,
+    normalized_dataset,
 )
 from .systems import (
     FREEBSD_EMU,
@@ -39,6 +40,7 @@ __all__ = [
     "evaluate_all_variants",
     "evaluate_libc_variant",
     "evaluate_system",
+    "normalized_dataset",
     "graphene_model",
     "graphene_plus_sched",
 ]

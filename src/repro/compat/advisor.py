@@ -9,15 +9,22 @@ Two practical questions the paper says its dataset answers:
 * *"What is the impact of an API change on applications?"* — so a
   kernel maintainer can see who breaks before deprecating
   (:func:`change_impact`).
+
+Both advisors intersect per-package footprints with the modified-API
+set; on an interned :class:`repro.dataset.Dataset` those intersections
+are single bitmask ANDs over the dataset's cached masks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ..analysis.footprint import Footprint
-from ..metrics.importance import DIMENSIONS, dependents_index
+from ..dataset.core import Dataset, FootprintsLike, as_dataset
+from ..dataset.dimensions import DIMENSIONS
+from ..dataset.interner import popcount
+from ..metrics.importance import dependents_index
 from ..packages.popcon import PopularityContest
 from ..packages.repository import Repository
 
@@ -36,23 +43,27 @@ class WorkloadSuggestion:
 
 
 def workload_suggestions(modified_apis: Iterable[str],
-                         footprints: Mapping[str, Footprint],
-                         popcon: PopularityContest,
+                         footprints: FootprintsLike,
+                         popcon: Optional[PopularityContest] = None,
                          dimension: str = "syscall",
                          limit: int = 10) -> List[WorkloadSuggestion]:
     """Rank packages as evaluation workloads for a set of modified
     APIs: prefer packages exercising more of the set, then more widely
     installed ones (a benefit nobody installs is not a benefit)."""
-    select = DIMENSIONS[dimension]
-    modified = frozenset(modified_apis)
+    dataset = as_dataset(footprints, popcon)
+    space = dataset.space
+    modified_mask = space.mask_of(dimension, modified_apis)
+    masks = dataset.masks(dimension)
     suggestions = []
-    for package, footprint in footprints.items():
-        exercised = tuple(sorted(select(footprint) & modified))
-        if not exercised:
+    for position, package in enumerate(dataset.packages):
+        exercised_mask = masks[position] & modified_mask
+        if not exercised_mask:
             continue
+        exercised = tuple(sorted(space.names_of(dimension,
+                                                exercised_mask)))
         suggestions.append(WorkloadSuggestion(
             package=package,
-            install_probability=popcon.install_probability(package),
+            install_probability=dataset.weight_of(package),
             apis_exercised=exercised,
         ))
     suggestions.sort(key=lambda s: (-s.coverage,
@@ -72,20 +83,23 @@ class ChangeImpact:
 
 
 def change_impact(api: str,
-                  footprints: Mapping[str, Footprint],
-                  popcon: PopularityContest,
-                  repository: Repository,
+                  footprints: FootprintsLike,
+                  popcon: Optional[PopularityContest] = None,
+                  repository: Optional[Repository] = None,
                   dimension: str = "syscall") -> ChangeImpact:
     """What breaks if ``api`` is removed (§6's deprecation question)."""
-    index = dependents_index(footprints, dimension)
+    dataset = as_dataset(footprints, popcon, repository)
+    if dataset.repository is None:
+        raise ValueError("change_impact needs a dependency repository")
+    index = dependents_index(dataset, dimension)
     users = sorted(index.get(api, []))
     probability_none = 1.0
     for package in users:
-        probability_none *= 1.0 - popcon.install_probability(package)
+        probability_none *= 1.0 - dataset.weight_of(package)
     affected = 1.0 - probability_none
     cascade = set()
     for package in users:
-        cascade |= repository.reverse_dependencies(package)
+        cascade |= dataset.repository.reverse_dependencies(package)
     cascade -= set(users)
     if not users:
         verdict = "unused: removable today"
@@ -106,8 +120,8 @@ def change_impact(api: str,
 
 
 def coverage_plan(modified_apis: Iterable[str],
-                  footprints: Mapping[str, Footprint],
-                  popcon: PopularityContest,
+                  footprints: FootprintsLike,
+                  popcon: Optional[PopularityContest] = None,
                   dimension: str = "syscall",
                   ) -> List[WorkloadSuggestion]:
     """Greedy minimum workload set covering every modified API.
@@ -115,29 +129,31 @@ def coverage_plan(modified_apis: Iterable[str],
     Answers "what is the smallest benchmark suite that exercises all
     my changes?" — packages are added in order of marginal coverage.
     """
-    select = DIMENSIONS[dimension]
-    remaining = set(modified_apis)
+    dataset = as_dataset(footprints, popcon)
+    space = dataset.space
+    remaining = space.mask_of(dimension, modified_apis)
+    masks = dataset.masks(dimension)
+    candidates: Dict[str, int] = {}
+    for position, package in enumerate(dataset.packages):
+        overlap = masks[position] & remaining
+        if overlap:
+            candidates[package] = overlap
     chosen: List[WorkloadSuggestion] = []
-    candidates = {
-        package: select(footprint) & frozenset(modified_apis)
-        for package, footprint in footprints.items()
-    }
-    candidates = {pkg: apis for pkg, apis in candidates.items()
-                  if apis}
     while remaining and candidates:
         best_pkg, best_apis = max(
             candidates.items(),
-            key=lambda item: (len(item[1] & remaining),
-                              popcon.install_probability(item[0]),
+            key=lambda item: (popcount(item[1] & remaining),
+                              dataset.weight_of(item[0]),
                               item[0]))
         gain = best_apis & remaining
         if not gain:
             break
         chosen.append(WorkloadSuggestion(
             package=best_pkg,
-            install_probability=popcon.install_probability(best_pkg),
-            apis_exercised=tuple(sorted(best_apis)),
+            install_probability=dataset.weight_of(best_pkg),
+            apis_exercised=tuple(sorted(
+                space.names_of(dimension, best_apis))),
         ))
-        remaining -= gain
+        remaining &= ~gain
         del candidates[best_pkg]
     return chosen

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..analysis.footprint import Footprint
+from ..dataset.core import Dataset, FootprintsLike, as_dataset
 from ..libc.variants import LibcVariant, VARIANTS, normalize_footprint
 from ..metrics.completeness import weighted_completeness
 from ..packages.popcon import PopularityContest
@@ -50,23 +51,44 @@ def _normalized_footprints(footprints: Mapping[str, Footprint],
     return out
 
 
+def normalized_dataset(footprints: FootprintsLike,
+                       popcon: Optional[PopularityContest] = None,
+                       repository: Optional[Repository] = None,
+                       ) -> Dataset:
+    """Interned dataset with glibc fortify aliases reversed.
+
+    Normalization rewrites every package's libc symbols, so the
+    normalized corpus needs its own interner; building it once and
+    sharing it across all variant evaluations (Table 7 scores seven)
+    amortizes the re-interning.
+    """
+    dataset = as_dataset(footprints, popcon, repository)
+    return Dataset(_normalized_footprints(dataset),
+                   popcon=dataset.popcon,
+                   repository=dataset.repository)
+
+
 def evaluate_libc_variant(variant: LibcVariant,
-                          footprints: Mapping[str, Footprint],
-                          popcon: PopularityContest,
+                          footprints: FootprintsLike,
+                          popcon: Optional[PopularityContest] = None,
                           repository: Optional[Repository] = None,
+                          normalized: Optional[Dataset] = None,
                           ) -> LibcEvaluation:
+    dataset = as_dataset(footprints, popcon, repository)
+    if normalized is None:
+        normalized = normalized_dataset(dataset)
     raw = weighted_completeness(
-        variant.supported, footprints, popcon, repository,
-        dimension="libc")
-    normalized = weighted_completeness(
-        normalize_footprint(variant.supported),
-        _normalized_footprints(footprints), popcon, repository,
+        variant.supported, dataset, dimension="libc")
+    normalized_wc = weighted_completeness(
+        normalize_footprint(variant.supported), normalized,
         dimension="libc")
 
-    # Most frequently demanded symbols the variant lacks.
+    # Most frequently demanded symbols the variant lacks.  The
+    # normalized dataset's footprints already carry the rewritten
+    # symbol sets, so no per-variant re-normalization pass is needed.
     demand: Dict[str, int] = {}
-    for footprint in footprints.values():
-        for symbol in normalize_footprint(footprint.libc_symbols):
+    for footprint in normalized.values():
+        for symbol in footprint.libc_symbols:
             if not variant.supports(symbol):
                 demand[symbol] = demand.get(symbol, 0) + 1
     sample = tuple(name for name, _ in sorted(
@@ -75,15 +97,17 @@ def evaluate_libc_variant(variant: LibcVariant,
         variant=f"{variant.name} {variant.version}",
         export_count=variant.nominal_export_count,
         raw_completeness=raw,
-        normalized_completeness=normalized,
+        normalized_completeness=normalized_wc,
         sample_missing=sample,
     )
 
 
-def evaluate_all_variants(footprints: Mapping[str, Footprint],
-                          popcon: PopularityContest,
+def evaluate_all_variants(footprints: FootprintsLike,
+                          popcon: Optional[PopularityContest] = None,
                           repository: Optional[Repository] = None,
                           ) -> List[LibcEvaluation]:
-    return [evaluate_libc_variant(variant, footprints, popcon,
-                                  repository)
+    dataset = as_dataset(footprints, popcon, repository)
+    shared_normalized = normalized_dataset(dataset)
+    return [evaluate_libc_variant(variant, dataset,
+                                  normalized=shared_normalized)
             for variant in VARIANTS.values()]

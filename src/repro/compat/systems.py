@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ..analysis.footprint import Footprint
+from ..dataset.core import ApiSpace, FootprintsLike, as_dataset
 from ..metrics.completeness import missing_apis_report, weighted_completeness
 from ..packages.popcon import PopularityContest
 from ..packages.repository import Repository
@@ -39,6 +40,22 @@ class SystemModel:
 
     def missing(self) -> FrozenSet[str]:
         return ALL_NAMES - self.supported
+
+    def supported_mask(self, space: ApiSpace,
+                       dimension: str = "syscall") -> int:
+        """This system's supported set as a bitmask over ``space``.
+
+        Supported calls no measured package uses fall outside the
+        interned universe and drop out of the mask — exactly the
+        treatment the completeness metrics give them.
+        """
+        return space.mask_of(dimension, self.supported)
+
+    def unsupported_demand(self, space: ApiSpace,
+                           dimension: str = "syscall") -> int:
+        """Mask of measured APIs this system does *not* implement."""
+        return (space.universe_mask(dimension)
+                & ~self.supported_mask(space, dimension))
 
 
 def _exclude(names: Iterable[str]) -> FrozenSet[str]:
@@ -169,15 +186,21 @@ class SystemEvaluation:
 
 
 def evaluate_system(system: SystemModel,
-                    footprints: Mapping[str, Footprint],
-                    popcon: PopularityContest,
+                    footprints: FootprintsLike,
+                    popcon: Optional[PopularityContest] = None,
                     repository: Optional[Repository] = None,
                     suggestions: int = 5) -> SystemEvaluation:
-    """Compute weighted completeness and next-API suggestions."""
-    completeness = weighted_completeness(
-        system.supported, footprints, popcon, repository)
+    """Compute weighted completeness and next-API suggestions.
+
+    ``footprints`` may be a plain mapping or a
+    :class:`repro.dataset.Dataset`; in the latter case ``popcon`` and
+    ``repository`` default to the dataset's own bindings and the
+    interned bitsets are reused across both metrics.
+    """
+    dataset = as_dataset(footprints, popcon, repository)
+    completeness = weighted_completeness(system.supported, dataset)
     suggested = missing_apis_report(
-        system.supported, footprints, popcon, limit=suggestions)
+        system.supported, dataset, limit=suggestions)
     return SystemEvaluation(
         system=f"{system.name} {system.version}",
         syscall_count=system.count,

@@ -1,0 +1,48 @@
+"""The shared dataset substrate (see DESIGN.md, "Dataset substrate").
+
+One immutable, interned view of the study's inputs — API footprints as
+per-dimension bitmasks, popcon probabilities as a weight vector, the
+dependency graph as a cached SCC condensation — queried by every layer
+above analysis: metrics, compat, study, reports, CLI.
+"""
+
+from .bitset import DIMENSION_INDEX, BitsetFootprint
+from .codec import (DATASET_CODEC_VERSION, DatasetCodecError,
+                    dataset_from_dict, dataset_from_json,
+                    dataset_to_dict, dataset_to_json,
+                    footprints_fingerprint)
+from .core import ApiSpace, Dataset, DatasetStats, as_dataset
+from .dimensions import (ALL_DIMENSIONS, DIMENSION_ORDER, DIMENSIONS,
+                         FOOTPRINT_FIELDS, NAMESPACE_PREFIXES,
+                         namespaced, selector, split_namespaced)
+from .graph import CondensedDependencyGraph, SupportTracker
+from .interner import ApiInterner, iter_bits, popcount
+
+__all__ = [
+    "ALL_DIMENSIONS",
+    "ApiInterner",
+    "ApiSpace",
+    "BitsetFootprint",
+    "CondensedDependencyGraph",
+    "DATASET_CODEC_VERSION",
+    "DIMENSIONS",
+    "DIMENSION_INDEX",
+    "DIMENSION_ORDER",
+    "Dataset",
+    "DatasetCodecError",
+    "DatasetStats",
+    "FOOTPRINT_FIELDS",
+    "NAMESPACE_PREFIXES",
+    "SupportTracker",
+    "as_dataset",
+    "dataset_from_dict",
+    "dataset_from_json",
+    "dataset_to_dict",
+    "dataset_to_json",
+    "footprints_fingerprint",
+    "iter_bits",
+    "namespaced",
+    "popcount",
+    "selector",
+    "split_namespaced",
+]

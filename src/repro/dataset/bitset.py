@@ -1,0 +1,91 @@
+"""Interned API footprints: one bitmask per dimension.
+
+A :class:`BitsetFootprint` is the interned mirror of
+:class:`repro.analysis.footprint.Footprint`: six Python-int masks, one
+per entry of :data:`repro.dataset.dimensions.DIMENSION_ORDER`, whose
+bit positions are the dense ids assigned by the owning
+:class:`repro.dataset.ApiSpace`.  Masks from different spaces are not
+comparable; the :class:`repro.dataset.Dataset` facade guarantees all
+of its footprints share one space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .dimensions import DIMENSION_ORDER
+
+#: Index of each dimension inside the mask tuple.
+DIMENSION_INDEX = {name: i for i, name in enumerate(DIMENSION_ORDER)}
+
+
+class BitsetFootprint:
+    """The set of APIs an artifact can reach, as per-dimension masks."""
+
+    __slots__ = ("masks",)
+
+    def __init__(self, masks: Iterable[int] = ()) -> None:
+        materialized = tuple(masks) or (0,) * len(DIMENSION_ORDER)
+        if len(materialized) != len(DIMENSION_ORDER):
+            raise ValueError(
+                f"expected {len(DIMENSION_ORDER)} masks, "
+                f"got {len(materialized)}")
+        self.masks: Tuple[int, ...] = materialized
+
+    # --- per-dimension access -------------------------------------------
+
+    def mask(self, dimension: str) -> int:
+        """The mask for one concrete dimension (not ``"all"``; the
+        composed mask needs the owning space's offsets — see
+        :meth:`repro.dataset.ApiSpace.all_mask`)."""
+        return self.masks[DIMENSION_INDEX[dimension]]
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self.masks)
+
+    def bit_count(self) -> int:
+        """Total APIs across every dimension."""
+        return sum(mask.bit_count() for mask in self.masks)
+
+    # --- set algebra ----------------------------------------------------
+
+    def union(self, other: "BitsetFootprint") -> "BitsetFootprint":
+        return BitsetFootprint(
+            a | b for a, b in zip(self.masks, other.masks))
+
+    def __or__(self, other: "BitsetFootprint") -> "BitsetFootprint":
+        return self.union(other)
+
+    def difference(self, other: "BitsetFootprint") -> "BitsetFootprint":
+        return BitsetFootprint(
+            a & ~b for a, b in zip(self.masks, other.masks))
+
+    def subset_of(self, other: "BitsetFootprint") -> bool:
+        return all(a & ~b == 0
+                   for a, b in zip(self.masks, other.masks))
+
+    @classmethod
+    def union_all(cls, footprints: Iterable["BitsetFootprint"],
+                  ) -> "BitsetFootprint":
+        masks = [0] * len(DIMENSION_ORDER)
+        for footprint in footprints:
+            for index, mask in enumerate(footprint.masks):
+                masks[index] |= mask
+        return cls(masks)
+
+    # --- plumbing -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BitsetFootprint)
+                and self.masks == other.masks)
+
+    def __hash__(self) -> int:
+        return hash(self.masks)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}={mask.bit_count()}"
+            for name, mask in zip(DIMENSION_ORDER, self.masks)
+            if mask)
+        return f"BitsetFootprint({sizes or 'empty'})"

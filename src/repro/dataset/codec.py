@@ -1,0 +1,134 @@
+"""Versioned JSON codec for interned datasets.
+
+Persists exactly the state that is expensive to rebuild — the
+per-dimension interner name tables and the per-package bitmasks — so a
+warm engine run reconstructs a :class:`repro.dataset.Dataset` without
+re-unioning, re-sorting, or re-hashing a single API name.  Masks are
+hex strings (JSON has no big integers); interner name lists are stored
+in id order, which :class:`repro.dataset.ApiInterner` guarantees is
+sorted order, so an encode/decode round trip is exact.
+
+Popcon and repository objects are runtime inputs, not part of the
+payload — the engine rebinds them on load (:meth:`Dataset.rebound`
+semantics).  ``unresolved_sites`` rides along per package so the
+reconstructed source footprints compare equal to the originals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from ..analysis.footprint import Footprint
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+from .bitset import BitsetFootprint
+from .core import ApiSpace, Dataset
+from .dimensions import DIMENSION_ORDER, FOOTPRINT_FIELDS
+from .interner import ApiInterner
+
+#: Version of the dataset payload layout.  Bump on incompatible change;
+#: stale payloads are rejected and the caller re-interns from source.
+DATASET_CODEC_VERSION = "1"
+
+
+class DatasetCodecError(ValueError):
+    """Raised when a dataset payload is malformed or stale."""
+
+
+def dataset_to_dict(dataset: Dataset) -> Dict[str, Any]:
+    """Encode the interned state of ``dataset`` (not popcon/repo)."""
+    return {
+        "dataset_codec_version": DATASET_CODEC_VERSION,
+        "interners": {
+            dim: list(dataset.space.interner(dim).names)
+            for dim in DIMENSION_ORDER},
+        "packages": list(dataset.packages),
+        "masks": [[format(mask, "x") for mask in bits.masks]
+                  for bits in dataset.bitsets],
+        "unresolved_sites": [fp.unresolved_sites
+                             for fp in dataset.values()],
+    }
+
+
+def dataset_from_dict(payload: Dict[str, Any],
+                      popcon: Optional[PopularityContest] = None,
+                      repository: Optional[Repository] = None,
+                      ) -> Dataset:
+    """Rebuild a :class:`Dataset` without re-interning anything."""
+    if not isinstance(payload, dict):
+        raise DatasetCodecError("dataset: expected an object")
+    version = payload.get("dataset_codec_version")
+    if version != DATASET_CODEC_VERSION:
+        raise DatasetCodecError(
+            f"dataset: codec version {version!r} "
+            f"!= {DATASET_CODEC_VERSION!r}")
+    try:
+        interners = payload["interners"]
+        packages = payload["packages"]
+        mask_rows = payload["masks"]
+        unresolved = payload.get("unresolved_sites",
+                                 [0] * len(packages))
+        space = ApiSpace({
+            dim: ApiInterner(interners.get(dim, ()))
+            for dim in DIMENSION_ORDER})
+        bitsets = [BitsetFootprint(int(mask, 16) for mask in row)
+                   for row in mask_rows]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetCodecError(f"dataset: malformed payload "
+                                f"({exc})") from None
+    if not (len(packages) == len(bitsets) == len(unresolved)):
+        raise DatasetCodecError("dataset: package/mask row mismatch")
+    footprints: Dict[str, Footprint] = {}
+    for name, bits, sites in zip(packages, bitsets, unresolved):
+        fields = {
+            FOOTPRINT_FIELDS[dim]: frozenset(
+                space.interner(dim).names_of(bits.mask(dim)))
+            for dim in DIMENSION_ORDER}
+        footprints[name] = Footprint(unresolved_sites=int(sites),
+                                     **fields)
+    return Dataset(footprints, popcon=popcon, repository=repository,
+                   space=space, bitsets=bitsets)
+
+
+def dataset_to_json(dataset: Dataset) -> str:
+    return json.dumps(dataset_to_dict(dataset), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def dataset_from_json(text: str,
+                      popcon: Optional[PopularityContest] = None,
+                      repository: Optional[Repository] = None,
+                      ) -> Dataset:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DatasetCodecError(
+            f"dataset: invalid JSON ({exc})") from None
+    return dataset_from_dict(payload, popcon=popcon,
+                             repository=repository)
+
+
+def footprints_fingerprint(
+        footprints: Mapping[str, Footprint]) -> str:
+    """Content address of a footprint mapping (cache key).
+
+    Stable across processes: packages and API names are emitted
+    sorted, so any mapping with the same contents — regardless of
+    insertion or hash order — fingerprints identically.
+    """
+    digest = hashlib.sha256()
+    digest.update(DATASET_CODEC_VERSION.encode())
+    for name in sorted(footprints):
+        footprint = footprints[name]
+        digest.update(b"\x00")
+        digest.update(name.encode())
+        for dim in DIMENSION_ORDER:
+            digest.update(b"\x01")
+            for api in sorted(getattr(footprint,
+                                      FOOTPRINT_FIELDS[dim])):
+                digest.update(api.encode())
+                digest.update(b"\x02")
+        digest.update(str(footprint.unresolved_sites).encode())
+    return digest.hexdigest()

@@ -1,0 +1,500 @@
+"""The shared dataset facade: interned footprints + weights + graph.
+
+Every metric in the study is a set-algebra query over the same three
+inputs — per-package API footprints, the popcon weight vector, and the
+dependency graph.  :class:`Dataset` binds them once: footprints are
+interned into per-dimension bitmasks (:class:`repro.dataset.ApiSpace`
+assigns the ids), popcon probabilities are materialized into a weight
+vector aligned with package ids, and the SCC-condensed dependency DAG
+is built once per (dimension, universe) and cached.
+
+Compatibility contract: a :class:`Dataset` is itself a
+``Mapping[str, Footprint]`` over the *source* footprints, so every
+legacy signature that takes a footprint mapping accepts one unchanged.
+All derived orderings preserve the input mapping's package order —
+user lists, weight summations, and curve accumulations run in exactly
+the sequence the legacy set-based code used, which is what keeps
+floating-point results bit-for-bit identical (see
+``tests/test_dataset_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Tuple, Union)
+
+from ..analysis.footprint import Footprint
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+from .bitset import DIMENSION_INDEX, BitsetFootprint
+from .dimensions import (DIMENSION_ORDER, FOOTPRINT_FIELDS,
+                         NAMESPACE_PREFIXES, split_namespaced)
+from .graph import CondensedDependencyGraph
+from .interner import ApiInterner, iter_bits
+
+
+class ApiSpace:
+    """The interned API universe: one :class:`ApiInterner` per
+    dimension, plus the composed ``"all"`` space.
+
+    The ``"all"`` space concatenates the per-dimension id ranges in
+    :data:`DIMENSION_ORDER` — a dimension's ids are shifted by the
+    total size of every dimension before it, with system calls at
+    offset 0.  Names in the ``"all"`` space carry the
+    :data:`NAMESPACE_PREFIXES` namespacing, matching
+    :meth:`Footprint.api_set`.
+    """
+
+    __slots__ = ("interners", "offsets", "all_size")
+
+    def __init__(self, interners: Mapping[str, ApiInterner]) -> None:
+        self.interners: Dict[str, ApiInterner] = {
+            dim: interners.get(dim, ApiInterner())
+            for dim in DIMENSION_ORDER}
+        offsets: Dict[str, int] = {}
+        offset = 0
+        for dim in DIMENSION_ORDER:
+            offsets[dim] = offset
+            offset += len(self.interners[dim])
+        self.offsets = offsets
+        self.all_size = offset
+
+    @classmethod
+    def from_footprints(cls, footprints: Iterable[Footprint],
+                        ) -> "ApiSpace":
+        materialized = list(footprints)
+        interners = {}
+        for dim in DIMENSION_ORDER:
+            field = FOOTPRINT_FIELDS[dim]
+            names: set = set()
+            for footprint in materialized:
+                names |= getattr(footprint, field)
+            interners[dim] = ApiInterner(names)
+        return cls(interners)
+
+    # --- introspection --------------------------------------------------
+
+    def interner(self, dimension: str) -> ApiInterner:
+        return self.interners[dimension]
+
+    def size(self, dimension: str) -> int:
+        if dimension == "all":
+            return self.all_size
+        return len(self.interners[dimension])
+
+    def universe_mask(self, dimension: str) -> int:
+        return (1 << self.size(dimension)) - 1
+
+    def universe_names(self, dimension: str) -> List[str]:
+        """Every interned name, in id order (``"all"``: namespaced)."""
+        if dimension != "all":
+            return list(self.interners[dimension].names)
+        names: List[str] = []
+        for dim in DIMENSION_ORDER:
+            prefix = NAMESPACE_PREFIXES[dim]
+            names.extend(prefix + name
+                         for name in self.interners[dim].names)
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ApiSpace)
+                and all(self.interners[dim] == other.interners[dim]
+                        for dim in DIMENSION_ORDER))
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.interners[dim]._names
+                          for dim in DIMENSION_ORDER))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{dim}={len(self.interners[dim])}"
+                          for dim in DIMENSION_ORDER)
+        return f"ApiSpace({sizes})"
+
+    # --- interning ------------------------------------------------------
+
+    def intern(self, footprint: Footprint) -> BitsetFootprint:
+        """Intern one footprint (strict: every name must be known)."""
+        return BitsetFootprint(
+            self.interners[dim].mask_of(
+                getattr(footprint, FOOTPRINT_FIELDS[dim]), strict=True)
+            for dim in DIMENSION_ORDER)
+
+    def all_mask(self, footprint: BitsetFootprint) -> int:
+        """The footprint's composed ``"all"``-space mask."""
+        mask = 0
+        offsets = self.offsets
+        for dim, dim_mask in zip(DIMENSION_ORDER, footprint.masks):
+            mask |= dim_mask << offsets[dim]
+        return mask
+
+    def mask_of(self, dimension: str, names: Iterable[str]) -> int:
+        """Bitmask of ``names`` in ``dimension``'s id space.
+
+        Unknown names are ignored (a supported-API set may name APIs
+        no measured package uses).  ``"all"`` accepts namespaced names.
+        """
+        if dimension != "all":
+            return self.interners[dimension].mask_of(names)
+        mask = 0
+        for name in names:
+            dim, bare = split_namespaced(name)
+            interner = self.interners[dim]
+            if bare in interner:
+                mask |= 1 << (self.offsets[dim] + interner.id_of(bare))
+        return mask
+
+    def names_of(self, dimension: str, mask: int) -> List[str]:
+        """The names in ``mask``, in id order (``"all"``: namespaced)."""
+        if dimension != "all":
+            return self.interners[dimension].names_of(mask)
+        names: List[str] = []
+        for dim in DIMENSION_ORDER:
+            interner = self.interners[dim]
+            sub = (mask >> self.offsets[dim]) & interner.universe_mask
+            prefix = NAMESPACE_PREFIXES[dim]
+            names.extend(prefix + name
+                         for name in interner.names_of(sub))
+        return names
+
+    def name_of(self, dimension: str, api_id: int) -> str:
+        if dimension != "all":
+            return self.interners[dimension].name_of(api_id)
+        for dim in reversed(DIMENSION_ORDER):
+            offset = self.offsets[dim]
+            if api_id >= offset:
+                return (NAMESPACE_PREFIXES[dim]
+                        + self.interners[dim].name_of(api_id - offset))
+        raise IndexError(api_id)
+
+    def id_of(self, dimension: str, name: str) -> int:
+        if dimension != "all":
+            return self.interners[dimension].id_of(name)
+        dim, bare = split_namespaced(name)
+        return self.offsets[dim] + self.interners[dim].id_of(bare)
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary of one dataset, for the CLI/report ``dataset`` surface."""
+
+    n_packages: int
+    n_apis: Dict[str, int]          # dimension -> interned universe size
+    n_nonempty: Dict[str, int]      # dimension -> packages using it
+    total_weight: Optional[float]   # sum of install probabilities
+    has_popcon: bool
+    has_repository: bool
+    n_dependency_edges: int
+
+
+class Dataset(MappingABC):
+    """Interned package footprints + popcon weights + dependency DAG.
+
+    Also a read-only ``Mapping[str, Footprint]`` over the source
+    footprints, so it can be passed wherever a footprint mapping is
+    expected.  Package ids are positions in the *input mapping order*
+    (never re-sorted — see the module docstring).
+    """
+
+    def __init__(self, footprints: Mapping[str, Footprint],
+                 popcon: Optional[PopularityContest] = None,
+                 repository: Optional[Repository] = None,
+                 space: Optional[ApiSpace] = None,
+                 bitsets: Optional[Iterable[BitsetFootprint]] = None,
+                 ) -> None:
+        self._footprints: Dict[str, Footprint] = dict(footprints)
+        self.packages: Tuple[str, ...] = tuple(self._footprints)
+        self.package_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.packages)}
+        if space is None:
+            space = ApiSpace.from_footprints(self._footprints.values())
+        self.space = space
+        if bitsets is None:
+            self.bitsets: List[BitsetFootprint] = [
+                space.intern(fp) for fp in self._footprints.values()]
+        else:
+            self.bitsets = list(bitsets)
+            if len(self.bitsets) != len(self.packages):
+                raise ValueError("bitsets do not match packages")
+        self.popcon = popcon
+        self.repository = repository
+        # Lazy caches.  All are pure functions of the fields above, so
+        # sharing them across rebound copies is safe.
+        self._weights: Optional[Tuple[float, ...]] = None
+        self._weight_by_name: Optional[Dict[str, float]] = None
+        self._masks: Dict[str, List[int]] = {}
+        self._bit_counts: Dict[str, List[int]] = {}
+        self._universe_ids: Dict[Tuple[str, bool], List[int]] = {}
+        self._users: Dict[str, List[List[int]]] = {}
+        self._importance: Dict[str, Dict[str, float]] = {}
+        self._usage: Dict[Tuple[str, bool], Dict[str, float]] = {}
+        self._graphs: Dict[Tuple[str, bool, bool],
+                           CondensedDependencyGraph] = {}
+
+    # --- Mapping[str, Footprint] protocol -------------------------------
+
+    def __getitem__(self, package: str) -> Footprint:
+        return self._footprints[package]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._footprints)
+
+    def __len__(self) -> int:
+        return len(self._footprints)
+
+    def __repr__(self) -> str:
+        return (f"Dataset({len(self.packages)} packages, {self.space!r}, "
+                f"popcon={self.popcon is not None}, "
+                f"repository={self.repository is not None})")
+
+    # --- weights --------------------------------------------------------
+
+    def _require_popcon(self) -> PopularityContest:
+        if self.popcon is None:
+            raise ValueError("this Dataset was built without a "
+                             "PopularityContest; weighted queries need "
+                             "one (pass popcon= when constructing)")
+        return self.popcon
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        """Install probability per package id, in package order."""
+        if self._weights is None:
+            popcon = self._require_popcon()
+            self._weights = tuple(popcon.install_probability(name)
+                                  for name in self.packages)
+        return self._weights
+
+    def weight_of(self, package: str) -> float:
+        if self._weight_by_name is None:
+            self._weight_by_name = dict(zip(self.packages, self.weights))
+        return self._weight_by_name[package]
+
+    # --- per-package masks ----------------------------------------------
+
+    def masks(self, dimension: str) -> List[int]:
+        """Per-package mask in ``dimension``'s id space, package order."""
+        cached = self._masks.get(dimension)
+        if cached is None:
+            if dimension == "all":
+                all_mask = self.space.all_mask
+                cached = [all_mask(bits) for bits in self.bitsets]
+            else:
+                index = DIMENSION_INDEX[dimension]
+                cached = [bits.masks[index] for bits in self.bitsets]
+            self._masks[dimension] = cached
+        return cached
+
+    def bit_counts(self, dimension: str) -> List[int]:
+        """Per-package API count in ``dimension`` (do not mutate)."""
+        cached = self._bit_counts.get(dimension)
+        if cached is None:
+            cached = [mask.bit_count() for mask in self.masks(dimension)]
+            self._bit_counts[dimension] = cached
+        return cached
+
+    def universe_ids(self, dimension: str,
+                     ignore_empty: bool = True) -> List[int]:
+        """Package ids in the measurement universe, package order.
+
+        ``ignore_empty=True`` drops packages with an empty footprint in
+        the dimension (the same filter
+        :func:`repro.metrics.completeness.weighted_completeness`
+        applies to both numerator and denominator).
+        """
+        key = (dimension, ignore_empty)
+        cached = self._universe_ids.get(key)
+        if cached is None:
+            if ignore_empty:
+                cached = [i for i, mask in enumerate(self.masks(dimension))
+                          if mask]
+            else:
+                cached = list(range(len(self.packages)))
+            self._universe_ids[key] = cached
+        return cached
+
+    def empty_names(self, dimension: str) -> frozenset:
+        """Packages with an empty footprint in ``dimension`` — the
+        trivially-supported set dependency closures assume supported."""
+        nonempty = set(self.universe_ids(dimension, ignore_empty=True))
+        return frozenset(name for i, name in enumerate(self.packages)
+                         if i not in nonempty)
+
+    # --- derived tables -------------------------------------------------
+
+    def users_index(self, dimension: str) -> List[List[int]]:
+        """api id -> package ids using it, in package order.
+
+        The per-API package order matches the legacy
+        ``dependents_index`` lists exactly (both append while scanning
+        packages in mapping order), which keeps importance products
+        bit-for-bit identical.
+        """
+        cached = self._users.get(dimension)
+        if cached is None:
+            cached = [[] for _ in range(self.space.size(dimension))]
+            for pkg_id, mask in enumerate(self.masks(dimension)):
+                for api_id in iter_bits(mask):
+                    cached[api_id].append(pkg_id)
+            self._users[dimension] = cached
+        return cached
+
+    def importance_table(self, dimension: str = "syscall",
+                         universe: Iterable[str] = (),
+                         ) -> Dict[str, float]:
+        """Weighted API importance (Appendix A.1) for every used API.
+
+        Identical floats to the legacy path: per API, the product of
+        ``1 - Pr{pkg}`` runs over users in package order.
+        """
+        base = self._importance.get(dimension)
+        if base is None:
+            weights = self.weights
+            name_of = self.space.name_of
+            base = {}
+            for api_id, users in enumerate(self.users_index(dimension)):
+                if not users:
+                    continue
+                probability_none = 1.0
+                for pkg_id in users:
+                    probability_none *= 1.0 - weights[pkg_id]
+                base[name_of(dimension, api_id)] = 1.0 - probability_none
+            self._importance[dimension] = base
+        table = dict(base)
+        for api in universe:
+            table.setdefault(api, 0.0)
+        return table
+
+    def usage_table(self, dimension: str = "syscall",
+                    ignore_empty: bool = False,
+                    universe: Iterable[str] = (),
+                    ) -> Dict[str, float]:
+        """Unweighted importance (§5): fraction of packages per API.
+
+        ``ignore_empty`` controls the denominator — the legacy curve
+        computes usage over the non-empty universe.
+        """
+        key = (dimension, ignore_empty)
+        base = self._usage.get(key)
+        if base is None:
+            total = len(self.universe_ids(dimension, ignore_empty))
+            base = {}
+            if total:
+                name_of = self.space.name_of
+                for api_id, users in enumerate(
+                        self.users_index(dimension)):
+                    if users:
+                        base[name_of(dimension, api_id)] = (
+                            len(users) / total)
+            self._usage[key] = base
+        table = dict(base)
+        for api in universe:
+            table.setdefault(api, 0.0)
+        return table
+
+    # --- dependency graph -----------------------------------------------
+
+    def condensed_graph(self, dimension: str = "syscall",
+                        ignore_empty: bool = True,
+                        assume_trivial: bool = True,
+                        ) -> CondensedDependencyGraph:
+        """The SCC-condensed dependency DAG over the universe.
+
+        ``assume_trivial`` treats empty-footprint packages as always
+        supported (the completeness-curve convention; weighted
+        completeness with ``ignore_empty=False`` assumes nothing).
+        """
+        if self.repository is None:
+            raise ValueError("this Dataset was built without a "
+                             "Repository; dependency closure needs one")
+        key = (dimension, ignore_empty, assume_trivial)
+        cached = self._graphs.get(key)
+        if cached is None:
+            universe = [self.packages[i]
+                        for i in self.universe_ids(dimension,
+                                                   ignore_empty)]
+            assumed = (self.empty_names(dimension) if assume_trivial
+                       else frozenset())
+            cached = CondensedDependencyGraph(universe, self.repository,
+                                              assumed)
+            self._graphs[key] = cached
+        return cached
+
+    # --- rebinding ------------------------------------------------------
+
+    def rebound(self, popcon: Optional[PopularityContest],
+                repository: Optional[Repository]) -> "Dataset":
+        """A Dataset over the same footprints with different popcon /
+        repository, sharing every cache the change does not invalidate."""
+        clone: Dataset = Dataset.__new__(Dataset)
+        clone._footprints = self._footprints
+        clone.packages = self.packages
+        clone.package_index = self.package_index
+        clone.space = self.space
+        clone.bitsets = self.bitsets
+        clone.popcon = popcon
+        clone.repository = repository
+        clone._masks = self._masks
+        clone._bit_counts = self._bit_counts
+        clone._universe_ids = self._universe_ids
+        clone._users = self._users
+        clone._usage = self._usage
+        same_popcon = popcon is self.popcon
+        clone._weights = self._weights if same_popcon else None
+        clone._weight_by_name = (self._weight_by_name if same_popcon
+                                 else None)
+        clone._importance = self._importance if same_popcon else {}
+        clone._graphs = (self._graphs
+                         if repository is self.repository else {})
+        return clone
+
+    # --- stats ----------------------------------------------------------
+
+    def stats(self) -> DatasetStats:
+        from .dimensions import ALL_DIMENSIONS
+        n_apis = {dim: self.space.size(dim) for dim in ALL_DIMENSIONS}
+        n_nonempty = {
+            dim: len(self.universe_ids(dim, ignore_empty=True))
+            for dim in ALL_DIMENSIONS}
+        total_weight = (sum(self.weights)
+                        if self.popcon is not None else None)
+        n_edges = 0
+        if self.repository is not None:
+            n_edges = sum(len(package.depends)
+                          for package in self.repository)
+        return DatasetStats(
+            n_packages=len(self.packages),
+            n_apis=n_apis,
+            n_nonempty=n_nonempty,
+            total_weight=total_weight,
+            has_popcon=self.popcon is not None,
+            has_repository=self.repository is not None,
+            n_dependency_edges=n_edges,
+        )
+
+
+FootprintsLike = Union[Mapping[str, Footprint], Dataset]
+
+
+def as_dataset(footprints: FootprintsLike,
+               popcon: Optional[PopularityContest] = None,
+               repository: Optional[Repository] = None) -> Dataset:
+    """Adapt any footprint mapping to a :class:`Dataset`.
+
+    A Dataset passes through unchanged when the explicit popcon /
+    repository arguments agree with (or defer to) its own; otherwise a
+    rebound copy shares the interned state.  A plain mapping is
+    interned on entry — this is the adapter shim that keeps every
+    legacy ``Mapping[str, Footprint]`` signature working.
+    """
+    if isinstance(footprints, Dataset):
+        dataset = footprints
+        popcon_ok = popcon is None or popcon is dataset.popcon
+        repo_ok = repository is None or repository is dataset.repository
+        if popcon_ok and repo_ok:
+            return dataset
+        return dataset.rebound(
+            dataset.popcon if popcon is None else popcon,
+            dataset.repository if repository is None else repository)
+    return Dataset(footprints, popcon=popcon, repository=repository)

@@ -1,0 +1,87 @@
+"""The API dimension registry.
+
+A *dimension* is one axis of the measured API surface: system calls,
+vectored opcodes (ioctl / fcntl / prctl), hard-coded pseudo-file
+paths, or imported libc symbols.  Every metric query ranges over one
+dimension (or ``"all"``, the namespaced union of every axis — §3.2:
+"one can construct a similar path including other APIs, such as
+vectored system calls, pseudo-files and library APIs").
+
+This registry used to live in :mod:`repro.metrics.importance`, which
+forced :mod:`repro.metrics.completeness` to re-import it lazily inside
+every function to dodge an import cycle.  Hoisting it here — below
+both the metrics layer and the dataset substrate — untangles that
+graph: :mod:`repro.dataset` and every metrics module import it at the
+top level.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from ..analysis.footprint import Footprint
+
+#: Canonical dimension order.  This is load-bearing for the bitset
+#: substrate: :class:`repro.dataset.BitsetFootprint` stores one mask
+#: per dimension in exactly this order, and the composed ``"all"``
+#: space concatenates the per-dimension id ranges in this order.
+DIMENSION_ORDER: Tuple[str, ...] = (
+    "syscall", "ioctl", "fcntl", "prctl", "pseudofile", "libc")
+
+#: The queryable dimensions: the six concrete axes plus ``"all"``.
+ALL_DIMENSIONS: Tuple[str, ...] = DIMENSION_ORDER + ("all",)
+
+#: Dimension -> :class:`Footprint` field holding its API set.
+FOOTPRINT_FIELDS: Dict[str, str] = {
+    "syscall": "syscalls",
+    "ioctl": "ioctls",
+    "fcntl": "fcntls",
+    "prctl": "prctls",
+    "pseudofile": "pseudo_files",
+    "libc": "libc_symbols",
+}
+
+#: Namespacing prefix per dimension in the ``"all"`` space.  System
+#: calls are unprefixed, matching the paper's tables.
+NAMESPACE_PREFIXES: Dict[str, str] = {
+    "syscall": "",
+    "ioctl": "ioctl:",
+    "fcntl": "fcntl:",
+    "prctl": "prctl:",
+    "pseudofile": "pseudofile:",
+    "libc": "libc:",
+}
+
+# Selector: which footprint dimension a metric query ranges over.
+DIMENSIONS: Dict[str, Callable[[Footprint], FrozenSet[str]]] = {
+    "syscall": lambda fp: fp.syscalls,
+    "ioctl": lambda fp: fp.ioctls,
+    "fcntl": lambda fp: fp.fcntls,
+    "prctl": lambda fp: fp.prctls,
+    "pseudofile": lambda fp: fp.pseudo_files,
+    "libc": lambda fp: fp.libc_symbols,
+    "all": lambda fp: fp.api_set(),
+}
+
+
+def selector(dimension: str) -> Callable[[Footprint], FrozenSet[str]]:
+    """The set selector for ``dimension`` (raises on unknown names)."""
+    try:
+        return DIMENSIONS[dimension]
+    except KeyError:
+        raise KeyError(f"unknown dimension {dimension!r}; expected one "
+                       f"of {', '.join(ALL_DIMENSIONS)}") from None
+
+
+def namespaced(dimension: str, name: str) -> str:
+    """The ``"all"``-space identifier of one API."""
+    return NAMESPACE_PREFIXES[dimension] + name
+
+
+def split_namespaced(api: str) -> Tuple[str, str]:
+    """Inverse of :func:`namespaced`: ``api`` -> (dimension, name)."""
+    for dimension in DIMENSION_ORDER[1:]:
+        prefix = NAMESPACE_PREFIXES[dimension]
+        if api.startswith(prefix):
+            return dimension, api[len(prefix):]
+    return "syscall", api

@@ -1,0 +1,193 @@
+"""SCC-condensed dependency graph for incremental support tracking.
+
+:func:`repro.metrics.completeness.close_over_dependencies` computes
+the *greatest* fixed point of "supported and all dependencies
+supported" — a dependency cycle whose members are all satisfied stays
+supported.  A naive additive worklist computes the *least* fixed
+point, which wrongly drops such cycles.  Condensing the dependency
+graph into strongly connected components first makes the two
+coincide: on a DAG, a component is supported exactly when every member
+is directly satisfied, no member depends on a package that can never
+be supported, and every successor component is supported.
+
+This used to live inside ``repro.metrics.ranking._SupportTracker``,
+rebuilt (Tarjan included) on every curve evaluation.  It is split
+here into the immutable :class:`CondensedDependencyGraph` — which the
+:class:`repro.dataset.Dataset` facade caches per (dimension,
+universe) — and the cheap mutable :class:`SupportTracker` state that
+each curve run spawns from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class CondensedDependencyGraph:
+    """Immutable condensation of the dependency graph over a universe.
+
+    ``universe`` is the measured package set (iteration order is
+    preserved — it determines member order inside components, which
+    downstream float summations depend on).  ``assumed`` names
+    packages outside the measurement universe (e.g. footprint-less
+    library packages) whose presence in a dependency list never
+    invalidates a dependent.
+    """
+
+    __slots__ = ("component_of", "members", "initial_unsatisfied",
+                 "poisoned", "dependents", "initial_unmet")
+
+    def __init__(self, universe: Iterable[str], repository,
+                 assumed: Iterable[str]) -> None:
+        nodes = list(universe)
+        node_set = set(nodes)
+        assumed_set = set(assumed)
+        adjacency: Dict[str, List[str]] = {name: [] for name in nodes}
+        poisoned_nodes: Set[str] = set()
+        for name in nodes:
+            if name not in repository:
+                # No dependency metadata: never invalidated (mirrors
+                # close_over_dependencies skipping unknown packages).
+                continue
+            for dep in repository.get(name).depends:
+                if dep == name:
+                    continue
+                if dep not in repository or dep in assumed_set:
+                    # close_over_dependencies only invalidates on deps
+                    # that are present in the repository and not
+                    # assumed supported — even a dep with its own
+                    # footprint never gates its dependents when the
+                    # repository lacks it.
+                    continue
+                if dep in node_set:
+                    adjacency[name].append(dep)
+                else:
+                    # Depends on a measured-universe outsider that is
+                    # neither assumed supported nor absent: the closure
+                    # can never keep this package.
+                    poisoned_nodes.add(name)
+
+        component_of = self._condense(nodes, adjacency)
+        n_components = max(component_of.values()) + 1 if nodes else 0
+        self.component_of = component_of
+        self.members: List[List[str]] = [[] for _ in range(n_components)]
+        for name in nodes:
+            self.members[component_of[name]].append(name)
+        self.initial_unsatisfied = [len(members)
+                                    for members in self.members]
+        self.poisoned = [False] * n_components
+        for name in poisoned_nodes:
+            self.poisoned[component_of[name]] = True
+        dependents: List[set] = [set() for _ in range(n_components)]
+        unmet: List[set] = [set() for _ in range(n_components)]
+        for name in nodes:
+            comp = component_of[name]
+            for dep in adjacency[name]:
+                dep_comp = component_of[dep]
+                if dep_comp != comp:
+                    unmet[comp].add(dep_comp)
+                    dependents[dep_comp].add(comp)
+        self.initial_unmet = [len(deps) for deps in unmet]
+        self.dependents = [sorted(deps) for deps in dependents]
+
+    @staticmethod
+    def _condense(nodes, adjacency) -> Dict[str, int]:
+        """Iterative Tarjan SCC; returns node -> component id."""
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack = set()
+        stack: List[str] = []
+        component_of: Dict[str, int] = {}
+        counter = [0]
+        components = [0]
+
+        for root in nodes:
+            if root in index_of:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, edges = work[-1]
+                advanced = False
+                for dep in edges:
+                    if dep not in index_of:
+                        index_of[dep] = lowlink[dep] = counter[0]
+                        counter[0] += 1
+                        stack.append(dep)
+                        on_stack.add(dep)
+                        work.append((dep, iter(adjacency[dep])))
+                        advanced = True
+                        break
+                    if dep in on_stack:
+                        lowlink[node] = min(lowlink[node],
+                                            index_of[dep])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent],
+                                          lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component_of[member] = components[0]
+                        if member == node:
+                            break
+                    components[0] += 1
+        return component_of
+
+    def tracker(self) -> "SupportTracker":
+        """Fresh mutable support state over this condensation."""
+        return SupportTracker(self)
+
+
+class SupportTracker:
+    """Incremental dependency closure over a condensation DAG.
+
+    Packages flip to supported monotonically as APIs are added, so one
+    run over a ranked API list costs O(edges) total instead of
+    re-running the dependency fixed point at every rank.
+    """
+
+    __slots__ = ("_graph", "_component_of", "_members", "_unsatisfied",
+                 "_poisoned", "_dependents", "_unmet_deps", "_supported")
+
+    def __init__(self, graph: CondensedDependencyGraph) -> None:
+        self._graph = graph
+        self._component_of = graph.component_of
+        self._members = graph.members
+        self._unsatisfied = list(graph.initial_unsatisfied)
+        self._poisoned = graph.poisoned
+        self._dependents = graph.dependents
+        self._unmet_deps = list(graph.initial_unmet)
+        self._supported = [False] * len(graph.members)
+
+    def mark_satisfied(self, package: str) -> List[str]:
+        """One package's own footprint is now covered.
+
+        Returns every package that *became supported* as a result —
+        the package's component if it just completed, plus any
+        dependent components cascading to supported.
+        """
+        comp = self._component_of[package]
+        self._unsatisfied[comp] -= 1
+        newly: List[str] = []
+        worklist = [comp]
+        while worklist:
+            candidate = worklist.pop()
+            if (self._supported[candidate]
+                    or self._unsatisfied[candidate] > 0
+                    or self._unmet_deps[candidate] > 0
+                    or self._poisoned[candidate]):
+                continue
+            self._supported[candidate] = True
+            newly.extend(self._members[candidate])
+            for dependent in self._dependents[candidate]:
+                self._unmet_deps[dependent] -= 1
+                worklist.append(dependent)
+        return newly

@@ -1,0 +1,333 @@
+"""Frozen pre-refactor metric implementations (equivalence oracle).
+
+Verbatim copies of the set-based metric code as it stood before the
+bitset substrate landed, kept as the ground truth that
+``tests/test_dataset_equivalence.py`` and
+``benchmarks/test_dataset_speed.py`` compare against.  Nothing in the
+production code path imports this module.
+
+Do not "improve" these functions: their value is being exactly the old
+behaviour, float-operation order included.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from ..analysis.footprint import Footprint
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+from .dimensions import DIMENSIONS
+
+# ---------------------------------------------------------------------------
+# importance (was repro.metrics.importance)
+# ---------------------------------------------------------------------------
+
+
+def dependents_index(footprints: Mapping[str, Footprint],
+                     dimension: str = "syscall",
+                     ) -> Dict[str, List[str]]:
+    """api -> packages whose footprint includes it."""
+    select = DIMENSIONS[dimension]
+    index: Dict[str, List[str]] = {}
+    for package, footprint in footprints.items():
+        for api in select(footprint):
+            index.setdefault(api, []).append(package)
+    return index
+
+
+def importance_of_packages(packages: Iterable[str],
+                           popcon: PopularityContest) -> float:
+    probability_none = 1.0
+    for package in packages:
+        probability_none *= 1.0 - popcon.install_probability(package)
+    return 1.0 - probability_none
+
+
+def importance_table(footprints: Mapping[str, Footprint],
+                     popcon: PopularityContest,
+                     dimension: str = "syscall",
+                     universe: Iterable[str] = (),
+                     ) -> Dict[str, float]:
+    index = dependents_index(footprints, dimension)
+    table = {api: importance_of_packages(users, popcon)
+             for api, users in index.items()}
+    for api in universe:
+        table.setdefault(api, 0.0)
+    return table
+
+
+def unweighted_importance_table(footprints: Mapping[str, Footprint],
+                                dimension: str = "syscall",
+                                universe: Iterable[str] = (),
+                                ) -> Dict[str, float]:
+    total = len(footprints)
+    if total == 0:
+        return {api: 0.0 for api in universe}
+    index = dependents_index(footprints, dimension)
+    table = {api: len(users) / total for api, users in index.items()}
+    for api in universe:
+        table.setdefault(api, 0.0)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# completeness (was repro.metrics.completeness)
+# ---------------------------------------------------------------------------
+
+
+def directly_supported(footprints: Mapping[str, Footprint],
+                       supported_apis: FrozenSet[str],
+                       dimension: str = "syscall",
+                       ) -> Set[str]:
+    select = DIMENSIONS[dimension]
+    return {package for package, footprint in footprints.items()
+            if select(footprint) <= supported_apis}
+
+
+def close_over_dependencies(supported: Set[str],
+                            repository: Repository,
+                            assume_supported: Optional[Set[str]] = None,
+                            ) -> Set[str]:
+    result = set(supported)
+    assumed = assume_supported or set()
+    changed = True
+    while changed:
+        changed = False
+        for name in list(result):
+            if name not in repository:
+                continue
+            package = repository.get(name)
+            for dep in package.depends:
+                if (dep in repository and dep not in result
+                        and dep not in assumed):
+                    result.discard(name)
+                    changed = True
+                    break
+    return result
+
+
+def weighted_completeness(supported_apis: Iterable[str],
+                          footprints: Mapping[str, Footprint],
+                          popcon: PopularityContest,
+                          repository: Optional[Repository] = None,
+                          dimension: str = "syscall",
+                          ignore_empty: bool = True) -> float:
+    select = DIMENSIONS[dimension]
+    universe = {pkg: fp for pkg, fp in footprints.items()
+                if not ignore_empty or select(fp)}
+    supported_set = frozenset(supported_apis)
+    supported = directly_supported(universe, supported_set, dimension)
+    if repository is not None:
+        trivially = {pkg for pkg in footprints if pkg not in universe}
+        supported = close_over_dependencies(supported, repository,
+                                            assume_supported=trivially)
+    numerator = sum(popcon.install_probability(pkg)
+                    for pkg in supported)
+    denominator = sum(popcon.install_probability(pkg)
+                      for pkg in universe)
+    return numerator / denominator if denominator else 0.0
+
+
+def missing_apis_report(supported_apis: Iterable[str],
+                        footprints: Mapping[str, Footprint],
+                        popcon: PopularityContest,
+                        dimension: str = "syscall",
+                        limit: int = 10,
+                        ) -> List[tuple]:
+    select = DIMENSIONS[dimension]
+    supported_set = frozenset(supported_apis)
+    blocked_weight: Dict[str, float] = {}
+    for package, footprint in footprints.items():
+        missing = select(footprint) - supported_set
+        if not missing:
+            continue
+        weight = popcon.install_probability(package)
+        for api in missing:
+            blocked_weight[api] = blocked_weight.get(api, 0.0) + weight
+    ranked = sorted(blocked_weight.items(),
+                    key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]
+
+
+# ---------------------------------------------------------------------------
+# ranking (was repro.metrics.ranking, _SupportTracker rebuilt per call)
+# ---------------------------------------------------------------------------
+
+
+class _SupportTracker:
+    """The pre-refactor tracker: condensation rebuilt on every call."""
+
+    def __init__(self, universe, repository: Repository,
+                 assumed) -> None:
+        nodes = list(universe)
+        node_set = set(nodes)
+        adjacency: Dict[str, List[str]] = {name: [] for name in nodes}
+        poisoned_nodes = set()
+        for name in nodes:
+            if name not in repository:
+                continue
+            for dep in repository.get(name).depends:
+                if dep == name:
+                    continue
+                if dep not in repository or dep in assumed:
+                    continue
+                if dep in node_set:
+                    adjacency[name].append(dep)
+                else:
+                    poisoned_nodes.add(name)
+
+        component_of = self._condense(nodes, adjacency)
+        n_components = max(component_of.values()) + 1 if nodes else 0
+        self._component_of = component_of
+        self._members: List[List[str]] = [[] for _ in range(n_components)]
+        for name in nodes:
+            self._members[component_of[name]].append(name)
+        self._unsatisfied = [len(members) for members in self._members]
+        self._poisoned = [False] * n_components
+        for name in poisoned_nodes:
+            self._poisoned[component_of[name]] = True
+        dependents: List[set] = [set() for _ in range(n_components)]
+        unmet = [set() for _ in range(n_components)]
+        for name in nodes:
+            comp = component_of[name]
+            for dep in adjacency[name]:
+                dep_comp = component_of[dep]
+                if dep_comp != comp:
+                    unmet[comp].add(dep_comp)
+                    dependents[dep_comp].add(comp)
+        self._unmet_deps = [len(deps) for deps in unmet]
+        self._dependents = [sorted(deps) for deps in dependents]
+        self._supported = [False] * n_components
+
+    @staticmethod
+    def _condense(nodes, adjacency) -> Dict[str, int]:
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack = set()
+        stack: List[str] = []
+        component_of: Dict[str, int] = {}
+        counter = [0]
+        components = [0]
+
+        for root in nodes:
+            if root in index_of:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, edges = work[-1]
+                advanced = False
+                for dep in edges:
+                    if dep not in index_of:
+                        index_of[dep] = lowlink[dep] = counter[0]
+                        counter[0] += 1
+                        stack.append(dep)
+                        on_stack.add(dep)
+                        work.append((dep, iter(adjacency[dep])))
+                        advanced = True
+                        break
+                    if dep in on_stack:
+                        lowlink[node] = min(lowlink[node],
+                                            index_of[dep])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent],
+                                          lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component_of[member] = components[0]
+                        if member == node:
+                            break
+                    components[0] += 1
+        return component_of
+
+    def mark_satisfied(self, package: str) -> List[str]:
+        comp = self._component_of[package]
+        self._unsatisfied[comp] -= 1
+        newly: List[str] = []
+        worklist = [comp]
+        while worklist:
+            candidate = worklist.pop()
+            if (self._supported[candidate]
+                    or self._unsatisfied[candidate] > 0
+                    or self._unmet_deps[candidate] > 0
+                    or self._poisoned[candidate]):
+                continue
+            self._supported[candidate] = True
+            newly.extend(self._members[candidate])
+            for dependent in self._dependents[candidate]:
+                self._unmet_deps[dependent] -= 1
+                worklist.append(dependent)
+        return newly
+
+
+def completeness_curve(footprints: Mapping[str, Footprint],
+                       popcon: PopularityContest,
+                       repository: Optional[Repository] = None,
+                       dimension: str = "syscall",
+                       importance: Optional[Mapping[str, float]] = None,
+                       ignore_empty: bool = True,
+                       ) -> list:
+    """The legacy curve: string-keyed sets, tracker rebuilt per call.
+
+    Returns the same :class:`repro.metrics.ranking.CurvePoint` records
+    as the production path, so curves compare directly.
+    """
+    from ..metrics.ranking import CurvePoint
+    select = DIMENSIONS[dimension]
+    trivially_supported = {pkg for pkg, fp in footprints.items()
+                           if not select(fp)}
+    if ignore_empty:
+        footprints = {pkg: fp for pkg, fp in footprints.items()
+                      if select(fp)}
+    if importance is None:
+        importance = importance_table(footprints, popcon, dimension)
+    usage = unweighted_importance_table(footprints, dimension)
+    order = sorted(importance,
+                   key=lambda api: (-importance[api],
+                                    -usage.get(api, 0.0), api))
+
+    requirement_count: Dict[str, int] = {}
+    users: Dict[str, List[str]] = {}
+    for package, footprint in footprints.items():
+        needs = select(footprint)
+        requirement_count[package] = len(needs)
+        for api in needs:
+            users.setdefault(api, []).append(package)
+
+    total_weight = sum(popcon.install_probability(p) for p in footprints)
+    if total_weight == 0:
+        return []
+
+    tracker = (None if repository is None else _SupportTracker(
+        footprints, repository, trivially_supported))
+
+    supported_weight = 0.0
+
+    def note_satisfied(package: str) -> float:
+        if tracker is None:
+            return popcon.install_probability(package)
+        return sum(popcon.install_probability(p)
+                   for p in tracker.mark_satisfied(package))
+
+    for package, count in requirement_count.items():
+        if count == 0:
+            supported_weight += note_satisfied(package)
+    curve = []
+    for rank, api in enumerate(order, start=1):
+        for package in users.get(api, ()):
+            requirement_count[package] -= 1
+            if requirement_count[package] == 0:
+                supported_weight += note_satisfied(package)
+        curve.append(CurvePoint(
+            rank, api, supported_weight / total_weight))
+    return curve

@@ -21,6 +21,18 @@ re-analysis of known-good bytes — ``get`` simply returns the fault and
 the engine re-quarantines.  Bumping ``ANALYSIS_VERSION`` invalidates
 negative entries along with everything else, so a fixed analyzer gets
 a fresh chance at previously failing inputs.
+
+A third entry kind lives beside the per-binary records: interned
+:class:`repro.dataset.Dataset` snapshots, addressed by the footprint
+mapping's content fingerprint under ::
+
+    <cache_dir>/v<ANALYSIS_VERSION>/datasets/<fp[:2]>/<fp>.json
+
+A warm study run that replays the same corpus loads the interner and
+bitsets straight from disk instead of re-interning every footprint.
+The dataset codec has its own version
+(:data:`repro.dataset.codec.DATASET_CODEC_VERSION`) checked on read;
+a mismatched or torn snapshot reads as a miss and is dropped.
 """
 
 from __future__ import annotations
@@ -32,7 +44,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
+from ..dataset.codec import DatasetCodecError, dataset_from_json, \
+    dataset_to_json
+from ..dataset.core import Dataset
 from ..obs import MetricsRegistry
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
 
 from .codec import ANALYSIS_VERSION, CodecError, entry_from_json, \
     entry_to_json
@@ -53,6 +70,9 @@ class CacheStats:
     invalid: int = 0          # unreadable / version-mismatched entries
     negative_hits: int = 0    # lookups answered by a quarantined fault
     negative_stores: int = 0  # faults written (negative caching)
+    dataset_hits: int = 0     # interned-dataset snapshots served
+    dataset_misses: int = 0   # snapshot lookups that re-intern
+    dataset_stores: int = 0   # snapshots written
 
     @property
     def lookups(self) -> int:
@@ -68,6 +88,7 @@ class MemoryCache:
 
     def __init__(self) -> None:
         self._records: Dict[str, CacheEntry] = {}
+        self._datasets: Dict[str, Dataset] = {}
         self.stats = CacheStats()
         # Engine hook; lookups are dict reads, nothing worth timing.
         self.metrics: Optional[MetricsRegistry] = None
@@ -92,13 +113,37 @@ class MemoryCache:
         self._records[sha256] = fault
         self.stats.negative_stores += 1
 
+    # --- interned-dataset snapshots --------------------------------------
+
+    def get_dataset(self, fingerprint: str,
+                    popcon: Optional[PopularityContest] = None,
+                    repository: Optional[Repository] = None,
+                    ) -> Optional[Dataset]:
+        dataset = self._datasets.get(fingerprint)
+        if dataset is None:
+            self.stats.dataset_misses += 1
+            return None
+        self.stats.dataset_hits += 1
+        bind_popcon = dataset.popcon if popcon is None else popcon
+        bind_repo = (dataset.repository if repository is None
+                     else repository)
+        if (bind_popcon is dataset.popcon
+                and bind_repo is dataset.repository):
+            return dataset
+        return dataset.rebound(bind_popcon, bind_repo)
+
+    def put_dataset(self, fingerprint: str, dataset: Dataset) -> None:
+        self._datasets[fingerprint] = dataset
+        self.stats.dataset_stores += 1
+
     def clear(self) -> int:
-        count = len(self._records)
+        count = len(self._records) + len(self._datasets)
         self._records.clear()
+        self._datasets.clear()
         return count
 
     def entry_count(self) -> int:
-        return len(self._records)
+        return len(self._records) + len(self._datasets)
 
     def size_bytes(self) -> int:
         return 0
@@ -119,6 +164,10 @@ class AnalysisCache:
 
     def _path(self, sha256: str) -> pathlib.Path:
         return self.version_dir / sha256[:2] / f"{sha256}.json"
+
+    def _dataset_path(self, fingerprint: str) -> pathlib.Path:
+        return (self.version_dir / "datasets" / fingerprint[:2]
+                / f"{fingerprint}.json")
 
     def _observe(self, metric: str, seconds: float) -> None:
         if self.metrics is not None:
@@ -177,7 +226,10 @@ class AnalysisCache:
                           time.perf_counter() - start)
 
     def _write_entry(self, sha256: str, entry: CacheEntry) -> None:
-        path = self._path(sha256)
+        self._atomic_write(self._path(sha256), entry_to_json(entry))
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, text: str) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: a crashed writer must never leave a torn
         # entry that later reads as corrupt.
@@ -185,7 +237,7 @@ class AnalysisCache:
             dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(entry_to_json(entry))
+                handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -194,12 +246,66 @@ class AnalysisCache:
                 pass
             raise
 
+    # --- interned-dataset snapshots --------------------------------------
+
+    def get_dataset(self, fingerprint: str,
+                    popcon: Optional[PopularityContest] = None,
+                    repository: Optional[Repository] = None,
+                    ) -> Optional[Dataset]:
+        """Load an interned dataset snapshot, or None on a miss.
+
+        ``popcon`` / ``repository`` are rebound onto the loaded
+        dataset — weights and dependency graphs are derived live, so
+        only the interner and bitsets need persisting.
+        """
+        start = time.perf_counter()
+        try:
+            return self._get_dataset(fingerprint, popcon, repository)
+        finally:
+            self._observe("engine.cache.get_dataset_seconds",
+                          time.perf_counter() - start)
+
+    def _get_dataset(self, fingerprint: str,
+                     popcon: Optional[PopularityContest],
+                     repository: Optional[Repository],
+                     ) -> Optional[Dataset]:
+        path = self._dataset_path(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.dataset_misses += 1
+            return None
+        try:
+            dataset = dataset_from_json(text, popcon, repository)
+        except DatasetCodecError:
+            self.stats.invalid += 1
+            self.stats.dataset_misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.dataset_hits += 1
+        return dataset
+
+    def put_dataset(self, fingerprint: str, dataset: Dataset) -> None:
+        start = time.perf_counter()
+        try:
+            self._atomic_write(self._dataset_path(fingerprint),
+                               dataset_to_json(dataset))
+        finally:
+            self._observe("engine.cache.put_dataset_seconds",
+                          time.perf_counter() - start)
+        self.stats.dataset_stores += 1
+
     # --- maintenance ----------------------------------------------------
 
     def _entries(self):
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("v*/??/*.json")):
+            yield path
+        for path in sorted(self.root.glob("v*/datasets/??/*.json")):
             yield path
 
     def entry_count(self) -> int:

@@ -9,26 +9,36 @@ A package is *supported* when its API footprint is a subset of the
 supported set **and** all of its (transitive) dependencies are
 supported — §2.2 step 3 marks a supported package unsupported when it
 depends on an unsupported one.
+
+The subset tests run on interned bitmasks (``mask & ~supported == 0``)
+via :mod:`repro.dataset`; plain footprint mappings are interned on
+entry.  Where a result is a float sum over a package *set*, the set is
+built with the same insertion history the legacy set-based code used,
+so summation order — and therefore every last bit of the result — is
+unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
-from ..analysis.footprint import Footprint
+from ..dataset.core import FootprintsLike, as_dataset
+from ..dataset.dimensions import DIMENSIONS
 from ..packages.popcon import PopularityContest
 from ..packages.repository import Repository
 
 
-def directly_supported(footprints: Mapping[str, Footprint],
+def directly_supported(footprints: FootprintsLike,
                        supported_apis: FrozenSet[str],
                        dimension: str = "syscall",
                        ) -> Set[str]:
     """Packages whose own footprint fits in ``supported_apis``."""
-    from .importance import DIMENSIONS
-    select = DIMENSIONS[dimension]
-    return {package for package, footprint in footprints.items()
-            if select(footprint) <= supported_apis}
+    dataset = as_dataset(footprints)
+    supported_mask = dataset.space.mask_of(dimension, supported_apis)
+    packages = dataset.packages
+    return {packages[i] for i, mask in
+            enumerate(dataset.masks(dimension))
+            if mask & ~supported_mask == 0}
 
 
 def close_over_dependencies(supported: Set[str],
@@ -66,9 +76,32 @@ def close_over_dependencies(supported: Set[str],
     return result
 
 
+def _closed_supported(dataset, supported: Set[str], dimension: str,
+                      ignore_empty: bool,
+                      assume_trivial: bool) -> Set[str]:
+    """Dependency-close ``supported`` via the cached condensation.
+
+    Returns a set whose iteration order matches what the legacy
+    ``close_over_dependencies(supported, ...)`` produced: same copy of
+    the same source set, same discards — so float sums over it are
+    bit-for-bit identical.
+    """
+    graph = dataset.condensed_graph(dimension, ignore_empty,
+                                    assume_trivial=assume_trivial)
+    tracker = graph.tracker()
+    survivors: Set[str] = set()
+    for name in supported:
+        survivors.update(tracker.mark_satisfied(name))
+    result = set(supported)
+    for name in supported:
+        if name not in survivors:
+            result.discard(name)
+    return result
+
+
 def weighted_completeness(supported_apis: Iterable[str],
-                          footprints: Mapping[str, Footprint],
-                          popcon: PopularityContest,
+                          footprints: FootprintsLike,
+                          popcon: Optional[PopularityContest] = None,
                           repository: Optional[Repository] = None,
                           dimension: str = "syscall",
                           ignore_empty: bool = True) -> float:
@@ -79,62 +112,85 @@ def weighted_completeness(supported_apis: Iterable[str],
     and denominator: they run trivially on any system and would only
     dilute the measurement.
     """
-    from .importance import DIMENSIONS
-    select = DIMENSIONS[dimension]
-    universe = {pkg: fp for pkg, fp in footprints.items()
-                if not ignore_empty or select(fp)}
-    supported_set = frozenset(supported_apis)
-    supported = directly_supported(universe, supported_set, dimension)
+    dataset = as_dataset(footprints, popcon, repository)
+    popcon = dataset._require_popcon()
+    repository = dataset.repository
+    universe_ids = dataset.universe_ids(dimension, ignore_empty)
+    supported_mask = dataset.space.mask_of(dimension, supported_apis)
+    masks = dataset.masks(dimension)
+    packages = dataset.packages
+    supported = {packages[i] for i in universe_ids
+                 if masks[i] & ~supported_mask == 0}
     if repository is not None:
-        trivially = {pkg for pkg in footprints if pkg not in universe}
-        supported = close_over_dependencies(supported, repository,
-                                            assume_supported=trivially)
-    numerator = sum(popcon.install_probability(pkg)
-                    for pkg in supported)
-    denominator = sum(popcon.install_probability(pkg)
-                      for pkg in universe)
+        # Legacy assumed exactly the packages outside the universe
+        # supported — the empty-footprint set when ignore_empty.
+        supported = _closed_supported(dataset, supported, dimension,
+                                      ignore_empty,
+                                      assume_trivial=ignore_empty)
+    weights = dataset.weights
+    numerator = sum(dataset.weight_of(pkg) for pkg in supported)
+    denominator = sum(weights[i] for i in universe_ids)
     return numerator / denominator if denominator else 0.0
 
 
 def supported_packages(supported_apis: Iterable[str],
-                       footprints: Mapping[str, Footprint],
+                       footprints: FootprintsLike,
                        repository: Optional[Repository] = None,
                        dimension: str = "syscall") -> Set[str]:
     """The concrete supported-package set (steps 2-3 of §2.2)."""
-    from .importance import DIMENSIONS
-    select = DIMENSIONS[dimension]
-    supported = directly_supported(
-        footprints, frozenset(supported_apis), dimension)
-    if repository is not None:
-        trivially = {pkg for pkg, fp in footprints.items()
-                     if not select(fp)}
-        supported = close_over_dependencies(supported, repository,
-                                            assume_supported=trivially)
+    dataset = as_dataset(footprints, repository=repository)
+    supported_mask = dataset.space.mask_of(dimension, supported_apis)
+    packages = dataset.packages
+    supported = {packages[i] for i, mask in
+                 enumerate(dataset.masks(dimension))
+                 if mask & ~supported_mask == 0}
+    if dataset.repository is not None:
+        # Full universe, but empty-footprint packages still count as
+        # trivially supported dependencies (legacy behaviour).
+        supported = _closed_supported(dataset, supported, dimension,
+                                      ignore_empty=False,
+                                      assume_trivial=True)
     return supported
 
 
 def missing_apis_report(supported_apis: Iterable[str],
-                        footprints: Mapping[str, Footprint],
-                        popcon: PopularityContest,
+                        footprints: FootprintsLike,
+                        popcon: Optional[PopularityContest] = None,
                         dimension: str = "syscall",
                         limit: int = 10,
+                        ignore_empty: bool = True,
                         ) -> List[tuple]:
     """Most valuable APIs to add next (§4.1's "suggested APIs").
 
     Ranks each unsupported API by the total installation probability of
-    the packages it currently blocks.
+    the packages it currently blocks.  ``ignore_empty`` restricts the
+    accounting to the same universe :func:`weighted_completeness` uses
+    — packages empty in the dimension contribute no blocked weight.
+    (An empty-in-dimension package has nothing missing, so today the
+    filter cannot change any ranking; the shared universe keeps the two
+    metrics structurally consistent if that invariant ever shifts.)
     """
-    from .importance import DIMENSIONS
-    select = DIMENSIONS[dimension]
-    supported_set = frozenset(supported_apis)
-    blocked_weight: Dict[str, float] = {}
-    for package, footprint in footprints.items():
-        missing = select(footprint) - supported_set
+    dataset = as_dataset(footprints, popcon)
+    popcon = dataset._require_popcon()
+    universe_ids = dataset.universe_ids(dimension, ignore_empty)
+    supported_mask = dataset.space.mask_of(dimension, supported_apis)
+    masks = dataset.masks(dimension)
+    weights = dataset.weights
+    blocked_weight: Dict[int, float] = {}
+    for i in universe_ids:
+        missing = masks[i] & ~supported_mask
         if not missing:
             continue
-        weight = popcon.install_probability(package)
-        for api in missing:
-            blocked_weight[api] = blocked_weight.get(api, 0.0) + weight
-    ranked = sorted(blocked_weight.items(),
-                    key=lambda item: (-item[1], item[0]))
+        weight = weights[i]
+        while missing:
+            low = missing & -missing
+            api_id = low.bit_length() - 1
+            blocked_weight[api_id] = (blocked_weight.get(api_id, 0.0)
+                                      + weight)
+            missing ^= low
+    name_of = dataset.space.name_of
+    ranked = sorted(
+        ((name_of(dimension, api_id), weight)
+         for api_id, weight in blocked_weight.items()),
+        key=lambda item: (-item[1], item[0]))
     return ranked[:limit]

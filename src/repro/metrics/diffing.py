@@ -63,6 +63,27 @@ class UsageDiff:
         self.after = dict(after)
         self.noise_floor = noise_floor
 
+    @classmethod
+    def between(cls, before, after, dimension: str = "syscall",
+                weighted: bool = False,
+                noise_floor: float = 0.02) -> "UsageDiff":
+        """Diff two releases given their footprint datasets.
+
+        ``before``/``after`` are footprint mappings or
+        :class:`repro.dataset.Dataset` instances; ``weighted`` diffs
+        popcon-weighted importance instead of package-count usage.
+        """
+        from ..dataset.core import as_dataset
+        ds_before = as_dataset(before)
+        ds_after = as_dataset(after)
+        if weighted:
+            return cls(ds_before.importance_table(dimension),
+                       ds_after.importance_table(dimension),
+                       noise_floor=noise_floor)
+        return cls(ds_before.usage_table(dimension),
+                   ds_after.usage_table(dimension),
+                   noise_floor=noise_floor)
+
     def delta_of(self, api: str) -> ApiDelta:
         return ApiDelta(api, self.before.get(api, 0.0),
                         self.after.get(api, 0.0))

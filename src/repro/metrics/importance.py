@@ -7,39 +7,36 @@ least one package whose footprint requires the API::
 
 Package installations are treated as independent (the survey publishes
 no correlations), exactly as in the paper.
+
+All functions accept either a plain ``Mapping[str, Footprint]`` (which
+is interned on entry — the adapter shim) or a prebuilt
+:class:`repro.dataset.Dataset`, whose cached interned tables make
+repeated queries cheap.  Results are bit-for-bit identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..analysis.footprint import Footprint
+from ..dataset.core import FootprintsLike, as_dataset
+# Re-exported for backwards compatibility: the selector registry now
+# lives in repro.dataset.dimensions (shared by the whole stack).
+from ..dataset.dimensions import DIMENSIONS  # noqa: F401
 from ..packages.popcon import PopularityContest
 
-# Selector: which footprint dimension an importance query ranges over.
-# "all" spans the entire API surface with namespaced identifiers
-# (§3.2: "one can construct a similar path including other APIs, such
-# as vectored system calls, pseudo-files and library APIs").
-DIMENSIONS: Dict[str, Callable[[Footprint], FrozenSet[str]]] = {
-    "syscall": lambda fp: fp.syscalls,
-    "ioctl": lambda fp: fp.ioctls,
-    "fcntl": lambda fp: fp.fcntls,
-    "prctl": lambda fp: fp.prctls,
-    "pseudofile": lambda fp: fp.pseudo_files,
-    "libc": lambda fp: fp.libc_symbols,
-    "all": lambda fp: fp.api_set(),
-}
 
-
-def dependents_index(footprints: Mapping[str, Footprint],
+def dependents_index(footprints: FootprintsLike,
                      dimension: str = "syscall",
                      ) -> Dict[str, List[str]]:
-    """api -> packages whose footprint includes it."""
-    select = DIMENSIONS[dimension]
+    """api -> packages whose footprint includes it (package order)."""
+    dataset = as_dataset(footprints)
+    packages = dataset.packages
+    name_of = dataset.space.name_of
     index: Dict[str, List[str]] = {}
-    for package, footprint in footprints.items():
-        for api in select(footprint):
-            index.setdefault(api, []).append(package)
+    for api_id, users in enumerate(dataset.users_index(dimension)):
+        if users:
+            index[name_of(dimension, api_id)] = [packages[i]
+                                                 for i in users]
     return index
 
 
@@ -53,18 +50,23 @@ def importance_of_packages(packages: Iterable[str],
 
 
 def api_importance(api: str,
-                   footprints: Mapping[str, Footprint],
-                   popcon: PopularityContest,
+                   footprints: FootprintsLike,
+                   popcon: Optional[PopularityContest] = None,
                    dimension: str = "syscall") -> float:
-    """Importance of a single API (slow path; see :func:`importance_table`
-    for bulk queries)."""
-    select = DIMENSIONS[dimension]
-    users = [pkg for pkg, fp in footprints.items() if api in select(fp)]
-    return importance_of_packages(users, popcon)
+    """Importance of a single API (see :func:`importance_table` for
+    bulk queries)."""
+    dataset = as_dataset(footprints, popcon)
+    try:
+        api_id = dataset.space.id_of(dimension, api)
+    except KeyError:
+        return 0.0
+    users = [dataset.packages[i]
+             for i in dataset.users_index(dimension)[api_id]]
+    return importance_of_packages(users, dataset._require_popcon())
 
 
-def importance_table(footprints: Mapping[str, Footprint],
-                     popcon: PopularityContest,
+def importance_table(footprints: FootprintsLike,
+                     popcon: Optional[PopularityContest] = None,
                      dimension: str = "syscall",
                      universe: Iterable[str] = (),
                      ) -> Dict[str, float]:
@@ -73,12 +75,8 @@ def importance_table(footprints: Mapping[str, Footprint],
     ``universe`` optionally adds APIs that no package uses, which then
     report importance 0.0 (needed for Figure 2's full x-axis).
     """
-    index = dependents_index(footprints, dimension)
-    table = {api: importance_of_packages(users, popcon)
-             for api, users in index.items()}
-    for api in universe:
-        table.setdefault(api, 0.0)
-    return table
+    dataset = as_dataset(footprints, popcon)
+    return dataset.importance_table(dimension, universe)
 
 
 def ranked(table: Mapping[str, float]) -> List[Tuple[str, float]]:

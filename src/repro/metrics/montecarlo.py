@@ -23,8 +23,8 @@ import random
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..analysis.footprint import Footprint
+from ..dataset.core import Dataset, FootprintsLike, as_dataset
 from ..packages.popcon import PopularityContest
-from .importance import DIMENSIONS
 
 
 def sample_installation(packages: List[str],
@@ -36,24 +36,32 @@ def sample_installation(packages: List[str],
             if rng.random() < probability}
 
 
-def _materialize(footprints: Mapping[str, Footprint],
-                 popcon: PopularityContest,
+def _materialize(footprints: FootprintsLike,
+                 popcon: Optional[PopularityContest],
                  ) -> Tuple[List[str], List[float]]:
+    if popcon is None and isinstance(footprints, Dataset):
+        popcon = footprints.popcon
     packages = sorted(footprints)
     probabilities = [popcon.install_probability(p) for p in packages]
     return packages, probabilities
 
 
 def empirical_api_importance(api: str,
-                             footprints: Mapping[str, Footprint],
-                             popcon: PopularityContest,
+                             footprints: FootprintsLike,
+                             popcon: Optional[PopularityContest] = None,
                              dimension: str = "syscall",
                              n_samples: int = 2000,
                              seed: int = 0) -> float:
     """Estimate API importance by sampling installations."""
-    select = DIMENSIONS[dimension]
-    users = frozenset(pkg for pkg, fp in footprints.items()
-                      if api in select(fp))
+    dataset = as_dataset(footprints, popcon)
+    popcon = dataset._require_popcon()
+    try:
+        api_id = dataset.space.id_of(dimension, api)
+    except KeyError:
+        users: FrozenSet[str] = frozenset()
+    else:
+        users = frozenset(dataset.packages[i] for i in
+                          dataset.users_index(dimension)[api_id])
     if not users:
         return 0.0
     packages = sorted(users)
@@ -69,8 +77,8 @@ def empirical_api_importance(api: str,
 
 def empirical_weighted_completeness(
     supported_packages: Iterable[str],
-    footprints: Mapping[str, Footprint],
-    popcon: PopularityContest,
+    footprints: FootprintsLike,
+    popcon: Optional[PopularityContest] = None,
     n_samples: int = 2000,
     seed: int = 0,
 ) -> float:
@@ -98,8 +106,8 @@ def empirical_weighted_completeness(
 
 def approximation_error_report(
     supported_packages: Iterable[str],
-    footprints: Mapping[str, Footprint],
-    popcon: PopularityContest,
+    footprints: FootprintsLike,
+    popcon: Optional[PopularityContest] = None,
     n_samples: int = 2000,
     seed: int = 0,
 ) -> Dict[str, float]:

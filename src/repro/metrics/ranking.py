@@ -5,164 +5,40 @@ by importance, then measure weighted completeness as the top-N set
 grows.  The resulting curve tells a system builder what the next most
 valuable API is and how much of a typical installation each
 implementation stage unlocks.
+
+The curve runs on the interned substrate: per-package requirement
+counts come from mask popcounts, the api -> users index is the
+dataset's cached id index, and the dependency condensation
+(:class:`repro.dataset.CondensedDependencyGraph`) is built once per
+dataset and reused across curve calls — only the cheap per-run
+counters (:class:`repro.dataset.SupportTracker`) are fresh.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
-from ..analysis.footprint import Footprint
+from ..dataset.core import FootprintsLike, as_dataset
+from ..dataset.graph import CondensedDependencyGraph, SupportTracker
 from ..packages.popcon import PopularityContest
 from ..packages.repository import Repository
-from .importance import DIMENSIONS, ranked
+from .importance import ranked
 
 
-class _SupportTracker:
-    """Incremental dependency closure over the condensation DAG.
+class _SupportTracker(SupportTracker):
+    """Backwards-compatible alias: build graph + tracker in one shot.
 
-    :func:`repro.metrics.completeness.close_over_dependencies` computes
-    the *greatest* fixed point of "supported and all dependencies
-    supported" — a dependency cycle whose members are all satisfied
-    stays supported.  A naive additive worklist computes the *least*
-    fixed point, which wrongly drops such cycles.  Condensing the
-    dependency graph into strongly connected components first makes the
-    two coincide: on a DAG, a component is supported exactly when every
-    member is directly satisfied, no member depends on a package that
-    can never be supported, and every successor component is supported.
-
-    Packages then flip to supported monotonically as APIs are added, so
-    one run over the ranked API list costs O(edges) total instead of
-    re-running the fixed point at every rank (the old quadratic path).
+    The implementation moved to :mod:`repro.dataset.graph`, split into
+    the immutable condensation and the per-run counters; this shim
+    keeps the old ``(universe, repository, assumed)`` constructor for
+    existing callers.
     """
 
     def __init__(self, universe, repository: Repository,
                  assumed) -> None:
-        nodes = list(universe)
-        node_set = set(nodes)
-        adjacency: Dict[str, List[str]] = {name: [] for name in nodes}
-        poisoned_nodes = set()
-        for name in nodes:
-            if name not in repository:
-                # No dependency metadata: never invalidated (mirrors
-                # close_over_dependencies skipping unknown packages).
-                continue
-            for dep in repository.get(name).depends:
-                if dep == name:
-                    continue
-                if dep not in repository or dep in assumed:
-                    # close_over_dependencies only invalidates on deps
-                    # that are present in the repository and not
-                    # assumed supported — even a dep with its own
-                    # footprint never gates its dependents when the
-                    # repository lacks it.
-                    continue
-                if dep in node_set:
-                    adjacency[name].append(dep)
-                else:
-                    # Depends on a measured-universe outsider that is
-                    # neither assumed supported nor absent: the closure
-                    # can never keep this package.
-                    poisoned_nodes.add(name)
-
-        component_of = self._condense(nodes, adjacency)
-        n_components = max(component_of.values()) + 1 if nodes else 0
-        self._component_of = component_of
-        self._members: List[List[str]] = [[] for _ in range(n_components)]
-        for name in nodes:
-            self._members[component_of[name]].append(name)
-        self._unsatisfied = [len(members) for members in self._members]
-        self._poisoned = [False] * n_components
-        for name in poisoned_nodes:
-            self._poisoned[component_of[name]] = True
-        dependents: List[set] = [set() for _ in range(n_components)]
-        unmet = [set() for _ in range(n_components)]
-        for name in nodes:
-            comp = component_of[name]
-            for dep in adjacency[name]:
-                dep_comp = component_of[dep]
-                if dep_comp != comp:
-                    unmet[comp].add(dep_comp)
-                    dependents[dep_comp].add(comp)
-        self._unmet_deps = [len(deps) for deps in unmet]
-        self._dependents = [sorted(deps) for deps in dependents]
-        self._supported = [False] * n_components
-
-    @staticmethod
-    def _condense(nodes, adjacency) -> Dict[str, int]:
-        """Iterative Tarjan SCC; returns node -> component id."""
-        index_of: Dict[str, int] = {}
-        lowlink: Dict[str, int] = {}
-        on_stack = set()
-        stack: List[str] = []
-        component_of: Dict[str, int] = {}
-        counter = [0]
-        components = [0]
-
-        for root in nodes:
-            if root in index_of:
-                continue
-            work = [(root, iter(adjacency[root]))]
-            index_of[root] = lowlink[root] = counter[0]
-            counter[0] += 1
-            stack.append(root)
-            on_stack.add(root)
-            while work:
-                node, edges = work[-1]
-                advanced = False
-                for dep in edges:
-                    if dep not in index_of:
-                        index_of[dep] = lowlink[dep] = counter[0]
-                        counter[0] += 1
-                        stack.append(dep)
-                        on_stack.add(dep)
-                        work.append((dep, iter(adjacency[dep])))
-                        advanced = True
-                        break
-                    if dep in on_stack:
-                        lowlink[node] = min(lowlink[node],
-                                            index_of[dep])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    lowlink[parent] = min(lowlink[parent],
-                                          lowlink[node])
-                if lowlink[node] == index_of[node]:
-                    while True:
-                        member = stack.pop()
-                        on_stack.discard(member)
-                        component_of[member] = components[0]
-                        if member == node:
-                            break
-                    components[0] += 1
-        return component_of
-
-    def mark_satisfied(self, package: str) -> List[str]:
-        """One package's own footprint is now covered.
-
-        Returns every package that *became supported* as a result —
-        the package's component if it just completed, plus any
-        dependent components cascading to supported.
-        """
-        comp = self._component_of[package]
-        self._unsatisfied[comp] -= 1
-        newly: List[str] = []
-        worklist = [comp]
-        while worklist:
-            candidate = worklist.pop()
-            if (self._supported[candidate]
-                    or self._unsatisfied[candidate] > 0
-                    or self._unmet_deps[candidate] > 0
-                    or self._poisoned[candidate]):
-                continue
-            self._supported[candidate] = True
-            newly.extend(self._members[candidate])
-            for dependent in self._dependents[candidate]:
-                self._unmet_deps[dependent] -= 1
-                worklist.append(dependent)
-        return newly
+        super().__init__(CondensedDependencyGraph(universe, repository,
+                                                  assumed))
 
 
 @dataclass(frozen=True)
@@ -185,8 +61,8 @@ class Stage:
     sample_apis: Tuple[str, ...]
 
 
-def completeness_curve(footprints: Mapping[str, Footprint],
-                       popcon: PopularityContest,
+def completeness_curve(footprints: FootprintsLike,
+                       popcon: Optional[PopularityContest] = None,
                        repository: Optional[Repository] = None,
                        dimension: str = "syscall",
                        importance: Optional[Mapping[str, float]] = None,
@@ -202,58 +78,63 @@ def completeness_curve(footprints: Mapping[str, Footprint],
     :func:`repro.metrics.completeness.weighted_completeness`).
 
     Runs incrementally: per package, how many required APIs are still
-    missing; per dependency-graph component (via :class:`_SupportTracker`),
-    how many members and dependencies are still unsupported — so the
-    whole curve costs O(APIs + packages + dependency edges) instead of
-    re-running the dependency fixed point at every rank.
+    missing (a mask popcount); per dependency-graph component, how many
+    members and dependencies are still unsupported — so the whole curve
+    costs O(APIs + packages + dependency edges) instead of re-running
+    the dependency fixed point at every rank.
     """
-    select = DIMENSIONS[dimension]
-    trivially_supported = {pkg for pkg, fp in footprints.items()
-                           if not select(fp)}
-    if ignore_empty:
-        footprints = {pkg: fp for pkg, fp in footprints.items()
-                      if select(fp)}
+    dataset = as_dataset(footprints, popcon, repository)
+    popcon = dataset._require_popcon()
+    repository = dataset.repository
+    space = dataset.space
+    packages = dataset.packages
+    weights = dataset.weights
+    universe_ids = dataset.universe_ids(dimension, ignore_empty)
+
     if importance is None:
-        from .importance import importance_table
-        importance = importance_table(footprints, popcon, dimension)
-    from .unweighted import unweighted_importance_table
-    usage = unweighted_importance_table(footprints, dimension)
+        # Empty-in-dimension packages use no APIs, so the table over
+        # the filtered universe equals the table over everything.
+        importance = dataset.importance_table(dimension)
+    usage = dataset.usage_table(dimension, ignore_empty=ignore_empty)
     order = sorted(importance,
                    key=lambda api: (-importance[api],
                                     -usage.get(api, 0.0), api))
 
-    requirement_count: Dict[str, int] = {}
-    users: Dict[str, List[str]] = {}
-    for package, footprint in footprints.items():
-        needs = select(footprint)
-        requirement_count[package] = len(needs)
-        for api in needs:
-            users.setdefault(api, []).append(package)
+    requirement_count = list(dataset.bit_counts(dimension))
+    users = dataset.users_index(dimension)
 
-    total_weight = sum(popcon.install_probability(p) for p in footprints)
+    total_weight = sum(weights[i] for i in universe_ids)
     if total_weight == 0:
         return []
 
-    tracker = (None if repository is None else _SupportTracker(
-        footprints, repository, trivially_supported))
+    tracker = (None if repository is None
+               else dataset.condensed_graph(
+                   dimension, ignore_empty,
+                   assume_trivial=True).tracker())
 
     supported_weight = 0.0
 
     def note_satisfied(package: str) -> float:
         if tracker is None:
-            return popcon.install_probability(package)
-        return sum(popcon.install_probability(p)
+            return dataset.weight_of(package)
+        return sum(dataset.weight_of(p)
                    for p in tracker.mark_satisfied(package))
 
-    for package, count in requirement_count.items():
-        if count == 0:
-            supported_weight += note_satisfied(package)
+    for i in universe_ids:
+        if requirement_count[i] == 0:
+            supported_weight += note_satisfied(packages[i])
     curve: List[CurvePoint] = []
     for rank, api in enumerate(order, start=1):
-        for package in users.get(api, ()):
-            requirement_count[package] -= 1
-            if requirement_count[package] == 0:
-                supported_weight += note_satisfied(package)
+        try:
+            api_id = space.id_of(dimension, api)
+        except KeyError:
+            api_id = None         # universe-extended API nobody uses
+        if api_id is not None:
+            for pkg_id in users[api_id]:
+                requirement_count[pkg_id] -= 1
+                if requirement_count[pkg_id] == 0:
+                    supported_weight += note_satisfied(
+                        packages[pkg_id])
         curve.append(CurvePoint(
             rank, api, supported_weight / total_weight))
     return curve

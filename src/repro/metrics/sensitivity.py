@@ -28,6 +28,7 @@ except ImportError:  # pragma: no cover - numpy is normally present
     _np = None
 
 from ..analysis.footprint import Footprint
+from ..dataset.core import Dataset, FootprintsLike
 from ..packages.popcon import PopularityContest
 from .importance import dependents_index
 
@@ -83,8 +84,8 @@ def _resample_probabilities(probabilities: Sequence[float],
 
 
 def bootstrap_importance(
-    footprints: Mapping[str, Footprint],
-    popcon: PopularityContest,
+    footprints: FootprintsLike,
+    popcon: Optional[PopularityContest] = None,
     apis: Optional[Sequence[str]] = None,
     dimension: str = "syscall",
     n_boot: int = 200,
@@ -92,6 +93,8 @@ def bootstrap_importance(
     seed: int = 0,
 ) -> Dict[str, ImportanceInterval]:
     """Bootstrap CIs for API importance under survey noise."""
+    if popcon is None and isinstance(footprints, Dataset):
+        popcon = footprints.popcon
     index = dependents_index(footprints, dimension)
     if apis is None:
         apis = sorted(index)
@@ -137,8 +140,8 @@ def unstable_bands(intervals: Mapping[str, ImportanceInterval],
                   key=lambda ci: -ci.width)
 
 
-def survey_noise_report(footprints: Mapping[str, Footprint],
-                        popcon: PopularityContest,
+def survey_noise_report(footprints: FootprintsLike,
+                        popcon: Optional[PopularityContest] = None,
                         dimension: str = "syscall",
                         n_boot: int = 200,
                         seed: int = 0) -> Tuple[int, int, float]:

@@ -14,34 +14,31 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Tuple
 
-from ..analysis.footprint import Footprint
-from .importance import DIMENSIONS, dependents_index
+from ..dataset.core import FootprintsLike, as_dataset
 
 
-def unweighted_importance_table(footprints: Mapping[str, Footprint],
+def unweighted_importance_table(footprints: FootprintsLike,
                                 dimension: str = "syscall",
                                 universe: Iterable[str] = (),
                                 ) -> Dict[str, float]:
     """Fraction of packages using each API."""
-    total = len(footprints)
-    if total == 0:
-        return {api: 0.0 for api in universe}
-    index = dependents_index(footprints, dimension)
-    table = {api: len(users) / total for api, users in index.items()}
-    for api in universe:
-        table.setdefault(api, 0.0)
-    return table
+    dataset = as_dataset(footprints)
+    return dataset.usage_table(dimension, ignore_empty=False,
+                               universe=universe)
 
 
 def unweighted_api_importance(api: str,
-                              footprints: Mapping[str, Footprint],
+                              footprints: FootprintsLike,
                               dimension: str = "syscall") -> float:
-    select = DIMENSIONS[dimension]
-    total = len(footprints)
+    dataset = as_dataset(footprints)
+    total = len(dataset)
     if total == 0:
         return 0.0
-    users = sum(1 for fp in footprints.values() if api in select(fp))
-    return users / total
+    try:
+        api_id = dataset.space.id_of(dimension, api)
+    except KeyError:
+        return 0.0
+    return len(dataset.users_index(dimension)[api_id]) / total
 
 
 def variant_comparison(pairs: Iterable,

@@ -2,6 +2,7 @@
 
 from .text import (
     format_percent,
+    render_dataset_stats,
     render_key_points,
     render_series,
     render_table,
@@ -9,6 +10,7 @@ from .text import (
 
 __all__ = [
     "format_percent",
+    "render_dataset_stats",
     "render_key_points",
     "render_series",
     "render_table",

@@ -88,6 +88,34 @@ def render_series(values: Sequence[float],
     return "\n".join(lines)
 
 
+def render_dataset_stats(stats: "DatasetStats",
+                         title: str = "dataset — interned footprint "
+                                      "substrate") -> str:
+    """Render a :class:`repro.dataset.DatasetStats` summary.
+
+    One row per API dimension (interned universe size and how many
+    packages are non-empty in it), plus the corpus-level bindings.
+    """
+    rows = [(dimension,
+             stats.n_apis.get(dimension, 0),
+             stats.n_nonempty.get(dimension, 0))
+            for dimension in stats.n_apis]
+    rendered = render_table(
+        ("dimension", "interned APIs", "non-empty packages"), rows,
+        title=title)
+    points: List[Tuple[str, object]] = [
+        ("packages", stats.n_packages),
+        ("popcon weights", "bound" if stats.has_popcon else "absent"),
+        ("dependency graph",
+         f"bound ({stats.n_dependency_edges} edges)"
+         if stats.has_repository else "absent"),
+    ]
+    if stats.total_weight is not None:
+        points.append(("total install probability",
+                       f"{stats.total_weight:.3f}"))
+    return rendered + "\n" + render_key_points(points)
+
+
 def render_key_points(points: Sequence[Tuple[str, object]],
                       title: Optional[str] = None) -> str:
     """Render labelled scalar results ("224 syscalls at 100%"...)."""

@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from .analysis import AnalysisDatabase, AnalysisPipeline, AnalysisResult
 from .analysis.footprint import Footprint
+from .dataset import Dataset, footprints_fingerprint
 from .compat import (
     FREEBSD_EMU,
     L4LINUX,
@@ -42,6 +43,7 @@ from .packages.popcon import PopularityContest
 from .packages.repository import Repository
 from .reports.text import (
     format_percent,
+    render_dataset_stats,
     render_key_points,
     render_series,
     render_table,
@@ -102,6 +104,7 @@ class Study:
             engine=self.engine).run()
         self._tables: Dict[Tuple[str, str], Dict[str, float]] = {}
         self._curve: Optional[List[CurvePoint]] = None
+        self._dataset: Optional[Dataset] = None
 
     # --- construction helpers --------------------------------------------
 
@@ -140,8 +143,37 @@ class Study:
         return self.ecosystem.popcon
 
     @property
+    def dataset(self) -> Dataset:
+        """The interned, bitset-backed substrate every experiment
+        shares.
+
+        Built once per study from the pipeline's footprints; when the
+        engine has a persistent cache the interner and bitsets are
+        loaded from (or stored beside) the per-binary records, so a
+        warm run skips re-interning the whole corpus.
+        """
+        if self._dataset is None:
+            footprints = self.result.package_footprints
+            cache = getattr(self.engine, "cache", None)
+            dataset = None
+            fingerprint = None
+            if cache is not None and hasattr(cache, "get_dataset"):
+                fingerprint = footprints_fingerprint(footprints)
+                dataset = cache.get_dataset(
+                    fingerprint, self.popcon, self.repository)
+            if dataset is None:
+                dataset = Dataset(footprints, popcon=self.popcon,
+                                  repository=self.repository)
+                if fingerprint is not None:
+                    cache.put_dataset(fingerprint, dataset)
+            self._dataset = dataset
+        return self._dataset
+
+    @property
     def footprints(self) -> Mapping[str, Footprint]:
-        return self.result.package_footprints
+        """Per-package footprints, as the shared :class:`Dataset`
+        (a read-only mapping view over the same data)."""
+        return self.dataset
 
     def importance(self, dimension: str = "syscall",
                    universe: Sequence[str] = ()) -> Dict[str, float]:
@@ -653,6 +685,22 @@ class Study:
         stats = self.result.engine_stats
         return ExperimentOutput("engine", stats, stats.render())
 
+    def dataset_report(self) -> ExperimentOutput:
+        """The interned substrate behind every metric: per-dimension
+        universe sizes, non-empty package counts, and bindings."""
+        stats = self.dataset.stats()
+        return ExperimentOutput(
+            "dataset", stats, render_dataset_stats(stats))
+
+    def export_dataset(self, path: str) -> int:
+        """Write the interned dataset snapshot as JSON; returns the
+        byte count written."""
+        from .dataset import dataset_to_json
+        text = dataset_to_json(self.dataset)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(text)
+
     def trace_report(self, top: int = 10) -> ExperimentOutput:
         """Span-level view of the run: stage breakdown, slowest
         binaries (including quarantined ones), from the engine's
@@ -794,4 +842,5 @@ class Study:
             self.attack_surface(),
             self.libc_decomposition(),
             self.failure_report(),
+            self.dataset_report(),
         ]

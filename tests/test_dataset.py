@@ -1,0 +1,380 @@
+"""Unit tests for the interned, bitset-backed dataset substrate."""
+
+import json
+
+import pytest
+
+from repro.analysis.footprint import Footprint, PackageFootprint
+from repro.dataset import (
+    ALL_DIMENSIONS,
+    ApiInterner,
+    ApiSpace,
+    BitsetFootprint,
+    CondensedDependencyGraph,
+    DIMENSION_ORDER,
+    DIMENSIONS,
+    Dataset,
+    DatasetCodecError,
+    as_dataset,
+    dataset_from_json,
+    dataset_to_json,
+    footprints_fingerprint,
+    iter_bits,
+    namespaced,
+    popcount,
+    split_namespaced,
+)
+from repro.dataset import reference
+from repro.packages.package import Package
+from repro.packages.popcon import PopularityContest
+from repro.packages.repository import Repository
+
+
+def _corpus():
+    """A small handcrafted corpus touching every dimension."""
+    footprints = {
+        "editor": Footprint.build(
+            syscalls=["read", "write", "open"],
+            ioctls=["TCGETS"], libc_symbols=["printf", "malloc"]),
+        "daemon": Footprint.build(
+            syscalls=["read", "epoll_wait", "accept"],
+            fcntls=["F_SETFL"], prctls=["PR_SET_NAME"],
+            pseudo_files=["/proc/self/status"]),
+        "tool": Footprint.build(syscalls=["read", "write"],
+                                libc_symbols=["printf"]),
+        "doc-pack": Footprint.EMPTY,
+    }
+    popcon = PopularityContest(1000, {
+        "editor": 800, "daemon": 150, "tool": 420, "doc-pack": 90})
+    repository = Repository([
+        Package("editor", depends=["tool"]),
+        Package("daemon", depends=["editor", "ghost-dep"]),
+        Package("tool", depends=["editor"]),    # cycle editor<->tool
+        Package("doc-pack"),
+    ])
+    return footprints, popcon, repository
+
+
+class TestInterner:
+    def test_sorted_dense_ids(self):
+        interner = ApiInterner(["write", "read", "open", "read"])
+        assert interner.names == ("open", "read", "write")
+        assert [interner.id_of(n) for n in interner.names] == [0, 1, 2]
+        assert interner.name_of(1) == "read"
+        assert len(interner) == 3
+        assert "read" in interner and "close" not in interner
+
+    def test_mask_roundtrip(self):
+        interner = ApiInterner(["a", "b", "c", "d"])
+        mask = interner.mask_of(["d", "a"])
+        assert interner.names_of(mask) == ["a", "d"]
+        assert popcount(mask) == 2
+
+    def test_unknown_names_ignored_unless_strict(self):
+        interner = ApiInterner(["a"])
+        assert interner.mask_of(["a", "zz"]) == interner.mask_of(["a"])
+        with pytest.raises(KeyError):
+            interner.mask_of(["zz"], strict=True)
+
+    def test_universe_mask(self):
+        interner = ApiInterner(["a", "b", "c"])
+        assert interner.universe_mask == 0b111
+        assert interner.names_of(interner.universe_mask) == \
+            ["a", "b", "c"]
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+
+class TestBitsetFootprint:
+    def test_algebra(self):
+        a = BitsetFootprint([0b011, 0, 0, 0, 0, 0])
+        b = BitsetFootprint([0b110, 0, 0, 0, 0, 1])
+        union = a | b
+        assert union.mask("syscall") == 0b111
+        assert union.mask("libc") == 1
+        assert a.difference(b).mask("syscall") == 0b001
+        assert not a.subset_of(b)
+        assert a.subset_of(union)
+        assert union.bit_count() == 4
+        assert BitsetFootprint.union_all([a, b]) == union
+
+    def test_empty(self):
+        empty = BitsetFootprint()
+        assert empty.is_empty
+        assert empty.bit_count() == 0
+
+
+class TestDimensions:
+    def test_namespacing_roundtrip(self):
+        for dimension in DIMENSION_ORDER:
+            api = namespaced(dimension, "NAME")
+            assert split_namespaced(api) == (dimension, "NAME")
+        # Unprefixed names are syscalls.
+        assert split_namespaced("read") == ("syscall", "read")
+
+    def test_registry_is_shared_with_metrics(self):
+        from repro.metrics import importance
+        assert importance.DIMENSIONS is DIMENSIONS
+        assert set(DIMENSIONS) == set(ALL_DIMENSIONS)
+
+
+class TestApiSpace:
+    def test_all_dimension_matches_api_set(self):
+        footprints, _, _ = _corpus()
+        space = ApiSpace.from_footprints(footprints.values())
+        for name, footprint in footprints.items():
+            bitset = space.intern(footprint)
+            all_names = space.names_of("all",
+                                       space.all_mask(bitset))
+            assert frozenset(all_names) == footprint.api_set()
+
+    def test_id_of_unknown_raises(self):
+        footprints, _, _ = _corpus()
+        space = ApiSpace.from_footprints(footprints.values())
+        with pytest.raises(KeyError):
+            space.id_of("syscall", "no_such_call")
+
+
+class TestDataset:
+    def test_mapping_protocol_preserves_order(self):
+        footprints, popcon, repository = _corpus()
+        dataset = Dataset(footprints, popcon, repository)
+        assert list(dataset) == list(footprints)
+        assert dataset["editor"] == footprints["editor"]
+        assert len(dataset) == 4
+        assert dict(dataset) == footprints
+
+    def test_users_index_matches_reference(self):
+        footprints, popcon, _ = _corpus()
+        dataset = Dataset(footprints, popcon)
+        for dimension in ALL_DIMENSIONS:
+            index = reference.dependents_index(footprints, dimension)
+            users = dataset.users_index(dimension)
+            rebuilt = {
+                dataset.space.name_of(dimension, api_id):
+                    [dataset.packages[i] for i in pkg_ids]
+                for api_id, pkg_ids in enumerate(users) if pkg_ids}
+            assert rebuilt == {api: list(pkgs)
+                               for api, pkgs in index.items()}
+
+    def test_importance_equals_reference(self):
+        footprints, popcon, _ = _corpus()
+        dataset = Dataset(footprints, popcon)
+        for dimension in ALL_DIMENSIONS:
+            assert dataset.importance_table(dimension) == \
+                reference.importance_table(footprints, popcon,
+                                           dimension)
+
+    def test_usage_equals_reference(self):
+        footprints, popcon, _ = _corpus()
+        dataset = Dataset(footprints, popcon)
+        assert dataset.usage_table("syscall") == \
+            reference.unweighted_importance_table(footprints)
+
+    def test_importance_table_returns_fresh_copies(self):
+        footprints, popcon, _ = _corpus()
+        dataset = Dataset(footprints, popcon)
+        first = dataset.importance_table("syscall")
+        first["injected"] = 1.0
+        assert "injected" not in dataset.importance_table("syscall")
+
+    def test_empty_names(self):
+        footprints, popcon, _ = _corpus()
+        dataset = Dataset(footprints, popcon)
+        assert dataset.empty_names("syscall") == {"doc-pack"}
+        assert dataset.empty_names("ioctl") == \
+            {"daemon", "tool", "doc-pack"}
+
+    def test_rebound_shares_popcon_independent_caches(self):
+        footprints, popcon, repository = _corpus()
+        dataset = Dataset(footprints, popcon, repository)
+        masks = dataset.masks("syscall")
+        other = PopularityContest(1000, {"editor": 10})
+        rebound = dataset.rebound(other, repository)
+        assert rebound.masks("syscall") is masks
+        assert rebound.weight_of("editor") == 0.01
+        assert dataset.weight_of("editor") == 0.8
+
+    def test_stats(self):
+        footprints, popcon, repository = _corpus()
+        stats = Dataset(footprints, popcon, repository).stats()
+        assert stats.n_packages == 4
+        assert stats.n_apis["syscall"] == 5
+        assert stats.n_nonempty["syscall"] == 3
+        assert stats.has_popcon and stats.has_repository
+        assert stats.n_dependency_edges == 4
+        assert stats.total_weight == pytest.approx(1.46)
+
+    def test_as_dataset_passthrough(self):
+        footprints, popcon, repository = _corpus()
+        dataset = Dataset(footprints, popcon, repository)
+        assert as_dataset(dataset) is dataset
+        assert as_dataset(dataset, popcon, repository) is dataset
+        adapted = as_dataset(footprints, popcon)
+        assert isinstance(adapted, Dataset)
+        assert adapted.popcon is popcon
+
+
+class TestCondensedGraph:
+    def test_tracker_matches_reference(self):
+        footprints, _, repository = _corpus()
+        universe = [pkg for pkg, fp in footprints.items()
+                    if fp.syscalls]
+        graph = CondensedDependencyGraph(universe, repository,
+                                         frozenset(["doc-pack"]))
+        legacy = reference._SupportTracker(universe, repository,
+                                           frozenset(["doc-pack"]))
+        tracker = graph.tracker()
+        for package in universe:
+            assert tracker.mark_satisfied(package) == \
+                legacy.mark_satisfied(package)
+
+    def test_ghost_dependency_poisons_component(self):
+        footprints, _, repository = _corpus()
+        graph = CondensedDependencyGraph(
+            list(footprints), repository, frozenset())
+        tracker = graph.tracker()
+        # daemon depends on ghost-dep (outside the repository is fine,
+        # APT-style) — but editor/tool form a cycle, each satisfiable.
+        newly = []
+        for package in footprints:
+            newly.extend(tracker.mark_satisfied(package))
+        assert set(newly) == set(footprints)
+
+    def test_trackers_are_independent(self):
+        footprints, _, repository = _corpus()
+        graph = CondensedDependencyGraph(
+            list(footprints), repository, frozenset())
+        first = graph.tracker()
+        first.mark_satisfied("editor")
+        second = graph.tracker()
+        assert second.mark_satisfied("editor") == \
+            graph.tracker().mark_satisfied("editor")
+
+
+class TestCodec:
+    def test_roundtrip_exact(self):
+        footprints, popcon, repository = _corpus()
+        dataset = Dataset(footprints, popcon, repository)
+        loaded = dataset_from_json(dataset_to_json(dataset),
+                                   popcon, repository)
+        assert loaded.packages == dataset.packages
+        assert dict(loaded) == dict(dataset)
+        assert loaded.space == dataset.space
+        for dimension in ALL_DIMENSIONS:
+            assert loaded.masks(dimension) == dataset.masks(dimension)
+            assert loaded.importance_table(dimension) == \
+                dataset.importance_table(dimension)
+
+    def test_version_mismatch_rejected(self):
+        footprints, popcon, _ = _corpus()
+        payload = json.loads(dataset_to_json(Dataset(footprints)))
+        payload["dataset_codec_version"] = "999"
+        with pytest.raises(DatasetCodecError):
+            dataset_from_json(json.dumps(payload))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DatasetCodecError):
+            dataset_from_json("{not json")
+
+    def test_fingerprint_insertion_order_invariant(self):
+        footprints, _, _ = _corpus()
+        shuffled = dict(reversed(list(footprints.items())))
+        assert footprints_fingerprint(footprints) == \
+            footprints_fingerprint(shuffled)
+
+    def test_fingerprint_tracks_content(self):
+        footprints, _, _ = _corpus()
+        changed = dict(footprints)
+        changed["tool"] = Footprint.build(syscalls=["read"])
+        assert footprints_fingerprint(footprints) != \
+            footprints_fingerprint(changed)
+
+
+class TestEngineCacheDatasets:
+    def test_disk_roundtrip(self, tmp_path):
+        from repro.engine.cache import AnalysisCache
+        footprints, popcon, repository = _corpus()
+        dataset = Dataset(footprints, popcon, repository)
+        fingerprint = footprints_fingerprint(footprints)
+        cache = AnalysisCache(str(tmp_path))
+        assert cache.get_dataset(fingerprint) is None
+        cache.put_dataset(fingerprint, dataset)
+        loaded = cache.get_dataset(fingerprint, popcon, repository)
+        assert dict(loaded) == dict(dataset)
+        assert loaded.popcon is popcon
+        assert cache.stats.dataset_hits == 1
+        assert cache.stats.dataset_misses == 1
+        assert cache.stats.dataset_stores == 1
+
+    def test_corrupt_snapshot_is_a_miss(self, tmp_path):
+        from repro.engine.cache import AnalysisCache
+        footprints, popcon, _ = _corpus()
+        fingerprint = footprints_fingerprint(footprints)
+        cache = AnalysisCache(str(tmp_path))
+        cache.put_dataset(fingerprint, Dataset(footprints))
+        path = cache._dataset_path(fingerprint)
+        path.write_text("{torn", encoding="utf-8")
+        assert cache.get_dataset(fingerprint) is None
+        assert cache.stats.invalid == 1
+        assert not path.exists()
+
+    def test_memory_cache_rebinds(self):
+        from repro.engine.cache import MemoryCache
+        footprints, popcon, repository = _corpus()
+        dataset = Dataset(footprints, popcon, repository)
+        cache = MemoryCache()
+        cache.put_dataset("fp", dataset)
+        assert cache.get_dataset("fp") is dataset
+        other = PopularityContest(10, {"editor": 1})
+        rebound = cache.get_dataset("fp", other)
+        assert rebound is not dataset
+        assert rebound.popcon is other
+
+
+class TestFootprintFastPaths:
+    """Satellite: no-copy fast paths on the footprint model."""
+
+    def test_requires_only_accepts_set_likes(self):
+        footprint = Footprint.build(syscalls=["read", "write"])
+        assert footprint.requires_only({"read", "write", "open"})
+        assert footprint.requires_only(frozenset(["read", "write"]))
+        assert not footprint.requires_only({"read"})
+        # Non-set iterables still work (materialized once).
+        assert footprint.requires_only(iter(["read", "write"]))
+
+    def test_merged_with_shares_empty_provenance(self):
+        base = PackageFootprint("pkg")
+        merged = base.merged_with(Footprint.build(syscalls=["read"]))
+        assert merged.per_executable is base.per_executable
+        assert merged.footprint.syscalls == frozenset(["read"])
+
+    def test_merged_with_copies_nonempty_provenance(self):
+        base = PackageFootprint(
+            "pkg", per_executable={"bin": Footprint.EMPTY})
+        merged = base.merged_with(Footprint.EMPTY)
+        assert merged.per_executable is not base.per_executable
+        assert merged.per_executable == base.per_executable
+
+
+class TestStudyIntegration:
+    def test_study_threads_one_dataset(self, study):
+        assert isinstance(study.footprints, Dataset)
+        assert study.footprints is study.dataset
+        assert study.dataset.popcon is study.popcon
+        assert study.dataset.repository is study.repository
+
+    def test_dataset_report_renders(self, study):
+        output = study.dataset_report()
+        assert output.experiment == "dataset"
+        assert "syscall" in output.rendered
+        assert "dependency graph" in output.rendered
+
+    def test_export_dataset(self, study, tmp_path):
+        path = tmp_path / "dataset.json"
+        written = study.export_dataset(str(path))
+        assert written == path.stat().st_size
+        loaded = dataset_from_json(path.read_text(encoding="utf-8"))
+        assert loaded.packages == study.dataset.packages

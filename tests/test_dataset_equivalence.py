@@ -1,0 +1,206 @@
+"""Property-based equivalence: bitset metrics == legacy set metrics.
+
+The dataset refactor's contract is *bit-for-bit* equality: every
+metric computed over interned bitsets must return exactly the floats
+the legacy string-set implementations produced — not approximately,
+exactly — because downstream rankings break ties on those floats.
+:mod:`repro.dataset.reference` preserves the legacy implementations
+verbatim; this suite drives both paths over randomized synthetic
+ecosystems (dependency cycles, deps on unmeasured packages, deps
+missing from the repository entirely, empty footprints, zero-weight
+packages) and asserts ``==``.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.footprint import Footprint
+from repro.dataset import Dataset, reference
+from repro.dataset.dimensions import ALL_DIMENSIONS
+from repro.metrics import (
+    completeness_curve,
+    dependents_index,
+    importance_table,
+    missing_apis_report,
+    supported_packages,
+    unweighted_importance_table,
+    weighted_completeness,
+)
+from repro.packages.package import Package
+from repro.packages.popcon import PopularityContest
+from repro.packages.repository import Repository
+
+_SYSCALLS = ["read", "write", "open", "close", "mmap", "futex",
+             "epoll_wait", "accept", "clone", "execve"]
+_IOCTLS = ["TCGETS", "TIOCGWINSZ", "FIONREAD"]
+_FCNTLS = ["F_GETFL", "F_SETFL"]
+_PRCTLS = ["PR_SET_NAME"]
+_PSEUDO = ["/proc/self/maps", "/dev/null"]
+_LIBC = ["printf", "malloc", "memcpy", "fopen"]
+
+#: Dependency targets: real packages, packages the repository knows
+#: but the study never measured (poisons the closure), and names no
+#: repository entry carries at all (APT-style ignored).
+_UNMEASURED = ["vendor-blob", "firmware-pack"]
+_GHOSTS = ["ghost-virtual", "ghost-provides"]
+
+
+def _subset(draw, pool):
+    return draw(st.lists(st.sampled_from(pool), unique=True,
+                         max_size=len(pool)))
+
+
+@st.composite
+def ecosystems(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    names = [f"pkg{i}" for i in range(n)]
+    footprints = {}
+    for name in names:
+        if draw(st.booleans()) or draw(st.booleans()):
+            footprints[name] = Footprint.build(
+                syscalls=_subset(draw, _SYSCALLS),
+                ioctls=_subset(draw, _IOCTLS),
+                fcntls=_subset(draw, _FCNTLS),
+                prctls=_subset(draw, _PRCTLS),
+                pseudo_files=_subset(draw, _PSEUDO),
+                libc_symbols=_subset(draw, _LIBC),
+            )
+        else:
+            footprints[name] = Footprint.EMPTY
+    total = 1000
+    popcon = PopularityContest(total, {
+        name: draw(st.integers(min_value=0, max_value=total))
+        for name in names})
+    dep_pool = names + _UNMEASURED + _GHOSTS
+    packages = [
+        Package(name, depends=_subset(draw, dep_pool))
+        for name in names
+    ] + [Package(extra) for extra in _UNMEASURED]
+    repository = Repository(packages)
+    supported = _subset(draw, _SYSCALLS + ["not_a_syscall"])
+    return footprints, popcon, repository, frozenset(supported)
+
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestImportanceEquivalence:
+    @_SETTINGS
+    @given(eco=ecosystems(), dimension=st.sampled_from(ALL_DIMENSIONS))
+    def test_importance_table(self, eco, dimension):
+        footprints, popcon, _, _ = eco
+        dataset = Dataset(footprints, popcon)
+        assert importance_table(dataset, dimension=dimension) == \
+            reference.importance_table(footprints, popcon, dimension)
+
+    @_SETTINGS
+    @given(eco=ecosystems())
+    def test_importance_with_universe_extension(self, eco):
+        footprints, popcon, _, _ = eco
+        universe = _SYSCALLS + ["never_used_call"]
+        dataset = Dataset(footprints, popcon)
+        assert importance_table(dataset, universe=universe) == \
+            reference.importance_table(footprints, popcon, "syscall",
+                                       universe=universe)
+
+    @_SETTINGS
+    @given(eco=ecosystems(), dimension=st.sampled_from(ALL_DIMENSIONS))
+    def test_unweighted_table(self, eco, dimension):
+        footprints, _, _, _ = eco
+        dataset = Dataset(footprints)
+        assert unweighted_importance_table(dataset, dimension) == \
+            reference.unweighted_importance_table(footprints,
+                                                  dimension)
+
+    @_SETTINGS
+    @given(eco=ecosystems(), dimension=st.sampled_from(ALL_DIMENSIONS))
+    def test_dependents_index(self, eco, dimension):
+        footprints, _, _, _ = eco
+        assert dependents_index(Dataset(footprints), dimension) == \
+            reference.dependents_index(footprints, dimension)
+
+
+class TestCompletenessEquivalence:
+    @_SETTINGS
+    @given(eco=ecosystems(), ignore_empty=st.booleans(),
+           with_repo=st.booleans())
+    def test_weighted_completeness(self, eco, ignore_empty,
+                                   with_repo):
+        footprints, popcon, repository, supported = eco
+        repo = repository if with_repo else None
+        dataset = Dataset(footprints, popcon, repo)
+        assert weighted_completeness(
+            supported, dataset, ignore_empty=ignore_empty) == \
+            reference.weighted_completeness(
+                supported, footprints, popcon, repo,
+                ignore_empty=ignore_empty)
+
+    @_SETTINGS
+    @given(eco=ecosystems())
+    def test_supported_packages(self, eco):
+        footprints, popcon, repository, supported = eco
+        dataset = Dataset(footprints, popcon, repository)
+        expected = reference.close_over_dependencies(
+            reference.directly_supported(footprints, supported,
+                                         "syscall"),
+            repository,
+            assume_supported={pkg for pkg, fp in footprints.items()
+                              if not fp.syscalls})
+        assert supported_packages(supported, dataset) == expected
+
+
+class TestCurveEquivalence:
+    @_SETTINGS
+    @given(eco=ecosystems(), with_repo=st.booleans(),
+           ignore_empty=st.booleans())
+    def test_completeness_curve(self, eco, with_repo, ignore_empty):
+        footprints, popcon, repository, _ = eco
+        repo = repository if with_repo else None
+        dataset = Dataset(footprints, popcon, repo)
+        ours = completeness_curve(dataset,
+                                  ignore_empty=ignore_empty)
+        legacy = reference.completeness_curve(
+            footprints, popcon, repo, ignore_empty=ignore_empty)
+        assert ours == legacy
+
+    @_SETTINGS
+    @given(eco=ecosystems())
+    def test_curve_with_extended_importance(self, eco):
+        """Rankings fed through ``universe=`` keep unused APIs."""
+        footprints, popcon, repository, _ = eco
+        dataset = Dataset(footprints, popcon, repository)
+        table = importance_table(dataset, universe=_SYSCALLS)
+        ours = completeness_curve(dataset, importance=table)
+        legacy = reference.completeness_curve(
+            footprints, popcon, repository, importance=table)
+        assert ours == legacy
+
+
+class TestMissingApisEquivalence:
+    @_SETTINGS
+    @given(eco=ecosystems(), dimension=st.sampled_from(ALL_DIMENSIONS))
+    def test_missing_apis_report(self, eco, dimension):
+        footprints, popcon, _, supported = eco
+        if dimension != "syscall":
+            supported = frozenset()
+        dataset = Dataset(footprints, popcon)
+        assert missing_apis_report(
+            supported, dataset, dimension=dimension, limit=100) == \
+            reference.missing_apis_report(
+                supported, footprints, popcon, dimension, limit=100)
+
+    @_SETTINGS
+    @given(eco=ecosystems())
+    def test_ignore_empty_filter_cannot_change_report(self, eco):
+        """Satellite regression: the ``ignore_empty`` universe filter
+        matches weighted_completeness, and — because a package empty
+        in a dimension has nothing missing in it — provably never
+        alters the report."""
+        footprints, popcon, _, supported = eco
+        dataset = Dataset(footprints, popcon)
+        assert missing_apis_report(
+            supported, dataset, ignore_empty=True, limit=100) == \
+            missing_apis_report(
+                supported, dataset, ignore_empty=False, limit=100)
