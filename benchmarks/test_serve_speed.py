@@ -1,0 +1,186 @@
+"""Serving-layer speed: warm HTTP queries vs per-invocation CLI cost.
+
+The serving layer exists because the batch CLI pays for interpreter
+start, ecosystem synthesis, and corpus analysis on *every* question
+asked; a resident server pays once and answers from the warm dataset
+(and, for repeated queries, from the result cache).  This benchmark
+quantifies that gap on the medium benchmark corpus:
+
+* **CLI baseline** — one full ``repro-analyze evaluate`` subprocess on
+  the same ecosystem configuration (min of two runs);
+* **warm sequential** — served queries over one keep-alive connection
+  with a hot result cache, giving per-request latency quantiles;
+* **warm concurrent** — several client threads hammering mixed
+  endpoints at once, giving aggregate throughput.
+
+Writes ``benchmarks/output/BENCH_serve.json`` and gates: warm served
+throughput must beat the CLI's one-answer-per-invocation rate by at
+least 20x, and warm-cache p99 latency must stay under 250ms.
+"""
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from repro.serve import ServeApp, ServeServer, SnapshotHolder
+
+_REQUIRED_THROUGHPUT_RATIO = 20.0
+_MAX_WARM_P99_SECONDS = 0.250
+
+_SEQUENTIAL_REQUESTS = 300
+_CONCURRENT_CLIENTS = 4
+_REQUESTS_PER_CLIENT = 75
+
+#: Mixed warm query set: two GETs and a POST, all cacheable.
+_QUERY_MIX = [
+    ("GET", "/v1/importance?limit=10", None),
+    ("GET", "/v1/dataset/stats", None),
+    ("POST", "/v1/completeness",
+     json.dumps({"supported": ["read", "write"]})),
+]
+
+
+def _cli_invocation_seconds() -> float:
+    """Wall time for one complete CLI answer (min of two runs)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    argv = [sys.executable, "-m", "repro.cli",
+            "--fillers", "200", "--drivers", "30",
+            "--scripts", "220", "evaluate", "read,write"]
+    timings = []
+    for _ in range(2):
+        start = time.perf_counter()
+        result = subprocess.run(argv, env=env, capture_output=True,
+                                timeout=600)
+        assert result.returncode == 0, result.stderr[-400:]
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _request(conn, method, path, body):
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    payload = response.read()
+    assert response.status == 200, (response.status, payload[:200])
+    return payload
+
+
+def _percentile(ordered, q):
+    rank = max(1, -(-len(ordered) * q // 100))  # nearest rank
+    return ordered[int(rank) - 1]
+
+
+def test_serve_speed(study, output_dir, save):
+    holder = SnapshotHolder(study.dataset)
+    app = ServeApp(holder, concurrency=8, max_wait_seconds=2.0,
+                   cache_entries=256)
+    cli_seconds = _cli_invocation_seconds()
+
+    with ServeServer(app, port=0) as server:
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        # Warm the result cache: first touch of each query computes.
+        for method, path, body in _QUERY_MIX:
+            _request(conn, method, path, body)
+
+        # Sequential warm phase: per-request latencies.
+        latencies = []
+        sequential_start = time.perf_counter()
+        for i in range(_SEQUENTIAL_REQUESTS):
+            method, path, body = _QUERY_MIX[i % len(_QUERY_MIX)]
+            start = time.perf_counter()
+            _request(conn, method, path, body)
+            latencies.append(time.perf_counter() - start)
+        sequential_seconds = time.perf_counter() - sequential_start
+        conn.close()
+
+        # Concurrent warm phase: aggregate throughput.
+        errors = []
+
+        def client(n: int) -> None:
+            c = http.client.HTTPConnection(server.host, server.port,
+                                           timeout=30)
+            try:
+                for i in range(_REQUESTS_PER_CLIENT):
+                    method, path, body = \
+                        _QUERY_MIX[(n + i) % len(_QUERY_MIX)]
+                    _request(c, method, path, body)
+            except Exception as exc:  # pragma: no cover - report only
+                errors.append(repr(exc))
+            finally:
+                c.close()
+
+        threads = [threading.Thread(target=client, args=(n,))
+                   for n in range(_CONCURRENT_CLIENTS)]
+        concurrent_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        concurrent_seconds = time.perf_counter() - concurrent_start
+        assert not errors, errors[:3]
+
+        cache_stats = app.qcache.stats()
+
+    latencies.sort()
+    p50 = _percentile(latencies, 50)
+    p99 = _percentile(latencies, 99)
+    sequential_rps = _SEQUENTIAL_REQUESTS / sequential_seconds
+    concurrent_rps = (_CONCURRENT_CLIENTS * _REQUESTS_PER_CLIENT
+                      / concurrent_seconds)
+    cli_rps = 1.0 / cli_seconds
+    throughput_ratio = sequential_rps / cli_rps
+
+    payload = {
+        "corpus": {"packages": len(study.dataset.packages)},
+        "cli_invocation_seconds": cli_seconds,
+        "cli_answers_per_second": cli_rps,
+        "sequential": {
+            "requests": _SEQUENTIAL_REQUESTS,
+            "seconds": sequential_seconds,
+            "requests_per_second": sequential_rps,
+            "p50_seconds": p50,
+            "p99_seconds": p99,
+        },
+        "concurrent": {
+            "clients": _CONCURRENT_CLIENTS,
+            "requests": _CONCURRENT_CLIENTS * _REQUESTS_PER_CLIENT,
+            "seconds": concurrent_seconds,
+            "requests_per_second": concurrent_rps,
+        },
+        "qcache": {
+            "hit_rate": cache_stats["hit_rate"],
+            "hits": cache_stats["hits"],
+            "misses": cache_stats["misses"],
+        },
+        "throughput_ratio": throughput_ratio,
+        "required_throughput_ratio": _REQUIRED_THROUGHPUT_RATIO,
+        "max_warm_p99_seconds": _MAX_WARM_P99_SECONDS,
+    }
+    (output_dir / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    save("serve_speed", "\n".join([
+        "serving layer — warm query throughput vs CLI",
+        f"  cli invocation      : {cli_seconds * 1000:.0f} ms "
+        f"({cli_rps:.2f} answers/s)",
+        f"  warm sequential     : {sequential_rps:.0f} req/s "
+        f"(p50 {p50 * 1000:.2f} ms, p99 {p99 * 1000:.2f} ms)",
+        f"  warm concurrent x{_CONCURRENT_CLIENTS}  : "
+        f"{concurrent_rps:.0f} req/s",
+        f"  cache hit rate      : {cache_stats['hit_rate']:.1%}",
+        f"  throughput ratio    : {throughput_ratio:.0f}x "
+        f"(required {_REQUIRED_THROUGHPUT_RATIO:.0f}x)",
+    ]))
+
+    assert throughput_ratio >= _REQUIRED_THROUGHPUT_RATIO, (
+        f"warm served throughput only {throughput_ratio:.1f}x the "
+        f"CLI rate (need >= {_REQUIRED_THROUGHPUT_RATIO}x)")
+    assert p99 <= _MAX_WARM_P99_SECONDS, (
+        f"warm-cache p99 {p99 * 1000:.1f}ms exceeds "
+        f"{_MAX_WARM_P99_SECONDS * 1000:.0f}ms")

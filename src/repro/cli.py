@@ -1,7 +1,15 @@
 """Command-line interface: ``repro-analyze``.
 
 Runs the study and prints selected tables/figures, generates seccomp
-policies, or evaluates a custom system described by a syscall list.
+policies, evaluates a custom system described by a syscall list, or
+keeps the analyzed dataset warm behind an HTTP API (``serve``).
+
+Exit codes follow the usual Unix taxonomy:
+
+* ``0`` — success;
+* ``1`` — the run itself failed (analysis fault, I/O error);
+* ``2`` — usage error (bad flag, unknown package/experiment);
+* ``130`` — interrupted (Ctrl-C), reported without a traceback.
 """
 
 from __future__ import annotations
@@ -13,6 +21,11 @@ from typing import List, Optional
 from .metrics import weighted_completeness
 from .study import Study
 from .synth import EcosystemConfig
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPT = 130
 
 _EXPERIMENTS = {
     "fig1": "fig1_binary_types",
@@ -152,6 +165,37 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--out", metavar="PATH", default=None,
                          help="export destination "
                               "(default: dataset.json)")
+
+    serve = sub.add_parser(
+        "serve", help="keep the analyzed dataset warm behind an HTTP "
+                      "query API (importance, completeness, advisor, "
+                      "...)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port; 0 lets the kernel pick "
+                            "(default: 8000)")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       metavar="N",
+                       help="result-cache capacity (default: 1024)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="result-cache time-to-live "
+                            "(default: no TTL)")
+    serve.add_argument("--concurrency", type=int, default=0,
+                       metavar="N",
+                       help="execution slots; 0 means --jobs when "
+                            "--jobs > 1, else 8 (default: 0)")
+    serve.add_argument("--max-wait-ms", type=int, default=250,
+                       metavar="MS",
+                       help="bounded wait for a slot before shedding "
+                            "with 429 (default: 250)")
+    serve.add_argument("--deadline-ms", type=int, default=2000,
+                       metavar="MS",
+                       help="per-request compute budget; 0 disables "
+                            "(default: 2000)")
+    serve.add_argument("--no-reload", action="store_true",
+                       help="disable the POST /admin/reload endpoint")
     return parser
 
 
@@ -192,7 +236,68 @@ def _read_syscall_list(spec: str) -> List[str]:
     return [name.strip() for name in spec.split(",") if name.strip()]
 
 
+def _serve(study: Study, args: argparse.Namespace) -> int:
+    """Run the long-lived query server until interrupted."""
+    from .serve import ServeApp, ServeServer, SnapshotHolder
+    concurrency = args.concurrency
+    if concurrency <= 0:
+        concurrency = args.jobs if args.jobs > 1 else 8
+    holder = SnapshotHolder(study.dataset)
+    app = ServeApp(
+        holder,
+        cache_entries=args.cache_entries,
+        cache_ttl_seconds=args.cache_ttl,
+        concurrency=concurrency,
+        max_wait_seconds=args.max_wait_ms / 1000.0,
+        deadline_seconds=(args.deadline_ms / 1000.0
+                          if args.deadline_ms > 0 else None),
+        allow_reload=not args.no_reload)
+    server = ServeServer(app, host=args.host, port=args.port,
+                         quiet=True)
+
+    def announce(bound: ServeServer) -> None:
+        snapshot = holder.current()
+        print(f"serving {snapshot.packages} packages "
+              f"(fingerprint {snapshot.fingerprint[:12]}) "
+              f"on {bound.url}", flush=True)
+
+    server.serve_forever(on_ready=announce)
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and run, mapping failures onto the exit-code taxonomy.
+
+    Argparse usage errors keep their conventional exit status 2;
+    interrupts exit 130 with a one-line notice instead of a traceback;
+    analysis faults and I/O errors exit 1 with the error message.
+    """
+    try:
+        return _run(argv)
+    except SystemExit as exc:  # argparse --help / usage errors
+        code = exc.code
+        if code is None:
+            return EXIT_OK
+        return code if isinstance(code, int) else EXIT_USAGE
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not our failure, but
+        # the output is incomplete.
+        return EXIT_FAILURE
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except Exception as exc:
+        from .engine.errors import classify_exception
+        fault = classify_exception(exc, stage="cli")
+        print(f"error ({fault.error_class}): {fault.message}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+
+
+def _run(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "cache":
@@ -216,6 +321,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     # The analysis ran inside the Study constructor, so the trace and
     # metrics are complete here whatever the subcommand does next.
     _export_observability(study, args)
+
+    if args.command == "serve":
+        return _serve(study, args)
 
     if args.command == "report":
         names = args.experiments or list(_EXPERIMENTS)

@@ -21,6 +21,8 @@ from .export import (
     METRICS_SCHEMA_VERSION,
     TRACE_SCHEMA,
     TRACE_SCHEMA_VERSION,
+    escape_label_value,
+    format_sample,
     parse_metrics,
     read_trace,
     read_trace_file,
@@ -49,6 +51,8 @@ __all__ = [
     "SpanTracer",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
+    "escape_label_value",
+    "format_sample",
     "parse_metrics",
     "read_trace",
     "read_trace_file",

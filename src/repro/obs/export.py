@@ -156,32 +156,76 @@ def _mangle(name: str) -> str:
 
 
 def _number(value: float) -> str:
+    if value != value:  # NaN: the exposition format spells it "NaN"
+        return "NaN"
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return format(value, ".10g")
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format reserves inside ``label="..."``; everything else passes
+    through verbatim.  The escaping is the identity on every label the
+    exporter has historically emitted (bare quantiles), which is what
+    keeps the golden files byte-stable.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def format_sample(name: str, labels: "Dict[str, str]",
+                  value: float) -> str:
+    """One exposition sample line: ``name{k="v",...} value``.
+
+    ``name`` must already be a valid (mangled) metric name; label
+    values are escaped here, label *names* are trusted.  Label order
+    is preserved as given — the format is order-sensitive for
+    byte-stable output, not for semantics.
+    """
+    if labels:
+        body = ",".join(
+            f'{key}="{escape_label_value(str(label))}"'
+            for key, label in labels.items())
+        return f"{name}{{{body}}} {_number(value)}"
+    return f"{name} {_number(value)}"
+
+
 def render_metrics(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition of every instrument in the registry."""
+    """Prometheus text exposition of every instrument in the registry.
+
+    Histograms render as summaries.  A histogram with zero
+    observations still renders (its mere registration is a fact worth
+    exposing) with ``NaN`` quantiles per Prometheus convention — a
+    quantile of an empty sample is undefined, and ``0`` would read as
+    a real measurement — while ``_sum``/``_count`` stay ``0``.
+    """
     lines = [f"# repro-metrics-schema: {METRICS_SCHEMA_VERSION}"]
     snapshot = registry.snapshot()
     for name, value in snapshot["counters"].items():
         mangled = _mangle(name)
         lines.append(f"# TYPE {mangled} counter")
-        lines.append(f"{mangled} {_number(value)}")
+        lines.append(format_sample(mangled, {}, value))
     for name, value in snapshot["gauges"].items():
         mangled = _mangle(name)
         lines.append(f"# TYPE {mangled} gauge")
-        lines.append(f"{mangled} {_number(value)}")
+        lines.append(format_sample(mangled, {}, value))
     for name, stats in snapshot["histograms"].items():
         mangled = _mangle(name)
+        empty = stats["count"] == 0
         lines.append(f"# TYPE {mangled} summary")
         for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
                               ("0.99", "p99")):
-            lines.append(f'{mangled}{{quantile="{quantile}"}} '
-                         f"{_number(stats[key])}")
-        lines.append(f"{mangled}_sum {_number(stats['sum'])}")
-        lines.append(f"{mangled}_count {_number(stats['count'])}")
+            lines.append(format_sample(
+                mangled, {"quantile": quantile},
+                float("nan") if empty else stats[key]))
+        lines.append(format_sample(f"{mangled}_sum", {},
+                                   stats["sum"]))
+        lines.append(format_sample(f"{mangled}_count", {},
+                                   stats["count"]))
     return "\n".join(lines) + "\n"
 
 

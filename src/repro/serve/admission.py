@@ -1,0 +1,152 @@
+"""Admission control: bounded concurrency, bounded wait, deadlines.
+
+A long-lived server over an in-process dataset has exactly one scarce
+resource: CPU time in the metric kernels.  Unbounded admission turns a
+burst into an ever-growing queue where every request eventually times
+out; the controller here instead holds a fixed number of execution
+slots and lets a request wait *briefly* for one — past that it is shed
+with 429 + ``Retry-After`` while the health endpoints stay responsive.
+
+The per-request :class:`Deadline` complements the gate: a request that
+*was* admitted but whose computation overruns its budget stops at the
+next checkpoint and reports 504, so one pathological query cannot
+occupy a slot indefinitely.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+
+class OverloadedError(Exception):
+    """Every slot busy and the bounded wait elapsed: shed the request."""
+
+    def __init__(self, retry_after: float, slots: int) -> None:
+        super().__init__(
+            f"all {slots} execution slots busy; retry in "
+            f"~{retry_after:.1f}s")
+        self.retry_after = retry_after
+        self.slots = slots
+
+
+class DeadlineExceededError(Exception):
+    """The request overran its per-request compute budget."""
+
+    def __init__(self, budget_seconds: float, stage: str) -> None:
+        super().__init__(
+            f"deadline of {budget_seconds * 1000:.0f}ms exceeded "
+            f"at stage {stage!r}")
+        self.budget_seconds = budget_seconds
+        self.stage = stage
+
+
+class Deadline:
+    """A per-request compute budget with explicit checkpoints.
+
+    Endpoints call :meth:`check` between phases (parse, compute,
+    encode); a ``None`` budget disables every check.  Cooperative by
+    design — Python offers no safe preemption — so the guarantee is
+    "stops at the next checkpoint", not "stops instantly".
+    """
+
+    __slots__ = ("budget_seconds", "_expires_at", "_clock")
+
+    def __init__(self, budget_seconds: Optional[float],
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.budget_seconds = budget_seconds
+        self._clock = clock
+        self._expires_at = (None if budget_seconds is None
+                            else clock() + budget_seconds)
+
+    def remaining(self) -> Optional[float]:
+        if self._expires_at is None:
+            return None
+        return self._expires_at - self._clock()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self, stage: str = "compute") -> None:
+        if self.expired():
+            raise DeadlineExceededError(self.budget_seconds, stage)
+
+
+class _Slot:
+    """Context manager pairing one acquired slot with its release."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+
+    def __enter__(self) -> "_Slot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._controller._release()
+        return False
+
+
+class AdmissionController:
+    """Semaphore-gated concurrency limit with a bounded wait."""
+
+    def __init__(self, slots: int = 8,
+                 max_wait_seconds: float = 0.25) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be >= 0")
+        self.slots = slots
+        self.max_wait_seconds = max_wait_seconds
+        self._semaphore = threading.BoundedSemaphore(slots)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def slot(self) -> _Slot:
+        """Acquire an execution slot or raise :class:`OverloadedError`.
+
+        The wait is bounded by ``max_wait_seconds``; a shed request is
+        told to come back after roughly one wait window (never less
+        than a whole second, so naive clients that floor the header to
+        an integer still back off).
+        """
+        if not self._semaphore.acquire(timeout=self.max_wait_seconds):
+            with self._lock:
+                self.rejected += 1
+            retry_after = max(1.0,
+                              math.ceil(self.max_wait_seconds))
+            raise OverloadedError(retry_after, self.slots)
+        with self._lock:
+            self.admitted += 1
+            self._in_flight += 1
+            if self._in_flight > self._peak_in_flight:
+                self._peak_in_flight = self._in_flight
+        return _Slot(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+        self._semaphore.release()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "slots": self.slots,
+                "max_wait_seconds": self.max_wait_seconds,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak_in_flight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }

@@ -1,0 +1,384 @@
+"""Framework-free request core: routing, codec, envelope, pipeline.
+
+:class:`ServeApp` is the whole server minus the sockets — it maps a
+:class:`Request` to a :class:`Response` deterministically, which is
+what makes the serving layer testable (and hammerable) without HTTP.
+:mod:`repro.serve.server` adapts it onto ``ThreadingHTTPServer``.
+
+Request lifecycle for a query endpoint::
+
+    route -> admission slot -> deadline start -> snapshot pin
+          -> normalize params -> result cache probe
+          -> [miss: compute payload under a span] -> envelope -> JSON
+
+Every response body is canonical JSON (sorted keys, compact
+separators) carrying a versioned schema::
+
+    {"schema": "repro.serve", "version": 1, "endpoint": ...,
+     "fingerprint": ..., "generation": ..., "cached": ...,
+     "data": {...}}
+
+and errors use the same envelope with ``"error"`` in place of
+``"data"``, its ``class`` drawn from the serve request taxonomy
+(:mod:`repro.serve.endpoints`) or, for failures escaping the metric
+kernels, the engine's analysis taxonomy
+(:func:`repro.engine.errors.classify_exception`) — the server speaks
+one error language from the HTTP edge down to the decoder.
+
+Observability: every request runs under a ``serve.request`` span
+(endpoint, status, and cache outcome as attributes, cache misses with
+a nested ``serve.compute`` span) and feeds the registry —
+``serve.requests`` / per-endpoint counters, ``serve.request_seconds``
+/ per-endpoint latency histograms, qcache and admission counters —
+which ``GET /metrics`` exposes in the Prometheus text format via the
+same :func:`repro.obs.render_metrics` the CLI exporter uses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..engine.errors import AnalysisError, classify_exception
+from ..obs import MetricsRegistry, SpanTracer, render_metrics
+from .admission import (AdmissionController, Deadline,
+                        DeadlineExceededError, OverloadedError)
+from .endpoints import (ENDPOINTS, Endpoint, BadRequestError,
+                        MethodNotAllowedError, NotFoundError,
+                        ServeRequestError)
+from .qcache import QueryCache, canonical_query_key
+from .snapshot import SnapshotHolder
+
+#: Bump when the response envelope shape changes.
+SERVE_SCHEMA = "repro.serve"
+SERVE_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: Any) -> bytes:
+    """The one JSON encoding every response uses.
+
+    Sorted keys + compact separators + no NaN: a given payload object
+    has exactly one serialization, which is what lets the parity suite
+    compare served bytes against direct library calls.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
+
+
+@dataclass
+class Request:
+    """One decoded HTTP request, transport-independent."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def json_body(self) -> Optional[Dict[str, Any]]:
+        """The parsed JSON body, or None when there is no body."""
+        if not self.body:
+            return None
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"request body is not valid JSON: "
+                                  f"{exc}") from None
+        if not isinstance(data, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return data
+
+
+@dataclass
+class Response:
+    """One response: status, body, and transport headers."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, status: int, payload: Any,
+             headers: Optional[Dict[str, str]] = None) -> "Response":
+        return cls(status=status, body=canonical_json(payload) + b"\n",
+                   headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, status: int, text: str) -> "Response":
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type="text/plain; version=0.0.4; "
+                                "charset=utf-8")
+
+    def json_payload(self) -> Any:
+        """Decode the body back to data (test convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+_STATUS_FOR_ANALYSIS_CLASS = {
+    # A metric kernel raising the analysis taxonomy means the *input*
+    # (not the server) was bad or the budget ran out.
+    "format": 422, "decode": 422, "resolution": 422,
+    "timeout": 504, "internal": 500,
+}
+
+
+class ServeApp:
+    """The request pipeline over one :class:`SnapshotHolder`."""
+
+    def __init__(self, holder: SnapshotHolder,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[SpanTracer] = None,
+                 cache_entries: int = 1024,
+                 cache_ttl_seconds: Optional[float] = None,
+                 concurrency: int = 8,
+                 max_wait_seconds: float = 0.25,
+                 deadline_seconds: Optional[float] = 2.0,
+                 allow_reload: bool = True) -> None:
+        self.holder = holder
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.qcache = QueryCache(max_entries=cache_entries,
+                                 ttl_seconds=cache_ttl_seconds)
+        self.admission = AdmissionController(
+            slots=concurrency, max_wait_seconds=max_wait_seconds)
+        self.deadline_seconds = deadline_seconds
+        self.allow_reload = allow_reload
+        self.started_at = time.time()
+        # Exact-match routing tables: (path -> {method -> endpoint}).
+        self._routes: Dict[str, Dict[str, Endpoint]] = {}
+        for endpoint in ENDPOINTS:
+            self._routes.setdefault(endpoint.path, {})[
+                endpoint.method] = endpoint
+
+    # --- entry point ----------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Map one request to one response.  Never raises."""
+        self.registry.counter("serve.requests").inc()
+        start = time.perf_counter()
+        try:
+            response = self._dispatch(request)
+        except Exception as exc:  # pragma: no cover - last-ditch guard
+            response = self._error_response(request, exc)
+        seconds = time.perf_counter() - start
+        self.registry.histogram("serve.request_seconds").observe(
+            seconds)
+        self.registry.counter(
+            f"serve.responses.{response.status // 100}xx").inc()
+        return response
+
+    # --- routing --------------------------------------------------------
+
+    def _dispatch(self, request: Request) -> Response:
+        path = request.path
+        if path == "/healthz":
+            return self._healthz(request)
+        if path == "/readyz":
+            return self._readyz(request)
+        if path == "/metrics":
+            return self._metrics(request)
+        if path == "/":
+            return self._index(request)
+        if path == "/admin/reload":
+            return self._reload(request)
+        methods = self._routes.get(path)
+        try:
+            if methods is None:
+                raise NotFoundError(f"no route for {path!r}")
+            endpoint = methods.get(request.method)
+            if endpoint is None:
+                raise MethodNotAllowedError(
+                    f"{path!r} supports "
+                    f"{', '.join(sorted(methods))}, "
+                    f"not {request.method}")
+            return self._query(request, endpoint)
+        except Exception as exc:
+            return self._error_response(request, exc)
+
+    # --- system endpoints (no admission: probes must stay live) ---------
+
+    def _healthz(self, request: Request) -> Response:
+        """Liveness: the process is up and routing requests."""
+        return Response.json(200, {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        })
+
+    def _readyz(self, request: Request) -> Response:
+        """Readiness: flips to 503 during a snapshot reload window."""
+        if not self.holder.ready():
+            return Response.json(503, {"status": "loading",
+                                       "ready": False})
+        snapshot = self.holder.current()
+        return Response.json(200, {
+            "status": "ok", "ready": True,
+            "generation": snapshot.generation,
+            "fingerprint": snapshot.fingerprint,
+            "packages": snapshot.packages,
+        })
+
+    def _metrics(self, request: Request) -> Response:
+        """Prometheus text scrape of the serve registry."""
+        self._export_gauges()
+        return Response.text(200, render_metrics(self.registry))
+
+    def _export_gauges(self) -> None:
+        """Publish point-in-time stats as gauges before a scrape."""
+        gauge = self.registry.gauge
+        for name, value in self.qcache.stats().items():
+            if isinstance(value, (int, float)) and value is not None:
+                gauge(f"serve.qcache.{name}").set(value)
+        for name, value in self.admission.stats().items():
+            gauge(f"serve.admission.{name}").set(value)
+        holder = self.holder.stats()
+        gauge("serve.snapshot.generation").set(holder["generation"])
+        gauge("serve.snapshot.packages").set(holder["packages"])
+        gauge("serve.snapshot.reloads").set(holder["reloads"])
+        gauge("serve.snapshot.failed_reloads").set(
+            holder["failed_reloads"])
+        gauge("serve.snapshot.ready").set(1.0 if holder["ready"]
+                                          else 0.0)
+
+    def _index(self, request: Request) -> Response:
+        """Self-describing endpoint listing."""
+        return Response.json(200, {
+            "schema": SERVE_SCHEMA,
+            "version": SERVE_SCHEMA_VERSION,
+            "endpoints": [
+                {"name": e.name, "method": e.method, "path": e.path,
+                 "summary": e.summary} for e in ENDPOINTS],
+            "system": ["/healthz", "/readyz", "/metrics",
+                       "/admin/reload"],
+        })
+
+    def _reload(self, request: Request) -> Response:
+        """POST /admin/reload {"path": ...}: hot-swap the snapshot."""
+        try:
+            if request.method != "POST":
+                raise MethodNotAllowedError(
+                    "/admin/reload supports POST only")
+            if not self.allow_reload:
+                raise ServeRequestError("snapshot reload is disabled")
+            body = request.json_body()
+            if body is None or not isinstance(body.get("path"), str):
+                raise BadRequestError(
+                    'reload needs a JSON body {"path": "<snapshot>"}')
+            with self.tracer.span("serve.reload",
+                                  path=body["path"]):
+                snapshot = self.holder.reload_from_file(body["path"])
+            self.registry.counter("serve.reloads").inc()
+            return Response.json(200, {
+                "schema": SERVE_SCHEMA,
+                "version": SERVE_SCHEMA_VERSION,
+                "generation": snapshot.generation,
+                "fingerprint": snapshot.fingerprint,
+                "packages": snapshot.packages,
+            })
+        except Exception as exc:
+            return self._error_response(request, exc)
+
+    # --- the query pipeline ---------------------------------------------
+
+    def _query(self, request: Request,
+               endpoint: Endpoint) -> Response:
+        try:
+            slot = self.admission.slot()
+        except OverloadedError as exc:
+            return self._error_response(request, exc)
+        with slot:
+            deadline = Deadline(self.deadline_seconds)
+            with self.tracer.span(
+                    "serve.request", endpoint=endpoint.name) as span:
+                try:
+                    response = self._answer(request, endpoint,
+                                            deadline, span)
+                except Exception as exc:
+                    response = self._error_response(request, exc)
+                span.attrs["status"] = response.status
+            self.registry.counter(
+                f"serve.endpoint.{endpoint.name}.requests").inc()
+            return response
+
+    def _answer(self, request: Request, endpoint: Endpoint,
+                deadline: Deadline, span) -> Response:
+        snapshot = self.holder.current()   # RCU pin: one read, held
+        params = endpoint.normalize(request.query,
+                                    request.json_body())
+        deadline.check("normalize")
+        key = canonical_query_key(snapshot.fingerprint,
+                                  endpoint.name, params)
+        payload = self.qcache.get(key) if endpoint.cacheable else None
+        cached = payload is not None
+        span.attrs["cached"] = cached
+        if cached:
+            self.registry.counter("serve.qcache.hit").inc()
+        else:
+            if endpoint.cacheable:
+                self.registry.counter("serve.qcache.miss").inc()
+            start = time.perf_counter()
+            with self.tracer.span("serve.compute",
+                                  endpoint=endpoint.name):
+                payload = endpoint.payload(snapshot.dataset, params)
+            self.registry.histogram(
+                f"serve.endpoint.{endpoint.name}.compute_seconds"
+            ).observe(time.perf_counter() - start)
+            deadline.check("compute")
+            if endpoint.cacheable:
+                self.qcache.put(key, payload)
+        envelope = {
+            "schema": SERVE_SCHEMA,
+            "version": SERVE_SCHEMA_VERSION,
+            "endpoint": endpoint.name,
+            "fingerprint": snapshot.fingerprint,
+            "generation": snapshot.generation,
+            "cached": cached,
+            "data": payload,
+        }
+        deadline.check("encode")
+        return Response.json(200, envelope)
+
+    # --- error envelope -------------------------------------------------
+
+    def _error_response(self, request: Request,
+                        exc: Exception) -> Response:
+        status, error_class = self._classify(exc)
+        headers: Dict[str, str] = {}
+        if isinstance(exc, OverloadedError):
+            headers["Retry-After"] = str(int(exc.retry_after))
+            self.registry.counter("serve.admission.shed").inc()
+        self.registry.counter("serve.errors").inc()
+        envelope = {
+            "schema": SERVE_SCHEMA,
+            "version": SERVE_SCHEMA_VERSION,
+            "error": {
+                "status": status,
+                "class": error_class,
+                "type": type(exc).__name__,
+                "message": str(exc) or type(exc).__name__,
+            },
+        }
+        return Response.json(status, envelope, headers=headers)
+
+    @staticmethod
+    def _classify(exc: Exception) -> Tuple[int, str]:
+        """(HTTP status, error class) for any escaping exception."""
+        if isinstance(exc, ServeRequestError):
+            return exc.status, exc.error_class
+        if isinstance(exc, OverloadedError):
+            return 429, "overloaded"
+        if isinstance(exc, DeadlineExceededError):
+            return 504, "deadline"
+        if isinstance(exc, (ValueError, KeyError, TypeError)):
+            # Library-level rejection of the query's inputs (unknown
+            # dimension, dataset built without popcon, ...).
+            return 400, "bad_request"
+        # Everything else speaks the engine's taxonomy, including
+        # AnalysisError subclasses raised by the kernels themselves.
+        fault = classify_exception(exc, stage="serve")
+        return (_STATUS_FOR_ANALYSIS_CLASS.get(fault.error_class, 500),
+                fault.error_class)

@@ -1,0 +1,420 @@
+"""The query endpoints: every served answer, as a pure payload function.
+
+Each endpoint is split into two pure pieces so the server can never
+drift from the batch path:
+
+* ``normalize_*`` — turn raw HTTP inputs (query string, JSON body)
+  into one canonical parameter dict.  Defaults are filled in,
+  order-insensitive API lists are sorted and deduplicated, and
+  everything is validated here — this dict is both the handler input
+  and the result-cache key material.
+* ``*_payload`` — compute the response ``data`` object from a
+  :class:`repro.dataset.Dataset` and canonical params, delegating to
+  the **same** :mod:`repro.metrics` / :mod:`repro.compat` entry points
+  the CLI uses.  The parity suite calls these functions directly and
+  compares their canonical JSON byte-for-byte against what the HTTP
+  server returns.
+
+Request-level errors raise :class:`BadRequestError`; the app maps the
+whole :class:`ServeRequestError` hierarchy (and the engine's analysis
+taxonomy) onto the JSON error envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from ..compat import (SystemModel, coverage_plan, evaluate_system,
+                      workload_suggestions)
+from ..dataset.core import Dataset
+from ..dataset.dimensions import ALL_DIMENSIONS
+from ..libc import symbols as libc_symbols
+from ..metrics import (completeness_curve, importance_table,
+                       missing_apis_report, ranked,
+                       unweighted_importance_table,
+                       weighted_completeness)
+from ..syscalls import fcntl_ops, ioctl, prctl_ops
+from ..syscalls.table import ALL_NAMES
+
+
+# --- request-level error taxonomy --------------------------------------
+
+class ServeRequestError(Exception):
+    """Base of the serve-layer request errors (status + error class)."""
+
+    status = 500
+    error_class = "internal"
+
+
+class BadRequestError(ServeRequestError):
+    """Malformed or invalid request parameters."""
+
+    status = 400
+    error_class = "bad_request"
+
+
+class NotFoundError(ServeRequestError):
+    """No route matches the request path."""
+
+    status = 404
+    error_class = "not_found"
+
+
+class MethodNotAllowedError(ServeRequestError):
+    """The path exists but not for this HTTP method."""
+
+    status = 405
+    error_class = "method_not_allowed"
+
+
+# --- parameter helpers --------------------------------------------------
+
+#: The APIs *defined* per dimension (the full x-axis of the paper's
+#: figures), as opposed to the APIs some measured package actually
+#: uses.  Dimensions without a defined registry serve measured-only.
+_DEFINED_UNIVERSES: Dict[str, Callable[[], Sequence[str]]] = {
+    "syscall": lambda: sorted(ALL_NAMES),
+    "ioctl": lambda: [d.name for d in ioctl.IOCTLS],
+    "fcntl": lambda: [d.name for d in fcntl_ops.FCNTLS],
+    "prctl": lambda: [d.name for d in prctl_ops.PRCTLS],
+    "libc": lambda: [s.name for s in libc_symbols.LIBC_SYMBOLS],
+}
+
+
+def _dimension(params: Mapping[str, str],
+               default: str = "syscall") -> str:
+    dimension = params.get("dimension", default)
+    if dimension not in ALL_DIMENSIONS:
+        raise BadRequestError(
+            f"unknown dimension {dimension!r}; expected one of "
+            f"{', '.join(ALL_DIMENSIONS)}")
+    return dimension
+
+
+def _universe_mode(params: Mapping[str, str], dimension: str) -> str:
+    mode = params.get("universe", "measured")
+    if mode not in ("measured", "defined"):
+        raise BadRequestError(
+            f"universe must be 'measured' or 'defined', not {mode!r}")
+    if mode == "defined" and dimension not in _DEFINED_UNIVERSES:
+        raise BadRequestError(
+            f"dimension {dimension!r} has no defined-API registry; "
+            f"use universe=measured")
+    return mode
+
+
+def _universe_names(mode: str, dimension: str) -> Sequence[str]:
+    if mode == "defined":
+        return _DEFINED_UNIVERSES[dimension]()
+    return ()
+
+
+def _int_param(params: Mapping[str, Any], name: str, default: int,
+               minimum: int = 0) -> int:
+    raw = params.get(name, default)
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"{name} must be an integer, not {raw!r}") from None
+    if value < minimum:
+        raise BadRequestError(f"{name} must be >= {minimum}")
+    return value
+
+
+def _bool_param(params: Mapping[str, Any], name: str,
+                default: bool) -> bool:
+    raw = params.get(name, default)
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, str):
+        lowered = raw.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+    raise BadRequestError(f"{name} must be a boolean, not {raw!r}")
+
+
+def _api_list(body: Optional[Mapping[str, Any]], field: str,
+              required: bool = True) -> List[str]:
+    """A sorted, deduplicated API name list from the JSON body.
+
+    Order insensitivity is semantic: every consumer builds a bitmask
+    from the list, so ``["read", "write"]`` and ``["write", "read"]``
+    are the same query — and must hit the same cache entry.
+    """
+    if body is None:
+        raise BadRequestError("this endpoint requires a JSON body")
+    names = body.get(field)
+    if names is None:
+        if required:
+            raise BadRequestError(f"body field {field!r} is required")
+        return []
+    if (not isinstance(names, list)
+            or any(not isinstance(n, str) for n in names)):
+        raise BadRequestError(
+            f"body field {field!r} must be a list of strings")
+    return sorted(set(names))
+
+
+# --- importance ---------------------------------------------------------
+
+def normalize_importance(params: Mapping[str, str],
+                         body: Optional[Mapping[str, Any]],
+                         ) -> Dict[str, Any]:
+    dimension = _dimension(params)
+    return {"dimension": dimension,
+            "universe": _universe_mode(params, dimension),
+            "limit": _int_param(params, "limit", 0)}
+
+
+def importance_payload(dataset: Dataset,
+                       params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Weighted API importance (Appendix A.1) — the fig2/fig4-7 query."""
+    dimension = params["dimension"]
+    table = importance_table(
+        dataset, dimension=dimension,
+        universe=_universe_names(params["universe"], dimension))
+    pairs = ranked(table)
+    limit = params["limit"]
+    if limit:
+        pairs = pairs[:limit]
+    return {
+        "dimension": dimension,
+        "universe": params["universe"],
+        "apis": len(table),
+        "nonzero": sum(1 for value in table.values() if value > 0.0),
+        "ranked": [[api, value] for api, value in pairs],
+        "table": table,
+    }
+
+
+# --- unweighted importance ----------------------------------------------
+
+def normalize_unweighted(params: Mapping[str, str],
+                         body: Optional[Mapping[str, Any]],
+                         ) -> Dict[str, Any]:
+    return normalize_importance(params, body)
+
+
+def unweighted_payload(dataset: Dataset,
+                       params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Unweighted importance (§5) — fraction of packages per API."""
+    dimension = params["dimension"]
+    table = unweighted_importance_table(
+        dataset, dimension,
+        universe=_universe_names(params["universe"], dimension))
+    pairs = ranked(table)
+    limit = params["limit"]
+    if limit:
+        pairs = pairs[:limit]
+    return {
+        "dimension": dimension,
+        "universe": params["universe"],
+        "apis": len(table),
+        "nonzero": sum(1 for value in table.values() if value > 0.0),
+        "ranked": [[api, value] for api, value in pairs],
+        "table": table,
+    }
+
+
+# --- weighted completeness ----------------------------------------------
+
+def normalize_completeness(params: Mapping[str, str],
+                           body: Optional[Mapping[str, Any]],
+                           ) -> Dict[str, Any]:
+    merged: Dict[str, Any] = dict(body or {})
+    merged.update(params)
+    return {"dimension": _dimension(merged),
+            "supported": _api_list(body, "supported"),
+            "ignore_empty": _bool_param(merged, "ignore_empty", True),
+            "suggestions": _int_param(merged, "suggestions", 10)}
+
+
+def completeness_payload(dataset: Dataset,
+                         params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Weighted completeness (Appendix A.2) plus next-API suggestions
+    — the ``repro-analyze evaluate`` query."""
+    dimension = params["dimension"]
+    supported = params["supported"]
+    ignore_empty = params["ignore_empty"]
+    value = weighted_completeness(supported, dataset,
+                                  dimension=dimension,
+                                  ignore_empty=ignore_empty)
+    suggested = missing_apis_report(supported, dataset,
+                                    dimension=dimension,
+                                    limit=params["suggestions"],
+                                    ignore_empty=ignore_empty)
+    return {
+        "dimension": dimension,
+        "supported_count": len(supported),
+        "ignore_empty": ignore_empty,
+        "weighted_completeness": value,
+        "suggested": [[api, weight] for api, weight in suggested],
+    }
+
+
+# --- completeness curve -------------------------------------------------
+
+def normalize_curve(params: Mapping[str, str],
+                    body: Optional[Mapping[str, Any]],
+                    ) -> Dict[str, Any]:
+    return {"dimension": _dimension(params),
+            "limit": _int_param(params, "limit", 0)}
+
+
+def curve_payload(dataset: Dataset,
+                  params: Mapping[str, Any]) -> Dict[str, Any]:
+    """The Figure 3 implementation path, point by point."""
+    dimension = params["dimension"]
+    curve = completeness_curve(dataset, dimension=dimension)
+    limit = params["limit"]
+    points = curve[:limit] if limit else curve
+    return {
+        "dimension": dimension,
+        "total_points": len(curve),
+        "points": [[p.n_apis, p.api, p.completeness]
+                   for p in points],
+    }
+
+
+# --- advisor plan -------------------------------------------------------
+
+def normalize_plan(params: Mapping[str, str],
+                   body: Optional[Mapping[str, Any]],
+                   ) -> Dict[str, Any]:
+    merged: Dict[str, Any] = dict(body or {})
+    merged.update(params)
+    return {"dimension": _dimension(merged),
+            "modified": _api_list(body, "modified"),
+            "limit": _int_param(merged, "limit", 10, minimum=1)}
+
+
+def plan_payload(dataset: Dataset,
+                 params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Advisor coverage plan (§6): the smallest workload set covering a
+    modified-API set, plus ranked per-package suggestions."""
+    dimension = params["dimension"]
+    modified = params["modified"]
+    plan = coverage_plan(modified, dataset, dimension=dimension)
+    suggestions = workload_suggestions(modified, dataset,
+                                       dimension=dimension,
+                                       limit=params["limit"])
+    def encode(entries):
+        return [{"package": s.package,
+                 "install_probability": s.install_probability,
+                 "apis_exercised": list(s.apis_exercised),
+                 "coverage": s.coverage} for s in entries]
+    covered = set()
+    for suggestion in plan:
+        covered.update(suggestion.apis_exercised)
+    return {
+        "dimension": dimension,
+        "modified_count": len(modified),
+        "covered_count": len(covered),
+        "plan": encode(plan),
+        "suggestions": encode(suggestions),
+    }
+
+
+# --- system evaluation --------------------------------------------------
+
+def normalize_evaluate(params: Mapping[str, str],
+                       body: Optional[Mapping[str, Any]],
+                       ) -> Dict[str, Any]:
+    merged: Dict[str, Any] = dict(body or {})
+    merged.update(params)
+    name = merged.get("name", "custom")
+    version = merged.get("version", "")
+    if not isinstance(name, str) or not isinstance(version, str):
+        raise BadRequestError("name and version must be strings")
+    return {"name": name, "version": version,
+            "supported": _api_list(body, "supported"),
+            "suggestions": _int_param(merged, "suggestions", 5)}
+
+
+def evaluate_payload(dataset: Dataset,
+                     params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One Table 6 row for an ad-hoc system model."""
+    model = SystemModel(name=params["name"],
+                        version=params["version"],
+                        supported=frozenset(params["supported"]))
+    evaluation = evaluate_system(model, dataset,
+                                 suggestions=params["suggestions"])
+    return {
+        "system": evaluation.system,
+        "syscall_count": evaluation.syscall_count,
+        "weighted_completeness": evaluation.weighted_completeness,
+        "suggested_apis": list(evaluation.suggested_apis),
+    }
+
+
+# --- dataset stats ------------------------------------------------------
+
+def normalize_stats(params: Mapping[str, str],
+                    body: Optional[Mapping[str, Any]],
+                    ) -> Dict[str, Any]:
+    return {}
+
+
+def stats_payload(dataset: Dataset,
+                  params: Mapping[str, Any]) -> Dict[str, Any]:
+    """The ``dataset stats`` CLI surface, as JSON."""
+    stats = dataset.stats()
+    return {
+        "n_packages": stats.n_packages,
+        "n_apis": dict(stats.n_apis),
+        "n_nonempty": dict(stats.n_nonempty),
+        "total_weight": stats.total_weight,
+        "has_popcon": stats.has_popcon,
+        "has_repository": stats.has_repository,
+        "n_dependency_edges": stats.n_dependency_edges,
+    }
+
+
+# --- registry -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One query route: method + path + normalize + payload."""
+
+    name: str
+    method: str
+    path: str
+    normalize: Callable[[Mapping[str, str],
+                         Optional[Mapping[str, Any]]], Dict[str, Any]]
+    payload: Callable[[Dataset, Mapping[str, Any]], Dict[str, Any]]
+    summary: str
+    cacheable: bool = True
+
+
+#: Every query endpoint the server routes, in display order.
+ENDPOINTS: Tuple[Endpoint, ...] = (
+    Endpoint("importance", "GET", "/v1/importance",
+             normalize_importance, importance_payload,
+             "weighted API importance per dimension (Appendix A.1)"),
+    Endpoint("unweighted", "GET", "/v1/unweighted",
+             normalize_unweighted, unweighted_payload,
+             "unweighted importance: fraction of packages per API"),
+    Endpoint("completeness", "POST", "/v1/completeness",
+             normalize_completeness, completeness_payload,
+             "weighted completeness of a supported-API set"),
+    Endpoint("curve", "GET", "/v1/completeness/curve",
+             normalize_curve, curve_payload,
+             "the Figure 3 incremental implementation path"),
+    Endpoint("plan", "POST", "/v1/advisor/plan",
+             normalize_plan, plan_payload,
+             "minimal workload set covering a modified-API set"),
+    Endpoint("evaluate", "POST", "/v1/system/evaluate",
+             normalize_evaluate, evaluate_payload,
+             "Table 6 evaluation of an ad-hoc system model"),
+    Endpoint("stats", "GET", "/v1/dataset/stats",
+             normalize_stats, stats_payload,
+             "interned dataset summary (dimensions, weights, edges)"),
+)
+
+ENDPOINTS_BY_NAME: Dict[str, Endpoint] = {
+    endpoint.name: endpoint for endpoint in ENDPOINTS}

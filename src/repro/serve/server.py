@@ -1,0 +1,175 @@
+"""HTTP transport for :class:`repro.serve.app.ServeApp`.
+
+A deliberately thin adapter over the standard library's
+``ThreadingHTTPServer``: the handler decodes the wire request into a
+:class:`repro.serve.app.Request`, calls ``app.handle`` (which never
+raises), and writes the :class:`repro.serve.app.Response` back with an
+explicit ``Content-Length`` so HTTP/1.1 keep-alive works.  All policy
+— routing, admission, caching, deadlines, error envelopes — lives in
+the app; nothing in this module inspects paths beyond passing them on.
+
+:class:`ServeServer` owns the listener lifecycle: ``start()`` spawns
+the accept loop on a daemon thread (tests drive this), while
+``serve_forever()`` runs it in the foreground for the CLI; on
+``KeyboardInterrupt`` the socket closes and in-flight handler threads
+are joined, then the interrupt propagates so the CLI can exit 130
+without a traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from .app import Request, Response, ServeApp
+
+#: Requests advertising a larger body than this are rejected before
+#: the body is read; every legitimate query body is a few KB of API
+#: names, so 8 MiB is generous without inviting memory abuse.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Wire codec: bytes in, ``app.handle``, bytes out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    sys_version = ""
+    # The stdlib default is an *unbuffered* write file: every
+    # send_header() call becomes its own TCP segment, and Nagle +
+    # delayed ACK turn a sub-millisecond cached response into ~40ms.
+    # Buffer the writes (handle_one_request flushes per request) and
+    # disable Nagle so the flush goes out immediately.
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
+
+    # Set per-server via the factory in ServeServer.
+    app: ServeApp
+    quiet: bool = True
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def _handle(self, method: str) -> None:
+        split = urlsplit(self.path)
+        query = dict(parse_qsl(split.query, keep_blank_values=True))
+        body = b""
+        length_header = self.headers.get("Content-Length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_BODY_BYTES:
+                self._write(Response.json(413, {
+                    "error": {"status": 413, "class": "bad_request",
+                              "type": "PayloadTooLarge",
+                              "message": "request body too large"}}))
+                self.close_connection = True
+                return
+            body = self.rfile.read(length)
+        request = Request(method=method, path=split.path, query=query,
+                          body=body,
+                          headers={key: value for key, value
+                                   in self.headers.items()})
+        response = self.app.handle(request)
+        self._write(response)
+
+    def _write(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-write; nothing to salvage.
+            self.close_connection = True
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+class ServeServer:
+    """Listener lifecycle around one :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True) -> None:
+        self.app = app
+        handler = type("BoundHandler", (_Handler,),
+                       {"app": app, "quiet": quiet})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = False  # join in-flight on stop
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServeServer":
+        """Run the accept loop on a background thread (for tests)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, then join the accept loop and close."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self,
+                      on_ready: Optional[Callable[["ServeServer"],
+                                                  None]] = None) -> None:
+        """Foreground accept loop; Ctrl-C closes cleanly, then raises.
+
+        ``on_ready`` (if given) is called just before the loop starts
+        — the CLI uses it to print the bound address.
+        """
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            # Runs on Ctrl-C too: the stdlib loop's own finally-block
+            # has already marked itself shut down, so closing here is
+            # safe and the KeyboardInterrupt propagates to the CLI,
+            # which maps it to exit code 130.
+            self._httpd.server_close()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

@@ -1,0 +1,151 @@
+"""RCU-style dataset snapshot holder with atomic hot reload.
+
+The server holds one warm :class:`repro.dataset.Dataset` and must be
+able to replace it — a re-analyzed corpus, a new release — without
+dropping a single in-flight request.  The classic read-copy-update
+discipline fits exactly:
+
+* **Readers** call :meth:`SnapshotHolder.current` once at request
+  start and use that :class:`DatasetSnapshot` for the whole request.
+  The read is a single attribute load (atomic under the GIL), so it
+  takes no lock and can never observe a half-swapped state; the
+  garbage collector keeps the old dataset alive until the last request
+  referencing it finishes.
+* **The writer** (one at a time, serialized by a lock) builds the
+  complete replacement off to the side — parse, decode, rebind — and
+  publishes it with one reference assignment.  A failed load changes
+  nothing: the old snapshot stays current and the error propagates to
+  the caller.
+
+``/readyz`` reflects the loading window: it flips to *not ready* while
+a reload is in progress so load balancers stop sending **new** traffic
+to an instance mid-swap, and flips back once the new snapshot is
+published (or the load failed and the old one remains authoritative).
+In-flight requests are never affected — readiness gates admission of
+future work, not completion of current work.
+
+Snapshots are loaded from the same JSON payloads the engine cache
+persists (``repro.dataset.codec``), so ``repro-analyze dataset
+export`` output and engine-cache ``datasets/<fp>.json`` entries are
+both valid reload sources.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..dataset.codec import (dataset_from_json, dataset_to_json,
+                             footprints_fingerprint)
+from ..dataset.core import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetSnapshot:
+    """One immutable published dataset generation."""
+
+    dataset: Dataset
+    fingerprint: str
+    generation: int
+    loaded_at: float = field(default_factory=time.time)
+
+    @property
+    def packages(self) -> int:
+        return len(self.dataset.packages)
+
+
+class SnapshotHolder:
+    """Single-writer, many-reader holder of the current snapshot."""
+
+    def __init__(self, dataset: Dataset,
+                 fingerprint: Optional[str] = None) -> None:
+        if fingerprint is None:
+            fingerprint = footprints_fingerprint(dataset)
+        self._current = DatasetSnapshot(dataset=dataset,
+                                        fingerprint=fingerprint,
+                                        generation=1)
+        self._ready = True
+        self._reload_lock = threading.Lock()
+        self.reloads = 0
+        self.failed_reloads = 0
+
+    # --- reader side ----------------------------------------------------
+
+    def current(self) -> DatasetSnapshot:
+        """The published snapshot: one atomic reference read."""
+        return self._current
+
+    def ready(self) -> bool:
+        """False only inside a reload window (new traffic should wait)."""
+        return self._ready
+
+    @property
+    def generation(self) -> int:
+        return self._current.generation
+
+    # --- writer side ----------------------------------------------------
+
+    def swap_dataset(self, dataset: Dataset,
+                     fingerprint: Optional[str] = None,
+                     ) -> DatasetSnapshot:
+        """Publish an already-built dataset as the new snapshot."""
+        if fingerprint is None:
+            fingerprint = footprints_fingerprint(dataset)
+        with self._reload_lock:
+            snapshot = DatasetSnapshot(
+                dataset=dataset, fingerprint=fingerprint,
+                generation=self._current.generation + 1)
+            self._current = snapshot
+            self.reloads += 1
+            return snapshot
+
+    def reload_from_file(self, path) -> DatasetSnapshot:
+        """Load a codec'd dataset snapshot and publish it atomically.
+
+        Popcon and repository are carried over from the current
+        snapshot (the payload persists only interned state — the
+        :meth:`repro.dataset.Dataset.rebound` convention).  In-flight
+        requests keep their snapshot; ``/readyz`` reports not-ready for
+        the duration of the load.  On any failure the old snapshot
+        remains current, readiness is restored, and the error
+        propagates.
+        """
+        with self._reload_lock:
+            old = self._current
+            self._ready = False
+            try:
+                text = pathlib.Path(path).read_text(encoding="utf-8")
+                dataset = dataset_from_json(text, old.dataset.popcon,
+                                            old.dataset.repository)
+                fingerprint = footprints_fingerprint(dataset)
+                snapshot = DatasetSnapshot(
+                    dataset=dataset, fingerprint=fingerprint,
+                    generation=old.generation + 1)
+                self._current = snapshot
+                self.reloads += 1
+                return snapshot
+            except Exception:
+                self.failed_reloads += 1
+                raise
+            finally:
+                self._ready = True
+
+    def export_to_file(self, path) -> int:
+        """Write the current snapshot in the reloadable codec format."""
+        text = dataset_to_json(self._current.dataset)
+        pathlib.Path(path).write_text(text, encoding="utf-8")
+        return len(text)
+
+    def stats(self) -> Dict[str, object]:
+        snapshot = self._current
+        return {
+            "generation": snapshot.generation,
+            "fingerprint": snapshot.fingerprint,
+            "packages": snapshot.packages,
+            "ready": self._ready,
+            "reloads": self.reloads,
+            "failed_reloads": self.failed_reloads,
+        }

@@ -1,0 +1,133 @@
+"""CLI exit-code taxonomy, via real subprocesses.
+
+0 = success, 1 = runtime/analysis failure, 2 = usage error,
+130 = interrupted — and never a traceback on stderr for the
+expected-failure paths.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+TINY = ["--fillers", "24", "--drivers", "6", "--scripts", "10",
+        "--seed", "7"]
+
+
+def run_cli(*argv, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, timeout=180,
+        **kwargs)
+
+
+class TestUsageErrors:
+    def test_unknown_flag_exits_2(self):
+        result = run_cli("--definitely-not-a-flag")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+    def test_missing_subcommand_exits_2(self):
+        result = run_cli()
+        assert result.returncode == 2
+
+    def test_unknown_experiment_exits_2(self):
+        result = run_cli(*TINY, "report", "nosuchfigure")
+        assert result.returncode == 2
+        assert "unknown experiments" in result.stderr
+
+    def test_help_exits_0(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "serve" in result.stdout
+
+
+class TestRuntimeFailures:
+    def test_unwritable_export_exits_1_without_traceback(self):
+        result = run_cli(*TINY, "dataset", "export", "--out",
+                         "/nonexistent-dir/snapshot.json")
+        assert result.returncode == 1
+        assert result.stderr.startswith("error")
+        assert "Traceback" not in result.stderr
+
+    def test_serve_on_taken_port_exits_1(self):
+        import socket
+        taken = socket.socket()
+        taken.bind(("127.0.0.1", 0))
+        taken.listen(1)
+        try:
+            port = taken.getsockname()[1]
+            result = run_cli(*TINY, "serve", "--port", str(port))
+            assert result.returncode == 1
+            assert "Traceback" not in result.stderr
+        finally:
+            taken.close()
+
+
+class TestInterrupt:
+    def test_sigint_on_serve_exits_130_cleanly(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *TINY,
+             "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            announce = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", announce)
+            assert match, announce
+            host, port = match.group(1), int(match.group(2))
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().status == 200
+            conn.close()
+            process.send_signal(signal.SIGINT)
+            returncode = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        stderr = process.stderr.read()
+        assert returncode == 130
+        assert "interrupted" in stderr
+        assert "Traceback" not in stderr
+
+
+class TestServeSmoke:
+    def test_serve_boots_and_answers_queries(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *TINY,
+             "serve", "--port", "0", "--cache-entries", "64"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            announce = process.stdout.readline()
+            match = re.search(r"serving (\d+) packages .* "
+                              r"http://([\d.]+):(\d+)", announce)
+            assert match, announce
+            announced = int(match.group(1))
+            host, port = match.group(2), int(match.group(3))
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/v1/dataset/stats")
+            payload = json.loads(conn.getresponse().read())
+            assert payload["data"]["n_packages"] == announced
+            conn.request("GET", "/readyz")
+            assert conn.getresponse().status == 200
+            conn.close()
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=60) == 130
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)

@@ -1,0 +1,109 @@
+"""Exporter hardening: label escaping, empty histograms, stability.
+
+The golden file ``tests/golden/metrics.golden.prom`` pins the
+historical output; the hardening here must be byte-invisible on every
+metric the exporter has ever emitted, so these tests check both the
+new behavior and the no-change property explicitly.
+"""
+
+import math
+
+from repro.obs import (MetricsRegistry, escape_label_value,
+                       format_sample, parse_metrics, render_metrics)
+
+
+class TestEscapeLabelValue:
+    def test_identity_on_plain_values(self):
+        for value in ("0.5", "0.99", "syscall", "a-b_c.d", ""):
+            assert escape_label_value(value) == value
+
+    def test_escapes_backslash_quote_and_newline(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_backslash_escaped_before_quote(self):
+        # The classic double-escape bug: \" must come out as \\\" (the
+        # backslash escaped first), not \\" (quote escape eaten).
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_combined_hostile_value_round_trips_shape(self):
+        hostile = 'path="/tmp/x"\nline\\two'
+        escaped = escape_label_value(hostile)
+        assert "\n" not in escaped
+        assert '\\"' in escaped and "\\\\" in escaped
+
+
+class TestFormatSample:
+    def test_bare_sample(self):
+        assert format_sample("repro_x", {}, 42.0) == "repro_x 42"
+
+    def test_labeled_sample_matches_historical_quantile_shape(self):
+        line = format_sample("repro_t_seconds", {"quantile": "0.5"},
+                             0.002)
+        assert line == 'repro_t_seconds{quantile="0.5"} 0.002'
+
+    def test_multiple_labels_preserve_given_order(self):
+        line = format_sample("repro_x", {"b": "2", "a": "1"}, 1.0)
+        assert line == 'repro_x{b="2",a="1"} 1'
+
+    def test_label_values_are_escaped(self):
+        line = format_sample("repro_x", {"path": 'a"b'}, 1.0)
+        assert line == 'repro_x{path="a\\"b"} 1'
+
+    def test_hostile_label_still_single_line_and_parseable(self):
+        line = format_sample("repro_x", {"err": 'boom "\n\\'}, 3.0)
+        assert "\n" not in line
+        samples = parse_metrics(
+            f"# repro-metrics-schema: 1\n{line}\n")
+        assert list(samples.values()) == [3.0]
+
+
+class TestZeroObservationHistograms:
+    def test_empty_histogram_renders_nan_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.request_seconds")  # never observed
+        text = render_metrics(registry)
+        assert ("# TYPE repro_serve_request_seconds summary"
+                in text)
+        assert ('repro_serve_request_seconds{quantile="0.5"} NaN'
+                in text)
+        assert "repro_serve_request_seconds_sum 0" in text
+        assert "repro_serve_request_seconds_count 0" in text
+
+    def test_empty_histogram_parses_back(self):
+        registry = MetricsRegistry()
+        registry.histogram("x.seconds")
+        samples = parse_metrics(render_metrics(registry))
+        assert math.isnan(
+            samples['repro_x_seconds{quantile="0.5"}'])
+        assert samples["repro_x_seconds_count"] == 0
+
+    def test_observed_histogram_unchanged_by_hardening(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("x.seconds")
+        for value in (0.001, 0.002, 0.004, 0.032):
+            histogram.observe(value)
+        text = render_metrics(registry)
+        assert 'repro_x_seconds{quantile="0.5"} 0.002' in text
+        assert "NaN" not in text
+
+
+class TestGoldenStability:
+    def test_historical_output_is_byte_identical(self):
+        # The same registry shape as the checked-in golden file; the
+        # hardening must not perturb a single byte of it.
+        registry = MetricsRegistry()
+        registry.counter("engine.binaries.analyzed").inc(3)
+        registry.counter("engine.binaries.quarantined").inc(1)
+        registry.counter("engine.binaries.submitted").inc(4)
+        registry.counter("engine.cache.hits").inc(2)
+        registry.gauge("engine.stage.analyze_seconds").set(1.5)
+        registry.gauge("engine.stage.scan_seconds").set(0.125)
+        histogram = registry.histogram("engine.analyze_task_seconds")
+        for value in (0.001, 0.002, 0.004, 0.032):
+            histogram.observe(value)
+        with open("tests/golden/metrics.golden.prom",
+                  encoding="utf-8") as handle:
+            golden = handle.read()
+        assert render_metrics(registry) == golden

@@ -1,0 +1,189 @@
+"""Concurrency: hot reload under load, torn reads, readyz windows.
+
+The RCU contract under test: a request pins one snapshot at admission
+and computes entirely against it, so even with swaps racing a
+multi-thread hammer, every response must be *internally* consistent —
+the data always matches the fingerprint stamped on the envelope, never
+a blend of generations.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.dataset import as_dataset
+from repro.serve import Request, ServeApp, SnapshotHolder
+import repro.serve.snapshot as snapshot_module
+
+
+@pytest.fixture(scope="module")
+def datasets(study):
+    """Two distinguishable datasets sharing popcon/repository."""
+    full = study.dataset
+    names = sorted(full)[: len(full) // 2]
+    half = as_dataset({name: full[name] for name in names},
+                      full.popcon, full.repository)
+    assert len(half.packages) != len(full.packages)
+    return full, half
+
+
+class TestSwapUnderLoad:
+    HAMMER_THREADS = 8
+    REQUESTS_PER_THREAD = 40
+    SWAPS = 60
+
+    def test_no_torn_reads_during_hot_swap(self, datasets):
+        full, half = datasets
+        holder = SnapshotHolder(full)
+        app = ServeApp(holder, concurrency=16,
+                       max_wait_seconds=5.0, deadline_seconds=None)
+
+        from repro.dataset.codec import footprints_fingerprint
+        expected_packages = {
+            footprints_fingerprint(full): len(full.packages),
+            footprints_fingerprint(half): len(half.packages),
+        }
+        supported_body = json.dumps(
+            {"supported": ["a", "b"]}).encode()
+        requests = [
+            Request("GET", "/v1/dataset/stats"),
+            Request("GET", "/v1/importance",
+                    query={"limit": "5"}),
+            Request("POST", "/v1/completeness",
+                    body=supported_body),
+            Request("GET", "/readyz"),
+            Request("GET", "/healthz"),
+        ]
+
+        failures = []
+        barrier = threading.Barrier(self.HAMMER_THREADS + 1)
+
+        def hammer(seed: int) -> None:
+            barrier.wait()
+            for i in range(self.REQUESTS_PER_THREAD):
+                request = requests[(seed + i) % len(requests)]
+                response = app.handle(request)
+                if response.status not in (200, 503):
+                    failures.append(
+                        (request.path, response.status,
+                         response.body[:120]))
+                    continue
+                if (request.path == "/v1/dataset/stats"
+                        and response.status == 200):
+                    payload = response.json_payload()
+                    want = expected_packages[payload["fingerprint"]]
+                    if payload["data"]["n_packages"] != want:
+                        failures.append(
+                            ("torn", payload["fingerprint"],
+                             payload["data"]["n_packages"]))
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(self.HAMMER_THREADS)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        for swap in range(self.SWAPS):
+            holder.swap_dataset(half if swap % 2 == 0 else full)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures[:5]
+        assert holder.generation == 1 + self.SWAPS
+
+    def test_cache_stats_stay_consistent_after_hammer(self, datasets):
+        full, half = datasets
+        holder = SnapshotHolder(full)
+        app = ServeApp(holder, concurrency=16,
+                       max_wait_seconds=5.0, deadline_seconds=None)
+        request = Request("GET", "/v1/importance",
+                          query={"limit": "3"})
+
+        def hammer() -> None:
+            for _ in range(50):
+                assert app.handle(request).status == 200
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        holder.swap_dataset(half)
+        holder.swap_dataset(full)
+        for thread in threads:
+            thread.join(timeout=60)
+        stats = app.qcache.stats()
+        assert stats["lookups"] == stats["hits"] + stats["misses"]
+        assert stats["lookups"] == 300
+        assert stats["entries"] <= stats["max_entries"]
+        # Identical query against an identical fingerprint misses at
+        # most once per thread per fingerprint epoch (concurrent
+        # first-misses race the put); everything else must hit.
+        assert stats["misses"] <= 2 * len(threads) + 2
+        assert stats["hits"] >= stats["lookups"] - stats["misses"]
+        assert app.admission.stats()["in_flight"] == 0
+
+    def test_pinned_snapshot_survives_swap(self, datasets):
+        full, half = datasets
+        holder = SnapshotHolder(full)
+        pinned = holder.current()
+        holder.swap_dataset(half)
+        # The in-flight request's view is untouched by the swap.
+        assert pinned.dataset is full
+        assert len(pinned.dataset.packages) == len(full.packages)
+        assert holder.current().dataset is half
+
+
+class TestReadyzWindow:
+    def test_readyz_flips_during_reload_and_recovers(
+            self, datasets, tmp_path, monkeypatch):
+        full, half = datasets
+        holder = SnapshotHolder(full)
+        app = ServeApp(holder)
+        path = tmp_path / "snapshot.json"
+        SnapshotHolder(half).export_to_file(path)
+
+        in_load = threading.Event()
+        release = threading.Event()
+        real_from_json = snapshot_module.dataset_from_json
+
+        def gated(text, popcon=None, repository=None):
+            in_load.set()
+            assert release.wait(timeout=30)
+            return real_from_json(text, popcon, repository)
+
+        monkeypatch.setattr(snapshot_module, "dataset_from_json",
+                            gated)
+        worker = threading.Thread(
+            target=holder.reload_from_file, args=(path,))
+        worker.start()
+        try:
+            assert in_load.wait(timeout=30)
+            # Mid-load: not ready, but current snapshot still serves.
+            assert holder.ready() is False
+            response = app.handle(Request("GET", "/readyz"))
+            assert response.status == 503
+            served = app.handle(Request("GET", "/v1/dataset/stats"))
+            assert served.status == 200
+            assert served.json_payload()["data"]["n_packages"] == \
+                len(full.packages)
+        finally:
+            release.set()
+            worker.join(timeout=30)
+        assert holder.ready() is True
+        response = app.handle(Request("GET", "/readyz"))
+        assert response.status == 200
+        assert response.json_payload()["generation"] == 2
+        assert len(holder.current().dataset.packages) == \
+            len(half.packages)
+
+    def test_failed_reload_restores_readiness_and_snapshot(
+            self, datasets, tmp_path):
+        full, _ = datasets
+        holder = SnapshotHolder(full)
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{definitely not a snapshot", encoding="utf-8")
+        with pytest.raises(Exception):
+            holder.reload_from_file(bad)
+        assert holder.ready() is True
+        assert holder.generation == 1
+        assert holder.current().dataset is full
+        assert holder.failed_reloads == 1

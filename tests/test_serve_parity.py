@@ -1,0 +1,134 @@
+"""Golden parity: served bytes == direct library computation.
+
+The serving layer's core promise is that putting HTTP in front of the
+dataset changes *nothing* about the answers.  For every endpoint this
+suite computes the payload twice — once through the full request
+pipeline (:meth:`repro.serve.ServeApp.handle`) and once by calling the
+endpoint's pure payload function directly — and compares the
+**canonical JSON bytes**.  A second layer spot-checks the payload
+functions against the raw :mod:`repro.metrics` / :mod:`repro.compat`
+entry points the CLI uses, so the chain CLI == payload == HTTP is
+pinned end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.compat import SystemModel, evaluate_system
+from repro.metrics import (completeness_curve, importance_table,
+                           ranked, weighted_completeness)
+from repro.serve import (ENDPOINTS_BY_NAME, Request, ServeApp,
+                         SnapshotHolder, canonical_json)
+
+# One representative request per endpoint: (name, method, query, body).
+PARITY_CASES = [
+    ("importance", "GET", {}, None),
+    ("importance", "GET",
+     {"dimension": "ioctl", "universe": "defined"}, None),
+    ("importance", "GET", {"dimension": "all", "limit": "7"}, None),
+    ("unweighted", "GET", {"dimension": "libc", "limit": "12"}, None),
+    ("completeness", "POST", {},
+     {"supported": ["zz_read", "zz_write"], "dimension": "syscall"}),
+    ("completeness", "POST", {},
+     {"supported": [], "ignore_empty": False, "suggestions": 3}),
+    ("curve", "GET", {"dimension": "syscall"}, None),
+    ("curve", "GET", {"dimension": "libc", "limit": "25"}, None),
+    ("plan", "POST", {}, {"modified": ["zz_ioctl"], "limit": 4}),
+    ("evaluate", "POST", {},
+     {"name": "tinyos", "version": "0.1",
+      "supported": ["zz_read"], "suggestions": 2}),
+    ("stats", "GET", {}, None),
+]
+
+
+@pytest.fixture(scope="module")
+def app(study):
+    return ServeApp(SnapshotHolder(study.dataset))
+
+
+def served_data(app, name, method, query, body):
+    endpoint = ENDPOINTS_BY_NAME[name]
+    raw = (json.dumps(body).encode() if body is not None else b"")
+    response = app.handle(Request(method, endpoint.path,
+                                  query=query, body=raw))
+    assert response.status == 200, response.body
+    return response.json_payload()["data"]
+
+
+@pytest.mark.parametrize("name,method,query,body", PARITY_CASES,
+                         ids=lambda v: repr(v)[:40])
+def test_served_bytes_equal_direct_payload_bytes(
+        app, study, name, method, query, body):
+    endpoint = ENDPOINTS_BY_NAME[name]
+    params = endpoint.normalize(query, body)
+    direct = endpoint.payload(app.holder.current().dataset, params)
+    served = served_data(app, name, method, query, body)
+    assert canonical_json(served) == canonical_json(direct)
+
+
+@pytest.mark.parametrize("name,method,query,body", PARITY_CASES,
+                         ids=lambda v: repr(v)[:40])
+def test_parity_survives_the_cache(app, study, name, method, query,
+                                   body):
+    # Second hit comes from the result cache; bytes must not change.
+    first = served_data(app, name, method, query, body)
+    second = served_data(app, name, method, query, body)
+    assert canonical_json(first) == canonical_json(second)
+
+
+class TestLibraryAnchors:
+    """Payload functions against the raw CLI-path entry points."""
+
+    def test_importance_table_matches_library(self, app, study):
+        served = served_data(app, "importance", "GET", {}, None)
+        table = importance_table(study.dataset)
+        assert served["table"] == table
+        assert served["ranked"][:5] == \
+            [[api, value] for api, value in ranked(table)[:5]]
+
+    def test_completeness_matches_evaluate_cli_math(self, app, study):
+        supported = sorted({"zz_read", "zz_write"})
+        served = served_data(app, "completeness", "POST", {},
+                             {"supported": supported})
+        expected = weighted_completeness(
+            supported, study.footprints, study.popcon,
+            study.repository)
+        assert served["weighted_completeness"] == expected
+
+    def test_curve_matches_library_pointwise(self, app, study):
+        served = served_data(app, "curve", "GET", {}, None)
+        curve = completeness_curve(study.dataset)
+        assert served["total_points"] == len(curve)
+        assert served["points"] == [
+            [p.n_apis, p.api, p.completeness] for p in curve]
+
+    def test_evaluate_matches_compat_layer(self, app, study):
+        served = served_data(
+            app, "evaluate", "POST", {},
+            {"name": "tinyos", "version": "0.1",
+             "supported": ["zz_read"], "suggestions": 2})
+        model = SystemModel(name="tinyos", version="0.1",
+                            supported=frozenset(["zz_read"]))
+        evaluation = evaluate_system(model, study.dataset,
+                                     suggestions=2)
+        assert served["system"] == evaluation.system
+        assert served["weighted_completeness"] == \
+            evaluation.weighted_completeness
+        assert served["suggested_apis"] == \
+            list(evaluation.suggested_apis)
+
+    def test_stats_matches_dataset_stats(self, app, study):
+        served = served_data(app, "stats", "GET", {}, None)
+        stats = study.dataset.stats()
+        assert served["n_packages"] == stats.n_packages
+        assert served["total_weight"] == stats.total_weight
+
+
+def test_float_values_round_trip_exactly(app, study):
+    # Canonical JSON uses repr-based float encoding; decoding the
+    # served body must reproduce the library floats bit for bit.
+    served = served_data(app, "importance", "GET", {}, None)
+    table = importance_table(study.dataset)
+    for api, value in table.items():
+        assert served["table"][api] == value

@@ -1,0 +1,127 @@
+"""Unit tests for the serve result cache (LRU bound, TTL, keys)."""
+
+import pytest
+
+from repro.serve.qcache import QueryCache, canonical_query_key
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCanonicalKey:
+    def test_key_is_order_insensitive_over_params(self):
+        a = canonical_query_key("fp", "importance",
+                                {"dimension": "syscall", "limit": 5})
+        b = canonical_query_key("fp", "importance",
+                                {"limit": 5, "dimension": "syscall"})
+        assert a == b
+
+    def test_key_separates_fingerprint_endpoint_and_params(self):
+        base = canonical_query_key("fp", "importance", {"limit": 5})
+        assert canonical_query_key("fp2", "importance",
+                                   {"limit": 5}) != base
+        assert canonical_query_key("fp", "unweighted",
+                                   {"limit": 5}) != base
+        assert canonical_query_key("fp", "importance",
+                                   {"limit": 6}) != base
+
+    def test_key_embeds_all_three_components_verbatim(self):
+        key = canonical_query_key("abc123", "curve",
+                                  {"dimension": "ioctl"})
+        assert key.startswith("abc123|curve|")
+        assert '"dimension":"ioctl"' in key
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        cache = QueryCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = QueryCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": now "b" is LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = QueryCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats()["evictions"] == 0
+
+    def test_capacity_one(self):
+        cache = QueryCache(max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_clear_returns_dropped_count(self):
+        cache = QueryCache(max_entries=8)
+        for i in range(5):
+            cache.put(str(i), i)
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = QueryCache(max_entries=8, ttl_seconds=10.0,
+                           clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.999)
+        assert cache.get("k") == "v"
+        clock.advance(0.001)  # exactly at TTL: expired
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["entries"] == 0
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = QueryCache(max_entries=8, ttl_seconds=10.0,
+                           clock=clock)
+        cache.put("k", "v1")
+        clock.advance(8.0)
+        cache.put("k", "v2")
+        clock.advance(8.0)  # 16s after first put, 8s after second
+        assert cache.get("k") == "v2"
+
+    def test_no_ttl_means_entries_never_expire(self):
+        clock = FakeClock()
+        cache = QueryCache(max_entries=8, clock=clock)
+        cache.put("k", "v")
+        clock.advance(1e9)
+        assert cache.get("k") == "v"
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            QueryCache(ttl_seconds=0)
