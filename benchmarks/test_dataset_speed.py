@@ -1,7 +1,10 @@
-"""Dataset substrate speed: legacy set-based vs interned bitset path.
+"""Dataset substrate speed: legacy vs bitset, and JSON vs ``.rsnap``.
 
-Times the full completeness curve (Figure 3's computation — the most
-dependency-heavy metric) three ways on the medium benchmark corpus:
+Two regimes are measured into ``benchmarks/output/BENCH_dataset.json``:
+
+**Curve wall time** (``test_dataset_speed``) — the full completeness
+curve (Figure 3's computation, the most dependency-heavy metric) three
+ways on the medium benchmark corpus:
 
 * **legacy** — the pre-refactor implementation preserved verbatim in
   :mod:`repro.dataset.reference`: string-keyed sets, importance and
@@ -9,23 +12,32 @@ dependency-heavy metric) three ways on the medium benchmark corpus:
 * **cold** — interning the corpus into a fresh
   :class:`repro.dataset.Dataset` plus the first curve over it;
 * **warm** — the curve over an already-built dataset, the regime every
-  Study experiment after the first actually runs in (tables, universe
-  ids, and the condensed dependency DAG come from the dataset's
-  caches).
+  Study experiment after the first actually runs in.
 
-Writes ``benchmarks/output/BENCH_dataset.json`` with the timings and
-asserts the warm bitset path beats legacy by at least 3x while
-producing a bit-for-bit identical curve.
+Asserts the warm bitset path beats legacy by at least 3x with a
+bit-for-bit identical curve.
+
+**Snapshot cold open** (``test_snapshot_cold_speed``) — time from
+bytes-on-disk to the first importance answer, JSON codec vs the
+mmap-lazy ``.rsnap`` store (:mod:`repro.store`), at three corpus
+sizes: the benchmark study, a tenth-scale paper corpus, and the full
+30,976-package paper population.  Gates ``speedup_cold > 1`` at
+**every** size — the binary snapshot must never lose to JSON — and
+requires identical importance tables on each path.
 """
 
 import json
 import time
 
-from repro.dataset import Dataset, reference
+from repro.dataset import Dataset, dataset_from_json, \
+    dataset_to_json, reference
 from repro.metrics import completeness_curve
 from repro.reports.text import render_key_points
+from repro.store import load_snapshot, write_snapshot
+from repro.synth import PaperScaleConfig, build_paper_corpus
 
 _REQUIRED_SPEEDUP = 3.0
+_REQUIRED_COLD_SPEEDUP = 1.0
 
 
 def _timed(fn):
@@ -89,3 +101,77 @@ def test_dataset_speed(study, output_dir, save):
         f"warm bitset curve only {speedup_warm:.2f}x faster than "
         f"legacy (need >= {_REQUIRED_SPEEDUP}x); "
         f"legacy={legacy_seconds:.4f}s warm={warm_seconds:.4f}s")
+
+
+def _cold_json(path, popcon, repository):
+    dataset = dataset_from_json(path.read_text(encoding="utf-8"),
+                                popcon, repository)
+    return dataset, dataset.importance_table("syscall")
+
+
+def _cold_rsnap(path, popcon, repository):
+    dataset = load_snapshot(path, popcon, repository)
+    return dataset, dataset.importance_table("syscall")
+
+
+def test_snapshot_cold_speed(study, output_dir, save, tmp_path):
+    tiers = [
+        ("study", study.dataset, study.popcon, study.repository),
+    ]
+    for label, scale in (("paper-tenth", 0.1), ("paper", 1.0)):
+        corpus = build_paper_corpus(PaperScaleConfig.at_scale(scale))
+        tiers.append((label, corpus.dataset, corpus.popcon,
+                      corpus.repository))
+
+    results = []
+    lines = []
+    for label, dataset, popcon, repository in tiers:
+        json_path = tmp_path / f"{label}.json"
+        rsnap_path = tmp_path / f"{label}.rsnap"
+        json_path.write_text(dataset_to_json(dataset),
+                             encoding="utf-8")
+        write_snapshot(rsnap_path, dataset)
+
+        json_seconds, (_, json_table) = _timed(
+            lambda: _cold_json(json_path, popcon, repository))
+        rsnap_seconds, (_, rsnap_table) = _timed(
+            lambda: _cold_rsnap(rsnap_path, popcon, repository))
+        assert rsnap_table == json_table, (
+            f"{label}: snapshot importance diverged from JSON")
+
+        speedup_cold = json_seconds / rsnap_seconds
+        results.append({
+            "tier": label,
+            "packages": len(dataset.packages),
+            "json_bytes": json_path.stat().st_size,
+            "rsnap_bytes": rsnap_path.stat().st_size,
+            "json_cold_seconds": json_seconds,
+            "rsnap_cold_seconds": rsnap_seconds,
+            "speedup_cold": speedup_cold,
+        })
+        lines.append((f"{label} ({len(dataset.packages)} pkgs)",
+                      f"json {json_seconds * 1000:.1f} ms, "
+                      f"rsnap {rsnap_seconds * 1000:.1f} ms "
+                      f"({speedup_cold:.1f}x)"))
+
+    bench_path = output_dir / "BENCH_dataset.json"
+    payload = (json.loads(bench_path.read_text(encoding="utf-8"))
+               if bench_path.exists() else {})
+    payload["snapshot_cold"] = {
+        "required_speedup_cold": _REQUIRED_COLD_SPEEDUP,
+        "tiers": results,
+    }
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+    save("snapshot_cold_speed", render_key_points(
+        lines, title="snapshot store — cold open to first importance "
+                     "answer"))
+
+    for entry in results:
+        assert entry["speedup_cold"] > _REQUIRED_COLD_SPEEDUP, (
+            f"{entry['tier']}: .rsnap cold open only "
+            f"{entry['speedup_cold']:.2f}x vs JSON "
+            f"(need > {_REQUIRED_COLD_SPEEDUP}x); "
+            f"json={entry['json_cold_seconds']:.3f}s "
+            f"rsnap={entry['rsnap_cold_seconds']:.3f}s")

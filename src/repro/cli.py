@@ -157,14 +157,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "cached records")
 
     dataset = sub.add_parser(
-        "dataset", help="inspect or export the interned footprint "
-                        "dataset behind every metric")
-    dataset.add_argument("action", choices=("stats", "export"),
+        "dataset", help="inspect, export, or convert the interned "
+                        "footprint dataset behind every metric")
+    dataset.add_argument("action",
+                         choices=("stats", "export", "convert"),
                          help="stats: per-dimension universe sizes; "
-                              "export: write the snapshot as JSON")
+                              "export: write the study's snapshot; "
+                              "convert: transcode an existing "
+                              "snapshot between JSON and .rsnap "
+                              "(no analysis run)")
     dataset.add_argument("--out", metavar="PATH", default=None,
-                         help="export destination "
-                              "(default: dataset.json)")
+                         help="destination (default: dataset.json / "
+                              "dataset.rsnap by --format)")
+    dataset.add_argument("--in", dest="input", metavar="PATH",
+                         default=None,
+                         help="convert source: a JSON or .rsnap "
+                              "snapshot (format is sniffed)")
+    dataset.add_argument("--format", choices=("json", "binary"),
+                         default=None,
+                         help="output format (default: inferred from "
+                              "--out suffix; export falls back to "
+                              "json, convert to the opposite of the "
+                              "input format)")
 
     serve = sub.add_parser(
         "serve", help="keep the analyzed dataset warm behind an HTTP "
@@ -226,6 +240,61 @@ def _export_observability(study: Study,
         write_metrics(args.metrics_out, stats.registry)
         print(f"metrics written to {args.metrics_out}",
               file=sys.stderr)
+
+
+_DEFAULT_OUT = {"json": "dataset.json", "binary": "dataset.rsnap"}
+
+
+def _format_for(path: Optional[str],
+                fallback: Optional[str] = None) -> Optional[str]:
+    """Infer a snapshot format from a destination suffix."""
+    if path is None:
+        return fallback
+    return "binary" if path.endswith(".rsnap") else (
+        "json" if path.endswith(".json") else fallback)
+
+
+def _convert_dataset(args: argparse.Namespace) -> int:
+    """``dataset convert``: transcode JSON <-> ``.rsnap`` in place.
+
+    No ecosystem build or analysis runs; the snapshot is the sole
+    input.  The source format is sniffed from its first bytes, and
+    either direction round-trips bit-identically (the formats persist
+    the same interned state).
+    """
+    import pathlib
+
+    from .dataset.codec import (dataset_from_json, dataset_to_json,
+                                footprints_fingerprint)
+    from .store import load_snapshot, sniff_format, write_snapshot
+    if not args.input:
+        print("dataset convert requires --in", file=sys.stderr)
+        return EXIT_USAGE
+    source = pathlib.Path(args.input)
+    with source.open("rb") as handle:
+        head = handle.read(8)
+    in_format = ("binary" if sniff_format(head) == "rsnap"
+                 else "json")
+    out_format = args.format or _format_for(
+        args.out, "json" if in_format == "binary" else "binary")
+    if in_format == "binary":
+        dataset = load_snapshot(source)
+        fingerprint = dataset.source_fingerprint
+    else:
+        dataset = dataset_from_json(
+            source.read_text(encoding="utf-8"))
+        fingerprint = footprints_fingerprint(dataset)
+    out = args.out or _DEFAULT_OUT[out_format]
+    if out_format == "binary":
+        written = write_snapshot(out, dataset, fingerprint)
+    else:
+        text = dataset_to_json(dataset)
+        pathlib.Path(out).write_text(text, encoding="utf-8")
+        written = len(text)
+    print(f"converted {source} ({in_format}) -> {out} "
+          f"({out_format}, {written} bytes, "
+          f"fingerprint {fingerprint[:12]})")
+    return EXIT_OK
 
 
 def _read_syscall_list(spec: str) -> List[str]:
@@ -317,6 +386,10 @@ def _run(argv: Optional[List[str]] = None) -> int:
             print(f"removed {cache.clear()} cached records")
         return 0
 
+    if args.command == "dataset" and args.action == "convert":
+        # Pure snapshot transcoding: no ecosystem build, no analysis.
+        return _convert_dataset(args)
+
     study = _study_for(args)
     # The analysis ran inside the Study constructor, so the trace and
     # metrics are complete here whatever the subcommand does next.
@@ -350,10 +423,11 @@ def _run(argv: Optional[List[str]] = None) -> int:
         if args.action == "stats":
             print(study.dataset_report().rendered)
         else:
-            path = args.out or "dataset.json"
-            written = study.export_dataset(path)
+            out_format = args.format or _format_for(args.out, "json")
+            path = args.out or _DEFAULT_OUT[out_format]
+            written = study.export_dataset(path, format=out_format)
             print(f"dataset snapshot written to {path} "
-                  f"({written} bytes)")
+                  f"({out_format}, {written} bytes)")
         return 0
 
     if args.command == "seccomp":

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..analysis.footprint import Footprint
 from ..packages.popcon import PopularityContest
@@ -120,15 +120,25 @@ def footprints_fingerprint(
     """
     digest = hashlib.sha256()
     digest.update(DATASET_CODEC_VERSION.encode())
+    # Dimension blobs are memoized per frozenset object: synthetic and
+    # paper-scale corpora share footprint sets across thousands of
+    # packages, and hashing 30k packages one API name at a time is the
+    # dominant cost of snapshot writes.  The cache holds the set
+    # itself, pinning its id() for the duration of the call.
+    blob_cache: Dict[int, Tuple[frozenset, bytes]] = {}
     for name in sorted(footprints):
         footprint = footprints[name]
-        digest.update(b"\x00")
-        digest.update(name.encode())
+        parts = [b"\x00", name.encode()]
         for dim in DIMENSION_ORDER:
-            digest.update(b"\x01")
-            for api in sorted(getattr(footprint,
-                                      FOOTPRINT_FIELDS[dim])):
-                digest.update(api.encode())
-                digest.update(b"\x02")
-        digest.update(str(footprint.unresolved_sites).encode())
+            apis = getattr(footprint, FOOTPRINT_FIELDS[dim])
+            cached = blob_cache.get(id(apis))
+            if cached is None:
+                blob = b"\x01" + b"".join(
+                    api.encode() + b"\x02" for api in sorted(apis))
+                blob_cache[id(apis)] = (apis, blob)
+            else:
+                blob = cached[1]
+            parts.append(blob)
+        parts.append(str(footprint.unresolved_sites).encode())
+        digest.update(b"".join(parts))
     return digest.hexdigest()

@@ -26,13 +26,17 @@ A third entry kind lives beside the per-binary records: interned
 :class:`repro.dataset.Dataset` snapshots, addressed by the footprint
 mapping's content fingerprint under ::
 
-    <cache_dir>/v<ANALYSIS_VERSION>/datasets/<fp[:2]>/<fp>.json
+    <cache_dir>/v<ANALYSIS_VERSION>/datasets/<fp[:2]>/<fp>.rsnap
 
-A warm study run that replays the same corpus loads the interner and
-bitsets straight from disk instead of re-interning every footprint.
-The dataset codec has its own version
-(:data:`repro.dataset.codec.DATASET_CODEC_VERSION`) checked on read;
-a mismatched or torn snapshot reads as a miss and is dropped.
+A warm study run that replays the same corpus mmaps the snapshot and
+materializes masks lazily (:mod:`repro.store`) instead of re-interning
+every footprint.  Snapshots written by older releases in the JSON
+codec format (``<fp>.json``) still load — the binary path is probed
+first, then the legacy path.  Either way a version-mismatched or torn
+snapshot reads as a miss and is dropped
+(:class:`repro.store.StoreError` subclasses
+:class:`repro.dataset.codec.DatasetCodecError`, so one handler covers
+both formats).
 """
 
 from __future__ import annotations
@@ -44,12 +48,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
-from ..dataset.codec import DatasetCodecError, dataset_from_json, \
-    dataset_to_json
+from ..dataset.codec import DatasetCodecError, dataset_from_json
 from ..dataset.core import Dataset
 from ..obs import MetricsRegistry
 from ..packages.popcon import PopularityContest
 from ..packages.repository import Repository
+from ..store import load_snapshot, write_snapshot
 
 from .codec import ANALYSIS_VERSION, CodecError, entry_from_json, \
     entry_to_json
@@ -166,6 +170,12 @@ class AnalysisCache:
         return self.version_dir / sha256[:2] / f"{sha256}.json"
 
     def _dataset_path(self, fingerprint: str) -> pathlib.Path:
+        """The primary (binary ``.rsnap``) snapshot address."""
+        return (self.version_dir / "datasets" / fingerprint[:2]
+                / f"{fingerprint}.rsnap")
+
+    def _json_dataset_path(self, fingerprint: str) -> pathlib.Path:
+        """Legacy JSON snapshot address (read fallback only)."""
         return (self.version_dir / "datasets" / fingerprint[:2]
                 / f"{fingerprint}.json")
 
@@ -270,6 +280,34 @@ class AnalysisCache:
                      repository: Optional[Repository],
                      ) -> Optional[Dataset]:
         path = self._dataset_path(fingerprint)
+        if path.exists():
+            try:
+                dataset = load_snapshot(path, popcon, repository)
+            except DatasetCodecError:
+                # StoreError subclasses DatasetCodecError: any failed
+                # integrity check — torn write, bit rot, stale format
+                # version — reads as a miss and drops the entry.
+                self.stats.invalid += 1
+                self.stats.dataset_misses += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            except OSError:
+                self.stats.dataset_misses += 1
+                return None
+            self.stats.dataset_hits += 1
+            return dataset
+        return self._get_legacy_dataset(fingerprint, popcon,
+                                        repository)
+
+    def _get_legacy_dataset(self, fingerprint: str,
+                            popcon: Optional[PopularityContest],
+                            repository: Optional[Repository],
+                            ) -> Optional[Dataset]:
+        """Fallback read of a pre-``.rsnap`` JSON snapshot."""
+        path = self._json_dataset_path(fingerprint)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
@@ -291,8 +329,10 @@ class AnalysisCache:
     def put_dataset(self, fingerprint: str, dataset: Dataset) -> None:
         start = time.perf_counter()
         try:
-            self._atomic_write(self._dataset_path(fingerprint),
-                               dataset_to_json(dataset))
+            # write_snapshot publishes atomically (mkstemp + replace),
+            # same torn-write guarantee as _atomic_write.
+            write_snapshot(self._dataset_path(fingerprint), dataset,
+                           fingerprint)
         finally:
             self._observe("engine.cache.put_dataset_seconds",
                           time.perf_counter() - start)
@@ -306,6 +346,8 @@ class AnalysisCache:
         for path in sorted(self.root.glob("v*/??/*.json")):
             yield path
         for path in sorted(self.root.glob("v*/datasets/??/*.json")):
+            yield path
+        for path in sorted(self.root.glob("v*/datasets/??/*.rsnap")):
             yield path
 
     def entry_count(self) -> int:

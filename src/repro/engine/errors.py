@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Tuple
 
 from ..elf.structs import ElfFormatError
+from ..store.errors import StoreError
 from ..x86.instructions import InsnKind
 
 if TYPE_CHECKING:
@@ -164,6 +165,10 @@ def classify_exception(error: BaseException, stage: str = "analyze",
         stage = error.stage
     elif isinstance(error, ElfFormatError):
         error_class, stage = "format", "parse"
+    elif isinstance(error, StoreError):
+        # A snapshot that fails its integrity ladder is malformed
+        # input, exactly like a malformed ELF image.
+        error_class, stage = "format", error.stage
     elif isinstance(error, (_struct.error, UnicodeDecodeError)):
         error_class = "decode"
     elif isinstance(error, TimeoutError):

@@ -219,6 +219,7 @@ class ServeApp:
             "status": "ok", "ready": True,
             "generation": snapshot.generation,
             "fingerprint": snapshot.fingerprint,
+            "format": snapshot.source_format,
             "packages": snapshot.packages,
         })
 
@@ -268,9 +269,16 @@ class ServeApp:
             if body is None or not isinstance(body.get("path"), str):
                 raise BadRequestError(
                     'reload needs a JSON body {"path": "<snapshot>"}')
+            before = self.holder.current()
             with self.tracer.span("serve.reload",
                                   path=body["path"]):
                 snapshot = self.holder.reload_from_file(body["path"])
+            if snapshot.fingerprint == before.fingerprint:
+                # Same corpus reloaded from a different source: the
+                # fingerprint-keyed cache can't tell the generations
+                # apart, but provenance payloads (/dataset/stats)
+                # changed — drop the stale entries explicitly.
+                self.qcache.clear()
             self.registry.counter("serve.reloads").inc()
             return Response.json(200, {
                 "schema": SERVE_SCHEMA,

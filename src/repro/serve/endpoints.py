@@ -364,6 +364,10 @@ def stats_payload(dataset: Dataset,
                   params: Mapping[str, Any]) -> Dict[str, Any]:
     """The ``dataset stats`` CLI surface, as JSON."""
     stats = dataset.stats()
+    # Provenance stamped by the snapshot holder; a bare Dataset (built
+    # in-process, never published) reports the in-memory default.
+    meta = getattr(dataset, "snapshot_meta",
+                   {"format": "memory", "fingerprint": None})
     return {
         "n_packages": stats.n_packages,
         "n_apis": dict(stats.n_apis),
@@ -372,6 +376,8 @@ def stats_payload(dataset: Dataset,
         "has_popcon": stats.has_popcon,
         "has_repository": stats.has_repository,
         "n_dependency_edges": stats.n_dependency_edges,
+        "snapshot": {"format": meta["format"],
+                     "fingerprint": meta["fingerprint"]},
     }
 
 

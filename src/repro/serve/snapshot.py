@@ -24,10 +24,13 @@ published (or the load failed and the old one remains authoritative).
 In-flight requests are never affected — readiness gates admission of
 future work, not completion of current work.
 
-Snapshots are loaded from the same JSON payloads the engine cache
-persists (``repro.dataset.codec``), so ``repro-analyze dataset
-export`` output and engine-cache ``datasets/<fp>.json`` entries are
-both valid reload sources.
+Reload sources are sniffed by their leading bytes: binary ``.rsnap``
+snapshots (:mod:`repro.store` — ``repro-analyze dataset convert``
+output, engine-cache ``datasets/<fp>.rsnap`` entries) open via mmap
+with lazy mask materialization, and JSON payloads
+(``repro.dataset.codec`` — ``dataset export`` output, legacy cache
+entries) take the eager decode path.  Both produce bit-identical
+served responses.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from typing import Dict, Optional
 from ..dataset.codec import (dataset_from_json, dataset_to_json,
                              footprints_fingerprint)
 from ..dataset.core import Dataset
+from ..store import load_snapshot, sniff_format, write_snapshot
 
 
 @dataclass(frozen=True)
@@ -51,10 +55,26 @@ class DatasetSnapshot:
     fingerprint: str
     generation: int
     loaded_at: float = field(default_factory=time.time)
+    #: Where this generation came from: "memory" (built in-process),
+    #: "json" (codec reload), or "rsnap" (binary snapshot reload).
+    source_format: str = "memory"
 
     @property
     def packages(self) -> int:
         return len(self.dataset.packages)
+
+
+def _annotate(snapshot: DatasetSnapshot) -> DatasetSnapshot:
+    """Stamp provenance onto the dataset for ``/dataset/stats``.
+
+    Endpoint payload builders only see the dataset, not the holder, so
+    the snapshot's provenance rides along as an attribute.
+    """
+    snapshot.dataset.snapshot_meta = {
+        "format": snapshot.source_format,
+        "fingerprint": snapshot.fingerprint,
+    }
+    return snapshot
 
 
 class SnapshotHolder:
@@ -64,9 +84,8 @@ class SnapshotHolder:
                  fingerprint: Optional[str] = None) -> None:
         if fingerprint is None:
             fingerprint = footprints_fingerprint(dataset)
-        self._current = DatasetSnapshot(dataset=dataset,
-                                        fingerprint=fingerprint,
-                                        generation=1)
+        self._current = _annotate(DatasetSnapshot(
+            dataset=dataset, fingerprint=fingerprint, generation=1))
         self._ready = True
         self._reload_lock = threading.Lock()
         self.reloads = 0
@@ -95,35 +114,51 @@ class SnapshotHolder:
         if fingerprint is None:
             fingerprint = footprints_fingerprint(dataset)
         with self._reload_lock:
-            snapshot = DatasetSnapshot(
+            snapshot = _annotate(DatasetSnapshot(
                 dataset=dataset, fingerprint=fingerprint,
-                generation=self._current.generation + 1)
+                generation=self._current.generation + 1))
             self._current = snapshot
             self.reloads += 1
             return snapshot
 
     def reload_from_file(self, path) -> DatasetSnapshot:
-        """Load a codec'd dataset snapshot and publish it atomically.
+        """Load a dataset snapshot file and publish it atomically.
 
+        The format is sniffed from the file's first bytes: ``.rsnap``
+        magic takes the mmap'd lazy path (the embedded fingerprint is
+        trusted — it was content-derived at write time), anything else
+        is decoded as a JSON codec payload and fingerprinted fresh.
         Popcon and repository are carried over from the current
-        snapshot (the payload persists only interned state — the
-        :meth:`repro.dataset.Dataset.rebound` convention).  In-flight
-        requests keep their snapshot; ``/readyz`` reports not-ready for
-        the duration of the load.  On any failure the old snapshot
-        remains current, readiness is restored, and the error
+        snapshot either way (the payloads persist only interned state —
+        the :meth:`repro.dataset.Dataset.rebound` convention).
+        In-flight requests keep their snapshot; ``/readyz`` reports
+        not-ready for the duration of the load.  On any failure the old
+        snapshot remains current, readiness is restored, and the error
         propagates.
         """
         with self._reload_lock:
             old = self._current
             self._ready = False
             try:
-                text = pathlib.Path(path).read_text(encoding="utf-8")
-                dataset = dataset_from_json(text, old.dataset.popcon,
+                source = pathlib.Path(path)
+                with source.open("rb") as handle:
+                    head = handle.read(8)
+                if sniff_format(head) == "rsnap":
+                    dataset = load_snapshot(source, old.dataset.popcon,
                                             old.dataset.repository)
-                fingerprint = footprints_fingerprint(dataset)
-                snapshot = DatasetSnapshot(
+                    fingerprint = dataset.source_fingerprint
+                    source_format = "rsnap"
+                else:
+                    text = source.read_text(encoding="utf-8")
+                    dataset = dataset_from_json(
+                        text, old.dataset.popcon,
+                        old.dataset.repository)
+                    fingerprint = footprints_fingerprint(dataset)
+                    source_format = "json"
+                snapshot = _annotate(DatasetSnapshot(
                     dataset=dataset, fingerprint=fingerprint,
-                    generation=old.generation + 1)
+                    generation=old.generation + 1,
+                    source_format=source_format))
                 self._current = snapshot
                 self.reloads += 1
                 return snapshot
@@ -133,9 +168,19 @@ class SnapshotHolder:
             finally:
                 self._ready = True
 
-    def export_to_file(self, path) -> int:
-        """Write the current snapshot in the reloadable codec format."""
-        text = dataset_to_json(self._current.dataset)
+    def export_to_file(self, path, format: str = "json") -> int:
+        """Write the current snapshot in a reloadable format.
+
+        ``format`` is ``"json"`` (portable codec) or ``"binary"``
+        (``.rsnap``); returns the byte count written.
+        """
+        snapshot = self._current
+        if format == "binary":
+            return write_snapshot(pathlib.Path(path), snapshot.dataset,
+                                  snapshot.fingerprint)
+        if format != "json":
+            raise ValueError(f"unknown export format: {format!r}")
+        text = dataset_to_json(snapshot.dataset)
         pathlib.Path(path).write_text(text, encoding="utf-8")
         return len(text)
 
@@ -144,6 +189,7 @@ class SnapshotHolder:
         return {
             "generation": snapshot.generation,
             "fingerprint": snapshot.fingerprint,
+            "format": snapshot.source_format,
             "packages": snapshot.packages,
             "ready": self._ready,
             "reloads": self.reloads,

@@ -1,0 +1,48 @@
+"""Typed failure taxonomy for the binary snapshot store.
+
+Every way a ``.rsnap`` file can be unloadable gets its own exception
+type, all rooted at :class:`StoreError`.  The root subclasses
+:class:`repro.dataset.codec.DatasetCodecError`, so every caller that
+already treats a torn JSON snapshot as "corrupt dataset payload" —
+the engine cache's delete-to-miss path, the serve reload handler —
+handles a torn binary snapshot identically without new plumbing.
+
+The engine's analysis-error taxonomy maps the whole hierarchy onto
+``error_class="format"`` at stage ``"load"``
+(:func:`repro.engine.errors.classify_exception`): a snapshot that
+fails integrity checks is bad *input*, never a partial
+:class:`repro.dataset.Dataset`.
+"""
+
+from __future__ import annotations
+
+from ..dataset.codec import DatasetCodecError
+
+
+class StoreError(DatasetCodecError):
+    """A binary snapshot cannot be loaded (malformed, torn, stale)."""
+
+    #: Taxonomy bucket for :func:`repro.engine.errors.classify_exception`.
+    error_class = "format"
+    #: Pipeline stage the failure belongs to.
+    stage = "load"
+
+
+class StoreMagicError(StoreError):
+    """The file does not start with the ``.rsnap`` magic bytes."""
+
+
+class StoreVersionError(StoreError):
+    """The snapshot was written by an incompatible format version."""
+
+
+class StoreTruncatedError(StoreError):
+    """The file is shorter than its header claims (torn write)."""
+
+
+class StoreCRCError(StoreError):
+    """A checksum mismatch: the bytes on disk are not what was written."""
+
+
+class StoreLayoutError(StoreError):
+    """The checksums pass but the section layout is inconsistent."""

@@ -1,0 +1,360 @@
+"""Snapshot reader: mmap-backed, lazily materialized datasets.
+
+Opening a ``.rsnap`` does O(header + name tables) work: the file is
+mapped read-only, both CRCs are verified (a sequential pass at memory
+bandwidth — the cost the cold path avoids is building millions of
+Python objects, not reading bytes), and only the package list and the
+six interner tables are decoded eagerly, because every query needs
+name→id resolution.  Everything per-package stays bytes until touched:
+
+* a dimension's mask column materializes on the first metric query
+  over that dimension (``int.from_bytes`` per row, straight off the
+  map);
+* a package's :class:`repro.analysis.footprint.Footprint` materializes
+  on first ``dataset[name]`` access;
+* ``bitsets`` (the interned rows as objects) materialize only for
+  code that iterates them — the mask columns above never do.
+
+A :class:`SnapshotDataset` is a real :class:`repro.dataset.Dataset`:
+same Mapping contract, same lazy caches, bit-identical metric results
+(``tests/test_store_roundtrip.py`` pins all three paths — eager JSON,
+mmap-lazy, and the legacy reference implementations — to equality).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import pathlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..analysis.footprint import Footprint
+from ..dataset.bitset import BitsetFootprint
+from ..dataset.core import ApiSpace, Dataset
+from ..dataset.dimensions import DIMENSION_ORDER, FOOTPRINT_FIELDS
+from ..dataset.interner import ApiInterner
+from ..packages.package import Package
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+from .errors import StoreLayoutError
+from .format import (MAGIC, Cursor, SnapshotHeader, decode_header,
+                     mask_row_bytes)
+
+
+def sniff_format(head: bytes) -> str:
+    """``"rsnap"`` or ``"json"`` from a file's first bytes."""
+    return "rsnap" if bytes(head[:len(MAGIC)]) == MAGIC else "json"
+
+
+class SnapshotDataset(Dataset):
+    """A :class:`Dataset` whose per-package state lives in a snapshot.
+
+    Construction decodes only names; masks, bitsets, and source
+    footprints materialize per dimension / per package on first touch
+    and are memoized in the same caches the eager class uses, so a
+    warmed-up ``SnapshotDataset`` is indistinguishable from an eager
+    one.  ``rebound`` (and therefore :func:`repro.dataset.as_dataset`)
+    materializes everything first — the clone is a plain eager
+    :class:`Dataset` with no tie to the underlying buffer.
+    """
+
+    def __init__(self, packages: Tuple[str, ...], space: ApiSpace,
+                 buffer, mask_slices: Dict[str, Tuple[int, int]],
+                 unresolved: Tuple[int, ...],
+                 popcon: Optional[PopularityContest],
+                 repository: Optional[Repository],
+                 source_fingerprint: str,
+                 resources: Tuple = ()) -> None:
+        # Deliberately no super().__init__: the whole point is to skip
+        # the eager footprint/bitset construction it performs.
+        self._footprints: Dict[str, Footprint] = {}   # lazy memo
+        self.packages = tuple(packages)
+        self.package_index = {name: i
+                              for i, name in enumerate(self.packages)}
+        self.space = space
+        self.popcon = popcon
+        self.repository = repository
+        #: The fingerprint recorded in the snapshot header — the same
+        #: content address a fresh ``footprints_fingerprint`` run would
+        #: produce, available without touching a single footprint.
+        self.source_fingerprint = source_fingerprint
+        self._buffer = buffer
+        self._mask_slices = mask_slices   # dim -> (offset, row_bytes)
+        self._unresolved = unresolved
+        self._bitsets: Optional[List[BitsetFootprint]] = None
+        # Keeps the mmap/file objects alive as long as the dataset is.
+        self._resources = resources
+        # Same lazy caches as Dataset.__init__.
+        self._weights = None
+        self._weight_by_name = None
+        self._masks: Dict[str, List[int]] = {}
+        self._bit_counts: Dict[str, List[int]] = {}
+        self._universe_ids: Dict[Tuple[str, bool], List[int]] = {}
+        self._users: Dict[str, List[List[int]]] = {}
+        self._importance: Dict[str, Dict[str, float]] = {}
+        self._usage: Dict[Tuple[str, bool], Dict[str, float]] = {}
+        self._graphs: Dict[Tuple[str, bool, bool], object] = {}
+
+    # --- lazy materialization -------------------------------------------
+
+    def masks(self, dimension: str) -> List[int]:
+        cached = self._masks.get(dimension)
+        if cached is None:
+            if dimension == "all":
+                offsets = self.space.offsets
+                columns = [(self.masks(dim), offsets[dim])
+                           for dim in DIMENSION_ORDER]
+                cached = [0] * len(self.packages)
+                for column, shift in columns:
+                    for i, mask in enumerate(column):
+                        if mask:
+                            cached[i] |= mask << shift
+            else:
+                offset, row_bytes = self._mask_slices[dimension]
+                if row_bytes == 0:
+                    cached = [0] * len(self.packages)
+                else:
+                    buffer = self._buffer
+                    from_bytes = int.from_bytes
+                    cached = [
+                        from_bytes(
+                            buffer[offset + i * row_bytes:
+                                   offset + (i + 1) * row_bytes],
+                            "little")
+                        for i in range(len(self.packages))]
+            self._masks[dimension] = cached
+        return cached
+
+    @property
+    def bitsets(self) -> List[BitsetFootprint]:
+        if self._bitsets is None:
+            columns = [self.masks(dim) for dim in DIMENSION_ORDER]
+            self._bitsets = [BitsetFootprint(row)
+                             for row in zip(*columns)]
+        return self._bitsets
+
+    def __getitem__(self, package: str) -> Footprint:
+        footprint = self._footprints.get(package)
+        if footprint is None:
+            index = self.package_index[package]   # KeyError = Mapping
+            fields = {
+                FOOTPRINT_FIELDS[dim]: frozenset(
+                    self.space.interner(dim).names_of(
+                        self.masks(dim)[index]))
+                for dim in DIMENSION_ORDER}
+            footprint = Footprint(
+                unresolved_sites=self._unresolved[index], **fields)
+            self._footprints[package] = footprint
+        return footprint
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.packages)
+
+    def __len__(self) -> int:
+        return len(self.packages)
+
+    def rebound(self, popcon, repository) -> Dataset:
+        # The base implementation hands our caches to a plain Dataset
+        # clone; materialize them first so the clone is complete.
+        for name in self.packages:
+            self[name]
+        _ = self.bitsets
+        return super().rebound(popcon, repository)
+
+    def __repr__(self) -> str:
+        loaded = sorted(dim for dim in self._masks if dim != "all")
+        return (f"SnapshotDataset({len(self.packages)} packages, "
+                f"{self.space!r}, materialized={loaded or 'none'})")
+
+
+# --- section decoders ----------------------------------------------------
+
+def _decode_meta(data, header: SnapshotHeader) -> Dict:
+    offset, length = header.sections[b"META"]
+    try:
+        meta = json.loads(bytes(data[offset:offset + length]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreLayoutError(f"META is not JSON ({exc})") from None
+    if not isinstance(meta, dict) or "n_packages" not in meta:
+        raise StoreLayoutError("META lacks n_packages")
+    return meta
+
+
+def _section_cursor(data, header: SnapshotHeader, tag: bytes) -> Cursor:
+    offset, length = header.sections[tag]
+    return Cursor(data[offset:offset + length], tag.decode("ascii"))
+
+
+def _decode_popcon(data,
+                   header: SnapshotHeader,
+                   ) -> Optional[PopularityContest]:
+    if b"POPC" not in header.sections:
+        return None
+    cursor = _section_cursor(data, header, b"POPC")
+    total = cursor.u64()
+    count = cursor.u32()
+    counts = {}
+    for _ in range(count):
+        name = cursor.string()
+        counts[name] = cursor.u64()
+    try:
+        return PopularityContest(total, counts)
+    except ValueError as exc:
+        raise StoreLayoutError(f"POPC: {exc}") from None
+
+
+def _decode_repository(data,
+                       header: SnapshotHeader,
+                       ) -> Optional[Repository]:
+    if b"DEPS" not in header.sections:
+        return None
+    cursor = _section_cursor(data, header, b"DEPS")
+    count = cursor.u32()
+    packages = []
+    for _ in range(count):
+        name = cursor.string()
+        category = cursor.string()
+        depends = cursor.string_list()
+        packages.append(Package(name, category=category,
+                                depends=depends))
+    try:
+        return Repository(packages)
+    except ValueError as exc:
+        raise StoreLayoutError(f"DEPS: {exc}") from None
+
+
+def _dataset_from_buffer(data, header: SnapshotHeader,
+                         popcon: Optional[PopularityContest],
+                         repository: Optional[Repository],
+                         resources: Tuple) -> SnapshotDataset:
+    meta = _decode_meta(data, header)
+    packages = tuple(_section_cursor(data, header,
+                                     b"PKGS").string_list())
+    if len(packages) != meta["n_packages"]:
+        raise StoreLayoutError(
+            f"META says {meta['n_packages']} packages, "
+            f"PKGS holds {len(packages)}")
+    if len(set(packages)) != len(packages):
+        raise StoreLayoutError("duplicate package names")
+    itab = _section_cursor(data, header, b"ITAB")
+    interners = {}
+    for dim in DIMENSION_ORDER:
+        names = itab.string_list()
+        interner = ApiInterner(names)
+        if list(interner.names) != names:
+            raise StoreLayoutError(
+                f"ITAB {dim}: names not in sorted id order")
+        interners[dim] = interner
+    space = ApiSpace(interners)
+    mask_slices: Dict[str, Tuple[int, int]] = {}
+    for index, dim in enumerate(DIMENSION_ORDER):
+        tag = f"MSK{index}".encode("ascii")
+        offset, length = header.sections[tag]
+        cursor = Cursor(data[offset:offset + length],
+                        tag.decode("ascii"))
+        row_bytes = cursor.u32()
+        if row_bytes != mask_row_bytes(space.size(dim)):
+            raise StoreLayoutError(
+                f"{tag.decode()}: row is {row_bytes} bytes; "
+                f"universe of {space.size(dim)} needs "
+                f"{mask_row_bytes(space.size(dim))}")
+        expected = 4 + row_bytes * len(packages)
+        if length != expected:
+            raise StoreLayoutError(
+                f"{tag.decode()}: {length} bytes != expected "
+                f"{expected}")
+        mask_slices[dim] = (offset + 4, row_bytes)
+    unrs = _section_cursor(data, header, b"UNRS")
+    count = unrs.u32()
+    if count != len(packages):
+        raise StoreLayoutError(
+            f"UNRS holds {count} counts for {len(packages)} packages")
+    unresolved = unrs.u64_array(count)
+    if popcon is None:
+        popcon = _decode_popcon(data, header)
+    if repository is None:
+        repository = _decode_repository(data, header)
+    return SnapshotDataset(
+        packages=packages, space=space, buffer=data,
+        mask_slices=mask_slices, unresolved=unresolved,
+        popcon=popcon, repository=repository,
+        source_fingerprint=header.fingerprint, resources=resources)
+
+
+# --- public loaders ------------------------------------------------------
+
+def load_snapshot_bytes(data,
+                        popcon: Optional[PopularityContest] = None,
+                        repository: Optional[Repository] = None,
+                        resources: Tuple = ()) -> SnapshotDataset:
+    """Load a snapshot from an in-memory buffer (bytes or mmap).
+
+    Explicit ``popcon`` / ``repository`` override the embedded POPC /
+    DEPS sections — the :meth:`repro.dataset.Dataset.rebound`
+    convention the engine cache and serve reload rely on.
+    """
+    header = decode_header(data)
+    return _dataset_from_buffer(data, header, popcon, repository,
+                                resources)
+
+
+def load_snapshot(path,
+                  popcon: Optional[PopularityContest] = None,
+                  repository: Optional[Repository] = None,
+                  ) -> SnapshotDataset:
+    """mmap ``path`` read-only and load it lazily.
+
+    The map (and file handle) stay referenced by the returned dataset
+    and are released when it is garbage collected.  Falls back to a
+    plain read for filesystems that cannot map (still lazy — the
+    buffer just lives on the heap).
+    """
+    from .errors import StoreTruncatedError
+    target = pathlib.Path(path)
+    handle = open(target, "rb")
+    try:
+        size = target.stat().st_size
+        if size == 0:
+            raise StoreTruncatedError(f"{target} is empty")
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+        except (OSError, ValueError, io.UnsupportedOperation):
+            data = handle.read()
+            return load_snapshot_bytes(data, popcon, repository)
+    except BaseException:
+        handle.close()
+        raise
+    try:
+        return load_snapshot_bytes(mapped, popcon, repository,
+                                   resources=(mapped, handle))
+    except BaseException:
+        mapped.close()
+        handle.close()
+        raise
+
+
+def snapshot_info(path) -> Dict[str, object]:
+    """Header-level metadata without loading the dataset.
+
+    Validates the full integrity ladder (so the answer is
+    trustworthy), then reports version, fingerprint, package count,
+    and per-section sizes — the ``dataset convert`` / debugging
+    surface.
+    """
+    data = pathlib.Path(path).read_bytes()
+    header = decode_header(data)
+    meta = _decode_meta(data, header)
+    return {
+        "format": "rsnap",
+        "version": header.version,
+        "fingerprint": header.fingerprint,
+        "file_size": header.file_size,
+        "n_packages": meta["n_packages"],
+        "sections": {tag.decode("ascii"): length
+                     for tag, (_, length) in
+                     sorted(header.sections.items())},
+        "has_popcon": b"POPC" in header.sections,
+        "has_repository": b"DEPS" in header.sections,
+    }

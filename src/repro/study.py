@@ -692,9 +692,15 @@ class Study:
         return ExperimentOutput(
             "dataset", stats, render_dataset_stats(stats))
 
-    def export_dataset(self, path: str) -> int:
-        """Write the interned dataset snapshot as JSON; returns the
-        byte count written."""
+    def export_dataset(self, path: str, format: str = "json") -> int:
+        """Write the interned dataset snapshot; returns the byte
+        count written.  ``format`` is ``"json"`` (portable codec) or
+        ``"binary"`` (mmap-able ``.rsnap``, :mod:`repro.store`)."""
+        if format == "binary":
+            from .store import write_snapshot
+            return write_snapshot(path, self.dataset)
+        if format != "json":
+            raise ValueError(f"unknown export format: {format!r}")
         from .dataset import dataset_to_json
         text = dataset_to_json(self.dataset)
         with open(path, "w", encoding="utf-8") as handle:

@@ -19,6 +19,13 @@ from .ecosystem import (
     ESSENTIAL_PACKAGES,
     build_ecosystem,
 )
+from .paper import (
+    PAPER_BINARIES,
+    PAPER_PACKAGES,
+    PaperCorpus,
+    PaperScaleConfig,
+    build_paper_corpus,
+)
 from .runtime_gen import generate_libc, generate_ld_so, generate_runtime_images
 
 __all__ = [
@@ -32,6 +39,11 @@ __all__ = [
     "EcosystemConfig",
     "FunctionSpec",
     "MUTATIONS",
+    "PAPER_BINARIES",
+    "PAPER_PACKAGES",
+    "PaperCorpus",
+    "PaperScaleConfig",
+    "build_paper_corpus",
     "all_corruptions",
     "build_ecosystem",
     "corrupt",

@@ -1,0 +1,154 @@
+"""Serving from a ``.rsnap``: parity, provenance, and failure safety.
+
+The serving layer must not care which codec a snapshot arrived in:
+for every parity case a JSON-backed holder and a ``.rsnap``-backed
+holder must produce identical canonical bytes.  Provenance does
+surface — ``/readyz`` and ``/dataset/stats`` report the loaded
+snapshot's format and fingerprint — and a corrupt binary snapshot
+must leave the previous generation serving.
+"""
+
+import json
+
+import pytest
+
+from repro.dataset import dataset_to_json, footprints_fingerprint
+from repro.serve import (ENDPOINTS_BY_NAME, Request, ServeApp,
+                         SnapshotHolder, canonical_json)
+from repro.store import StoreError, write_snapshot
+
+from tests.test_serve_parity import PARITY_CASES, served_data
+
+
+@pytest.fixture(scope="module")
+def json_app(study):
+    return ServeApp(SnapshotHolder(study.dataset))
+
+
+@pytest.fixture(scope="module")
+def rsnap_app(study, tmp_path_factory):
+    """An app whose published snapshot was hot-reloaded from .rsnap."""
+    path = tmp_path_factory.mktemp("rsnap") / "study.rsnap"
+    write_snapshot(path, study.dataset)
+    holder = SnapshotHolder(study.dataset)
+    holder.reload_from_file(path)
+    assert holder.current().source_format == "rsnap"
+    return ServeApp(holder)
+
+
+@pytest.mark.parametrize("name,method,query,body", PARITY_CASES,
+                         ids=lambda v: repr(v)[:40])
+def test_rsnap_served_bytes_equal_json_served_bytes(
+        json_app, rsnap_app, name, method, query, body):
+    from_json = served_data(json_app, name, method, query, body)
+    from_rsnap = served_data(rsnap_app, name, method, query, body)
+    if name == "stats":
+        # Provenance is the one intentional difference.
+        assert from_json.pop("snapshot")["format"] == "memory"
+        assert from_rsnap.pop("snapshot")["format"] == "rsnap"
+    assert canonical_json(from_json) == canonical_json(from_rsnap)
+
+
+class TestProvenance:
+    def test_readyz_reports_format_and_fingerprint(self, rsnap_app,
+                                                   study):
+        response = rsnap_app.handle(Request("GET", "/readyz"))
+        payload = response.json_payload()
+        assert payload["format"] == "rsnap"
+        assert payload["fingerprint"] == \
+            footprints_fingerprint(study.dataset)
+
+    def test_memory_holder_reports_memory(self, json_app):
+        response = json_app.handle(Request("GET", "/readyz"))
+        assert response.json_payload()["format"] == "memory"
+
+    def test_holder_stats_carry_format(self, rsnap_app, json_app):
+        assert rsnap_app.holder.stats()["format"] == "rsnap"
+        assert json_app.holder.stats()["format"] == "memory"
+
+    def test_json_reload_reports_json(self, study, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(dataset_to_json(study.dataset),
+                        encoding="utf-8")
+        holder = SnapshotHolder(study.dataset)
+        holder.reload_from_file(path)
+        assert holder.current().source_format == "json"
+
+    def test_stats_payload_snapshot_block(self, rsnap_app, study):
+        served = served_data(rsnap_app, "stats", "GET", {}, None)
+        assert served["snapshot"] == {
+            "format": "rsnap",
+            "fingerprint": footprints_fingerprint(study.dataset)}
+
+
+class TestReloadSafety:
+    def test_rsnap_reload_preserves_generation_math(self, study,
+                                                    tmp_path):
+        path = tmp_path / "study.rsnap"
+        write_snapshot(path, study.dataset)
+        holder = SnapshotHolder(study.dataset)
+        first = holder.generation
+        snapshot = holder.reload_from_file(path)
+        assert snapshot.generation == first + 1
+        assert holder.reloads == 1
+
+    def test_corrupt_rsnap_reload_keeps_old_snapshot(self, study,
+                                                     tmp_path):
+        path = tmp_path / "study.rsnap"
+        write_snapshot(path, study.dataset)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        holder = SnapshotHolder(study.dataset)
+        before = holder.current()
+        with pytest.raises(StoreError):
+            holder.reload_from_file(path)
+        assert holder.current() is before
+        assert holder.ready()
+        assert holder.failed_reloads == 1
+
+    def test_corrupt_rsnap_maps_to_422_over_http(self, study,
+                                                 tmp_path):
+        path = tmp_path / "study.rsnap"
+        write_snapshot(path, study.dataset)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0x01
+        path.write_bytes(bytes(data))
+        app = ServeApp(SnapshotHolder(study.dataset))
+        response = app.handle(Request(
+            "POST", "/admin/reload",
+            body=json.dumps({"path": str(path)}).encode()))
+        # StoreError -> DatasetCodecError -> ValueError: bad request.
+        assert response.status == 400
+        assert app.holder.generation == 1
+
+    def test_same_fingerprint_reload_refreshes_cached_stats(
+            self, study, tmp_path):
+        """Reloading the same corpus from .rsnap must not serve the
+        stale cached provenance: the fingerprint-keyed cache can't
+        distinguish the generations, so the reload clears it."""
+        path = tmp_path / "study.rsnap"
+        write_snapshot(path, study.dataset)
+        app = ServeApp(SnapshotHolder(study.dataset))
+        before = served_data(app, "stats", "GET", {}, None)
+        assert before["snapshot"]["format"] == "memory"
+        response = app.handle(Request(
+            "POST", "/admin/reload",
+            body=json.dumps({"path": str(path)}).encode()))
+        assert response.status == 200
+        after = served_data(app, "stats", "GET", {}, None)
+        assert after["snapshot"]["format"] == "rsnap"
+        assert after["snapshot"]["fingerprint"] == \
+            before["snapshot"]["fingerprint"]
+
+    def test_export_binary_then_reload_round_trips(self, study,
+                                                   tmp_path):
+        holder = SnapshotHolder(study.dataset)
+        path = tmp_path / "export.rsnap"
+        written = holder.export_to_file(path, format="binary")
+        assert written == path.stat().st_size
+        holder.reload_from_file(path)
+        current = holder.current()
+        assert current.source_format == "rsnap"
+        assert dataset_to_json(current.dataset) == \
+            dataset_to_json(study.dataset)

@@ -1,0 +1,102 @@
+"""The paper-scale corpus tier, exercised at test scale.
+
+``build_paper_corpus`` must deliver a corpus with the study
+population's *shape* — shared archetype footprints, an empty tail,
+Zipf popcon, a cyclic dependency skeleton with ghost edges — while
+remaining deterministic in the seed and fast enough that the full
+30,976-package tier builds in CI (the ``store`` job times it).
+"""
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.metrics import completeness_curve, importance_table
+from repro.synth import (PAPER_BINARIES, PAPER_PACKAGES, PaperCorpus,
+                         PaperScaleConfig, build_paper_corpus)
+
+CONFIG = PaperScaleConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def corpus() -> PaperCorpus:
+    return build_paper_corpus(CONFIG)
+
+
+class TestShape:
+    def test_population_counts(self, corpus):
+        assert len(corpus.dataset.packages) == CONFIG.n_packages
+        assert corpus.n_binaries == CONFIG.n_binaries
+
+    def test_full_scale_defaults_match_the_paper(self):
+        config = PaperScaleConfig()
+        assert config.n_packages == PAPER_PACKAGES == 30_976
+        assert config.n_binaries == PAPER_BINARIES == 66_275
+
+    def test_empty_tail_exists(self, corpus):
+        empty = [name for name in corpus.dataset.packages
+                 if corpus.dataset[name] is Footprint.EMPTY]
+        fraction = len(empty) / len(corpus.dataset.packages)
+        assert 0.02 < fraction < 0.20
+
+    def test_footprints_are_shared_archetypes(self, corpus):
+        distinct = {id(fp) for fp in corpus.dataset.values()}
+        # Far fewer footprint objects than packages: the redundancy
+        # that makes 30k packages buildable in seconds.
+        assert len(distinct) < len(corpus.dataset.packages) / 2
+
+    def test_popcon_is_skewed(self, corpus):
+        weights = sorted(corpus.dataset.weights, reverse=True)
+        head = sum(weights[:len(weights) // 10])
+        assert head > sum(weights) * 0.3
+
+    def test_repository_has_ghosts_cycles_and_unmeasured(self,
+                                                         corpus):
+        repo = corpus.repository
+        assert repo.validate_dependencies()  # ghost deps dangle
+        assert len(repo) > len(corpus.dataset.packages)  # unmeasured
+        measured = set(corpus.dataset.packages)
+        extra = [p.name for p in repo if p.name not in measured]
+        assert extra
+        # At least one dependency cycle: an app reachable from one of
+        # its own dependencies.
+        cyclic = any(
+            package.name != dep
+            and package.name in repo.dependency_closure(dep)
+            for package in repo for dep in package.depends
+            if dep in repo)
+        assert cyclic
+
+    def test_unused_band_stays_unused(self, corpus):
+        from repro.synth.profiles import UNUSED_SYSCALLS
+        used = set()
+        for footprint in corpus.dataset.values():
+            used |= footprint.syscalls
+        assert not used & UNUSED_SYSCALLS
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, corpus):
+        again = build_paper_corpus(CONFIG)
+        assert again.dataset.packages == corpus.dataset.packages
+        assert dict(again.dataset) == dict(corpus.dataset)
+        assert again.binaries_per_package == \
+            corpus.binaries_per_package
+
+    def test_different_seed_different_corpus(self, corpus):
+        other = build_paper_corpus(
+            PaperScaleConfig.at_scale(0.01, seed=7))
+        assert dict(other.dataset) != dict(corpus.dataset)
+
+
+class TestQueryable:
+    def test_metrics_run_end_to_end(self, corpus):
+        table = importance_table(corpus.dataset)
+        assert table
+        assert all(0.0 <= v <= 1.0 for v in table.values())
+        curve = completeness_curve(corpus.dataset)
+        assert curve
+        assert curve[-1].completeness == pytest.approx(1.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            PaperScaleConfig.at_scale(0.0)
