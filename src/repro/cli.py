@@ -189,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8000,
                        help="bind port; 0 lets the kernel pick "
                             "(default: 8000)")
+    serve.add_argument("--workers", type=_job_count, default=1,
+                       metavar="N",
+                       help="worker processes; N>1 pre-forks N "
+                            "workers sharing one port (SO_REUSEPORT "
+                            "where available, inherited socket "
+                            "otherwise), each mmap-loading the same "
+                            ".rsnap snapshot; SIGHUP hot-reloads the "
+                            "snapshot across the fleet (default: 1)")
     serve.add_argument("--cache-entries", type=int, default=1024,
                        metavar="N",
                        help="result-cache capacity (default: 1024)")
@@ -305,32 +313,110 @@ def _read_syscall_list(spec: str) -> List[str]:
     return [name.strip() for name in spec.split(",") if name.strip()]
 
 
-def _serve(study: Study, args: argparse.Namespace) -> int:
-    """Run the long-lived query server until interrupted."""
-    from .serve import ServeApp, ServeServer, SnapshotHolder
+def _serve_concurrency(args: argparse.Namespace) -> int:
     concurrency = args.concurrency
     if concurrency <= 0:
         concurrency = args.jobs if args.jobs > 1 else 8
+    return concurrency
+
+
+def _serve(study: Study, args: argparse.Namespace) -> int:
+    """Run the long-lived query server until SIGINT/SIGTERM.
+
+    SIGINT propagates as ``KeyboardInterrupt`` and exits 130 (the
+    interrupt taxonomy); SIGTERM drains in-flight requests and exits
+    0 — both paths stop accepting, join handler threads, and close
+    the socket before returning.
+    """
+    import signal
+    import threading
+
+    if args.workers > 1:
+        return _serve_multiworker(study, args)
+
+    from .serve import ServeApp, ServeServer, SnapshotHolder
     holder = SnapshotHolder(study.dataset)
     app = ServeApp(
         holder,
         cache_entries=args.cache_entries,
         cache_ttl_seconds=args.cache_ttl,
-        concurrency=concurrency,
+        concurrency=_serve_concurrency(args),
         max_wait_seconds=args.max_wait_ms / 1000.0,
         deadline_seconds=(args.deadline_ms / 1000.0
                           if args.deadline_ms > 0 else None),
         allow_reload=not args.no_reload)
     server = ServeServer(app, host=args.host, port=args.port,
                          quiet=True)
+    # Handler before the announce line: anyone scripting against the
+    # announce may signal immediately after reading it, and the
+    # default disposition would kill us mid-boot.
+    terminated = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: terminated.set())
+    server.start()
+    snapshot = holder.current()
+    print(f"serving {snapshot.packages} packages "
+          f"(fingerprint {snapshot.fingerprint[:12]}) "
+          f"on {server.url}", flush=True)
+    try:
+        # Timed wait so a signal delivered to a serving thread is
+        # still handled promptly: the Python-level handler only runs
+        # once the main thread wakes up.
+        while not terminated.wait(0.2):
+            pass
+    finally:
+        server.stop()
+    return EXIT_OK
 
-    def announce(bound: ServeServer) -> None:
-        snapshot = holder.current()
-        print(f"serving {snapshot.packages} packages "
-              f"(fingerprint {snapshot.fingerprint[:12]}) "
-              f"on {bound.url}", flush=True)
 
-    server.serve_forever(on_ready=announce)
+def _serve_multiworker(study: Study, args: argparse.Namespace) -> int:
+    """Pre-fork serving: supervisor + N workers over one snapshot.
+
+    The dataset is exported once as a ``.rsnap`` into a scratch
+    directory; every worker mmaps those same bytes, so the corpus
+    occupies the page cache once regardless of fleet size.  SIGHUP
+    fans a hot reload of that snapshot out to every worker.
+    """
+    import os
+    import shutil
+    import signal
+    import tempfile
+    import threading
+
+    from .serve import WorkerSettings, WorkerSupervisor
+
+    scratch = tempfile.mkdtemp(prefix="repro-serve-")
+    snapshot_path = os.path.join(scratch, "dataset.rsnap")
+    study.export_dataset(snapshot_path, format="binary")
+    supervisor = WorkerSupervisor(
+        snapshot_path, workers=args.workers,
+        host=args.host, port=args.port,
+        popcon=study.popcon, repository=study.repository,
+        settings=WorkerSettings(
+            cache_entries=args.cache_entries,
+            cache_ttl_seconds=args.cache_ttl,
+            concurrency=_serve_concurrency(args),
+            max_wait_seconds=args.max_wait_ms / 1000.0,
+            deadline_seconds=(args.deadline_ms / 1000.0
+                              if args.deadline_ms > 0 else None)),
+        quiet=True)
+    terminated = threading.Event()
+    try:
+        supervisor.start()
+        supervisor.wait_until_ready()
+        signal.signal(signal.SIGTERM, lambda *_: terminated.set())
+        signal.signal(signal.SIGHUP,
+                      lambda *_: supervisor.reload_all())
+        print(f"serving {len(study.dataset.packages)} packages "
+              f"({supervisor.mode}, {args.workers} workers) "
+              f"on {supervisor.url}", flush=True)
+        # Timed wait keeps the main thread responsive to SIGTERM and
+        # SIGHUP even when the kernel hands the signal to another
+        # thread (the Python handler runs in the main thread only).
+        while not terminated.wait(0.2):
+            pass
+    finally:
+        supervisor.stop()
+        shutil.rmtree(scratch, ignore_errors=True)
     return EXIT_OK
 
 

@@ -194,7 +194,8 @@ def format_sample(name: str, labels: "Dict[str, str]",
     return f"{name} {_number(value)}"
 
 
-def render_metrics(registry: MetricsRegistry) -> str:
+def render_metrics(registry: MetricsRegistry,
+                   labels: Optional[Dict[str, str]] = None) -> str:
     """Prometheus text exposition of every instrument in the registry.
 
     Histograms render as summaries.  A histogram with zero
@@ -202,17 +203,24 @@ def render_metrics(registry: MetricsRegistry) -> str:
     exposing) with ``NaN`` quantiles per Prometheus convention — a
     quantile of an empty sample is undefined, and ``0`` would read as
     a real measurement — while ``_sum``/``_count`` stay ``0``.
+
+    ``labels`` are constant labels stamped on *every* sample — how a
+    pre-fork serve worker marks its scrape with ``worker=``/``pid=``
+    so a fleet's scrapes stay distinguishable.  The default (no
+    labels) renders byte-identically to the historical output, which
+    the golden-file tests pin.
     """
+    const = dict(labels or {})
     lines = [f"# repro-metrics-schema: {METRICS_SCHEMA_VERSION}"]
     snapshot = registry.snapshot()
     for name, value in snapshot["counters"].items():
         mangled = _mangle(name)
         lines.append(f"# TYPE {mangled} counter")
-        lines.append(format_sample(mangled, {}, value))
+        lines.append(format_sample(mangled, const, value))
     for name, value in snapshot["gauges"].items():
         mangled = _mangle(name)
         lines.append(f"# TYPE {mangled} gauge")
-        lines.append(format_sample(mangled, {}, value))
+        lines.append(format_sample(mangled, const, value))
     for name, stats in snapshot["histograms"].items():
         mangled = _mangle(name)
         empty = stats["count"] == 0
@@ -220,11 +228,11 @@ def render_metrics(registry: MetricsRegistry) -> str:
         for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
                               ("0.99", "p99")):
             lines.append(format_sample(
-                mangled, {"quantile": quantile},
+                mangled, {**const, "quantile": quantile},
                 float("nan") if empty else stats[key]))
-        lines.append(format_sample(f"{mangled}_sum", {},
+        lines.append(format_sample(f"{mangled}_sum", const,
                                    stats["sum"]))
-        lines.append(format_sample(f"{mangled}_count", {},
+        lines.append(format_sample(f"{mangled}_count", const,
                                    stats["count"]))
     return "\n".join(lines) + "\n"
 

@@ -19,9 +19,14 @@ warm behind an HTTP API and answers those queries in microseconds:
 * :mod:`repro.serve.admission` — bounded-concurrency admission control
   (429 + ``Retry-After`` under saturation) and per-request deadlines;
 * :mod:`repro.serve.snapshot` — RCU-style atomic hot reload of the
-  dataset with zero dropped in-flight requests.
+  dataset with zero dropped in-flight requests;
+* :mod:`repro.serve.workers` — pre-fork multi-worker serving: a
+  supervisor binds one address, N worker processes mmap the same
+  ``.rsnap`` snapshot, crashes restart with backoff, and SIGHUP fans
+  the RCU reload out across the fleet.
 
-``repro-analyze serve`` is the CLI front door.
+``repro-analyze serve`` is the CLI front door (``--workers N`` for
+the pre-fork mode).
 """
 
 from .admission import (AdmissionController, Deadline,
@@ -32,8 +37,9 @@ from .endpoints import (ENDPOINTS, ENDPOINTS_BY_NAME, BadRequestError,
                         Endpoint, MethodNotAllowedError, NotFoundError,
                         ServeRequestError)
 from .qcache import QueryCache, canonical_query_key
-from .server import ServeServer
+from .server import ServeServer, ThreadingTransport, reuse_port_available
 from .snapshot import DatasetSnapshot, SnapshotHolder
+from .workers import WorkerSettings, WorkerSupervisor, default_mode
 
 __all__ = [
     "AdmissionController",
@@ -56,6 +62,11 @@ __all__ = [
     "ServeRequestError",
     "ServeServer",
     "SnapshotHolder",
+    "ThreadingTransport",
+    "WorkerSettings",
+    "WorkerSupervisor",
     "canonical_json",
     "canonical_query_key",
+    "default_mode",
+    "reuse_port_available",
 ]

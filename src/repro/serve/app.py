@@ -37,6 +37,7 @@ same :func:`repro.obs.render_metrics` the CLI exporter uses.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -137,8 +138,14 @@ class ServeApp:
                  concurrency: int = 8,
                  max_wait_seconds: float = 0.25,
                  deadline_seconds: Optional[float] = 2.0,
-                 allow_reload: bool = True) -> None:
+                 allow_reload: bool = True,
+                 metrics_labels: Optional[Dict[str, str]] = None,
+                 ) -> None:
         self.holder = holder
+        #: Constant labels stamped on every ``/metrics`` sample — the
+        #: pre-fork supervisor sets ``{"worker": ..., "pid": ...}`` so
+        #: scrapes from different workers stay distinguishable.
+        self.metrics_labels = dict(metrics_labels or {})
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer()
@@ -226,7 +233,8 @@ class ServeApp:
     def _metrics(self, request: Request) -> Response:
         """Prometheus text scrape of the serve registry."""
         self._export_gauges()
-        return Response.text(200, render_metrics(self.registry))
+        return Response.text(200, render_metrics(
+            self.registry, labels=self.metrics_labels))
 
     def _export_gauges(self) -> None:
         """Publish point-in-time stats as gauges before a scrape."""
@@ -269,17 +277,7 @@ class ServeApp:
             if body is None or not isinstance(body.get("path"), str):
                 raise BadRequestError(
                     'reload needs a JSON body {"path": "<snapshot>"}')
-            before = self.holder.current()
-            with self.tracer.span("serve.reload",
-                                  path=body["path"]):
-                snapshot = self.holder.reload_from_file(body["path"])
-            if snapshot.fingerprint == before.fingerprint:
-                # Same corpus reloaded from a different source: the
-                # fingerprint-keyed cache can't tell the generations
-                # apart, but provenance payloads (/dataset/stats)
-                # changed — drop the stale entries explicitly.
-                self.qcache.clear()
-            self.registry.counter("serve.reloads").inc()
+            snapshot = self.reload_from_path(body["path"])
             return Response.json(200, {
                 "schema": SERVE_SCHEMA,
                 "version": SERVE_SCHEMA_VERSION,
@@ -289,6 +287,32 @@ class ServeApp:
             })
         except Exception as exc:
             return self._error_response(request, exc)
+
+    def reload_from_path(self, path) -> "DatasetSnapshot":
+        """Hot-swap the snapshot from ``path`` (shared reload core).
+
+        Used by both ``POST /admin/reload`` and the worker-side SIGHUP
+        handler, so cache invalidation and accounting cannot drift
+        between the two reload triggers.
+        """
+        before = self.holder.current()
+        with self.tracer.span("serve.reload", path=str(path)):
+            snapshot = self.holder.reload_from_file(path)
+        if snapshot.fingerprint == before.fingerprint:
+            # Same corpus reloaded from a different source: the
+            # fingerprint-keyed cache can't tell the generations
+            # apart, but provenance payloads (/dataset/stats)
+            # changed — drop the stale entries explicitly.
+            self.qcache.clear()
+        self.registry.counter("serve.reloads").inc()
+        return snapshot
+
+    def reload_from_source(self) -> "DatasetSnapshot":
+        """Reload from the holder's bound source path (SIGHUP fan-in)."""
+        if self.holder.source_path is None:
+            raise RuntimeError(
+                "holder has no source path bound; nothing to reload")
+        return self.reload_from_path(self.holder.source_path)
 
     # --- the query pipeline ---------------------------------------------
 
@@ -357,7 +381,11 @@ class ServeApp:
         status, error_class = self._classify(exc)
         headers: Dict[str, str] = {}
         if isinstance(exc, OverloadedError):
-            headers["Retry-After"] = str(int(exc.retry_after))
+            # The documented floor is one whole second; ``int()``
+            # truncation would turn a sub-second wait hint into
+            # ``Retry-After: 0`` (an immediate-retry stampede).
+            headers["Retry-After"] = str(max(
+                1, math.ceil(exc.retry_after)))
             self.registry.counter("serve.admission.shed").inc()
         self.registry.counter("serve.errors").inc()
         envelope = {

@@ -77,19 +77,60 @@ def _annotate(snapshot: DatasetSnapshot) -> DatasetSnapshot:
     return snapshot
 
 
+def _load_dataset_file(path, popcon, repository):
+    """Sniff and load a snapshot file.
+
+    Returns ``(dataset, fingerprint, source_format)``; raises on any
+    corruption or I/O failure without producing a partial dataset.
+    """
+    source = pathlib.Path(path)
+    with source.open("rb") as handle:
+        head = handle.read(8)
+    if sniff_format(head) == "rsnap":
+        dataset = load_snapshot(source, popcon, repository)
+        return dataset, dataset.source_fingerprint, "rsnap"
+    text = source.read_text(encoding="utf-8")
+    dataset = dataset_from_json(text, popcon, repository)
+    return dataset, footprints_fingerprint(dataset), "json"
+
+
 class SnapshotHolder:
     """Single-writer, many-reader holder of the current snapshot."""
 
     def __init__(self, dataset: Dataset,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None, *,
+                 source_format: str = "memory",
+                 source_path: Optional[str] = None) -> None:
         if fingerprint is None:
             fingerprint = footprints_fingerprint(dataset)
         self._current = _annotate(DatasetSnapshot(
-            dataset=dataset, fingerprint=fingerprint, generation=1))
+            dataset=dataset, fingerprint=fingerprint, generation=1,
+            source_format=source_format))
         self._ready = True
         self._reload_lock = threading.Lock()
+        #: The snapshot file generation 1 was loaded from (or the last
+        #: file a reload succeeded from); ``reload_from_source`` —
+        #: the cross-worker SIGHUP fan-out trigger — re-reads it.
+        self.source_path = source_path
         self.reloads = 0
         self.failed_reloads = 0
+
+    @classmethod
+    def from_file(cls, path, popcon=None,
+                  repository=None) -> "SnapshotHolder":
+        """Boot a holder directly from a snapshot file.
+
+        This is how pre-fork workers start: each worker of a fleet
+        calls this on the same ``.rsnap`` path, so the mmap'd pages
+        are shared through the page cache instead of N eager copies.
+        ``popcon`` / ``repository`` follow the ``rebound`` convention
+        (explicit objects override embedded sections).
+        """
+        dataset, fingerprint, source_format = _load_dataset_file(
+            path, popcon, repository)
+        return cls(dataset, fingerprint,
+                   source_format=source_format,
+                   source_path=str(path))
 
     # --- reader side ----------------------------------------------------
 
@@ -140,26 +181,15 @@ class SnapshotHolder:
             old = self._current
             self._ready = False
             try:
-                source = pathlib.Path(path)
-                with source.open("rb") as handle:
-                    head = handle.read(8)
-                if sniff_format(head) == "rsnap":
-                    dataset = load_snapshot(source, old.dataset.popcon,
-                                            old.dataset.repository)
-                    fingerprint = dataset.source_fingerprint
-                    source_format = "rsnap"
-                else:
-                    text = source.read_text(encoding="utf-8")
-                    dataset = dataset_from_json(
-                        text, old.dataset.popcon,
-                        old.dataset.repository)
-                    fingerprint = footprints_fingerprint(dataset)
-                    source_format = "json"
+                dataset, fingerprint, source_format = \
+                    _load_dataset_file(path, old.dataset.popcon,
+                                       old.dataset.repository)
                 snapshot = _annotate(DatasetSnapshot(
                     dataset=dataset, fingerprint=fingerprint,
                     generation=old.generation + 1,
                     source_format=source_format))
                 self._current = snapshot
+                self.source_path = str(path)
                 self.reloads += 1
                 return snapshot
             except Exception:
@@ -167,6 +197,21 @@ class SnapshotHolder:
                 raise
             finally:
                 self._ready = True
+
+    def reload_from_source(self) -> DatasetSnapshot:
+        """Re-read the bound snapshot path and publish it.
+
+        The cross-worker reload protocol: the supervisor fans a SIGHUP
+        out to every worker, and each worker re-reads the *same*
+        source path — so fingerprint and format provenance stay
+        identical across the fleet.  Raises ``RuntimeError`` when the
+        holder was built in-memory and never reloaded from a file.
+        """
+        if self.source_path is None:
+            raise RuntimeError(
+                "holder has no source path bound; it was built "
+                "in-memory and never (re)loaded from a file")
+        return self.reload_from_file(self.source_path)
 
     def export_to_file(self, path, format: str = "json") -> int:
         """Write the current snapshot in a reloadable format.
@@ -194,4 +239,5 @@ class SnapshotHolder:
             "ready": self._ready,
             "reloads": self.reloads,
             "failed_reloads": self.failed_reloads,
+            "source_path": self.source_path,
         }

@@ -102,6 +102,99 @@ class TestInterrupt:
         assert "Traceback" not in stderr
 
 
+class TestGracefulTermination:
+    def test_sigterm_on_serve_drains_and_exits_0(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *TINY,
+             "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            announce = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", announce)
+            assert match, announce
+            host, port = match.group(1), int(match.group(2))
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().status == 200
+            conn.close()
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        stderr = process.stderr.read()
+        assert returncode == 0
+        assert "Traceback" not in stderr
+
+
+class TestMultiWorkerServe:
+    def test_workers_boot_reload_and_terminate(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *TINY,
+             "serve", "--port", "0", "--workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            announce = process.stdout.readline()
+            match = re.search(
+                r"serving (\d+) packages \((\w+), (\d+) workers\) "
+                r"on http://([\d.]+):(\d+)", announce)
+            assert match, announce
+            assert int(match.group(3)) == 2
+            host, port = match.group(4), int(match.group(5))
+
+            def readyz():
+                conn = http.client.HTTPConnection(host, port,
+                                                  timeout=10)
+                try:
+                    conn.request("GET", "/readyz")
+                    response = conn.getresponse()
+                    worker = response.headers.get("X-Repro-Worker")
+                    return worker, json.loads(response.read())
+                finally:
+                    conn.close()
+
+            # both workers answer with identical provenance
+            seen = {}
+            deadline = time.time() + 60
+            while len(seen) < 2 and time.time() < deadline:
+                worker, payload = readyz()
+                seen[worker] = payload
+            assert len(seen) == 2, sorted(seen)
+            assert len({p["fingerprint"]
+                        for p in seen.values()}) == 1
+            assert {p["format"] for p in seen.values()} == {"rsnap"}
+
+            # SIGHUP fans the reload out to every worker
+            process.send_signal(signal.SIGHUP)
+            deadline = time.time() + 60
+            generations = {}
+            while time.time() < deadline:
+                worker, payload = readyz()
+                if payload.get("ready"):
+                    generations[worker] = payload["generation"]
+                if len(generations) == 2 and \
+                        set(generations.values()) == {2}:
+                    break
+            assert set(generations.values()) == {2}, generations
+
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        stderr = process.stderr.read()
+        assert returncode == 0
+        assert "Traceback" not in stderr
+
+
 class TestServeSmoke:
     def test_serve_boots_and_answers_queries(self):
         env = dict(os.environ)

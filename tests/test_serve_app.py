@@ -162,6 +162,20 @@ class TestBackpressure:
             "overloaded"
         assert app.admission.stats()["rejected"] == 1
 
+    def test_retry_after_never_truncates_to_zero(self, holder):
+        # str(int(0.4)) would have advertised "Retry-After: 0" — an
+        # immediate-retry stampede invitation.  Sub-second hints must
+        # round *up* to the one-second floor.
+        from repro.serve import OverloadedError, Request
+        app = ServeApp(holder)
+        for hint, expected in ((0.05, "1"), (0.9, "1"),
+                               (1.0, "1"), (2.3, "3")):
+            response = app._error_response(
+                Request("GET", "/v1/dataset/stats"),
+                OverloadedError(hint, slots=1))
+            assert response.status == 429
+            assert response.headers["Retry-After"] == expected
+
     def test_slot_released_after_shed(self, holder):
         app = ServeApp(holder, concurrency=1,
                        max_wait_seconds=0.01)

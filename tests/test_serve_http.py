@@ -108,6 +108,80 @@ class TestOverTheWire:
         assert json.loads(data)["generation"] == before + 1
 
 
+class TestRequestFraming:
+    """Wire-level framing regressions: ambiguous queries and bodies."""
+
+    def test_duplicate_query_parameter_is_400(self, client):
+        response, data = fetch(
+            client, "GET", "/v1/importance?limit=3&limit=7")
+        assert response.status == 400
+        error = json.loads(data)["error"]
+        assert error["type"] == "DuplicateQueryParameter"
+        assert "limit" in error["message"]
+
+    def test_connection_survives_duplicate_parameter(self, client):
+        # The query is rejected after any body is consumed, so the
+        # same keep-alive connection must still answer.
+        response, _ = fetch(client, "GET", "/v1/importance?a=1&a=2")
+        assert response.status == 400
+        response, _ = fetch(client, "GET", "/v1/importance?limit=3")
+        assert response.status == 200
+
+    def test_post_without_content_length_is_411(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/completeness")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 411
+            error = json.loads(response.read())["error"]
+            assert error["type"] == "LengthRequired"
+        finally:
+            conn.close()
+
+    def test_chunked_transfer_coding_is_411(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/completeness")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 411
+        finally:
+            conn.close()
+
+    def test_get_without_content_length_still_fine(self, server):
+        # Bodyless methods never needed framing; the 411 applies only
+        # to body-carrying methods.
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=10)
+        try:
+            conn.putrequest("GET", "/healthz")
+            conn.endheaders()
+            assert conn.getresponse().status == 200
+        finally:
+            conn.close()
+
+    def test_invalid_content_length_is_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/completeness")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            error = json.loads(response.read())["error"]
+            assert error["type"] == "BadContentLength"
+        finally:
+            conn.close()
+
+
 class TestConcurrentClients:
     def test_parallel_connections_all_answered(self, server):
         errors = []
