@@ -1,0 +1,118 @@
+"""Series storage economics and cold-open speed vs N full snapshots.
+
+Builds a 10-release evolved train at paper-tenth scale and measures,
+into ``benchmarks/output/BENCH_series.json``:
+
+* **storage** — one delta-encoded ``.rser`` vs storing every release
+  as its own full ``.rsnap``.  Gate: the series file must stay under
+  40% of the sum of the full snapshots (deltas carry only churn, so
+  near-constant release trains compress roughly N-fold);
+* **cold open** — bytes-on-disk to a first importance answer for
+  every release, walking the delta chain vs opening ten full
+  snapshots;
+* **identity** — ``series.at(k)`` must answer bit-identically to the
+  eagerly evolved release ``k`` (importance tables and package rows)
+  for every ``k``, at this scale too, not just the test-sized corpora
+  the unit suites cover.
+"""
+
+import json
+import time
+
+from repro.metrics import importance_table
+from repro.series import load_series, write_series
+from repro.store import load_snapshot, write_snapshot
+from repro.synth import EvolutionConfig, evolve_corpus
+from repro.synth.paper import PaperScaleConfig
+
+_N_RELEASES = 10
+_MAX_STORAGE_RATIO = 0.40
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_series_storage_and_cold_open(output_dir, save, tmp_path):
+    build_seconds, ecosystem = _timed(lambda: evolve_corpus(
+        EvolutionConfig(
+            n_releases=_N_RELEASES,
+            base=PaperScaleConfig.at_scale(0.1, seed=2016),
+            seed=2016)))
+    datasets = ecosystem.datasets()
+
+    series_path = tmp_path / "train.rser"
+    series_bytes = write_series(series_path, datasets)
+    series = load_series(series_path)
+
+    snapshot_paths = []
+    full_bytes = 0
+    for release, dataset in enumerate(datasets):
+        path = tmp_path / f"release{release:02d}.rsnap"
+        full_bytes += write_snapshot(path, dataset,
+                                     series.fingerprints[release])
+        snapshot_paths.append(path)
+
+    storage_ratio = series_bytes / full_bytes
+
+    # Cold open: process-fresh objects, bytes on disk -> one
+    # importance answer per release.
+    def open_series():
+        train = load_series(series_path)
+        return [importance_table(train.at(k))
+                for k in range(train.n_releases)]
+
+    def open_snapshots():
+        return [importance_table(load_snapshot(path))
+                for path in snapshot_paths]
+
+    series_seconds, via_series = _timed(open_series)
+    rsnap_seconds, via_snapshots = _timed(open_snapshots)
+
+    # Identity at scale: lazy == eager for every release.
+    eager = [importance_table(dataset) for dataset in datasets]
+    assert via_series == eager, \
+        "series.at(k) importance diverged from the eager release"
+    assert via_snapshots == eager
+    for release, dataset in enumerate(datasets):
+        lazy = series.at(release)
+        assert lazy.packages == dataset.packages
+        assert lazy.source_fingerprint == \
+            series.fingerprints[release]
+
+    payload = {
+        "n_releases": _N_RELEASES,
+        "packages_per_release": list(series.n_packages),
+        "evolve_seconds": build_seconds,
+        "series_bytes": series_bytes,
+        "full_snapshot_bytes": full_bytes,
+        "storage_ratio": storage_ratio,
+        "max_storage_ratio": _MAX_STORAGE_RATIO,
+        "series_cold_open_seconds": series_seconds,
+        "rsnap_cold_open_seconds": rsnap_seconds,
+        "cold_open_ratio": series_seconds / rsnap_seconds,
+        "identical_all_releases": True,
+    }
+    (output_dir / "BENCH_series.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    save("series_speed", "\n".join([
+        "series storage + cold open (10-release paper-tenth train)",
+        f"  packages        {series.n_packages[0]} -> "
+        f"{series.n_packages[-1]}",
+        f"  .rser bytes     {series_bytes}",
+        f"  10x.rsnap bytes {full_bytes}",
+        f"  storage ratio   {storage_ratio:.3f} "
+        f"(gate < {_MAX_STORAGE_RATIO})",
+        f"  series open     {series_seconds * 1000:.1f} ms "
+        "(all releases)",
+        f"  rsnap opens     {rsnap_seconds * 1000:.1f} ms "
+        "(all releases)",
+    ]))
+
+    assert storage_ratio < _MAX_STORAGE_RATIO, (
+        f"series stores {storage_ratio:.1%} of {_N_RELEASES} full "
+        f"snapshots (gate < {_MAX_STORAGE_RATIO:.0%}); "
+        f"series={series_bytes} full={full_bytes}")

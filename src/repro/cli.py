@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .metrics import weighted_completeness
 from .study import Study
@@ -180,6 +180,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "json, convert to the opposite of the "
                               "input format)")
 
+    series = sub.add_parser(
+        "series", help="build and query a longitudinal multi-release "
+                       "dataset series (.rser: one base snapshot + "
+                       "per-release deltas)")
+    series.add_argument("action", choices=("build", "stats", "diff"),
+                        help="build: evolve a paper-scale corpus over "
+                             "N releases and write a .rser; stats: "
+                             "shape and storage economics; diff: what "
+                             "changed between two releases")
+    series.add_argument("--releases", type=int, default=10,
+                        metavar="N",
+                        help="releases to evolve (build; default: 10)")
+    series.add_argument("--scale", type=float, default=0.01,
+                        metavar="F",
+                        help="paper-scale fraction for the base corpus "
+                             "(build; default: 0.01)")
+    series.add_argument("--out", metavar="PATH", default="series.rser",
+                        help="build destination "
+                             "(default: series.rser)")
+    series.add_argument("--in", dest="input", metavar="PATH",
+                        default=None,
+                        help="existing .rser to inspect (stats/diff; "
+                             "default: --out)")
+    series.add_argument("--from", dest="diff_from", type=int,
+                        default=0, metavar="K",
+                        help="diff baseline release (default: 0)")
+    series.add_argument("--to", dest="diff_to", type=int, default=None,
+                        metavar="K",
+                        help="diff target release (default: newest)")
+    series.add_argument("--dimension", default="syscall",
+                        help="API dimension to diff "
+                             "(default: syscall)")
+    series.add_argument("--weighted", action="store_true",
+                        help="diff popcon-weighted importance instead "
+                             "of package-count usage")
+    series.add_argument("--limit", type=int, default=10, metavar="N",
+                        help="risers/fallers to print (default: 10)")
+
     serve = sub.add_parser(
         "serve", help="keep the analyzed dataset warm behind an HTTP "
                       "query API (importance, completeness, advisor, "
@@ -218,6 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 2000)")
     serve.add_argument("--no-reload", action="store_true",
                        help="disable the POST /admin/reload endpoint")
+    serve.add_argument("--series", metavar="PATH", default=None,
+                       help="serve a .rser release train instead of "
+                            "analyzing a corpus: ?release= time-travel "
+                            "queries plus /v1/trend/* and "
+                            "/v1/release/diff (no analysis run)")
+    serve.add_argument("--tenant", metavar="NAME=PATH",
+                       action="append", default=None,
+                       help="mount an extra snapshot or series under "
+                            "?tenant=NAME (repeatable); each tenant "
+                            "hot-reloads independently")
     return parser
 
 
@@ -305,6 +353,99 @@ def _convert_dataset(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _series_command(args: argparse.Namespace) -> int:
+    """``series build|stats|diff``: the longitudinal surface.
+
+    ``build`` needs no prior analysis — it evolves a deterministic
+    paper-scale corpus from the global ``--seed`` and persists it as
+    one ``.rser``; ``stats`` and ``diff`` only read an existing file.
+    """
+    from .series import load_series, write_series
+
+    if args.action == "build":
+        from .synth import EvolutionConfig, evolve_corpus
+        from .synth.paper import PaperScaleConfig
+        if args.releases < 1:
+            print("series build requires --releases >= 1",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        config = EvolutionConfig(
+            n_releases=args.releases,
+            base=PaperScaleConfig.at_scale(args.scale,
+                                           seed=args.seed),
+            seed=args.seed)
+        ecosystem = evolve_corpus(config)
+        written = write_series(args.out, ecosystem.datasets())
+        series = load_series(args.out)
+        stats = series.stats()
+        print(f"series written to {args.out}: "
+              f"{stats['n_releases']} releases, "
+              f"{stats['n_packages'][0]} -> {stats['n_packages'][-1]} "
+              f"packages, {written} bytes "
+              f"(base {stats['base_bytes']}, "
+              f"deltas {stats['delta_bytes']})")
+        print(f"series fingerprint {stats['series_fingerprint'][:12]}")
+        return EXIT_OK
+
+    source = args.input or args.out
+    series = load_series(source)
+    if args.action == "stats":
+        stats = series.stats()
+        print(f"series file      : {source}")
+        print(f"fingerprint      : {stats['series_fingerprint']}")
+        print(f"releases         : {stats['n_releases']}")
+        print(f"packages         : {stats['n_packages'][0]} -> "
+              f"{stats['n_packages'][-1]}")
+        print(f"file size        : {stats['file_size']} bytes")
+        print(f"base snapshot    : {stats['base_bytes']} bytes")
+        print(f"delta payload    : {stats['delta_bytes']} bytes")
+        for release, size in sorted(
+                stats["delta_bytes_per_release"].items()):
+            print(f"  delta r{release:<4} : {size} bytes")
+        return EXIT_OK
+
+    # diff
+    to = (series.n_releases - 1 if args.diff_to is None
+          else args.diff_to)
+    diff = series.release_diff(args.diff_from, to,
+                               dimension=args.dimension,
+                               weighted=args.weighted)
+    kind = "importance" if args.weighted else "usage"
+    print(f"release {args.diff_from} -> {to} "
+          f"({args.dimension} {kind}, "
+          f"noise floor {diff.noise_floor:.0%})")
+    for title, deltas in (("risers", diff.risers(args.limit)),
+                          ("fallers", diff.fallers(args.limit))):
+        print(f"{title}:")
+        if not deltas:
+            print("  (none above the noise floor)")
+        for delta in deltas:
+            print(f"  {delta.api:<24} {delta.before:>8.2%} -> "
+                  f"{delta.after:>8.2%}  ({delta.delta:+.2%})")
+    migrated = diff.migrated_pairs()
+    if migrated:
+        print("migrations in progress:")
+        for verdict in migrated:
+            print(f"  {verdict.legacy} -> {verdict.preferred} "
+                  f"({verdict.legacy_delta:+.2%} / "
+                  f"{verdict.preferred_delta:+.2%})")
+    return EXIT_OK
+
+
+def _parse_tenants(specs: Optional[List[str]]) -> Dict[str, str]:
+    """``--tenant NAME=PATH`` flags -> an ordered mapping."""
+    tenants: Dict[str, str] = {}
+    for spec in specs or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ValueError(
+                f"--tenant expects NAME=PATH, got {spec!r}")
+        if name in tenants:
+            raise ValueError(f"duplicate tenant name {name!r}")
+        tenants[name] = path
+    return tenants
+
+
 def _read_syscall_list(spec: str) -> List[str]:
     if spec.startswith("@"):
         with open(spec[1:], "r", encoding="utf-8") as handle:
@@ -320,7 +461,7 @@ def _serve_concurrency(args: argparse.Namespace) -> int:
     return concurrency
 
 
-def _serve(study: Study, args: argparse.Namespace) -> int:
+def _serve(study: Optional[Study], args: argparse.Namespace) -> int:
     """Run the long-lived query server until SIGINT/SIGTERM.
 
     SIGINT propagates as ``KeyboardInterrupt`` and exits 130 (the
@@ -331,13 +472,26 @@ def _serve(study: Study, args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    if args.workers > 1:
-        return _serve_multiworker(study, args)
+    try:
+        tenants = _parse_tenants(args.tenant)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
 
-    from .serve import ServeApp, ServeServer, SnapshotHolder
-    holder = SnapshotHolder(study.dataset)
+    if args.workers > 1:
+        return _serve_multiworker(study, args, tenants)
+
+    from .serve import (ServeApp, ServeServer, SnapshotHolder,
+                        SnapshotRegistry, holder_from_file)
+    if args.series is not None:
+        registry = SnapshotRegistry.from_files(args.series,
+                                               tenants=tenants)
+    else:
+        registry = SnapshotRegistry.of(SnapshotHolder(study.dataset))
+        for name, path in tenants.items():
+            registry.add(name, holder_from_file(path))
     app = ServeApp(
-        holder,
+        registry,
         cache_entries=args.cache_entries,
         cache_ttl_seconds=args.cache_ttl,
         concurrency=_serve_concurrency(args),
@@ -352,9 +506,23 @@ def _serve(study: Study, args: argparse.Namespace) -> int:
     # default disposition would kill us mid-boot.
     terminated = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: terminated.set())
+    if args.series is not None:
+        # File-backed serving gets the same SIGHUP hot-reload verb as
+        # the pre-fork fleet; the handler thread keeps the accept loop
+        # responsive and a failed reload keeps the old generation.
+        def _hup(*_):
+            threading.Thread(target=_quiet_reload, args=(app,),
+                             name="repro-serve-reload",
+                             daemon=True).start()
+        signal.signal(signal.SIGHUP, _hup)
     server.start()
-    snapshot = holder.current()
-    print(f"serving {snapshot.packages} packages "
+    snapshot = app.holder.current()
+    what = (f"{snapshot.n_releases} releases"
+            if hasattr(snapshot, "n_releases")
+            else f"{snapshot.packages} packages")
+    if tenants:
+        what += f" (+{len(tenants)} tenants)"
+    print(f"serving {what} "
           f"(fingerprint {snapshot.fingerprint[:12]}) "
           f"on {server.url}", flush=True)
     try:
@@ -368,13 +536,24 @@ def _serve(study: Study, args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _serve_multiworker(study: Study, args: argparse.Namespace) -> int:
-    """Pre-fork serving: supervisor + N workers over one snapshot.
+def _quiet_reload(app) -> None:
+    """Best-effort reload for signal handlers (old snapshot survives)."""
+    try:
+        app.reload_from_source()
+    except Exception as exc:
+        print(f"reload failed: {exc}", file=sys.stderr, flush=True)
+
+
+def _serve_multiworker(study: Optional[Study],
+                       args: argparse.Namespace,
+                       tenants: Dict[str, str]) -> int:
+    """Pre-fork serving: supervisor + N workers over shared files.
 
     The dataset is exported once as a ``.rsnap`` into a scratch
-    directory; every worker mmaps those same bytes, so the corpus
-    occupies the page cache once regardless of fleet size.  SIGHUP
-    fans a hot reload of that snapshot out to every worker.
+    directory (a ``--series`` file is used in place, no export);
+    every worker mmaps those same bytes, so the corpus occupies the
+    page cache once regardless of fleet size.  SIGHUP fans a hot
+    reload of every source-bound tenant out to every worker.
     """
     import os
     import shutil
@@ -384,13 +563,23 @@ def _serve_multiworker(study: Study, args: argparse.Namespace) -> int:
 
     from .serve import WorkerSettings, WorkerSupervisor
 
-    scratch = tempfile.mkdtemp(prefix="repro-serve-")
-    snapshot_path = os.path.join(scratch, "dataset.rsnap")
-    study.export_dataset(snapshot_path, format="binary")
+    scratch = None
+    if args.series is not None:
+        snapshot_path = args.series
+        popcon = repository = None
+        what = "release train"
+    else:
+        scratch = tempfile.mkdtemp(prefix="repro-serve-")
+        snapshot_path = os.path.join(scratch, "dataset.rsnap")
+        study.export_dataset(snapshot_path, format="binary")
+        popcon, repository = study.popcon, study.repository
+        what = f"{len(study.dataset.packages)} packages"
+    if tenants:
+        what += f" (+{len(tenants)} tenants)"
     supervisor = WorkerSupervisor(
         snapshot_path, workers=args.workers,
         host=args.host, port=args.port,
-        popcon=study.popcon, repository=study.repository,
+        popcon=popcon, repository=repository,
         settings=WorkerSettings(
             cache_entries=args.cache_entries,
             cache_ttl_seconds=args.cache_ttl,
@@ -398,6 +587,7 @@ def _serve_multiworker(study: Study, args: argparse.Namespace) -> int:
             max_wait_seconds=args.max_wait_ms / 1000.0,
             deadline_seconds=(args.deadline_ms / 1000.0
                               if args.deadline_ms > 0 else None)),
+        tenants=tenants,
         quiet=True)
     terminated = threading.Event()
     try:
@@ -406,7 +596,7 @@ def _serve_multiworker(study: Study, args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, lambda *_: terminated.set())
         signal.signal(signal.SIGHUP,
                       lambda *_: supervisor.reload_all())
-        print(f"serving {len(study.dataset.packages)} packages "
+        print(f"serving {what} "
               f"({supervisor.mode}, {args.workers} workers) "
               f"on {supervisor.url}", flush=True)
         # Timed wait keeps the main thread responsive to SIGTERM and
@@ -416,7 +606,8 @@ def _serve_multiworker(study: Study, args: argparse.Namespace) -> int:
             pass
     finally:
         supervisor.stop()
-        shutil.rmtree(scratch, ignore_errors=True)
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
     return EXIT_OK
 
 
@@ -475,6 +666,14 @@ def _run(argv: Optional[List[str]] = None) -> int:
     if args.command == "dataset" and args.action == "convert":
         # Pure snapshot transcoding: no ecosystem build, no analysis.
         return _convert_dataset(args)
+
+    if args.command == "series":
+        # Longitudinal series work is file/synth-backed: no analysis.
+        return _series_command(args)
+
+    if args.command == "serve" and args.series is not None:
+        # Serving a prebuilt release train: no analysis run either.
+        return _serve(None, args)
 
     study = _study_for(args)
     # The analysis ran inside the Study constructor, so the trace and

@@ -38,6 +38,11 @@ from .ranking import (
     inverted_cdf,
     stages,
 )
+from .trends import (
+    completeness_trend,
+    importance_trend,
+    release_diff,
+)
 from .unweighted import (
     unweighted_api_importance,
     unweighted_importance_table,
@@ -62,15 +67,18 @@ __all__ = [
     "band_counts",
     "close_over_dependencies",
     "completeness_curve",
+    "completeness_trend",
     "count_at_least",
     "dependents_index",
     "directly_supported",
     "first_rank_reaching",
     "importance_of_packages",
     "importance_table",
+    "importance_trend",
     "inverted_cdf",
     "missing_apis_report",
     "ranked",
+    "release_diff",
     "stages",
     "supported_packages",
     "unweighted_api_importance",

@@ -1,0 +1,166 @@
+"""Cross-release trend and diff queries over a release train.
+
+The paper measures one archive snapshot; these entry points answer the
+longitudinal questions its §2.4 limitation leaves open: how does an
+API's importance move release over release, how does a target system's
+weighted completeness erode (or recover) as the ecosystem drifts, and
+what changed between two releases.
+
+Every function takes any *release source* — a
+:class:`repro.series.DatasetSeries` or a plain sequence of datasets /
+footprint mappings — duck-typed on ``at(k)`` / ``n_releases`` so this
+module never imports :mod:`repro.series` (metrics stay a layer below
+storage).  ``release_diff`` is the engine behind the serve
+``/v1/release/diff`` endpoint and the ``ext_release_diff`` benchmark;
+the trend functions back ``/v1/trend/*`` and ``series diff`` in the
+CLI.  Range violations raise ``ValueError`` (the serve layer maps that
+to a 400 envelope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..dataset.core import as_dataset
+from .completeness import weighted_completeness
+from .diffing import UsageDiff
+
+
+class _SequenceSource:
+    """Adapter giving a dataset sequence the series ``at`` protocol."""
+
+    def __init__(self, releases: Sequence) -> None:
+        self._releases = list(releases)
+        self.n_releases = len(self._releases)
+
+    def at(self, release: int):
+        if not 0 <= release < self.n_releases:
+            raise ValueError(
+                f"unknown release {release}; source holds releases "
+                f"0..{self.n_releases - 1}")
+        return as_dataset(self._releases[release])
+
+
+def _as_source(source):
+    if hasattr(source, "at") and hasattr(source, "n_releases"):
+        return source
+    return _SequenceSource(source)
+
+
+def _release_index(source, value, name: str) -> int:
+    try:
+        release = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a release index, "
+                         f"got {value!r}") from None
+    if not 0 <= release < source.n_releases:
+        raise ValueError(
+            f"unknown release {release}; source holds releases "
+            f"0..{source.n_releases - 1}")
+    return release
+
+
+def _release_range(source, start: int,
+                   stop: Optional[int]) -> range:
+    first = _release_index(source, start, "from")
+    last = (source.n_releases - 1 if stop is None
+            else _release_index(source, stop, "to"))
+    if last < first:
+        raise ValueError(
+            f"empty release range: from={first} > to={last}")
+    return range(first, last + 1)
+
+
+def release_diff(source, frm: int, to: int,
+                 dimension: str = "syscall",
+                 weighted: bool = False,
+                 noise_floor: float = 0.02) -> UsageDiff:
+    """What changed between two releases, as a :class:`UsageDiff`.
+
+    ``weighted=False`` compares unweighted usage tables (the paper's
+    §5 adoption metric and what the legacy ``ext_release_diff``
+    experiment computed); ``weighted=True`` compares popcon-weighted
+    importance.
+    """
+    source = _as_source(source)
+    frm = _release_index(source, frm, "from")
+    to = _release_index(source, to, "to")
+    return UsageDiff.between(source.at(frm), source.at(to),
+                             dimension=dimension, weighted=weighted,
+                             noise_floor=noise_floor)
+
+
+def importance_trend(source, apis: Optional[Iterable[str]] = None,
+                     dimension: str = "syscall", weighted: bool = True,
+                     limit: int = 5, start: int = 0,
+                     stop: Optional[int] = None) -> Dict[str, object]:
+    """Per-release importance of a set of APIs across a release range.
+
+    ``apis`` defaults to the ``limit`` most important APIs of the
+    *newest* release in range — "what do today's top calls look like
+    backwards through time".
+    """
+    source = _as_source(source)
+    releases = _release_range(source, start, stop)
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+
+    def table_of(release: int) -> Dict[str, float]:
+        dataset = source.at(release)
+        if weighted:
+            return dataset.importance_table(dimension)
+        return dataset.usage_table(dimension, ignore_empty=False)
+
+    if apis is None:
+        newest = table_of(releases[-1])
+        chosen = [api for api, _ in sorted(
+            newest.items(), key=lambda item: (-item[1], item[0]))]
+        chosen = chosen[:limit]
+    else:
+        chosen = sorted(set(apis))
+        if not chosen:
+            raise ValueError("apis must name at least one API")
+    trend: Dict[str, List[float]] = {api: [] for api in chosen}
+    for release in releases:
+        table = table_of(release)
+        for api in chosen:
+            trend[api].append(table.get(api, 0.0))
+    return {
+        "dimension": dimension,
+        "weighted": weighted,
+        "from": releases[0],
+        "to": releases[-1],
+        "releases": list(releases),
+        "apis": chosen,
+        "trend": trend,
+    }
+
+
+def completeness_trend(source, supported: Iterable[str],
+                       dimension: str = "syscall",
+                       ignore_empty: bool = True, start: int = 0,
+                       stop: Optional[int] = None) -> Dict[str, object]:
+    """Weighted completeness of one fixed API set, release by release.
+
+    The longitudinal version of the paper's compatibility metric: a
+    target system that stops adding APIs watches its completeness
+    drift as the ecosystem evolves under it.
+    """
+    source = _as_source(source)
+    releases = _release_range(source, start, stop)
+    supported = sorted(set(supported))
+    values = []
+    for release in releases:
+        dataset = source.at(release)
+        values.append(weighted_completeness(
+            supported, dataset, dimension=dimension,
+            ignore_empty=ignore_empty))
+    return {
+        "dimension": dimension,
+        "ignore_empty": ignore_empty,
+        "supported": supported,
+        "from": releases[0],
+        "to": releases[-1],
+        "releases": list(releases),
+        "values": values,
+    }

@@ -1,0 +1,46 @@
+"""Longitudinal dataset series: delta-encoded multi-release snapshots.
+
+A ``.rser`` file stores release 0 of an evolved ecosystem as a full,
+self-contained ``.rsnap`` image and every later release as a delta
+section (packages added/removed, changed mask rows, popcon and
+dependency churn).  :class:`DatasetSeries` materializes any release
+lazily and bit-identically to an eager rebuild, and backs the
+time-travel query surface (``?release=`` / ``?from=&to=``) in
+:mod:`repro.serve`.
+"""
+
+from .builder import build_series, series_to_bytes, write_series
+from .format import (
+    SERIES_MAGIC,
+    SERIES_VERSION,
+    ReleaseDelta,
+    ReleaseEntry,
+    decode_delta,
+    delta_between,
+    encode_delta,
+)
+from .reader import (
+    DatasetSeries,
+    load_series,
+    load_series_bytes,
+    series_info,
+    sniff_series,
+)
+
+__all__ = [
+    "DatasetSeries",
+    "ReleaseDelta",
+    "ReleaseEntry",
+    "SERIES_MAGIC",
+    "SERIES_VERSION",
+    "build_series",
+    "decode_delta",
+    "delta_between",
+    "encode_delta",
+    "load_series",
+    "load_series_bytes",
+    "series_info",
+    "series_to_bytes",
+    "sniff_series",
+    "write_series",
+]

@@ -19,7 +19,9 @@ warm behind an HTTP API and answers those queries in microseconds:
 * :mod:`repro.serve.admission` — bounded-concurrency admission control
   (429 + ``Retry-After`` under saturation) and per-request deadlines;
 * :mod:`repro.serve.snapshot` — RCU-style atomic hot reload of the
-  dataset with zero dropped in-flight requests;
+  dataset with zero dropped in-flight requests, plus the multi-tenant
+  :class:`SnapshotRegistry` and the :class:`SeriesHolder` that
+  publishes a whole release train for ``?release=`` time travel;
 * :mod:`repro.serve.workers` — pre-fork multi-worker serving: a
   supervisor binds one address, N worker processes mmap the same
   ``.rsnap`` snapshot, crashes restart with backoff, and SIGHUP fans
@@ -38,12 +40,15 @@ from .endpoints import (ENDPOINTS, ENDPOINTS_BY_NAME, BadRequestError,
                         ServeRequestError)
 from .qcache import QueryCache, canonical_query_key
 from .server import ServeServer, ThreadingTransport, reuse_port_available
-from .snapshot import DatasetSnapshot, SnapshotHolder
+from .snapshot import (DEFAULT_TENANT, DatasetSnapshot, ResolvedTarget,
+                       SeriesHolder, SeriesSnapshot, SnapshotHolder,
+                       SnapshotRegistry, holder_from_file)
 from .workers import WorkerSettings, WorkerSupervisor, default_mode
 
 __all__ = [
     "AdmissionController",
     "BadRequestError",
+    "DEFAULT_TENANT",
     "DatasetSnapshot",
     "Deadline",
     "DeadlineExceededError",
@@ -55,18 +60,23 @@ __all__ = [
     "OverloadedError",
     "QueryCache",
     "Request",
+    "ResolvedTarget",
     "Response",
     "SERVE_SCHEMA",
     "SERVE_SCHEMA_VERSION",
+    "SeriesHolder",
+    "SeriesSnapshot",
     "ServeApp",
     "ServeRequestError",
     "ServeServer",
     "SnapshotHolder",
+    "SnapshotRegistry",
     "ThreadingTransport",
     "WorkerSettings",
     "WorkerSupervisor",
     "canonical_json",
     "canonical_query_key",
     "default_mode",
+    "holder_from_file",
     "reuse_port_available",
 ]

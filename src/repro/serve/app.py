@@ -50,7 +50,8 @@ from .endpoints import (ENDPOINTS, Endpoint, BadRequestError,
                         MethodNotAllowedError, NotFoundError,
                         ServeRequestError)
 from .qcache import QueryCache, canonical_query_key
-from .snapshot import SnapshotHolder
+from .snapshot import (DEFAULT_TENANT, SeriesSnapshot,
+                       SnapshotRegistry)
 
 #: Bump when the response envelope shape changes.
 SERVE_SCHEMA = "repro.serve"
@@ -128,9 +129,18 @@ _STATUS_FOR_ANALYSIS_CLASS = {
 
 
 class ServeApp:
-    """The request pipeline over one :class:`SnapshotHolder`."""
+    """The request pipeline over published snapshots.
 
-    def __init__(self, holder: SnapshotHolder,
+    ``source`` is a single holder (:class:`SnapshotHolder` or
+    :class:`SeriesHolder`, registered as the ``default`` tenant) or a
+    pre-built :class:`SnapshotRegistry`.  Requests pick their tenant
+    with ``?tenant=`` and — against a series tenant — their release
+    with ``?release=`` (defaulting to the head release); series-scope
+    endpoints (``/v1/trend/*``, ``/v1/release/diff``,
+    ``/v1/series/stats``) see the whole release train.
+    """
+
+    def __init__(self, source,
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[SpanTracer] = None,
                  cache_entries: int = 1024,
@@ -141,7 +151,7 @@ class ServeApp:
                  allow_reload: bool = True,
                  metrics_labels: Optional[Dict[str, str]] = None,
                  ) -> None:
-        self.holder = holder
+        self.snapshots = SnapshotRegistry.of(source)
         #: Constant labels stamped on every ``/metrics`` sample — the
         #: pre-fork supervisor sets ``{"worker": ..., "pid": ...}`` so
         #: scrapes from different workers stay distinguishable.
@@ -161,6 +171,11 @@ class ServeApp:
         for endpoint in ENDPOINTS:
             self._routes.setdefault(endpoint.path, {})[
                 endpoint.method] = endpoint
+
+    @property
+    def holder(self):
+        """The default tenant's holder (single-tenant shorthand)."""
+        return self.snapshots.get()
 
     # --- entry point ----------------------------------------------------
 
@@ -217,18 +232,45 @@ class ServeApp:
         })
 
     def _readyz(self, request: Request) -> Response:
-        """Readiness: flips to 503 during a snapshot reload window."""
-        if not self.holder.ready():
+        """Readiness: flips to 503 while any tenant reloads.
+
+        The top-level keys describe the default tenant (so
+        single-tenant consumers keep their shape); series tenants add
+        release provenance, and additional tenants get their own block
+        under ``"tenants"``.
+        """
+        if not self.snapshots.ready():
             return Response.json(503, {"status": "loading",
                                        "ready": False})
-        snapshot = self.holder.current()
-        return Response.json(200, {
+        snapshot = self.snapshots.get().current()
+        payload: Dict[str, Any] = {
             "status": "ok", "ready": True,
             "generation": snapshot.generation,
             "fingerprint": snapshot.fingerprint,
             "format": snapshot.source_format,
             "packages": snapshot.packages,
-        })
+        }
+        if isinstance(snapshot, SeriesSnapshot):
+            payload["releases"] = snapshot.n_releases
+            payload["head_release"] = snapshot.head_release
+            payload["release_fingerprints"] = list(
+                snapshot.release_fingerprints)
+        extra = [name for name in self.snapshots.names()
+                 if name != DEFAULT_TENANT]
+        if extra:
+            tenants: Dict[str, Any] = {}
+            for name, holder in self.snapshots.items():
+                current = holder.current()
+                block: Dict[str, Any] = {
+                    "generation": current.generation,
+                    "fingerprint": current.fingerprint,
+                    "format": current.source_format,
+                }
+                if isinstance(current, SeriesSnapshot):
+                    block["releases"] = current.n_releases
+                tenants[name] = block
+            payload["tenants"] = tenants
+        return Response.json(200, payload)
 
     def _metrics(self, request: Request) -> Response:
         """Prometheus text scrape of the serve registry."""
@@ -252,6 +294,18 @@ class ServeApp:
             holder["failed_reloads"])
         gauge("serve.snapshot.ready").set(1.0 if holder["ready"]
                                           else 0.0)
+        if "releases" in holder:
+            gauge("serve.snapshot.releases").set(holder["releases"])
+        for name, stats in self.snapshots.stats().items():
+            if name == DEFAULT_TENANT:
+                continue
+            prefix = f"serve.tenant.{name}"
+            gauge(f"{prefix}.generation").set(stats["generation"])
+            gauge(f"{prefix}.reloads").set(stats["reloads"])
+            gauge(f"{prefix}.failed_reloads").set(
+                stats["failed_reloads"])
+            gauge(f"{prefix}.ready").set(1.0 if stats["ready"]
+                                         else 0.0)
 
     def _index(self, request: Request) -> Response:
         """Self-describing endpoint listing."""
@@ -266,7 +320,7 @@ class ServeApp:
         })
 
     def _reload(self, request: Request) -> Response:
-        """POST /admin/reload {"path": ...}: hot-swap the snapshot."""
+        """POST /admin/reload {"path": ..., "tenant"?: ...}."""
         try:
             if request.method != "POST":
                 raise MethodNotAllowedError(
@@ -277,27 +331,35 @@ class ServeApp:
             if body is None or not isinstance(body.get("path"), str):
                 raise BadRequestError(
                     'reload needs a JSON body {"path": "<snapshot>"}')
-            snapshot = self.reload_from_path(body["path"])
-            return Response.json(200, {
+            tenant = body.get("tenant")
+            if tenant is not None and not isinstance(tenant, str):
+                raise BadRequestError("tenant must be a string")
+            snapshot = self.reload_from_path(body["path"],
+                                             tenant=tenant)
+            payload = {
                 "schema": SERVE_SCHEMA,
                 "version": SERVE_SCHEMA_VERSION,
                 "generation": snapshot.generation,
                 "fingerprint": snapshot.fingerprint,
                 "packages": snapshot.packages,
-            })
+            }
+            if tenant is not None:
+                payload["tenant"] = tenant
+            return Response.json(200, payload)
         except Exception as exc:
             return self._error_response(request, exc)
 
-    def reload_from_path(self, path) -> "DatasetSnapshot":
-        """Hot-swap the snapshot from ``path`` (shared reload core).
+    def reload_from_path(self, path, tenant: Optional[str] = None):
+        """Hot-swap one tenant's snapshot from ``path``.
 
         Used by both ``POST /admin/reload`` and the worker-side SIGHUP
         handler, so cache invalidation and accounting cannot drift
         between the two reload triggers.
         """
-        before = self.holder.current()
+        holder = self.snapshots.get(tenant)
+        before = holder.current()
         with self.tracer.span("serve.reload", path=str(path)):
-            snapshot = self.holder.reload_from_file(path)
+            snapshot = holder.reload_from_file(path)
         if snapshot.fingerprint == before.fingerprint:
             # Same corpus reloaded from a different source: the
             # fingerprint-keyed cache can't tell the generations
@@ -307,12 +369,31 @@ class ServeApp:
         self.registry.counter("serve.reloads").inc()
         return snapshot
 
-    def reload_from_source(self) -> "DatasetSnapshot":
-        """Reload from the holder's bound source path (SIGHUP fan-in)."""
-        if self.holder.source_path is None:
+    def reload_from_source(self) -> Dict[str, Any]:
+        """Reload every source-bound tenant (SIGHUP fan-in).
+
+        Attempts all tenants even if one fails, then re-raises the
+        first failure so worker-side failed-reload accounting fires;
+        raises ``RuntimeError`` when no tenant has a bound source.
+        """
+        sourced = [(name, holder)
+                   for name, holder in self.snapshots.items()
+                   if holder.source_path is not None]
+        if not sourced:
             raise RuntimeError(
                 "holder has no source path bound; nothing to reload")
-        return self.reload_from_path(self.holder.source_path)
+        published: Dict[str, Any] = {}
+        first_error: Optional[Exception] = None
+        for name, holder in sourced:
+            try:
+                published[name] = self.reload_from_path(
+                    holder.source_path, tenant=name)
+            except Exception as exc:  # noqa: BLE001 — keep fleet going
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return published
 
     # --- the query pipeline ---------------------------------------------
 
@@ -338,12 +419,22 @@ class ServeApp:
 
     def _answer(self, request: Request, endpoint: Endpoint,
                 deadline: Deadline, span) -> Response:
-        snapshot = self.holder.current()   # RCU pin: one read, held
+        # RCU pin: tenant coordinates resolve to one published
+        # snapshot (and, for series tenants, one release) read once
+        # and held for the whole request.
+        target = self.snapshots.resolve(
+            tenant=request.query.get("tenant"),
+            release=request.query.get("release"),
+            scope=endpoint.scope)
         params = endpoint.normalize(request.query,
                                     request.json_body())
         deadline.check("normalize")
-        key = canonical_query_key(snapshot.fingerprint,
-                                  endpoint.name, params)
+        # The release-resolved fingerprint keys the cache, so two
+        # releases of one series — or two tenants sharing a corpus —
+        # can never collide on an entry.
+        key = canonical_query_key(
+            f"{target.tenant}:{target.fingerprint}",
+            endpoint.name, params)
         payload = self.qcache.get(key) if endpoint.cacheable else None
         cached = payload is not None
         span.attrs["cached"] = cached
@@ -352,10 +443,12 @@ class ServeApp:
         else:
             if endpoint.cacheable:
                 self.registry.counter("serve.qcache.miss").inc()
+            subject = (target.series if endpoint.scope == "series"
+                       else target.dataset)
             start = time.perf_counter()
             with self.tracer.span("serve.compute",
                                   endpoint=endpoint.name):
-                payload = endpoint.payload(snapshot.dataset, params)
+                payload = endpoint.payload(subject, params)
             self.registry.histogram(
                 f"serve.endpoint.{endpoint.name}.compute_seconds"
             ).observe(time.perf_counter() - start)
@@ -366,11 +459,15 @@ class ServeApp:
             "schema": SERVE_SCHEMA,
             "version": SERVE_SCHEMA_VERSION,
             "endpoint": endpoint.name,
-            "fingerprint": snapshot.fingerprint,
-            "generation": snapshot.generation,
+            "fingerprint": target.fingerprint,
+            "generation": target.generation,
             "cached": cached,
             "data": payload,
         }
+        if target.release is not None:
+            envelope["release"] = target.release
+        if target.tenant != DEFAULT_TENANT:
+            envelope["tenant"] = target.tenant
         deadline.check("encode")
         return Response.json(200, envelope)
 

@@ -31,8 +31,9 @@ from ..compat import (SystemModel, coverage_plan, evaluate_system,
 from ..dataset.core import Dataset
 from ..dataset.dimensions import ALL_DIMENSIONS
 from ..libc import symbols as libc_symbols
-from ..metrics import (completeness_curve, importance_table,
-                       missing_apis_report, ranked,
+from ..metrics import (completeness_curve, completeness_trend,
+                       importance_table, importance_trend,
+                       missing_apis_report, ranked, release_diff,
                        unweighted_importance_table,
                        weighted_completeness)
 from ..syscalls import fcntl_ops, ioctl, prctl_ops
@@ -119,6 +120,27 @@ def _int_param(params: Mapping[str, Any], name: str, default: int,
     except (TypeError, ValueError):
         raise BadRequestError(
             f"{name} must be an integer, not {raw!r}") from None
+    if value < minimum:
+        raise BadRequestError(f"{name} must be >= {minimum}")
+    return value
+
+
+def _opt_int_param(params: Mapping[str, Any], name: str,
+                   minimum: int = 0) -> Optional[int]:
+    """An optional integer query parameter (absent -> None)."""
+    if params.get(name) is None:
+        return None
+    return _int_param(params, name, 0, minimum=minimum)
+
+
+def _float_param(params: Mapping[str, Any], name: str,
+                 default: float, minimum: float = 0.0) -> float:
+    raw = params.get(name, default)
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"{name} must be a number, not {raw!r}") from None
     if value < minimum:
         raise BadRequestError(f"{name} must be >= {minimum}")
     return value
@@ -368,6 +390,12 @@ def stats_payload(dataset: Dataset,
     # in-process, never published) reports the in-memory default.
     meta = getattr(dataset, "snapshot_meta",
                    {"format": "memory", "fingerprint": None})
+    snapshot: Dict[str, Any] = {"format": meta["format"],
+                                "fingerprint": meta["fingerprint"]}
+    # A release index is stamped only when the dataset came out of a
+    # series holder — plain snapshots keep the two-key shape.
+    if "release" in meta:
+        snapshot["release"] = meta["release"]
     return {
         "n_packages": stats.n_packages,
         "n_apis": dict(stats.n_apis),
@@ -376,8 +404,138 @@ def stats_payload(dataset: Dataset,
         "has_popcon": stats.has_popcon,
         "has_repository": stats.has_repository,
         "n_dependency_edges": stats.n_dependency_edges,
-        "snapshot": {"format": meta["format"],
-                     "fingerprint": meta["fingerprint"]},
+        "snapshot": snapshot,
+    }
+
+
+# --- series stats -------------------------------------------------------
+
+def normalize_series_stats(params: Mapping[str, str],
+                           body: Optional[Mapping[str, Any]],
+                           ) -> Dict[str, Any]:
+    return {}
+
+
+def series_stats_payload(series: Any,
+                         params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Shape and storage economics of the published release train."""
+    stats = series.stats()
+    return {
+        "format": stats["format"],
+        "version": stats["version"],
+        "series_fingerprint": stats["series_fingerprint"],
+        "n_releases": stats["n_releases"],
+        "n_packages": list(stats["n_packages"]),
+        "release_fingerprints": list(stats["fingerprints"]),
+        "file_size": stats["file_size"],
+        "base_bytes": stats["base_bytes"],
+        "delta_bytes": stats["delta_bytes"],
+        "delta_bytes_per_release": {
+            str(release): size for release, size
+            in sorted(stats["delta_bytes_per_release"].items())},
+    }
+
+
+# --- importance trend ---------------------------------------------------
+
+def normalize_trend_importance(params: Mapping[str, str],
+                               body: Optional[Mapping[str, Any]],
+                               ) -> Dict[str, Any]:
+    raw_apis = params.get("apis")
+    apis: Optional[List[str]] = None
+    if raw_apis is not None:
+        apis = sorted({name.strip() for name in raw_apis.split(",")
+                       if name.strip()})
+        if not apis:
+            raise BadRequestError(
+                "apis must name at least one API")
+    return {"dimension": _dimension(params),
+            "weighted": _bool_param(params, "weighted", True),
+            "limit": _int_param(params, "limit", 5, minimum=1),
+            "apis": apis,
+            "from": _int_param(params, "from", 0),
+            "to": _opt_int_param(params, "to")}
+
+
+def trend_importance_payload(series: Any,
+                             params: Mapping[str, Any],
+                             ) -> Dict[str, Any]:
+    """Per-release importance of an API set across the train."""
+    return importance_trend(
+        series, apis=params["apis"], dimension=params["dimension"],
+        weighted=params["weighted"], limit=params["limit"],
+        start=params["from"], stop=params["to"])
+
+
+# --- completeness trend -------------------------------------------------
+
+def normalize_trend_completeness(params: Mapping[str, str],
+                                 body: Optional[Mapping[str, Any]],
+                                 ) -> Dict[str, Any]:
+    merged: Dict[str, Any] = dict(body or {})
+    merged.update(params)
+    return {"dimension": _dimension(merged),
+            "supported": _api_list(body, "supported"),
+            "ignore_empty": _bool_param(merged, "ignore_empty", True),
+            "from": _int_param(merged, "from", 0),
+            "to": _opt_int_param(merged, "to")}
+
+
+def trend_completeness_payload(series: Any,
+                               params: Mapping[str, Any],
+                               ) -> Dict[str, Any]:
+    """Weighted completeness of one fixed API set, per release."""
+    return completeness_trend(
+        series, params["supported"], dimension=params["dimension"],
+        ignore_empty=params["ignore_empty"],
+        start=params["from"], stop=params["to"])
+
+
+# --- release diff -------------------------------------------------------
+
+def normalize_release_diff(params: Mapping[str, str],
+                           body: Optional[Mapping[str, Any]],
+                           ) -> Dict[str, Any]:
+    if params.get("from") is None or params.get("to") is None:
+        raise BadRequestError(
+            "query parameters 'from' and 'to' are required")
+    return {"dimension": _dimension(params),
+            "weighted": _bool_param(params, "weighted", False),
+            "noise_floor": _float_param(params, "noise_floor", 0.02),
+            "limit": _int_param(params, "limit", 10, minimum=1),
+            "from": _int_param(params, "from", 0),
+            "to": _int_param(params, "to", 0)}
+
+
+def release_diff_payload(series: Any,
+                         params: Mapping[str, Any]) -> Dict[str, Any]:
+    """What changed between two releases: risers, fallers, migrations."""
+    diff = release_diff(series, params["from"], params["to"],
+                        dimension=params["dimension"],
+                        weighted=params["weighted"],
+                        noise_floor=params["noise_floor"])
+    limit = params["limit"]
+
+    def encode(deltas):
+        return [{"api": d.api, "before": d.before, "after": d.after,
+                 "delta": d.delta} for d in deltas]
+
+    return {
+        "dimension": params["dimension"],
+        "weighted": params["weighted"],
+        "noise_floor": params["noise_floor"],
+        "from": params["from"],
+        "to": params["to"],
+        "risers": encode(diff.risers(limit)),
+        "fallers": encode(diff.fallers(limit)),
+        "migrations": [
+            {"legacy": v.legacy, "preferred": v.preferred,
+             "legacy_delta": v.legacy_delta,
+             "preferred_delta": v.preferred_delta,
+             "migrated": v.migrated}
+            for v in diff.migration_verdicts()],
+        "migrated_pairs": [[v.legacy, v.preferred]
+                           for v in diff.migrated_pairs()],
     }
 
 
@@ -392,9 +550,14 @@ class Endpoint:
     path: str
     normalize: Callable[[Mapping[str, str],
                          Optional[Mapping[str, Any]]], Dict[str, Any]]
-    payload: Callable[[Dataset, Mapping[str, Any]], Dict[str, Any]]
+    #: ``dataset``-scope payloads receive one materialized
+    #: :class:`repro.dataset.Dataset` (release-resolved for series
+    #: tenants); ``series``-scope payloads receive the whole
+    #: :class:`repro.series.DatasetSeries`.
+    payload: Callable[[Any, Mapping[str, Any]], Dict[str, Any]]
     summary: str
     cacheable: bool = True
+    scope: str = "dataset"
 
 
 #: Every query endpoint the server routes, in display order.
@@ -420,6 +583,22 @@ ENDPOINTS: Tuple[Endpoint, ...] = (
     Endpoint("stats", "GET", "/v1/dataset/stats",
              normalize_stats, stats_payload,
              "interned dataset summary (dimensions, weights, edges)"),
+    Endpoint("series_stats", "GET", "/v1/series/stats",
+             normalize_series_stats, series_stats_payload,
+             "release-train shape and delta storage economics",
+             scope="series"),
+    Endpoint("trend_importance", "GET", "/v1/trend/importance",
+             normalize_trend_importance, trend_importance_payload,
+             "per-release importance of an API set across releases",
+             scope="series"),
+    Endpoint("trend_completeness", "POST", "/v1/trend/completeness",
+             normalize_trend_completeness, trend_completeness_payload,
+             "weighted completeness of a fixed API set per release",
+             scope="series"),
+    Endpoint("release_diff", "GET", "/v1/release/diff",
+             normalize_release_diff, release_diff_payload,
+             "risers, fallers and migrations between two releases",
+             scope="series"),
 )
 
 ENDPOINTS_BY_NAME: Dict[str, Endpoint] = {

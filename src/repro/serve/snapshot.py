@@ -1,16 +1,15 @@
-"""RCU-style dataset snapshot holder with atomic hot reload.
+"""RCU-style snapshot holders and the multi-tenant registry.
 
-The server holds one warm :class:`repro.dataset.Dataset` and must be
-able to replace it — a re-analyzed corpus, a new release — without
-dropping a single in-flight request.  The classic read-copy-update
-discipline fits exactly:
+The server holds warm published state and must be able to replace it —
+a re-analyzed corpus, a new release train — without dropping a single
+in-flight request.  The classic read-copy-update discipline fits
+exactly:
 
-* **Readers** call :meth:`SnapshotHolder.current` once at request
-  start and use that :class:`DatasetSnapshot` for the whole request.
-  The read is a single attribute load (atomic under the GIL), so it
-  takes no lock and can never observe a half-swapped state; the
-  garbage collector keeps the old dataset alive until the last request
-  referencing it finishes.
+* **Readers** call :meth:`current` once at request start and use that
+  published object for the whole request.  The read is a single
+  attribute load (atomic under the GIL), so it takes no lock and can
+  never observe a half-swapped state; the garbage collector keeps the
+  old state alive until the last request referencing it finishes.
 * **The writer** (one at a time, serialized by a lock) builds the
   complete replacement off to the side — parse, decode, rebind — and
   publishes it with one reference assignment.  A failed load changes
@@ -24,13 +23,22 @@ published (or the load failed and the old one remains authoritative).
 In-flight requests are never affected — readiness gates admission of
 future work, not completion of current work.
 
-Reload sources are sniffed by their leading bytes: binary ``.rsnap``
-snapshots (:mod:`repro.store` — ``repro-analyze dataset convert``
-output, engine-cache ``datasets/<fp>.rsnap`` entries) open via mmap
-with lazy mask materialization, and JSON payloads
-(``repro.dataset.codec`` — ``dataset export`` output, legacy cache
-entries) take the eager decode path.  Both produce bit-identical
-served responses.
+Two holder flavors share that discipline via :class:`_RcuHolder`:
+
+* :class:`SnapshotHolder` publishes one :class:`repro.dataset.Dataset`.
+  Reload sources are sniffed by their leading bytes: binary ``.rsnap``
+  snapshots (:mod:`repro.store`) open via mmap with lazy mask
+  materialization, and JSON payloads (:mod:`repro.dataset.codec`) take
+  the eager decode path.  Both produce bit-identical served responses.
+* :class:`SeriesHolder` publishes a whole
+  :class:`repro.series.DatasetSeries` — every release of a train at
+  once — so ``?release=`` time-travel queries resolve against one
+  consistent generation.
+
+:class:`SnapshotRegistry` maps tenant names to holders.  The
+``default`` tenant is what un-qualified requests hit; every holder
+keeps its own RCU generation counter and reload accounting, so one
+tenant's failed reload never disturbs another's published state.
 """
 
 from __future__ import annotations
@@ -39,12 +47,16 @@ import pathlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from ..dataset.codec import (dataset_from_json, dataset_to_json,
                              footprints_fingerprint)
 from ..dataset.core import Dataset
+from ..series import load_series, sniff_series
 from ..store import load_snapshot, sniff_format, write_snapshot
+
+#: Tenant name un-qualified requests resolve against.
+DEFAULT_TENANT = "default"
 
 
 @dataclass(frozen=True)
@@ -62,6 +74,54 @@ class DatasetSnapshot:
     @property
     def packages(self) -> int:
         return len(self.dataset.packages)
+
+
+@dataclass(frozen=True)
+class SeriesSnapshot:
+    """One immutable published release train generation.
+
+    ``fingerprint`` is the series fingerprint (the hash over the whole
+    release chain); individual releases keep their own content
+    fingerprints in :attr:`release_fingerprints`.
+    """
+
+    series: object  # repro.series.DatasetSeries
+    fingerprint: str
+    generation: int
+    loaded_at: float = field(default_factory=time.time)
+    source_format: str = "rser"
+
+    @property
+    def n_releases(self) -> int:
+        return self.series.n_releases
+
+    @property
+    def head_release(self) -> int:
+        return self.series.n_releases - 1
+
+    @property
+    def packages(self) -> int:
+        """Package count of the head release (no materialization)."""
+        return self.series.n_packages[-1]
+
+    @property
+    def release_fingerprints(self) -> Tuple[str, ...]:
+        return self.series.fingerprints
+
+    def dataset_at(self, release: int) -> Dataset:
+        """Materialize one release, stamped with its provenance.
+
+        The stamp mirrors :func:`_annotate` but adds the release index
+        so ``/dataset/stats`` answers say *which* point of the train
+        they describe.
+        """
+        dataset = self.series.at(release)
+        dataset.snapshot_meta = {
+            "format": self.source_format,
+            "fingerprint": self.series.fingerprints[release],
+            "release": release,
+        }
+        return dataset
 
 
 def _annotate(snapshot: DatasetSnapshot) -> DatasetSnapshot:
@@ -94,8 +154,85 @@ def _load_dataset_file(path, popcon, repository):
     return dataset, footprints_fingerprint(dataset), "json"
 
 
-class SnapshotHolder:
-    """Single-writer, many-reader holder of the current snapshot."""
+class _RcuHolder:
+    """Shared single-writer / many-reader publication machinery.
+
+    Subclasses provide :meth:`_load` (path + old published state ->
+    new published state) and inherit the lock-free read side, the
+    ready-window bookkeeping, and the failed-reload accounting.
+    """
+
+    def __init__(self, current, source_path: Optional[str]) -> None:
+        self._current = current
+        self._ready = True
+        self._reload_lock = threading.Lock()
+        #: The file generation 1 was loaded from (or the last file a
+        #: reload succeeded from); ``reload_from_source`` — the
+        #: cross-worker SIGHUP fan-out trigger — re-reads it.
+        self.source_path = source_path
+        self.reloads = 0
+        self.failed_reloads = 0
+
+    # --- reader side ----------------------------------------------------
+
+    def current(self):
+        """The published snapshot: one atomic reference read."""
+        return self._current
+
+    def ready(self) -> bool:
+        """False only inside a reload window (new traffic should wait)."""
+        return self._ready
+
+    @property
+    def generation(self) -> int:
+        return self._current.generation
+
+    # --- writer side ----------------------------------------------------
+
+    def _load(self, path, old):
+        raise NotImplementedError
+
+    def reload_from_file(self, path):
+        """Load a file and publish it atomically.
+
+        In-flight requests keep their snapshot; ``/readyz`` reports
+        not-ready for the duration of the load.  On any failure the old
+        snapshot remains current, readiness is restored, and the error
+        propagates.
+        """
+        with self._reload_lock:
+            old = self._current
+            self._ready = False
+            try:
+                snapshot = self._load(path, old)
+                self._current = snapshot
+                self.source_path = str(path)
+                self.reloads += 1
+                return snapshot
+            except Exception:
+                self.failed_reloads += 1
+                raise
+            finally:
+                self._ready = True
+
+    def reload_from_source(self):
+        """Re-read the bound source path and publish it.
+
+        The cross-worker reload protocol: the supervisor fans a SIGHUP
+        out to every worker, and each worker re-reads the *same*
+        source path — so fingerprint and format provenance stay
+        identical across the fleet.  Raises ``RuntimeError`` when the
+        holder was built in-memory and never reloaded from a file.
+        """
+        if self.source_path is None:
+            raise RuntimeError(
+                "holder has no source path bound; it was built "
+                "in-memory and never (re)loaded from a file")
+        return self.reload_from_file(self.source_path)
+
+
+class SnapshotHolder(_RcuHolder):
+    """Single-writer, many-reader holder of one current dataset."""
 
     def __init__(self, dataset: Dataset,
                  fingerprint: Optional[str] = None, *,
@@ -103,17 +240,9 @@ class SnapshotHolder:
                  source_path: Optional[str] = None) -> None:
         if fingerprint is None:
             fingerprint = footprints_fingerprint(dataset)
-        self._current = _annotate(DatasetSnapshot(
+        super().__init__(_annotate(DatasetSnapshot(
             dataset=dataset, fingerprint=fingerprint, generation=1,
-            source_format=source_format))
-        self._ready = True
-        self._reload_lock = threading.Lock()
-        #: The snapshot file generation 1 was loaded from (or the last
-        #: file a reload succeeded from); ``reload_from_source`` —
-        #: the cross-worker SIGHUP fan-out trigger — re-reads it.
-        self.source_path = source_path
-        self.reloads = 0
-        self.failed_reloads = 0
+            source_format=source_format)), source_path)
 
     @classmethod
     def from_file(cls, path, popcon=None,
@@ -132,21 +261,23 @@ class SnapshotHolder:
                    source_format=source_format,
                    source_path=str(path))
 
-    # --- reader side ----------------------------------------------------
+    def _load(self, path, old: DatasetSnapshot) -> DatasetSnapshot:
+        """Sniff + decode a snapshot file into the next generation.
 
-    def current(self) -> DatasetSnapshot:
-        """The published snapshot: one atomic reference read."""
-        return self._current
-
-    def ready(self) -> bool:
-        """False only inside a reload window (new traffic should wait)."""
-        return self._ready
-
-    @property
-    def generation(self) -> int:
-        return self._current.generation
-
-    # --- writer side ----------------------------------------------------
+        The format is sniffed from the file's first bytes: ``.rsnap``
+        magic takes the mmap'd lazy path (the embedded fingerprint is
+        trusted — it was content-derived at write time), anything else
+        is decoded as a JSON codec payload and fingerprinted fresh.
+        Popcon and repository are carried over from the current
+        snapshot either way (the payloads persist only interned state —
+        the :meth:`repro.dataset.Dataset.rebound` convention).
+        """
+        dataset, fingerprint, source_format = _load_dataset_file(
+            path, old.dataset.popcon, old.dataset.repository)
+        return _annotate(DatasetSnapshot(
+            dataset=dataset, fingerprint=fingerprint,
+            generation=old.generation + 1,
+            source_format=source_format))
 
     def swap_dataset(self, dataset: Dataset,
                      fingerprint: Optional[str] = None,
@@ -161,57 +292,6 @@ class SnapshotHolder:
             self._current = snapshot
             self.reloads += 1
             return snapshot
-
-    def reload_from_file(self, path) -> DatasetSnapshot:
-        """Load a dataset snapshot file and publish it atomically.
-
-        The format is sniffed from the file's first bytes: ``.rsnap``
-        magic takes the mmap'd lazy path (the embedded fingerprint is
-        trusted — it was content-derived at write time), anything else
-        is decoded as a JSON codec payload and fingerprinted fresh.
-        Popcon and repository are carried over from the current
-        snapshot either way (the payloads persist only interned state —
-        the :meth:`repro.dataset.Dataset.rebound` convention).
-        In-flight requests keep their snapshot; ``/readyz`` reports
-        not-ready for the duration of the load.  On any failure the old
-        snapshot remains current, readiness is restored, and the error
-        propagates.
-        """
-        with self._reload_lock:
-            old = self._current
-            self._ready = False
-            try:
-                dataset, fingerprint, source_format = \
-                    _load_dataset_file(path, old.dataset.popcon,
-                                       old.dataset.repository)
-                snapshot = _annotate(DatasetSnapshot(
-                    dataset=dataset, fingerprint=fingerprint,
-                    generation=old.generation + 1,
-                    source_format=source_format))
-                self._current = snapshot
-                self.source_path = str(path)
-                self.reloads += 1
-                return snapshot
-            except Exception:
-                self.failed_reloads += 1
-                raise
-            finally:
-                self._ready = True
-
-    def reload_from_source(self) -> DatasetSnapshot:
-        """Re-read the bound snapshot path and publish it.
-
-        The cross-worker reload protocol: the supervisor fans a SIGHUP
-        out to every worker, and each worker re-reads the *same*
-        source path — so fingerprint and format provenance stay
-        identical across the fleet.  Raises ``RuntimeError`` when the
-        holder was built in-memory and never reloaded from a file.
-        """
-        if self.source_path is None:
-            raise RuntimeError(
-                "holder has no source path bound; it was built "
-                "in-memory and never (re)loaded from a file")
-        return self.reload_from_file(self.source_path)
 
     def export_to_file(self, path, format: str = "json") -> int:
         """Write the current snapshot in a reloadable format.
@@ -241,3 +321,231 @@ class SnapshotHolder:
             "failed_reloads": self.failed_reloads,
             "source_path": self.source_path,
         }
+
+
+class SeriesHolder(_RcuHolder):
+    """Single-writer, many-reader holder of one current release train.
+
+    Publishing the whole :class:`repro.series.DatasetSeries` as one
+    generation is what makes time-travel queries consistent: a request
+    that pins a generation sees the *same* chain for ``?release=0``
+    and ``?release=9``, even if a reload lands mid-request.
+    """
+
+    def __init__(self, series, *,
+                 source_path: Optional[str] = None) -> None:
+        super().__init__(SeriesSnapshot(
+            series=series, fingerprint=series.series_fingerprint,
+            generation=1), source_path)
+
+    @classmethod
+    def from_file(cls, path) -> "SeriesHolder":
+        """Boot a holder from a ``.rser`` file (mmap'd, lazy deltas)."""
+        return cls(load_series(path), source_path=str(path))
+
+    def _load(self, path, old: SeriesSnapshot) -> SeriesSnapshot:
+        series = load_series(path)
+        return SeriesSnapshot(
+            series=series, fingerprint=series.series_fingerprint,
+            generation=old.generation + 1)
+
+    def stats(self) -> Dict[str, object]:
+        snapshot = self._current
+        return {
+            "generation": snapshot.generation,
+            "fingerprint": snapshot.fingerprint,
+            "format": snapshot.source_format,
+            "packages": snapshot.packages,
+            "releases": snapshot.n_releases,
+            "ready": self._ready,
+            "reloads": self.reloads,
+            "failed_reloads": self.failed_reloads,
+            "source_path": self.source_path,
+        }
+
+
+def holder_from_file(path, popcon=None, repository=None):
+    """Boot the right holder flavor for a file, sniffed by magic.
+
+    ``.rser`` series files get a :class:`SeriesHolder`; everything
+    else (``.rsnap`` or JSON) a :class:`SnapshotHolder`.  This is the
+    one entry point the CLI and pre-fork workers need.
+    """
+    source = pathlib.Path(path)
+    with source.open("rb") as handle:
+        head = handle.read(8)
+    if sniff_series(head):
+        return SeriesHolder.from_file(source)
+    return SnapshotHolder.from_file(source, popcon, repository)
+
+
+@dataclass(frozen=True)
+class ResolvedTarget:
+    """What one request's tenant/release coordinates resolved to."""
+
+    tenant: str
+    holder: _RcuHolder
+    snapshot: object
+    fingerprint: str
+    generation: int
+    #: Materialized dataset for dataset-scope endpoints (None for
+    #: series scope).
+    dataset: Optional[Dataset] = None
+    #: The release train for series-scope endpoints (None for plain
+    #: snapshot tenants / dataset scope).
+    series: Optional[object] = None
+    #: Release index the dataset was materialized at, when the tenant
+    #: serves a series (None for plain snapshot tenants).
+    release: Optional[int] = None
+
+
+class SnapshotRegistry:
+    """Named holders behind one serve app — multi-tenant publication.
+
+    Registration is done at boot / config time (no lock: mutation is
+    not concurrent with request traffic by construction, and readers
+    only ever do dict lookups on a dict that stops changing once
+    serving starts).  Each holder keeps its own RCU discipline.
+    """
+
+    def __init__(self) -> None:
+        self._holders: Dict[str, _RcuHolder] = {}
+
+    @classmethod
+    def of(cls, source) -> "SnapshotRegistry":
+        """Adapt a holder (or pass through a registry) for ServeApp."""
+        if isinstance(source, SnapshotRegistry):
+            return source
+        registry = cls()
+        registry.add(DEFAULT_TENANT, source)
+        return registry
+
+    @classmethod
+    def from_files(cls, path, popcon=None, repository=None,
+                   tenants: Optional[Mapping[str, str]] = None,
+                   ) -> "SnapshotRegistry":
+        """Boot a registry: ``path`` as default plus named tenants."""
+        registry = cls()
+        registry.add(DEFAULT_TENANT,
+                     holder_from_file(path, popcon, repository))
+        for name, tenant_path in (tenants or {}).items():
+            registry.add(name, holder_from_file(tenant_path))
+        return registry
+
+    def add(self, name: str, holder) -> None:
+        if not name or not all(
+                ch.isalnum() or ch in "._-" for ch in name):
+            raise ValueError(
+                f"invalid tenant name {name!r}: use letters, digits, "
+                "'.', '_' or '-'")
+        if name in self._holders:
+            raise ValueError(f"tenant {name!r} already registered")
+        self._holders[name] = holder
+
+    def get(self, tenant: Optional[str] = None) -> _RcuHolder:
+        name = DEFAULT_TENANT if tenant is None else tenant
+        try:
+            return self._holders[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown tenant {name!r}; serving "
+                f"{sorted(self._holders)}") from None
+
+    def names(self):
+        return sorted(self._holders)
+
+    def items(self) -> Iterator[Tuple[str, _RcuHolder]]:
+        return iter(sorted(self._holders.items()))
+
+    def ready(self) -> bool:
+        return all(holder.ready()
+                   for holder in self._holders.values())
+
+    @property
+    def generation(self) -> int:
+        """The default tenant's generation (single-tenant shorthand)."""
+        return self.get().generation
+
+    def resolve(self, tenant: Optional[str] = None,
+                release=None, scope: str = "dataset") -> ResolvedTarget:
+        """Pin one tenant's current snapshot and pick the query subject.
+
+        ``release`` is the raw ``?release=`` query value (string or
+        int).  All coordinate errors raise ``ValueError`` — the serve
+        layer maps that to a 400 ``bad_request`` envelope:
+
+        * unknown tenant,
+        * series scope against a plain snapshot tenant,
+        * ``release=`` against a plain snapshot tenant,
+        * a release index outside the train.
+        """
+        name = DEFAULT_TENANT if tenant is None else tenant
+        holder = self.get(name)
+        snapshot = holder.current()
+        is_series = isinstance(snapshot, SeriesSnapshot)
+        if scope == "series":
+            if not is_series:
+                raise ValueError(
+                    f"tenant {name!r} serves a single snapshot; "
+                    "series queries need a release train")
+            return ResolvedTarget(
+                tenant=name, holder=holder, snapshot=snapshot,
+                fingerprint=snapshot.fingerprint,
+                generation=snapshot.generation,
+                series=snapshot.series)
+        if scope != "dataset":
+            raise ValueError(f"unknown endpoint scope {scope!r}")
+        if not is_series:
+            if release is not None:
+                raise ValueError(
+                    f"tenant {name!r} serves a single snapshot; "
+                    "release= is not supported")
+            return ResolvedTarget(
+                tenant=name, holder=holder, snapshot=snapshot,
+                fingerprint=snapshot.fingerprint,
+                generation=snapshot.generation,
+                dataset=snapshot.dataset)
+        if release is None:
+            index = snapshot.head_release
+        else:
+            try:
+                index = int(release)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"release must be a release index, "
+                    f"got {release!r}") from None
+        dataset = snapshot.dataset_at(index)  # ValueError if unknown
+        return ResolvedTarget(
+            tenant=name, holder=holder, snapshot=snapshot,
+            fingerprint=snapshot.series.fingerprints[index],
+            generation=snapshot.generation,
+            dataset=dataset, release=index)
+
+    def reload_from_source(self) -> Dict[str, object]:
+        """SIGHUP fan-in: re-read every source-bound tenant.
+
+        Attempts *all* tenants even if one fails (partial progress is
+        better than none for the fleet), then re-raises the first
+        failure so the caller's failed-reload accounting fires.
+        Raises ``RuntimeError`` when no tenant has a source path.
+        """
+        sourced = [(name, holder) for name, holder in self.items()
+                   if holder.source_path is not None]
+        if not sourced:
+            raise RuntimeError(
+                "holder has no source path bound; it was built "
+                "in-memory and never (re)loaded from a file")
+        published: Dict[str, object] = {}
+        first_error: Optional[Exception] = None
+        for name, holder in sourced:
+            try:
+                published[name] = holder.reload_from_source()
+            except Exception as exc:  # noqa: BLE001 — keep fleet going
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return published
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        return {name: holder.stats() for name, holder in self.items()}

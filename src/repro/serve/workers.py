@@ -62,7 +62,7 @@ from typing import Dict, List, Optional
 from ..obs import MetricsRegistry, SpanTracer
 from .app import ServeApp
 from .server import ThreadingTransport, reuse_port_available
-from .snapshot import SnapshotHolder
+from .snapshot import SnapshotRegistry
 
 #: Listen backlog for the shared (inherited) socket; deep enough that
 #: a worker restart window queues connections instead of refusing.
@@ -106,21 +106,25 @@ def _worker_main(index: int, address, mode: str,
                  inherited: Optional[socket.socket],
                  snapshot_path: str, popcon, repository,
                  settings: WorkerSettings, quiet: bool,
-                 ready=None) -> None:
-    """One worker process: mmap the snapshot, serve until SIGTERM.
+                 ready=None,
+                 tenants: Optional[Dict[str, str]] = None) -> None:
+    """One worker process: mmap the snapshot(s), serve until SIGTERM.
 
     Runs only in a forked child.  The worker is a fresh serving
-    universe — its own holder, app, caches, registry (labelled with
-    the worker index and pid), and transport — over the *shared*
-    snapshot bytes.
+    universe — its own registry of holders, app, caches, metrics
+    (labelled with the worker index and pid), and transport — over the
+    *shared* snapshot bytes.  ``snapshot_path`` may be a ``.rsnap``,
+    JSON, or ``.rser`` series file (sniffed); ``tenants`` maps extra
+    tenant names to their own files.
     """
-    # No reloads until the holder exists; a SIGHUP racing the boot
+    # No reloads until the holders exist; a SIGHUP racing the boot
     # window is dropped rather than crashing the worker.
     signal.signal(signal.SIGHUP, signal.SIG_IGN)
-    holder = SnapshotHolder.from_file(snapshot_path, popcon, repository)
+    snapshots = SnapshotRegistry.from_files(
+        snapshot_path, popcon, repository, tenants=tenants)
     label = f"{index}:{os.getpid()}"
     app = ServeApp(
-        holder,
+        snapshots,
         registry=MetricsRegistry(),
         tracer=SpanTracer(),
         cache_entries=settings.cache_entries,
@@ -198,6 +202,7 @@ class WorkerSupervisor:
                  host: str = "127.0.0.1", port: int = 0,
                  popcon=None, repository=None,
                  settings: Optional[WorkerSettings] = None,
+                 tenants: Optional[Dict[str, str]] = None,
                  quiet: bool = True, mode: str = "auto",
                  backoff_base_seconds: float = 0.1,
                  backoff_cap_seconds: float = 2.0,
@@ -220,6 +225,7 @@ class WorkerSupervisor:
         self.repository = repository
         self.settings = settings if settings is not None \
             else WorkerSettings()
+        self.tenants = dict(tenants or {})
         self.quiet = quiet
         self.backoff_base_seconds = backoff_base_seconds
         self.backoff_cap_seconds = backoff_cap_seconds
@@ -292,7 +298,7 @@ class WorkerSupervisor:
             target=_worker_main,
             args=(index, self._address, self.mode, inherited,
                   self.snapshot_path, self.popcon, self.repository,
-                  self.settings, self.quiet, ready),
+                  self.settings, self.quiet, ready, self.tenants),
             name=f"repro-serve-worker-{index}", daemon=False)
         process.start()
         self._handles[index] = _WorkerHandle(
@@ -417,6 +423,7 @@ class WorkerSupervisor:
             "workers": self.workers,
             "address": list(self._address) if self._address else None,
             "snapshot_path": self.snapshot_path,
+            "tenants": dict(self.tenants),
             "total_restarts": self.total_restarts,
             "worker_table": [
                 {"index": handle.index,

@@ -19,6 +19,12 @@ from .ecosystem import (
     ESSENTIAL_PACKAGES,
     build_ecosystem,
 )
+from .evolve import (
+    EcosystemRelease,
+    EvolutionConfig,
+    EvolvedEcosystem,
+    evolve_corpus,
+)
 from .paper import (
     PAPER_BINARIES,
     PAPER_PACKAGES,
@@ -37,6 +43,9 @@ __all__ = [
     "Ecosystem",
     "EcosystemBuilder",
     "EcosystemConfig",
+    "EcosystemRelease",
+    "EvolutionConfig",
+    "EvolvedEcosystem",
     "FunctionSpec",
     "MUTATIONS",
     "PAPER_BINARIES",
@@ -48,6 +57,7 @@ __all__ = [
     "build_ecosystem",
     "corrupt",
     "corrupt_artifacts",
+    "evolve_corpus",
     "generate_binary",
     "generate_ld_so",
     "inject_corrupt_package",

@@ -1,0 +1,282 @@
+"""Longitudinal ecosystem evolution: one corpus, N releases.
+
+The paper measures a single archive snapshot and names the lack of
+historical data as a limitation (§2.4); the Ubuntu dependency-evolution
+study (PAPERS.md) shows what a release train actually does to an
+archive: packages are added and retired, surviving packages' API
+surfaces drift a few calls at a time, installation counts shift while
+staying heavy-tailed, and the dependency skeleton churns around a
+stable core of libraries.  This module reproduces exactly that motion
+on top of the paper-scale corpus tier:
+
+* **Release 0** is a plain :func:`repro.synth.build_paper_corpus`.
+* **Every later release** mutates the previous one — a deterministic
+  function of ``(seed, release index)``, so release k can always be
+  rebuilt bit-identically from scratch:
+
+  - ``drop_fraction`` of app packages are retired (libraries persist:
+    real archives retire leaf packages far more often than their
+    dependency core);
+  - ``add_fraction`` new app packages appear, cloning (and sometimes
+    drifting) the footprint of an existing package — archives grow by
+    near-duplication, not invention;
+  - ``drift_fraction`` of surviving non-empty packages gain one to
+    three mid/low-importance syscalls and occasionally lose one —
+    the per-release adoption creep Tables 8-11 track;
+  - popcon counts take a multiplicative log-normal step on a churned
+    subset (continuity: a popular package stays popular), dropped
+    packages leave the survey, added packages join in the Zipf tail;
+  - ``dep_churn`` of surviving apps re-roll their library dependencies
+    (dangling edges onto dropped packages are left in place — real
+    archives carry broken Depends: lines between releases).
+
+**Canonical package order.**  Every release lists survivors in the
+previous release's order and appends added packages at the end.  The
+delta codec in :mod:`repro.series` relies on this rule to reconstruct
+any release's package order (and therefore its bit-exact metric
+results) from deltas alone.
+
+All releases share release 0's interned :class:`repro.dataset.ApiSpace`
+(drift draws only from the mid/low syscall pools the paper-scale space
+already interns), so per-release bitsets are cheap and masks stay
+directly comparable across releases.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.footprint import Footprint
+from ..dataset.bitset import BitsetFootprint
+from ..dataset.core import Dataset
+from ..packages.package import Package
+from ..packages.popcon import PopularityContest
+from ..packages.repository import Repository
+from . import profiles
+from .paper import PaperCorpus, PaperScaleConfig, build_paper_corpus
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Shape and determinism knobs for a multi-release evolution."""
+
+    #: Releases to synthesize, including release 0.
+    n_releases: int = 10
+    #: The release-0 corpus (size, seed of the initial archive).
+    base: PaperScaleConfig = field(
+        default_factory=PaperScaleConfig.tiny)
+    #: Seed of the *evolution* — independent of the base corpus seed so
+    #: the same archive can be evolved down different timelines.
+    seed: int = 2016
+    #: Fraction of app packages retired per release.
+    drop_fraction: float = 0.02
+    #: Fraction of app packages (of the current size) added per release.
+    add_fraction: float = 0.03
+    #: Fraction of surviving non-empty packages whose footprint drifts.
+    drift_fraction: float = 0.10
+    #: Probability a surviving package's popcon count is re-sampled.
+    popcon_churn: float = 0.25
+    #: Log-normal sigma of the multiplicative popcon step.
+    popcon_sigma: float = 0.35
+    #: Fraction of surviving apps that re-roll their dependencies.
+    dep_churn: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_releases < 1:
+            raise ValueError("n_releases must be >= 1")
+        for name in ("drop_fraction", "add_fraction", "drift_fraction",
+                     "popcon_churn", "dep_churn"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+
+
+@dataclass
+class EcosystemRelease:
+    """One release of an evolved ecosystem: a self-contained dataset."""
+
+    index: int
+    dataset: Dataset
+    popcon: PopularityContest
+    repository: Repository
+    #: Bookkeeping for tests and reports.
+    added: Tuple[str, ...] = ()
+    dropped: Tuple[str, ...] = ()
+    drifted: Tuple[str, ...] = ()
+
+
+@dataclass
+class EvolvedEcosystem:
+    """The full release train, oldest first."""
+
+    config: EvolutionConfig
+    base_corpus: PaperCorpus
+    releases: List[EcosystemRelease]
+
+    @property
+    def n_releases(self) -> int:
+        return len(self.releases)
+
+    def datasets(self) -> List[Dataset]:
+        return [release.dataset for release in self.releases]
+
+
+def _release_rng(seed: int, release: int) -> random.Random:
+    """One deterministic stream per (evolution seed, release index)."""
+    return random.Random(f"repro.evolve:{seed}:{release}")
+
+
+def _drift_footprint(footprint: Footprint, pool: List[str],
+                     rng: random.Random) -> Footprint:
+    """A few extra mid/low syscalls, occasionally one removed."""
+    syscalls = set(footprint.syscalls)
+    syscalls.update(rng.sample(pool, rng.randint(1, 3)))
+    removable = sorted(syscalls & set(pool))
+    if removable and rng.random() < 0.5:
+        syscalls.discard(rng.choice(removable))
+    return Footprint(
+        syscalls=frozenset(syscalls),
+        ioctls=footprint.ioctls, fcntls=footprint.fcntls,
+        prctls=footprint.prctls,
+        pseudo_files=footprint.pseudo_files,
+        libc_symbols=footprint.libc_symbols,
+        unresolved_sites=footprint.unresolved_sites)
+
+
+def evolve_corpus(config: Optional[EvolutionConfig] = None,
+                  ) -> EvolvedEcosystem:
+    """Synthesize ``config.n_releases`` releases of one ecosystem.
+
+    Deterministic in ``config``: rebuilding and indexing release k
+    always yields bit-identical footprints, popcon counts, and
+    dependency edges — the eager-rebuild oracle the
+    :mod:`repro.series` delta codec is tested against.
+    """
+    config = config or EvolutionConfig()
+    corpus = build_paper_corpus(config.base)
+    space = corpus.dataset.space
+    drift_pool = sorted(profiles.MID_IMPORTANCE_SYSCALLS
+                        | profiles.LOW_IMPORTANCE_SYSCALLS)
+
+    # --- mutable evolution state (release k-1 -> release k) -------------
+    footprints: Dict[str, Footprint] = dict(corpus.dataset)
+    bits: Dict[str, BitsetFootprint] = dict(
+        zip(corpus.dataset.packages, corpus.dataset.bitsets))
+    libraries = frozenset(
+        package.name for package in corpus.repository
+        if package.category == "library")
+    repo_state: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+        package.name: (package.category, tuple(package.depends))
+        for package in corpus.repository}
+    total = corpus.popcon.total_installations
+    counts: Dict[str, int] = {
+        name: corpus.popcon.installations(name)
+        for name in corpus.popcon.packages()}
+
+    # Interning memo: drifted footprints repeat across releases far
+    # less than archetypes do, but added packages clone existing ones.
+    intern_memo: Dict[Footprint, BitsetFootprint] = {}
+
+    def interned(footprint: Footprint) -> BitsetFootprint:
+        cached = intern_memo.get(footprint)
+        if cached is None:
+            cached = space.intern(footprint)
+            intern_memo[footprint] = cached
+        return cached
+
+    releases = [EcosystemRelease(
+        index=0, dataset=corpus.dataset, popcon=corpus.popcon,
+        repository=corpus.repository)]
+
+    for release in range(1, config.n_releases):
+        rng = _release_rng(config.seed, release)
+        apps = [name for name in footprints if name not in libraries]
+
+        # --- retire ------------------------------------------------------
+        n_drop = min(len(apps) - 1,
+                     round(len(apps) * config.drop_fraction))
+        dropped = sorted(rng.sample(apps, n_drop)) if n_drop > 0 else []
+        for name in dropped:
+            del footprints[name]
+            del bits[name]
+            repo_state.pop(name, None)
+            counts.pop(name, None)
+
+        # --- drift survivors ---------------------------------------------
+        survivors = [name for name in footprints
+                     if name not in libraries
+                     and footprints[name] is not Footprint.EMPTY]
+        n_drift = round(len(survivors) * config.drift_fraction)
+        drifted = (sorted(rng.sample(survivors, n_drift))
+                   if n_drift > 0 else [])
+        for name in drifted:
+            moved = _drift_footprint(footprints[name], drift_pool, rng)
+            footprints[name] = moved
+            bits[name] = interned(moved)
+
+        # --- add ----------------------------------------------------------
+        lib_names = sorted(libraries)
+        n_add = max(1, round(len(apps) * config.add_fraction)) \
+            if config.add_fraction > 0 else 0
+        added = []
+        donors = [name for name in footprints
+                  if footprints[name] is not Footprint.EMPTY]
+        for i in range(n_add):
+            name = f"ppkg-r{release}-{i:05d}"
+            roll = rng.random()
+            if roll < 0.08 or not donors:
+                footprint = Footprint.EMPTY
+            else:
+                footprint = footprints[rng.choice(donors)]
+                if roll < 0.16:
+                    footprint = _drift_footprint(footprint, drift_pool,
+                                                 rng)
+            footprints[name] = footprint
+            bits[name] = interned(footprint)
+            depends = rng.sample(
+                lib_names, min(rng.randint(1, 8), len(lib_names)))
+            repo_state[name] = ("app", tuple(depends))
+            # A fresh package lands in the Zipf tail of the survey.
+            counts[name] = max(1, int(
+                total * 0.995 / rng.randint(100, max(200,
+                                                     len(footprints)))))
+            added.append(name)
+
+        # --- dependency churn --------------------------------------------
+        churnable = [name for name in footprints
+                     if name not in libraries and name not in added]
+        n_churn = round(len(churnable) * config.dep_churn)
+        for name in (rng.sample(churnable, n_churn)
+                     if n_churn > 0 else []):
+            category, _ = repo_state[name]
+            depends = rng.sample(
+                lib_names, min(rng.randint(1, 8), len(lib_names)))
+            repo_state[name] = (category, tuple(depends))
+
+        # --- popcon continuity -------------------------------------------
+        for name in list(counts):
+            if name in added:
+                continue
+            if rng.random() < config.popcon_churn:
+                factor = math.exp(rng.gauss(0.0, config.popcon_sigma))
+                counts[name] = max(1, min(total,
+                                          int(counts[name] * factor)))
+
+        popcon = PopularityContest(total, counts)
+        repository = Repository(
+            [Package(name=name, category=category,
+                     depends=list(depends))
+             for name, (category, depends) in repo_state.items()])
+        dataset = Dataset(dict(footprints), popcon=popcon,
+                          repository=repository, space=space,
+                          bitsets=[bits[name] for name in footprints])
+        releases.append(EcosystemRelease(
+            index=release, dataset=dataset, popcon=popcon,
+            repository=repository, added=tuple(added),
+            dropped=tuple(dropped), drifted=tuple(drifted)))
+
+    return EvolvedEcosystem(config=config, base_corpus=corpus,
+                            releases=releases)

@@ -1,0 +1,155 @@
+"""Trend and diff queries over a release train.
+
+`repro.metrics.trends` is the engine behind `/v1/trend/*`,
+`/v1/release/diff`, and `series diff` in the CLI.  These tests pin:
+the duck-typed release source (a DatasetSeries and a plain dataset
+sequence answer identically), `release_diff` == `UsageDiff.between`
+over the eager releases, trend payload shapes, and the exact
+ValueError surface the serve layer maps to 400 envelopes.
+"""
+
+import pytest
+
+from repro.metrics import (UsageDiff, completeness_trend,
+                           importance_table, importance_trend,
+                           release_diff, weighted_completeness)
+from repro.series import build_series
+from repro.synth import EvolutionConfig, evolve_corpus
+from repro.synth.paper import PaperScaleConfig
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    ecosystem = evolve_corpus(EvolutionConfig(
+        n_releases=4, base=PaperScaleConfig.at_scale(0.005, seed=7),
+        seed=7))
+    return ecosystem.datasets()
+
+
+@pytest.fixture(scope="module")
+def series(datasets):
+    return build_series(datasets)
+
+
+class TestReleaseDiff:
+    def test_matches_direct_usage_diff(self, datasets, series):
+        for weighted in (False, True):
+            via_series = release_diff(series, 0, 3,
+                                      weighted=weighted)
+            direct = UsageDiff.between(datasets[0], datasets[3],
+                                       dimension="syscall",
+                                       weighted=weighted)
+            assert [(d.api, d.before, d.after)
+                    for d in via_series.risers(50)] == \
+                [(d.api, d.before, d.after)
+                 for d in direct.risers(50)]
+            assert via_series.migrated_pairs() == \
+                direct.migrated_pairs()
+
+    def test_sequence_source_answers_like_a_series(self, datasets,
+                                                   series):
+        from_seq = release_diff(datasets, 1, 2)
+        from_series = release_diff(series, 1, 2)
+        assert [(d.api, d.before, d.after)
+                for d in from_seq.fallers(50)] == \
+            [(d.api, d.before, d.after)
+             for d in from_series.fallers(50)]
+
+    def test_method_delegates(self, series):
+        a = series.release_diff(0, 3, noise_floor=0.05)
+        b = release_diff(series, 0, 3, noise_floor=0.05)
+        assert [(d.api, d.delta) for d in a.risers(10)] == \
+            [(d.api, d.delta) for d in b.risers(10)]
+
+    @pytest.mark.parametrize("frm,to", [(-1, 2), (0, 99), ("x", 1)])
+    def test_bad_release_raises_value_error(self, series, frm, to):
+        with pytest.raises(ValueError):
+            release_diff(series, frm, to)
+
+
+class TestImportanceTrend:
+    def test_values_match_per_release_tables(self, datasets, series):
+        trend = importance_trend(series, apis=["open", "close"])
+        assert trend["apis"] == ["close", "open"]
+        assert trend["releases"] == [0, 1, 2, 3]
+        assert trend["from"] == 0 and trend["to"] == 3
+        for api in trend["apis"]:
+            expected = [importance_table(d).get(api, 0.0)
+                        for d in datasets]
+            assert trend["trend"][api] == expected
+
+    def test_default_apis_are_the_newest_top(self, datasets, series):
+        trend = importance_trend(series, limit=3)
+        newest = importance_table(datasets[-1])
+        top = [api for api, _ in sorted(
+            newest.items(), key=lambda kv: (-kv[1], kv[0]))][:3]
+        assert trend["apis"] == sorted(top) or trend["apis"] == top
+        assert len(trend["apis"]) == 3
+        for api in trend["apis"]:
+            assert len(trend["trend"][api]) == 4
+
+    def test_range_windows_the_releases(self, datasets, series):
+        trend = importance_trend(series, apis=["open"], start=1,
+                                 stop=2)
+        assert trend["releases"] == [1, 2]
+        assert trend["trend"]["open"] == [
+            importance_table(datasets[1]).get("open", 0.0),
+            importance_table(datasets[2]).get("open", 0.0)]
+
+    def test_unweighted_uses_usage_tables(self, datasets, series):
+        trend = importance_trend(series, apis=["open"],
+                                 weighted=False)
+        expected = [d.usage_table("syscall",
+                                  ignore_empty=False).get("open", 0.0)
+                    for d in datasets]
+        assert trend["trend"]["open"] == expected
+
+    def test_validation_errors(self, series):
+        with pytest.raises(ValueError):
+            importance_trend(series, apis=[])
+        with pytest.raises(ValueError):
+            importance_trend(series, limit=0)
+        with pytest.raises(ValueError):
+            importance_trend(series, start=2, stop=1)
+        with pytest.raises(ValueError):
+            importance_trend(series, start=0, stop=44)
+
+
+class TestCompletenessTrend:
+    def test_values_match_weighted_completeness(self, datasets,
+                                                series):
+        table = importance_table(datasets[-1])
+        supported = [api for api, _ in sorted(
+            table.items(), key=lambda kv: (-kv[1], kv[0]))][:40]
+        trend = completeness_trend(series, supported)
+        assert trend["supported"] == sorted(set(supported))
+        assert trend["values"] == [
+            weighted_completeness(supported, d) for d in datasets]
+
+    def test_fixed_set_drifts_release_over_release(self, series):
+        # The longitudinal story: a frozen API set's completeness is
+        # not constant once the ecosystem starts moving under it.
+        head = series.at(series.n_releases - 1)
+        table = importance_table(head)
+        # Support everything the head uses except its five least
+        # important APIs — a near-complete system whose coverage of
+        # the long tail moves as the tail itself churns.
+        rare = set(sorted((a for a, v in table.items() if v > 0),
+                          key=lambda a: (table[a], a))[:5])
+        supported = [a for a, v in table.items()
+                     if v > 0 and a not in rare]
+        trend = series.completeness_trend(supported)
+        assert len(trend["values"]) == series.n_releases
+        assert all(0.0 <= v <= 1.0 for v in trend["values"])
+        assert len(set(trend["values"])) > 1
+
+    def test_empty_supported_set_is_allowed(self, series):
+        trend = completeness_trend(series, [])
+        assert trend["supported"] == []
+        assert all(0.0 <= v < 1.0 for v in trend["values"])
+
+    def test_range_validation(self, series):
+        with pytest.raises(ValueError):
+            completeness_trend(series, ["open"], start=-1)
+        with pytest.raises(ValueError):
+            completeness_trend(series, ["open"], stop="tail")
