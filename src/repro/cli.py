@@ -56,6 +56,7 @@ _EXPERIMENTS = {
     "failures": "failure_report",
     "trace": "trace_report",
     "dataset": "dataset_report",
+    "depsem": "dep_semantics_report",
 }
 
 
@@ -217,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "of package-count usage")
     series.add_argument("--limit", type=int, default=10, metavar="N",
                         help="risers/fallers to print (default: 10)")
+    series.add_argument("--deps", action="store_true",
+                        help="stats: also materialize every release "
+                             "and report per-release drift of virtual "
+                             "packages, provider edges, and "
+                             "alternative groups")
 
     serve = sub.add_parser(
         "serve", help="keep the analyzed dataset warm behind an HTTP "
@@ -402,6 +408,14 @@ def _series_command(args: argparse.Namespace) -> int:
         for release, size in sorted(
                 stats["delta_bytes_per_release"].items()):
             print(f"  delta r{release:<4} : {size} bytes")
+        if args.deps:
+            print("dependency semantics drift:")
+            for row in series.dependency_drift():
+                print(f"  r{row['release']:<4} "
+                      f"virtuals={row['n_virtual_packages']} "
+                      f"provider_edges={row['n_provider_edges']} "
+                      f"alternative_groups="
+                      f"{row['n_alternative_groups']}")
         return EXIT_OK
 
     # diff

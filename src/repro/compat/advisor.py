@@ -87,7 +87,15 @@ def change_impact(api: str,
                   popcon: Optional[PopularityContest] = None,
                   repository: Optional[Repository] = None,
                   dimension: str = "syscall") -> ChangeImpact:
-    """What breaks if ``api`` is removed (§6's deprecation question)."""
+    """What breaks if ``api`` is removed (§6's deprecation question).
+
+    The cascade follows the full dependency semantics: a package
+    counts as a dependent of ``P`` when any alternative in one of its
+    groups names ``P`` directly *or* names a virtual package ``P``
+    provides — so deprecating an API used only by the concrete
+    provider of ``mail-transport-agent`` still surfaces every package
+    depending on the virtual name.
+    """
     dataset = as_dataset(footprints, popcon, repository)
     if dataset.repository is None:
         raise ValueError("change_impact needs a dependency repository")

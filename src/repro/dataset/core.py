@@ -186,6 +186,9 @@ class DatasetStats:
     has_popcon: bool
     has_repository: bool
     n_dependency_edges: int
+    n_virtual_packages: int = 0     # provided names with no real package
+    n_provider_edges: int = 0       # total Provides: declarations
+    n_alternative_groups: int = 0   # dependency groups with >1 alternative
 
 
 class Dataset(MappingABC):
@@ -460,9 +463,15 @@ class Dataset(MappingABC):
         total_weight = (sum(self.weights)
                         if self.popcon is not None else None)
         n_edges = 0
+        n_virtual = 0
+        n_provider_edges = 0
+        n_alternative_groups = 0
         if self.repository is not None:
             n_edges = sum(len(package.depends)
                           for package in self.repository)
+            n_virtual = len(self.repository.virtual_names())
+            n_provider_edges = self.repository.n_provider_edges()
+            n_alternative_groups = self.repository.n_alternative_groups()
         return DatasetStats(
             n_packages=len(self.packages),
             n_apis=n_apis,
@@ -471,6 +480,9 @@ class Dataset(MappingABC):
             has_popcon=self.popcon is not None,
             has_repository=self.repository is not None,
             n_dependency_edges=n_edges,
+            n_virtual_packages=n_virtual,
+            n_provider_edges=n_provider_edges,
+            n_alternative_groups=n_alternative_groups,
         )
 
 

@@ -331,3 +331,131 @@ def completeness_curve(footprints: Mapping[str, Footprint],
         curve.append(CurvePoint(
             rank, api, supported_weight / total_weight))
     return curve
+
+
+# ---------------------------------------------------------------------------
+# AND-OR oracle (added with the dependency-semantics refactor)
+# ---------------------------------------------------------------------------
+# Everything above this line is the frozen pre-refactor code.  The
+# functions below extend the oracle to AND-of-OR groups and Provides:
+# virtual packages so equivalence testing survives the refactor.  They
+# are written as a deliberately naive, independent implementation — no
+# caching, no condensation, fresh parsing per call — so that agreement
+# with the production tracker is evidence of semantic correctness, not
+# of shared code.  On repositories without alternatives or virtuals
+# they reduce to exactly the frozen functions above (same set
+# histories, so float sums stay bit-identical).
+
+
+def _andor_groups(package) -> List[tuple]:
+    groups = []
+    for dep in package.depends:
+        alternatives = tuple(part.strip() for part in dep.split("|")
+                             if part.strip())
+        if alternatives:
+            groups.append(alternatives)
+    return groups
+
+
+def _andor_providers(repository: Repository) -> Dict[str, List[str]]:
+    providers: Dict[str, List[str]] = {}
+    for package in repository:
+        for virtual in package.provides:
+            providers.setdefault(virtual, []).append(package.name)
+    return providers
+
+
+def _andor_satisfiers(alternative: str, repository: Repository,
+                      providers: Dict[str, List[str]]) -> List[str]:
+    satisfiers: List[str] = []
+    if alternative in repository:
+        satisfiers.append(alternative)
+    for provider in providers.get(alternative, ()):
+        if provider not in satisfiers:
+            satisfiers.append(provider)
+    return satisfiers
+
+
+def _andor_group_satisfied(group, repository, providers, result,
+                           assumed) -> bool:
+    for alternative in group:
+        satisfiers = _andor_satisfiers(alternative, repository,
+                                       providers)
+        if not satisfiers:
+            # Dangling virtual reference: never gates (matches the
+            # frozen close_over_dependencies ignoring targets absent
+            # from the repository).
+            return True
+        for satisfier in satisfiers:
+            if satisfier in result or satisfier in assumed:
+                return True
+    return False
+
+
+def andor_close_over_dependencies(supported: Set[str],
+                                  repository: Repository,
+                                  assume_supported: Optional[Set[str]]
+                                  = None) -> Set[str]:
+    """AND-OR greatest fixed point by naive iterated removal."""
+    providers = _andor_providers(repository)
+    result = set(supported)
+    assumed = assume_supported or set()
+    changed = True
+    while changed:
+        changed = False
+        for name in list(result):
+            if name not in repository:
+                continue
+            package = repository.get(name)
+            for group in _andor_groups(package):
+                if not _andor_group_satisfied(group, repository,
+                                              providers, result,
+                                              assumed):
+                    result.discard(name)
+                    changed = True
+                    break
+    return result
+
+
+def andor_weighted_completeness(supported_apis: Iterable[str],
+                                footprints: Mapping[str, Footprint],
+                                popcon: PopularityContest,
+                                repository: Optional[Repository] = None,
+                                dimension: str = "syscall",
+                                ignore_empty: bool = True) -> float:
+    """Frozen-shape weighted completeness under AND-OR closure.
+
+    Mirrors the frozen :func:`weighted_completeness` — same universe
+    construction, same set copies, same summation order — with only
+    the closure rule generalized.
+    """
+    select = DIMENSIONS[dimension]
+    universe = {pkg: fp for pkg, fp in footprints.items()
+                if not ignore_empty or select(fp)}
+    supported_set = frozenset(supported_apis)
+    supported = directly_supported(universe, supported_set, dimension)
+    if repository is not None:
+        trivially = {pkg for pkg in footprints if pkg not in universe}
+        supported = andor_close_over_dependencies(
+            supported, repository, assume_supported=trivially)
+    numerator = sum(popcon.install_probability(pkg)
+                    for pkg in supported)
+    denominator = sum(popcon.install_probability(pkg)
+                      for pkg in universe)
+    return numerator / denominator if denominator else 0.0
+
+
+def andor_supported_packages(supported_apis: Iterable[str],
+                             footprints: Mapping[str, Footprint],
+                             repository: Optional[Repository] = None,
+                             dimension: str = "syscall") -> Set[str]:
+    """AND-OR analogue of the production ``supported_packages``."""
+    select = DIMENSIONS[dimension]
+    supported_set = frozenset(supported_apis)
+    supported = directly_supported(footprints, supported_set, dimension)
+    if repository is not None:
+        trivially = {pkg for pkg, fp in footprints.items()
+                     if not select(fp)}
+        supported = andor_close_over_dependencies(
+            supported, repository, assume_supported=trivially)
+    return supported

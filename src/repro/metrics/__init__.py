@@ -1,6 +1,7 @@
 """Metrics: API importance, unweighted importance, weighted
 completeness, and the incremental implementation path."""
 
+from .ablation import dep_semantics_ablation
 from .diffing import ApiDelta, MigrationVerdict, UsageDiff
 from .montecarlo import (
     approximation_error_report,
@@ -69,6 +70,7 @@ __all__ = [
     "completeness_curve",
     "completeness_trend",
     "count_at_least",
+    "dep_semantics_ablation",
     "dependents_index",
     "directly_supported",
     "first_rank_reaching",

@@ -45,7 +45,16 @@ def close_over_dependencies(supported: Set[str],
                             repository: Repository,
                             assume_supported: Optional[Set[str]] = None,
                             ) -> Set[str]:
-    """Drop packages whose dependency closure leaves ``supported``.
+    """Drop packages with an unsatisfiable dependency group.
+
+    Dependency semantics are AND-of-OR with virtual providers: every
+    group must keep at least one satisfiable alternative, where an
+    alternative is satisfiable when it has no satisfier in the
+    repository at all (a dangling virtual reference never gates), or
+    when some satisfier — the real package or any provider — is in the
+    result or assumed.  On a repository without alternatives or
+    ``Provides:`` this degenerates to the pre-refactor AND rule with
+    an identical discard history.
 
     ``assume_supported`` names packages outside the measurement
     universe (e.g. footprint-less library packages) whose presence in a
@@ -66,10 +75,18 @@ def close_over_dependencies(supported: Set[str],
                 # dependency metadata to check; absence alone never
                 # invalidates it (same treatment as assume_supported).
                 continue
-            package = repository.get(name)
-            for dep in package.depends:
-                if (dep in repository and dep not in result
-                        and dep not in assumed):
+            for group in repository.dependency_groups_of(name):
+                satisfied = False
+                for alternative in group:
+                    satisfiers = repository.satisfiers(alternative)
+                    if not satisfiers:
+                        satisfied = True
+                        break
+                    if any(s in result or s in assumed
+                           for s in satisfiers):
+                        satisfied = True
+                        break
+                if not satisfied:
                     result.discard(name)
                     changed = True
                     break

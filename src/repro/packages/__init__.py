@@ -1,16 +1,20 @@
 """Package, repository, and popularity-contest models."""
 
-from .package import BinaryArtifact, BinaryKind, GroundTruthFootprint, Package
+from .package import (BinaryArtifact, BinaryKind, GroundTruthFootprint,
+                      Package, dependency_groups, split_alternatives)
 from .popcon import PAPER_TOTAL_INSTALLATIONS, PopularityContest
-from .repository import Repository, UnknownPackageError
+from .repository import DependencyReport, Repository, UnknownPackageError
 
 __all__ = [
     "BinaryArtifact",
     "BinaryKind",
+    "DependencyReport",
     "GroundTruthFootprint",
     "PAPER_TOTAL_INSTALLATIONS",
     "Package",
     "PopularityContest",
     "Repository",
     "UnknownPackageError",
+    "dependency_groups",
+    "split_alternatives",
 ]

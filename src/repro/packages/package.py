@@ -12,7 +12,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def split_alternatives(dep: str) -> Tuple[str, ...]:
+    """Parse one ``Depends:`` entry into its alternatives.
+
+    APT separates alternative dependencies with ``|`` — any one of the
+    alternatives satisfies the entry (``mawk | gawk``).  A plain entry
+    parses to a single-alternative group, so pre-alternative dependency
+    lists round-trip unchanged.
+    """
+    return tuple(alt for alt in
+                 (part.strip() for part in dep.split("|")) if alt)
+
+
+def dependency_groups(depends: Iterable[str],
+                      ) -> Tuple[Tuple[str, ...], ...]:
+    """Parse a ``Depends:`` list into AND-of-OR groups.
+
+    Every group must be satisfied; a group is satisfied by any one of
+    its alternatives.  Empty entries parse to no group at all.
+    """
+    groups = []
+    for dep in depends:
+        alternatives = split_alternatives(dep)
+        if alternatives:
+            groups.append(alternatives)
+    return tuple(groups)
 
 
 class BinaryKind(Enum):
@@ -48,13 +75,25 @@ class BinaryArtifact:
 
 @dataclass
 class Package:
-    """One APT package: artifacts plus dependency edges."""
+    """One APT package: artifacts plus dependency edges.
+
+    ``depends`` entries may use APT's alternative syntax (``a | b``);
+    :meth:`dependency_groups` exposes the parsed AND-of-OR view.
+    ``provides`` lists the virtual package names this package
+    satisfies (APT ``Provides:``) — a dependency on a virtual name is
+    met by any provider.
+    """
 
     name: str
     category: str = "misc"
     artifacts: List[BinaryArtifact] = field(default_factory=list)
     depends: List[str] = field(default_factory=list)
     description: str = ""
+    provides: List[str] = field(default_factory=list)
+
+    def dependency_groups(self) -> Tuple[Tuple[str, ...], ...]:
+        """The parsed AND-of-OR dependency groups."""
+        return dependency_groups(self.depends)
 
     def executables(self) -> List[BinaryArtifact]:
         return [a for a in self.artifacts if a.is_executable]

@@ -110,6 +110,13 @@ def render_dataset_stats(stats: "DatasetStats",
          f"bound ({stats.n_dependency_edges} edges)"
          if stats.has_repository else "absent"),
     ]
+    if stats.has_repository:
+        points.append(
+            ("virtual packages",
+             f"{stats.n_virtual_packages} "
+             f"({stats.n_provider_edges} provider edges)"))
+        points.append(("alternative groups",
+                       stats.n_alternative_groups))
     if stats.total_weight is not None:
         points.append(("total install probability",
                        f"{stats.total_weight:.3f}"))

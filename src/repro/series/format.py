@@ -38,6 +38,14 @@ floats, from the delta alone::
     deps u8      0 = no repository in this series
       removed    str list      packages leaving the skeleton (sorted)
       upserts    u32 + (name, category, depends str list)*  (sorted)
+    provides     OPTIONAL trailing block (DEPS-v2), present only when
+      upserts    some upserted package declares Provides: —
+                 u32 + (name, provides str list)*  (upsert order).
+                 Upserted packages absent from the block have no
+                 Provides; a delta with no block at all is byte-
+                 identical to the pre-refactor encoding, so flat
+                 corpora round-trip unchanged and old files decode as
+                 degenerate AND graphs.
 
     entry = name + u64 unresolved_sites
             + one fixed-width little-endian mask row per dimension
@@ -212,6 +220,9 @@ class ReleaseDelta:
     has_deps: bool = False
     deps_removed: Tuple[str, ...] = ()
     deps_upserts: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = ()
+    #: Provides: lists for upserted packages that declare any —
+    #: ``(name, provides)`` pairs, a subset of ``deps_upserts`` names.
+    provides_upserts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
 
 def _row_widths(space: ApiSpace) -> List[int]:
@@ -251,6 +262,14 @@ def encode_delta(delta: ReleaseDelta, space: ApiSpace) -> bytes:
             parts.append(pack_str(name))
             parts.append(pack_str(category))
             parts.append(pack_str_list(depends))
+        if delta.provides_upserts:
+            # Optional DEPS-v2 trailing block — omitted entirely when
+            # no upsert declares Provides, keeping flat-corpus deltas
+            # byte-identical to the pre-refactor encoding.
+            parts.append(_U32.pack(len(delta.provides_upserts)))
+            for name, provides in delta.provides_upserts:
+                parts.append(pack_str(name))
+                parts.append(pack_str_list(provides))
     return b"".join(parts)
 
 
@@ -283,12 +302,37 @@ def decode_delta(data, tag: str, space: ApiSpace) -> ReleaseDelta:
     has_deps = cursor._take(1)[0] != 0
     deps_removed: Tuple[str, ...] = ()
     deps_upserts: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = ()
+    provides_upserts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
     if has_deps:
         deps_removed = tuple(cursor.string_list())
         deps_upserts = tuple(
             (cursor.string(), cursor.string(),
              tuple(cursor.string_list()))
             for _ in range(cursor.u32()))
+        if not cursor.exhausted():
+            # DEPS-v2 trailing block: pre-refactor deltas simply end
+            # here and decode with no Provides.
+            if len(data) - cursor.pos < 4:
+                raise StoreLayoutError(
+                    f"section {tag}: {len(data) - cursor.pos} "
+                    f"trailing bytes")
+            upsert_names = {name for name, _, _ in deps_upserts}
+            provides_upserts = tuple(
+                (cursor.string(), tuple(cursor.string_list()))
+                for _ in range(cursor.u32()))
+            if not provides_upserts:
+                raise StoreLayoutError(
+                    f"section {tag}: empty provides block (the "
+                    f"encoder omits it entirely)")
+            for name, provides in provides_upserts:
+                if name not in upsert_names:
+                    raise StoreLayoutError(
+                        f"section {tag}: provides for non-upserted "
+                        f"package {name!r}")
+                if not provides:
+                    raise StoreLayoutError(
+                        f"section {tag}: empty provides entry "
+                        f"{name!r}")
     if not cursor.exhausted():
         raise StoreLayoutError(
             f"section {tag}: {len(data) - cursor.pos} trailing bytes")
@@ -297,7 +341,7 @@ def decode_delta(data, tag: str, space: ApiSpace) -> ReleaseDelta:
         has_popcon=has_popcon, popcon_total=popcon_total,
         popcon_set=popcon_set, popcon_removed=popcon_removed,
         has_deps=has_deps, deps_removed=deps_removed,
-        deps_upserts=deps_upserts)
+        deps_upserts=deps_upserts, provides_upserts=provides_upserts)
 
 
 # --- delta derivation ----------------------------------------------------
@@ -376,26 +420,34 @@ def delta_between(previous: Dataset, current: Dataset) -> ReleaseDelta:
                          "or none")
     deps_removed: Tuple[str, ...] = ()
     deps_upserts: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = ()
+    provides_upserts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
     if has_deps:
         prev_deps = {package.name: (package.category,
-                                    tuple(package.depends))
+                                    tuple(package.depends),
+                                    tuple(package.provides))
                      for package in previous.repository}
         cur_deps = {package.name: (package.category,
-                                   tuple(package.depends))
+                                   tuple(package.depends),
+                                   tuple(package.provides))
                     for package in current.repository}
         deps_removed = tuple(sorted(
             name for name in prev_deps if name not in cur_deps))
-        deps_upserts = tuple(sorted(
+        upserts = sorted(
+            (name, row) for name, row in cur_deps.items()
+            if prev_deps.get(name) != row)
+        deps_upserts = tuple(
             (name, category, depends)
-            for name, (category, depends) in cur_deps.items()
-            if prev_deps.get(name) != (category, depends)))
+            for name, (category, depends, _) in upserts)
+        provides_upserts = tuple(
+            (name, provides)
+            for name, (_, _, provides) in upserts if provides)
 
     return ReleaseDelta(
         removed=removed, changed=tuple(changed), added=added,
         has_popcon=has_popcon, popcon_total=popcon_total,
         popcon_set=popcon_set, popcon_removed=popcon_removed,
         has_deps=has_deps, deps_removed=deps_removed,
-        deps_upserts=deps_upserts)
+        deps_upserts=deps_upserts, provides_upserts=provides_upserts)
 
 
 def apply_delta_names(previous: List[str],

@@ -53,7 +53,8 @@ class _ReleaseState:
 
     def __init__(self, rows: _Rows,
                  popcon: Optional[Tuple[int, Dict[str, int]]],
-                 deps: Optional[Dict[str, Tuple[str, Tuple[str, ...]]]],
+                 deps: Optional[Dict[str, Tuple[str, Tuple[str, ...],
+                                                Tuple[str, ...]]]],
                  ) -> None:
         self.rows = rows
         self.popcon = popcon
@@ -180,7 +181,8 @@ class DatasetSeries:
             deps = None
             if base.repository is not None:
                 deps = {package.name: (package.category,
-                                       tuple(package.depends))
+                                       tuple(package.depends),
+                                       tuple(package.provides))
                         for package in base.repository}
             state = _ReleaseState(rows, popcon, deps)
         else:
@@ -234,8 +236,10 @@ class DatasetSeries:
                 if name not in deps:
                     raise bad(f"deps removes unknown {name!r}")
                 del deps[name]
+            provides_of = dict(delta.provides_upserts)
             for name, category, depends in delta.deps_upserts:
-                deps[name] = (category, depends)
+                deps[name] = (category, depends,
+                              provides_of.get(name, ()))
 
         return _ReleaseState(rows, popcon, deps)
 
@@ -292,8 +296,9 @@ class DatasetSeries:
                 try:
                     repository = Repository(
                         [Package(name, category=category,
-                                 depends=list(depends))
-                         for name, (category, depends)
+                                 depends=list(depends),
+                                 provides=list(provides))
+                         for name, (category, depends, provides)
                          in state.deps.items()])
                 except ValueError as exc:
                     raise StoreLayoutError(
@@ -332,6 +337,33 @@ class DatasetSeries:
             "delta_bytes": sum(deltas.values()),
             "delta_bytes_per_release": deltas,
         }
+
+    def dependency_drift(self) -> List[Dict[str, int]]:
+        """Per-release drift of the dependency-semantics surface.
+
+        Materializes every release (cached) and reports how many
+        virtual packages, provider edges, and alternative groups each
+        one carries — flat releases report zeros.  Releases without a
+        repository report zeros too, so the shape is stable across
+        series kinds.
+        """
+        drift: List[Dict[str, int]] = []
+        for release in range(self.n_releases):
+            repository = self.at(release).repository
+            if repository is None:
+                drift.append({"release": release,
+                              "n_virtual_packages": 0,
+                              "n_provider_edges": 0,
+                              "n_alternative_groups": 0})
+            else:
+                drift.append({
+                    "release": release,
+                    "n_virtual_packages": len(repository.virtual_names()),
+                    "n_provider_edges": repository.n_provider_edges(),
+                    "n_alternative_groups":
+                        repository.n_alternative_groups(),
+                })
+        return drift
 
     # --- trend/diff queries (delegating to repro.metrics.trends) --------
 

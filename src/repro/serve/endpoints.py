@@ -32,9 +32,9 @@ from ..dataset.core import Dataset
 from ..dataset.dimensions import ALL_DIMENSIONS
 from ..libc import symbols as libc_symbols
 from ..metrics import (completeness_curve, completeness_trend,
-                       importance_table, importance_trend,
-                       missing_apis_report, ranked, release_diff,
-                       unweighted_importance_table,
+                       dep_semantics_ablation, importance_table,
+                       importance_trend, missing_apis_report, ranked,
+                       release_diff, unweighted_importance_table,
                        weighted_completeness)
 from ..syscalls import fcntl_ops, ioctl, prctl_ops
 from ..syscalls.table import ALL_NAMES
@@ -404,8 +404,35 @@ def stats_payload(dataset: Dataset,
         "has_popcon": stats.has_popcon,
         "has_repository": stats.has_repository,
         "n_dependency_edges": stats.n_dependency_edges,
+        "n_virtual_packages": stats.n_virtual_packages,
+        "n_provider_edges": stats.n_provider_edges,
+        "n_alternative_groups": stats.n_alternative_groups,
         "snapshot": snapshot,
     }
+
+
+# --- dependency-semantics ablation --------------------------------------
+
+def normalize_dep_semantics(params: Mapping[str, str],
+                            body: Optional[Mapping[str, Any]],
+                            ) -> Dict[str, Any]:
+    return {"dimension": _dimension(params)}
+
+
+def dep_semantics_payload(dataset: Dataset,
+                          params: Mapping[str, Any]) -> Dict[str, Any]:
+    """AND-only vs full AND-OR dependency-semantics ablation.
+
+    Runs the completeness curve twice over the served snapshot — full
+    semantics vs :meth:`repro.packages.Repository.and_only_view` — and
+    reports the signed gaps.  A corpus without alternatives or virtual
+    packages reports every gap as exactly ``0.0``.
+    """
+    if dataset.repository is None:
+        raise BadRequestError(
+            "the served snapshot has no dependency graph")
+    return dep_semantics_ablation(dataset,
+                                  dimension=params["dimension"])
 
 
 # --- series stats -------------------------------------------------------
@@ -583,6 +610,9 @@ ENDPOINTS: Tuple[Endpoint, ...] = (
     Endpoint("stats", "GET", "/v1/dataset/stats",
              normalize_stats, stats_payload,
              "interned dataset summary (dimensions, weights, edges)"),
+    Endpoint("dep_semantics", "GET", "/v1/dataset/dep_semantics",
+             normalize_dep_semantics, dep_semantics_payload,
+             "AND-only vs AND-OR dependency-semantics ablation"),
     Endpoint("series_stats", "GET", "/v1/series/stats",
              normalize_series_stats, series_stats_payload,
              "release-train shape and delta storage economics",

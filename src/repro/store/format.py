@@ -28,7 +28,14 @@ MSK0-5  per-dimension masks: u32 row_bytes, then n_packages LE byte rows
 UNRS    per-package unresolved_sites (u32 count, u64 each)
 POPC    optional popcon: u64 total, u32 entries, (name, u64 count) each
 DEPS    optional repository skeleton: (name, category, depends) per pkg
+PRVS    optional Provides: edges: u32 entries, (name, provides list) each
 ======  ==================================================================
+
+``DEPS`` entries carry ``a | b`` alternative syntax verbatim inside
+the depends strings, so pre-refactor snapshots decode unchanged as
+degenerate AND graphs; ``PRVS`` is written only when some package
+declares ``Provides:`` — a flat corpus produces byte-identical files
+before and after the AND-OR dependency refactor (DEPS-v2).
 
 Integrity is two checksums: ``meta_crc`` covers the header and section
 table (so a flipped offset can never be followed), ``payload_crc``
@@ -66,9 +73,9 @@ SECTION_SIZE = _SECTION.size
 #: Sections every snapshot must carry (POPC / DEPS are optional).
 REQUIRED_TAGS = (b"META", b"PKGS", b"ITAB", b"MSK0", b"MSK1", b"MSK2",
                  b"MSK3", b"MSK4", b"MSK5", b"UNRS")
-OPTIONAL_TAGS = (b"POPC", b"DEPS")
+OPTIONAL_TAGS = (b"POPC", b"DEPS", b"PRVS")
 
-_MAX_SECTIONS = 64  # v1 defines 12; anything bigger is garbage
+_MAX_SECTIONS = 64  # v1 defines 13; anything bigger is garbage
 
 
 def crc32(data) -> int:

@@ -204,11 +204,33 @@ def _decode_popcon(data,
         raise StoreLayoutError(f"POPC: {exc}") from None
 
 
+def _decode_provides(data,
+                     header: SnapshotHeader) -> Dict[str, List[str]]:
+    """Provides: edges from the optional PRVS section (DEPS-v2).
+
+    Absent in pre-refactor snapshots and in snapshots of corpora
+    without virtual packages — both load as degenerate AND graphs.
+    """
+    if b"PRVS" not in header.sections:
+        return {}
+    cursor = _section_cursor(data, header, b"PRVS")
+    count = cursor.u32()
+    provides: Dict[str, List[str]] = {}
+    for _ in range(count):
+        name = cursor.string()
+        names = cursor.string_list()
+        if name in provides:
+            raise StoreLayoutError(f"PRVS: duplicate entry {name!r}")
+        provides[name] = names
+    return provides
+
+
 def _decode_repository(data,
                        header: SnapshotHeader,
                        ) -> Optional[Repository]:
     if b"DEPS" not in header.sections:
         return None
+    provides = _decode_provides(data, header)
     cursor = _section_cursor(data, header, b"DEPS")
     count = cursor.u32()
     packages = []
@@ -217,7 +239,12 @@ def _decode_repository(data,
         category = cursor.string()
         depends = cursor.string_list()
         packages.append(Package(name, category=category,
-                                depends=depends))
+                                depends=depends,
+                                provides=provides.pop(name, [])))
+    if provides:
+        raise StoreLayoutError(
+            f"PRVS names unknown packages: "
+            f"{sorted(provides)[:5]}")
     try:
         return Repository(packages)
     except ValueError as exc:
@@ -357,4 +384,5 @@ def snapshot_info(path) -> Dict[str, object]:
                      sorted(header.sections.items())},
         "has_popcon": b"POPC" in header.sections,
         "has_repository": b"DEPS" in header.sections,
+        "has_provides": b"PRVS" in header.sections,
     }

@@ -87,6 +87,22 @@ def _deps_section(dataset: Dataset) -> Optional[bytes]:
     return b"".join(parts)
 
 
+def _provides_section(dataset: Dataset) -> Optional[bytes]:
+    """Provides: edges (DEPS-v2).  Omitted when no package provides
+    anything, so flat corpora keep byte-identical snapshots."""
+    repository = dataset.repository
+    if repository is None:
+        return None
+    providing = [package for package in repository if package.provides]
+    if not providing:
+        return None
+    parts = [_U32.pack(len(providing))]
+    for package in providing:
+        parts.append(pack_str(package.name))
+        parts.append(pack_str_list(package.provides))
+    return b"".join(parts)
+
+
 def snapshot_to_bytes(dataset: Dataset,
                       fingerprint: Optional[str] = None) -> bytes:
     """Encode ``dataset`` as one complete ``.rsnap`` file image.
@@ -115,6 +131,9 @@ def snapshot_to_bytes(dataset: Dataset,
     deps = _deps_section(dataset)
     if deps is not None:
         sections.append((b"DEPS", deps))
+    provides = _provides_section(dataset)
+    if provides is not None:
+        sections.append((b"PRVS", provides))
     return encode_file(fingerprint, sections)
 
 

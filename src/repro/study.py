@@ -692,6 +692,44 @@ class Study:
         return ExperimentOutput(
             "dataset", stats, render_dataset_stats(stats))
 
+    def dep_semantics_report(self, dimension: str = "syscall",
+                             ) -> ExperimentOutput:
+        """AND-only vs full AND-OR dependency-semantics ablation.
+
+        Runs the Figure-3 completeness curve twice over the same
+        interned footprints — once against the real repository and
+        once against its :meth:`repro.packages.Repository.and_only_view`
+        degradation — and reports the signed completeness gaps.  On a
+        corpus without alternatives or virtual packages every gap is
+        exactly zero.
+        """
+        from .metrics import dep_semantics_ablation
+        report = dep_semantics_ablation(self.dataset,
+                                        dimension=dimension)
+        points = [
+            ("dimension", report["dimension"]),
+            ("packages", report["n_packages"]),
+            ("virtual packages",
+             f"{report['n_virtual_packages']} "
+             f"({report['n_provider_edges']} provider edges)"),
+            ("alternative groups", report["n_alternative_groups"]),
+            ("final completeness (full)",
+             format_percent(report["full"]["final_completeness"])),
+            ("final completeness (AND-only)",
+             format_percent(report["and_only"]["final_completeness"])),
+            ("final gap", f"{report['final_gap']:+.4%}"),
+            ("largest gap",
+             f"{report['max_gap']:+.4%} at rank "
+             f"{report['max_gap_rank']}"),
+            ("mean |gap|", f"{report['mean_abs_gap']:.4%}"),
+            ("ranks diverging",
+             f"{report['n_ranks_diverging']} / {report['n_apis']}"),
+        ]
+        rendered = render_key_points(
+            points, title="dependency-semantics ablation — AND-only "
+                          "vs AND-OR closure")
+        return ExperimentOutput("depsem", report, rendered)
+
     def export_dataset(self, path: str, format: str = "json") -> int:
         """Write the interned dataset snapshot; returns the byte
         count written.  ``format`` is ``"json"`` (portable codec) or
@@ -849,4 +887,5 @@ class Study:
             self.libc_decomposition(),
             self.failure_report(),
             self.dataset_report(),
+            self.dep_semantics_report(),
         ]

@@ -50,6 +50,12 @@ class EcosystemConfig:
     # 0.0 reproduces the paper's snapshot, higher values simulate
     # later releases (see profiles.shifted_variant_probs).
     adoption_shift: float = 0.0
+    # Emit Debian-style dependency semantics: interpreter packages
+    # gain Provides: virtuals, script packages depend on
+    # "virtual | concrete" alternatives, and a task metapackage
+    # bundles interpreters through alternative groups.  Off by
+    # default — the flat ecosystem is unchanged.
+    dependency_semantics: bool = False
 
 
 @dataclass
@@ -205,7 +211,7 @@ class EcosystemBuilder:
         repository.add(self._runtime_package())
 
         for name, spec in _INTERPRETER_SPECS.items():
-            repository.add(self._interpreter_package(name))
+            repository.add(self._interpreter_package(name, spec))
             pinned[name] = spec["prob"]
 
         plan = self._filler_plan()
@@ -236,6 +242,18 @@ class EcosystemBuilder:
             repository.add(package)
             pinned[package.name] = prob
 
+        if self.config.dependency_semantics:
+            # A task metapackage (no binaries of its own) whose
+            # Depends: lines are alternative groups over the
+            # interpreter stack — the pattern an AND-only resolver
+            # collapses to its first branch.
+            repository.add(Package(
+                "interpreters-meta", category="metapackage",
+                depends=["python2.7 | perl | ruby2.1",
+                         "dash | bash | busybox"],
+                description="task metapackage (alternative groups)"))
+            pinned["interpreters-meta"] = 0.02
+
         popcon = PopularityContest.synthesize(
             repository.names(),
             total_installations=self.config.total_installations,
@@ -262,10 +280,17 @@ class EcosystemBuilder:
                 data=image))
         return package
 
-    def _interpreter_package(self, name: str) -> Package:
+    def _interpreter_package(self, name: str, spec: dict) -> Package:
         rng = random.Random(stable_seed(str(self.config.seed), name))
+        provides: List[str] = []
+        if self.config.dependency_semantics:
+            # Each interpreter provides a virtual runtime name so
+            # script packages can depend on the capability rather
+            # than the concrete package (Debian's
+            # mail-transport-agent idiom).
+            provides = [f"{key}-runtime" for key in spec["provides"]]
         package = Package(name, category="interpreter",
-                          depends=["libc6"],
+                          depends=["libc6"], provides=provides,
                           description=f"{name} language runtime")
         imports = list(P.BASE_LIBC_IMPORTS)
         imports += [
@@ -728,8 +753,12 @@ class EcosystemBuilder:
             name = f"script-pkg-{index:04d}"
             rng = random.Random(stable_seed(str(self.config.seed), name))
             provider = P.INTERPRETER_PACKAGES[interp]
+            if self.config.dependency_semantics:
+                interp_dep = f"{interp}-runtime | {provider}"
+            else:
+                interp_dep = provider
             package = Package(name, category="scripts",
-                              depends=["libc6", provider],
+                              depends=["libc6", interp_dep],
                               description=f"{interp} scripts")
             for script_index in range(rng.randint(1, 4)):
                 shebang = {

@@ -168,9 +168,31 @@ def evolve_corpus(config: Optional[EvolutionConfig] = None,
     libraries = frozenset(
         package.name for package in corpus.repository
         if package.category == "library")
-    repo_state: Dict[str, Tuple[str, Tuple[str, ...]]] = {
-        package.name: (package.category, tuple(package.depends))
+    repo_state: Dict[str, Tuple[str, Tuple[str, ...],
+                                Tuple[str, ...]]] = {
+        package.name: (package.category, tuple(package.depends),
+                       tuple(package.provides))
         for package in corpus.repository}
+    # When the base corpus carries dependency semantics, churn keeps
+    # emitting the same patterns: re-rolled Depends: lines sometimes
+    # become "a | b" alternatives or target a virtual name.
+    semantics = config.base.dependency_semantics
+    virtuals = (sorted(corpus.repository.virtual_names())
+                if semantics else [])
+
+    def _roll_depends(rng: random.Random,
+                      lib_names: List[str]) -> Tuple[str, ...]:
+        depends = rng.sample(
+            lib_names, min(rng.randint(1, 8), len(lib_names)))
+        if semantics:
+            if len(lib_names) > 1 and rng.random() < 0.2:
+                first = depends[0]
+                alternative = rng.choice(
+                    [lib for lib in lib_names if lib != first])
+                depends[0] = f"{first} | {alternative}"
+            if virtuals and rng.random() < 0.1:
+                depends.append(rng.choice(virtuals))
+        return tuple(depends)
     total = corpus.popcon.total_installations
     counts: Dict[str, int] = {
         name: corpus.popcon.installations(name)
@@ -236,9 +258,8 @@ def evolve_corpus(config: Optional[EvolutionConfig] = None,
                                                  rng)
             footprints[name] = footprint
             bits[name] = interned(footprint)
-            depends = rng.sample(
-                lib_names, min(rng.randint(1, 8), len(lib_names)))
-            repo_state[name] = ("app", tuple(depends))
+            repo_state[name] = ("app", _roll_depends(rng, lib_names),
+                                ())
             # A fresh package lands in the Zipf tail of the survey.
             counts[name] = max(1, int(
                 total * 0.995 / rng.randint(100, max(200,
@@ -251,10 +272,10 @@ def evolve_corpus(config: Optional[EvolutionConfig] = None,
         n_churn = round(len(churnable) * config.dep_churn)
         for name in (rng.sample(churnable, n_churn)
                      if n_churn > 0 else []):
-            category, _ = repo_state[name]
-            depends = rng.sample(
-                lib_names, min(rng.randint(1, 8), len(lib_names)))
-            repo_state[name] = (category, tuple(depends))
+            category, _, provides = repo_state[name]
+            repo_state[name] = (category,
+                                _roll_depends(rng, lib_names),
+                                provides)
 
         # --- popcon continuity -------------------------------------------
         for name in list(counts):
@@ -268,8 +289,9 @@ def evolve_corpus(config: Optional[EvolutionConfig] = None,
         popcon = PopularityContest(total, counts)
         repository = Repository(
             [Package(name=name, category=category,
-                     depends=list(depends))
-             for name, (category, depends) in repo_state.items()])
+                     depends=list(depends), provides=list(provides))
+             for name, (category, depends, provides)
+             in repo_state.items()])
         dataset = Dataset(dict(footprints), popcon=popcon,
                           repository=repository, space=space,
                           bitsets=[bits[name] for name in footprints])

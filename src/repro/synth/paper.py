@@ -58,6 +58,14 @@ _GHOST_DEP_FRACTION = 0.005  # dangling Depends: edges (virtual pkgs)
 _UNMEASURED_FRACTION = 0.01  # in the repository, not in the dataset
 _CYCLE_STRIDE = 997          # every Nth app closes a dependency cycle
 
+# Dependency-semantics profile (gated by
+# PaperScaleConfig.dependency_semantics; the default corpus emits none
+# of these, staying bit-identical to the pre-refactor generator):
+_VIRTUAL_FRACTION = 0.25      # virtual names per library count
+_ALTERNATIVE_FRACTION = 0.15  # apps whose first dep gains "| other"
+_VIRTUAL_DEP_FRACTION = 0.10  # apps depending on a virtual name
+_METAPACKAGE_FRACTION = 0.01  # task metapackages (alternative groups)
+
 
 @dataclass(frozen=True)
 class PaperScaleConfig:
@@ -66,9 +74,15 @@ class PaperScaleConfig:
     n_packages: int = PAPER_PACKAGES
     n_binaries: int = PAPER_BINARIES
     seed: int = 2016
+    #: Emit metapackages, virtual (Provides:) packages, and ``a | b``
+    #: alternative groups.  Off by default: the degenerate corpus is
+    #: bit-identical to the pre-refactor generator (the extra draws
+    #: come from an independently seeded stream).
+    dependency_semantics: bool = False
 
     @classmethod
     def at_scale(cls, scale: float, seed: int = 2016,
+                 dependency_semantics: bool = False,
                  ) -> "PaperScaleConfig":
         """A proportionally shrunk corpus (``scale=1`` is the paper)."""
         if scale <= 0:
@@ -76,12 +90,15 @@ class PaperScaleConfig:
         n_packages = max(8, round(PAPER_PACKAGES * scale))
         n_binaries = max(n_packages, round(PAPER_BINARIES * scale))
         return cls(n_packages=n_packages, n_binaries=n_binaries,
-                   seed=seed)
+                   seed=seed,
+                   dependency_semantics=dependency_semantics)
 
     @classmethod
-    def tiny(cls, seed: int = 2016) -> "PaperScaleConfig":
+    def tiny(cls, seed: int = 2016,
+             dependency_semantics: bool = False) -> "PaperScaleConfig":
         """A few hundred packages: test-suite sized."""
-        return cls.at_scale(0.01, seed=seed)
+        return cls.at_scale(0.01, seed=seed,
+                            dependency_semantics=dependency_semantics)
 
 
 @dataclass
@@ -204,14 +221,37 @@ def build_paper_corpus(config: Optional[PaperScaleConfig] = None,
             bitsets.append(archetype_bits[index])
 
     # --- skeleton dependency graph -------------------------------------
+    # The dependency-semantics profile draws from its own stream so the
+    # degenerate corpus (the default) consumes exactly the same draws
+    # from ``rng`` as the pre-refactor generator.
+    vrng = random.Random(f"repro.paper.depsem:{config.seed}")
     repository = Repository()
     libraries = names[:n_libraries]
+    provides_of: Dict[str, List[str]] = {}
+    virtuals: List[str] = []
+    if config.dependency_semantics:
+        for i in range(max(2, round(n_libraries * _VIRTUAL_FRACTION))):
+            virtual = f"pvirt-{i:03d}"
+            virtuals.append(virtual)
+            providers = vrng.sample(
+                libraries, min(vrng.randint(1, 3), n_libraries))
+            for provider in providers:
+                provides_of.setdefault(provider, []).append(virtual)
     for name in libraries:
-        repository.add(Package(name=name, category="library"))
+        repository.add(Package(name=name, category="library",
+                               provides=provides_of.get(name, [])))
     ghost_count = 0
     for position, name in enumerate(names[n_libraries:]):
         depends = rng.sample(libraries,
                              min(rng.randint(1, 8), n_libraries))
+        first_library = depends[0]
+        if config.dependency_semantics:
+            if n_libraries > 1 and vrng.random() < _ALTERNATIVE_FRACTION:
+                alternative = vrng.choice(
+                    [lib for lib in libraries if lib != first_library])
+                depends[0] = f"{first_library} | {alternative}"
+            if virtuals and vrng.random() < _VIRTUAL_DEP_FRACTION:
+                depends.append(vrng.choice(virtuals))
         if rng.random() < _GHOST_DEP_FRACTION:
             depends.append(f"ghost-{ghost_count:04d}")
             ghost_count += 1
@@ -220,10 +260,26 @@ def build_paper_corpus(config: Optional[PaperScaleConfig] = None,
         if _CYCLE_STRIDE and position % _CYCLE_STRIDE == 0:
             # Close a lib -> app edge: APT permits dependency cycles
             # and the condensed graph must cope at scale.
-            repository.get(depends[0]).depends.append(name)
+            repository.get(first_library).depends.append(name)
     for i in range(max(1, round(n_packages * _UNMEASURED_FRACTION))):
         repository.add(Package(name=f"pdoc-{i:04d}", category="doc",
                                depends=[rng.choice(libraries)]))
+    if config.dependency_semantics:
+        # Task metapackages: repository-only bundles whose Depends:
+        # lines are pure alternative groups (think "mail-server" or
+        # "task-desktop"), the pattern debootstrap-style AND-only
+        # resolvers mishandle.
+        for i in range(max(1, round(n_packages * _METAPACKAGE_FRACTION))):
+            groups = []
+            for _ in range(vrng.randint(2, 4)):
+                alternatives = vrng.sample(
+                    libraries, min(2, n_libraries))
+                groups.append(" | ".join(alternatives))
+            if virtuals:
+                groups.append(vrng.choice(virtuals))
+            repository.add(Package(name=f"pmeta-{i:03d}",
+                                   category="metapackage",
+                                   depends=groups))
 
     popcon = PopularityContest.synthesize(
         [package.name for package in repository],

@@ -1,0 +1,239 @@
+"""Property-based equivalence for AND-of-OR dependency semantics.
+
+Companion to :mod:`tests.test_dataset_equivalence`: the production
+tracker (bitset GFP with SCC-over-OR condensation) must agree with the
+deliberately naive ``reference.andor_*`` oracle over adversarial
+randomized ecosystems — alternative groups, ``Provides:`` virtuals,
+self-providing packages, dangling alternatives, virtual-only chains,
+and dependency cycles routed *through* OR groups.
+
+A second family of properties pins the degenerate contract: on
+ecosystems without alternatives or virtuals the production metrics
+must match the *frozen pre-refactor* oracle bit for bit — the refactor
+may not move a single float on flat corpora.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.footprint import Footprint
+from repro.dataset import Dataset, reference
+from repro.metrics import (
+    completeness_curve,
+    supported_packages,
+    weighted_completeness,
+)
+from repro.packages.package import Package
+from repro.packages.popcon import PopularityContest
+from repro.packages.repository import Repository
+
+_SYSCALLS = ["read", "write", "open", "close", "mmap", "futex",
+             "epoll_wait", "accept", "clone", "execve"]
+
+#: Dependency targets beyond the measured packages: repository-known
+#: but unmeasured, virtual-only names, and true ghosts.
+_UNMEASURED = ["vendor-blob", "firmware-pack"]
+_VIRTUALS = ["mail-transport-agent", "awk-runtime", "httpd"]
+_GHOSTS = ["ghost-virtual", "ghost-provides"]
+
+
+def _subset(draw, pool):
+    return draw(st.lists(st.sampled_from(pool), unique=True,
+                         max_size=len(pool)))
+
+
+@st.composite
+def andor_ecosystems(draw):
+    """Randomized ecosystems exercising the full dependency grammar.
+
+    Dependency entries are drawn as 1–3 alternatives joined with
+    ``" | "`` from a pool mixing measured packages (cycles — including
+    cycles whose only escape is another alternative), unmeasured
+    packages, virtual names, and ghosts.  ``Provides:`` sets are drawn
+    per package from the virtual pool *plus the package's own name*
+    (self-providing, APT-legal) *plus another package's real name*
+    (real name doubling as provided name).
+    """
+    n = draw(st.integers(min_value=1, max_value=8))
+    names = [f"pkg{i}" for i in range(n)]
+    footprints = {}
+    for name in names:
+        if draw(st.booleans()) or draw(st.booleans()):
+            footprints[name] = Footprint.build(
+                syscalls=_subset(draw, _SYSCALLS))
+        else:
+            footprints[name] = Footprint.EMPTY
+    total = 1000
+    popcon = PopularityContest(total, {
+        name: draw(st.integers(min_value=0, max_value=total))
+        for name in names})
+    target_pool = names + _UNMEASURED + _VIRTUALS + _GHOSTS
+    provide_pool = _VIRTUALS + _GHOSTS[:1]
+
+    def depends_for(_name):
+        entries = []
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            alternatives = draw(st.lists(
+                st.sampled_from(target_pool), unique=True,
+                min_size=1, max_size=3))
+            entries.append(" | ".join(alternatives))
+        return entries
+
+    packages = []
+    for name in names:
+        provides = _subset(draw, provide_pool)
+        if draw(st.booleans()) and draw(st.booleans()):
+            provides.append(name)            # self-providing
+        if len(names) > 1 and draw(st.booleans()) \
+                and draw(st.booleans()):
+            provides.append(names[0])        # provides a real name
+        packages.append(Package(name, depends=depends_for(name),
+                                provides=sorted(set(provides))))
+    for extra in _UNMEASURED:
+        packages.append(Package(extra,
+                                provides=_subset(draw, _VIRTUALS)))
+    repository = Repository(packages)
+    supported = _subset(draw, _SYSCALLS + ["not_a_syscall"])
+    return footprints, popcon, repository, frozenset(supported)
+
+
+@st.composite
+def flat_ecosystems(draw):
+    """Degenerate ecosystems: no ``|``, no ``Provides:``."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    names = [f"pkg{i}" for i in range(n)]
+    footprints = {}
+    for name in names:
+        if draw(st.booleans()) or draw(st.booleans()):
+            footprints[name] = Footprint.build(
+                syscalls=_subset(draw, _SYSCALLS))
+        else:
+            footprints[name] = Footprint.EMPTY
+    total = 1000
+    popcon = PopularityContest(total, {
+        name: draw(st.integers(min_value=0, max_value=total))
+        for name in names})
+    dep_pool = names + _UNMEASURED + _GHOSTS
+    packages = [Package(name, depends=_subset(draw, dep_pool))
+                for name in names]
+    packages += [Package(extra) for extra in _UNMEASURED]
+    repository = Repository(packages)
+    supported = _subset(draw, _SYSCALLS + ["not_a_syscall"])
+    return footprints, popcon, repository, frozenset(supported)
+
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestAndOrOracleEquivalence:
+    @_SETTINGS
+    @given(eco=andor_ecosystems(), ignore_empty=st.booleans())
+    def test_weighted_completeness(self, eco, ignore_empty):
+        footprints, popcon, repository, supported = eco
+        dataset = Dataset(footprints, popcon, repository)
+        assert weighted_completeness(
+            supported, dataset, ignore_empty=ignore_empty) == \
+            reference.andor_weighted_completeness(
+                supported, footprints, popcon, repository,
+                ignore_empty=ignore_empty)
+
+    @_SETTINGS
+    @given(eco=andor_ecosystems())
+    def test_supported_packages(self, eco):
+        footprints, popcon, repository, supported = eco
+        dataset = Dataset(footprints, popcon, repository)
+        assert supported_packages(supported, dataset) == \
+            reference.andor_supported_packages(
+                supported, footprints, repository)
+
+    @_SETTINGS
+    @given(eco=andor_ecosystems())
+    def test_closure_from_directly_supported(self, eco):
+        footprints, popcon, repository, supported = eco
+        direct = reference.directly_supported(footprints, supported,
+                                              "syscall")
+        assumed = {pkg for pkg, fp in footprints.items()
+                   if not fp.syscalls}
+        expected = reference.andor_close_over_dependencies(
+            direct, repository, assume_supported=assumed)
+        dataset = Dataset(footprints, popcon, repository)
+        assert supported_packages(supported, dataset) == expected
+
+    @_SETTINGS
+    @given(eco=andor_ecosystems())
+    def test_curve_final_point_matches_oracle(self, eco):
+        """The final curve point covers the whole ranked universe, so
+        it must equal a from-scratch oracle evaluation.  ``approx``
+        because the incremental curve accumulates install
+        probabilities in support-history order while the oracle sums
+        freshly — same semantics, different float association."""
+        footprints, popcon, repository, _ = eco
+        dataset = Dataset(footprints, popcon, repository)
+        curve = completeness_curve(dataset)
+        if not curve:
+            return
+        all_apis = {point.api for point in curve}
+        assert curve[-1].completeness == pytest.approx(
+            reference.andor_weighted_completeness(
+                all_apis, footprints, popcon, repository),
+            abs=1e-9)
+
+    @_SETTINGS
+    @given(eco=andor_ecosystems())
+    def test_curve_is_monotone(self, eco):
+        """Adding an API can only help under AND-OR closure too."""
+        footprints, popcon, repository, _ = eco
+        dataset = Dataset(footprints, popcon, repository)
+        curve = completeness_curve(dataset)
+        for earlier, later in zip(curve, curve[1:]):
+            assert later.completeness >= earlier.completeness
+
+
+class TestDegenerateBitIdentity:
+    @_SETTINGS
+    @given(eco=flat_ecosystems(), ignore_empty=st.booleans())
+    def test_weighted_completeness_matches_frozen_oracle(
+            self, eco, ignore_empty):
+        footprints, popcon, repository, supported = eco
+        dataset = Dataset(footprints, popcon, repository)
+        assert weighted_completeness(
+            supported, dataset, ignore_empty=ignore_empty) == \
+            reference.weighted_completeness(
+                supported, footprints, popcon, repository,
+                ignore_empty=ignore_empty)
+
+    @_SETTINGS
+    @given(eco=flat_ecosystems(), ignore_empty=st.booleans())
+    def test_curve_matches_frozen_oracle(self, eco, ignore_empty):
+        footprints, popcon, repository, _ = eco
+        dataset = Dataset(footprints, popcon, repository)
+        assert completeness_curve(dataset,
+                                  ignore_empty=ignore_empty) == \
+            reference.completeness_curve(
+                footprints, popcon, repository,
+                ignore_empty=ignore_empty)
+
+    @_SETTINGS
+    @given(eco=flat_ecosystems())
+    def test_andor_oracle_reduces_to_frozen_oracle(self, eco):
+        """On flat corpora the extended oracle *is* the frozen one —
+        the equivalence chain closes."""
+        footprints, popcon, repository, supported = eco
+        assert reference.andor_weighted_completeness(
+            supported, footprints, popcon, repository) == \
+            reference.weighted_completeness(
+                supported, footprints, popcon, repository)
+
+    @_SETTINGS
+    @given(eco=flat_ecosystems())
+    def test_and_only_view_is_identity_on_flat_corpora(self, eco):
+        footprints, popcon, repository, supported = eco
+        dataset = Dataset(footprints, popcon, repository)
+        degraded = Dataset(footprints, popcon,
+                           repository.and_only_view())
+        assert weighted_completeness(supported, dataset) == \
+            weighted_completeness(supported, degraded)
+        assert completeness_curve(dataset) == \
+            completeness_curve(degraded)

@@ -63,8 +63,9 @@ class TestSystemEndpoints:
         names = {e["name"] for e in payload["endpoints"]}
         assert names == {"importance", "unweighted", "completeness",
                          "curve", "plan", "evaluate", "stats",
-                         "series_stats", "trend_importance",
-                         "trend_completeness", "release_diff"}
+                         "dep_semantics", "series_stats",
+                         "trend_importance", "trend_completeness",
+                         "release_diff"}
 
     def test_metrics_scrape_parses_and_carries_serve_gauges(self, app):
         get(app, "/v1/dataset/stats")
